@@ -1,0 +1,91 @@
+// Ablation A3 — the cost of contiguous processor allocation.
+//
+// The paper (like most moldable-scheduling theory) counts processors
+// without placement. On partitionable machines a task needs a
+// *contiguous* block, and fragmentation can delay tasks that fit by
+// count. This bench runs Algorithm 1 with and without the contiguity
+// constraint and reports the makespan inflation and the pure
+// fragmentation waiting time.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/sched/contiguous_scheduler.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void run_study(model::ModelKind kind, int P) {
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator alloc(mu);
+  util::Rng rng(61);
+  const model::ModelSampler sampler(kind);
+
+  util::Table t({"workload", "plain T", "contiguous T", "inflation",
+                 "frag wait"});
+  auto study = [&](const std::string& name, const graph::TaskGraph& g) {
+    const auto plain = core::schedule_online(g, P, alloc);
+    const auto contig = sched::schedule_online_contiguous(g, P, alloc);
+    t.new_row()
+        .cell(name)
+        .cell(plain.makespan, 2)
+        .cell(contig.base.makespan, 2)
+        .cell(contig.base.makespan / plain.makespan, 4)
+        .cell(contig.fragmentation_wait, 2);
+  };
+
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+  study("layered", graph::layered_random(8, 3, 12, 0.3, rng, provider));
+  study("erdos-renyi", graph::erdos_renyi_dag(80, 0.05, rng, provider));
+  study("independent", graph::independent(64, provider));
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = kind;
+  study("cholesky", graph::cholesky(8, cfg));
+  study("montage", graph::montage(20, cfg));
+
+  t.print(std::cout, "model = " + model::to_string(kind) +
+                         ", P = " + std::to_string(P) +
+                         " (first-fit contiguous placement)");
+  analysis::write_file(
+      "results/contiguity_" + model::to_string(kind) + ".csv", t.to_csv());
+  std::cout << '\n';
+}
+
+void BM_ContiguousSchedule(benchmark::State& state) {
+  const int P = 64;
+  util::Rng rng(62);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const auto g = graph::layered_random(
+      static_cast<int>(state.range(0)), 4, 16, 0.3, rng,
+      graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(
+      analysis::optimal_mu(model::ModelKind::kGeneral));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::schedule_online_contiguous(g, P, alloc));
+  }
+}
+BENCHMARK(BM_ContiguousSchedule)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_contiguity: contiguous-placement ablation ===\n\n";
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl,
+        model::ModelKind::kGeneral}) {
+    run_study(kind, 48);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

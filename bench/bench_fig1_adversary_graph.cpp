@@ -1,0 +1,94 @@
+// Experiment E3 — Figure 1: the generic lower-bound task graph.
+//
+// Prints, for each speedup model and several instance sizes, the graph's
+// X (B tasks per layer), Y (layers), task/edge counts and the longest
+// path depth — i.e. the structural skeleton Figure 1 depicts — plus the
+// per-group speedup-model parameters the theorems assign.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void emit_row(util::Table& t, const std::string& kind_label,
+              const graph::AdversaryInstance& inst) {
+  t.new_row()
+      .cell(kind_label)
+      .cell(inst.P)
+      .cell(inst.X)
+      .cell(inst.Y)
+      .cell(inst.graph.num_tasks())
+      .cell(static_cast<long>(inst.graph.num_edges()))
+      .cell(graph::longest_hop_count(inst.graph));
+}
+
+void print_structures() {
+  util::Table t({"model", "P", "X (B/layer)", "Y (layers)", "tasks",
+                 "edges", "longest path D"});
+  const double mu_c = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const double mu_a = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const double mu_g = analysis::optimal_mu(model::ModelKind::kGeneral);
+  const double mu_r = analysis::optimal_mu(model::ModelKind::kRoofline);
+  for (const int P : {64, 256}) emit_row(t, "roofline (Thm 5)",
+                                         graph::roofline_adversary(P, mu_r));
+  for (const int P : {64, 256})
+    emit_row(t, "communication (Thm 6)",
+             graph::communication_adversary(P, mu_c));
+  for (const int K : {8, 16})
+    emit_row(t, "amdahl (Thm 7)", graph::amdahl_adversary(K, mu_a));
+  for (const int K : {8, 16})
+    emit_row(t, "general (Thm 8)", graph::general_adversary(K, mu_g));
+  t.print(std::cout,
+          "Figure 1 — generic lower-bound graph ((X+1)Y + 1 tasks; "
+          "B-tasks precede each layer's A-task in reveal order)");
+  std::cout << '\n';
+
+  // Show the per-group models of one representative instance.
+  const auto inst = graph::communication_adversary(64, mu_c);
+  std::cout << "communication instance at P=64 (mu=" << inst.mu
+            << ", delta=" << inst.delta << "):\n"
+            << "  A tasks: " << inst.graph.model_of(inst.X).describe() << '\n'
+            << "  B tasks: " << inst.graph.model_of(0).describe() << '\n'
+            << "  C task : "
+            << inst.graph.model_of(inst.graph.num_tasks() - 1).describe()
+            << "\n\n";
+}
+
+void BM_BuildCommunicationInstance(benchmark::State& state) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::communication_adversary(P, mu));
+  }
+}
+BENCHMARK(BM_BuildCommunicationInstance)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildAmdahlInstance(benchmark::State& state) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const int K = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::amdahl_adversary(K, mu));
+  }
+}
+BENCHMARK(BM_BuildAmdahlInstance)->Arg(8)->Arg(24)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_fig1_adversary_graph: Figure 1 structures ===\n\n";
+  print_structures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

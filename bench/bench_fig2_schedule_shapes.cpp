@@ -1,0 +1,120 @@
+// Experiment E4 — Figure 2: the *shape* of the schedules on the generic
+// lower-bound graph.
+//
+// Figure 2(a): Algorithm 1 serializes every layer — the X B-tasks run
+// together (filling most of the machine), then the lone A-task runs on
+// ceil(mu P) processors while everything else idles. Figure 2(b): the
+// alternative (offline) schedule runs the A-chain first at full speed,
+// then executes all B tasks and C compactly.
+//
+// This bench simulates both and prints the quantities that make the
+// shapes visible: the alternating utilization levels of the online
+// schedule, its T1/T2/T3 interval decomposition, and the makespans.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/intervals.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/sim/gantt.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void print_shape(const std::string& label,
+                 const graph::AdversaryInstance& inst) {
+  const core::LpaAllocator alloc(inst.mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  const auto profile = result.trace.utilization_profile();
+
+  // The online schedule alternates between exactly two utilization
+  // levels: X*p_B (B-phase) and p_A (A-phase), plus the final C phase.
+  const int b_level = inst.X * inst.expected_alloc_b;
+  const int a_level = inst.expected_alloc_a;
+  int b_phases = 0;
+  int a_phases = 0;
+  int other = 0;
+  for (const auto& iv : profile) {
+    if (iv.procs_in_use == b_level)
+      ++b_phases;
+    else if (iv.procs_in_use == a_level)
+      ++a_phases;
+    else
+      ++other;
+  }
+
+  const auto breakdown = core::classify_intervals(result.trace, inst.P,
+                                                  inst.mu);
+  util::Table t({"quantity", "value"});
+  t.new_row().cell("platform P").cell(inst.P);
+  t.new_row().cell("layers Y").cell(inst.Y);
+  t.new_row().cell("B-phase utilization (X*p_B)").cell(b_level);
+  t.new_row().cell("A-phase utilization (p_A)").cell(a_level);
+  t.new_row().cell("B-phase intervals").cell(b_phases);
+  t.new_row().cell("A-phase intervals").cell(a_phases);
+  t.new_row().cell("other intervals (C phase)").cell(other);
+  t.new_row().cell("T1 (low load)").cell(breakdown.t1, 4);
+  t.new_row().cell("T2 (mid load)").cell(breakdown.t2, 4);
+  t.new_row().cell("T3 (high load)").cell(breakdown.t3, 4);
+  t.new_row().cell("online makespan T").cell(result.makespan, 4);
+  t.new_row().cell("alternative schedule T_alt").cell(inst.t_opt_upper, 4);
+  t.new_row().cell("ratio T / T_alt").cell(
+      result.makespan / inst.t_opt_upper, 4);
+  t.print(std::cout, label);
+  std::cout << '\n';
+}
+
+void print_small_gantt() {
+  // A directly visible Figure 2(a): tiny communication instance whose
+  // Gantt chart shows the B-block / lone-A alternation per layer.
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const auto inst = graph::communication_adversary(12, mu);
+  const core::LpaAllocator alloc(inst.mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  std::cout << "Figure 2(a) rendered (communication instance, P=12, first "
+               "layers):\n"
+            << sim::render_gantt(result.trace, inst.graph, inst.P, 100)
+            << '\n';
+}
+
+void BM_OnlineScheduleOnAdversary(benchmark::State& state) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const auto inst =
+      graph::amdahl_adversary(static_cast<int>(state.range(0)), mu);
+  const core::LpaAllocator alloc(mu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::schedule_online(inst.graph, inst.P, alloc));
+  }
+}
+BENCHMARK(BM_OnlineScheduleOnAdversary)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_fig2_schedule_shapes: Figure 2 ===\n\n";
+  const double mu_c = analysis::optimal_mu(model::ModelKind::kCommunication);
+  print_shape(
+      "Figure 2(a) shape — communication instance, P=64 (each of the Y "
+      "layers contributes one B-phase and one A-phase interval)",
+      graph::communication_adversary(64, mu_c));
+  const double mu_a = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  print_shape("Figure 2(a) shape — Amdahl instance, K=12 (P=144)",
+              graph::amdahl_adversary(12, mu_a));
+  print_small_gantt();
+  std::cout
+      << "Figure 2(b) is the alternative schedule whose makespan T_alt is\n"
+         "printed above: A-chain at full machine speed, then B tasks and C\n"
+         "packed in parallel. The T/T_alt gap is the lower-bound ratio.\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

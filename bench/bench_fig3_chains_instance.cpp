@@ -1,0 +1,74 @@
+// Experiment E5 — Figure 3: the Section 5 linear-chains instance.
+//
+// Prints the group structure (2^{K-i} chains of length i), platform
+// size P = K * 2^{K-1} and task totals for ell = 1, 2, 3 — Figure 3 is
+// the ell = 2 row — and verifies the offline schedule that finishes at
+// time 1 (Figure 4a).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/graph/chains.hpp"
+#include "moldsched/sched/chain_scheduler.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void print_structures() {
+  util::Table t({"ell", "K=2^ell", "chains (2^K - 1)", "tasks", "P",
+                 "groups (len:count)", "offline makespan"});
+  for (const int ell : {1, 2, 3}) {
+    const int K = 1 << ell;
+    const auto inst = graph::make_chains_instance(K);
+    std::ostringstream groups;
+    for (int i = 1; i <= K; ++i) {
+      if (i > 1) groups << ' ';
+      groups << i << ':'
+             << inst.chains_per_group[static_cast<std::size_t>(i - 1)];
+    }
+    t.new_row()
+        .cell(ell)
+        .cell(K)
+        .cell(static_cast<long long>(inst.num_chains))
+        .cell(static_cast<long long>(inst.total_tasks))
+        .cell(static_cast<long long>(inst.P))
+        .cell(groups.str())
+        .cell(sched::verify_offline_chain_schedule(inst), 3);
+  }
+  t.print(std::cout,
+          "Figure 3 — chains instance (the paper draws ell = 2: 15 chains, "
+          "26 tasks, P = 32)");
+  std::cout << '\n';
+
+  // Materialize the Figure 3 graph and confirm its headline numbers.
+  const auto inst = graph::make_chains_instance(4);
+  const auto g = graph::chains_graph(inst);
+  std::cout << "materialized ell=2 graph: " << g.num_tasks() << " tasks, "
+            << g.num_edges() << " edges, D = " << graph::longest_hop_count(g)
+            << ", task model " << g.model_of(0).describe() << "\n\n";
+}
+
+void BM_BuildChainsGraph(benchmark::State& state) {
+  const auto inst =
+      graph::make_chains_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::chains_graph(inst));
+  }
+  state.counters["tasks"] = static_cast<double>(inst.total_tasks);
+}
+BENCHMARK(BM_BuildChainsGraph)->Arg(4)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_fig3_chains_instance: Figure 3 ===\n\n";
+  print_structures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A1 — sensitivity to the algorithm parameter mu.
+//
+// The analysis picks a model-specific mu* minimizing the worst-case
+// ratio. This ablation sweeps mu and reports (a) the theoretical bound
+// curve of Theorems 1-4 and (b) the measured mean/max ratio on random
+// DAGs, showing how the practical optimum relates to the worst-case one.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void sweep_model(model::ModelKind kind, int P) {
+  util::Table t({"mu", "theoretical bound", "measured mean T/LB",
+                 "measured max T/LB"});
+  for (const double mu :
+       {0.10, 0.15, 0.20, 0.211, 0.25, 0.271, 0.30, 0.324, 0.35, 0.382}) {
+    if (mu > analysis::kMuMax + 1e-9) continue;
+    const double bound = analysis::upper_ratio(kind, mu);
+    const core::LpaAllocator alloc(mu);
+
+    util::Rng rng(17);
+    const auto cases = analysis::random_graph_catalog(kind, P, rng);
+    double sum = 0.0;
+    double worst = 0.0;
+    for (const auto& gc : cases) {
+      const auto result = core::schedule_online(gc.graph, P, *&alloc);
+      const double ratio =
+          result.makespan /
+          analysis::optimal_makespan_lower_bound(gc.graph, P);
+      sum += ratio;
+      worst = std::max(worst, ratio);
+    }
+    t.new_row()
+        .cell(mu, 3)
+        .cell(std::isinf(bound) ? std::nan("") : bound, 3)
+        .cell(sum / static_cast<double>(cases.size()), 3)
+        .cell(worst, 3);
+  }
+  t.print(std::cout, "mu sweep, model = " + model::to_string(kind) +
+                         ", P = " + std::to_string(P) +
+                         " (mu* = " +
+                         util::format_double(analysis::optimal_mu(kind), 3) +
+                         "; 'n/a' bound = mu infeasible in the analysis)");
+  std::cout << '\n';
+}
+
+void BM_AllocatorDecideSweep(benchmark::State& state) {
+  const core::LpaAllocator alloc(0.25);
+  const model::AmdahlModel m(500.0, 25.0);
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.decide(m, P));
+  }
+}
+BENCHMARK(BM_AllocatorDecideSweep)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_mu_sensitivity: ablation of the mu parameter ===\n\n";
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    sweep_model(kind, 32);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

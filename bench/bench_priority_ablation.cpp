@@ -1,0 +1,85 @@
+// Ablation A2 — waiting-queue priority rules.
+//
+// Algorithm 1 inserts available tasks "without any priority
+// considerations" (FIFO) but the paper remarks that priority rules may
+// help in practice. This ablation runs the same LPA allocation under
+// the different queue policies and reports the measured ratios.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void run_ablation(model::ModelKind kind, int P) {
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator alloc(mu);
+
+  util::Table t({"queue policy", "mean T/LB", "p95 T/LB", "max T/LB"});
+  for (const auto policy :
+       {core::QueuePolicy::kFifo, core::QueuePolicy::kLifo,
+        core::QueuePolicy::kLargestWorkFirst,
+        core::QueuePolicy::kLongestMinTimeFirst,
+        core::QueuePolicy::kSmallestAllocFirst}) {
+    util::Rng rng(29);
+    std::vector<double> ratios;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const auto& gc : analysis::random_graph_catalog(kind, P, rng)) {
+        const auto result = core::schedule_online(gc.graph, P, alloc, policy);
+        ratios.push_back(result.makespan /
+                         analysis::optimal_makespan_lower_bound(gc.graph, P));
+      }
+    }
+    const auto s = util::summarize(ratios);
+    t.new_row()
+        .cell(core::to_string(policy))
+        .cell(s.mean, 3)
+        .cell(s.p95, 3)
+        .cell(s.max, 3);
+  }
+  t.print(std::cout, "queue-policy ablation, model = " +
+                         model::to_string(kind) + ", P = " +
+                         std::to_string(P) + " (same LPA allocation)");
+  std::cout << '\n';
+}
+
+void BM_PolicyOverhead(benchmark::State& state) {
+  const auto policy = static_cast<core::QueuePolicy>(state.range(0));
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const core::LpaAllocator alloc(mu);
+  util::Rng rng(3);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto g = graph::layered_random(
+      20, 4, 12, 0.3, rng, graph::sampling_provider(sampler, rng, 32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_online(g, 32, alloc, policy));
+  }
+}
+BENCHMARK(BM_PolicyOverhead)
+    ->Arg(static_cast<int>(core::QueuePolicy::kFifo))
+    ->Arg(static_cast<int>(core::QueuePolicy::kLargestWorkFirst))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_priority_ablation: queue policies ===\n\n";
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl,
+        model::ModelKind::kGeneral}) {
+    run_ablation(kind, 32);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

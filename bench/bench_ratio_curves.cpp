@@ -1,0 +1,71 @@
+// Supplement to Table 1 — the full ratio-versus-mu curves the paper
+// minimizes "numerically for mu in (0, (3-sqrt(5))/2]" in Theorems 2-4.
+// Prints a downsampled view and writes the dense curves to
+// results/ratio_curves.csv for plotting.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "moldsched/analysis/curves.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void print_curves() {
+  util::Table t({"mu", "roofline", "comm upper", "comm lower",
+                 "amdahl upper", "amdahl lower", "general upper",
+                 "general lower"});
+  const auto roof = analysis::ratio_curve(model::ModelKind::kRoofline, 16);
+  const auto comm =
+      analysis::ratio_curve(model::ModelKind::kCommunication, 16);
+  const auto amd = analysis::ratio_curve(model::ModelKind::kAmdahl, 16);
+  const auto gen = analysis::ratio_curve(model::ModelKind::kGeneral, 16);
+  auto cell_or_na = [](util::Table& table, double v) {
+    if (std::isfinite(v))
+      table.cell(v, 3);
+    else
+      table.cell("inf");
+  };
+  for (std::size_t i = 0; i < roof.size(); ++i) {
+    t.new_row().cell(roof[i].mu, 4);
+    cell_or_na(t, roof[i].upper_bound);
+    cell_or_na(t, comm[i].upper_bound);
+    cell_or_na(t, comm[i].lower_bound_limit);
+    cell_or_na(t, amd[i].upper_bound);
+    cell_or_na(t, amd[i].lower_bound_limit);
+    cell_or_na(t, gen[i].upper_bound);
+    cell_or_na(t, gen[i].lower_bound_limit);
+  }
+  t.print(std::cout,
+          "ratio vs mu (16 samples; 'inf' marks mu values where the "
+          "model's construction is infeasible)");
+
+  const auto csv = analysis::ratio_curves_csv(400);
+  analysis::write_file("results/ratio_curves.csv", csv);
+  std::cout << "\ndense curves (400 samples) written to "
+               "results/ratio_curves.csv\n\n";
+}
+
+void BM_CurveGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::ratio_curves_csv(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_CurveGeneration)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_ratio_curves: Theorems 1-4 ratio functions ===\n\n";
+  print_curves();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Extension X2 — independent moldable tasks released over time (the
+// other online setting of Section 2; Ye et al. [23] prove a
+// 16.74-competitive algorithm for it, and the paper's conclusion names
+// it as future work for this framework).
+//
+// Measures the LPA-based list scheduler's makespan against the
+// release-aware lower bound across arrival intensities and allocator
+// choices; empirical ratios sit far below Ye et al.'s worst-case 16.74.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sched/baselines.hpp"
+#include "moldsched/sched/release_scheduler.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+std::vector<sched::ReleasedTask> make_arrivals(model::ModelKind kind, int n,
+                                               int P, double rate,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  const model::ModelSampler sampler(kind);
+  std::vector<sched::ReleasedTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (rate > 0.0) t += rng.exponential(rate);
+    tasks.push_back({sampler.sample(rng, P), t, "t" + std::to_string(i)});
+  }
+  return tasks;
+}
+
+void sweep(model::ModelKind kind) {
+  const int P = 32;
+  const int n = 150;
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator lpa(mu);
+  const sched::MinTimeAllocator greedy;
+  const sched::SequentialAllocator sequential;
+
+  util::Table t({"arrival rate", "LB", "lpa T/LB", "min-time T/LB",
+                 "sequential T/LB"});
+  for (const double rate : {0.0, 0.05, 0.2, 1.0}) {
+    util::Accumulator lb_acc;
+    util::Accumulator r_lpa;
+    util::Accumulator r_greedy;
+    util::Accumulator r_seq;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto tasks = make_arrivals(kind, n, P, rate, seed);
+      const double lb = sched::release_makespan_lower_bound(tasks, P);
+      lb_acc.add(lb);
+      r_lpa.add(sched::OnlineReleaseScheduler(tasks, P, lpa).run().makespan /
+                lb);
+      r_greedy.add(
+          sched::OnlineReleaseScheduler(tasks, P, greedy).run().makespan / lb);
+      r_seq.add(
+          sched::OnlineReleaseScheduler(tasks, P, sequential).run().makespan /
+          lb);
+    }
+    t.new_row()
+        .cell(rate, 2)
+        .cell(lb_acc.mean(), 1)
+        .cell(r_lpa.mean(), 3)
+        .cell(r_greedy.mean(), 3)
+        .cell(r_seq.mean(), 3);
+  }
+  t.print(std::cout,
+          "model = " + model::to_string(kind) + ", n = " +
+              std::to_string(n) + ", P = " + std::to_string(P) +
+              " (rate 0 = all released at t=0; Ye et al. worst case 16.74)");
+  std::cout << '\n';
+}
+
+void BM_ReleaseSchedule(benchmark::State& state) {
+  const int P = 32;
+  const auto tasks = make_arrivals(model::ModelKind::kAmdahl,
+                                   static_cast<int>(state.range(0)), P, 0.2,
+                                   5);
+  const core::LpaAllocator alloc(
+      analysis::optimal_mu(model::ModelKind::kAmdahl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::OnlineReleaseScheduler(tasks, P, alloc).run());
+  }
+}
+BENCHMARK(BM_ReleaseSchedule)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_release: tasks released over time ===\n\n";
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    sweep(kind);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

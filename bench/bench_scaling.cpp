@@ -1,0 +1,84 @@
+// Experiment E9 — constant competitiveness in P.
+//
+// The whole point of Theorems 1-4 is that the ratio bound does not
+// depend on the platform size. This bench fixes a workload family and
+// sweeps P across two orders of magnitude, reporting the measured
+// T / LB per model: the ratios stay flat (and far below the bounds)
+// while baselines may drift.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+double mean_ratio(model::ModelKind kind, int P, std::uint64_t seed) {
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator alloc(mu);
+  const model::ModelSampler sampler(kind);
+  util::Rng rng(seed);
+  util::Accumulator acc;
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto provider = graph::sampling_provider(sampler, rng, P);
+    const auto g = graph::layered_random(8, 3, 12, 0.3, rng, provider);
+    const auto result = core::schedule_online(g, P, alloc);
+    acc.add(result.makespan /
+            analysis::optimal_makespan_lower_bound(g, P));
+  }
+  return acc.mean();
+}
+
+void print_scaling() {
+  util::Table t({"P", "roofline T/LB", "comm T/LB", "amdahl T/LB",
+                 "general T/LB"});
+  for (const int P : {8, 16, 32, 64, 128, 256, 512}) {
+    t.new_row()
+        .cell(P)
+        .cell(mean_ratio(model::ModelKind::kRoofline, P, 3), 3)
+        .cell(mean_ratio(model::ModelKind::kCommunication, P, 3), 3)
+        .cell(mean_ratio(model::ModelKind::kAmdahl, P, 3), 3)
+        .cell(mean_ratio(model::ModelKind::kGeneral, P, 3), 3);
+  }
+  t.print(std::cout,
+          "measured mean T/LB vs platform size (bounds: 2.62 / 3.60 / "
+          "4.73 / 5.71, independent of P)");
+  analysis::write_file("results/scaling.csv", t.to_csv());
+  std::cout << '\n';
+}
+
+void BM_ScheduleAtScale(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const auto kind = model::ModelKind::kGeneral;
+  util::Rng rng(5);
+  const model::ModelSampler sampler(kind);
+  const auto g = graph::layered_random(
+      12, 4, 16, 0.3, rng, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(analysis::optimal_mu(kind));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_online(g, P, alloc));
+  }
+}
+BENCHMARK(BM_ScheduleAtScale)->Arg(32)->Arg(256)->Arg(2048)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_scaling: ratio stability across platform sizes "
+               "===\n\n";
+  print_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment P1 — performance of the simulation substrate itself:
+// event-queue throughput, allocator decision latency, end-to-end
+// scheduler throughput and trace post-processing. These are the numbers
+// that justify "laptop-scale pure discrete-event simulation".
+#include <benchmark/benchmark.h>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/intervals.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = state.range(0);
+  util::Rng rng(1);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    times.push_back(rng.uniform(0.0, 1e6));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::int64_t i = 0; i < n; ++i)
+      q.schedule(times[static_cast<std::size_t>(i)], i);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_LpaDecide(benchmark::State& state) {
+  const core::LpaAllocator alloc(0.271);
+  const model::AmdahlModel m(1000.0, 30.0);
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.decide(m, P));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpaDecide)->Arg(64)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  util::Rng rng(7);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const int P = 128;
+  const auto g = graph::layered_random(
+      static_cast<int>(state.range(0)), 8, 24, 0.25, rng,
+      graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(
+      analysis::optimal_mu(model::ModelKind::kGeneral));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_online(g, P, alloc));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+}
+BENCHMARK(BM_SchedulerThroughput)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IntervalClassification(benchmark::State& state) {
+  util::Rng rng(9);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 64;
+  const auto g = graph::layered_random(
+      64, 8, 16, 0.3, rng, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.271);
+  const auto result = core::schedule_online(g, P, alloc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::classify_intervals(result.trace, P, 0.271));
+  }
+}
+BENCHMARK(BM_IntervalClassification)->Unit(benchmark::kMillisecond);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  util::Rng rng(11);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const auto provider = graph::sampling_provider(sampler, rng, 64);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::erdos_renyi_dag(n, 0.05, rng, provider));
+  }
+}
+BENCHMARK(BM_GraphGeneration)->Arg(100)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

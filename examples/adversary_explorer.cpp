@@ -1,0 +1,83 @@
+// Explore the Section 4.4 adversarial instances: build one, run the
+// paper's algorithm on it, and watch the competitive ratio approach the
+// theorem's lower-bound limit as the instance grows.
+//
+//   ./adversary_explorer [--model=roofline|communication|amdahl|general]
+//                        [--sizes=small|large]
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/table.hpp"
+
+using namespace moldsched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto model_name = flags.get_string("model", "communication");
+  const bool large = flags.get_string("sizes", "small") == "large";
+
+  model::ModelKind kind;
+  if (model_name == "roofline")
+    kind = model::ModelKind::kRoofline;
+  else if (model_name == "communication")
+    kind = model::ModelKind::kCommunication;
+  else if (model_name == "amdahl")
+    kind = model::ModelKind::kAmdahl;
+  else if (model_name == "general")
+    kind = model::ModelKind::kGeneral;
+  else
+    throw std::invalid_argument("unknown model: " + model_name);
+
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator alloc(mu);
+
+  std::vector<graph::AdversaryInstance> instances;
+  if (kind == model::ModelKind::kRoofline) {
+    for (const int P : large ? std::vector<int>{256, 2048, 16384}
+                             : std::vector<int>{16, 64, 256})
+      instances.push_back(graph::roofline_adversary(P, mu));
+  } else if (kind == model::ModelKind::kCommunication) {
+    for (const int P : large ? std::vector<int>{128, 384, 768}
+                             : std::vector<int>{16, 48, 128})
+      instances.push_back(graph::communication_adversary(P, mu));
+  } else if (kind == model::ModelKind::kAmdahl) {
+    for (const int K : large ? std::vector<int>{16, 32, 48}
+                             : std::vector<int>{6, 10, 16})
+      instances.push_back(graph::amdahl_adversary(K, mu));
+  } else {
+    for (const int K : large ? std::vector<int>{16, 32, 48}
+                             : std::vector<int>{6, 10, 16})
+      instances.push_back(graph::general_adversary(K, mu));
+  }
+
+  std::cout << instances.front().description << "\nmu = " << mu
+            << ", delta = " << instances.front().delta << "\n\n";
+
+  util::Table t({"P", "tasks", "alloc A/B/C", "T (online)", "T_alt",
+                 "ratio", "limit", "Thm bound"});
+  for (const auto& inst : instances) {
+    const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+    sim::expect_valid_schedule(inst.graph, result.trace, inst.P);
+    t.new_row()
+        .cell(inst.P)
+        .cell(inst.graph.num_tasks())
+        .cell(std::to_string(inst.expected_alloc_a) + "/" +
+              std::to_string(inst.expected_alloc_b) + "/" +
+              std::to_string(inst.expected_alloc_c))
+        .cell(result.makespan, 3)
+        .cell(inst.t_opt_upper, 3)
+        .cell(result.makespan / inst.t_opt_upper, 3)
+        .cell(inst.ratio_limit, 3)
+        .cell(analysis::optimal_ratio(kind).upper_bound, 3);
+  }
+  t.print(std::cout, "ratio climbs toward the theorem's limit:");
+  return 0;
+}

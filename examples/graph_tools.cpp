@@ -1,0 +1,182 @@
+// Swiss-army CLI for moldsched graph files: generate instances, inspect
+// statistics, schedule them and export DOT/JSON/CSV artifacts.
+//
+//   # generate an instance file
+//   ./graph_tools generate --shape=cholesky --size=6 --out=/tmp/chol.msg
+//   # inspect it
+//   ./graph_tools stats /tmp/chol.msg
+//   # schedule it and export everything
+//   ./graph_tools schedule /tmp/chol.msg --P=16 --dot=/tmp/chol.dot
+//                 [--json=/tmp/chol.json] [--csv=/tmp/trace.csv]
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/stats.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/io/dot.hpp"
+#include "moldsched/io/json.hpp"
+#include "moldsched/io/svg.hpp"
+#include "moldsched/io/text_format.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/flags.hpp"
+
+using namespace moldsched;
+
+namespace {
+
+model::ModelKind parse_kind(const std::string& name) {
+  if (name == "roofline") return model::ModelKind::kRoofline;
+  if (name == "communication") return model::ModelKind::kCommunication;
+  if (name == "amdahl") return model::ModelKind::kAmdahl;
+  if (name == "general") return model::ModelKind::kGeneral;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+graph::TaskGraph load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return io::read_graph_text(ss.str());
+}
+
+int cmd_generate(const util::Flags& flags) {
+  const auto shape = flags.get_string("shape", "cholesky");
+  const int size = static_cast<int>(flags.get_int("size", 6));
+  const auto kind = parse_kind(flags.get_string("model", "amdahl"));
+  const auto out = flags.get_string("out", "");
+  if (out.empty()) throw std::invalid_argument("generate needs --out=<path>");
+
+  graph::TaskGraph g;
+  if (shape == "cholesky" || shape == "lu" || shape == "fft" ||
+      shape == "montage" || shape == "wavefront") {
+    graph::WorkflowModelConfig cfg;
+    cfg.kind = kind;
+    if (shape == "cholesky") g = graph::cholesky(size, cfg);
+    if (shape == "lu") g = graph::lu(size, cfg);
+    if (shape == "fft") g = graph::fft(std::max(1, size / 2), cfg);
+    if (shape == "montage") g = graph::montage(4 * size, cfg);
+    if (shape == "wavefront") g = graph::wavefront(size, size, cfg);
+  } else {
+    util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+    const int P = static_cast<int>(flags.get_int("P", 32));
+    const model::ModelSampler sampler(kind);
+    const auto provider = graph::sampling_provider(sampler, rng, P);
+    if (shape == "layered")
+      g = graph::layered_random(size, 2, 2 * size, 0.3, rng, provider);
+    else if (shape == "erdos")
+      g = graph::erdos_renyi_dag(10 * size, 0.05, rng, provider);
+    else if (shape == "forkjoin")
+      g = graph::fork_join(size, 2 * size, provider);
+    else
+      throw std::invalid_argument("unknown shape: " + shape);
+  }
+
+  analysis::write_file(out, io::write_graph_text(g));
+  std::cout << "wrote " << g.num_tasks() << " tasks to " << out << '\n';
+  return 0;
+}
+
+int cmd_stats(const util::Flags& flags) {
+  if (flags.positional().size() < 2)
+    throw std::invalid_argument("stats needs a graph file argument");
+  const auto g = load(flags.positional()[1]);
+  std::cout << graph::to_string(graph::compute_stats(g)) << '\n';
+  for (const int P : {8, 32, 128}) {
+    const auto b = analysis::lower_bounds(g, P);
+    std::cout << "  P=" << P << ": A_min/P=" << b.min_total_area / P
+              << ", C_min=" << b.min_critical_path
+              << ", LB=" << b.lower_bound << '\n';
+  }
+  return 0;
+}
+
+int cmd_schedule(const util::Flags& flags) {
+  if (flags.positional().size() < 2)
+    throw std::invalid_argument("schedule needs a graph file argument");
+  const auto g = load(flags.positional()[1]);
+  const int P = static_cast<int>(flags.get_int("P", 32));
+  const double mu = flags.get_double(
+      "mu", analysis::optimal_mu(model::ModelKind::kGeneral));
+
+  const core::LpaAllocator alloc(mu);
+  const auto result = core::schedule_online(g, P, alloc);
+  sim::expect_valid_schedule(g, result.trace, P);
+  const double lb = analysis::optimal_makespan_lower_bound(g, P);
+  std::cout << "makespan " << result.makespan << " on P=" << P
+            << " (T/LB = " << result.makespan / lb << ")\n";
+
+  const auto dot = flags.get_string("dot", "");
+  if (!dot.empty()) {
+    analysis::write_file(dot, io::to_dot_with_schedule(g, result.trace));
+    std::cout << "wrote DOT to " << dot << '\n';
+  }
+  const auto json = flags.get_string("json", "");
+  if (!json.empty()) {
+    analysis::write_file(json, io::trace_to_json(result.trace));
+    std::cout << "wrote JSON to " << json << '\n';
+  }
+  const auto csv = flags.get_string("csv", "");
+  if (!csv.empty()) {
+    analysis::write_file(csv, io::trace_to_csv(g, result.trace));
+    std::cout << "wrote CSV to " << csv << '\n';
+  }
+  const auto svg = flags.get_string("svg", "");
+  if (!svg.empty()) {
+    analysis::write_file(svg, io::render_gantt_svg(result.trace, g, P));
+    std::cout << "wrote SVG Gantt to " << svg << '\n';
+  }
+  return 0;
+}
+
+int cmd_verify(const util::Flags& flags) {
+  if (flags.positional().size() < 3)
+    throw std::invalid_argument(
+        "verify needs a graph file and a trace CSV file");
+  const auto g = load(flags.positional()[1]);
+  std::ifstream in(flags.positional()[2]);
+  if (!in) throw std::runtime_error("cannot open " + flags.positional()[2]);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto trace = io::read_trace_csv(ss.str());
+  const int P = static_cast<int>(flags.get_int("P", 32));
+  const auto report = sim::validate_schedule(g, trace, P);
+  std::cout << report.to_string() << '\n';
+  if (report.ok()) {
+    const double lb = analysis::optimal_makespan_lower_bound(g, P);
+    std::cout << "makespan " << trace.makespan() << ", T/LB "
+              << trace.makespan() / lb << '\n';
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.positional().empty()) {
+      std::cerr << "usage: graph_tools <generate|stats|schedule> ...\n";
+      return 2;
+    }
+    const auto& cmd = flags.positional().front();
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "schedule") return cmd_schedule(flags);
+    if (cmd == "verify") return cmd_verify(flags);
+    std::cerr << "unknown command: " << cmd << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,27 @@
+// Regenerate the paper-shaped experiment report as a single Markdown
+// document.
+//
+//   ./make_report [--out=results/report.md] [--P=32] [--seed=1234]
+//                 [--skip-adversaries]
+#include <iostream>
+
+#include "moldsched/analysis/markdown_report.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/util/flags.hpp"
+
+using namespace moldsched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  analysis::ReportConfig config;
+  config.P = static_cast<int>(flags.get_int("P", 32));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+  config.include_adversaries = !flags.get_bool("skip-adversaries", false);
+
+  const auto report = analysis::generate_markdown_report(config);
+  const auto out = flags.get_string("out", "results/report.md");
+  analysis::write_file(out, report);
+  std::cout << "wrote experiment report (" << report.size() << " bytes) to "
+            << out << '\n';
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Online scheduling of independent moldable tasks released over time:
+// generate (or load) an arrival stream, schedule it with the paper's
+// allocator, and compare against baselines and the release-aware lower
+// bound.
+//
+//   ./release_arrivals [--n=100] [--P=32] [--rate=0.2]
+//                      [--model=amdahl] [--seed=1]
+//                      [--save=/tmp/arrivals.mst] [--load=/tmp/arrivals.mst]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/io/text_format.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sched/baselines.hpp"
+#include "moldsched/sched/release_scheduler.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+using namespace moldsched;
+
+namespace {
+
+model::ModelKind parse_kind(const std::string& name) {
+  if (name == "roofline") return model::ModelKind::kRoofline;
+  if (name == "communication") return model::ModelKind::kCommunication;
+  if (name == "amdahl") return model::ModelKind::kAmdahl;
+  if (name == "general") return model::ModelKind::kGeneral;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int P = static_cast<int>(flags.get_int("P", 32));
+
+  std::vector<sched::ReleasedTask> tasks;
+  const auto load_path = flags.get_string("load", "");
+  if (!load_path.empty()) {
+    std::ifstream in(load_path);
+    if (!in) throw std::runtime_error("cannot open " + load_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    tasks = io::read_released_tasks_text(ss.str());
+    std::cout << "loaded " << tasks.size() << " tasks from " << load_path
+              << "\n\n";
+  } else {
+    const int n = static_cast<int>(flags.get_int("n", 100));
+    const double rate = flags.get_double("rate", 0.2);
+    const auto kind = parse_kind(flags.get_string("model", "amdahl"));
+    util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+    const model::ModelSampler sampler(kind);
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (rate > 0.0) t += rng.exponential(rate);
+      tasks.push_back(
+          {sampler.sample(rng, P), t, "task" + std::to_string(i)});
+    }
+    std::cout << "generated " << n << " " << model::to_string(kind)
+              << " tasks, Poisson arrivals at rate " << rate << "\n\n";
+  }
+
+  const auto save_path = flags.get_string("save", "");
+  if (!save_path.empty()) {
+    analysis::write_file(save_path, io::write_released_tasks_text(tasks));
+    std::cout << "saved the arrival stream to " << save_path << "\n\n";
+  }
+
+  const double lb = sched::release_makespan_lower_bound(tasks, P);
+  const double mu = flags.get_double(
+      "mu", analysis::optimal_mu(model::ModelKind::kGeneral));
+
+  util::Table t({"scheduler", "makespan", "T/LB", "mean wait", "max wait"});
+  auto report = [&](const std::string& name, const core::Allocator& alloc) {
+    const auto result = sched::OnlineReleaseScheduler(tasks, P, alloc).run();
+    util::Accumulator wait;
+    for (const double w : result.wait_time) wait.add(w);
+    t.new_row()
+        .cell(name)
+        .cell(result.makespan, 2)
+        .cell(result.makespan / lb, 3)
+        .cell(wait.mean(), 2)
+        .cell(wait.max(), 2);
+  };
+  const core::LpaAllocator lpa(mu);
+  const sched::MinTimeAllocator greedy;
+  const sched::SequentialAllocator seq;
+  const sched::SqrtAllocator sqrtp;
+  report("lpa(mu=" + util::format_double(mu, 3) + ")", lpa);
+  report("min-time", greedy);
+  report("sequential", seq);
+  report("sqrt-p", sqrtp);
+
+  t.print(std::cout, "P = " + std::to_string(P) +
+                         ", release-aware LB = " + util::format_double(lb, 2));
+  return 0;
+}

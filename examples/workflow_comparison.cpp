@@ -1,0 +1,76 @@
+// Compare the paper's online algorithm against the baseline suite and
+// the offline tradeoff scheduler on a realistic workflow.
+//
+//   ./workflow_comparison [--workflow=cholesky|lu|fft|montage|wavefront]
+//                         [--model=roofline|communication|amdahl|general]
+//                         [--P=32] [--size=8]
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/util/flags.hpp"
+
+using namespace moldsched;
+
+namespace {
+
+model::ModelKind parse_kind(const std::string& name) {
+  if (name == "roofline") return model::ModelKind::kRoofline;
+  if (name == "communication") return model::ModelKind::kCommunication;
+  if (name == "amdahl") return model::ModelKind::kAmdahl;
+  if (name == "general") return model::ModelKind::kGeneral;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+graph::TaskGraph build_workflow(const std::string& name, int size,
+                                const graph::WorkflowModelConfig& cfg) {
+  if (name == "cholesky") return graph::cholesky(size, cfg);
+  if (name == "lu") return graph::lu(size, cfg);
+  if (name == "fft") return graph::fft(std::max(1, size / 2), cfg);
+  if (name == "montage") return graph::montage(4 * size, cfg);
+  if (name == "wavefront") return graph::wavefront(size, size, cfg);
+  throw std::invalid_argument("unknown workflow: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto workflow = flags.get_string("workflow", "cholesky");
+  const auto kind = parse_kind(flags.get_string("model", "amdahl"));
+  const int P = static_cast<int>(flags.get_int("P", 32));
+  const int size = static_cast<int>(flags.get_int("size", 8));
+
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = kind;
+  const auto g = build_workflow(workflow, size, cfg);
+
+  std::cout << "workflow '" << workflow << "' (" << g.num_tasks()
+            << " tasks, " << g.num_edges() << " edges), model "
+            << model::to_string(kind) << ", P = " << P << "\n\n";
+
+  const double mu = analysis::optimal_mu(kind);
+  std::vector<analysis::GraphCase> cases;
+  cases.push_back({workflow, g});
+
+  const auto rows = analysis::compare_suite(cases, P, sched::standard_suite(mu));
+  analysis::suite_table(rows).print(std::cout, "online schedulers");
+  std::cout << '\n';
+
+  const auto offline = sched::OfflineTradeoffScheduler(g, P).run();
+  const double lb = analysis::optimal_makespan_lower_bound(g, P);
+  std::cout << "offline tradeoff scheduler: makespan = " << offline.makespan
+            << " (T/LB = " << offline.makespan / lb << ")\n"
+            << "Lemma 2 lower bound       : " << lb << '\n'
+            << "Theorem bound for "
+            << model::to_string(kind) << " : "
+            << analysis::optimal_ratio(kind).upper_bound << '\n';
+  return 0;
+}

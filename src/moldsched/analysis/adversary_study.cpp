@@ -1,0 +1,78 @@
+#include "moldsched/analysis/adversary_study.hpp"
+
+#include <stdexcept>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+
+namespace moldsched::analysis {
+
+AdversaryMeasurement measure_adversary(model::ModelKind kind, int size,
+                                       double mu) {
+  if (mu <= 0.0) mu = optimal_mu(kind);
+
+  graph::AdversaryInstance inst;
+  switch (kind) {
+    case model::ModelKind::kRoofline:
+      inst = graph::roofline_adversary(size, mu);
+      break;
+    case model::ModelKind::kCommunication:
+      inst = graph::communication_adversary(size, mu);
+      break;
+    case model::ModelKind::kAmdahl:
+      inst = graph::amdahl_adversary(size, mu);
+      break;
+    case model::ModelKind::kGeneral:
+      inst = graph::general_adversary(size, mu);
+      break;
+    case model::ModelKind::kArbitrary:
+      throw std::invalid_argument(
+          "measure_adversary: the arbitrary model's lower bound is the "
+          "chains game (sched::EqualAllocationChainScheduler)");
+  }
+
+  const core::LpaAllocator alloc(inst.mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+
+  AdversaryMeasurement m;
+  m.kind = kind;
+  m.size = size;
+  m.P = inst.P;
+  m.num_tasks = inst.graph.num_tasks();
+  m.mu = inst.mu;
+  m.simulated_makespan = result.makespan;
+  m.t_opt_upper = inst.t_opt_upper;
+  m.ratio = result.makespan / inst.t_opt_upper;
+  m.ratio_limit = inst.ratio_limit;
+
+  m.allocations_match_proof = true;
+  for (graph::TaskId v = 0; v < inst.graph.num_tasks(); ++v) {
+    const char group = inst.graph.name(v).front();
+    const int expected = group == 'A'   ? inst.expected_alloc_a
+                         : group == 'B' ? inst.expected_alloc_b
+                                        : inst.expected_alloc_c;
+    if (result.allocation[static_cast<std::size_t>(v)] != expected) {
+      m.allocations_match_proof = false;
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<int> default_adversary_sizes(model::ModelKind kind) {
+  switch (kind) {
+    case model::ModelKind::kRoofline:
+      return {64, 1024, 8192};
+    case model::ModelKind::kCommunication:
+      return {64, 256, 512};
+    case model::ModelKind::kAmdahl:
+    case model::ModelKind::kGeneral:
+      return {12, 24, 48};
+    case model::ModelKind::kArbitrary:
+      break;
+  }
+  throw std::invalid_argument("default_adversary_sizes: arbitrary model");
+}
+
+}  // namespace moldsched::analysis

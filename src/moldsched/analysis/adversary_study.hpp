@@ -1,0 +1,39 @@
+// One-call measurement of the Section 4.4 lower-bound instances: build
+// the adversarial instance for a model at a given size, run Algorithm 1
+// on it (at the model's optimal mu unless overridden), and report the
+// simulated competitive ratio against the proof's alternative schedule.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::analysis {
+
+struct AdversaryMeasurement {
+  model::ModelKind kind = model::ModelKind::kRoofline;
+  int size = 0;          ///< P (roofline/communication) or K (Amdahl/general)
+  int P = 0;
+  int num_tasks = 0;
+  double mu = 0.0;
+  double simulated_makespan = 0.0;
+  double t_opt_upper = 0.0;
+  double ratio = 0.0;        ///< simulated_makespan / t_opt_upper
+  double ratio_limit = 0.0;  ///< the theorem's asymptotic limit
+  bool allocations_match_proof = false;
+};
+
+/// Builds and simulates the instance. `size` is P for roofline and
+/// communication (Theorems 5/6), K for Amdahl and general (Theorems 7/8).
+/// mu <= 0 selects the model's optimal mu. Throws for kArbitrary (use the
+/// chains machinery) or an out-of-range size.
+[[nodiscard]] AdversaryMeasurement measure_adversary(model::ModelKind kind,
+                                                     int size,
+                                                     double mu = -1.0);
+
+/// The size ladder the benches use for each model (ratios visibly climb
+/// along it while staying laptop-fast).
+[[nodiscard]] std::vector<int> default_adversary_sizes(model::ModelKind kind);
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,114 @@
+#include "moldsched/analysis/blame.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::analysis {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::string to_string(BlameReason reason) {
+  switch (reason) {
+    case BlameReason::kStartOfSchedule: return "start-of-schedule";
+    case BlameReason::kPrecedence: return "precedence";
+    case BlameReason::kResources: return "resources";
+  }
+  throw std::logic_error("to_string: unknown BlameReason");
+}
+
+std::vector<BlameLink> blame_chain(const graph::TaskGraph& g,
+                                   const core::ScheduleResult& run) {
+  const int n = g.num_tasks();
+  const auto& recs = run.trace.records();
+  if (static_cast<int>(recs.size()) != n)
+    throw std::invalid_argument(
+        "blame_chain: trace does not cover the whole graph");
+
+  std::vector<double> start(static_cast<std::size_t>(n));
+  std::vector<double> end(static_cast<std::size_t>(n));
+  for (const auto& r : recs) {
+    start[static_cast<std::size_t>(r.task)] = r.start;
+    end[static_cast<std::size_t>(r.task)] = r.end;
+  }
+
+  graph::TaskId cur = 0;
+  for (graph::TaskId v = 1; v < n; ++v)
+    if (end[static_cast<std::size_t>(v)] >
+        end[static_cast<std::size_t>(cur)])
+      cur = v;
+
+  std::vector<BlameLink> chain;
+  while (true) {
+    BlameLink link;
+    link.task = cur;
+    link.start = start[static_cast<std::size_t>(cur)];
+    link.end = end[static_cast<std::size_t>(cur)];
+
+    if (link.start <= kEps) {
+      link.reason = BlameReason::kStartOfSchedule;
+      chain.push_back(link);
+      break;
+    }
+
+    const double ready = run.ready_time[static_cast<std::size_t>(cur)];
+    if (std::abs(ready - link.start) <= kEps && g.in_degree(cur) > 0) {
+      // Precedence-bound: blame the predecessor that finished last.
+      graph::TaskId blamed = g.predecessors(cur).front();
+      for (const graph::TaskId u : g.predecessors(cur))
+        if (end[static_cast<std::size_t>(u)] >
+            end[static_cast<std::size_t>(blamed)])
+          blamed = u;
+      link.reason = BlameReason::kPrecedence;
+      link.blamed = blamed;
+      chain.push_back(link);
+      cur = blamed;
+      continue;
+    }
+
+    // Resource-bound: blame the completion at exactly this instant (the
+    // event that freed the processors); fall back to the latest earlier
+    // completion if tie matching fails numerically.
+    graph::TaskId blamed = -1;
+    for (graph::TaskId v = 0; v < n; ++v) {
+      if (v == cur) continue;
+      const double e = end[static_cast<std::size_t>(v)];
+      if (e <= link.start + kEps &&
+          (blamed < 0 || e > end[static_cast<std::size_t>(blamed)] + kEps))
+        blamed = v;
+    }
+    if (blamed < 0 ||
+        start[static_cast<std::size_t>(blamed)] >= link.start - kEps) {
+      // No earlier completion explains the wait; close the chain.
+      link.reason = BlameReason::kStartOfSchedule;
+      chain.push_back(link);
+      break;
+    }
+    link.reason = BlameReason::kResources;
+    link.blamed = blamed;
+    chain.push_back(link);
+    cur = blamed;
+  }
+  return chain;
+}
+
+std::string format_blame_chain(const graph::TaskGraph& g,
+                               const std::vector<BlameLink>& chain) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const auto& link : chain) {
+    os << g.name(link.task) << " [" << link.start << ", " << link.end
+       << ") — " << to_string(link.reason);
+    if (link.blamed >= 0) os << " (waited on " << g.name(link.blamed) << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,48 @@
+// Post-mortem of a simulated schedule: the *blame chain* explains what
+// determined the makespan. Walking back from the task that finished
+// last, each task's start was delayed either by a precedence (its last
+// predecessor finished exactly then) or by resources (it was ready
+// earlier but had to wait for processors freed by another completion).
+// The resulting chain of blame edges covers the makespan and is the
+// schedule-debugging counterpart of the critical path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::analysis {
+
+enum class BlameReason {
+  kStartOfSchedule,  ///< the task started at time 0
+  kPrecedence,       ///< waited for its last predecessor
+  kResources,        ///< ready earlier; waited for processors
+};
+
+[[nodiscard]] std::string to_string(BlameReason reason);
+
+struct BlameLink {
+  graph::TaskId task = -1;
+  double start = 0.0;
+  double end = 0.0;
+  BlameReason reason = BlameReason::kStartOfSchedule;
+  /// The task blamed for the wait (predecessor or resource-freeing
+  /// completion); -1 for kStartOfSchedule.
+  graph::TaskId blamed = -1;
+};
+
+/// The blame chain of the schedule in `run`, from the task that defines
+/// the makespan back to time 0 (last element starts at 0). Total
+/// precedence-bound vs resource-bound time along the chain tells whether
+/// the makespan is critical-path- or capacity-limited. Throws if the
+/// trace does not cover the whole graph.
+[[nodiscard]] std::vector<BlameLink> blame_chain(
+    const graph::TaskGraph& g, const core::ScheduleResult& run);
+
+/// Renders the chain as readable lines (one per link).
+[[nodiscard]] std::string format_blame_chain(
+    const graph::TaskGraph& g, const std::vector<BlameLink>& chain);
+
+}  // namespace moldsched::analysis

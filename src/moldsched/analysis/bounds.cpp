@@ -1,0 +1,43 @@
+#include "moldsched/analysis/bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+
+namespace moldsched::analysis {
+
+std::vector<double> min_times(const graph::TaskGraph& g, int P) {
+  if (P < 1) throw std::invalid_argument("min_times: P must be >= 1");
+  std::vector<double> out(static_cast<std::size_t>(g.num_tasks()));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    out[static_cast<std::size_t>(v)] = g.model_of(v).min_time(P);
+  return out;
+}
+
+double min_total_area(const graph::TaskGraph& g, int P) {
+  if (P < 1) throw std::invalid_argument("min_total_area: P must be >= 1");
+  double total = 0.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    total += g.model_of(v).min_area(P);
+  return total;
+}
+
+double min_critical_path(const graph::TaskGraph& g, int P) {
+  return graph::longest_path_length(g, min_times(g, P));
+}
+
+double optimal_makespan_lower_bound(const graph::TaskGraph& g, int P) {
+  return lower_bounds(g, P).lower_bound;
+}
+
+LowerBounds lower_bounds(const graph::TaskGraph& g, int P) {
+  LowerBounds b;
+  b.min_total_area = min_total_area(g, P);
+  b.min_critical_path = min_critical_path(g, P);
+  b.lower_bound =
+      std::max(b.min_total_area / static_cast<double>(P), b.min_critical_path);
+  return b;
+}
+
+}  // namespace moldsched::analysis

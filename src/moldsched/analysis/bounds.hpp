@@ -1,0 +1,34 @@
+// Lower bounds on the optimal makespan (Section 3.2, Lemma 2):
+//   T_opt >= max(A_min / P, C_min)
+// where A_min is the minimum total area and C_min the minimum critical
+// path length of the task graph.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::analysis {
+
+/// Per-task minimum execution times t_min = t(p_max) (Eq. (5)).
+[[nodiscard]] std::vector<double> min_times(const graph::TaskGraph& g, int P);
+
+/// A_min = sum of per-task minimum areas (Definition 1).
+[[nodiscard]] double min_total_area(const graph::TaskGraph& g, int P);
+
+/// C_min = longest path weighted by per-task minimum times (Definition 2).
+[[nodiscard]] double min_critical_path(const graph::TaskGraph& g, int P);
+
+/// Lemma 2: max(A_min / P, C_min).
+[[nodiscard]] double optimal_makespan_lower_bound(const graph::TaskGraph& g,
+                                                  int P);
+
+/// All three quantities in one pass (cheaper for the harnesses).
+struct LowerBounds {
+  double min_total_area = 0.0;
+  double min_critical_path = 0.0;
+  double lower_bound = 0.0;  ///< max(min_total_area / P, min_critical_path)
+};
+[[nodiscard]] LowerBounds lower_bounds(const graph::TaskGraph& g, int P);
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,56 @@
+#include "moldsched/analysis/curves.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "moldsched/analysis/ratios.hpp"
+
+namespace moldsched::analysis {
+
+std::vector<CurvePoint> ratio_curve(model::ModelKind kind, int points) {
+  if (points < 2)
+    throw std::invalid_argument("ratio_curve: points must be >= 2");
+  if (kind == model::ModelKind::kArbitrary)
+    throw std::invalid_argument("ratio_curve: arbitrary model has no curve");
+  std::vector<CurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    CurvePoint p;
+    p.mu = kMuMax * static_cast<double>(i) / static_cast<double>(points);
+    p.upper_bound = upper_ratio(kind, p.mu);
+    p.lower_bound_limit = lower_bound_limit(kind, p.mu);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+std::string ratio_curves_csv(int points) {
+  const model::ModelKind kinds[] = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+  std::vector<std::vector<CurvePoint>> curves;
+  for (const auto kind : kinds) curves.push_back(ratio_curve(kind, points));
+
+  std::ostringstream os;
+  os << "mu";
+  for (const auto kind : kinds)
+    os << ',' << model::to_string(kind) << "_upper,"
+       << model::to_string(kind) << "_lower";
+  os << '\n';
+  os.precision(10);
+  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+    os << curves[0][i].mu;
+    for (const auto& curve : curves) {
+      const auto& p = curve[i];
+      os << ',';
+      if (std::isfinite(p.upper_bound)) os << p.upper_bound;
+      os << ',';
+      if (std::isfinite(p.lower_bound_limit)) os << p.lower_bound_limit;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,28 @@
+// Ratio-versus-mu curves: the functions the paper minimizes numerically
+// in Theorems 2-4, exported for plotting (each model's upper-bound curve
+// plus its lower-bound-limit curve).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::analysis {
+
+struct CurvePoint {
+  double mu = 0.0;
+  double upper_bound = 0.0;       ///< +inf where mu is infeasible
+  double lower_bound_limit = 0.0; ///< +inf where the construction fails
+};
+
+/// Samples `points` >= 2 values of mu uniformly over (0, (3-sqrt(5))/2].
+/// Throws on points < 2 or ModelKind::kArbitrary.
+[[nodiscard]] std::vector<CurvePoint> ratio_curve(model::ModelKind kind,
+                                                  int points = 200);
+
+/// CSV with columns mu,<model>_upper,<model>_lower for all four models,
+/// one row per mu sample. Infeasible entries are empty cells.
+[[nodiscard]] std::string ratio_curves_csv(int points = 200);
+
+}  // namespace moldsched::analysis

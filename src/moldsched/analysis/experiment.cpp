@@ -1,0 +1,102 @@
+#include "moldsched/analysis/experiment.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/parallel.hpp"
+
+namespace moldsched::analysis {
+
+Measurement measure_scheduler(const graph::TaskGraph& g, int P,
+                              const sched::SchedulerSpec& spec) {
+  if (!spec.allocator && !spec.runner)
+    throw std::invalid_argument(
+        "measure_scheduler: spec has neither allocator nor runner");
+  const auto result = spec.run(g, P);
+  sim::expect_valid_schedule(g, result.trace, P);
+
+  Measurement m;
+  m.scheduler = spec.name;
+  m.makespan = result.makespan;
+  m.lower_bound = optimal_makespan_lower_bound(g, P);
+  m.ratio_vs_lb = m.makespan / m.lower_bound;
+  m.avg_utilization = result.trace.average_utilization(P);
+  return m;
+}
+
+std::vector<GraphCase> random_graph_catalog(model::ModelKind kind, int P,
+                                            util::Rng& rng, int scale) {
+  if (scale < 1)
+    throw std::invalid_argument("random_graph_catalog: scale must be >= 1");
+  const model::ModelSampler sampler(kind);
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+
+  std::vector<GraphCase> cases;
+  cases.push_back(
+      {"layered", graph::layered_random(8 * scale, 2, 12, 0.3, rng, provider)});
+  cases.push_back(
+      {"erdos-renyi", graph::erdos_renyi_dag(60 * scale, 0.05, rng, provider)});
+  cases.push_back({"fork-join", graph::fork_join(4 * scale, 10, provider)});
+  cases.push_back(
+      {"out-tree", graph::random_out_tree(80 * scale, 3, rng, provider)});
+  cases.push_back(
+      {"in-tree", graph::random_in_tree(80 * scale, 3, rng, provider)});
+  cases.push_back(
+      {"series-parallel", graph::series_parallel(70 * scale, rng, provider)});
+  cases.push_back({"chain", graph::chain(20 * scale, provider)});
+  cases.push_back({"independent", graph::independent(50 * scale, provider)});
+  cases.push_back({"diamond", graph::diamond(40 * scale, provider)});
+  return cases;
+}
+
+std::vector<GraphCase> workflow_catalog(model::ModelKind kind, int scale) {
+  if (scale < 1)
+    throw std::invalid_argument("workflow_catalog: scale must be >= 1");
+  graph::WorkflowModelConfig config;
+  config.kind = kind;
+
+  std::vector<GraphCase> cases;
+  cases.push_back({"cholesky", graph::cholesky(4 + 2 * scale, config)});
+  cases.push_back({"lu", graph::lu(3 + 2 * scale, config)});
+  cases.push_back({"fft", graph::fft(3 + scale, config)});
+  cases.push_back({"montage", graph::montage(12 * scale, config)});
+  cases.push_back({"wavefront", graph::wavefront(6 * scale, 6 * scale, config)});
+  return cases;
+}
+
+std::vector<AggregateRow> compare_suite(
+    const std::vector<GraphCase>& cases, int P,
+    const std::vector<sched::SchedulerSpec>& suite) {
+  if (cases.empty())
+    throw std::invalid_argument("compare_suite: no graph cases");
+  std::vector<AggregateRow> rows;
+  rows.reserve(suite.size());
+  for (const auto& spec : suite) {
+    // Simulations are independent and deterministic: fan them out.
+    std::vector<Measurement> measurements(cases.size());
+    util::parallel_for(cases.size(), [&](std::size_t i) {
+      measurements[i] = measure_scheduler(cases[i].graph, P, spec);
+    });
+    std::vector<double> ratios;
+    util::Accumulator util_acc;
+    ratios.reserve(cases.size());
+    for (const auto& m : measurements) {
+      ratios.push_back(m.ratio_vs_lb);
+      util_acc.add(m.avg_utilization);
+    }
+    AggregateRow row;
+    row.scheduler = spec.name;
+    row.ratio = util::summarize(ratios);
+    row.mean_utilization = util_acc.mean();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,58 @@
+// Experiment harness: run scheduler suites over graph collections and
+// aggregate competitive-ratio statistics against the Lemma 2 lower bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/speedup_model.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/util/rng.hpp"
+#include "moldsched/util/stats.hpp"
+
+namespace moldsched::analysis {
+
+/// One scheduler on one graph.
+struct Measurement {
+  std::string scheduler;
+  double makespan = 0.0;
+  double lower_bound = 0.0;      ///< Lemma 2: max(A_min/P, C_min)
+  double ratio_vs_lb = 0.0;      ///< makespan / lower_bound (>= observed
+                                 ///< competitive ratio, since LB <= T_opt)
+  double avg_utilization = 0.0;  ///< time-averaged busy fraction
+};
+
+/// Runs the spec's scheduler on g and measures it. Validates the produced
+/// schedule (throws std::logic_error on an infeasible schedule — that
+/// would be a library bug, not an experiment outcome).
+[[nodiscard]] Measurement measure_scheduler(const graph::TaskGraph& g, int P,
+                                            const sched::SchedulerSpec& spec);
+
+struct GraphCase {
+  std::string name;
+  graph::TaskGraph graph;
+};
+
+/// A diverse set of random DAGs with tasks of the given model family:
+/// layered, Erdos-Renyi, fork-join, trees, series-parallel, chains,
+/// independent. `scale` >= 1 multiplies the case sizes.
+[[nodiscard]] std::vector<GraphCase> random_graph_catalog(
+    model::ModelKind kind, int P, util::Rng& rng, int scale = 1);
+
+/// The realistic-workflow set (Cholesky, LU, FFT, Montage, wavefront)
+/// with kernels of the given model family.
+[[nodiscard]] std::vector<GraphCase> workflow_catalog(model::ModelKind kind,
+                                                      int scale = 1);
+
+/// Suite comparison: per scheduler, summary of ratio_vs_lb across cases.
+struct AggregateRow {
+  std::string scheduler;
+  util::Summary ratio;
+  double mean_utilization = 0.0;
+};
+[[nodiscard]] std::vector<AggregateRow> compare_suite(
+    const std::vector<GraphCase>& cases, int P,
+    const std::vector<sched::SchedulerSpec>& suite);
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,37 @@
+#include "moldsched/analysis/lemma_check.hpp"
+
+#include <algorithm>
+
+#include "moldsched/analysis/bounds.hpp"
+
+namespace moldsched::analysis {
+
+FrameworkCheck check_framework(const graph::TaskGraph& g, int P,
+                               const core::LpaAllocator& alloc,
+                               const core::ScheduleResult& run) {
+  FrameworkCheck check;
+  const double mu = alloc.mu();
+  check.intervals = core::classify_intervals(run.trace, P, mu);
+  check.makespan = run.makespan;
+
+  check.alpha = 1.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    check.alpha = std::max(check.alpha, alloc.decide(g.model_of(v), P).alpha);
+  check.beta = std::max(1.0, alloc.delta());
+
+  const auto bounds = lower_bounds(g, P);
+  check.min_total_area = bounds.min_total_area;
+  check.min_critical_path = bounds.min_critical_path;
+  check.lower_bound = bounds.lower_bound;
+
+  check.lemma3_lhs = core::lemma3_lhs(check.intervals, mu);
+  check.lemma3_rhs =
+      check.alpha * bounds.min_total_area / static_cast<double>(P);
+  check.lemma4_lhs = core::lemma4_lhs(check.intervals, mu, check.beta);
+  check.lemma4_rhs = bounds.min_critical_path;
+  check.lemma5_ratio =
+      (mu * check.alpha + 1.0 - 2.0 * mu) / (mu * (1.0 - mu));
+  return check;
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,51 @@
+// First-class verification of the Section 4.2 analysis framework on a
+// concrete simulated schedule: evaluates both sides of Lemmas 3, 4 and 5
+// with the alpha/beta values Algorithm 2 actually realized on each task.
+// Used by the property tests and by diagnostic tooling; any violation
+// would falsify the paper's analysis (or reveal a scheduler bug).
+#pragma once
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/intervals.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::analysis {
+
+struct FrameworkCheck {
+  core::IntervalBreakdown intervals;
+  double alpha = 1.0;      ///< max over tasks of a(p_initial)/a_min
+  double beta = 1.0;       ///< delta(mu): every task satisfies beta_p <= it
+  double min_total_area = 0.0;
+  double min_critical_path = 0.0;
+  double lower_bound = 0.0;
+
+  double lemma3_lhs = 0.0;  ///< mu*T2 + (1-mu)*T3
+  double lemma3_rhs = 0.0;  ///< alpha * A_min / P
+  double lemma4_lhs = 0.0;  ///< T1/beta + mu*T2
+  double lemma4_rhs = 0.0;  ///< C_min
+  double lemma5_ratio = 0.0;  ///< (mu*alpha + 1 - 2mu) / (mu (1-mu))
+  double makespan = 0.0;
+
+  [[nodiscard]] bool lemma3_holds(double tol = 1e-9) const {
+    return lemma3_lhs <= lemma3_rhs * (1.0 + tol);
+  }
+  [[nodiscard]] bool lemma4_holds(double tol = 1e-9) const {
+    return lemma4_lhs <= lemma4_rhs * (1.0 + tol);
+  }
+  [[nodiscard]] bool lemma5_holds(double tol = 1e-9) const {
+    return makespan <= lemma5_ratio * lower_bound * (1.0 + tol);
+  }
+  [[nodiscard]] bool all_hold(double tol = 1e-9) const {
+    return lemma3_holds(tol) && lemma4_holds(tol) && lemma5_holds(tol);
+  }
+};
+
+/// Evaluates the framework for a schedule produced by Algorithm 1 with
+/// LpaAllocator(mu) on graph g. The result must satisfy every lemma for
+/// any correct run; all_hold() false indicates a bug.
+[[nodiscard]] FrameworkCheck check_framework(const graph::TaskGraph& g, int P,
+                                             const core::LpaAllocator& alloc,
+                                             const core::ScheduleResult& run);
+
+}  // namespace moldsched::analysis

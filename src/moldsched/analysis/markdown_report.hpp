@@ -1,0 +1,24 @@
+// One-call generation of a Markdown experiment report: Table 1, the
+// simulated adversary ratios, a random-DAG suite comparison and the
+// Theorem 9 growth series — the paper's headline results in a single
+// self-describing document.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace moldsched::analysis {
+
+struct ReportConfig {
+  int P = 32;                ///< platform for the random-DAG section
+  int repetitions = 2;       ///< catalog repetitions per model
+  int max_chains_k = 12;     ///< largest K in the Theorem 9 sweep
+  std::uint64_t seed = 1234;
+  bool include_adversaries = true;  ///< the slowest section; skippable
+};
+
+/// Runs the experiments (seeded, deterministic) and renders the report.
+/// Takes a few seconds at the default configuration.
+[[nodiscard]] std::string generate_markdown_report(ReportConfig config = {});
+
+}  // namespace moldsched::analysis

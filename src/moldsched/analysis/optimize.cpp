@@ -1,0 +1,85 @@
+#include "moldsched/analysis/optimize.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace moldsched::analysis {
+
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f,
+                                       double lo, double hi, double tol,
+                                       int max_iterations) {
+  if (!f) throw std::invalid_argument("golden_section_minimize: empty f");
+  if (!(lo < hi))
+    throw std::invalid_argument("golden_section_minimize: need lo < hi");
+  if (!(tol > 0.0))
+    throw std::invalid_argument("golden_section_minimize: tol must be > 0");
+
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  int iter = 0;
+  while (b - a > tol && iter < max_iterations) {
+    if (fc <= fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++iter;
+  }
+  MinimizeResult r;
+  r.x = fc <= fd ? c : d;
+  r.value = std::min(fc, fd);
+  r.iterations = iter;
+  return r;
+}
+
+MinimizeResult grid_then_golden_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points, double tol) {
+  if (!f) throw std::invalid_argument("grid_then_golden_minimize: empty f");
+  if (!(lo < hi))
+    throw std::invalid_argument("grid_then_golden_minimize: need lo < hi");
+  if (grid_points < 3)
+    throw std::invalid_argument(
+        "grid_then_golden_minimize: grid_points must be >= 3");
+
+  double best_x = lo;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= grid_points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(grid_points);
+    const double v = f(x);
+    if (v < best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  if (!std::isfinite(best_v))
+    throw std::invalid_argument(
+        "grid_then_golden_minimize: f is infinite on the whole bracket");
+
+  const double step = (hi - lo) / static_cast<double>(grid_points);
+  const double a = std::max(lo, best_x - step);
+  const double b = std::min(hi, best_x + step);
+  auto refined = golden_section_minimize(f, a, b, tol);
+  if (best_v < refined.value) {
+    refined.x = best_x;
+    refined.value = best_v;
+  }
+  return refined;
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,31 @@
+// One-dimensional numerical minimization used to reproduce the paper's
+// "minimizing this function numerically for mu in (0, (3-sqrt(5))/2]"
+// steps (Theorems 2-4).
+#pragma once
+
+#include <functional>
+
+namespace moldsched::analysis {
+
+struct MinimizeResult {
+  double x = 0.0;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Golden-section search for a minimum of f on [lo, hi]. Requires
+/// lo < hi; converges to within `tol` on x for unimodal f (for
+/// non-unimodal f it still returns a local minimum inside the bracket).
+/// Throws std::invalid_argument on a bad bracket or tol <= 0.
+[[nodiscard]] MinimizeResult golden_section_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tol = 1e-12, int max_iterations = 400);
+
+/// Coarse grid scan followed by golden-section refinement around the best
+/// grid point: robust when f has infeasible (+inf) plateaus, as the
+/// ratio functions do near the ends of the mu range.
+[[nodiscard]] MinimizeResult grid_then_golden_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points = 512, double tol = 1e-12);
+
+}  // namespace moldsched::analysis

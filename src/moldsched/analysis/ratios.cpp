@@ -1,0 +1,178 @@
+#include "moldsched/analysis/ratios.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "moldsched/analysis/optimize.hpp"
+
+namespace moldsched::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lemma 7's admissible x range for the communication model.
+const double kCommXMin = (std::sqrt(13.0) - 1.0) / 6.0;  // ~0.4343
+constexpr double kCommXMax = 0.5;
+
+}  // namespace
+
+double delta_of_mu(double mu) {
+  if (!(mu > 0.0) || mu > kMuMax + 1e-12)
+    throw std::invalid_argument(
+        "delta_of_mu: mu must lie in (0, (3-sqrt(5))/2]");
+  return (1.0 - 2.0 * mu) / (mu * (1.0 - mu));
+}
+
+double lemma5_ratio(double alpha, double mu) {
+  if (!(alpha >= 1.0)) throw std::invalid_argument("lemma5_ratio: alpha < 1");
+  return (mu * alpha + 1.0 - 2.0 * mu) / (mu * (1.0 - mu));
+}
+
+XChoice best_x(model::ModelKind kind, double mu) {
+  const double delta = delta_of_mu(mu);
+  XChoice choice;
+  switch (kind) {
+    case model::ModelKind::kRoofline: {
+      // Lemma 6: alpha = beta = 1, feasible iff delta >= 1, which holds
+      // for every mu in (0, kMuMax].
+      choice.x = 0.0;
+      choice.alpha = 1.0;
+      choice.beta = 1.0;
+      return choice;
+    }
+    case model::ModelKind::kCommunication: {
+      // Lemma 7: beta_x = (3/5)(1/x + x) <= delta, x in [kCommXMin, 1/2].
+      // The smallest feasible x (Theorem 2) is the small root of
+      // (3/5)x^2 - delta x + 3/5 = 0; the construction additionally
+      // requires x <= 1/2 (i.e. delta >= beta(1/2) = 3/2) and clamps at
+      // kCommXMin, below which alpha_x would undercut Case 1's 4/3.
+      const double disc = delta * delta - 36.0 / 25.0;
+      if (!(delta >= 1.5) || disc < 0.0) {
+        choice.feasible = false;
+        choice.alpha = kInf;
+        choice.beta = kInf;
+        return choice;
+      }
+      double x = (5.0 / 6.0) * (delta - std::sqrt(disc));
+      x = std::min(std::max(x, kCommXMin), kCommXMax);
+      choice.x = x;
+      choice.alpha = 1.0 + x * x + x / 3.0;
+      choice.beta = (3.0 / 5.0) * (1.0 / x + x);
+      return choice;
+    }
+    case model::ModelKind::kAmdahl: {
+      // Lemma 8: beta_x = 1 + 1/x <= delta needs delta > 1; then
+      // x* = 1/(delta - 1) = mu(1-mu)/(mu^2 - 3mu + 1) (Theorem 3).
+      if (!(delta > 1.0)) {
+        choice.feasible = false;
+        choice.alpha = kInf;
+        choice.beta = kInf;
+        return choice;
+      }
+      const double x = 1.0 / (delta - 1.0);
+      choice.x = x;
+      choice.alpha = 1.0 + x;
+      choice.beta = 1.0 + 1.0 / x;
+      return choice;
+    }
+    case model::ModelKind::kGeneral: {
+      // Lemma 9: beta_x = x + 1 + 1/x <= delta with x > 1, i.e.
+      // x^2 - (delta - 1)x + 1 <= 0; Theorem 4 takes the largest root
+      // (alpha_x = 1 + 1/x + 1/x^2 decreases with x). Real roots need
+      // delta >= 3.
+      const double q = delta - 1.0;
+      const double disc = q * q - 4.0;
+      if (disc < 0.0) {
+        choice.feasible = false;
+        choice.alpha = kInf;
+        choice.beta = kInf;
+        return choice;
+      }
+      const double x = 0.5 * (q + std::sqrt(disc));
+      choice.x = x;
+      choice.alpha = 1.0 + 1.0 / x + 1.0 / (x * x);
+      choice.beta = x + 1.0 + 1.0 / x;
+      return choice;
+    }
+    case model::ModelKind::kArbitrary:
+      break;
+  }
+  throw std::invalid_argument(
+      "best_x: no (alpha, beta) construction for the arbitrary model "
+      "(Section 5 proves no constant ratio exists)");
+}
+
+double upper_ratio(model::ModelKind kind, double mu) {
+  const XChoice choice = best_x(kind, mu);
+  if (!choice.feasible) return kInf;
+  return lemma5_ratio(choice.alpha, mu);
+}
+
+double lower_bound_limit(model::ModelKind kind, double mu) {
+  const double delta = delta_of_mu(mu);
+  switch (kind) {
+    case model::ModelKind::kRoofline:
+      // Theorem 5: the single-task instance forces T/T_opt -> 1/mu.
+      return 1.0 / mu;
+    case model::ModelKind::kCommunication: {
+      // Theorem 6 limit: 1/(1-mu) + 2/((1-mu) w_B) + delta with
+      // w_B = 6 delta / (3 - delta) (the P -> inf value).
+      if (!(delta < 3.0)) return kInf;
+      const double w_b = 6.0 * delta / (3.0 - delta);
+      return 1.0 / (1.0 - mu) + 2.0 / ((1.0 - mu) * w_b) + delta;
+    }
+    case model::ModelKind::kAmdahl:
+    case model::ModelKind::kGeneral:
+      // Theorems 7 and 8: delta / ((delta - 1)(1 - mu)) + delta.
+      if (!(delta > 1.0)) return kInf;
+      return delta / ((delta - 1.0) * (1.0 - mu)) + delta;
+    case model::ModelKind::kArbitrary:
+      break;
+  }
+  throw std::invalid_argument(
+      "lower_bound_limit: arbitrary model has no constant bound "
+      "(Theorem 9 gives Omega(ln D))");
+}
+
+OptimalRatio optimal_ratio(model::ModelKind kind) {
+  OptimalRatio out;
+  out.kind = kind;
+  const auto objective = [kind](double mu) { return upper_ratio(kind, mu); };
+  // Stay strictly inside (0, kMuMax]: the ratio blows up at mu -> 0.
+  const auto best = grid_then_golden_minimize(objective, 1e-4, kMuMax);
+  out.mu_star = best.x;
+  out.upper_bound = best.value;
+  out.x_star = best_x(kind, best.x).x;
+  out.lower_bound = lower_bound_limit(kind, best.x);
+  return out;
+}
+
+double optimal_mu(model::ModelKind kind) {
+  static std::mutex mutex;
+  static std::array<double, 4> cache{-1.0, -1.0, -1.0, -1.0};
+  std::size_t idx = 0;
+  switch (kind) {
+    case model::ModelKind::kRoofline: idx = 0; break;
+    case model::ModelKind::kCommunication: idx = 1; break;
+    case model::ModelKind::kAmdahl: idx = 2; break;
+    case model::ModelKind::kGeneral: idx = 3; break;
+    case model::ModelKind::kArbitrary:
+      throw std::invalid_argument("optimal_mu: arbitrary model");
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  if (cache[idx] < 0.0) cache[idx] = optimal_ratio(kind).mu_star;
+  return cache[idx];
+}
+
+std::vector<OptimalRatio> compute_table1() {
+  return {optimal_ratio(model::ModelKind::kRoofline),
+          optimal_ratio(model::ModelKind::kCommunication),
+          optimal_ratio(model::ModelKind::kAmdahl),
+          optimal_ratio(model::ModelKind::kGeneral)};
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,67 @@
+// Competitive-ratio machinery: everything needed to regenerate Table 1.
+//
+// For each speedup model, Section 4.3 exhibits a per-task allocation
+// achieving (alpha_x, beta_x); the competitive ratio of Algorithm 1 is
+// then (mu * alpha + 1 - 2 mu) / (mu (1 - mu)) subject to
+// beta <= delta(mu) (Lemma 5). Minimizing over the free parameters x and
+// mu yields the paper's upper bounds; Theorems 5-8 give closed-form
+// asymptotic lower bounds at the same mu.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::analysis {
+
+inline constexpr double kMuMax = 0.38196601125010515;  // (3 - sqrt(5)) / 2
+
+/// delta(mu) = (1 - 2 mu) / (mu (1 - mu)). Throws outside (0, kMuMax].
+[[nodiscard]] double delta_of_mu(double mu);
+
+/// The generic Lemma 5 ratio for given alpha and mu.
+[[nodiscard]] double lemma5_ratio(double alpha, double mu);
+
+/// The x achieving beta_x = delta(mu) for the given model (the tightest
+/// admissible allocation parameter), together with its alpha. Returns
+/// +inf alpha when no admissible x exists at this mu. Roofline has no x;
+/// its alpha is always 1.
+struct XChoice {
+  double x = 0.0;
+  double alpha = 1.0;
+  double beta = 1.0;
+  bool feasible = true;
+};
+[[nodiscard]] XChoice best_x(model::ModelKind kind, double mu);
+
+/// Upper-bound ratio of Algorithm 1 at parameter mu under `kind`
+/// (Theorems 1-4 before the final minimization); +inf if mu is
+/// infeasible for the model.
+[[nodiscard]] double upper_ratio(model::ModelKind kind, double mu);
+
+/// The theorem's closed-form asymptotic lower bound on Algorithm 1's
+/// competitive ratio when run with parameter mu (Theorems 5-8).
+[[nodiscard]] double lower_bound_limit(model::ModelKind kind, double mu);
+
+/// Result of minimizing upper_ratio over mu.
+struct OptimalRatio {
+  model::ModelKind kind = model::ModelKind::kRoofline;
+  double mu_star = 0.0;
+  double x_star = 0.0;
+  double upper_bound = 0.0;   ///< Table 1, "Upper bound" row
+  double lower_bound = 0.0;   ///< Table 1, "Lower bound" row (at mu_star)
+};
+
+/// Numerically optimal (mu*, x*) and the Table 1 entries for one model.
+[[nodiscard]] OptimalRatio optimal_ratio(model::ModelKind kind);
+
+/// The paper's recommended mu for the model: argmin of the upper bound.
+/// Cached after the first computation. Throws for kArbitrary.
+[[nodiscard]] double optimal_mu(model::ModelKind kind);
+
+/// All four models, in the paper's column order
+/// (roofline, communication, Amdahl, general).
+[[nodiscard]] std::vector<OptimalRatio> compute_table1();
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,53 @@
+#include "moldsched/analysis/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace moldsched::analysis {
+
+util::Table table1_table(const std::vector<OptimalRatio>& rows) {
+  util::Table t({"Model", "Upper bound", "Lower bound", "mu*", "x*"});
+  for (const auto& r : rows) {
+    t.new_row()
+        .cell(model::to_string(r.kind))
+        .cell(r.upper_bound, 3)
+        .cell(r.lower_bound, 3)
+        .cell(r.mu_star, 4)
+        .cell(r.x_star, 4);
+  }
+  return t;
+}
+
+util::Table suite_table(const std::vector<AggregateRow>& rows) {
+  util::Table t({"Scheduler", "ratio mean", "ratio p95", "ratio max",
+                 "utilization"});
+  for (const auto& r : rows) {
+    t.new_row()
+        .cell(r.scheduler)
+        .cell(r.ratio.mean, 3)
+        .cell(r.ratio.p95, 3)
+        .cell(r.ratio.max, 3)
+        .cell(r.mean_utilization, 3);
+  }
+  return t;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec)
+      throw std::runtime_error("write_file: cannot create directories for " +
+                               path + ": " + ec.message());
+  }
+  std::ofstream out(p);
+  if (!out)
+    throw std::runtime_error("write_file: cannot open " + path);
+  out << content;
+  if (!out)
+    throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace moldsched::analysis

@@ -1,0 +1,25 @@
+// Report rendering shared by the benchmark binaries and examples: the
+// paper-shaped tables, plus small file helpers for CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace moldsched::analysis {
+
+/// Table 1 of the paper: one column per model, upper and lower bound rows,
+/// plus the optimal mu* and x* for reference.
+[[nodiscard]] util::Table table1_table(const std::vector<OptimalRatio>& rows);
+
+/// Scheduler-suite comparison: one row per scheduler with ratio summary.
+[[nodiscard]] util::Table suite_table(const std::vector<AggregateRow>& rows);
+
+/// Writes content to path, creating parent directories as needed.
+/// Throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace moldsched::analysis

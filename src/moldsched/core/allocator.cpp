@@ -1,0 +1,86 @@
+#include "moldsched/core/allocator.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::core {
+
+namespace {
+
+constexpr double kMuMax = 0.38196601125010515;  // (3 - sqrt(5)) / 2
+
+// Relative tolerance when comparing beta_p against delta: the constraint
+// boundary is often hit exactly by construction (adversarial instances),
+// and we must not reject an allocation through rounding noise.
+constexpr double kBetaTol = 1e-9;
+
+}  // namespace
+
+LpaAllocator::LpaAllocator(double mu) : mu_(mu) {
+  if (!(mu > 0.0) || mu > kMuMax + 1e-12)
+    throw std::invalid_argument(
+        "LpaAllocator: mu must lie in (0, (3-sqrt(5))/2]");
+  delta_ = (1.0 - 2.0 * mu_) / (mu_ * (1.0 - mu_));
+}
+
+int LpaAllocator::cap(int P) const {
+  if (P < 1) throw std::invalid_argument("LpaAllocator::cap: P must be >= 1");
+  return static_cast<int>(
+      std::ceil(mu_ * static_cast<double>(P) - 1e-12));
+}
+
+LpaDecision LpaAllocator::decide(const model::SpeedupModel& m, int P) const {
+  if (P < 1)
+    throw std::invalid_argument("LpaAllocator::decide: P must be >= 1");
+  LpaDecision d;
+  d.p_max = m.max_useful_procs(P);
+  d.t_min = m.time(d.p_max);
+  d.a_min = m.min_area(P);
+  const double threshold = delta_ * d.t_min * (1.0 + kBetaTol);
+
+  if (m.kind() == model::ModelKind::kArbitrary) {
+    // No monotonicity guarantees: solve the Step 1 program by exhaustive
+    // scan over [1, p_max].
+    int best = d.p_max;  // beta(p_max) = 1 <= delta, always feasible
+    double best_area = m.area(d.p_max);
+    for (int p = 1; p <= d.p_max; ++p) {
+      if (m.time(p) <= threshold && m.area(p) < best_area) {
+        best = p;
+        best_area = m.area(p);
+      }
+    }
+    d.initial = best;
+  } else {
+    // Lemma 1: t is non-increasing and a non-decreasing on [1, p_max], so
+    // the smallest p with t(p) <= delta * t_min minimizes the area ratio.
+    int lo = 1;
+    int hi = d.p_max;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (m.time(mid) <= threshold)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    d.initial = lo;
+  }
+
+  d.alpha = m.area(d.initial) / d.a_min;
+  d.beta = m.time(d.initial) / d.t_min;
+  const int limit = cap(P);
+  d.final_alloc = d.initial > limit ? limit : d.initial;
+  return d;
+}
+
+int LpaAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  return decide(m, P).final_alloc;
+}
+
+std::string LpaAllocator::name() const {
+  std::ostringstream os;
+  os << "lpa(mu=" << mu_ << ")";
+  return os.str();
+}
+
+}  // namespace moldsched::core

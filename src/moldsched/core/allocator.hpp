@@ -1,0 +1,67 @@
+// Processor allocation strategies, chiefly Algorithm 2 of the paper: the
+// two-step Local Processor Allocation (LPA) with the mu-cap.
+#pragma once
+
+#include <string>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::core {
+
+/// Strategy interface: pick the (final) processor allocation for a task,
+/// given its speedup model and the platform size. Implementations must
+/// return a value in [1, P] and must be deterministic.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  [[nodiscard]] virtual int allocate(const model::SpeedupModel& m,
+                                     int P) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Full breakdown of one Algorithm 2 decision, for tests and diagnostics.
+struct LpaDecision {
+  int p_max = 0;          ///< Eq. (5)
+  double t_min = 0.0;     ///< t(p_max)
+  double a_min = 0.0;     ///< minimum area
+  int initial = 0;        ///< Step 1 result (min alpha s.t. beta <= delta)
+  int final_alloc = 0;    ///< Step 2 result (capped at ceil(mu P))
+  double alpha = 0.0;     ///< a(initial) / a_min
+  double beta = 0.0;      ///< t(initial) / t_min
+};
+
+/// Algorithm 2. Step 1 finds the allocation minimizing the area ratio
+/// alpha_p = a(p)/a_min subject to the time-ratio constraint
+/// beta_p = t(p)/t_min <= delta(mu) = (1-2mu)/(mu(1-mu)). Step 2 caps the
+/// result at ceil(mu P).
+///
+/// For the monotonic Eq. (1) family, alpha_p is non-decreasing and beta_p
+/// non-increasing on [1, p_max] (Lemma 1), so Step 1 reduces to the
+/// smallest feasible p, found by binary search in O(log P). For arbitrary
+/// models a linear scan solves the same program exactly.
+class LpaAllocator : public Allocator {
+ public:
+  /// Throws std::invalid_argument unless 0 < mu <= (3 - sqrt(5))/2 (the
+  /// feasibility condition delta(mu) >= 1 of Section 4.2).
+  explicit LpaAllocator(double mu);
+
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Runs both steps and reports every intermediate quantity.
+  [[nodiscard]] LpaDecision decide(const model::SpeedupModel& m, int P) const;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  /// delta(mu) = (1-2mu)/(mu(1-mu)), the beta constraint bound.
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+  /// ceil(mu P): the Step 2 allocation cap.
+  [[nodiscard]] int cap(int P) const;
+
+ private:
+  double mu_;
+  double delta_;
+};
+
+}  // namespace moldsched::core

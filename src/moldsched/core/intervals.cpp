@@ -1,0 +1,47 @@
+#include "moldsched/core/intervals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::core {
+
+IntervalBreakdown classify_intervals(const sim::Trace& trace, int P,
+                                     double mu) {
+  if (P < 1)
+    throw std::invalid_argument("classify_intervals: P must be >= 1");
+  if (!(mu > 0.0) || mu > 0.38196601125010515 + 1e-12)
+    throw std::invalid_argument(
+        "classify_intervals: mu must lie in (0, (3-sqrt(5))/2]");
+
+  IntervalBreakdown b;
+  b.low_threshold = static_cast<int>(
+      std::ceil(mu * static_cast<double>(P) - 1e-12));
+  b.high_threshold = static_cast<int>(
+      std::ceil((1.0 - mu) * static_cast<double>(P) - 1e-12));
+  b.makespan = trace.makespan();
+
+  for (const auto& iv : trace.utilization_profile()) {
+    const double len = iv.duration();
+    if (iv.procs_in_use <= 0)
+      b.t0 += len;
+    else if (iv.procs_in_use < b.low_threshold)
+      b.t1 += len;
+    else if (iv.procs_in_use < b.high_threshold)
+      b.t2 += len;
+    else
+      b.t3 += len;
+  }
+  return b;
+}
+
+double lemma3_lhs(const IntervalBreakdown& b, double mu) {
+  return mu * b.t2 + (1.0 - mu) * b.t3;
+}
+
+double lemma4_lhs(const IntervalBreakdown& b, double mu, double beta) {
+  if (!(beta >= 1.0))
+    throw std::invalid_argument("lemma4_lhs: beta must be >= 1");
+  return b.t1 / beta + mu * b.t2;
+}
+
+}  // namespace moldsched::core

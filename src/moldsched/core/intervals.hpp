@@ -1,0 +1,41 @@
+// The interval decomposition of Section 4.2: the schedule splits into
+// maximal intervals of constant processor utilization p(I), classified by
+//   I1: p(I) in (0, ceil(mu P)),
+//   I2: p(I) in [ceil(mu P), ceil((1-mu) P)),
+//   I3: p(I) in [ceil((1-mu) P), P],
+// with total durations T1, T2, T3 and T = T1 + T2 + T3. Lemmas 3 and 4
+// bound mu*T2 + (1-mu)*T3 by alpha * A_min / P and T1/beta + mu*T2 by
+// C_min; the tests assert both on every simulated schedule.
+#pragma once
+
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::core {
+
+struct IntervalBreakdown {
+  double t0 = 0.0;  ///< interior idle time (zero utilization); 0 for any
+                    ///< list schedule — kept as a sanity witness
+  double t1 = 0.0;
+  double t2 = 0.0;
+  double t3 = 0.0;
+  int low_threshold = 0;   ///< ceil(mu P)
+  int high_threshold = 0;  ///< ceil((1-mu) P)
+  double makespan = 0.0;
+
+  [[nodiscard]] double total() const noexcept { return t0 + t1 + t2 + t3; }
+};
+
+/// Classifies the trace's utilization profile. Throws on P < 1 or mu
+/// outside (0, (3-sqrt(5))/2].
+[[nodiscard]] IntervalBreakdown classify_intervals(const sim::Trace& trace,
+                                                   int P, double mu);
+
+/// Left-hand side of Lemma 3: mu*T2 + (1-mu)*T3 (to compare against
+/// alpha * A_min / P).
+[[nodiscard]] double lemma3_lhs(const IntervalBreakdown& b, double mu);
+
+/// Left-hand side of Lemma 4: T1/beta + mu*T2 (to compare against C_min).
+[[nodiscard]] double lemma4_lhs(const IntervalBreakdown& b, double mu,
+                                double beta);
+
+}  // namespace moldsched::core

@@ -1,0 +1,137 @@
+#include "moldsched/core/online_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/sim/platform.hpp"
+
+namespace moldsched::core {
+
+OnlineScheduler::OnlineScheduler(const graph::TaskGraph& g, int P,
+                                 const Allocator& alloc, QueuePolicy policy)
+    : graph_(g), P_(P), allocator_(alloc), policy_(policy) {
+  if (P < 1) throw std::invalid_argument("OnlineScheduler: P must be >= 1");
+  g.validate();
+}
+
+namespace {
+
+struct QueueEntry {
+  graph::TaskId task;
+  double key;          // priority key; larger first
+  std::uint64_t seq;   // reveal order; lower first among equal keys
+};
+
+}  // namespace
+
+ScheduleResult OnlineScheduler::run() const {
+  const int n = graph_.num_tasks();
+  ScheduleResult result;
+  result.allocation.assign(static_cast<std::size_t>(n), 0);
+  result.ready_time.assign(static_cast<std::size_t>(n), -1.0);
+
+  sim::EventQueue events;
+  sim::Platform platform(P_);
+  std::vector<int> pending_preds(static_cast<std::size_t>(n));
+  for (graph::TaskId v = 0; v < n; ++v)
+    pending_preds[static_cast<std::size_t>(v)] = graph_.in_degree(v);
+
+  std::vector<QueueEntry> queue;  // waiting queue Q, kept in service order
+  std::uint64_t reveal_seq = 0;
+
+  auto reveal = [&](graph::TaskId task, double now) {
+    const int alloc = allocator_.allocate(graph_.model_of(task), P_);
+    if (alloc < 1 || alloc > P_)
+      throw std::logic_error("OnlineScheduler: allocator returned " +
+                             std::to_string(alloc) + " for task " +
+                             graph_.name(task) + ", outside [1, " +
+                             std::to_string(P_) + "]");
+    result.allocation[static_cast<std::size_t>(task)] = alloc;
+    result.ready_time[static_cast<std::size_t>(task)] = now;
+
+    const QueueEntry entry{
+        task, priority_key(policy_, graph_.model_of(task), alloc, P_),
+        reveal_seq++};
+    switch (policy_) {
+      case QueuePolicy::kFifo:
+        queue.push_back(entry);
+        break;
+      case QueuePolicy::kLifo:
+        queue.insert(queue.begin(), entry);
+        break;
+      default: {
+        // Stable descending order by key: insert before the first entry
+        // with a strictly smaller key.
+        auto it = std::find_if(queue.begin(), queue.end(),
+                               [&](const QueueEntry& e) {
+                                 return e.key < entry.key;
+                               });
+        queue.insert(it, entry);
+        break;
+      }
+    }
+  };
+
+  auto try_start_all = [&](double now) {
+    // Algorithm 1, lines 7-11: scan the whole queue; start every task
+    // that fits on the idle processors.
+    auto it = queue.begin();
+    while (it != queue.end()) {
+      const graph::TaskId task = it->task;
+      const int alloc = result.allocation[static_cast<std::size_t>(task)];
+      if (alloc <= platform.available()) {
+        platform.acquire(alloc);
+        result.trace.record_start(task, now, alloc);
+        events.schedule(now + graph_.model_of(task).time(alloc), task);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  // Time 0: sources become available in id order.
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (pending_preds[static_cast<std::size_t>(v)] == 0) reveal(v, 0.0);
+  try_start_all(0.0);
+
+  while (!events.empty()) {
+    const auto batch = events.pop_simultaneous();
+    const double now = events.now();
+    result.num_events += batch.size();
+
+    std::vector<graph::TaskId> newly_ready;
+    for (const auto& ev : batch) {
+      const auto task = static_cast<graph::TaskId>(ev.payload);
+      result.trace.record_end(task, now);
+      platform.release(result.allocation[static_cast<std::size_t>(task)]);
+      for (const graph::TaskId s : graph_.successors(task))
+        if (--pending_preds[static_cast<std::size_t>(s)] == 0)
+          newly_ready.push_back(s);
+    }
+    // Reveal simultaneously available tasks in id order: deterministic,
+    // and it realizes the adversarial instances' worst-case queueing.
+    std::sort(newly_ready.begin(), newly_ready.end());
+    for (const graph::TaskId v : newly_ready) reveal(v, now);
+
+    try_start_all(now);
+  }
+
+  if (!queue.empty())
+    throw std::logic_error(
+        "OnlineScheduler: deadlock — waiting tasks but no pending events");
+  if (result.trace.num_records() != static_cast<std::size_t>(n))
+    throw std::logic_error("OnlineScheduler: not every task was scheduled");
+
+  result.makespan = result.trace.makespan();
+  return result;
+}
+
+ScheduleResult schedule_online(const graph::TaskGraph& g, int P,
+                               const Allocator& alloc, QueuePolicy policy) {
+  return OnlineScheduler(g, P, alloc, policy).run();
+}
+
+}  // namespace moldsched::core

@@ -1,0 +1,56 @@
+// Algorithm 1 of the paper: event-driven online list scheduling of a
+// moldable task graph.
+//
+// The scheduler discovers a task only when its last predecessor
+// completes (the online reveal rule); it then fixes the task's processor
+// allocation via the supplied Allocator and inserts it into the waiting
+// queue Q. At time 0 and at every completion it scans Q and starts every
+// task that fits on the currently idle processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::core {
+
+struct ScheduleResult {
+  sim::Trace trace;
+  double makespan = 0.0;
+  /// Final allocation per task (index = TaskId).
+  std::vector<int> allocation;
+  /// Instant each task became available (last predecessor finished).
+  std::vector<double> ready_time;
+  /// Number of completion events processed.
+  std::uint64_t num_events = 0;
+};
+
+class OnlineScheduler {
+ public:
+  /// Throws std::invalid_argument for an empty/cyclic graph or P < 1.
+  /// The allocator reference must outlive run().
+  OnlineScheduler(const graph::TaskGraph& g, int P, const Allocator& alloc,
+                  QueuePolicy policy = QueuePolicy::kFifo);
+
+  /// Simulates the schedule to completion and returns the result.
+  /// Throws std::logic_error if the allocator ever returns an allocation
+  /// outside [1, P] (which would deadlock the list scheduler).
+  [[nodiscard]] ScheduleResult run() const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  int P_;
+  const Allocator& allocator_;
+  QueuePolicy policy_;
+};
+
+/// One-call convenience wrapper.
+[[nodiscard]] ScheduleResult schedule_online(
+    const graph::TaskGraph& g, int P, const Allocator& alloc,
+    QueuePolicy policy = QueuePolicy::kFifo);
+
+}  // namespace moldsched::core

@@ -1,0 +1,34 @@
+#include "moldsched/core/queue_policy.hpp"
+
+#include <stdexcept>
+
+namespace moldsched::core {
+
+std::string to_string(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kLifo: return "lifo";
+    case QueuePolicy::kLargestWorkFirst: return "largest-work";
+    case QueuePolicy::kLongestMinTimeFirst: return "longest-min-time";
+    case QueuePolicy::kSmallestAllocFirst: return "smallest-alloc";
+  }
+  throw std::logic_error("to_string: unknown QueuePolicy");
+}
+
+double priority_key(QueuePolicy policy, const model::SpeedupModel& m,
+                    int alloc, int P) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+    case QueuePolicy::kLifo:
+      return 0.0;
+    case QueuePolicy::kLargestWorkFirst:
+      return m.time(1);
+    case QueuePolicy::kLongestMinTimeFirst:
+      return m.min_time(P);
+    case QueuePolicy::kSmallestAllocFirst:
+      return -static_cast<double>(alloc);
+  }
+  throw std::logic_error("priority_key: unknown QueuePolicy");
+}
+
+}  // namespace moldsched::core

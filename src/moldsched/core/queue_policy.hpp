@@ -1,0 +1,30 @@
+// Ordering of the waiting queue Q of Algorithm 1. The paper inserts
+// "without any priority considerations" (FIFO) but remarks that priority
+// rules may help in practice; the alternatives here feed the
+// queue-policy ablation benchmark.
+#pragma once
+
+#include <string>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::core {
+
+enum class QueuePolicy {
+  kFifo,                 ///< reveal order (the paper's Algorithm 1)
+  kLifo,                 ///< newest available first
+  kLargestWorkFirst,     ///< descending sequential time t(1)
+  kLongestMinTimeFirst,  ///< descending t_min (critical-path-ish)
+  kSmallestAllocFirst,   ///< ascending final allocation (packs gaps)
+};
+
+[[nodiscard]] std::string to_string(QueuePolicy policy);
+
+/// Priority key for a task under `policy`; larger keys are served first.
+/// `alloc` is the task's final processor allocation, P the platform size.
+/// FIFO/LIFO are handled positionally by the scheduler and get key 0.
+[[nodiscard]] double priority_key(QueuePolicy policy,
+                                  const model::SpeedupModel& m, int alloc,
+                                  int P);
+
+}  // namespace moldsched::core

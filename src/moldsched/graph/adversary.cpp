@@ -1,0 +1,226 @@
+#include "moldsched/graph/adversary.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+
+namespace {
+
+constexpr double kMuMax = 0.38196601125010515;  // (3 - sqrt(5)) / 2
+
+int ceil_mu_p(double mu, int P) {
+  return static_cast<int>(std::ceil(mu * static_cast<double>(P) - 1e-12));
+}
+
+}  // namespace
+
+double delta_of_mu(double mu) {
+  if (!(mu > 0.0) || mu > kMuMax + 1e-12)
+    throw std::invalid_argument(
+        "delta_of_mu: mu must lie in (0, (3-sqrt(5))/2]");
+  return (1.0 - 2.0 * mu) / (mu * (1.0 - mu));
+}
+
+TaskGraph generic_lower_bound_graph(int X, int Y, const model::ModelPtr& a,
+                                    const model::ModelPtr& b,
+                                    const model::ModelPtr& c) {
+  if (Y < 0 || X < 0)
+    throw std::invalid_argument("generic_lower_bound_graph: X, Y must be >= 0");
+  if (Y > 0 && (!a || !b))
+    throw std::invalid_argument(
+        "generic_lower_bound_graph: need A/B models when Y > 0");
+  if (!c) throw std::invalid_argument("generic_lower_bound_graph: null C model");
+
+  TaskGraph g;
+  TaskId prev_a = -1;
+  for (int i = 1; i <= Y; ++i) {
+    // B tasks first: smaller ids => revealed and queued before the layer's
+    // A task, which realizes the proofs' worst-case priority.
+    std::vector<TaskId> layer;
+    layer.reserve(static_cast<std::size_t>(X) + 1);
+    for (int j = 1; j <= X; ++j) {
+      layer.push_back(g.add_task(
+          b, "B" + std::to_string(i) + "," + std::to_string(j)));
+    }
+    const TaskId ai = g.add_task(a, "A" + std::to_string(i));
+    layer.push_back(ai);
+    if (prev_a >= 0)
+      for (const TaskId v : layer) g.add_edge(prev_a, v);
+    prev_a = ai;
+  }
+  const TaskId tc = g.add_task(c, "C");
+  if (prev_a >= 0) g.add_edge(prev_a, tc);
+  return g;
+}
+
+AdversaryInstance roofline_adversary(int P, double mu) {
+  if (P < 2) throw std::invalid_argument("roofline_adversary: P must be >= 2");
+  AdversaryInstance inst;
+  inst.P = P;
+  inst.mu = mu;
+  inst.delta = delta_of_mu(mu);
+  inst.X = 0;
+  inst.Y = 0;
+  const auto c_model =
+      std::make_shared<model::RooflineModel>(static_cast<double>(P), P);
+  inst.graph = generic_lower_bound_graph(0, 0, nullptr, nullptr, c_model);
+  inst.expected_alloc_c = ceil_mu_p(mu, P);
+  inst.predicted_online_makespan = c_model->time(inst.expected_alloc_c);
+  inst.t_opt_upper = c_model->time(P);  // == 1
+  inst.ratio_limit = 1.0 / mu;
+  inst.description = "Theorem 5 roofline instance (single task, w = pbar = P)";
+  return inst;
+}
+
+AdversaryInstance communication_adversary(int P, double mu) {
+  if (P <= 3)
+    throw std::invalid_argument("communication_adversary: P must be > 3");
+  AdversaryInstance inst;
+  inst.P = P;
+  inst.mu = mu;
+  const double delta = delta_of_mu(mu);
+  inst.delta = delta;
+  if (!(delta < 3.0))
+    throw std::invalid_argument(
+        "communication_adversary: construction needs delta < 3");
+
+  inst.X = static_cast<int>(std::floor((1.0 - mu) * static_cast<double>(P) /
+                                       2.0)) +
+           1;
+  inst.Y = P - 3;
+
+  const double w_b =
+      6.0 * delta / (3.0 - delta) + 1.0 / static_cast<double>(P);
+  const double xwb = static_cast<double>(inst.X) * w_b;
+
+  const auto a_model = std::make_shared<model::RooflineModel>(
+      1.0, model::GeneralParams::kUnboundedParallelism);
+  const auto b_model = std::make_shared<model::CommunicationModel>(w_b, 1.0);
+  const auto c_model = std::make_shared<model::CommunicationModel>(
+      delta * xwb, xwb * (0.5 - delta / 6.0));
+
+  inst.graph =
+      generic_lower_bound_graph(inst.X, inst.Y, a_model, b_model, c_model);
+
+  inst.expected_alloc_a = ceil_mu_p(mu, P);
+  inst.expected_alloc_b = 2;
+  inst.expected_alloc_c = 1;
+  inst.predicted_online_makespan =
+      static_cast<double>(inst.Y) *
+          (a_model->time(inst.expected_alloc_a) + b_model->time(2)) +
+      c_model->time(1);
+
+  // The proof's alternative schedule: every A with all P processors,
+  // sequentially; then C on 3 processors while the X*Y B tasks run on one
+  // processor each in batches of P - 3.
+  const long total_b = static_cast<long>(inst.X) * static_cast<long>(inst.Y);
+  const long batches = (total_b + static_cast<long>(P) - 4) /
+                       (static_cast<long>(P) - 3);
+  inst.t_opt_upper =
+      static_cast<double>(inst.Y) * a_model->time(P) +
+      std::max(c_model->time(3),
+               static_cast<double>(batches) * b_model->time(1));
+
+  const double w_b_inf = 6.0 * delta / (3.0 - delta);
+  inst.ratio_limit =
+      1.0 / (1.0 - mu) + 2.0 / ((1.0 - mu) * w_b_inf) + delta;
+  inst.description = "Theorem 6 communication instance";
+  return inst;
+}
+
+namespace {
+
+/// Shared construction of Theorems 7 and 8 (identical instance; the two
+/// theorems evaluate it at different mu).
+AdversaryInstance amdahl_like_adversary(int K, double mu, bool general_kind) {
+  if (K <= 3)
+    throw std::invalid_argument("amdahl_adversary: K must be > 3");
+  AdversaryInstance inst;
+  const int P = K * K;
+  inst.P = P;
+  inst.mu = mu;
+  const double delta = delta_of_mu(mu);
+  inst.delta = delta;
+  if (!(5.0 * delta - 2.0 * delta * delta - 2.0 <= 1e-9))
+    throw std::invalid_argument(
+        "amdahl_adversary: construction needs 5*delta - 2*delta^2 - 2 <= 0");
+
+  const double kd = static_cast<double>(K);
+
+  // Allocation the algorithm derives for B tasks: p_B = ceil(p*), where
+  // t_B(p*) = delta * t_B^min (continuous relaxation).
+  const double p_star = kd / (delta * (1.0 / kd + 1.0) - 1.0);
+  const int p_b = static_cast<int>(std::ceil(p_star - 1e-12));
+
+  inst.X = static_cast<int>(std::floor(kd * kd * (1.0 - mu) /
+                                       static_cast<double>(p_b))) +
+           1;
+  inst.Y = static_cast<int>(std::floor(kd * (kd - delta) /
+                                       static_cast<double>(inst.X)));
+  if (inst.Y < 1)
+    throw std::invalid_argument("amdahl_adversary: K too small (Y < 1)");
+
+  model::ModelPtr a_model;
+  model::ModelPtr b_model;
+  model::ModelPtr c_model;
+  if (general_kind) {
+    model::GeneralParams pa;
+    pa.w = kd;
+    a_model = std::make_shared<model::GeneralModel>(pa);
+    model::GeneralParams pb;
+    pb.w = kd;
+    pb.d = 1.0;
+    b_model = std::make_shared<model::GeneralModel>(pb);
+    model::GeneralParams pc;
+    pc.w = (delta - 1.0) * kd;
+    pc.d = kd;
+    c_model = std::make_shared<model::GeneralModel>(pc);
+  } else {
+    a_model = std::make_shared<model::RooflineModel>(
+        kd, model::GeneralParams::kUnboundedParallelism);
+    b_model = std::make_shared<model::AmdahlModel>(kd, 1.0);
+    c_model = std::make_shared<model::AmdahlModel>((delta - 1.0) * kd, kd);
+  }
+
+  inst.graph =
+      generic_lower_bound_graph(inst.X, inst.Y, a_model, b_model, c_model);
+
+  inst.expected_alloc_a = ceil_mu_p(mu, P);
+  inst.expected_alloc_b = p_b;
+  inst.expected_alloc_c = 1;
+  inst.predicted_online_makespan =
+      static_cast<double>(inst.Y) *
+          (a_model->time(inst.expected_alloc_a) + b_model->time(p_b)) +
+      c_model->time(1);
+
+  // Alternative schedule: A tasks sequentially on P processors; then all
+  // X*Y B tasks on one processor each, in parallel with C on
+  // ceil((delta-1)K) processors. The proof guarantees X*Y + delta*K <= P.
+  const int p_c_alt =
+      static_cast<int>(std::ceil((delta - 1.0) * kd - 1e-12));
+  inst.t_opt_upper = static_cast<double>(inst.Y) * a_model->time(P) +
+                     std::max(b_model->time(1), c_model->time(p_c_alt));
+
+  inst.ratio_limit = delta / ((delta - 1.0) * (1.0 - mu)) + delta;
+  inst.description = general_kind
+                         ? "Theorem 8 general-model instance (P = K^2)"
+                         : "Theorem 7 Amdahl instance (P = K^2)";
+  return inst;
+}
+
+}  // namespace
+
+AdversaryInstance amdahl_adversary(int K, double mu) {
+  return amdahl_like_adversary(K, mu, /*general_kind=*/false);
+}
+
+AdversaryInstance general_adversary(int K, double mu) {
+  return amdahl_like_adversary(K, mu, /*general_kind=*/true);
+}
+
+}  // namespace moldsched::graph

@@ -1,0 +1,71 @@
+// Adversarial lower-bound instances from Section 4.4 of the paper.
+//
+// Figure 1's generic graph has Y layers, each of X identical "B" tasks
+// plus one "A" task, followed by a single final "C" task:
+//   A_i -> A_{i+1},  A_i -> B_{i+1,j},  A_Y -> C.
+// Parameters are chosen per speedup model (Theorems 5-8) so that the
+// online algorithm serializes each layer (Figure 2a) while an explicit
+// alternative schedule stays compact (Figure 2b).
+//
+// Within each layer, B tasks receive smaller ids than the layer's A task;
+// since the online scheduler reveals and queues simultaneously available
+// tasks in id order, FIFO list scheduling realizes the proofs'
+// worst-case "prioritize T_B first" behaviour.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::graph {
+
+/// A fully parameterized lower-bound instance.
+struct AdversaryInstance {
+  TaskGraph graph;
+  int P = 0;            ///< platform size the instance targets
+  double mu = 0.0;      ///< algorithm parameter the instance is tuned against
+  double delta = 0.0;   ///< (1-2mu)/(mu(1-mu))
+  int X = 0;            ///< B tasks per layer
+  int Y = 0;            ///< number of layers
+  /// Makespan of the proof's explicit alternative schedule — an upper
+  /// bound on T_opt, computed exactly for this finite instance.
+  double t_opt_upper = 0.0;
+  /// The proof's predicted makespan of Algorithm 1 on this instance
+  /// (exact, given the allocations the proof derives).
+  double predicted_online_makespan = 0.0;
+  /// Allocations the proof derives for Algorithm 1 (asserted in tests).
+  int expected_alloc_a = 0;
+  int expected_alloc_b = 0;
+  int expected_alloc_c = 0;
+  /// Closed-form asymptotic lower bound on the competitive ratio
+  /// (the theorem's limit as P or K grows).
+  double ratio_limit = 0.0;
+  std::string description;
+};
+
+/// delta(mu) = (1 - 2 mu) / (mu (1 - mu)), the beta-constraint bound of
+/// Algorithm 2. Throws unless 0 < mu <= (3 - sqrt(5))/2.
+[[nodiscard]] double delta_of_mu(double mu);
+
+/// Figure 1 skeleton with caller-supplied models for the three groups.
+/// Y == 0 degenerates to the single task C.
+[[nodiscard]] TaskGraph generic_lower_bound_graph(int X, int Y,
+                                                  const model::ModelPtr& a,
+                                                  const model::ModelPtr& b,
+                                                  const model::ModelPtr& c);
+
+/// Theorem 5: single roofline task (w = P, pbar = P); T_opt = 1 while the
+/// algorithm caps the allocation at ceil(mu P). Requires P >= 2.
+[[nodiscard]] AdversaryInstance roofline_adversary(int P, double mu);
+
+/// Theorem 6: communication-model instance. Requires P > 3.
+[[nodiscard]] AdversaryInstance communication_adversary(int P, double mu);
+
+/// Theorem 7: Amdahl-model instance on P = K^2 processors. Requires K > 3.
+[[nodiscard]] AdversaryInstance amdahl_adversary(int K, double mu);
+
+/// Theorem 8: identical construction evaluated at the general-model mu.
+/// Requires K > 3.
+[[nodiscard]] AdversaryInstance general_adversary(int K, double mu);
+
+}  // namespace moldsched::graph

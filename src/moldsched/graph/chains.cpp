@@ -1,0 +1,62 @@
+#include "moldsched/graph/chains.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/model/arbitrary_model.hpp"
+
+namespace moldsched::graph {
+
+ChainsInstance make_chains_instance(int K) {
+  if (K < 1 || K > 62)
+    throw std::invalid_argument("make_chains_instance: K must be in [1, 62]");
+  ChainsInstance inst;
+  inst.K = K;
+  inst.ell = (K & (K - 1)) == 0
+                 ? static_cast<int>(std::lround(std::log2(static_cast<double>(K))))
+                 : -1;
+  inst.P = static_cast<std::int64_t>(K) * (std::int64_t{1} << (K - 1));
+  inst.num_chains = (std::int64_t{1} << K) - 1;
+  inst.chains_per_group.resize(static_cast<std::size_t>(K));
+  inst.total_tasks = 0;
+  for (int i = 1; i <= K; ++i) {
+    const std::int64_t count = std::int64_t{1} << (K - i);
+    inst.chains_per_group[static_cast<std::size_t>(i - 1)] = count;
+    inst.total_tasks += static_cast<std::int64_t>(i) * count;
+  }
+  inst.task_model = model::make_log_speedup_model();
+  inst.offline_makespan = 1.0;
+  const double lgK = std::log2(static_cast<double>(K));
+  double lb = 0.0;
+  for (int i = 1; i <= K; ++i) lb += 1.0 / (lgK + static_cast<double>(i));
+  inst.online_makespan_lower_bound = lb;
+  return inst;
+}
+
+TaskGraph chains_graph(const ChainsInstance& inst, std::int64_t max_tasks) {
+  if (inst.total_tasks > max_tasks)
+    throw std::invalid_argument(
+        "chains_graph: instance has " + std::to_string(inst.total_tasks) +
+        " tasks, above the cap of " + std::to_string(max_tasks));
+  TaskGraph g;
+  std::int64_t chain_id = 0;
+  for (int i = 1; i <= inst.K; ++i) {
+    const std::int64_t count =
+        inst.chains_per_group[static_cast<std::size_t>(i - 1)];
+    for (std::int64_t c = 0; c < count; ++c) {
+      ++chain_id;
+      TaskId prev = -1;
+      for (int pos = 1; pos <= i; ++pos) {
+        const TaskId v =
+            g.add_task(inst.task_model, std::to_string(chain_id) + "(" +
+                                            std::to_string(pos) + ")");
+        if (prev >= 0) g.add_edge(prev, v);
+        prev = v;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace moldsched::graph

@@ -1,0 +1,43 @@
+// The Section 5 lower-bound instance (Figure 3): 2^K - 1 independent
+// linear chains organized in K groups, group i holding 2^{K-i} chains of
+// exactly i tasks each. All tasks are identical with the arbitrary
+// speedup model t(p) = 1/(lg p + 1), and the platform has P = K * 2^{K-1}
+// processors. The offline optimum finishes at time 1 (group i chains get
+// 2^{i-1} processors each); any deterministic online algorithm is forced
+// to Omega(ln K) by the adaptive adversary of Lemma 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::graph {
+
+struct ChainsInstance {
+  int K = 0;             ///< number of groups == length of the longest chain (D)
+  int ell = -1;          ///< lg K when K is a power of two, else -1
+  std::int64_t P = 0;    ///< K * 2^{K-1} processors
+  std::int64_t num_chains = 0;  ///< 2^K - 1
+  std::int64_t total_tasks = 0; ///< sum_i i * 2^{K-i}
+  /// chains_per_group[i-1] = 2^{K-i}: the number of chains of length i.
+  std::vector<std::int64_t> chains_per_group;
+  /// The common task model t(p) = 1/(lg p + 1).
+  model::ModelPtr task_model;
+  /// Makespan of the proof's offline schedule (exactly 1).
+  double offline_makespan = 1.0;
+  /// Lemma 10 bound: sum_{i=1..K} 1/(lg K + i) <= any online makespan.
+  double online_makespan_lower_bound = 0.0;
+};
+
+/// Builds the instance metadata for any K in [1, 62].
+[[nodiscard]] ChainsInstance make_chains_instance(int K);
+
+/// Materializes the instance as an explicit TaskGraph with fixed group
+/// assignment (chains of group 1 first, then group 2, ...). Intended for
+/// structure statistics and small-K scheduling; throws if total_tasks
+/// exceeds `max_tasks`.
+[[nodiscard]] TaskGraph chains_graph(const ChainsInstance& inst,
+                                     std::int64_t max_tasks = 2'000'000);
+
+}  // namespace moldsched::graph

@@ -1,0 +1,229 @@
+#include "moldsched/graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace moldsched::graph {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+ModelProvider sampling_provider(const model::ModelSampler& sampler,
+                                util::Rng& rng, int P) {
+  require(P >= 1, "sampling_provider: P must be >= 1");
+  return [&sampler, &rng, P] { return sampler.sample(rng, P); };
+}
+
+ModelProvider constant_provider(model::ModelPtr m) {
+  require(m != nullptr, "constant_provider: null model");
+  return [m] { return m; };
+}
+
+TaskGraph chain(int n, const ModelProvider& provider) {
+  require(n >= 1, "chain: n must be >= 1");
+  TaskGraph g;
+  TaskId prev = g.add_task(provider(), "chain0");
+  for (int i = 1; i < n; ++i) {
+    const TaskId cur = g.add_task(provider(), "chain" + std::to_string(i));
+    g.add_edge(prev, cur);
+    prev = cur;
+  }
+  return g;
+}
+
+TaskGraph independent(int n, const ModelProvider& provider) {
+  require(n >= 1, "independent: n must be >= 1");
+  TaskGraph g;
+  for (int i = 0; i < n; ++i)
+    g.add_task(provider(), "task" + std::to_string(i));
+  return g;
+}
+
+TaskGraph fork_join(int stages, int width, const ModelProvider& provider) {
+  require(stages >= 1, "fork_join: stages must be >= 1");
+  require(width >= 1, "fork_join: width must be >= 1");
+  TaskGraph g;
+  TaskId join = g.add_task(provider(), "fork0");
+  for (int s = 0; s < stages; ++s) {
+    const TaskId fork = join;
+    std::vector<TaskId> mids;
+    mids.reserve(static_cast<std::size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      const TaskId m = g.add_task(
+          provider(), "s" + std::to_string(s) + "w" + std::to_string(w));
+      g.add_edge(fork, m);
+      mids.push_back(m);
+    }
+    join = g.add_task(provider(), "join" + std::to_string(s));
+    for (const TaskId m : mids) g.add_edge(m, join);
+  }
+  return g;
+}
+
+TaskGraph layered_random(int layers, int min_width, int max_width,
+                         double p_edge, util::Rng& rng,
+                         const ModelProvider& provider) {
+  require(layers >= 1, "layered_random: layers must be >= 1");
+  require(min_width >= 1 && min_width <= max_width,
+          "layered_random: need 1 <= min_width <= max_width");
+  require(p_edge >= 0.0 && p_edge <= 1.0,
+          "layered_random: p_edge outside [0, 1]");
+  TaskGraph g;
+  std::vector<TaskId> prev_layer;
+  for (int layer = 0; layer < layers; ++layer) {
+    const int width =
+        static_cast<int>(rng.uniform_int(min_width, max_width));
+    std::vector<TaskId> cur_layer;
+    cur_layer.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      const TaskId v = g.add_task(
+          provider(), "L" + std::to_string(layer) + "." + std::to_string(i));
+      bool has_pred = false;
+      for (const TaskId u : prev_layer) {
+        if (rng.bernoulli(p_edge)) {
+          g.add_edge(u, v);
+          has_pred = true;
+        }
+      }
+      if (!has_pred && !prev_layer.empty()) g.add_edge(rng.pick(prev_layer), v);
+      cur_layer.push_back(v);
+    }
+    prev_layer = std::move(cur_layer);
+  }
+  return g;
+}
+
+TaskGraph erdos_renyi_dag(int n, double p_edge, util::Rng& rng,
+                          const ModelProvider& provider) {
+  require(n >= 1, "erdos_renyi_dag: n must be >= 1");
+  require(p_edge >= 0.0 && p_edge <= 1.0,
+          "erdos_renyi_dag: p_edge outside [0, 1]");
+  TaskGraph g;
+  for (int i = 0; i < n; ++i) g.add_task(provider());
+  for (TaskId i = 0; i < n; ++i)
+    for (TaskId j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p_edge)) g.add_edge(i, j);
+  return g;
+}
+
+namespace {
+
+/// Parent array of a random rooted tree on n nodes with a child cap.
+std::vector<TaskId> random_parents(int n, int max_children, util::Rng& rng) {
+  std::vector<TaskId> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> child_count(static_cast<std::size_t>(n), 0);
+  std::vector<TaskId> eligible{0};
+  for (TaskId v = 1; v < n; ++v) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1));
+    const TaskId p = eligible[idx];
+    parent[static_cast<std::size_t>(v)] = p;
+    if (max_children > 0 &&
+        ++child_count[static_cast<std::size_t>(p)] >= max_children) {
+      eligible[idx] = eligible.back();
+      eligible.pop_back();
+    }
+    eligible.push_back(v);
+  }
+  return parent;
+}
+
+}  // namespace
+
+TaskGraph random_out_tree(int n, int max_children, util::Rng& rng,
+                          const ModelProvider& provider) {
+  require(n >= 1, "random_out_tree: n must be >= 1");
+  require(max_children >= 0, "random_out_tree: max_children must be >= 0");
+  const auto parent = random_parents(n, max_children, rng);
+  TaskGraph g;
+  for (int i = 0; i < n; ++i) g.add_task(provider());
+  for (TaskId v = 1; v < n; ++v)
+    g.add_edge(parent[static_cast<std::size_t>(v)], v);
+  return g;
+}
+
+TaskGraph random_in_tree(int n, int max_children, util::Rng& rng,
+                         const ModelProvider& provider) {
+  require(n >= 1, "random_in_tree: n must be >= 1");
+  require(max_children >= 0, "random_in_tree: max_children must be >= 0");
+  const auto parent = random_parents(n, max_children, rng);
+  TaskGraph g;
+  for (int i = 0; i < n; ++i) g.add_task(provider());
+  // Reverse every out-tree edge: children feed their parent, so node 0
+  // (the out-tree root) becomes the unique sink.
+  for (TaskId v = 1; v < n; ++v)
+    g.add_edge(v, parent[static_cast<std::size_t>(v)]);
+  return g;
+}
+
+TaskGraph diamond(int width, const ModelProvider& provider) {
+  require(width >= 1, "diamond: width must be >= 1");
+  TaskGraph g;
+  const TaskId src = g.add_task(provider(), "source");
+  std::vector<TaskId> mids;
+  mids.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const TaskId m = g.add_task(provider(), "mid" + std::to_string(i));
+    g.add_edge(src, m);
+    mids.push_back(m);
+  }
+  const TaskId sink = g.add_task(provider(), "sink");
+  for (const TaskId m : mids) g.add_edge(m, sink);
+  return g;
+}
+
+namespace {
+
+/// Recursively builds a series-parallel subgraph of ~budget tasks;
+/// returns its (entry, exit) pair.
+std::pair<TaskId, TaskId> build_sp(TaskGraph& g, int budget, util::Rng& rng,
+                                   const ModelProvider& provider) {
+  if (budget <= 1) {
+    const TaskId v = g.add_task(provider());
+    return {v, v};
+  }
+  if (budget <= 3 || rng.bernoulli(0.5)) {
+    // Series composition: split the budget in two.
+    const int left = static_cast<int>(rng.uniform_int(1, budget - 1));
+    const auto [e1, x1] = build_sp(g, left, rng, provider);
+    const auto [e2, x2] = build_sp(g, budget - left, rng, provider);
+    g.add_edge(x1, e2);
+    return {e1, x2};
+  }
+  // Parallel composition: dedicated entry/exit plus 2..4 branches.
+  const TaskId entry = g.add_task(provider());
+  const TaskId exit = g.add_task(provider());
+  const int inner = budget - 2;
+  const int branches =
+      static_cast<int>(rng.uniform_int(2, std::min(4, inner)));
+  int remaining = inner;
+  for (int b = 0; b < branches; ++b) {
+    const int share =
+        (b == branches - 1)
+            ? remaining
+            : std::max(1, remaining / (branches - b));
+    remaining -= share;
+    const auto [be, bx] = build_sp(g, share, rng, provider);
+    g.add_edge(entry, be);
+    g.add_edge(bx, exit);
+  }
+  return {entry, exit};
+}
+
+}  // namespace
+
+TaskGraph series_parallel(int n, util::Rng& rng,
+                          const ModelProvider& provider) {
+  require(n >= 1, "series_parallel: n must be >= 1");
+  TaskGraph g;
+  (void)build_sp(g, n, rng, provider);
+  return g;
+}
+
+}  // namespace moldsched::graph

@@ -1,0 +1,73 @@
+// Synthetic task-graph generators: classic shapes used across the
+// moldable-scheduling literature. Structure and task models are
+// decoupled: every generator takes a ModelProvider that supplies one
+// speedup model per created task.
+#pragma once
+
+#include <functional>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::graph {
+
+/// Supplies the speedup model for the next task to create.
+using ModelProvider = std::function<model::ModelPtr()>;
+
+/// ModelProvider drawing i.i.d. models from a sampler. The rng reference
+/// must outlive the provider.
+[[nodiscard]] ModelProvider sampling_provider(
+    const model::ModelSampler& sampler, util::Rng& rng, int P);
+
+/// ModelProvider returning the same shared model for every task.
+[[nodiscard]] ModelProvider constant_provider(model::ModelPtr m);
+
+/// Linear chain of n >= 1 tasks: 0 -> 1 -> ... -> n-1.
+[[nodiscard]] TaskGraph chain(int n, const ModelProvider& provider);
+
+/// n >= 1 independent tasks (no edges).
+[[nodiscard]] TaskGraph independent(int n, const ModelProvider& provider);
+
+/// `stages` fork-join stages, each a source task fanning out to `width`
+/// parallel tasks that join into the next stage's source; a final join
+/// task closes the graph. stages >= 1, width >= 1.
+[[nodiscard]] TaskGraph fork_join(int stages, int width,
+                                  const ModelProvider& provider);
+
+/// Layered random DAG: `layers` layers whose widths are drawn uniformly in
+/// [min_width, max_width]; each task gets an edge from each task of the
+/// previous layer independently with probability p_edge, plus one forced
+/// predecessor so no task is an accidental source (except layer 0).
+[[nodiscard]] TaskGraph layered_random(int layers, int min_width,
+                                       int max_width, double p_edge,
+                                       util::Rng& rng,
+                                       const ModelProvider& provider);
+
+/// Erdos-Renyi DAG on n tasks: each forward pair (i < j) is an edge with
+/// probability p_edge.
+[[nodiscard]] TaskGraph erdos_renyi_dag(int n, double p_edge, util::Rng& rng,
+                                        const ModelProvider& provider);
+
+/// Random out-tree (rooted at task 0): each non-root task picks a uniform
+/// random parent among earlier tasks with fewer than max_children
+/// children. max_children == 0 means unbounded.
+[[nodiscard]] TaskGraph random_out_tree(int n, int max_children,
+                                        util::Rng& rng,
+                                        const ModelProvider& provider);
+
+/// Random in-tree: the reverse of random_out_tree (many sources merging
+/// into one sink). Mirrors reduction/aggregation workloads.
+[[nodiscard]] TaskGraph random_in_tree(int n, int max_children,
+                                       util::Rng& rng,
+                                       const ModelProvider& provider);
+
+/// Diamond: one source, `width` parallel middle tasks, one sink.
+[[nodiscard]] TaskGraph diamond(int width, const ModelProvider& provider);
+
+/// Random series-parallel graph with ~n tasks, built by recursive
+/// series/parallel composition; depth-bounded so it terminates.
+[[nodiscard]] TaskGraph series_parallel(int n, util::Rng& rng,
+                                        const ModelProvider& provider);
+
+}  // namespace moldsched::graph

@@ -1,0 +1,60 @@
+#include "moldsched/graph/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "moldsched/graph/algorithms.hpp"
+
+namespace moldsched::graph {
+
+GraphStats compute_stats(const TaskGraph& g) {
+  g.validate();
+  GraphStats s;
+  s.num_tasks = g.num_tasks();
+  s.num_edges = static_cast<long>(g.num_edges());
+  s.num_sources = static_cast<int>(g.sources().size());
+  s.num_sinks = static_cast<int>(g.sinks().size());
+
+  long degree_sum = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(v));
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(v));
+    degree_sum += g.in_degree(v) + g.out_degree(v);
+  }
+  s.avg_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(s.num_tasks);
+
+  // Level of a task = longest hop distance from a source (unit weights).
+  const std::vector<double> unit(static_cast<std::size_t>(s.num_tasks), 1.0);
+  const auto top = top_levels(g, unit);
+  std::vector<int> width;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto level = static_cast<std::size_t>(
+        top[static_cast<std::size_t>(v)] + 0.5);
+    if (level >= width.size()) width.resize(level + 1, 0);
+    ++width[level];
+  }
+  s.num_levels = static_cast<int>(width.size());
+  s.max_level_width = *std::max_element(width.begin(), width.end());
+  s.longest_path_tasks = longest_hop_count(g);
+
+  if (s.num_tasks > 1) {
+    const double pairs = static_cast<double>(s.num_tasks) *
+                         (static_cast<double>(s.num_tasks) - 1.0) / 2.0;
+    s.edge_density = static_cast<double>(s.num_edges) / pairs;
+  }
+  return s;
+}
+
+std::string to_string(const GraphStats& s) {
+  std::ostringstream os;
+  os << s.num_tasks << " tasks, " << s.num_edges << " edges, "
+     << s.num_sources << " sources, " << s.num_sinks << " sinks, D="
+     << s.longest_path_tasks << ", levels=" << s.num_levels
+     << " (max width " << s.max_level_width << "), max deg in/out "
+     << s.max_in_degree << "/" << s.max_out_degree;
+  return os.str();
+}
+
+}  // namespace moldsched::graph

@@ -1,0 +1,33 @@
+// Structural statistics of task graphs, used by the reports and handy
+// when characterizing generated workloads.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::graph {
+
+struct GraphStats {
+  int num_tasks = 0;
+  long num_edges = 0;
+  int num_sources = 0;
+  int num_sinks = 0;
+  int longest_path_tasks = 0;   ///< D: hop count of the longest path
+  int max_in_degree = 0;
+  int max_out_degree = 0;
+  double avg_degree = 0.0;      ///< mean total degree (in + out)
+  int num_levels = 0;           ///< longest-path layering depth (== D)
+  int max_level_width = 0;      ///< max tasks sharing a level — a cheap
+                                ///< lower bound on the graph's width
+  double edge_density = 0.0;    ///< edges / (n*(n-1)/2)
+};
+
+/// Computes all statistics in O(V + E). Throws on an empty or cyclic
+/// graph (via validate()).
+[[nodiscard]] GraphStats compute_stats(const TaskGraph& g);
+
+/// One-line human-readable rendering.
+[[nodiscard]] std::string to_string(const GraphStats& stats);
+
+}  // namespace moldsched::graph

@@ -1,0 +1,72 @@
+#include "moldsched/graph/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+
+namespace moldsched::graph {
+
+TaskId TaskGraph::add_task(model::ModelPtr model, std::string name) {
+  if (!model) throw std::invalid_argument("TaskGraph::add_task: null model");
+  const TaskId id = num_tasks();
+  if (name.empty()) name = "task" + std::to_string(id);
+  names_.push_back(std::move(name));
+  models_.push_back(std::move(model));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  const auto f = checked(from);
+  (void)checked(to);
+  if (from == to)
+    throw std::invalid_argument("TaskGraph::add_edge: self-loop on task " +
+                                std::to_string(from));
+  auto& out = succs_[f];
+  if (std::find(out.begin(), out.end(), to) != out.end())
+    throw std::invalid_argument("TaskGraph::add_edge: duplicate edge " +
+                                std::to_string(from) + " -> " +
+                                std::to_string(to));
+  out.push_back(to);
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+bool TaskGraph::has_edge(TaskId from, TaskId to) const {
+  const auto& out = succs_[checked(from)];
+  (void)checked(to);
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < num_tasks(); ++id)
+    if (preds_[static_cast<std::size_t>(id)].empty()) out.push_back(id);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < num_tasks(); ++id)
+    if (succs_[static_cast<std::size_t>(id)].empty()) out.push_back(id);
+  return out;
+}
+
+void TaskGraph::validate() const {
+  if (num_tasks() == 0)
+    throw std::logic_error("TaskGraph::validate: empty graph");
+  if (!is_acyclic(*this))
+    throw std::logic_error("TaskGraph::validate: graph contains a cycle");
+}
+
+std::size_t TaskGraph::checked(TaskId id) const {
+  if (id < 0 || id >= num_tasks())
+    throw std::out_of_range("TaskGraph: task id " + std::to_string(id) +
+                            " out of range [0, " + std::to_string(num_tasks()) +
+                            ")");
+  return static_cast<std::size_t>(id);
+}
+
+}  // namespace moldsched::graph

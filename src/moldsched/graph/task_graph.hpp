@@ -1,0 +1,78 @@
+// Directed acyclic graph of moldable tasks.
+//
+// Each node carries a speedup model; edges are precedence constraints.
+// In the online problem the scheduler discovers a task (and its model)
+// only once all its predecessors have completed — the graph object itself
+// is "the adversary's script", and the simulator enforces the reveal rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::graph {
+
+/// Dense task identifier: index into the graph's node array, assigned in
+/// insertion order. Insertion order doubles as the online reveal order
+/// among simultaneously available tasks (see OnlineScheduler).
+using TaskId = int;
+
+class TaskGraph {
+ public:
+  /// Adds a task and returns its id. The model must be non-null.
+  TaskId add_task(model::ModelPtr model, std::string name = "");
+
+  /// Adds the precedence edge from -> to. Throws on unknown ids,
+  /// self-loops, or duplicate edges. Cycle-freedom is *not* checked here
+  /// (that is O(V+E) per call); use graph::is_acyclic / validate().
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] int num_tasks() const noexcept {
+    return static_cast<int>(names_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] const model::SpeedupModel& model_of(TaskId id) const {
+    return *models_[checked(id)];
+  }
+  [[nodiscard]] const model::ModelPtr& model_ptr(TaskId id) const {
+    return models_[checked(id)];
+  }
+  [[nodiscard]] const std::string& name(TaskId id) const {
+    return names_[checked(id)];
+  }
+  [[nodiscard]] const std::vector<TaskId>& predecessors(TaskId id) const {
+    return preds_[checked(id)];
+  }
+  [[nodiscard]] const std::vector<TaskId>& successors(TaskId id) const {
+    return succs_[checked(id)];
+  }
+  [[nodiscard]] int in_degree(TaskId id) const {
+    return static_cast<int>(predecessors(id).size());
+  }
+  [[nodiscard]] int out_degree(TaskId id) const {
+    return static_cast<int>(successors(id).size());
+  }
+
+  [[nodiscard]] bool has_edge(TaskId from, TaskId to) const;
+
+  /// Tasks with no predecessors / no successors, in id order.
+  [[nodiscard]] std::vector<TaskId> sources() const;
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// Throws std::logic_error if the graph is empty or contains a cycle.
+  void validate() const;
+
+ private:
+  [[nodiscard]] std::size_t checked(TaskId id) const;
+
+  std::vector<std::string> names_;
+  std::vector<model::ModelPtr> models_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace moldsched::graph

@@ -1,0 +1,240 @@
+#include "moldsched/graph/workflows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+
+model::ModelPtr make_workflow_model(const WorkflowModelConfig& config,
+                                    double rel_work) {
+  if (!(rel_work > 0.0))
+    throw std::invalid_argument("make_workflow_model: rel_work must be > 0");
+  if (!(config.base_work > 0.0) || !(config.seq_fraction >= 0.0) ||
+      !(config.sweet_spot >= 1.0))
+    throw std::invalid_argument("make_workflow_model: bad config");
+
+  const double w = config.base_work * rel_work;
+  // Larger kernels parallelize further: scale the sweet spot / pbar with
+  // sqrt(rel_work), mimicking surface-to-volume scaling of tiled kernels.
+  const double scale = config.sweet_spot * std::sqrt(rel_work);
+
+  switch (config.kind) {
+    case model::ModelKind::kRoofline:
+      return std::make_shared<model::RooflineModel>(
+          w, std::max(1, static_cast<int>(std::lround(scale))));
+    case model::ModelKind::kCommunication:
+      return std::make_shared<model::CommunicationModel>(w, w / (scale * scale));
+    case model::ModelKind::kAmdahl:
+      return std::make_shared<model::AmdahlModel>(
+          w, std::max(1e-9 * w, config.seq_fraction * w));
+    case model::ModelKind::kGeneral: {
+      model::GeneralParams gp;
+      gp.w = w;
+      gp.d = config.seq_fraction * w;
+      gp.c = w / (scale * scale);
+      gp.pbar = model::GeneralParams::kUnboundedParallelism;
+      return std::make_shared<model::GeneralModel>(gp);
+    }
+    case model::ModelKind::kArbitrary:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_workflow_model: arbitrary kind has no parameterization");
+}
+
+namespace {
+
+// Relative flop counts of the dense linear-algebra kernels (unit = one
+// triangular-solve-sized tile operation).
+constexpr double kPotrfWork = 1.0 / 3.0;
+constexpr double kTrsmWork = 1.0;
+constexpr double kSyrkWork = 1.0;
+constexpr double kGemmWork = 2.0;
+
+}  // namespace
+
+TaskGraph cholesky(int nt, const WorkflowModelConfig& config) {
+  if (nt < 1) throw std::invalid_argument("cholesky: nt must be >= 1");
+  TaskGraph g;
+  std::map<std::tuple<char, int, int, int>, TaskId> id;
+  auto add = [&](char kernel, int k, int i, int j, double rel_work,
+                 const std::string& name) {
+    const TaskId v = g.add_task(make_workflow_model(config, rel_work), name);
+    id[{kernel, k, i, j}] = v;
+    return v;
+  };
+  auto get = [&](char kernel, int k, int i, int j) {
+    return id.at({kernel, k, i, j});
+  };
+
+  for (int k = 0; k < nt; ++k) {
+    const TaskId potrf =
+        add('P', k, 0, 0, kPotrfWork, "potrf(" + std::to_string(k) + ")");
+    if (k > 0) g.add_edge(get('S', k - 1, k, 0), potrf);
+
+    for (int i = k + 1; i < nt; ++i) {
+      const TaskId trsm = add('T', k, i, 0, kTrsmWork,
+                              "trsm(" + std::to_string(k) + "," +
+                                  std::to_string(i) + ")");
+      g.add_edge(potrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, i, k), trsm);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      const TaskId syrk = add('S', k, i, 0, kSyrkWork,
+                              "syrk(" + std::to_string(k) + "," +
+                                  std::to_string(i) + ")");
+      g.add_edge(get('T', k, i, 0), syrk);
+      if (k > 0) g.add_edge(get('S', k - 1, i, 0), syrk);
+      for (int j = k + 1; j < i; ++j) {
+        const TaskId gemm = add('G', k, i, j, kGemmWork,
+                                "gemm(" + std::to_string(k) + "," +
+                                    std::to_string(i) + "," +
+                                    std::to_string(j) + ")");
+        g.add_edge(get('T', k, i, 0), gemm);
+        g.add_edge(get('T', k, j, 0), gemm);
+        if (k > 0) g.add_edge(get('G', k - 1, i, j), gemm);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph lu(int nt, const WorkflowModelConfig& config) {
+  if (nt < 1) throw std::invalid_argument("lu: nt must be >= 1");
+  TaskGraph g;
+  std::map<std::tuple<char, int, int, int>, TaskId> id;
+  auto add = [&](char kernel, int k, int i, int j, double rel_work,
+                 const std::string& name) {
+    const TaskId v = g.add_task(make_workflow_model(config, rel_work), name);
+    id[{kernel, k, i, j}] = v;
+    return v;
+  };
+  auto get = [&](char kernel, int k, int i, int j) {
+    return id.at({kernel, k, i, j});
+  };
+
+  for (int k = 0; k < nt; ++k) {
+    const TaskId getrf =
+        add('F', k, 0, 0, kPotrfWork, "getrf(" + std::to_string(k) + ")");
+    if (k > 0) g.add_edge(get('G', k - 1, k, k), getrf);
+
+    for (int j = k + 1; j < nt; ++j) {  // row panel: U tiles
+      const TaskId trsm = add('R', k, j, 0, kTrsmWork,
+                              "trsm_row(" + std::to_string(k) + "," +
+                                  std::to_string(j) + ")");
+      g.add_edge(getrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, k, j), trsm);
+    }
+    for (int i = k + 1; i < nt; ++i) {  // column panel: L tiles
+      const TaskId trsm = add('C', k, i, 0, kTrsmWork,
+                              "trsm_col(" + std::to_string(k) + "," +
+                                  std::to_string(i) + ")");
+      g.add_edge(getrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, i, k), trsm);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      for (int j = k + 1; j < nt; ++j) {
+        const TaskId gemm = add('G', k, i, j, kGemmWork,
+                                "gemm(" + std::to_string(k) + "," +
+                                    std::to_string(i) + "," +
+                                    std::to_string(j) + ")");
+        g.add_edge(get('C', k, i, 0), gemm);
+        g.add_edge(get('R', k, j, 0), gemm);
+        if (k > 0) g.add_edge(get('G', k - 1, i, j), gemm);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph fft(int log2n, const WorkflowModelConfig& config) {
+  if (log2n < 1) throw std::invalid_argument("fft: log2n must be >= 1");
+  if (log2n > 20) throw std::invalid_argument("fft: log2n too large");
+  const int n = 1 << log2n;
+  TaskGraph g;
+  std::vector<TaskId> prev(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    prev[static_cast<std::size_t>(i)] = g.add_task(
+        make_workflow_model(config, 1.0), "in" + std::to_string(i));
+  for (int s = 1; s <= log2n; ++s) {
+    std::vector<TaskId> cur(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const TaskId v = g.add_task(
+          make_workflow_model(config, 1.0),
+          "fft_s" + std::to_string(s) + "_" + std::to_string(i));
+      g.add_edge(prev[static_cast<std::size_t>(i)], v);
+      g.add_edge(prev[static_cast<std::size_t>(i ^ (1 << (s - 1)))], v);
+      cur[static_cast<std::size_t>(i)] = v;
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph montage(int width, const WorkflowModelConfig& config) {
+  if (width < 2) throw std::invalid_argument("montage: width must be >= 2");
+  TaskGraph g;
+  // mProject: reproject each input tile (heavy).
+  std::vector<TaskId> proj;
+  proj.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    proj.push_back(g.add_task(make_workflow_model(config, 4.0),
+                              "project" + std::to_string(i)));
+  // mDiff: difference of neighbouring overlaps (light).
+  std::vector<TaskId> diffs;
+  for (int i = 0; i + 1 < width; ++i) {
+    const TaskId d = g.add_task(make_workflow_model(config, 1.0),
+                                "diff" + std::to_string(i));
+    g.add_edge(proj[static_cast<std::size_t>(i)], d);
+    g.add_edge(proj[static_cast<std::size_t>(i + 1)], d);
+    diffs.push_back(d);
+  }
+  // mFit/mBgModel: global background fit over all differences.
+  const TaskId fit = g.add_task(make_workflow_model(config, 2.0), "bgmodel");
+  for (const TaskId d : diffs) g.add_edge(d, fit);
+  // mBackground: per-tile correction.
+  std::vector<TaskId> bg;
+  for (int i = 0; i < width; ++i) {
+    const TaskId b = g.add_task(make_workflow_model(config, 1.0),
+                                "background" + std::to_string(i));
+    g.add_edge(fit, b);
+    g.add_edge(proj[static_cast<std::size_t>(i)], b);
+    bg.push_back(b);
+  }
+  // mAdd: final co-addition (heavy).
+  const TaskId coadd = g.add_task(
+      make_workflow_model(config, 2.0 * static_cast<double>(width)), "coadd");
+  for (const TaskId b : bg) g.add_edge(b, coadd);
+  return g;
+}
+
+TaskGraph wavefront(int rows, int cols, const WorkflowModelConfig& config) {
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("wavefront: rows and cols must be >= 1");
+  TaskGraph g;
+  std::vector<TaskId> grid(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(cols));
+  auto at = [&](int r, int c) -> TaskId& {
+    return grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                static_cast<std::size_t>(c)];
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      at(r, c) = g.add_task(
+          make_workflow_model(config, 1.0),
+          "cell(" + std::to_string(r) + "," + std::to_string(c) + ")");
+      if (r > 0) g.add_edge(at(r - 1, c), at(r, c));
+      if (c > 0) g.add_edge(at(r, c - 1), at(r, c));
+    }
+  }
+  return g;
+}
+
+}  // namespace moldsched::graph

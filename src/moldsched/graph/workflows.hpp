@@ -1,0 +1,56 @@
+// "Realistic workflow" generators: task graphs with the shapes of common
+// scientific applications (tiled dense linear algebra, FFT butterflies,
+// Montage-style mosaicking, wavefront sweeps). The paper's conclusion
+// names an evaluation on realistic workflows as future work; these
+// generators supply it synthetically.
+//
+// Each kernel class gets a speedup model of the configured family whose
+// work scales with the kernel's flop count relative to a unit tile.
+#pragma once
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::graph {
+
+/// How workflow kernels are mapped onto speedup models.
+struct WorkflowModelConfig {
+  model::ModelKind kind = model::ModelKind::kAmdahl;
+  double base_work = 200.0;    ///< w of a unit (relative work 1) kernel
+  double seq_fraction = 0.05;  ///< Amdahl/general: d = seq_fraction * w
+  double sweet_spot = 32.0;    ///< comm/general: sqrt(w/c) for a unit kernel;
+                               ///< roofline: pbar of a unit kernel
+};
+
+/// Builds one kernel model: work = base_work * rel_work; secondary
+/// parameters scale so larger kernels parallelize further (the
+/// communication sweet spot and roofline pbar grow like sqrt(rel_work)).
+/// Throws on rel_work <= 0 or an arbitrary-kind config.
+[[nodiscard]] model::ModelPtr make_workflow_model(
+    const WorkflowModelConfig& config, double rel_work);
+
+/// Tiled Cholesky factorization DAG on an nt x nt tile grid
+/// (POTRF/TRSM/SYRK/GEMM kernels with relative works 1/3, 1, 1, 2).
+/// nt >= 1. Task count is nt(nt+1)(nt+2)/6 + O(nt^2).
+[[nodiscard]] TaskGraph cholesky(int nt, const WorkflowModelConfig& config);
+
+/// Tiled LU factorization DAG (no pivoting) on an nt x nt tile grid
+/// (GETRF/TRSM-row/TRSM-col/GEMM kernels).
+[[nodiscard]] TaskGraph lu(int nt, const WorkflowModelConfig& config);
+
+/// FFT butterfly DAG over n = 2^log2n points: log2n stages of n tasks,
+/// task (s, i) depending on (s-1, i) and (s-1, i xor 2^(s-1)).
+[[nodiscard]] TaskGraph fft(int log2n, const WorkflowModelConfig& config);
+
+/// Montage-style mosaicking workflow: `width` projection tasks, an
+/// overlap-difference layer, a global fit, per-tile background
+/// corrections and a final co-addition.
+[[nodiscard]] TaskGraph montage(int width, const WorkflowModelConfig& config);
+
+/// Wavefront sweep over a rows x cols grid: (r, c) depends on (r-1, c)
+/// and (r, c-1). The canonical dynamic-programming / stencil dependency
+/// pattern.
+[[nodiscard]] TaskGraph wavefront(int rows, int cols,
+                                  const WorkflowModelConfig& config);
+
+}  // namespace moldsched::graph

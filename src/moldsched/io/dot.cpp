@@ -1,0 +1,70 @@
+#include "moldsched/io/dot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::io {
+
+namespace {
+
+/// Escapes a string for use inside a double-quoted DOT label.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const graph::TaskGraph& g) {
+  std::ostringstream os;
+  os << "digraph moldsched {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    os << "  n" << v << " [label=\"" << escape(g.name(v)) << "\\n"
+       << escape(g.model_of(v).describe()) << "\"];\n";
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      os << "  n" << v << " -> n" << s << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot_with_schedule(const graph::TaskGraph& g,
+                                 const sim::Trace& trace) {
+  std::vector<const sim::TaskRecord*> record_of(
+      static_cast<std::size_t>(g.num_tasks()), nullptr);
+  for (const auto& r : trace.records()) {
+    if (r.task < 0 || r.task >= g.num_tasks())
+      throw std::invalid_argument(
+          "to_dot_with_schedule: trace mentions unknown task " +
+          std::to_string(r.task));
+    record_of[static_cast<std::size_t>(r.task)] = &r;
+  }
+
+  std::ostringstream os;
+  os << "digraph moldsched_schedule {\n  rankdir=TB;\n  node [shape=box];\n";
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    os << "  n" << v << " [label=\"" << escape(g.name(v));
+    if (const auto* r = record_of[static_cast<std::size_t>(v)]) {
+      os << "\\n[" << r->start << ", " << r->end << ") p=" << r->procs
+         << "\"];\n";
+    } else {
+      os << "\\n(unscheduled)\" style=dashed];\n";
+    }
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      os << "  n" << v << " -> n" << s << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace moldsched::io

@@ -1,0 +1,23 @@
+// Graphviz DOT export of task graphs and schedule traces, for visual
+// inspection of instances and results.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::io {
+
+/// DOT digraph with one node per task, labelled with the task name and
+/// its speedup model description.
+[[nodiscard]] std::string to_dot(const graph::TaskGraph& g);
+
+/// DOT digraph whose node labels additionally carry the scheduled
+/// [start, end) window and allocation from the trace. Tasks missing
+/// from the trace are rendered dashed. Throws if the trace has records
+/// for unknown task ids.
+[[nodiscard]] std::string to_dot_with_schedule(const graph::TaskGraph& g,
+                                               const sim::Trace& trace);
+
+}  // namespace moldsched::io

@@ -1,0 +1,138 @@
+#include "moldsched/io/json.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::io {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string graph_to_json(const graph::TaskGraph& g) {
+  std::ostringstream os;
+  os << "{\"tasks\":[";
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (v > 0) os << ',';
+    const auto& m = g.model_of(v);
+    os << "{\"id\":" << v << ",\"name\":\"" << json_escape(g.name(v))
+       << "\",\"kind\":\"" << model::to_string(m.kind()) << '"';
+    if (const auto* gm = dynamic_cast<const model::GeneralModel*>(&m)) {
+      os << ",\"w\":" << gm->w() << ",\"d\":" << gm->d()
+         << ",\"c\":" << gm->c();
+      if (gm->pbar() != model::GeneralParams::kUnboundedParallelism)
+        os << ",\"pbar\":" << gm->pbar();
+    } else {
+      os << ",\"model\":\"" << json_escape(m.describe()) << '"';
+    }
+    os << '}';
+  }
+  os << "],\"edges\":[";
+  bool first = true;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const graph::TaskId s : g.successors(v)) {
+      if (!first) os << ',';
+      first = false;
+      os << '[' << v << ',' << s << ']';
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string trace_to_json(const sim::Trace& trace) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"makespan\":" << trace.makespan() << ",\"records\":[";
+  bool first = true;
+  for (const auto& r : trace.records()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"task\":" << r.task << ",\"start\":" << r.start
+       << ",\"end\":" << r.end << ",\"procs\":" << r.procs << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+sim::Trace read_trace_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  int line_no = 0;
+  sim::Trace trace;
+  auto fail = [&](const std::string& message) {
+    throw std::invalid_argument("read_trace_csv: line " +
+                                std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1) {
+      if (line != "task,name,start,end,procs")
+        fail("unexpected header '" + line + "'");
+      continue;
+    }
+    // Split on commas; the name field may not contain commas (our writer
+    // never quotes it) so a simple split suffices.
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (true) {
+      const auto comma = line.find(',', pos);
+      fields.push_back(line.substr(pos, comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (fields.size() != 5) fail("expected 5 fields");
+    try {
+      const int task = std::stoi(fields[0]);
+      const double start = std::stod(fields[2]);
+      const double end = std::stod(fields[3]);
+      const int procs = std::stoi(fields[4]);
+      trace.record_start(task, start, procs);
+      trace.record_end(task, end);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    } catch (const std::exception& e) {
+      fail(std::string("bad numeric field: ") + e.what());
+    }
+  }
+  return trace;
+}
+
+std::string trace_to_csv(const graph::TaskGraph& g, const sim::Trace& trace) {
+  std::ostringstream os;
+  os.precision(17);  // lossless double round trip
+  os << "task,name,start,end,procs\n";
+  for (const auto& r : trace.records()) {
+    std::string name =
+        (r.task >= 0 && r.task < g.num_tasks()) ? g.name(r.task) : "?";
+    // The name column is informational only; keep the format trivially
+    // splittable by replacing any commas (e.g. "gemm(0,1,2)").
+    for (char& ch : name)
+      if (ch == ',') ch = ';';
+    os << r.task << ',' << name << ',' << r.start << ',' << r.end << ','
+       << r.procs << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moldsched::io

@@ -1,0 +1,30 @@
+// Minimal JSON export of graphs and traces (no external dependency).
+// The output is plain, stable JSON suitable for plotting scripts.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::io {
+
+/// {"tasks": [{"id", "name", "model", ...params}], "edges": [[u, v]]}.
+/// Eq. (1)-family tasks carry their (w, d, c, pbar) parameters;
+/// arbitrary models carry only their description.
+[[nodiscard]] std::string graph_to_json(const graph::TaskGraph& g);
+
+/// {"makespan": ..., "records": [{"task", "start", "end", "procs"}]}.
+[[nodiscard]] std::string trace_to_json(const sim::Trace& trace);
+
+/// CSV with one row per scheduled task: task,name,start,end,procs.
+[[nodiscard]] std::string trace_to_csv(const graph::TaskGraph& g,
+                                       const sim::Trace& trace);
+
+/// Parses the trace_to_csv format back into a Trace (the name column is
+/// ignored), enabling externally produced schedules to be validated with
+/// sim::validate_schedule. Throws std::invalid_argument with a line
+/// number on malformed rows or an unexpected header.
+[[nodiscard]] sim::Trace read_trace_csv(const std::string& csv);
+
+}  // namespace moldsched::io

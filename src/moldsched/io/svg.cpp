@@ -1,0 +1,169 @@
+#include "moldsched/io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::io {
+
+namespace {
+
+constexpr int kMarginLeft = 46;
+constexpr int kMarginTop = 18;
+constexpr int kAxisHeight = 26;
+
+/// Deterministic pleasant-ish color per task id (golden-angle hue walk).
+std::string color_for(int task) {
+  const double hue = std::fmod(static_cast<double>(task) * 137.508, 360.0);
+  // HSL(hue, 55%, 62%) converted to RGB.
+  const double s = 0.55;
+  const double l = 0.62;
+  const double c = (1.0 - std::abs(2.0 * l - 1.0)) * s;
+  const double hp = hue / 60.0;
+  const double x = c * (1.0 - std::abs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0;
+  double gr = 0.0;
+  double b = 0.0;
+  if (hp < 1) { r = c; gr = x; }
+  else if (hp < 2) { r = x; gr = c; }
+  else if (hp < 3) { gr = c; b = x; }
+  else if (hp < 4) { gr = x; b = c; }
+  else if (hp < 5) { r = x; b = c; }
+  else { r = c; b = x; }
+  const double m = l - c / 2.0;
+  std::ostringstream os;
+  os << "rgb(" << static_cast<int>(std::lround((r + m) * 255.0)) << ','
+     << static_cast<int>(std::lround((gr + m) * 255.0)) << ','
+     << static_cast<int>(std::lround((b + m) * 255.0)) << ')';
+  return os.str();
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_gantt_svg(const sim::Trace& trace,
+                             const graph::TaskGraph& g, int P,
+                             SvgGanttOptions options) {
+  if (P < 1 || P > 4096)
+    throw std::invalid_argument("render_gantt_svg: P must be in [1, 4096]");
+  if (options.width < 100 || options.row_height < 4)
+    throw std::invalid_argument("render_gantt_svg: options too small");
+
+  const auto& recs = trace.records();
+  const double makespan = std::max(trace.makespan(), 1e-12);
+  const double x_scale = static_cast<double>(options.width) / makespan;
+
+  // Row assignment: sweep events, claim lowest free rows per start.
+  struct Ev {
+    double t;
+    int delta;
+    std::size_t rec;
+  };
+  std::vector<Ev> evs;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].task < 0 || recs[i].task >= g.num_tasks())
+      throw std::invalid_argument(
+          "render_gantt_svg: trace references unknown task");
+    evs.push_back({recs[i].start, +1, i});
+    evs.push_back({recs[i].end, -1, i});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  std::vector<bool> busy(static_cast<std::size_t>(P), false);
+  std::vector<std::vector<int>> rows_of(recs.size());
+  for (const auto& ev : evs) {
+    if (ev.delta < 0) {
+      for (const int r : rows_of[ev.rec])
+        busy[static_cast<std::size_t>(r)] = false;
+      continue;
+    }
+    auto& rows = rows_of[ev.rec];
+    for (int r = 0;
+         r < P && static_cast<int>(rows.size()) < recs[ev.rec].procs; ++r) {
+      if (!busy[static_cast<std::size_t>(r)]) {
+        busy[static_cast<std::size_t>(r)] = true;
+        rows.push_back(r);
+      }
+    }
+  }
+
+  const int chart_h = P * options.row_height;
+  const int total_w = kMarginLeft + options.width + 10;
+  const int total_h = kMarginTop + chart_h + kAxisHeight;
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_w
+     << "\" height=\"" << total_h << "\" font-family=\"sans-serif\">\n";
+  os << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+     << "\" width=\"" << options.width << "\" height=\"" << chart_h
+     << "\" fill=\"#f7f7f7\" stroke=\"#999\"/>\n";
+
+  // Task boxes: one rect per contiguous run of assigned rows.
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    auto rows = rows_of[i];
+    std::sort(rows.begin(), rows.end());
+    const double x = kMarginLeft + r.start * x_scale;
+    const double w = std::max(0.5, (r.end - r.start) * x_scale);
+    std::size_t k = 0;
+    while (k < rows.size()) {
+      std::size_t j = k;
+      while (j + 1 < rows.size() && rows[j + 1] == rows[j] + 1) ++j;
+      const int y_row = P - 1 - rows[j];  // row 0 at the bottom
+      const double y = kMarginTop + y_row * options.row_height;
+      const double h =
+          static_cast<double>(j - k + 1) * options.row_height;
+      os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+         << "\" height=\"" << h << "\" fill=\"" << color_for(r.task)
+         << "\" stroke=\"#333\" stroke-width=\"0.4\"><title>"
+         << xml_escape(g.name(r.task)) << " [" << r.start << ", " << r.end
+         << ") p=" << r.procs << "</title></rect>\n";
+      k = j + 1;
+    }
+    if (options.show_labels && w > 60.0 && !rows.empty()) {
+      const int y_row = P - 1 - rows.back();
+      os << "<text x=\"" << x + 3.0 << "\" y=\""
+         << kMarginTop + y_row * options.row_height +
+                options.row_height * 0.75
+         << "\" font-size=\"" << std::max(8, options.row_height - 5)
+         << "\">" << xml_escape(g.name(recs[i].task)) << "</text>\n";
+    }
+  }
+
+  // Time axis: ~8 ticks.
+  const double tick = makespan / 8.0;
+  for (int t = 0; t <= 8; ++t) {
+    const double x = kMarginLeft + static_cast<double>(t) * tick * x_scale;
+    os << "<line x1=\"" << x << "\" y1=\"" << kMarginTop + chart_h
+       << "\" x2=\"" << x << "\" y2=\"" << kMarginTop + chart_h + 5
+       << "\" stroke=\"#333\"/>\n";
+    os << "<text x=\"" << x << "\" y=\"" << kMarginTop + chart_h + 18
+       << "\" font-size=\"10\" text-anchor=\"middle\">"
+       << static_cast<double>(t) * tick << "</text>\n";
+  }
+  os << "<text x=\"4\" y=\"" << kMarginTop + 10
+     << "\" font-size=\"10\">P=" << P << "</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace moldsched::io

@@ -1,0 +1,27 @@
+// Scalable (SVG) Gantt rendering of schedule traces — the
+// publication-quality counterpart of sim::render_gantt's ASCII view.
+// Pure string generation; no external dependencies.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::io {
+
+struct SvgGanttOptions {
+  int width = 960;        ///< drawing width in px (plus margins)
+  int row_height = 14;    ///< px per processor row
+  bool show_labels = true;  ///< task names inside wide boxes
+};
+
+/// Renders the schedule as an SVG document: one row per processor, time
+/// on the x axis, one box per task (split across its processor rows),
+/// deterministic per-task colors, and a time axis. Throws on P < 1 or
+/// P > 4096, or trace records referencing tasks outside the graph.
+[[nodiscard]] std::string render_gantt_svg(const sim::Trace& trace,
+                                           const graph::TaskGraph& g, int P,
+                                           SvgGanttOptions options = {});
+
+}  // namespace moldsched::io

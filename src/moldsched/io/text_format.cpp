@@ -1,0 +1,238 @@
+#include "moldsched/io/text_format.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::io {
+
+namespace {
+
+constexpr const char* kHeader = "# moldsched-graph v1";
+constexpr const char* kReleasedHeader = "# moldsched-released-tasks v1";
+
+[[noreturn]] void parse_error(int line, const std::string& message) {
+  throw std::invalid_argument("read_graph_text: line " +
+                              std::to_string(line) + ": " + message);
+}
+
+model::ModelKind parse_kind(const std::string& s, int line) {
+  if (s == "roofline") return model::ModelKind::kRoofline;
+  if (s == "communication") return model::ModelKind::kCommunication;
+  if (s == "amdahl") return model::ModelKind::kAmdahl;
+  if (s == "general") return model::ModelKind::kGeneral;
+  parse_error(line, "unknown model kind '" + s + "'");
+}
+
+model::ModelPtr build_model(model::ModelKind kind, double w, double d,
+                            double c, int pbar, int line) {
+  try {
+    switch (kind) {
+      case model::ModelKind::kRoofline:
+        return std::make_shared<model::RooflineModel>(w, pbar);
+      case model::ModelKind::kCommunication:
+        return std::make_shared<model::CommunicationModel>(w, c);
+      case model::ModelKind::kAmdahl:
+        return std::make_shared<model::AmdahlModel>(w, d);
+      case model::ModelKind::kGeneral: {
+        model::GeneralParams p;
+        p.w = w;
+        p.d = d;
+        p.c = c;
+        p.pbar = pbar;
+        return std::make_shared<model::GeneralModel>(p);
+      }
+      case model::ModelKind::kArbitrary:
+        break;
+    }
+  } catch (const std::invalid_argument& e) {
+    parse_error(line, std::string("invalid model parameters: ") + e.what());
+  }
+  parse_error(line, "arbitrary models are not serializable");
+}
+
+}  // namespace
+
+std::string write_graph_text(const graph::TaskGraph& g) {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  os.precision(17);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto& m = g.model_of(v);
+    const auto* gm = dynamic_cast<const model::GeneralModel*>(&m);
+    if (gm == nullptr)
+      throw std::invalid_argument(
+          "write_graph_text: task '" + g.name(v) +
+          "' has a non-serializable (arbitrary) model");
+    const auto& name = g.name(v);
+    if (name.find_first_of(" \t\n") != std::string::npos)
+      throw std::invalid_argument("write_graph_text: task name '" + name +
+                                  "' contains whitespace");
+    os << "task " << name << ' ' << model::to_string(gm->kind()) << ' '
+       << gm->w() << ' ' << gm->d() << ' ' << gm->c() << ' ';
+    if (gm->pbar() == model::GeneralParams::kUnboundedParallelism)
+      os << "inf";
+    else
+      os << gm->pbar();
+    os << '\n';
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      os << "edge " << v << ' ' << s << '\n';
+  return os.str();
+}
+
+graph::TaskGraph read_graph_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  graph::TaskGraph g;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+    if (!saw_header)
+      parse_error(line_no, std::string("missing header '") + kHeader + "'");
+
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "task") {
+      std::string name;
+      std::string kind_str;
+      double w = 0.0;
+      double d = 0.0;
+      double c = 0.0;
+      std::string pbar_str;
+      if (!(fields >> name >> kind_str >> w >> d >> c >> pbar_str))
+        parse_error(line_no, "malformed task line");
+      const auto kind = parse_kind(kind_str, line_no);
+      int pbar = model::GeneralParams::kUnboundedParallelism;
+      if (pbar_str != "inf") {
+        try {
+          pbar = std::stoi(pbar_str);
+        } catch (const std::exception&) {
+          parse_error(line_no, "bad pbar '" + pbar_str + "'");
+        }
+      }
+      (void)g.add_task(build_model(kind, w, d, c, pbar, line_no), name);
+    } else if (directive == "edge") {
+      int from = -1;
+      int to = -1;
+      if (!(fields >> from >> to)) parse_error(line_no, "malformed edge line");
+      if (from < 0 || from >= g.num_tasks() || to < 0 || to >= g.num_tasks())
+        parse_error(line_no, "edge endpoint out of range");
+      try {
+        g.add_edge(from, to);
+      } catch (const std::invalid_argument& e) {
+        parse_error(line_no, e.what());
+      }
+    } else {
+      parse_error(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_header)
+    parse_error(line_no, std::string("missing header '") + kHeader + "'");
+  return g;
+}
+
+namespace {
+
+/// Writes one task's model fields (kind w d c pbar); shared between the
+/// graph and released-task writers.
+void write_model_fields(std::ostream& os, const model::GeneralModel& gm) {
+  os << model::to_string(gm.kind()) << ' ' << gm.w() << ' ' << gm.d() << ' '
+     << gm.c() << ' ';
+  if (gm.pbar() == model::GeneralParams::kUnboundedParallelism)
+    os << "inf";
+  else
+    os << gm.pbar();
+}
+
+}  // namespace
+
+std::string write_released_tasks_text(
+    const std::vector<sched::ReleasedTask>& tasks) {
+  std::ostringstream os;
+  os << kReleasedHeader << '\n';
+  os.precision(17);
+  for (const auto& t : tasks) {
+    const auto* gm = dynamic_cast<const model::GeneralModel*>(t.model.get());
+    if (gm == nullptr)
+      throw std::invalid_argument(
+          "write_released_tasks_text: task '" + t.name +
+          "' has a non-serializable (arbitrary) model");
+    if (t.name.empty() ||
+        t.name.find_first_of(" \t\n") != std::string::npos)
+      throw std::invalid_argument(
+          "write_released_tasks_text: task name '" + t.name +
+          "' is empty or contains whitespace");
+    os << "task " << t.name << ' ';
+    write_model_fields(os, *gm);
+    os << ' ' << t.release << '\n';
+  }
+  return os.str();
+}
+
+std::vector<sched::ReleasedTask> read_released_tasks_text(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  std::vector<sched::ReleasedTask> tasks;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kReleasedHeader) saw_header = true;
+      continue;
+    }
+    if (!saw_header)
+      parse_error(line_no,
+                  std::string("missing header '") + kReleasedHeader + "'");
+
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive != "task")
+      parse_error(line_no, "unknown directive '" + directive + "'");
+    std::string name;
+    std::string kind_str;
+    double w = 0.0;
+    double d = 0.0;
+    double c = 0.0;
+    std::string pbar_str;
+    double release = 0.0;
+    if (!(fields >> name >> kind_str >> w >> d >> c >> pbar_str >> release))
+      parse_error(line_no, "malformed task line");
+    const auto kind = parse_kind(kind_str, line_no);
+    int pbar = model::GeneralParams::kUnboundedParallelism;
+    if (pbar_str != "inf") {
+      try {
+        pbar = std::stoi(pbar_str);
+      } catch (const std::exception&) {
+        parse_error(line_no, "bad pbar '" + pbar_str + "'");
+      }
+    }
+    if (!(release >= 0.0))
+      parse_error(line_no, "release time must be >= 0");
+    tasks.push_back(sched::ReleasedTask{
+        build_model(kind, w, d, c, pbar, line_no), release, name});
+  }
+  if (!saw_header)
+    parse_error(line_no,
+                std::string("missing header '") + kReleasedHeader + "'");
+  return tasks;
+}
+
+}  // namespace moldsched::io

@@ -1,0 +1,40 @@
+// Plain-text graph serialization with a lossless round trip for the
+// Eq. (1) model family, so instances can be saved, shared and reloaded:
+//
+//   # moldsched-graph v1
+//   task <name> <kind> <w> <d> <c> <pbar|inf>
+//   edge <from_index> <to_index>
+//
+// Task indices are assignment order (0-based). Lines starting with '#'
+// and blank lines are ignored. Arbitrary models are not serializable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sched/release_scheduler.hpp"
+
+namespace moldsched::io {
+
+/// Serializes the graph. Throws std::invalid_argument if any task has an
+/// arbitrary (non-Eq. (1)) model, or a name containing whitespace.
+[[nodiscard]] std::string write_graph_text(const graph::TaskGraph& g);
+
+/// Parses the format back into a graph. Throws std::invalid_argument
+/// with a line number on any malformed input (unknown directive, bad
+/// kind, non-numeric field, out-of-range edge endpoint, missing header).
+[[nodiscard]] graph::TaskGraph read_graph_text(const std::string& text);
+
+/// Serialization of released-task sets (see sched::ReleasedTask):
+///
+///   # moldsched-released-tasks v1
+///   task <name> <kind> <w> <d> <c> <pbar|inf> <release>
+///
+/// Same conventions and error handling as the graph format.
+[[nodiscard]] std::string write_released_tasks_text(
+    const std::vector<sched::ReleasedTask>& tasks);
+[[nodiscard]] std::vector<sched::ReleasedTask> read_released_tasks_text(
+    const std::string& text);
+
+}  // namespace moldsched::io

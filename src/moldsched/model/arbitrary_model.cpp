@@ -1,0 +1,72 @@
+#include "moldsched/model/arbitrary_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::model {
+
+TableModel::TableModel(std::vector<double> times, std::string name)
+    : times_(std::move(times)), name_(std::move(name)) {
+  if (times_.empty())
+    throw std::invalid_argument("TableModel: empty time table");
+  for (const double t : times_)
+    if (!(t > 0.0) || !std::isfinite(t))
+      throw std::invalid_argument(
+          "TableModel: all times must be positive and finite");
+}
+
+double TableModel::time(int p) const {
+  check_procs(p);
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(p) - 1,
+                                         times_.size() - 1);
+  return times_[idx];
+}
+
+std::string TableModel::describe() const {
+  std::ostringstream os;
+  os << "arbitrary-table(" << name_ << ", " << times_.size() << " entries)";
+  return os.str();
+}
+
+std::unique_ptr<SpeedupModel> TableModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new TableModel(*this));
+}
+
+FunctionModel::FunctionModel(std::function<double(int)> fn, std::string name,
+                             bool time_nonincreasing)
+    : fn_(std::move(fn)),
+      name_(std::move(name)),
+      time_nonincreasing_(time_nonincreasing) {
+  if (!fn_) throw std::invalid_argument("FunctionModel: empty callable");
+}
+
+double FunctionModel::time(int p) const {
+  check_procs(p);
+  const double t = fn_(p);
+  if (!(t > 0.0) || !std::isfinite(t))
+    throw std::logic_error("FunctionModel: t(p) must be positive and finite");
+  return t;
+}
+
+int FunctionModel::max_useful_procs(int P) const {
+  if (P < 1) throw std::invalid_argument("max_useful_procs: P must be >= 1");
+  if (time_nonincreasing_) return P;
+  return SpeedupModel::max_useful_procs(P);
+}
+
+std::string FunctionModel::describe() const {
+  return "arbitrary-function(" + name_ + ")";
+}
+
+std::unique_ptr<SpeedupModel> FunctionModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new FunctionModel(*this));
+}
+
+std::shared_ptr<const SpeedupModel> make_log_speedup_model() {
+  return std::make_shared<FunctionModel>(
+      [](int p) { return 1.0 / (std::log2(static_cast<double>(p)) + 1.0); },
+      "1/(lg p + 1)", /*time_nonincreasing=*/true);
+}
+
+}  // namespace moldsched::model

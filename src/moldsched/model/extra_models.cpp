@@ -1,0 +1,82 @@
+#include "moldsched/model/extra_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::model {
+
+PowerLawModel::PowerLawModel(double w, double sigma) : w_(w), sigma_(sigma) {
+  if (!(w > 0.0))
+    throw std::invalid_argument("PowerLawModel: w must be > 0");
+  if (!(sigma > 0.0) || sigma > 1.0)
+    throw std::invalid_argument("PowerLawModel: sigma must lie in (0, 1]");
+}
+
+double PowerLawModel::time(int p) const {
+  check_procs(p);
+  return w_ / std::pow(static_cast<double>(p), sigma_);
+}
+
+int PowerLawModel::max_useful_procs(int P) const {
+  if (P < 1) throw std::invalid_argument("max_useful_procs: P must be >= 1");
+  return P;
+}
+
+std::string PowerLawModel::describe() const {
+  std::ostringstream os;
+  os << "power-law(w=" << w_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<SpeedupModel> PowerLawModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new PowerLawModel(*this));
+}
+
+std::shared_ptr<const SpeedupModel> table_from_samples(
+    std::vector<std::pair<int, double>> samples, int P, std::string name) {
+  if (samples.empty())
+    throw std::invalid_argument("table_from_samples: no samples");
+  if (P < 1) throw std::invalid_argument("table_from_samples: P must be >= 1");
+  for (const auto& [p, t] : samples) {
+    if (p < 1)
+      throw std::invalid_argument("table_from_samples: sample with p < 1");
+    if (!(t > 0.0) || !std::isfinite(t))
+      throw std::invalid_argument(
+          "table_from_samples: sample times must be positive and finite");
+  }
+  std::sort(samples.begin(), samples.end());
+  // Collapse duplicate p, keeping the fastest observation.
+  std::vector<std::pair<int, double>> unique;
+  for (const auto& s : samples) {
+    if (!unique.empty() && unique.back().first == s.first)
+      unique.back().second = std::min(unique.back().second, s.second);
+    else
+      unique.push_back(s);
+  }
+
+  std::vector<double> times(static_cast<std::size_t>(P));
+  std::size_t hi = 0;  // first sample with p >= current allocation
+  for (int p = 1; p <= P; ++p) {
+    while (hi < unique.size() && unique[hi].first < p) ++hi;
+    double t = 0.0;
+    if (hi == 0) {
+      t = unique.front().second;  // clamp below the sampled range
+    } else if (hi == unique.size()) {
+      t = unique.back().second;  // clamp above
+    } else if (unique[hi].first == p) {
+      t = unique[hi].second;
+    } else {
+      const auto& [p0, t0] = unique[hi - 1];
+      const auto& [p1, t1] = unique[hi];
+      const double frac = static_cast<double>(p - p0) /
+                          static_cast<double>(p1 - p0);
+      t = t0 + frac * (t1 - t0);
+    }
+    times[static_cast<std::size_t>(p - 1)] = t;
+  }
+  return std::make_shared<TableModel>(std::move(times), std::move(name));
+}
+
+}  // namespace moldsched::model

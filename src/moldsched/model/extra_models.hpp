@@ -1,0 +1,55 @@
+// Speedup models beyond the paper's Eq. (1) family. These fall under the
+// paper's "arbitrary model" umbrella (Section 5): Algorithm 2 still
+// produces feasible allocations for them (via the exhaustive Step 1
+// search), but no constant competitive ratio is claimed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::model {
+
+/// Power-law (sublinear) speedup: t(p) = w / p^sigma with sigma in (0, 1].
+/// A common empirical fit for parallel kernels; monotonic (time strictly
+/// decreasing, area p^{1-sigma} w non-decreasing), so the paper's
+/// machinery applies even though the model is not an Eq. (1) instance.
+class PowerLawModel : public SpeedupModel {
+ public:
+  /// Throws unless w > 0 and 0 < sigma <= 1.
+  PowerLawModel(double w, double sigma);
+
+  [[nodiscard]] double time(int p) const override;
+  /// Time strictly decreases, so the whole machine is always useful.
+  [[nodiscard]] int max_useful_procs(int P) const override;
+  /// Area is non-decreasing, so the minimum is at p = 1.
+  [[nodiscard]] double min_area(int /*P*/) const override { return area(1); }
+  [[nodiscard]] ModelKind kind() const override {
+    return ModelKind::kArbitrary;
+  }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
+
+  [[nodiscard]] double w() const noexcept { return w_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double w_;
+  double sigma_;
+};
+
+/// Builds a TableModel for allocations 1..P from measured (procs, time)
+/// samples, linearly interpolating between sample points and clamping
+/// outside their range — the bridge from profiling data to a schedulable
+/// model. Samples need not be sorted; duplicates (same p) keep the
+/// smaller time. Throws unless at least one sample is given, every
+/// sample has p >= 1 and time > 0, and P >= 1.
+[[nodiscard]] std::shared_ptr<const SpeedupModel> table_from_samples(
+    std::vector<std::pair<int, double>> samples, int P,
+    std::string name = "profiled");
+
+}  // namespace moldsched::model

@@ -1,0 +1,135 @@
+#include "moldsched/model/fit.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace moldsched::model {
+
+namespace {
+
+/// Solves the n x n system M x = rhs by Gaussian elimination with
+/// partial pivoting. Returns false when the matrix is (numerically)
+/// singular.
+template <std::size_t N>
+bool solve_linear(std::array<std::array<double, N>, N> M,
+                  std::array<double, N> rhs, std::array<double, N>& out,
+                  std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(M[r][col]) > std::abs(M[pivot][col])) pivot = r;
+    if (std::abs(M[pivot][col]) < 1e-12) return false;
+    std::swap(M[col], M[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = M[r][col] / M[col][col];
+      for (std::size_t c = col; c < n; ++c) M[r][c] -= f * M[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double v = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) v -= M[i][c] * out[c];
+    out[i] = v / M[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+FitResult fit_general_model(
+    const std::vector<std::pair<int, double>>& samples) {
+  if (samples.size() < 3)
+    throw std::invalid_argument("fit_general_model: need >= 3 samples");
+  std::set<int> distinct;
+  for (const auto& [p, t] : samples) {
+    if (p < 1)
+      throw std::invalid_argument("fit_general_model: sample with p < 1");
+    if (!(t > 0.0) || !std::isfinite(t))
+      throw std::invalid_argument(
+          "fit_general_model: times must be positive and finite");
+    distinct.insert(p);
+  }
+  if (distinct.size() < 3)
+    throw std::invalid_argument(
+        "fit_general_model: need samples at >= 3 distinct allocations");
+
+  // Basis values per sample: (1/p, 1, p-1) -> coefficients (w, d, c).
+  auto basis = [](int p, std::size_t k) -> double {
+    switch (k) {
+      case 0: return 1.0 / static_cast<double>(p);
+      case 1: return 1.0;
+      default: return static_cast<double>(p) - 1.0;
+    }
+  };
+
+  // Exhaustive NNLS over active sets: try every non-empty subset of the
+  // three parameters, solve unconstrained LS on it, keep the feasible
+  // (all-non-negative) solution with the smallest residual.
+  double best_sse = std::numeric_limits<double>::infinity();
+  std::array<double, 3> best{0.0, 0.0, 0.0};
+  bool found = false;
+
+  for (unsigned mask = 1; mask < 8; ++mask) {
+    std::array<std::size_t, 3> idx{};
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < 3; ++k)
+      if (mask & (1u << k)) idx[n++] = k;
+
+    std::array<std::array<double, 3>, 3> M{};
+    std::array<double, 3> rhs{};
+    for (const auto& [p, t] : samples) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bi = basis(p, idx[i]);
+        rhs[i] += bi * t;
+        for (std::size_t j = 0; j < n; ++j)
+          M[i][j] += bi * basis(p, idx[j]);
+      }
+    }
+    std::array<double, 3> sol{};
+    if (!solve_linear(M, rhs, sol, n)) continue;
+
+    std::array<double, 3> full{0.0, 0.0, 0.0};
+    bool feasible = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sol[i] < -1e-9) feasible = false;
+      full[idx[i]] = std::max(0.0, sol[i]);
+    }
+    if (!feasible) continue;
+
+    double sse = 0.0;
+    for (const auto& [p, t] : samples) {
+      double predicted = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) predicted += full[k] * basis(p, k);
+      sse += (predicted - t) * (predicted - t);
+    }
+    if (sse < best_sse - 1e-15) {
+      best_sse = sse;
+      best = full;
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument(
+        "fit_general_model: no non-negative fit exists for these samples");
+
+  FitResult result;
+  result.params.w = best[0];
+  result.params.d = best[1];
+  result.params.c = best[2];
+  result.params.pbar = GeneralParams::kUnboundedParallelism;
+  result.model = std::make_shared<GeneralModel>(result.params);
+  result.rmse =
+      std::sqrt(best_sse / static_cast<double>(samples.size()));
+  for (const auto& [p, t] : samples) {
+    const double predicted = result.model->time(p);
+    result.max_relative_error = std::max(
+        result.max_relative_error, std::abs(predicted - t) / t);
+  }
+  return result;
+}
+
+}  // namespace moldsched::model

@@ -1,0 +1,31 @@
+// Calibration: fit the Eq. (1) general model to measured (p, time)
+// samples. The execution-time function is *linear in its parameters*,
+//   t(p) = w * (1/p) + d + c * (p - 1)    (for p <= pbar),
+// so ordinary least squares applies; non-negativity of (w, d, c) is
+// enforced by clamping active constraints and re-solving the reduced
+// system (an exact method for this 3-parameter case).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::model {
+
+struct FitResult {
+  GeneralParams params;
+  double rmse = 0.0;            ///< root-mean-square residual of the fit
+  double max_relative_error = 0.0;
+  std::shared_ptr<const GeneralModel> model;
+};
+
+/// Fits w, d, c >= 0 to the samples (pbar is taken as unbounded: the
+/// samples are assumed to come from the scalable regime). Requires at
+/// least 3 samples at >= 3 distinct allocations, every p >= 1 and every
+/// time > 0; throws std::invalid_argument otherwise. Deterministic.
+[[nodiscard]] FitResult fit_general_model(
+    const std::vector<std::pair<int, double>>& samples);
+
+}  // namespace moldsched::model

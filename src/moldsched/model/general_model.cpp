@@ -1,0 +1,70 @@
+#include "moldsched/model/general_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::model {
+
+namespace {
+
+void validate(const GeneralParams& p) {
+  if (p.w < 0.0) throw std::invalid_argument("GeneralModel: w must be >= 0");
+  if (p.d < 0.0) throw std::invalid_argument("GeneralModel: d must be >= 0");
+  if (p.c < 0.0) throw std::invalid_argument("GeneralModel: c must be >= 0");
+  if (p.pbar < 1) throw std::invalid_argument("GeneralModel: pbar must be >= 1");
+  if (!(p.w + p.d + p.c > 0.0))
+    throw std::invalid_argument("GeneralModel: task must take positive time");
+  if (!std::isfinite(p.w) || !std::isfinite(p.d) || !std::isfinite(p.c))
+    throw std::invalid_argument("GeneralModel: parameters must be finite");
+}
+
+}  // namespace
+
+GeneralModel::GeneralModel(GeneralParams params)
+    : GeneralModel(params, ModelKind::kGeneral) {}
+
+GeneralModel::GeneralModel(GeneralParams params, ModelKind kind)
+    : params_(params), kind_tag_(kind) {
+  validate(params_);
+}
+
+double GeneralModel::time(int p) const {
+  check_procs(p);
+  const double parallel = static_cast<double>(std::min(p, params_.pbar));
+  return params_.w / parallel + params_.d +
+         params_.c * (static_cast<double>(p) - 1.0);
+}
+
+int GeneralModel::max_useful_procs(int P) const {
+  if (P < 1) throw std::invalid_argument("max_useful_procs: P must be >= 1");
+  int p_tilde = GeneralParams::kUnboundedParallelism;
+  if (params_.c > 0.0) {
+    // t restricted to p <= pbar is convex with real minimizer s = sqrt(w/c);
+    // the best integer is one of the two neighbours (Eq. (5)).
+    const double s = std::sqrt(params_.w / params_.c);
+    const int lo = std::max(1, static_cast<int>(std::floor(s)));
+    const int hi = std::max(lo, static_cast<int>(std::ceil(s)));
+    p_tilde = (time(lo) <= time(hi)) ? lo : hi;
+  }
+  return std::max(1, std::min({P, params_.pbar, p_tilde}));
+}
+
+std::string GeneralModel::describe() const {
+  std::ostringstream os;
+  os << to_string(kind()) << "(w=" << params_.w << ", d=" << params_.d
+     << ", c=" << params_.c << ", pbar=";
+  if (params_.pbar == GeneralParams::kUnboundedParallelism)
+    os << "inf";
+  else
+    os << params_.pbar;
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<SpeedupModel> GeneralModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new GeneralModel(*this));
+}
+
+}  // namespace moldsched::model

@@ -1,0 +1,63 @@
+// The general speedup model of Eq. (1):
+//     t(p) = w / min(p, pbar) + d + c * (p - 1).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::model {
+
+/// Parameters of Eq. (1). `pbar` is the maximum degree of parallelism of
+/// the parallelizable part; use kUnboundedParallelism when the model
+/// places no cap (the paper's communication/Amdahl cases assume
+/// pbar >= P).
+struct GeneralParams {
+  double w = 1.0;   ///< total parallelizable work, w >= 0
+  double d = 0.0;   ///< inherently sequential work, d >= 0
+  double c = 0.0;   ///< per-processor communication overhead, c >= 0
+  int pbar = kUnboundedParallelism;  ///< max degree of parallelism, >= 1
+
+  static constexpr int kUnboundedParallelism =
+      std::numeric_limits<int>::max();
+};
+
+class GeneralModel : public SpeedupModel {
+ public:
+  /// Throws std::invalid_argument unless w >= 0, d >= 0, c >= 0,
+  /// pbar >= 1 and w + d + c > 0 (a task must take positive time).
+  explicit GeneralModel(GeneralParams params);
+
+  [[nodiscard]] double time(int p) const override;
+
+  /// Closed-form Eq. (5): p_max = min(P, pbar, p_tilde) where p_tilde is
+  /// the integer neighbour of s = sqrt(w/c) with the smaller time
+  /// (p_tilde = +inf when c = 0).
+  [[nodiscard]] int max_useful_procs(int P) const override;
+
+  /// Monotonic on [1, p_max] (Lemma 1), so the minimum area is a(1).
+  [[nodiscard]] double min_area(int /*P*/) const override { return area(1); }
+
+  [[nodiscard]] ModelKind kind() const override { return kind_tag_; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
+
+  [[nodiscard]] const GeneralParams& params() const noexcept { return params_; }
+  [[nodiscard]] double w() const noexcept { return params_.w; }
+  [[nodiscard]] double d() const noexcept { return params_.d; }
+  [[nodiscard]] double c() const noexcept { return params_.c; }
+  [[nodiscard]] int pbar() const noexcept { return params_.pbar; }
+
+ protected:
+  /// For the named special-case subclasses that reuse the Eq. (1) maths
+  /// but report their own ModelKind.
+  GeneralModel(GeneralParams params, ModelKind kind);
+
+ private:
+  GeneralParams params_;
+  ModelKind kind_tag_;
+};
+
+}  // namespace moldsched::model

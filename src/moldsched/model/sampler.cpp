@@ -1,0 +1,80 @@
+#include "moldsched/model/sampler.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::model {
+
+ModelSampler::ModelSampler(ModelKind kind, SamplerConfig config)
+    : kind_(kind), config_(config) {
+  if (kind_ == ModelKind::kArbitrary)
+    throw std::invalid_argument(
+        "ModelSampler: arbitrary models have no canonical sampler");
+  if (!(config_.w_min > 0.0) || config_.w_min > config_.w_max)
+    throw std::invalid_argument("ModelSampler: need 0 < w_min <= w_max");
+  if (config_.seq_fraction_min < 0.0 ||
+      config_.seq_fraction_min > config_.seq_fraction_max)
+    throw std::invalid_argument(
+        "ModelSampler: need 0 <= seq_fraction_min <= seq_fraction_max");
+  if (!(config_.sweet_spot_min >= 1.0) || !(config_.sweet_spot_factor > 0.0))
+    throw std::invalid_argument("ModelSampler: bad sweet-spot range");
+  if (config_.pbar_min < 1 ||
+      (config_.pbar_max != 0 && config_.pbar_max < config_.pbar_min))
+    throw std::invalid_argument("ModelSampler: bad pbar range");
+}
+
+ModelPtr ModelSampler::sample(util::Rng& rng, int P) const {
+  if (P < 1) throw std::invalid_argument("ModelSampler::sample: P must be >= 1");
+
+  const double w = rng.log_uniform(config_.w_min, config_.w_max);
+
+  auto sample_pbar = [&]() -> int {
+    const int hi = config_.pbar_max == 0 ? P
+                                         : std::min(config_.pbar_max,
+                                                    GeneralParams::kUnboundedParallelism);
+    const int lo = std::min(config_.pbar_min, hi);
+    return static_cast<int>(rng.uniform_int(lo, hi));
+  };
+  auto sample_d = [&]() -> double {
+    return w * rng.uniform(config_.seq_fraction_min, config_.seq_fraction_max);
+  };
+  auto sample_c = [&]() -> double {
+    // Choose the communication overhead through the sweet spot
+    // s = sqrt(w/c): sampling s log-uniformly across the machine keeps
+    // interesting allocations at every scale; then c = w / s^2.
+    const double s_hi = std::max(config_.sweet_spot_min,
+                                 config_.sweet_spot_factor *
+                                     static_cast<double>(P));
+    const double s = rng.log_uniform(config_.sweet_spot_min, s_hi);
+    return w / (s * s);
+  };
+
+  switch (kind_) {
+    case ModelKind::kRoofline:
+      return std::make_shared<RooflineModel>(w, sample_pbar());
+    case ModelKind::kCommunication:
+      return std::make_shared<CommunicationModel>(w, sample_c());
+    case ModelKind::kAmdahl: {
+      // Guarantee d > 0 as Eq. (4) requires.
+      const double d = std::max(sample_d(), 1e-9 * w);
+      return std::make_shared<AmdahlModel>(w, d);
+    }
+    case ModelKind::kGeneral: {
+      GeneralParams gp;
+      gp.w = w;
+      gp.d = sample_d();
+      gp.c = sample_c();
+      gp.pbar = sample_pbar();
+      return std::make_shared<GeneralModel>(gp);
+    }
+    case ModelKind::kArbitrary:
+      break;
+  }
+  throw std::logic_error("ModelSampler::sample: unreachable");
+}
+
+}  // namespace moldsched::model

@@ -1,0 +1,44 @@
+// Random task-parameter samplers: generate per-task speedup models for the
+// randomized workloads of the experiment harnesses (Section 6 of the paper
+// names such an empirical evaluation as future work; we provide it).
+#pragma once
+
+#include "moldsched/model/speedup_model.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::model {
+
+/// Tunables for ModelSampler. Defaults produce tasks whose work spans
+/// three orders of magnitude, with mild sequential fractions and
+/// communication overheads whose sweet spot sqrt(w/c) lands inside the
+/// machine.
+struct SamplerConfig {
+  double w_min = 1.0;              ///< work sampled log-uniform in [w_min, w_max]
+  double w_max = 1000.0;
+  double seq_fraction_min = 0.01;  ///< d = w * U[seq_fraction_min, seq_fraction_max]
+  double seq_fraction_max = 0.25;
+  double sweet_spot_min = 1.0;     ///< communication c chosen so that
+  double sweet_spot_factor = 2.0;  ///< sqrt(w/c) ~ logU[sweet_spot_min, factor*P]
+  int pbar_min = 1;                ///< roofline/general parallelism bound
+  int pbar_max = 0;                ///< 0 means "use P"
+};
+
+/// Draws i.i.d. speedup models of a fixed family.
+class ModelSampler {
+ public:
+  /// Throws std::invalid_argument for ModelKind::kArbitrary (arbitrary
+  /// models have no canonical parameterization) or inconsistent config.
+  explicit ModelSampler(ModelKind kind, SamplerConfig config = {});
+
+  /// Samples one model appropriate for a platform of P >= 1 processors.
+  [[nodiscard]] ModelPtr sample(util::Rng& rng, int P) const;
+
+  [[nodiscard]] ModelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const SamplerConfig& config() const noexcept { return config_; }
+
+ private:
+  ModelKind kind_;
+  SamplerConfig config_;
+};
+
+}  // namespace moldsched::model

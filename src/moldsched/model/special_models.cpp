@@ -1,0 +1,60 @@
+#include "moldsched/model/special_models.hpp"
+
+#include <stdexcept>
+
+namespace moldsched::model {
+
+namespace {
+
+GeneralParams roofline_params(double w, int pbar) {
+  if (!(w > 0.0)) throw std::invalid_argument("RooflineModel: w must be > 0");
+  GeneralParams p;
+  p.w = w;
+  p.pbar = pbar;
+  return p;
+}
+
+GeneralParams communication_params(double w, double c) {
+  if (!(w > 0.0))
+    throw std::invalid_argument("CommunicationModel: w must be > 0");
+  if (!(c > 0.0))
+    throw std::invalid_argument("CommunicationModel: c must be > 0");
+  GeneralParams p;
+  p.w = w;
+  p.c = c;
+  return p;
+}
+
+GeneralParams amdahl_params(double w, double d) {
+  if (!(w > 0.0)) throw std::invalid_argument("AmdahlModel: w must be > 0");
+  if (!(d > 0.0)) throw std::invalid_argument("AmdahlModel: d must be > 0");
+  GeneralParams p;
+  p.w = w;
+  p.d = d;
+  return p;
+}
+
+}  // namespace
+
+RooflineModel::RooflineModel(double w, int pbar)
+    : GeneralModel(roofline_params(w, pbar), ModelKind::kRoofline) {}
+
+std::unique_ptr<SpeedupModel> RooflineModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new RooflineModel(*this));
+}
+
+CommunicationModel::CommunicationModel(double w, double c)
+    : GeneralModel(communication_params(w, c), ModelKind::kCommunication) {}
+
+std::unique_ptr<SpeedupModel> CommunicationModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new CommunicationModel(*this));
+}
+
+AmdahlModel::AmdahlModel(double w, double d)
+    : GeneralModel(amdahl_params(w, d), ModelKind::kAmdahl) {}
+
+std::unique_ptr<SpeedupModel> AmdahlModel::clone() const {
+  return std::unique_ptr<SpeedupModel>(new AmdahlModel(*this));
+}
+
+}  // namespace moldsched::model

@@ -1,0 +1,37 @@
+// The three named special cases of Eq. (1) analysed in Section 4.3.
+#pragma once
+
+#include <memory>
+
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::model {
+
+/// Roofline model, Eq. (2): t(p) = w / min(p, pbar).
+/// Linear speedup up to the maximum degree of parallelism pbar.
+class RooflineModel : public GeneralModel {
+ public:
+  /// Throws unless w > 0 and pbar >= 1.
+  RooflineModel(double w, int pbar);
+  [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
+};
+
+/// Communication model, Eq. (3): t(p) = w/p + c(p-1), c > 0.
+/// Perfectly parallelizable work plus a linear communication overhead.
+class CommunicationModel : public GeneralModel {
+ public:
+  /// Throws unless w > 0 and c > 0 (c = 0 degenerates to roofline).
+  CommunicationModel(double w, double c);
+  [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
+};
+
+/// Amdahl's model, Eq. (4): t(p) = w/p + d, d > 0.
+/// Perfectly parallelizable fraction w plus sequential fraction d.
+class AmdahlModel : public GeneralModel {
+ public:
+  /// Throws unless w > 0 and d > 0 (d = 0 degenerates to roofline).
+  AmdahlModel(double w, double d);
+  [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
+};
+
+}  // namespace moldsched::model

@@ -1,0 +1,70 @@
+#include "moldsched/model/speedup_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldsched::model {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRoofline: return "roofline";
+    case ModelKind::kCommunication: return "communication";
+    case ModelKind::kAmdahl: return "amdahl";
+    case ModelKind::kGeneral: return "general";
+    case ModelKind::kArbitrary: return "arbitrary";
+  }
+  throw std::logic_error("to_string: unknown ModelKind");
+}
+
+void SpeedupModel::check_procs(int p) {
+  if (p < 1)
+    throw std::invalid_argument("SpeedupModel::time: p must be >= 1, got " +
+                                std::to_string(p));
+}
+
+int SpeedupModel::max_useful_procs(int P) const {
+  if (P < 1)
+    throw std::invalid_argument("max_useful_procs: P must be >= 1");
+  // Smallest allocation achieving the minimum time over [1, P]; ties go to
+  // fewer processors because extra processors only add area.
+  int best_p = 1;
+  double best_t = time(1);
+  for (int p = 2; p <= P; ++p) {
+    const double t = time(p);
+    if (t < best_t) {
+      best_t = t;
+      best_p = p;
+    }
+  }
+  return best_p;
+}
+
+double SpeedupModel::min_area(int P) const {
+  if (P < 1) throw std::invalid_argument("min_area: P must be >= 1");
+  double best = area(1);
+  for (int p = 2; p <= P; ++p) best = std::min(best, area(p));
+  return best;
+}
+
+bool is_time_nonincreasing(const SpeedupModel& m, int p_limit) {
+  for (int p = 1; p < p_limit; ++p)
+    if (m.time(p) < m.time(p + 1) - 1e-12) return false;
+  return true;
+}
+
+bool is_area_nondecreasing(const SpeedupModel& m, int p_limit) {
+  for (int p = 1; p < p_limit; ++p)
+    if (m.area(p) > m.area(p + 1) + 1e-12) return false;
+  return true;
+}
+
+bool has_no_superlinear_speedup(const SpeedupModel& m, int p_limit) {
+  for (int p = 1; p < p_limit; ++p)
+    for (int q = p + 1; q <= p_limit; ++q)
+      if (m.time(p) / m.time(q) >
+          static_cast<double>(q) / static_cast<double>(p) + 1e-9)
+        return false;
+  return true;
+}
+
+}  // namespace moldsched::model

@@ -1,0 +1,95 @@
+// Speedup models for moldable tasks.
+//
+// A moldable task's execution time t(p) is a function of the (integral)
+// number of processors p chosen at launch. The paper analyzes the general
+// model of Eq. (1),
+//     t(p) = w / min(p, pbar) + d + c * (p - 1),
+// together with its three named special cases (roofline, communication,
+// Amdahl) and, in Section 5, arbitrary functions t(p).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace moldsched::model {
+
+/// Model families distinguished by the paper's analysis.
+enum class ModelKind {
+  kRoofline,       // Eq. (2): t(p) = w / min(p, pbar)
+  kCommunication,  // Eq. (3): t(p) = w/p + c(p-1)
+  kAmdahl,         // Eq. (4): t(p) = w/p + d
+  kGeneral,        // Eq. (1)
+  kArbitrary,      // any t(p); Section 5
+};
+
+[[nodiscard]] std::string to_string(ModelKind kind);
+
+/// Interface for a task's execution-time function.
+///
+/// Implementations must guarantee t(p) > 0 for all p in [1, P] for every
+/// platform size P they will be used with, and must be deterministic and
+/// side-effect free: the scheduler calls time() many times per task.
+class SpeedupModel {
+ public:
+  virtual ~SpeedupModel() = default;
+
+  /// Execution time with p >= 1 processors. Throws std::invalid_argument
+  /// for p < 1.
+  [[nodiscard]] virtual double time(int p) const = 0;
+
+  /// Area (processor-time product) a(p) = p * t(p).
+  [[nodiscard]] double area(int p) const {
+    return static_cast<double>(p) * time(p);
+  }
+
+  /// Speedup over sequential execution: s(p) = t(1) / t(p).
+  [[nodiscard]] double speedup(int p) const { return time(1) / time(p); }
+
+  /// Parallel efficiency: e(p) = s(p) / p, in (0, 1] for monotonic
+  /// models (Eq. (6) rules out superlinear speedup).
+  [[nodiscard]] double efficiency(int p) const {
+    return speedup(p) / static_cast<double>(p);
+  }
+
+  /// p_max of Eq. (5): the largest allocation worth considering on a
+  /// platform with P processors. Allocating more than this never decreases
+  /// execution time and only increases area. Always in [1, P].
+  /// The default implementation scans [1, P]; closed-form overrides exist
+  /// for the Eq. (1) family.
+  [[nodiscard]] virtual int max_useful_procs(int P) const;
+
+  /// t_min = t(p_max): the minimum achievable execution time on P procs.
+  [[nodiscard]] double min_time(int P) const { return time(max_useful_procs(P)); }
+
+  /// a_min: the minimum achievable area with an allocation in [1, P].
+  /// Equals a(1) for all monotonic models (Lemma 1); the default scans.
+  [[nodiscard]] virtual double min_area(int P) const;
+
+  [[nodiscard]] virtual ModelKind kind() const = 0;
+
+  /// Human-readable parameter dump for traces and error messages.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Deep copy (models are immutable; the copy shares no state).
+  [[nodiscard]] virtual std::unique_ptr<SpeedupModel> clone() const = 0;
+
+ protected:
+  /// Shared precondition check for time(p) implementations.
+  static void check_procs(int p);
+};
+
+using ModelPtr = std::shared_ptr<const SpeedupModel>;
+
+/// True iff t is non-increasing on [1, p_limit] (first monotonic property).
+[[nodiscard]] bool is_time_nonincreasing(const SpeedupModel& m, int p_limit);
+
+/// True iff a is non-decreasing on [1, p_limit] (second monotonic property).
+[[nodiscard]] bool is_area_nondecreasing(const SpeedupModel& m, int p_limit);
+
+/// True iff t(p)/t(q) <= q/p for all 1 <= p < q <= p_limit (Eq. (6):
+/// no superlinear speedup). Implied by area monotonicity; checked
+/// directly for test purposes.
+[[nodiscard]] bool has_no_superlinear_speedup(const SpeedupModel& m,
+                                              int p_limit);
+
+}  // namespace moldsched::model

@@ -1,0 +1,56 @@
+#include "moldsched/resilience/failure_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::resilience {
+
+BernoulliFailures::BernoulliFailures(double q) : q_(q) {
+  if (!(q >= 0.0) || q >= 1.0)
+    throw std::invalid_argument("BernoulliFailures: q must lie in [0, 1)");
+}
+
+bool BernoulliFailures::attempt_fails(double /*duration*/, int /*procs*/,
+                                      util::Rng& rng) const {
+  return rng.bernoulli(q_);
+}
+
+double BernoulliFailures::expected_attempts(double /*duration*/,
+                                            int /*procs*/) const {
+  return 1.0 / (1.0 - q_);
+}
+
+std::string BernoulliFailures::describe() const {
+  std::ostringstream os;
+  os << "bernoulli(q=" << q_ << ")";
+  return os.str();
+}
+
+PoissonAreaFailures::PoissonAreaFailures(double lambda) : lambda_(lambda) {
+  if (!(lambda >= 0.0))
+    throw std::invalid_argument(
+        "PoissonAreaFailures: lambda must be non-negative");
+}
+
+bool PoissonAreaFailures::attempt_fails(double duration, int procs,
+                                        util::Rng& rng) const {
+  if (duration < 0.0 || procs < 1)
+    throw std::invalid_argument("PoissonAreaFailures: bad attempt shape");
+  const double area = duration * static_cast<double>(procs);
+  return rng.bernoulli(1.0 - std::exp(-lambda_ * area));
+}
+
+double PoissonAreaFailures::expected_attempts(double duration,
+                                              int procs) const {
+  const double area = duration * static_cast<double>(procs);
+  return std::exp(lambda_ * area);
+}
+
+std::string PoissonAreaFailures::describe() const {
+  std::ostringstream os;
+  os << "poisson-area(lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+}  // namespace moldsched::resilience

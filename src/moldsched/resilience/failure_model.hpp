@@ -1,0 +1,90 @@
+// Task failure models for resilient scheduling.
+//
+// The paper (Section 2) notes that its online analysis "can readily
+// carry over to the failure scenario" of Benoit et al. [3,4], where a
+// failed task is re-executed until it succeeds and failures are only
+// discovered at the end of an execution attempt (silent errors detected
+// by a verification step). This module supplies that scenario.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::resilience {
+
+/// Decides whether one execution attempt of a task fails. Stateless
+/// except for the caller-owned RNG, so simulations stay reproducible.
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  /// True if an attempt running for `duration` on `procs` processors
+  /// (area = procs * duration) fails. Called once per attempt, at
+  /// attempt completion (silent-error semantics).
+  [[nodiscard]] virtual bool attempt_fails(double duration, int procs,
+                                           util::Rng& rng) const = 0;
+
+  /// Expected number of attempts for an execution of the given shape
+  /// (1 / success probability); used by analytical predictions in tests.
+  [[nodiscard]] virtual double expected_attempts(double duration,
+                                                 int procs) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using FailureModelPtr = std::shared_ptr<const FailureModel>;
+
+/// Every attempt fails independently with a fixed probability q.
+class BernoulliFailures : public FailureModel {
+ public:
+  /// Throws unless 0 <= q < 1 (q = 1 would loop forever).
+  explicit BernoulliFailures(double q);
+
+  [[nodiscard]] bool attempt_fails(double duration, int procs,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] double expected_attempts(double duration,
+                                         int procs) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double q() const noexcept { return q_; }
+
+ private:
+  double q_;
+};
+
+/// Silent errors striking as a Poisson process in processor-time: an
+/// attempt of area a = procs * duration fails with probability
+/// 1 - exp(-lambda * a). The classic model for resilient moldable jobs
+/// — larger allocations expose more hardware to errors.
+class PoissonAreaFailures : public FailureModel {
+ public:
+  /// Throws unless lambda >= 0.
+  explicit PoissonAreaFailures(double lambda);
+
+  [[nodiscard]] bool attempt_fails(double duration, int procs,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] double expected_attempts(double duration,
+                                         int procs) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Never fails; the resilient scheduler degenerates to Algorithm 1.
+class NoFailures : public FailureModel {
+ public:
+  [[nodiscard]] bool attempt_fails(double, int, util::Rng&) const override {
+    return false;
+  }
+  [[nodiscard]] double expected_attempts(double, int) const override {
+    return 1.0;
+  }
+  [[nodiscard]] std::string describe() const override { return "no-failures"; }
+};
+
+}  // namespace moldsched::resilience

@@ -1,0 +1,248 @@
+#include "moldsched/resilience/resilient_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/sim/platform.hpp"
+
+namespace moldsched::resilience {
+
+ResilientOnlineScheduler::ResilientOnlineScheduler(
+    const graph::TaskGraph& g, int P, const core::Allocator& alloc,
+    FailureModelPtr failures, std::uint64_t seed, core::QueuePolicy policy)
+    : graph_(g),
+      P_(P),
+      allocator_(alloc),
+      failures_(std::move(failures)),
+      seed_(seed),
+      policy_(policy) {
+  if (P < 1)
+    throw std::invalid_argument("ResilientOnlineScheduler: P must be >= 1");
+  if (!failures_)
+    throw std::invalid_argument(
+        "ResilientOnlineScheduler: null failure model");
+  g.validate();
+}
+
+namespace {
+
+struct QueueEntry {
+  graph::TaskId task;
+  double key;
+  std::uint64_t seq;
+};
+
+}  // namespace
+
+ResilientResult ResilientOnlineScheduler::run() const {
+  const int n = graph_.num_tasks();
+  ResilientResult result;
+  result.allocation.assign(static_cast<std::size_t>(n), 0);
+  result.attempts_per_task.assign(static_cast<std::size_t>(n), 0);
+
+  util::Rng rng(seed_);
+  sim::EventQueue events;
+  sim::Platform platform(P_);
+  std::vector<int> pending_preds(static_cast<std::size_t>(n));
+  for (graph::TaskId v = 0; v < n; ++v)
+    pending_preds[static_cast<std::size_t>(v)] = graph_.in_degree(v);
+
+  std::vector<QueueEntry> queue;
+  std::uint64_t seq = 0;
+  // Index into result.attempts of the currently running attempt per task.
+  std::vector<std::int64_t> running(static_cast<std::size_t>(n), -1);
+
+  auto enqueue = [&](graph::TaskId task) {
+    const QueueEntry entry{
+        task,
+        priority_key(policy_, graph_.model_of(task),
+                     result.allocation[static_cast<std::size_t>(task)], P_),
+        seq++};
+    switch (policy_) {
+      case core::QueuePolicy::kFifo:
+        queue.push_back(entry);
+        break;
+      case core::QueuePolicy::kLifo:
+        queue.insert(queue.begin(), entry);
+        break;
+      default: {
+        auto it = std::find_if(
+            queue.begin(), queue.end(),
+            [&](const QueueEntry& e) { return e.key < entry.key; });
+        queue.insert(it, entry);
+        break;
+      }
+    }
+  };
+
+  auto reveal = [&](graph::TaskId task) {
+    const int alloc = allocator_.allocate(graph_.model_of(task), P_);
+    if (alloc < 1 || alloc > P_)
+      throw std::logic_error(
+          "ResilientOnlineScheduler: allocation outside [1, P] for task " +
+          graph_.name(task));
+    result.allocation[static_cast<std::size_t>(task)] = alloc;
+    enqueue(task);
+  };
+
+  auto try_start_all = [&](double now) {
+    auto it = queue.begin();
+    while (it != queue.end()) {
+      const graph::TaskId task = it->task;
+      const int alloc = result.allocation[static_cast<std::size_t>(task)];
+      if (alloc <= platform.available()) {
+        platform.acquire(alloc);
+        Attempt attempt;
+        attempt.task = task;
+        attempt.attempt = ++result.attempts_per_task[
+            static_cast<std::size_t>(task)];
+        attempt.start = now;
+        attempt.procs = alloc;
+        running[static_cast<std::size_t>(task)] =
+            static_cast<std::int64_t>(result.attempts.size());
+        result.attempts.push_back(attempt);
+        events.schedule(now + graph_.model_of(task).time(alloc), task);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (pending_preds[static_cast<std::size_t>(v)] == 0) reveal(v);
+  try_start_all(0.0);
+
+  while (!events.empty()) {
+    const auto batch = events.pop_simultaneous();
+    const double now = events.now();
+
+    std::vector<graph::TaskId> newly_ready;
+    std::vector<graph::TaskId> retries;
+    for (const auto& ev : batch) {
+      const auto task = static_cast<graph::TaskId>(ev.payload);
+      auto& attempt = result.attempts[static_cast<std::size_t>(
+          running[static_cast<std::size_t>(task)])];
+      attempt.end = now;
+      running[static_cast<std::size_t>(task)] = -1;
+      platform.release(attempt.procs);
+
+      const double duration = attempt.end - attempt.start;
+      attempt.failed = failures_->attempt_fails(duration, attempt.procs, rng);
+      const double area = duration * static_cast<double>(attempt.procs);
+      result.total_area += area;
+      if (attempt.failed) {
+        result.wasted_area += area;
+        retries.push_back(task);
+      } else {
+        for (const graph::TaskId s : graph_.successors(task))
+          if (--pending_preds[static_cast<std::size_t>(s)] == 0)
+            newly_ready.push_back(s);
+      }
+    }
+    // Retries keep their allocation and re-enter the queue first (they
+    // are "older" work); new reveals follow in id order.
+    for (const graph::TaskId t : retries) enqueue(t);
+    std::sort(newly_ready.begin(), newly_ready.end());
+    for (const graph::TaskId v : newly_ready) reveal(v);
+
+    try_start_all(now);
+  }
+
+  if (!queue.empty())
+    throw std::logic_error("ResilientOnlineScheduler: deadlock");
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (result.attempts_per_task[static_cast<std::size_t>(v)] == 0)
+      throw std::logic_error(
+          "ResilientOnlineScheduler: task never executed: " + graph_.name(v));
+
+  double makespan = 0.0;
+  for (const auto& a : result.attempts) makespan = std::max(makespan, a.end);
+  result.makespan = makespan;
+  return result;
+}
+
+std::vector<std::string> validate_resilient_schedule(
+    const graph::TaskGraph& g, const ResilientResult& result, int P,
+    double tolerance) {
+  std::vector<std::string> violations;
+  auto fail = [&](const std::string& m) { violations.push_back(m); };
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+
+  std::vector<double> success_end(n, -1.0);
+  std::vector<double> first_start(n, -1.0);
+  std::vector<int> successes(n, 0);
+  std::vector<double> last_failed_end(n, -1.0);
+
+  for (const auto& a : result.attempts) {
+    if (a.task < 0 || static_cast<std::size_t>(a.task) >= n) {
+      fail("attempt for unknown task " + std::to_string(a.task));
+      continue;
+    }
+    const auto idx = static_cast<std::size_t>(a.task);
+    if (a.procs < 1 || a.procs > P)
+      fail("attempt of " + g.name(a.task) + " uses " +
+           std::to_string(a.procs) + " procs");
+    const double expect = g.model_of(a.task).time(std::clamp(a.procs, 1, P));
+    if (std::abs((a.end - a.start) - expect) >
+        tolerance * std::max(1.0, expect))
+      fail("attempt of " + g.name(a.task) + " has wrong duration");
+    if (first_start[idx] < 0.0 || a.start < first_start[idx])
+      first_start[idx] = a.start;
+    if (a.failed) {
+      last_failed_end[idx] = std::max(last_failed_end[idx], a.end);
+    } else {
+      ++successes[idx];
+      success_end[idx] = a.end;
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (successes[v] != 1)
+      fail(g.name(static_cast<graph::TaskId>(v)) + " has " +
+           std::to_string(successes[v]) + " successful attempts");
+    else if (last_failed_end[v] > success_end[v] + tolerance)
+      fail(g.name(static_cast<graph::TaskId>(v)) +
+           " has a failed attempt after its success");
+  }
+
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const graph::TaskId u : g.predecessors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      const auto vi = static_cast<std::size_t>(v);
+      if (successes[ui] == 1 && first_start[vi] >= 0.0 &&
+          first_start[vi] < success_end[ui] - tolerance)
+        fail(g.name(v) + " started before predecessor " + g.name(u) +
+             " succeeded");
+    }
+  }
+
+  // Capacity sweep over attempts.
+  struct Edge {
+    double t;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  for (const auto& a : result.attempts) {
+    edges.push_back({a.start, a.procs});
+    edges.push_back({a.end, -a.procs});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  int usage = 0;
+  for (const auto& e : edges) {
+    usage += e.delta;
+    if (usage > P) {
+      fail("capacity exceeded: " + std::to_string(usage) + " > " +
+           std::to_string(P));
+      break;
+    }
+  }
+  return violations;
+}
+
+}  // namespace moldsched::resilience

@@ -1,0 +1,68 @@
+// Resilient online list scheduling: Algorithm 1 under the re-execution
+// model. A task's failure is discovered only when an execution attempt
+// completes; the task is then re-inserted into the waiting queue and
+// re-executed (same allocation — the task's parameters are unchanged, so
+// Algorithm 2 would decide identically) until an attempt succeeds. A
+// successor is revealed only after every predecessor has *succeeded*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/resilience/failure_model.hpp"
+
+namespace moldsched::resilience {
+
+/// One execution attempt of one task.
+struct Attempt {
+  int task = -1;
+  int attempt = 0;   ///< 1-based attempt index for this task
+  double start = 0.0;
+  double end = 0.0;
+  int procs = 0;
+  bool failed = false;
+};
+
+struct ResilientResult {
+  std::vector<Attempt> attempts;          ///< in start order
+  double makespan = 0.0;
+  std::vector<int> attempts_per_task;     ///< index = TaskId, >= 1
+  std::vector<int> allocation;            ///< fixed per task
+  double total_area = 0.0;                ///< over all attempts
+  double wasted_area = 0.0;               ///< failed attempts only
+};
+
+class ResilientOnlineScheduler {
+ public:
+  /// `seed` drives the failure draws; everything else is deterministic.
+  /// Throws on a cyclic/empty graph, P < 1 or a null failure model.
+  ResilientOnlineScheduler(const graph::TaskGraph& g, int P,
+                           const core::Allocator& alloc,
+                           FailureModelPtr failures, std::uint64_t seed,
+                           core::QueuePolicy policy = core::QueuePolicy::kFifo);
+
+  [[nodiscard]] ResilientResult run() const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  int P_;
+  const core::Allocator& allocator_;
+  FailureModelPtr failures_;
+  std::uint64_t seed_;
+  core::QueuePolicy policy_;
+};
+
+/// Independent validation of a resilient schedule: per-attempt durations
+/// equal t(p), at most P processors in use at any instant, exactly one
+/// successful (final) attempt per task, failed attempts strictly before
+/// it, and no task attempt before all predecessors succeeded. Returns a
+/// list of violations (empty = valid).
+[[nodiscard]] std::vector<std::string> validate_resilient_schedule(
+    const graph::TaskGraph& g, const ResilientResult& result, int P,
+    double tolerance = 1e-9);
+
+}  // namespace moldsched::resilience

@@ -1,0 +1,24 @@
+// EASY backfilling, the de-facto HPC queueing policy, adapted to moldable
+// DAG scheduling: the head of the FIFO queue gets a *reservation* at the
+// earliest instant enough processors will be free (computable because
+// running tasks' finish times are known), and later queue entries may
+// start out of order only if they cannot delay that reservation.
+//
+// Plain list scheduling (Algorithm 1) lets small tasks overtake the head
+// unconditionally, which can starve wide tasks behind a stream of narrow
+// ones; backfilling bounds that effect. Comparing the two quantifies
+// what the paper's unconditioned scan costs/gains on DAG workloads.
+#pragma once
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::sched {
+
+/// Runs the backfilling variant. Returns the same result shape as the
+/// Algorithm 1 engine. Deterministic; throws under the same conditions.
+[[nodiscard]] core::ScheduleResult schedule_online_backfill(
+    const graph::TaskGraph& g, int P, const core::Allocator& alloc);
+
+}  // namespace moldsched::sched

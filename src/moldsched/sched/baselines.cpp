@@ -1,0 +1,91 @@
+#include "moldsched/sched/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::sched {
+
+int MinTimeAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  return m.max_useful_procs(P);
+}
+
+int SequentialAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  (void)m;
+  if (P < 1)
+    throw std::invalid_argument("SequentialAllocator: P must be >= 1");
+  return 1;
+}
+
+FixedAllocator::FixedAllocator(int k) : k_(k) {
+  if (k < 1) throw std::invalid_argument("FixedAllocator: k must be >= 1");
+}
+
+int FixedAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  return std::clamp(k_, 1, std::min(P, m.max_useful_procs(P)));
+}
+
+std::string FixedAllocator::name() const {
+  std::ostringstream os;
+  os << "fixed(" << k_ << ")";
+  return os.str();
+}
+
+FractionAllocator::FractionAllocator(double fraction) : fraction_(fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0)
+    throw std::invalid_argument(
+        "FractionAllocator: fraction must lie in (0, 1]");
+}
+
+int FractionAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  const int want = static_cast<int>(
+      std::lround(fraction_ * static_cast<double>(P)));
+  return std::clamp(want, 1, m.max_useful_procs(P));
+}
+
+std::string FractionAllocator::name() const {
+  std::ostringstream os;
+  os << "fraction(" << fraction_ << ")";
+  return os.str();
+}
+
+int SqrtAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  const int want = static_cast<int>(
+      std::lround(std::sqrt(static_cast<double>(P))));
+  return std::clamp(want, 1, m.max_useful_procs(P));
+}
+
+UncappedLpaAllocator::UncappedLpaAllocator(double mu) : lpa_(mu) {}
+
+int UncappedLpaAllocator::allocate(const model::SpeedupModel& m,
+                                   int P) const {
+  return lpa_.decide(m, P).initial;  // Step 1 only
+}
+
+std::string UncappedLpaAllocator::name() const {
+  std::ostringstream os;
+  os << "uncapped-lpa(mu=" << lpa_.mu() << ")";
+  return os.str();
+}
+
+CappedMinTimeAllocator::CappedMinTimeAllocator(double mu) : mu_(mu) {
+  if (!(mu > 0.0) || mu > 0.38196601125010515 + 1e-12)
+    throw std::invalid_argument(
+        "CappedMinTimeAllocator: mu must lie in (0, (3-sqrt(5))/2]");
+}
+
+int CappedMinTimeAllocator::allocate(const model::SpeedupModel& m,
+                                     int P) const {
+  const int cap = static_cast<int>(
+      std::ceil(mu_ * static_cast<double>(P) - 1e-12));
+  return std::min(m.max_useful_procs(P), std::max(1, cap));
+}
+
+std::string CappedMinTimeAllocator::name() const {
+  std::ostringstream os;
+  os << "capped-min-time(mu=" << mu_ << ")";
+  return os.str();
+}
+
+}  // namespace moldsched::sched

@@ -1,0 +1,96 @@
+// Baseline allocation strategies the paper's algorithm is compared
+// against. Each plugs into the same Algorithm 1 list scheduler; only the
+// per-task processor allocation differs.
+#pragma once
+
+#include <string>
+
+#include "moldsched/core/allocator.hpp"
+
+namespace moldsched::sched {
+
+/// Greedy: always the time-minimizing allocation p_max (Eq. (5)).
+/// Maximizes per-task speed at the price of area; the classic
+/// "selfish task" baseline.
+class MinTimeAllocator : public core::Allocator {
+ public:
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override { return "min-time"; }
+};
+
+/// One processor per task: minimum area, maximum critical path.
+class SequentialAllocator : public core::Allocator {
+ public:
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+};
+
+/// A fixed allocation k, clamped to [1, min(k, P, p_max)].
+class FixedAllocator : public core::Allocator {
+ public:
+  explicit FixedAllocator(int k);
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int k_;
+};
+
+/// A fixed fraction of the machine: p = clamp(round(f*P), 1, p_max).
+class FractionAllocator : public core::Allocator {
+ public:
+  /// Throws unless 0 < fraction <= 1.
+  explicit FractionAllocator(double fraction);
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double fraction_;
+};
+
+/// p = clamp(round(sqrt(P)), 1, p_max): the folkloric square-root rule.
+class SqrtAllocator : public core::Allocator {
+ public:
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override { return "sqrt-p"; }
+};
+
+/// Algorithm 2 with Step 2 removed: the LPA area/time optimization is
+/// kept but the allocation is never capped at ceil(mu P). Isolates the
+/// contribution of the cap (which is what guarantees Lemma 4's "any
+/// waiting task fits" argument).
+class UncappedLpaAllocator : public core::Allocator {
+ public:
+  /// Throws unless 0 < mu <= (3 - sqrt(5))/2 (mu still sets delta).
+  explicit UncappedLpaAllocator(double mu);
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double mu() const noexcept { return lpa_.mu(); }
+
+ private:
+  core::LpaAllocator lpa_;
+};
+
+/// min(p_max, ceil(mu P)): Algorithm 2 with Step 1 replaced by the greedy
+/// min-time choice — i.e. the Feldmann et al. roofline strategy applied
+/// verbatim to other models. Isolates the value of the LPA step.
+class CappedMinTimeAllocator : public core::Allocator {
+ public:
+  /// Throws unless 0 < mu <= (3 - sqrt(5))/2.
+  explicit CappedMinTimeAllocator(double mu);
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+
+ private:
+  double mu_;
+};
+
+}  // namespace moldsched::sched

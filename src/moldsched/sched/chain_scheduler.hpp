@@ -1,0 +1,51 @@
+// The Section 5 lower-bound game (Theorem 9 / Figure 4b).
+//
+// An online scheduler runs the chains instance without knowing which
+// chain belongs to which group; the adaptive adversary (Lemma 10) decides
+// chain lengths on the fly: among chains still alive, the first 2^{K-i}
+// to complete their i-th task are declared to be the group-i chains and
+// terminate. Since all tasks are identical, no deterministic online
+// scheduler can beat this adversary.
+//
+// The online strategy simulated here is the paper's Figure 4(b) policy:
+// keep allocations (approximately) equal across alive chains, topping up
+// early starters with one extra processor so the whole machine is used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moldsched/graph/chains.hpp"
+
+namespace moldsched::sched {
+
+struct ChainsSimResult {
+  double makespan = 0.0;
+  /// t_i of Lemma 10 for i = 1..K: the first instant a *surviving* chain
+  /// completes i tasks; t_K is the makespan. Index i-1.
+  std::vector<double> milestones;
+  std::int64_t tasks_executed = 0;
+  double offline_makespan = 1.0;
+  double ratio = 0.0;  ///< makespan / offline_makespan
+};
+
+class EqualAllocationChainScheduler {
+ public:
+  explicit EqualAllocationChainScheduler(const graph::ChainsInstance& inst);
+
+  /// Plays the game to completion. Deterministic.
+  [[nodiscard]] ChainsSimResult run() const;
+
+ private:
+  const graph::ChainsInstance& inst_;
+};
+
+/// Feasibility check of the proof's offline schedule: group i chains get
+/// 2^{i-1} processors per chain, all chains run concurrently, everything
+/// completes at time 1 and exactly P processors are used. Returns the
+/// offline makespan (always 1.0); throws std::logic_error if the
+/// construction ever failed to verify.
+[[nodiscard]] double verify_offline_chain_schedule(
+    const graph::ChainsInstance& inst);
+
+}  // namespace moldsched::sched

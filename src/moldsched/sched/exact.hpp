@@ -1,0 +1,48 @@
+// Exact optimal offline scheduling of small moldable task graphs by
+// branch and bound — a ground-truth T_opt oracle for tests and
+// small-instance studies.
+//
+// The search exploits a classical normalization: for makespan
+// minimization there is always an optimal schedule in which every task
+// starts at time 0 or at the completion time of some task (any other
+// start can be shifted left without violating resources or precedence).
+// Branching therefore happens only at event times, over the choice of
+// (ready task, allocation) to start next — or the decision to leave the
+// remaining ready tasks waiting until the next completion.
+//
+// Complexity is exponential; the constructor enforces conservative
+// instance-size caps. Pruning: the Lemma 2 bound of the remaining work
+// (remaining minimum area over P, and the remaining critical path from
+// every unfinished task) evaluated at the current time.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::sched {
+
+struct ExactResult {
+  double makespan = 0.0;
+  std::vector<int> allocation;     ///< optimal allocation per task
+  std::vector<double> start_time;  ///< optimal start per task
+  long nodes_explored = 0;         ///< search-tree statistics
+};
+
+class ExactScheduler {
+ public:
+  /// Throws std::invalid_argument if the instance exceeds the caps
+  /// (default: 8 tasks, P <= 8) — beyond them the search is impractical —
+  /// or if the graph is empty/cyclic.
+  ExactScheduler(const graph::TaskGraph& g, int P, int max_tasks = 8,
+                 int max_procs = 8);
+
+  /// Exhaustively computes the optimal makespan. Deterministic.
+  [[nodiscard]] ExactResult run() const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  int P_;
+};
+
+}  // namespace moldsched::sched

@@ -1,0 +1,32 @@
+// Level-by-level scheduling: the classic DAG baseline that partitions
+// the graph into precedence levels (longest hop distance from a source)
+// and schedules each level as a batch of independent moldable tasks with
+// a barrier in between. Simple, predictable, and a standard comparator
+// for list-scheduling algorithms — the barriers cost utilization, which
+// is exactly what Algorithm 1's greedy list scheduling avoids.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::sched {
+
+struct LevelScheduleResult {
+  sim::Trace trace;
+  double makespan = 0.0;
+  std::vector<int> allocation;        ///< per task
+  std::vector<int> level_of;          ///< per task: its precedence level
+  std::vector<double> level_finish;   ///< barrier instant per level
+};
+
+/// Schedules level k's tasks (allocated via `alloc`) with greedy list
+/// scheduling inside the level; level k+1 starts only when level k has
+/// fully completed. Throws under the same conditions as the online
+/// scheduler.
+[[nodiscard]] LevelScheduleResult schedule_level_by_level(
+    const graph::TaskGraph& g, int P, const core::Allocator& alloc);
+
+}  // namespace moldsched::sched

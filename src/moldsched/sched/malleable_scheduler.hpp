@@ -1,0 +1,36 @@
+// Idealized *malleable* scheduling: allocations may change at every
+// event (variable dynamic allocation, Feitelson & Rudolph's taxonomy in
+// the paper's introduction). Progress is fluid: a task running dt at
+// allocation p completes dt / t(p) of its work. Moldable scheduling
+// gives this flexibility up in exchange for implementability; comparing
+// Algorithm 1 against this idealization measures the "moldability
+// penalty" on real workloads.
+//
+// Allocation rule at each event: ready tasks are ordered by remaining
+// critical path (bottom level with minimum times, scaled by remaining
+// fraction) and greedily given their time-minimal allocation p_max
+// until the machine is full; ties and leftovers go to smaller
+// allocations so the machine never idles while work is ready.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::sched {
+
+struct MalleableResult {
+  double makespan = 0.0;
+  /// Number of reallocation events (granularity of the fluid schedule).
+  long events = 0;
+  /// Processor-time actually used (fluid area).
+  double busy_area = 0.0;
+};
+
+/// Simulates the fluid malleable schedule. Deterministic; O(n^2) worst
+/// case in the number of tasks. Throws on an empty/cyclic graph or
+/// P < 1.
+[[nodiscard]] MalleableResult schedule_malleable_fluid(
+    const graph::TaskGraph& g, int P);
+
+}  // namespace moldsched::sched

@@ -1,0 +1,185 @@
+#include "moldsched/sched/offline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/sim/platform.hpp"
+
+namespace moldsched::sched {
+
+sim::Trace list_schedule_with_allocations(
+    const graph::TaskGraph& g, int P, const std::vector<int>& allocations,
+    const std::vector<double>& priorities) {
+  const int n = g.num_tasks();
+  if (P < 1)
+    throw std::invalid_argument("list_schedule_with_allocations: P < 1");
+  if (static_cast<int>(allocations.size()) != n ||
+      static_cast<int>(priorities.size()) != n)
+    throw std::invalid_argument(
+        "list_schedule_with_allocations: vector sizes must equal num_tasks");
+  for (const int a : allocations)
+    if (a < 1 || a > P)
+      throw std::invalid_argument(
+          "list_schedule_with_allocations: allocation outside [1, P]");
+  g.validate();
+
+  sim::Trace trace;
+  sim::EventQueue events;
+  sim::Platform platform(P);
+  std::vector<int> pending(static_cast<std::size_t>(n));
+  for (graph::TaskId v = 0; v < n; ++v)
+    pending[static_cast<std::size_t>(v)] = g.in_degree(v);
+
+  // Ready queue kept sorted by (priority desc, id asc).
+  std::vector<graph::TaskId> ready;
+  auto insert_ready = [&](graph::TaskId v) {
+    auto less = [&](graph::TaskId a, graph::TaskId b) {
+      const double pa = priorities[static_cast<std::size_t>(a)];
+      const double pb = priorities[static_cast<std::size_t>(b)];
+      if (pa != pb) return pa > pb;
+      return a < b;
+    };
+    ready.insert(std::lower_bound(ready.begin(), ready.end(), v, less), v);
+  };
+  auto try_start_all = [&](double now) {
+    auto it = ready.begin();
+    while (it != ready.end()) {
+      const int alloc = allocations[static_cast<std::size_t>(*it)];
+      if (alloc <= platform.available()) {
+        platform.acquire(alloc);
+        trace.record_start(*it, now, alloc);
+        events.schedule(now + g.model_of(*it).time(alloc), *it);
+        it = ready.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (pending[static_cast<std::size_t>(v)] == 0) insert_ready(v);
+  try_start_all(0.0);
+
+  while (!events.empty()) {
+    const auto batch = events.pop_simultaneous();
+    const double now = events.now();
+    for (const auto& ev : batch) {
+      const auto task = static_cast<graph::TaskId>(ev.payload);
+      trace.record_end(task, now);
+      platform.release(allocations[static_cast<std::size_t>(task)]);
+      for (const graph::TaskId s : g.successors(task))
+        if (--pending[static_cast<std::size_t>(s)] == 0) insert_ready(s);
+    }
+    try_start_all(now);
+  }
+
+  if (!ready.empty())
+    throw std::logic_error("list_schedule_with_allocations: deadlock");
+  return trace;
+}
+
+OfflineTradeoffScheduler::OfflineTradeoffScheduler(const graph::TaskGraph& g,
+                                                   int P, int sweep_points)
+    : graph_(g), P_(P), sweep_points_(sweep_points) {
+  if (P < 1)
+    throw std::invalid_argument("OfflineTradeoffScheduler: P must be >= 1");
+  if (sweep_points < 2)
+    throw std::invalid_argument(
+        "OfflineTradeoffScheduler: sweep_points must be >= 2");
+  g.validate();
+}
+
+OfflineResult OfflineTradeoffScheduler::run() const {
+  const int n = graph_.num_tasks();
+
+  // The sweep variable is a *per-task* deadline: every task is given the
+  // cheapest (area-minimal) allocation that meets it. Meaningful deadlines
+  // range from the fastest any task can run to the slowest sequential
+  // task; sweeping that range geometrically visits every allocation
+  // regime from "all-parallel" to "all-sequential".
+  double lower = std::numeric_limits<double>::infinity();
+  double upper = 0.0;
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const auto& m = graph_.model_of(v);
+    lower = std::min(lower, m.min_time(P_));
+    upper = std::max(upper, m.time(1));
+  }
+  upper = std::max(upper, lower * (1.0 + 1e-9));
+
+  OfflineResult best;
+  best.makespan = std::numeric_limits<double>::infinity();
+  best.sweep_points = sweep_points_;
+
+  const double log_lo = std::log(lower);
+  const double log_hi = std::log(upper);
+  for (int i = 0; i < sweep_points_; ++i) {
+    const double frac = static_cast<double>(i) /
+                        static_cast<double>(sweep_points_ - 1);
+    const double target = std::exp(log_lo + frac * (log_hi - log_lo));
+
+    // Area-minimal allocation meeting the per-task deadline `target`.
+    std::vector<int> alloc(static_cast<std::size_t>(n));
+    std::vector<double> times(static_cast<std::size_t>(n));
+    for (graph::TaskId v = 0; v < n; ++v) {
+      const auto& m = graph_.model_of(v);
+      const int p_max = m.max_useful_procs(P_);
+      int chosen = p_max;
+      if (m.time(p_max) <= target) {
+        if (m.kind() == model::ModelKind::kArbitrary) {
+          // No monotonicity: scan for the smallest-area feasible point;
+          // break area ties toward the faster allocation.
+          double best_area = m.area(p_max);
+          double best_time = m.time(p_max);
+          chosen = p_max;
+          for (int p = 1; p <= p_max; ++p) {
+            const double area = m.area(p);
+            const double time = m.time(p);
+            if (time > target) continue;
+            if (area < best_area * (1.0 - 1e-12) ||
+                (area <= best_area * (1.0 + 1e-12) && time < best_time)) {
+              best_area = area;
+              best_time = time;
+              chosen = p;
+            }
+          }
+        } else {
+          int lo = 1;
+          int hi = p_max;
+          while (lo < hi) {
+            const int mid = lo + (hi - lo) / 2;
+            if (m.time(mid) <= target)
+              hi = mid;
+            else
+              lo = mid + 1;
+          }
+          chosen = lo;
+          // Parallelism that costs no area is free speed: extend while
+          // the area stays flat (e.g. the roofline plateau).
+          while (chosen < p_max &&
+                 m.area(chosen + 1) <= m.area(chosen) * (1.0 + 1e-12))
+            ++chosen;
+        }
+      }
+      alloc[static_cast<std::size_t>(v)] = chosen;
+      times[static_cast<std::size_t>(v)] = m.time(chosen);
+    }
+
+    const auto priorities = graph::bottom_levels(graph_, times);
+    auto trace = list_schedule_with_allocations(graph_, P_, alloc, priorities);
+    const double makespan = trace.makespan();
+    if (makespan < best.makespan) {
+      best.makespan = makespan;
+      best.trace = std::move(trace);
+      best.allocation = std::move(alloc);
+      best.winning_target = target;
+    }
+  }
+  return best;
+}
+
+}  // namespace moldsched::sched

@@ -1,0 +1,50 @@
+// Offline scheduling: with the whole graph known in advance, pick
+// allocations and priorities globally. Used as the practical stand-in
+// for the (intractable) optimal offline scheduler when measuring
+// competitive ratios on random and realistic workloads.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::sched {
+
+/// Offline list schedule with *given* per-task allocations and priorities
+/// (larger priority first among simultaneously ready tasks). Building
+/// block for the tradeoff scheduler; also useful on its own in tests.
+/// Throws on an allocation outside [1, P] or wrong vector sizes.
+[[nodiscard]] sim::Trace list_schedule_with_allocations(
+    const graph::TaskGraph& g, int P, const std::vector<int>& allocations,
+    const std::vector<double>& priorities);
+
+struct OfflineResult {
+  sim::Trace trace;
+  double makespan = 0.0;
+  std::vector<int> allocation;
+  /// The makespan target of the sweep iteration that won.
+  double winning_target = 0.0;
+  int sweep_points = 0;
+};
+
+/// Two-phase offline heuristic in the spirit of Lepere-Trystram-Woeginger:
+/// sweep a geometric grid of makespan targets M between the Lemma 2 lower
+/// bound and the sequential upper bound; for each M allocate every task
+/// the smallest (area-minimal) p with t(p) <= M (p_max if none), then
+/// list-schedule with bottom-level priorities; keep the best schedule.
+class OfflineTradeoffScheduler {
+ public:
+  /// sweep_points >= 2 controls the grid resolution.
+  OfflineTradeoffScheduler(const graph::TaskGraph& g, int P,
+                           int sweep_points = 24);
+
+  [[nodiscard]] OfflineResult run() const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  int P_;
+  int sweep_points_;
+};
+
+}  // namespace moldsched::sched

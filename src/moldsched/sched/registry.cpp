@@ -1,0 +1,85 @@
+#include "moldsched/sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "moldsched/sched/backfill_scheduler.hpp"
+#include "moldsched/sched/baselines.hpp"
+#include "moldsched/sched/contiguous_scheduler.hpp"
+#include "moldsched/sched/level_scheduler.hpp"
+
+namespace moldsched::sched {
+
+core::ScheduleResult SchedulerSpec::run(const graph::TaskGraph& g,
+                                        int P) const {
+  if (runner) return runner(g, P);
+  if (!allocator)
+    throw std::invalid_argument("SchedulerSpec::run: '" + name +
+                                "' has neither a runner nor an allocator");
+  return core::schedule_online(g, P, *allocator, policy);
+}
+
+SchedulerSpec lpa_spec(double mu) {
+  return SchedulerSpec{"lpa", std::make_shared<core::LpaAllocator>(mu),
+                       core::QueuePolicy::kFifo, {}};
+}
+
+std::vector<SchedulerSpec> standard_suite(double mu) {
+  std::vector<SchedulerSpec> suite;
+  suite.push_back(lpa_spec(mu));
+  suite.push_back({"min-time", std::make_shared<MinTimeAllocator>(),
+                   core::QueuePolicy::kFifo, {}});
+  suite.push_back({"sequential", std::make_shared<SequentialAllocator>(),
+                   core::QueuePolicy::kFifo, {}});
+  suite.push_back({"capped-min-time",
+                   std::make_shared<CappedMinTimeAllocator>(mu),
+                   core::QueuePolicy::kFifo, {}});
+  suite.push_back({"uncapped-lpa", std::make_shared<UncappedLpaAllocator>(mu),
+                   core::QueuePolicy::kFifo, {}});
+  suite.push_back(
+      {"sqrt-p", std::make_shared<SqrtAllocator>(), core::QueuePolicy::kFifo, {}});
+  suite.push_back({"fraction-1/4", std::make_shared<FractionAllocator>(0.25),
+                   core::QueuePolicy::kFifo, {}});
+  return suite;
+}
+
+std::vector<SchedulerSpec> engine_variants(double mu) {
+  std::vector<SchedulerSpec> variants;
+
+  SchedulerSpec level;
+  level.name = "level-lpa";
+  level.allocator = std::make_shared<core::LpaAllocator>(mu);
+  level.runner = [alloc = level.allocator](const graph::TaskGraph& g,
+                                           int P) {
+    auto r = schedule_level_by_level(g, P, *alloc);
+    core::ScheduleResult out;
+    out.trace = std::move(r.trace);
+    out.makespan = r.makespan;
+    out.allocation = std::move(r.allocation);
+    out.ready_time.assign(static_cast<std::size_t>(g.num_tasks()), 0.0);
+    return out;
+  };
+  variants.push_back(std::move(level));
+
+  SchedulerSpec contiguous;
+  contiguous.name = "contiguous-lpa";
+  contiguous.allocator = std::make_shared<core::LpaAllocator>(mu);
+  contiguous.runner = [alloc = contiguous.allocator](
+                          const graph::TaskGraph& g, int P) {
+    auto r = schedule_online_contiguous(g, P, *alloc);
+    return std::move(r.base);
+  };
+  variants.push_back(std::move(contiguous));
+
+  SchedulerSpec backfill;
+  backfill.name = "backfill-lpa";
+  backfill.allocator = std::make_shared<core::LpaAllocator>(mu);
+  backfill.runner = [alloc = backfill.allocator](const graph::TaskGraph& g,
+                                                 int P) {
+    return schedule_online_backfill(g, P, *alloc);
+  };
+  variants.push_back(std::move(backfill));
+
+  return variants;
+}
+
+}  // namespace moldsched::sched

@@ -1,0 +1,45 @@
+// Named scheduler configurations for the experiment harnesses: the
+// paper's algorithm plus the baseline suite, each an (allocator, queue
+// policy) pair runnable through the same Algorithm 1 engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::sched {
+
+struct SchedulerSpec {
+  std::string name;
+  std::shared_ptr<const core::Allocator> allocator;
+  core::QueuePolicy policy = core::QueuePolicy::kFifo;
+  /// Optional engine override. When set, run() dispatches here instead of
+  /// the Algorithm 1 engine — used to put level-by-level or
+  /// contiguous-placement variants into the same comparison tables.
+  std::function<core::ScheduleResult(const graph::TaskGraph&, int)> runner;
+
+  /// Executes this scheduler on (g, P). Throws std::invalid_argument if
+  /// neither a runner nor an allocator is configured.
+  [[nodiscard]] core::ScheduleResult run(const graph::TaskGraph& g,
+                                         int P) const;
+};
+
+/// The paper's algorithm at parameter mu (FIFO queue, as in Algorithm 1).
+[[nodiscard]] SchedulerSpec lpa_spec(double mu);
+
+/// The full comparison suite: LPA(mu) plus min-time, sequential,
+/// capped-min-time(mu), uncapped-lpa(mu), sqrt-p and fraction(1/4)
+/// baselines.
+[[nodiscard]] std::vector<SchedulerSpec> standard_suite(double mu);
+
+/// Engine variants of LPA(mu): level-by-level barriers and contiguous
+/// first-fit placement. Append to standard_suite for engine ablations.
+[[nodiscard]] std::vector<SchedulerSpec> engine_variants(double mu);
+
+}  // namespace moldsched::sched

@@ -1,0 +1,152 @@
+#include "moldsched/sched/release_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/sim/platform.hpp"
+
+namespace moldsched::sched {
+
+OnlineReleaseScheduler::OnlineReleaseScheduler(std::vector<ReleasedTask> tasks,
+                                               int P,
+                                               const core::Allocator& alloc,
+                                               core::QueuePolicy policy)
+    : tasks_(std::move(tasks)), P_(P), allocator_(alloc), policy_(policy) {
+  if (tasks_.empty())
+    throw std::invalid_argument("OnlineReleaseScheduler: no tasks");
+  if (P < 1)
+    throw std::invalid_argument("OnlineReleaseScheduler: P must be >= 1");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    auto& t = tasks_[i];
+    if (!t.model)
+      throw std::invalid_argument("OnlineReleaseScheduler: null model");
+    if (!(t.release >= 0.0) || !std::isfinite(t.release))
+      throw std::invalid_argument(
+          "OnlineReleaseScheduler: release times must be finite and >= 0");
+    if (t.name.empty()) t.name = "task" + std::to_string(i);
+  }
+}
+
+namespace {
+
+struct QueueEntry {
+  int task;
+  double key;
+  std::uint64_t seq;
+};
+
+}  // namespace
+
+ReleaseScheduleResult OnlineReleaseScheduler::run() const {
+  const auto n = static_cast<int>(tasks_.size());
+  ReleaseScheduleResult result;
+  result.allocation.assign(static_cast<std::size_t>(n), 0);
+  result.wait_time.assign(static_cast<std::size_t>(n), 0.0);
+
+  sim::EventQueue events;
+  sim::Platform platform(P_);
+  // Payloads < n are completions; payload n + i is the release of task i.
+  for (int i = 0; i < n; ++i)
+    events.schedule(tasks_[static_cast<std::size_t>(i)].release, n + i);
+
+  std::vector<QueueEntry> queue;
+  std::uint64_t seq = 0;
+
+  auto reveal = [&](int task) {
+    const auto& model = *tasks_[static_cast<std::size_t>(task)].model;
+    const int alloc = allocator_.allocate(model, P_);
+    if (alloc < 1 || alloc > P_)
+      throw std::logic_error(
+          "OnlineReleaseScheduler: allocation outside [1, P]");
+    result.allocation[static_cast<std::size_t>(task)] = alloc;
+    const QueueEntry entry{task, priority_key(policy_, model, alloc, P_),
+                           seq++};
+    switch (policy_) {
+      case core::QueuePolicy::kFifo:
+        queue.push_back(entry);
+        break;
+      case core::QueuePolicy::kLifo:
+        queue.insert(queue.begin(), entry);
+        break;
+      default: {
+        auto it = std::find_if(
+            queue.begin(), queue.end(),
+            [&](const QueueEntry& e) { return e.key < entry.key; });
+        queue.insert(it, entry);
+        break;
+      }
+    }
+  };
+
+  auto try_start_all = [&](double now) {
+    auto it = queue.begin();
+    while (it != queue.end()) {
+      const int task = it->task;
+      const int alloc = result.allocation[static_cast<std::size_t>(task)];
+      if (alloc <= platform.available()) {
+        platform.acquire(alloc);
+        result.trace.record_start(task, now, alloc);
+        result.wait_time[static_cast<std::size_t>(task)] =
+            now - tasks_[static_cast<std::size_t>(task)].release;
+        events.schedule(
+            now + tasks_[static_cast<std::size_t>(task)].model->time(alloc),
+            task);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!events.empty()) {
+    const auto batch = events.pop_simultaneous();
+    const double now = events.now();
+    std::vector<int> released;
+    for (const auto& ev : batch) {
+      if (ev.payload >= n) {
+        released.push_back(static_cast<int>(ev.payload) - n);
+      } else {
+        const auto task = static_cast<int>(ev.payload);
+        result.trace.record_end(task, now);
+        platform.release(result.allocation[static_cast<std::size_t>(task)]);
+      }
+    }
+    std::sort(released.begin(), released.end());
+    for (const int task : released) reveal(task);
+    try_start_all(now);
+  }
+
+  if (!queue.empty())
+    throw std::logic_error("OnlineReleaseScheduler: deadlock");
+  result.makespan = result.trace.makespan();
+  return result;
+}
+
+double release_makespan_lower_bound(const std::vector<ReleasedTask>& tasks,
+                                    int P) {
+  if (tasks.empty())
+    throw std::invalid_argument("release_makespan_lower_bound: no tasks");
+  if (P < 1)
+    throw std::invalid_argument("release_makespan_lower_bound: P < 1");
+
+  // Sort tasks by release time; for each distinct release r, the work
+  // released at or after r cannot finish before r + (its min area)/P.
+  std::vector<std::pair<double, double>> by_release;  // (release, a_min)
+  double bound = 0.0;
+  by_release.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    by_release.emplace_back(t.release, t.model->min_area(P));
+    bound = std::max(bound, t.release + t.model->min_time(P));
+  }
+  std::sort(by_release.begin(), by_release.end());
+  double suffix_area = 0.0;
+  for (auto it = by_release.rbegin(); it != by_release.rend(); ++it) {
+    suffix_area += it->second;
+    bound = std::max(bound, it->first + suffix_area / static_cast<double>(P));
+  }
+  return bound;
+}
+
+}  // namespace moldsched::sched

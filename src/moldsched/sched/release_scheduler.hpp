@@ -1,0 +1,59 @@
+// Online scheduling of independent moldable tasks released over time —
+// the other online setting surveyed in Section 2 (Ye et al. [23]) and
+// named in the paper's future work. A task becomes known to the
+// scheduler only at its release time; the same Allocator strategies and
+// list-scheduling engine apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/model/speedup_model.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::sched {
+
+struct ReleasedTask {
+  model::ModelPtr model;
+  double release = 0.0;  ///< earliest start time; >= 0
+  std::string name;
+};
+
+struct ReleaseScheduleResult {
+  sim::Trace trace;
+  double makespan = 0.0;
+  std::vector<int> allocation;   ///< per task (input order)
+  std::vector<double> wait_time; ///< start - release, per task
+};
+
+class OnlineReleaseScheduler {
+ public:
+  /// Throws on an empty task list, P < 1, a null model or a negative
+  /// release time.
+  OnlineReleaseScheduler(std::vector<ReleasedTask> tasks, int P,
+                         const core::Allocator& alloc,
+                         core::QueuePolicy policy = core::QueuePolicy::kFifo);
+
+  [[nodiscard]] ReleaseScheduleResult run() const;
+
+  [[nodiscard]] const std::vector<ReleasedTask>& tasks() const noexcept {
+    return tasks_;
+  }
+
+ private:
+  std::vector<ReleasedTask> tasks_;
+  int P_;
+  const core::Allocator& allocator_;
+  core::QueuePolicy policy_;
+};
+
+/// Lower bound on the optimal makespan with release times: for every
+/// task j, T >= r_j + (minimum area of tasks released at or after r_j)/P
+/// and T >= r_j + t_min_j. Reduces to Lemma 2's area bound when all
+/// releases are 0.
+[[nodiscard]] double release_makespan_lower_bound(
+    const std::vector<ReleasedTask>& tasks, int P);
+
+}  // namespace moldsched::sched

@@ -1,0 +1,71 @@
+#include "moldsched/sim/block_platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace moldsched::sim {
+
+BlockPlatform::BlockPlatform(int P) : total_(P) {
+  if (P < 1) throw std::invalid_argument("BlockPlatform: P must be >= 1");
+  free_[0] = P;
+}
+
+int BlockPlatform::largest_free_block() const {
+  int best = 0;
+  for (const auto& [lo, len] : free_) best = std::max(best, len);
+  return best;
+}
+
+int BlockPlatform::acquire_block(int k) {
+  if (k < 1)
+    throw std::invalid_argument("BlockPlatform::acquire_block: k must be >= 1");
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const auto [lo, len] = *it;
+    if (len < k) continue;
+    free_.erase(it);
+    if (len > k) free_[lo + k] = len - k;
+    in_use_ += k;
+    return lo;
+  }
+  return -1;
+}
+
+void BlockPlatform::release_block(int lo, int k) {
+  if (k < 1 || lo < 0 || lo + k > total_)
+    throw std::logic_error("BlockPlatform::release_block: bad block [" +
+                           std::to_string(lo) + ", " +
+                           std::to_string(lo + k) + ")");
+  // The released block must not overlap any free block.
+  auto next = free_.lower_bound(lo);
+  if (next != free_.end() && next->first < lo + k)
+    throw std::logic_error(
+        "BlockPlatform::release_block: block overlaps free space");
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > lo)
+      throw std::logic_error(
+          "BlockPlatform::release_block: block overlaps free space");
+  }
+
+  in_use_ -= k;
+  // Insert and coalesce with neighbours.
+  int new_lo = lo;
+  int new_len = k;
+  if (next != free_.end() && next->first == lo + k) {
+    new_len += next->second;
+    free_.erase(next);
+  }
+  auto after = free_.lower_bound(new_lo);
+  if (after != free_.begin()) {
+    auto prev = std::prev(after);
+    if (prev->first + prev->second == new_lo) {
+      new_lo = prev->first;
+      new_len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_[new_lo] = new_len;
+}
+
+}  // namespace moldsched::sim

@@ -1,0 +1,45 @@
+#include "moldsched/sim/event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::sim {
+
+void EventQueue::schedule(Time time, std::int64_t payload) {
+  if (!std::isfinite(time) || time < 0.0)
+    throw std::invalid_argument(
+        "EventQueue::schedule: time must be finite and non-negative");
+  if (time < now_)
+    throw std::logic_error("EventQueue::schedule: time is in the past");
+  heap_.push(Event{time, next_seq_++, payload});
+}
+
+Time EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  const Event e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  return e;
+}
+
+std::vector<Event> EventQueue::pop_simultaneous() {
+  if (heap_.empty())
+    throw std::logic_error("EventQueue::pop_simultaneous: empty");
+  const Time t = heap_.top().time;
+  std::vector<Event> batch;
+  while (!heap_.empty() && heap_.top().time == t) {
+    batch.push_back(heap_.top());
+    heap_.pop();
+  }
+  now_ = t;
+  // The heap pops ties in seq order already (Later comparator), so the
+  // batch is in insertion order by construction.
+  return batch;
+}
+
+}  // namespace moldsched::sim

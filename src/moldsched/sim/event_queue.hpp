@@ -1,0 +1,59 @@
+// Discrete-event core: a stable, time-ordered event queue.
+//
+// Events carry an opaque int64 payload (typically a task or chain id).
+// Ties in time are broken by insertion sequence number, which makes every
+// simulation deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace moldsched::sim {
+
+using Time = double;
+
+struct Event {
+  Time time = 0.0;
+  std::uint64_t seq = 0;  ///< insertion sequence; breaks time ties FIFO
+  std::int64_t payload = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedules an event. Throws std::invalid_argument on a non-finite or
+  /// negative time, and std::logic_error if time is before now() (the
+  /// simulation cannot travel backwards).
+  void schedule(Time time, std::int64_t payload);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Throws std::logic_error if empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and returns the earliest event, advancing now() to its time.
+  /// Throws std::logic_error if empty.
+  Event pop();
+
+  /// Pops every event scheduled at exactly next_time(); the batch is in
+  /// insertion order. Throws std::logic_error if empty.
+  [[nodiscard]] std::vector<Event> pop_simultaneous();
+
+  /// Current simulation time: the time of the last popped event.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  Time now_ = 0.0;
+};
+
+}  // namespace moldsched::sim

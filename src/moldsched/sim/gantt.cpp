@@ -1,0 +1,118 @@
+#include "moldsched/sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::sim {
+
+namespace {
+
+char label_for(int task) {
+  static const std::string kAlphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return kAlphabet[static_cast<std::size_t>(task) % kAlphabet.size()];
+}
+
+}  // namespace
+
+std::string render_gantt(const Trace& trace, const graph::TaskGraph& g,
+                         int P, int width) {
+  if (P < 1 || P > 128)
+    throw std::invalid_argument("render_gantt: P must be in [1, 128]");
+  if (width < 10)
+    throw std::invalid_argument("render_gantt: width must be >= 10");
+
+  const auto& recs = trace.records();
+  const Time makespan = trace.makespan();
+  std::vector<std::string> rows(static_cast<std::size_t>(P),
+                                std::string(static_cast<std::size_t>(width),
+                                            '.'));
+  if (makespan > 0.0) {
+    // Assign rows with a sweep: at each start, claim the lowest free rows.
+    struct Ev {
+      Time t;
+      int delta;  // +1 start, -1 end
+      std::size_t rec;
+    };
+    std::vector<Ev> evs;
+    evs.reserve(recs.size() * 2);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      evs.push_back({recs[i].start, +1, i});
+      evs.push_back({recs[i].end, -1, i});
+    }
+    std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.delta < b.delta;  // ends before starts at equal times
+    });
+    std::vector<bool> row_busy(static_cast<std::size_t>(P), false);
+    std::vector<std::vector<int>> rows_of(recs.size());
+    auto col_of = [&](Time t) {
+      const auto c = static_cast<int>(std::floor(
+          t / makespan * static_cast<double>(width)));
+      return std::clamp(c, 0, width - 1);
+    };
+    for (const auto& ev : evs) {
+      if (ev.delta < 0) {
+        for (const int r : rows_of[ev.rec])
+          row_busy[static_cast<std::size_t>(r)] = false;
+        continue;
+      }
+      const auto& rec = recs[ev.rec];
+      auto& assigned = rows_of[ev.rec];
+      for (int r = 0; r < P && static_cast<int>(assigned.size()) < rec.procs;
+           ++r) {
+        if (!row_busy[static_cast<std::size_t>(r)]) {
+          row_busy[static_cast<std::size_t>(r)] = true;
+          assigned.push_back(r);
+        }
+      }
+      const int c0 = col_of(rec.start);
+      const int c1 = std::max(c0, col_of(rec.end) - 1);
+      const char label = label_for(rec.task);
+      for (const int r : assigned)
+        for (int c = c0; c <= c1; ++c)
+          rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+              label;
+    }
+  }
+
+  std::ostringstream os;
+  os << "Gantt (P=" << P << ", makespan=" << makespan << ")\n";
+  for (int r = P - 1; r >= 0; --r)
+    os << "p" << r << (r < 10 ? "  |" : " |")
+       << rows[static_cast<std::size_t>(r)] << "|\n";
+  os << "legend:";
+  std::size_t shown = 0;
+  for (const auto& rec : recs) {
+    if (shown++ >= 16) {
+      os << " ...";
+      break;
+    }
+    os << ' ' << label_for(rec.task) << '=' << g.name(rec.task);
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string render_utilization(const Trace& trace, int P, int width) {
+  if (P < 1) throw std::invalid_argument("render_utilization: P must be >= 1");
+  if (width < 10)
+    throw std::invalid_argument("render_utilization: width must be >= 10");
+  std::ostringstream os;
+  os << "utilization profile (P=" << P << ")\n";
+  for (const auto& iv : trace.utilization_profile()) {
+    const auto bar = static_cast<std::size_t>(std::lround(
+        static_cast<double>(iv.procs_in_use) / static_cast<double>(P) *
+        static_cast<double>(width)));
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << '[' << iv.begin << ", " << iv.end << ")  " << iv.procs_in_use
+       << "/" << P << "  " << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moldsched::sim

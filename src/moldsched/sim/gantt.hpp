@@ -1,0 +1,26 @@
+// ASCII rendering of simulated schedules: a processor x time Gantt chart
+// and a utilization histogram. Display-only; row placement is synthesized
+// here and has no bearing on feasibility.
+#pragma once
+
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::sim {
+
+/// Renders one character row per processor, time on the horizontal axis
+/// scaled to `width` columns. Each task is drawn with a cycling label
+/// character; '.' marks idle processors. Throws if P > 128 (unreadable)
+/// or width < 10.
+[[nodiscard]] std::string render_gantt(const Trace& trace,
+                                       const graph::TaskGraph& g, int P,
+                                       int width = 80);
+
+/// Renders the utilization profile as one line per interval:
+///   [begin, end)  procs  bar
+[[nodiscard]] std::string render_utilization(const Trace& trace, int P,
+                                             int width = 60);
+
+}  // namespace moldsched::sim

@@ -1,0 +1,30 @@
+#include "moldsched/sim/platform.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace moldsched::sim {
+
+Platform::Platform(int P) : total_(P) {
+  if (P < 1) throw std::invalid_argument("Platform: P must be >= 1");
+}
+
+void Platform::acquire(int k) {
+  if (k < 1) throw std::invalid_argument("Platform::acquire: k must be >= 1");
+  if (k > available())
+    throw std::logic_error("Platform::acquire: requested " +
+                           std::to_string(k) + " processors but only " +
+                           std::to_string(available()) + " available");
+  in_use_ += k;
+}
+
+void Platform::release(int k) {
+  if (k < 1) throw std::logic_error("Platform::release: k must be >= 1");
+  if (k > in_use_)
+    throw std::logic_error("Platform::release: releasing " +
+                           std::to_string(k) + " processors but only " +
+                           std::to_string(in_use_) + " in use");
+  in_use_ -= k;
+}
+
+}  // namespace moldsched::sim

@@ -1,0 +1,33 @@
+// The machine: P identical processors managed as a counted resource.
+//
+// The theory never depends on *which* processors a task occupies, only on
+// how many, so the platform tracks counts; display-oriented row placement
+// is computed after the fact by the Gantt renderer.
+#pragma once
+
+namespace moldsched::sim {
+
+class Platform {
+ public:
+  /// Throws std::invalid_argument unless P >= 1.
+  explicit Platform(int P);
+
+  [[nodiscard]] int total() const noexcept { return total_; }
+  [[nodiscard]] int in_use() const noexcept { return in_use_; }
+  [[nodiscard]] int available() const noexcept { return total_ - in_use_; }
+
+  /// Claims k processors. Throws std::invalid_argument if k < 1 and
+  /// std::logic_error if k > available() — callers must check first;
+  /// over-subscription is a scheduler bug, never a recoverable state.
+  void acquire(int k);
+
+  /// Returns k processors. Throws std::logic_error if k < 1 or more than
+  /// in_use() would be released.
+  void release(int k);
+
+ private:
+  int total_;
+  int in_use_ = 0;
+};
+
+}  // namespace moldsched::sim

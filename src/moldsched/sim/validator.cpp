@@ -1,0 +1,91 @@
+#include "moldsched/sim/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::sim {
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "schedule valid";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+ValidationReport validate_schedule(const graph::TaskGraph& g,
+                                   const Trace& trace, int P,
+                                   double tolerance) {
+  ValidationReport report;
+  auto fail = [&](const std::string& message) {
+    report.violations.push_back(message);
+  };
+  if (P < 1) {
+    fail("platform size must be >= 1");
+    return report;
+  }
+
+  const auto& recs = trace.records();
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+  std::vector<int> seen(n, 0);
+  std::vector<Time> end_of(n, 0.0);
+
+  for (const auto& r : recs) {
+    if (r.task < 0 || static_cast<std::size_t>(r.task) >= n) {
+      fail("record for unknown task id " + std::to_string(r.task));
+      continue;
+    }
+    const auto idx = static_cast<std::size_t>(r.task);
+    if (++seen[idx] > 1)
+      fail("task " + g.name(r.task) + " scheduled more than once");
+    end_of[idx] = r.end;
+
+    if (r.procs < 1 || r.procs > P)
+      fail("task " + g.name(r.task) + " allocation " +
+           std::to_string(r.procs) + " outside [1, " + std::to_string(P) +
+           "]");
+    const double expect = g.model_of(r.task).time(std::clamp(r.procs, 1, P));
+    const double got = r.end - r.start;
+    if (std::abs(got - expect) >
+        tolerance * std::max({1.0, expect, std::abs(got)}))
+      fail("task " + g.name(r.task) + " duration " + std::to_string(got) +
+           " != t(p) = " + std::to_string(expect));
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    if (seen[static_cast<std::size_t>(v)] == 0)
+      fail("task " + g.name(v) + " never scheduled");
+
+  // Precedence (only meaningful for tasks scheduled exactly once).
+  for (const auto& r : recs) {
+    if (r.task < 0 || static_cast<std::size_t>(r.task) >= n) continue;
+    for (const graph::TaskId u : g.predecessors(r.task)) {
+      const auto uidx = static_cast<std::size_t>(u);
+      if (seen[uidx] != 1) continue;
+      if (r.start < end_of[uidx] - tolerance)
+        fail("task " + g.name(r.task) + " starts at " +
+             std::to_string(r.start) + " before predecessor " + g.name(u) +
+             " ends at " + std::to_string(end_of[uidx]));
+    }
+  }
+
+  // Capacity: sweep over the utilization profile.
+  for (const auto& iv : trace.utilization_profile()) {
+    if (iv.procs_in_use > P) {
+      fail("capacity exceeded: " + std::to_string(iv.procs_in_use) + " > " +
+           std::to_string(P) + " processors in use during [" +
+           std::to_string(iv.begin) + ", " + std::to_string(iv.end) + ")");
+      break;  // one witness is enough
+    }
+  }
+  return report;
+}
+
+void expect_valid_schedule(const graph::TaskGraph& g, const Trace& trace,
+                           int P, double tolerance) {
+  const auto report = validate_schedule(g, trace, P, tolerance);
+  if (!report.ok()) throw std::logic_error(report.to_string());
+}
+
+}  // namespace moldsched::sim

@@ -1,0 +1,37 @@
+// Post-hoc schedule validation: every property a feasible moldable-DAG
+// schedule must satisfy, checked independently of the scheduler that
+// produced the trace. Tests run every simulated schedule through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::sim {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks, for the given graph and platform size:
+///  * every task of the graph appears exactly once in the trace;
+///  * every allocation p is an integer in [1, P];
+///  * every task runs for exactly t_j(p) (within tolerance) — moldable,
+///    non-preemptive, no restarts;
+///  * precedence: no task starts before all its predecessors ended;
+///  * capacity: at every instant the running tasks use at most P procs.
+[[nodiscard]] ValidationReport validate_schedule(const graph::TaskGraph& g,
+                                                 const Trace& trace, int P,
+                                                 double tolerance = 1e-9);
+
+/// Convenience for tests: throws std::logic_error with the full report if
+/// validation fails.
+void expect_valid_schedule(const graph::TaskGraph& g, const Trace& trace,
+                           int P, double tolerance = 1e-9);
+
+}  // namespace moldsched::sim

@@ -1,0 +1,87 @@
+#include "moldsched/util/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldsched::util {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg.size() == 2)
+      throw std::invalid_argument("Flags: bare '--' is not a valid flag");
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (or absent),
+    // in which case treat as boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Flags::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: flag --" + name +
+                                " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: flag --" + name +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Flags: flag --" + name +
+                              " expects a boolean, got '" + it->second + "'");
+}
+
+}  // namespace moldsched::util

@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the example binaries.
+// Supports `--name=value`, `--name value` and boolean `--name`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace moldsched::util {
+
+class Flags {
+ public:
+  /// Parses argv. Unrecognized positional arguments are collected in
+  /// positional(). Throws std::invalid_argument on malformed flags
+  /// (e.g. a lone "--").
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  /// A bare `--name` counts as true; `--name=false/0/no` as false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace moldsched::util

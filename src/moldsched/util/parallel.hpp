@@ -1,0 +1,25 @@
+// Minimal data-parallel helper for the experiment harnesses: runs
+// independent simulations across threads. Simulations are deterministic
+// given their inputs, so parallel execution never changes results — only
+// wall-clock time.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace moldsched::util {
+
+/// Invokes fn(i) for every i in [0, count), distributing iterations over
+/// up to `threads` worker threads (0 = hardware concurrency). Blocks
+/// until all iterations finish. If any invocation throws, the first
+/// exception (in iteration order) is rethrown after all workers join;
+/// remaining iterations may or may not have run.
+///
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// The worker count parallel_for(..., 0) would use.
+[[nodiscard]] unsigned default_parallelism();
+
+}  // namespace moldsched::util

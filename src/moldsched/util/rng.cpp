@@ -1,0 +1,100 @@
+#include "moldsched/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace moldsched::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // consecutive zeros, but guard anyway for defence in depth.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  return lo + (hi - lo) * unit();
+}
+
+double Rng::unit() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("Rng::bernoulli: p outside [0, 1]");
+  return unit() < p;
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0)
+    throw std::invalid_argument("Rng::exponential: lambda must be positive");
+  double u = unit();
+  // unit() can return exactly 0; log(0) is -inf, so nudge away.
+  if (u == 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev < 0.0)
+    throw std::invalid_argument("Rng::normal: stddev must be non-negative");
+  double u1 = unit();
+  if (u1 == 0.0) u1 = 0x1.0p-53;
+  const double u2 = unit();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  if (!(lo > 0.0) || lo > hi)
+    throw std::invalid_argument("Rng::log_uniform: need 0 < lo <= hi");
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+}  // namespace moldsched::util

@@ -1,0 +1,72 @@
+#include "moldsched/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::util {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty())
+    throw std::invalid_argument("percentile: empty sample set");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("percentile: q outside [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const double idx = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty input");
+  Accumulator acc;
+  for (const double x : samples) acc.add(x);
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p25 = percentile(samples, 0.25);
+  s.median = percentile(samples, 0.50);
+  s.p75 = percentile(samples, 0.75);
+  s.p95 = percentile(samples, 0.95);
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& samples) {
+  if (samples.empty())
+    throw std::invalid_argument("geometric_mean: empty input");
+  double log_sum = 0.0;
+  for (const double x : samples) {
+    if (!(x > 0.0))
+      throw std::invalid_argument("geometric_mean: non-positive sample");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace moldsched::util

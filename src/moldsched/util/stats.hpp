@@ -1,0 +1,55 @@
+// Streaming and batch statistics used by the experiment harnesses to
+// aggregate competitive ratios, makespans and utilization figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moldsched::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a batch of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample set, q in [0, 1].
+/// Throws on an empty sample set or q outside [0, 1].
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Builds a Summary from a batch of samples. Throws on empty input.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Geometric mean; all samples must be positive. Throws otherwise.
+[[nodiscard]] double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace moldsched::util

@@ -1,0 +1,172 @@
+#include "moldsched/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::util {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "n/a";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("Table: need at least one column");
+}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+void Table::append_cell(std::string text) {
+  if (rows_.empty()) new_row();
+  if (rows_.back().size() >= headers_.size())
+    throw std::logic_error("Table: row already has all its cells");
+  rows_.back().push_back(std::move(text));
+}
+
+Table& Table::cell(const std::string& text) {
+  append_cell(text);
+  return *this;
+}
+
+Table& Table::cell(const char* text) {
+  append_cell(std::string(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  append_cell(format_double(value, precision));
+  return *this;
+}
+
+Table& Table::cell(int value) {
+  append_cell(std::to_string(value));
+  return *this;
+}
+
+Table& Table::cell(long value) {
+  append_cell(std::to_string(value));
+  return *this;
+}
+
+Table& Table::cell(long long value) {
+  append_cell(std::to_string(value));
+  return *this;
+}
+
+Table& Table::cell(unsigned long value) {
+  append_cell(std::to_string(value));
+  return *this;
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+void pad_to(std::ostringstream& os, const std::string& text, std::size_t w) {
+  os << text;
+  for (std::size_t i = text.size(); i < w; ++i) os << ' ';
+}
+
+}  // namespace
+
+std::string Table::to_ascii() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << ' ';
+      pad_to(os, c < cells.size() ? cells[c] : "", widths[c]);
+      os << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << ' ';
+      pad_to(os, c < cells.size() ? cells[c] : "", widths[c]);
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (const auto w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      os << quote(c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << title << '\n';
+  os << to_ascii();
+}
+
+}  // namespace moldsched::util

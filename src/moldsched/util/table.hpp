@@ -1,0 +1,52 @@
+// Lightweight text-table builder used by the benchmark harnesses to print
+// the paper's tables/figures as aligned ASCII, Markdown or CSV.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace moldsched::util {
+
+/// A simple row/column table of strings with typed cell helpers.
+/// Columns are fixed at construction; rows are appended cell by cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended to the latest row.
+  Table& new_row();
+
+  Table& cell(const std::string& text);
+  Table& cell(const char* text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(int value);
+  Table& cell(long value);
+  Table& cell(long long value);
+  Table& cell(unsigned long value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  /// Aligned, boxed ASCII rendering (for terminal output).
+  [[nodiscard]] std::string to_ascii() const;
+  /// GitHub-flavoured Markdown rendering.
+  [[nodiscard]] std::string to_markdown() const;
+  /// RFC-4180-ish CSV rendering (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: writes `title` then the ASCII table to `os`.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  void append_cell(std::string text);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to "n/a" for NaN.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace moldsched::util

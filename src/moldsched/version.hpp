@@ -1,0 +1,13 @@
+// Library version, bumped with releases.
+#pragma once
+
+namespace moldsched {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch".
+[[nodiscard]] constexpr const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace moldsched

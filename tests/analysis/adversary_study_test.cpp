@@ -1,0 +1,66 @@
+#include "moldsched/analysis/adversary_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/analysis/ratios.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+class AdversaryStudyTest : public testing::TestWithParam<model::ModelKind> {};
+
+TEST_P(AdversaryStudyTest, RatiosClimbTowardLimitWithinUpperBound) {
+  const auto kind = GetParam();
+  const double upper = optimal_ratio(kind).upper_bound;
+  double prev = 0.0;
+  for (const int size : default_adversary_sizes(kind)) {
+    const auto m = measure_adversary(kind, size);
+    EXPECT_TRUE(m.allocations_match_proof)
+        << model::to_string(kind) << " size " << size;
+    EXPECT_GT(m.ratio, 1.0);
+    EXPECT_LE(m.ratio, m.ratio_limit + 1e-9);
+    EXPECT_LE(m.ratio, upper + 1e-9);
+    EXPECT_GE(m.ratio, prev * 0.999);  // monotone climb along the ladder
+    prev = m.ratio;
+  }
+  // The largest instance gets close to the limit.
+  EXPECT_GT(prev, 0.85 * optimal_ratio(kind).lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, AdversaryStudyTest,
+                         testing::Values(model::ModelKind::kRoofline,
+                                         model::ModelKind::kCommunication,
+                                         model::ModelKind::kAmdahl,
+                                         model::ModelKind::kGeneral),
+                         [](const auto& param_info) {
+                           return model::to_string(param_info.param);
+                         });
+
+TEST(AdversaryStudyTest, DefaultMuIsOptimalMu) {
+  const auto m = measure_adversary(model::ModelKind::kAmdahl, 12);
+  EXPECT_DOUBLE_EQ(m.mu, optimal_mu(model::ModelKind::kAmdahl));
+  const auto m2 = measure_adversary(model::ModelKind::kAmdahl, 12, 0.25);
+  EXPECT_DOUBLE_EQ(m2.mu, 0.25);
+}
+
+TEST(AdversaryStudyTest, MetadataIsFilledIn) {
+  const auto m = measure_adversary(model::ModelKind::kCommunication, 32);
+  EXPECT_EQ(m.kind, model::ModelKind::kCommunication);
+  EXPECT_EQ(m.size, 32);
+  EXPECT_EQ(m.P, 32);
+  EXPECT_GT(m.num_tasks, 100);
+  EXPECT_GT(m.t_opt_upper, 0.0);
+}
+
+TEST(AdversaryStudyTest, ArbitraryModelRejected) {
+  EXPECT_THROW((void)measure_adversary(model::ModelKind::kArbitrary, 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)default_adversary_sizes(model::ModelKind::kArbitrary),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

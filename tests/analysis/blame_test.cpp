@@ -1,0 +1,105 @@
+#include "moldsched/analysis/blame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+class OneAlloc : public core::Allocator {
+ public:
+  int allocate(const model::SpeedupModel&, int) const override { return 1; }
+  std::string name() const override { return "one"; }
+};
+
+TEST(BlameChainTest, PureChainIsAllPrecedence) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(1.0, 1), "a");
+  const auto b = g.add_task(roofline(2.0, 1), "b");
+  const auto c = g.add_task(roofline(3.0, 1), "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const OneAlloc alloc;
+  const auto run = core::schedule_online(g, 4, alloc);
+  const auto chain = blame_chain(g, run);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].task, c);
+  EXPECT_EQ(chain[0].reason, BlameReason::kPrecedence);
+  EXPECT_EQ(chain[0].blamed, b);
+  EXPECT_EQ(chain[1].task, b);
+  EXPECT_EQ(chain[1].blamed, a);
+  EXPECT_EQ(chain[2].task, a);
+  EXPECT_EQ(chain[2].reason, BlameReason::kStartOfSchedule);
+}
+
+TEST(BlameChainTest, SerializedIndependentTasksAreResourceBound) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1), "t0");
+  (void)g.add_task(roofline(1.0, 1), "t1");
+  (void)g.add_task(roofline(1.0, 1), "t2");
+  const OneAlloc alloc;
+  const auto run = core::schedule_online(g, 1, alloc);  // P = 1 serializes
+  const auto chain = blame_chain(g, run);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].reason, BlameReason::kResources);
+  EXPECT_EQ(chain[1].reason, BlameReason::kResources);
+  EXPECT_EQ(chain[2].reason, BlameReason::kStartOfSchedule);
+}
+
+TEST(BlameChainTest, ChainCoversTheMakespanContiguously) {
+  util::Rng rng(81);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const int P = 8;
+  const auto g = graph::layered_random(
+      5, 2, 6, 0.4, rng, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.211);
+  const auto run = core::schedule_online(g, P, alloc);
+  const auto chain = blame_chain(g, run);
+  ASSERT_FALSE(chain.empty());
+  // First link finishes at the makespan; last link starts at 0; links
+  // walk strictly backwards in start time.
+  EXPECT_DOUBLE_EQ(chain.front().end, run.makespan);
+  EXPECT_NEAR(chain.back().start, 0.0, 1e-12);
+  for (std::size_t i = 1; i < chain.size(); ++i)
+    EXPECT_LT(chain[i].start, chain[i - 1].start);
+}
+
+TEST(BlameChainTest, FormatMentionsTasksAndReasons) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(1.0, 1), "head");
+  const auto b = g.add_task(roofline(1.0, 1), "tail");
+  g.add_edge(a, b);
+  const OneAlloc alloc;
+  const auto run = core::schedule_online(g, 2, alloc);
+  const auto text = format_blame_chain(g, blame_chain(g, run));
+  EXPECT_NE(text.find("tail"), std::string::npos);
+  EXPECT_NE(text.find("precedence"), std::string::npos);
+  EXPECT_NE(text.find("waited on head"), std::string::npos);
+  EXPECT_NE(text.find("start-of-schedule"), std::string::npos);
+}
+
+TEST(BlameChainTest, RejectsIncompleteTrace) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  (void)g.add_task(roofline(1.0, 1));
+  core::ScheduleResult run;
+  run.ready_time = {0.0, 0.0};
+  run.trace.record_start(0, 0.0, 1);
+  run.trace.record_end(0, 1.0);
+  EXPECT_THROW((void)blame_chain(g, run), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

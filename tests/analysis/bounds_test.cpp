@@ -1,0 +1,78 @@
+#include "moldsched/analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+/// Chain a(w=8, pbar 4) -> b(w=4, pbar 2) plus independent c(w=6, pbar 1).
+graph::TaskGraph make_graph() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(8.0, 4), "a");
+  const auto b = g.add_task(roofline(4.0, 2), "b");
+  (void)g.add_task(roofline(6.0, 1), "c");
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(BoundsTest, MinTimesUseEquationFive) {
+  const auto g = make_graph();
+  const auto t = min_times(g, 4);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 2.0);  // 8/4
+  EXPECT_DOUBLE_EQ(t[1], 2.0);  // 4/2
+  EXPECT_DOUBLE_EQ(t[2], 6.0);  // sequential task
+  // Smaller platform raises the minimum times.
+  EXPECT_DOUBLE_EQ(min_times(g, 2)[0], 4.0);
+}
+
+TEST(BoundsTest, MinTotalAreaIsSumOfSequentialAreas) {
+  const auto g = make_graph();
+  // Roofline min area = w.
+  EXPECT_DOUBLE_EQ(min_total_area(g, 4), 8.0 + 4.0 + 6.0);
+}
+
+TEST(BoundsTest, MinCriticalPath) {
+  const auto g = make_graph();
+  // Path a->b: 2 + 2 = 4; isolated c: 6. C_min = 6.
+  EXPECT_DOUBLE_EQ(min_critical_path(g, 4), 6.0);
+  // On P = 1 everything is sequential: a->b = 12, c = 6.
+  EXPECT_DOUBLE_EQ(min_critical_path(g, 1), 12.0);
+}
+
+TEST(BoundsTest, LowerBoundIsMaxOfBothTerms) {
+  const auto g = make_graph();
+  const auto b = lower_bounds(g, 4);
+  EXPECT_DOUBLE_EQ(b.min_total_area, 18.0);
+  EXPECT_DOUBLE_EQ(b.min_critical_path, 6.0);
+  // max(18/4, 6) = 6.
+  EXPECT_DOUBLE_EQ(b.lower_bound, 6.0);
+  EXPECT_DOUBLE_EQ(optimal_makespan_lower_bound(g, 4), 6.0);
+  // On P = 2: max(18/2, 8) = 9 (area-bound regime).
+  EXPECT_DOUBLE_EQ(optimal_makespan_lower_bound(g, 2), 9.0);
+}
+
+TEST(BoundsTest, AmdahlMinAreaIncludesSequentialPart) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(10.0, 2.0));
+  EXPECT_DOUBLE_EQ(min_total_area(g, 8), 12.0);       // a(1) = w + d
+  EXPECT_DOUBLE_EQ(min_critical_path(g, 8), 10.0 / 8.0 + 2.0);
+}
+
+TEST(BoundsTest, RejectsBadP) {
+  const auto g = make_graph();
+  EXPECT_THROW((void)min_times(g, 0), std::invalid_argument);
+  EXPECT_THROW((void)min_total_area(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

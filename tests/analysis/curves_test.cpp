@@ -1,0 +1,68 @@
+#include "moldsched/analysis/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "moldsched/analysis/ratios.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(RatioCurveTest, SamplesTheWholeMuRange) {
+  const auto curve = ratio_curve(model::ModelKind::kAmdahl, 100);
+  ASSERT_EQ(curve.size(), 100u);
+  EXPECT_GT(curve.front().mu, 0.0);
+  EXPECT_NEAR(curve.back().mu, kMuMax, 1e-12);
+}
+
+TEST(RatioCurveTest, MinimumMatchesOptimalRatio) {
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    const auto curve = ratio_curve(kind, 2000);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : curve) best = std::min(best, p.upper_bound);
+    EXPECT_NEAR(best, optimal_ratio(kind).upper_bound, 1e-3)
+        << model::to_string(kind);
+  }
+}
+
+TEST(RatioCurveTest, LowerNeverAboveUpperWhereBothFinite) {
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl,
+        model::ModelKind::kGeneral}) {
+    for (const auto& p : ratio_curve(kind, 300)) {
+      if (std::isfinite(p.upper_bound) &&
+          std::isfinite(p.lower_bound_limit)) {
+        EXPECT_LE(p.lower_bound_limit, p.upper_bound + 1e-9)
+            << model::to_string(kind) << " mu=" << p.mu;
+      }
+    }
+  }
+}
+
+TEST(RatioCurveTest, RejectsBadArguments) {
+  EXPECT_THROW((void)ratio_curve(model::ModelKind::kAmdahl, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)ratio_curve(model::ModelKind::kArbitrary, 10),
+               std::invalid_argument);
+}
+
+TEST(RatioCurvesCsvTest, WellFormed) {
+  const auto csv = ratio_curves_csv(50);
+  // Header + 50 rows.
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 51u);
+  EXPECT_NE(csv.find("mu,roofline_upper,roofline_lower"), std::string::npos);
+  EXPECT_NE(csv.find("general_upper"), std::string::npos);
+  // Infeasible general entries near mu_max appear as empty cells (",,").
+  EXPECT_NE(csv.find(",,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,87 @@
+#include "moldsched/analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "moldsched/sched/registry.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(MeasureSchedulerTest, ProducesConsistentNumbers) {
+  util::Rng rng(1);
+  const auto cases = random_graph_catalog(model::ModelKind::kAmdahl, 8, rng);
+  const auto spec = sched::lpa_spec(0.271);
+  const auto m = measure_scheduler(cases.front().graph, 8, spec);
+  EXPECT_EQ(m.scheduler, "lpa");
+  EXPECT_GT(m.makespan, 0.0);
+  EXPECT_GT(m.lower_bound, 0.0);
+  EXPECT_GE(m.ratio_vs_lb, 1.0 - 1e-9);
+  EXPECT_GT(m.avg_utilization, 0.0);
+  EXPECT_LE(m.avg_utilization, 1.0 + 1e-9);
+}
+
+TEST(MeasureSchedulerTest, NullAllocatorRejected) {
+  util::Rng rng(2);
+  const auto cases =
+      random_graph_catalog(model::ModelKind::kRoofline, 4, rng);
+  sched::SchedulerSpec bad;
+  bad.name = "broken";
+  EXPECT_THROW((void)measure_scheduler(cases.front().graph, 4, bad),
+               std::invalid_argument);
+}
+
+TEST(RandomCatalogTest, CoversDiverseShapes) {
+  util::Rng rng(3);
+  const auto cases = random_graph_catalog(model::ModelKind::kGeneral, 16, rng);
+  EXPECT_GE(cases.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& c : cases) {
+    EXPECT_TRUE(names.insert(c.name).second);
+    EXPECT_GE(c.graph.num_tasks(), 1);
+    EXPECT_NO_THROW(c.graph.validate());
+  }
+  EXPECT_TRUE(names.count("layered"));
+  EXPECT_TRUE(names.count("fork-join"));
+  EXPECT_THROW((void)random_graph_catalog(model::ModelKind::kGeneral, 16, rng,
+                                          0),
+               std::invalid_argument);
+}
+
+TEST(WorkflowCatalogTest, CoversNamedWorkflows) {
+  const auto cases = workflow_catalog(model::ModelKind::kCommunication);
+  std::set<std::string> names;
+  for (const auto& c : cases) {
+    names.insert(c.name);
+    EXPECT_NO_THROW(c.graph.validate());
+  }
+  EXPECT_TRUE(names.count("cholesky"));
+  EXPECT_TRUE(names.count("lu"));
+  EXPECT_TRUE(names.count("fft"));
+  EXPECT_TRUE(names.count("montage"));
+  EXPECT_TRUE(names.count("wavefront"));
+}
+
+TEST(CompareSuiteTest, OneRowPerScheduler) {
+  util::Rng rng(4);
+  auto cases = random_graph_catalog(model::ModelKind::kAmdahl, 8, rng);
+  cases.resize(3);  // keep the test fast
+  const auto suite = sched::standard_suite(0.271);
+  const auto rows = compare_suite(cases, 8, suite);
+  ASSERT_EQ(rows.size(), suite.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].scheduler, suite[i].name);
+    EXPECT_EQ(rows[i].ratio.count, cases.size());
+    EXPECT_GE(rows[i].ratio.min, 1.0 - 1e-9);
+  }
+}
+
+TEST(CompareSuiteTest, EmptyCasesRejected) {
+  const auto suite = sched::standard_suite(0.3);
+  EXPECT_THROW((void)compare_suite({}, 8, suite), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,69 @@
+#include "moldsched/analysis/lemma_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(LemmaCheckTest, AllLemmasHoldOnRandomGraph) {
+  util::Rng rng(42);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const int P = 24;
+  const auto g = graph::layered_random(
+      6, 2, 8, 0.35, rng, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(
+      optimal_mu(model::ModelKind::kCommunication));
+  const auto run = core::schedule_online(g, P, alloc);
+  const auto check = check_framework(g, P, alloc, run);
+
+  EXPECT_TRUE(check.lemma3_holds()) << check.lemma3_lhs << " vs "
+                                    << check.lemma3_rhs;
+  EXPECT_TRUE(check.lemma4_holds()) << check.lemma4_lhs << " vs "
+                                    << check.lemma4_rhs;
+  EXPECT_TRUE(check.lemma5_holds());
+  EXPECT_TRUE(check.all_hold());
+}
+
+TEST(LemmaCheckTest, FieldsAreInternallyConsistent) {
+  util::Rng rng(43);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 16;
+  const auto g =
+      graph::fork_join(3, 6, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(optimal_mu(model::ModelKind::kAmdahl));
+  const auto run = core::schedule_online(g, P, alloc);
+  const auto check = check_framework(g, P, alloc, run);
+
+  EXPECT_DOUBLE_EQ(check.makespan, run.makespan);
+  EXPECT_GE(check.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(check.beta, std::max(1.0, alloc.delta()));
+  EXPECT_DOUBLE_EQ(
+      check.lower_bound,
+      std::max(check.min_total_area / P, check.min_critical_path));
+  // Realized alpha can never exceed the model's alpha_x (Lemma 8).
+  const auto choice = best_x(model::ModelKind::kAmdahl,
+                             optimal_mu(model::ModelKind::kAmdahl));
+  EXPECT_LE(check.alpha, choice.alpha + 1e-9);
+  // Lemma 5 ratio recomputed from alpha and mu.
+  EXPECT_NEAR(check.lemma5_ratio, lemma5_ratio(check.alpha, alloc.mu()),
+              1e-12);
+}
+
+TEST(LemmaCheckTest, HoldsOnWorkflows) {
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kGeneral;
+  const auto g = graph::lu(5, cfg);
+  const int P = 32;
+  const core::LpaAllocator alloc(optimal_mu(cfg.kind));
+  const auto run = core::schedule_online(g, P, alloc);
+  EXPECT_TRUE(check_framework(g, P, alloc, run).all_hold());
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,37 @@
+#include "moldsched/analysis/markdown_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(MarkdownReportTest, ContainsEverySection) {
+  ReportConfig config;
+  config.P = 8;
+  config.repetitions = 1;
+  config.max_chains_k = 4;
+  config.include_adversaries = false;  // keep the test fast
+  const auto report = generate_markdown_report(config);
+  EXPECT_NE(report.find("# moldsched experiment report"), std::string::npos);
+  EXPECT_NE(report.find("## Table 1"), std::string::npos);
+  EXPECT_NE(report.find("2.618"), std::string::npos);
+  EXPECT_NE(report.find("## Random DAGs"), std::string::npos);
+  EXPECT_NE(report.find("### roofline"), std::string::npos);
+  EXPECT_NE(report.find("### general"), std::string::npos);
+  EXPECT_NE(report.find("## Theorem 9"), std::string::npos);
+  // No adversary section when skipped.
+  EXPECT_EQ(report.find("Theorems 5-8"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, DeterministicForFixedSeed) {
+  ReportConfig config;
+  config.P = 8;
+  config.repetitions = 1;
+  config.max_chains_k = 4;
+  config.include_adversaries = false;
+  EXPECT_EQ(generate_markdown_report(config),
+            generate_markdown_report(config));
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,71 @@
+#include "moldsched/analysis/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(GoldenSectionTest, QuadraticMinimum) {
+  const auto r = golden_section_minimize(
+      [](double x) { return (x - 2.0) * (x - 2.0) + 3.0; }, 0.0, 10.0);
+  // x converges like sqrt(tol) for a flat quadratic bottom.
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+  EXPECT_NEAR(r.value, 3.0, 1e-12);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(GoldenSectionTest, MinimumAtBoundary) {
+  const auto r =
+      golden_section_minimize([](double x) { return x; }, 1.0, 5.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-8);
+}
+
+TEST(GoldenSectionTest, NonSmoothUnimodal) {
+  const auto r = golden_section_minimize(
+      [](double x) { return std::abs(x - 1.5); }, -4.0, 4.0);
+  EXPECT_NEAR(r.x, 1.5, 1e-8);
+  EXPECT_NEAR(r.value, 0.0, 1e-8);
+}
+
+TEST(GoldenSectionTest, RejectsBadArguments) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)golden_section_minimize(f, 2.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)golden_section_minimize(f, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)golden_section_minimize(nullptr, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(GridThenGoldenTest, SurvivesInfinitePlateaus) {
+  // f = +inf left of 3, quadratic with min at 4 on the right — exactly the
+  // shape of the communication-model ratio in mu.
+  const auto f = [](double x) {
+    if (x < 3.0) return std::numeric_limits<double>::infinity();
+    return (x - 4.0) * (x - 4.0) + 1.0;
+  };
+  const auto r = grid_then_golden_minimize(f, 0.0, 10.0);
+  EXPECT_NEAR(r.x, 4.0, 1e-6);
+  EXPECT_NEAR(r.value, 1.0, 1e-10);
+}
+
+TEST(GridThenGoldenTest, AllInfiniteThrows) {
+  const auto f = [](double) {
+    return std::numeric_limits<double>::infinity();
+  };
+  EXPECT_THROW((void)grid_then_golden_minimize(f, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(GridThenGoldenTest, RejectsBadGrid) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)grid_then_golden_minimize(f, 0.0, 1.0, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,168 @@
+// Reproduction of the paper's Table 1: every upper and lower bound,
+// together with the optimal mu* and x* named in Theorems 1-8.
+#include "moldsched/analysis/ratios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(DeltaTest, MatchesClosedForm) {
+  EXPECT_NEAR(delta_of_mu(kMuMax), 1.0, 1e-12);
+  EXPECT_NEAR(delta_of_mu(0.25), 8.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)delta_of_mu(0.0), std::invalid_argument);
+  EXPECT_THROW((void)delta_of_mu(0.4), std::invalid_argument);
+}
+
+TEST(Lemma5RatioTest, Formula) {
+  // (mu*alpha + 1 - 2mu) / (mu(1-mu)); with alpha = 1 this is 1/mu.
+  EXPECT_NEAR(lemma5_ratio(1.0, 0.25), 4.0, 1e-12);
+  EXPECT_NEAR(lemma5_ratio(2.0, 0.25), (0.5 + 0.5) / (0.25 * 0.75), 1e-12);
+  EXPECT_THROW((void)lemma5_ratio(0.5, 0.25), std::invalid_argument);
+}
+
+TEST(BestXTest, RooflineAlwaysAlphaBetaOne) {
+  for (const double mu : {0.05, 0.15, 0.3, kMuMax}) {
+    const auto c = best_x(model::ModelKind::kRoofline, mu);
+    EXPECT_TRUE(c.feasible);
+    EXPECT_DOUBLE_EQ(c.alpha, 1.0);
+    EXPECT_DOUBLE_EQ(c.beta, 1.0);
+  }
+}
+
+TEST(BestXTest, CommunicationXInLemmaRange) {
+  const double mu = 0.324;
+  const auto c = best_x(model::ModelKind::kCommunication, mu);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_GE(c.x, (std::sqrt(13.0) - 1.0) / 6.0 - 1e-12);
+  EXPECT_LE(c.x, 0.5 + 1e-12);
+  // beta_x <= delta must hold.
+  EXPECT_LE(c.beta, delta_of_mu(mu) + 1e-9);
+  EXPECT_NEAR(c.alpha, 1.0 + c.x * c.x + c.x / 3.0, 1e-12);
+}
+
+TEST(BestXTest, CommunicationInfeasibleNearMuMax) {
+  // At mu = kMuMax, delta = 1 < 3/2: the construction cannot work.
+  const auto c = best_x(model::ModelKind::kCommunication, kMuMax);
+  EXPECT_FALSE(c.feasible);
+  EXPECT_TRUE(std::isinf(
+      upper_ratio(model::ModelKind::kCommunication, kMuMax)));
+}
+
+TEST(BestXTest, AmdahlClosedForm) {
+  const double mu = 0.271;
+  const auto c = best_x(model::ModelKind::kAmdahl, mu);
+  ASSERT_TRUE(c.feasible);
+  // x* = mu(1-mu)/(mu^2 - 3mu + 1), the paper's Theorem 3 expression.
+  const double expect = mu * (1.0 - mu) / (mu * mu - 3.0 * mu + 1.0);
+  EXPECT_NEAR(c.x, expect, 1e-12);
+  EXPECT_NEAR(c.beta, delta_of_mu(mu), 1e-9);  // tight at x*
+}
+
+TEST(BestXTest, GeneralNeedsDeltaAtLeastThree) {
+  // delta(0.3) ~ 1.90 < 3: infeasible.
+  EXPECT_FALSE(best_x(model::ModelKind::kGeneral, 0.3).feasible);
+  // delta(0.21) ~ 3.49 >= 3: feasible with x > 1.
+  const auto c = best_x(model::ModelKind::kGeneral, 0.21);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_GT(c.x, 1.0);
+  EXPECT_NEAR(c.beta, c.x + 1.0 + 1.0 / c.x, 1e-12);
+  EXPECT_LE(c.beta, delta_of_mu(0.21) + 1e-9);
+}
+
+TEST(BestXTest, ArbitraryThrows) {
+  EXPECT_THROW((void)best_x(model::ModelKind::kArbitrary, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW((void)lower_bound_limit(model::ModelKind::kArbitrary, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW((void)optimal_mu(model::ModelKind::kArbitrary),
+               std::invalid_argument);
+}
+
+// ---- Table 1, column by column -------------------------------------
+
+TEST(Table1Test, RooflineColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kRoofline);
+  // Upper bound 2.62, achieved at mu = (3-sqrt(5))/2 ~ 0.382 (Theorem 1).
+  EXPECT_NEAR(r.upper_bound, (3.0 + std::sqrt(5.0)) / 2.0, 1e-6);
+  EXPECT_LT(r.upper_bound, 2.62);
+  EXPECT_NEAR(r.mu_star, kMuMax, 1e-6);
+  // Lower bound 2.61 (Theorem 5): 1/mu at the same mu.
+  EXPECT_GT(r.lower_bound, 2.61);
+  EXPECT_NEAR(r.lower_bound, r.upper_bound, 1e-6);  // tight for roofline
+}
+
+TEST(Table1Test, CommunicationColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kCommunication);
+  // Upper bound 3.61 at mu ~ 0.324, x* ~ 0.446 (Theorem 2).
+  EXPECT_LT(r.upper_bound, 3.611);
+  EXPECT_GT(r.upper_bound, 3.59);
+  EXPECT_NEAR(r.mu_star, 0.324, 0.002);
+  EXPECT_NEAR(r.x_star, 0.446, 0.002);
+  // Lower bound 3.51 (Theorem 6).
+  EXPECT_GT(r.lower_bound, 3.51);
+  EXPECT_LT(r.lower_bound, 3.6);
+}
+
+TEST(Table1Test, AmdahlColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kAmdahl);
+  // Upper bound 4.74 at mu ~ 0.271, x* ~ 0.759 (Theorem 3).
+  EXPECT_LT(r.upper_bound, 4.74);
+  EXPECT_GT(r.upper_bound, 4.72);
+  EXPECT_NEAR(r.mu_star, 0.271, 0.002);
+  EXPECT_NEAR(r.x_star, 0.759, 0.002);
+  // Lower bound 4.73 (Theorem 7).
+  EXPECT_GT(r.lower_bound, 4.73);
+  EXPECT_LT(r.lower_bound, 4.74);
+}
+
+TEST(Table1Test, GeneralColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kGeneral);
+  // Upper bound 5.72 at mu ~ 0.211, x* ~ 1.972 (Theorem 4).
+  EXPECT_LT(r.upper_bound, 5.72);
+  EXPECT_GT(r.upper_bound, 5.70);
+  EXPECT_NEAR(r.mu_star, 0.211, 0.002);
+  EXPECT_NEAR(r.x_star, 1.972, 0.005);
+  // Lower bound 5.25 (Theorem 8).
+  EXPECT_GT(r.lower_bound, 5.25);
+  EXPECT_LT(r.lower_bound, 5.26);
+}
+
+TEST(Table1Test, ComputeTable1CoversAllFourModels) {
+  const auto rows = compute_table1();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].kind, model::ModelKind::kRoofline);
+  EXPECT_EQ(rows[1].kind, model::ModelKind::kCommunication);
+  EXPECT_EQ(rows[2].kind, model::ModelKind::kAmdahl);
+  EXPECT_EQ(rows[3].kind, model::ModelKind::kGeneral);
+  // Ratios increase with model generality (the paper's Table 1 ordering).
+  EXPECT_LT(rows[0].upper_bound, rows[1].upper_bound);
+  EXPECT_LT(rows[1].upper_bound, rows[2].upper_bound);
+  EXPECT_LT(rows[2].upper_bound, rows[3].upper_bound);
+  // Lower bounds never exceed upper bounds.
+  for (const auto& r : rows) EXPECT_LE(r.lower_bound, r.upper_bound + 1e-9);
+}
+
+TEST(Table1Test, OptimalMuCachedAndConsistent) {
+  const double a = optimal_mu(model::ModelKind::kAmdahl);
+  const double b = optimal_mu(model::ModelKind::kAmdahl);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(a, 0.271, 0.002);
+}
+
+TEST(UpperRatioTest, MuStarIsALocalMinimum) {
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl,
+        model::ModelKind::kGeneral}) {
+    const double mu = optimal_mu(kind);
+    const double at = upper_ratio(kind, mu);
+    EXPECT_GE(upper_ratio(kind, mu - 0.005), at - 1e-9);
+    EXPECT_GE(upper_ratio(kind, mu + 0.005), at - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,57 @@
+#include "moldsched/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace moldsched::analysis {
+namespace {
+
+TEST(Table1TableTest, RendersAllModels) {
+  const auto rows = compute_table1();
+  const auto table = table1_table(rows);
+  const auto text = table.to_ascii();
+  EXPECT_NE(text.find("roofline"), std::string::npos);
+  EXPECT_NE(text.find("communication"), std::string::npos);
+  EXPECT_NE(text.find("amdahl"), std::string::npos);
+  EXPECT_NE(text.find("general"), std::string::npos);
+  EXPECT_NE(text.find("Upper bound"), std::string::npos);
+  // Spot-check a famous number.
+  EXPECT_NE(text.find("2.618"), std::string::npos);
+}
+
+TEST(SuiteTableTest, RendersSchedulers) {
+  AggregateRow row;
+  row.scheduler = "lpa";
+  row.ratio.mean = 1.5;
+  row.ratio.p95 = 2.0;
+  row.ratio.max = 2.5;
+  row.mean_utilization = 0.8;
+  const auto table = suite_table({row});
+  EXPECT_NE(table.to_ascii().find("lpa"), std::string::npos);
+  EXPECT_NE(table.to_ascii().find("1.500"), std::string::npos);
+}
+
+TEST(WriteFileTest, CreatesDirectoriesAndWrites) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "moldsched_report_test";
+  std::filesystem::remove_all(dir);
+  const auto path = (dir / "sub" / "out.csv").string();
+  write_file(path, "a,b\n1,2\n");
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WriteFileTest, FailsOnUnwritablePath) {
+  EXPECT_THROW(write_file("/proc/definitely/not/writable/x.txt", "data"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

@@ -1,0 +1,215 @@
+#include "moldsched/core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::core {
+namespace {
+
+constexpr double kMuRoofline = 0.38196601125010515;
+
+TEST(LpaAllocatorTest, RejectsBadMu) {
+  EXPECT_THROW(LpaAllocator(0.0), std::invalid_argument);
+  EXPECT_THROW(LpaAllocator(-0.1), std::invalid_argument);
+  EXPECT_THROW(LpaAllocator(0.4), std::invalid_argument);
+  EXPECT_NO_THROW(LpaAllocator{kMuRoofline});
+  EXPECT_NO_THROW(LpaAllocator{0.2});
+}
+
+TEST(LpaAllocatorTest, DeltaMatchesFormula) {
+  const LpaAllocator a(0.25);
+  EXPECT_NEAR(a.delta(), (1.0 - 0.5) / (0.25 * 0.75), 1e-12);
+  const LpaAllocator b(kMuRoofline);
+  EXPECT_NEAR(b.delta(), 1.0, 1e-12);
+}
+
+TEST(LpaAllocatorTest, CapIsCeilMuP) {
+  const LpaAllocator a(0.25);
+  EXPECT_EQ(a.cap(100), 25);
+  EXPECT_EQ(a.cap(101), 26);
+  EXPECT_EQ(a.cap(1), 1);
+  EXPECT_THROW((void)a.cap(0), std::invalid_argument);
+}
+
+TEST(LpaAllocatorTest, RooflineWholeMachineTaskIsCapped) {
+  // Theorem 5's task: w = P, pbar = P at mu = (3-sqrt(5))/2.
+  const int P = 100;
+  const LpaAllocator alloc(kMuRoofline);
+  const model::RooflineModel m(static_cast<double>(P), P);
+  const auto d = alloc.decide(m, P);
+  EXPECT_EQ(d.p_max, P);
+  EXPECT_DOUBLE_EQ(d.t_min, 1.0);
+  EXPECT_DOUBLE_EQ(d.a_min, static_cast<double>(P));
+  // delta = 1 forces the initial allocation to p_max = P...
+  EXPECT_EQ(d.initial, P);
+  // ...then Step 2 caps it at ceil(mu P) = 39.
+  EXPECT_EQ(d.final_alloc, 39);
+  EXPECT_EQ(alloc.allocate(m, P), 39);
+}
+
+TEST(LpaAllocatorTest, CommunicationModelHandComputedCase) {
+  // w = 100, c = 1: p_max = 10, t_min = 19, a_min = 100.
+  const model::CommunicationModel m(100.0, 1.0);
+  const LpaAllocator alloc(0.324);
+  const int P = 64;
+  const auto d = alloc.decide(m, P);
+  EXPECT_EQ(d.p_max, 10);
+  EXPECT_DOUBLE_EQ(d.t_min, 19.0);
+  EXPECT_DOUBLE_EQ(d.a_min, 100.0);
+  // threshold = delta * 19 ~ 30.55; t(3) = 35.33 > it, t(4) = 28 <= it.
+  EXPECT_EQ(d.initial, 4);
+  EXPECT_EQ(d.final_alloc, 4);  // cap = ceil(0.324*64) = 21, no reduction
+  EXPECT_NEAR(d.alpha, 1.12, 1e-12);
+  EXPECT_NEAR(d.beta, 28.0 / 19.0, 1e-12);
+}
+
+TEST(LpaAllocatorTest, AmdahlModelHandComputedCase) {
+  // w = 100, d = 10, P = 10: p_max = 10, t_min = 20, a_min = 110.
+  const model::AmdahlModel m(100.0, 10.0);
+  const LpaAllocator alloc(0.271);
+  const auto d = alloc.decide(m, 10);
+  EXPECT_EQ(d.p_max, 10);
+  EXPECT_DOUBLE_EQ(d.t_min, 20.0);
+  EXPECT_DOUBLE_EQ(d.a_min, 110.0);
+  // threshold ~ 2.318 * 20 = 46.37: t(2) = 60 > it, t(3) = 43.3 <= it.
+  EXPECT_EQ(d.initial, 3);
+  EXPECT_EQ(d.final_alloc, 3);
+}
+
+TEST(LpaAllocatorTest, InitialAllocationIsMinimalFeasible) {
+  util::Rng rng(123);
+  const int P = 40;
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    const LpaAllocator alloc(0.3);
+    for (int rep = 0; rep < 30; ++rep) {
+      const auto m = sampler.sample(rng, P);
+      const auto d = alloc.decide(*m, P);
+      // Feasible: beta <= delta (with rounding slack).
+      EXPECT_LE(d.beta, alloc.delta() * (1.0 + 1e-9)) << m->describe();
+      // Minimal: one processor less would violate the constraint.
+      if (d.initial > 1) {
+        const double beta_prev = m->time(d.initial - 1) / d.t_min;
+        EXPECT_GT(beta_prev, alloc.delta() * (1.0 - 1e-9)) << m->describe();
+      }
+      // Step 2 only ever reduces.
+      EXPECT_LE(d.final_alloc, d.initial);
+      EXPECT_LE(d.final_alloc, alloc.cap(P));
+      EXPECT_GE(d.final_alloc, 1);
+    }
+  }
+}
+
+TEST(LpaAllocatorTest, MatchesExhaustiveReferenceOnRandomModels) {
+  util::Rng rng(321);
+  const int P = 24;
+  const LpaAllocator alloc(0.25);
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl,
+        model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 25; ++rep) {
+      const auto m = sampler.sample(rng, P);
+      const auto d = alloc.decide(*m, P);
+      // Exhaustive reference for Step 1.
+      int best = -1;
+      double best_area = 0.0;
+      const double threshold = alloc.delta() * d.t_min * (1.0 + 1e-9);
+      for (int p = 1; p <= d.p_max; ++p) {
+        if (m->time(p) <= threshold &&
+            (best < 0 || m->area(p) < best_area - 1e-12)) {
+          best = p;
+          best_area = m->area(p);
+        }
+      }
+      ASSERT_GT(best, 0) << m->describe();
+      EXPECT_NEAR(m->area(d.initial), best_area, 1e-9 * best_area)
+          << m->describe();
+    }
+  }
+}
+
+TEST(LpaAllocatorTest, ArbitraryModelUsesExhaustiveSearch) {
+  // Non-monotone table: minimum area inside the feasible set is at p = 2,
+  // not at the smallest feasible p.
+  // t: p=1 -> 10, p=2 -> 4, p=3 -> 3.9, p=4 -> 1.0
+  // a:      10,       8,        11.7,       4.0
+  const model::TableModel m({10.0, 4.0, 3.9, 1.0});
+  const LpaAllocator alloc(0.2);  // delta = 3.75, t_min = 1 -> threshold 3.75
+  // Feasible allocations: none of p=1..3 (all t > 3.75) except p=4.
+  const auto d = alloc.decide(m, 4);
+  EXPECT_EQ(d.p_max, 4);
+  EXPECT_EQ(d.initial, 4);
+  // Now loosen: with delta*t_min above 4, p=2 (area 8) beats p=4 (area 4)?
+  // No: area(4) = 4 < 8, so p=4 still wins on area.
+  EXPECT_DOUBLE_EQ(d.alpha, 1.0);
+}
+
+TEST(LpaAllocatorTest, ArbitraryModelPicksMinAreaFeasible) {
+  // t: 2.0, 1.9, 1.0, 0.9 -> a: 2.0, 3.8, 3.0, 3.6; t_min = 0.9.
+  const model::TableModel m({2.0, 1.9, 1.0, 0.9});
+  const LpaAllocator alloc(0.3);  // delta ~ 1.905, threshold ~ 1.714
+  const auto d = alloc.decide(m, 4);
+  // Feasible: p = 3 (t=1.0) and p = 4 (t=0.9); min area is p = 3.
+  EXPECT_EQ(d.initial, 3);
+}
+
+TEST(LpaAllocatorTest, SingleProcessorPlatform) {
+  const model::AmdahlModel m(10.0, 1.0);
+  const LpaAllocator alloc(0.3);
+  EXPECT_EQ(alloc.allocate(m, 1), 1);
+}
+
+TEST(LpaAllocatorTest, NameMentionsMu) {
+  const LpaAllocator alloc(0.25);
+  EXPECT_NE(alloc.name().find("0.25"), std::string::npos);
+}
+
+// Lemmas 6-9: at the per-model optimal (mu*, x*), the allocator's alpha
+// never exceeds the lemma's alpha_x (the lemma exhibits *a* feasible
+// allocation; Algorithm 2 minimizes alpha over all feasible ones).
+class LemmaAlphaBoundTest
+    : public testing::TestWithParam<model::ModelKind> {};
+
+TEST_P(LemmaAlphaBoundTest, AllocatorAlphaWithinLemmaBound) {
+  const auto kind = GetParam();
+  const double mu = analysis::optimal_mu(kind);
+  const auto choice = analysis::best_x(kind, mu);
+  ASSERT_TRUE(choice.feasible);
+  const LpaAllocator alloc(mu);
+
+  util::Rng rng(777);
+  const model::ModelSampler sampler(kind);
+  for (const int P : {8, 64, 333}) {
+    for (int rep = 0; rep < 40; ++rep) {
+      const auto m = sampler.sample(rng, P);
+      const auto d = alloc.decide(*m, P);
+      EXPECT_LE(d.alpha, choice.alpha + 1e-6)
+          << m->describe() << " P=" << P << " mu=" << mu;
+      EXPECT_LE(d.beta, analysis::delta_of_mu(mu) + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LemmaAlphaBoundTest,
+                         testing::Values(model::ModelKind::kRoofline,
+                                         model::ModelKind::kCommunication,
+                                         model::ModelKind::kAmdahl,
+                                         model::ModelKind::kGeneral),
+                         [](const auto& param_info) {
+                           return model::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace moldsched::core

@@ -1,0 +1,92 @@
+#include "moldsched/core/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moldsched::core {
+namespace {
+
+/// Hand-built trace on P = 10, mu = 0.3: thresholds ceil(3) = 3 and
+/// ceil(7) = 7.
+sim::Trace make_trace() {
+  sim::Trace t;
+  // [0, 1): 2 procs  -> I1 (2 < 3)
+  // [1, 2): 5 procs  -> I2 (3 <= 5 < 7)
+  // [2, 3): 8 procs  -> I3 (>= 7)
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 1.0);
+  t.record_start(1, 1.0, 5);
+  t.record_end(1, 2.0);
+  t.record_start(2, 2.0, 8);
+  t.record_end(2, 3.0);
+  return t;
+}
+
+TEST(IntervalsTest, ThresholdsMatchPaperDefinition) {
+  const auto b = classify_intervals(make_trace(), 10, 0.3);
+  EXPECT_EQ(b.low_threshold, 3);   // ceil(0.3 * 10)
+  EXPECT_EQ(b.high_threshold, 7);  // ceil(0.7 * 10)
+}
+
+TEST(IntervalsTest, ClassifiesEachCategory) {
+  const auto b = classify_intervals(make_trace(), 10, 0.3);
+  EXPECT_DOUBLE_EQ(b.t0, 0.0);
+  EXPECT_DOUBLE_EQ(b.t1, 1.0);
+  EXPECT_DOUBLE_EQ(b.t2, 1.0);
+  EXPECT_DOUBLE_EQ(b.t3, 1.0);
+  EXPECT_DOUBLE_EQ(b.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(b.total(), b.makespan);
+}
+
+TEST(IntervalsTest, BoundaryUtilizationGoesToUpperCategory) {
+  sim::Trace t;
+  t.record_start(0, 0.0, 3);  // exactly ceil(mu P): belongs to I2
+  t.record_end(0, 1.0);
+  t.record_start(1, 1.0, 7);  // exactly ceil((1-mu) P): belongs to I3
+  t.record_end(1, 2.0);
+  const auto b = classify_intervals(t, 10, 0.3);
+  EXPECT_DOUBLE_EQ(b.t1, 0.0);
+  EXPECT_DOUBLE_EQ(b.t2, 1.0);
+  EXPECT_DOUBLE_EQ(b.t3, 1.0);
+}
+
+TEST(IntervalsTest, InteriorIdleCountsAsT0) {
+  sim::Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  t.record_start(1, 3.0, 1);
+  t.record_end(1, 4.0);
+  const auto b = classify_intervals(t, 10, 0.3);
+  EXPECT_DOUBLE_EQ(b.t0, 2.0);
+  EXPECT_DOUBLE_EQ(b.t1, 2.0);
+}
+
+TEST(IntervalsTest, FullMachineIsI3) {
+  sim::Trace t;
+  t.record_start(0, 0.0, 10);
+  t.record_end(0, 2.0);
+  const auto b = classify_intervals(t, 10, 0.3);
+  EXPECT_DOUBLE_EQ(b.t3, 2.0);
+  EXPECT_DOUBLE_EQ(b.t1 + b.t2 + b.t0, 0.0);
+}
+
+TEST(IntervalsTest, RejectsBadArguments) {
+  const sim::Trace t;
+  EXPECT_THROW((void)classify_intervals(t, 0, 0.3), std::invalid_argument);
+  EXPECT_THROW((void)classify_intervals(t, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)classify_intervals(t, 4, 0.5), std::invalid_argument);
+}
+
+TEST(IntervalsTest, LemmaLhsFormulas) {
+  IntervalBreakdown b;
+  b.t1 = 2.0;
+  b.t2 = 3.0;
+  b.t3 = 4.0;
+  EXPECT_DOUBLE_EQ(lemma3_lhs(b, 0.25), 0.25 * 3.0 + 0.75 * 4.0);
+  EXPECT_DOUBLE_EQ(lemma4_lhs(b, 0.25, 2.0), 2.0 / 2.0 + 0.25 * 3.0);
+  EXPECT_THROW((void)lemma4_lhs(b, 0.25, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::core

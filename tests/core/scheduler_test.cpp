@@ -1,0 +1,219 @@
+#include "moldsched/core/online_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::core {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+/// Allocator stub returning a fixed value regardless of the model.
+class StubAllocator : public Allocator {
+ public:
+  explicit StubAllocator(int value) : value_(value) {}
+  int allocate(const model::SpeedupModel&, int) const override {
+    return value_;
+  }
+  std::string name() const override { return "stub"; }
+
+ private:
+  int value_;
+};
+
+TEST(OnlineSchedulerTest, SingleTask) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4));
+  const LpaAllocator alloc(0.38196601125010515);
+  const auto result = schedule_online(g, 4, alloc);
+  // delta = 1 -> initial = p_max = 4; cap = ceil(0.382*4) = 2 -> t = 4.
+  EXPECT_EQ(result.allocation[0], 2);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  sim::expect_valid_schedule(g, result.trace, 4);
+}
+
+TEST(OnlineSchedulerTest, ChainExecutesSequentially) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(2.0, 1), "a");
+  const auto b = g.add_task(roofline(3.0, 1), "b");
+  const auto c = g.add_task(roofline(4.0, 1), "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const StubAllocator alloc(1);
+  const auto result = schedule_online(g, 2, alloc);
+  EXPECT_DOUBLE_EQ(result.makespan, 9.0);
+  EXPECT_DOUBLE_EQ(result.ready_time[a], 0.0);
+  EXPECT_DOUBLE_EQ(result.ready_time[b], 2.0);
+  EXPECT_DOUBLE_EQ(result.ready_time[c], 5.0);
+  sim::expect_valid_schedule(g, result.trace, 2);
+}
+
+TEST(OnlineSchedulerTest, IndependentTasksPackUpToCapacity) {
+  // Four unit tasks each needing 1 processor on P = 2: two waves.
+  graph::TaskGraph g;
+  for (int i = 0; i < 4; ++i) (void)g.add_task(roofline(1.0, 1));
+  const StubAllocator alloc(1);
+  const auto result = schedule_online(g, 2, alloc);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  sim::expect_valid_schedule(g, result.trace, 2);
+}
+
+TEST(OnlineSchedulerTest, ListSchedulingSkipsOverBlockedTask) {
+  // Task 0 needs 3 procs, task 1 needs 1; P = 2. FIFO scan starts task 1
+  // immediately even though task 0 (earlier in the queue) cannot run...
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(6.0, 3), "big");
+  (void)g.add_task(roofline(1.0, 1), "small");
+  // Allocators that return per-model p_max.
+  class MaxAllocator : public Allocator {
+   public:
+    int allocate(const model::SpeedupModel& m, int P) const override {
+      return m.max_useful_procs(P);
+    }
+    std::string name() const override { return "max"; }
+  };
+  const MaxAllocator alloc;
+  const auto result = schedule_online(g, 2, alloc);
+  // ...but p_max is capped at P = 2 anyway; both fit sequentially:
+  // big runs [0, 3) on 2 procs (t = 6/2), small [0, 1) would need procs.
+  // Queue order: big first (2 procs), then small waits until 3.
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  sim::expect_valid_schedule(g, result.trace, 2);
+}
+
+TEST(OnlineSchedulerTest, FifoVersusLifoChangesOrder) {
+  // Three independent 1-proc tasks of different lengths on P = 1.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1), "t0");
+  (void)g.add_task(roofline(2.0, 1), "t1");
+  (void)g.add_task(roofline(3.0, 1), "t2");
+  const StubAllocator alloc(1);
+
+  const auto fifo =
+      schedule_online(g, 1, alloc, QueuePolicy::kFifo).trace.records();
+  EXPECT_EQ(fifo[0].task, 0);
+  EXPECT_EQ(fifo[1].task, 1);
+  EXPECT_EQ(fifo[2].task, 2);
+
+  const auto lifo =
+      schedule_online(g, 1, alloc, QueuePolicy::kLifo).trace.records();
+  // All three revealed at t=0 in id order; LIFO serves newest first.
+  EXPECT_EQ(lifo[0].task, 2);
+}
+
+TEST(OnlineSchedulerTest, LargestWorkFirstPolicy) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1), "small");
+  (void)g.add_task(roofline(9.0, 1), "large");
+  (void)g.add_task(roofline(4.0, 1), "medium");
+  const StubAllocator alloc(1);
+  const auto recs =
+      schedule_online(g, 1, alloc, QueuePolicy::kLargestWorkFirst)
+          .trace.records();
+  EXPECT_EQ(recs[0].task, 1);
+  EXPECT_EQ(recs[1].task, 2);
+  EXPECT_EQ(recs[2].task, 0);
+}
+
+TEST(OnlineSchedulerTest, SmallestAllocFirstPolicy) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4), "wide");
+  (void)g.add_task(roofline(2.0, 1), "narrow");
+  class MaxAllocator : public Allocator {
+   public:
+    int allocate(const model::SpeedupModel& m, int P) const override {
+      return m.max_useful_procs(P);
+    }
+    std::string name() const override { return "max"; }
+  };
+  const MaxAllocator alloc;
+  const auto recs =
+      schedule_online(g, 4, alloc, QueuePolicy::kSmallestAllocFirst)
+          .trace.records();
+  EXPECT_EQ(recs[0].task, 1);  // narrow first
+}
+
+TEST(OnlineSchedulerTest, DiamondRespectsDependencies) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(2.0, 2), "a");
+  const auto b = g.add_task(roofline(2.0, 2), "b");
+  const auto c = g.add_task(roofline(4.0, 2), "c");
+  const auto d = g.add_task(roofline(2.0, 2), "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  const StubAllocator alloc(2);
+  const auto result = schedule_online(g, 4, alloc);
+  // a: [0,1) on 2 procs; b and c in parallel: b [1,2), c [1,3); d [3,4).
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(result.ready_time[d], 3.0);
+  sim::expect_valid_schedule(g, result.trace, 4);
+}
+
+TEST(OnlineSchedulerTest, AllocatorOutOfRangeIsDetected) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  const StubAllocator bad(5);
+  EXPECT_THROW((void)schedule_online(g, 2, bad), std::logic_error);
+}
+
+TEST(OnlineSchedulerTest, RejectsBadConstruction) {
+  graph::TaskGraph empty;
+  const StubAllocator alloc(1);
+  EXPECT_THROW(OnlineScheduler(empty, 2, alloc), std::logic_error);
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  EXPECT_THROW(OnlineScheduler(g, 0, alloc), std::invalid_argument);
+}
+
+TEST(OnlineSchedulerTest, EventCountMatchesTaskCount) {
+  util::Rng rng(5);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto g = graph::layered_random(
+      5, 2, 6, 0.4, rng, graph::sampling_provider(sampler, rng, 8));
+  const LpaAllocator alloc(0.271);
+  const auto result = schedule_online(g, 8, alloc);
+  EXPECT_EQ(result.num_events, static_cast<std::uint64_t>(g.num_tasks()));
+  sim::expect_valid_schedule(g, result.trace, 8);
+}
+
+TEST(OnlineSchedulerTest, DeterministicAcrossRuns) {
+  util::Rng rng(6);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const auto g = graph::erdos_renyi_dag(
+      40, 0.1, rng, graph::sampling_provider(sampler, rng, 16));
+  const LpaAllocator alloc(0.211);
+  const auto r1 = schedule_online(g, 16, alloc);
+  const auto r2 = schedule_online(g, 16, alloc);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.allocation, r2.allocation);
+}
+
+TEST(OnlineSchedulerTest, AllPoliciesProduceValidSchedules) {
+  util::Rng rng(7);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const auto g = graph::layered_random(
+      6, 2, 8, 0.3, rng, graph::sampling_provider(sampler, rng, 12));
+  const LpaAllocator alloc(0.324);
+  for (const auto policy :
+       {QueuePolicy::kFifo, QueuePolicy::kLifo, QueuePolicy::kLargestWorkFirst,
+        QueuePolicy::kLongestMinTimeFirst, QueuePolicy::kSmallestAllocFirst}) {
+    const auto result = schedule_online(g, 12, alloc, policy);
+    sim::expect_valid_schedule(g, result.trace, 12);
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::core

@@ -1,0 +1,164 @@
+#include "moldsched/graph/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+constexpr double kMuRoofline = 0.38196601125010515;
+
+TEST(DeltaOfMuTest, KnownValues) {
+  // delta((3-sqrt(5))/2) = 1 exactly.
+  EXPECT_NEAR(delta_of_mu(kMuRoofline), 1.0, 1e-12);
+  // delta(0.25) = 0.5 / (0.25 * 0.75) = 8/3.
+  EXPECT_NEAR(delta_of_mu(0.25), 8.0 / 3.0, 1e-12);
+}
+
+TEST(DeltaOfMuTest, RejectsOutOfRange) {
+  EXPECT_THROW((void)delta_of_mu(0.0), std::invalid_argument);
+  EXPECT_THROW((void)delta_of_mu(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)delta_of_mu(0.39), std::invalid_argument);
+}
+
+TEST(GenericGraphTest, StructureMatchesFigure1) {
+  const auto a = std::make_shared<model::RooflineModel>(1.0, 4);
+  const auto b = std::make_shared<model::RooflineModel>(2.0, 4);
+  const auto c = std::make_shared<model::RooflineModel>(3.0, 4);
+  const int X = 3;
+  const int Y = 2;
+  const auto g = generic_lower_bound_graph(X, Y, a, b, c);
+
+  EXPECT_EQ(g.num_tasks(), (X + 1) * Y + 1);
+  // Edges: A_i -> {layer i+1} for i < Y gives (X+1)(Y-1); plus A_Y -> C.
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>((X + 1) * (Y - 1) + 1));
+  // Longest path: A_1, A_2, ..., A_Y, C.
+  EXPECT_EQ(longest_hop_count(g), Y + 1);
+
+  // Within each layer, B tasks have smaller ids than the A task.
+  // Layer 1: ids 0..X-1 are B, id X is A_1.
+  for (int j = 0; j < X; ++j)
+    EXPECT_EQ(g.name(j).front(), 'B') << g.name(j);
+  EXPECT_EQ(g.name(X), "A1");
+  // Layer 2 hangs off A_1.
+  EXPECT_EQ(g.out_degree(X), X + 1);
+  // C is the last task.
+  EXPECT_EQ(g.name(g.num_tasks() - 1), "C");
+}
+
+TEST(GenericGraphTest, DegenerateSingleTask) {
+  const auto c = std::make_shared<model::RooflineModel>(1.0, 1);
+  const auto g = generic_lower_bound_graph(0, 0, nullptr, nullptr, c);
+  EXPECT_EQ(g.num_tasks(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GenericGraphTest, RejectsBadArguments) {
+  const auto m = std::make_shared<model::RooflineModel>(1.0, 1);
+  EXPECT_THROW((void)generic_lower_bound_graph(-1, 0, m, m, m),
+               std::invalid_argument);
+  EXPECT_THROW((void)generic_lower_bound_graph(1, 1, nullptr, m, m),
+               std::invalid_argument);
+  EXPECT_THROW((void)generic_lower_bound_graph(0, 0, nullptr, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(RooflineAdversaryTest, SingleTaskInstance) {
+  const auto inst = roofline_adversary(100, kMuRoofline);
+  EXPECT_EQ(inst.graph.num_tasks(), 1);
+  EXPECT_EQ(inst.P, 100);
+  EXPECT_DOUBLE_EQ(inst.t_opt_upper, 1.0);
+  // ceil(mu * 100) = 39.
+  EXPECT_EQ(inst.expected_alloc_c, 39);
+  EXPECT_NEAR(inst.predicted_online_makespan, 100.0 / 39.0, 1e-12);
+  EXPECT_NEAR(inst.ratio_limit, 1.0 / kMuRoofline, 1e-12);
+  EXPECT_THROW((void)roofline_adversary(1, kMuRoofline),
+               std::invalid_argument);
+}
+
+TEST(CommunicationAdversaryTest, ParametersMatchTheorem6) {
+  const double mu = 0.324;
+  const int P = 64;
+  const auto inst = communication_adversary(P, mu);
+  EXPECT_EQ(inst.Y, P - 3);
+  EXPECT_EQ(inst.X, static_cast<int>(std::floor((1.0 - mu) * P / 2.0)) + 1);
+  EXPECT_EQ(inst.graph.num_tasks(), (inst.X + 1) * inst.Y + 1);
+  EXPECT_EQ(inst.expected_alloc_b, 2);
+  EXPECT_EQ(inst.expected_alloc_c, 1);
+  EXPECT_EQ(inst.expected_alloc_a, static_cast<int>(std::ceil(mu * P)));
+  // One layer cannot fit: X * p_B + p_A > P.
+  EXPECT_GT(inst.X * inst.expected_alloc_b + inst.expected_alloc_a, P);
+  // The online makespan prediction must exceed the alternative schedule.
+  EXPECT_GT(inst.predicted_online_makespan, inst.t_opt_upper);
+  EXPECT_THROW((void)communication_adversary(3, mu), std::invalid_argument);
+}
+
+TEST(CommunicationAdversaryTest, RatioLimitNearPaperValue) {
+  // Theorem 6: with mu ~ 0.324 the limit exceeds 3.51.
+  const auto inst = communication_adversary(1000, 0.3243);
+  EXPECT_GT(inst.ratio_limit, 3.51);
+  EXPECT_LT(inst.ratio_limit, 3.6);
+}
+
+TEST(AmdahlAdversaryTest, ParametersMatchTheorem7) {
+  const double mu = 0.271;
+  const int K = 12;
+  const auto inst = amdahl_adversary(K, mu);
+  EXPECT_EQ(inst.P, K * K);
+  EXPECT_EQ(inst.expected_alloc_c, 1);
+  EXPECT_GE(inst.Y, 1);
+  // p_B stays within the proof's window [K/(delta-1) - 2, K/(delta-1) + 1].
+  const double center = K / (inst.delta - 1.0);
+  EXPECT_GE(inst.expected_alloc_b, center - 2.0 - 1e-9);
+  EXPECT_LE(inst.expected_alloc_b, center + 1.0 + 1e-9);
+  // Layers don't fit in parallel.
+  EXPECT_GT(inst.X * inst.expected_alloc_b + inst.expected_alloc_a, inst.P);
+  // The alternative schedule really fits: X*Y B-tasks + C in parallel.
+  const int p_c_alt = static_cast<int>(std::ceil((inst.delta - 1.0) * K));
+  EXPECT_LE(static_cast<long>(inst.X) * inst.Y + p_c_alt,
+            static_cast<long>(inst.P));
+  EXPECT_THROW((void)amdahl_adversary(3, mu), std::invalid_argument);
+}
+
+TEST(AmdahlAdversaryTest, RatioLimitNearPaperValue) {
+  const auto inst = amdahl_adversary(30, 0.271);
+  EXPECT_GT(inst.ratio_limit, 4.73);
+  EXPECT_LT(inst.ratio_limit, 4.8);
+}
+
+TEST(GeneralAdversaryTest, ParametersMatchTheorem8) {
+  const double mu = 0.211;
+  const int K = 12;
+  const auto inst = general_adversary(K, mu);
+  EXPECT_EQ(inst.P, K * K);
+  // 5*delta - 2*delta^2 - 2 <= 0 must hold for the construction.
+  const double d = inst.delta;
+  EXPECT_LE(5.0 * d - 2.0 * d * d - 2.0, 1e-9);
+  EXPECT_GT(inst.ratio_limit, 5.25);
+  EXPECT_LT(inst.ratio_limit, 5.3);
+  // Models are tagged as the general family.
+  EXPECT_EQ(inst.graph.model_of(inst.graph.num_tasks() - 1).kind(),
+            model::ModelKind::kGeneral);
+}
+
+TEST(AdversaryTest, WorstCaseQueueOrderBTasksFirst) {
+  const auto inst = communication_adversary(16, 0.324);
+  // In every layer the B tasks must carry smaller ids than the A task so
+  // FIFO list scheduling serves them first.
+  int layer_base = 0;
+  for (int layer = 1; layer <= inst.Y; ++layer) {
+    for (int j = 0; j < inst.X; ++j)
+      EXPECT_EQ(inst.graph.name(layer_base + j).front(), 'B');
+    EXPECT_EQ(inst.graph.name(layer_base + inst.X).front(), 'A');
+    layer_base += inst.X + 1;
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::graph

@@ -1,0 +1,135 @@
+#include "moldsched/graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+model::ModelPtr unit_model() {
+  return std::make_shared<model::RooflineModel>(1.0, 1);
+}
+
+/// a -> b -> d, a -> c -> d (diamond) with an isolated task e.
+TaskGraph diamond_plus_isolated() {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model(), "a");
+  const auto b = g.add_task(unit_model(), "b");
+  const auto c = g.add_task(unit_model(), "c");
+  const auto d = g.add_task(unit_model(), "d");
+  (void)g.add_task(unit_model(), "e");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(AlgorithmsTest, TopologicalOrderRespectsEdges) {
+  const auto g = diamond_plus_isolated();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<int> pos(5);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const TaskId s : g.successors(v))
+      EXPECT_LT(pos[static_cast<std::size_t>(v)],
+                pos[static_cast<std::size_t>(s)]);
+}
+
+TEST(AlgorithmsTest, TopologicalOrderIsDeterministicSmallestIdFirst) {
+  const auto g = diamond_plus_isolated();
+  const auto order = topological_order(g);
+  // Sources are a (0) and e (4); a comes first, then its children in id
+  // order interleaved with e by id.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // b ready after a; e has id 4
+}
+
+TEST(AlgorithmsTest, CycleDetection) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  g.add_edge(a, b);
+  EXPECT_TRUE(is_acyclic(g));
+  g.add_edge(b, a);
+  EXPECT_FALSE(is_acyclic(g));
+  EXPECT_THROW((void)topological_order(g), std::logic_error);
+}
+
+TEST(AlgorithmsTest, TopLevelsOfDiamond) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> times{1.0, 2.0, 3.0, 1.0, 5.0};
+  const auto top = top_levels(g, times);
+  EXPECT_DOUBLE_EQ(top[0], 0.0);
+  EXPECT_DOUBLE_EQ(top[1], 1.0);       // after a
+  EXPECT_DOUBLE_EQ(top[2], 1.0);
+  EXPECT_DOUBLE_EQ(top[3], 4.0);       // a + c = 1 + 3
+  EXPECT_DOUBLE_EQ(top[4], 0.0);       // isolated
+}
+
+TEST(AlgorithmsTest, BottomLevelsOfDiamond) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> times{1.0, 2.0, 3.0, 1.0, 5.0};
+  const auto bottom = bottom_levels(g, times);
+  EXPECT_DOUBLE_EQ(bottom[3], 1.0);
+  EXPECT_DOUBLE_EQ(bottom[1], 3.0);    // b + d
+  EXPECT_DOUBLE_EQ(bottom[2], 4.0);    // c + d
+  EXPECT_DOUBLE_EQ(bottom[0], 5.0);    // a + c + d
+  EXPECT_DOUBLE_EQ(bottom[4], 5.0);
+}
+
+TEST(AlgorithmsTest, LongestPathLength) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> times{1.0, 2.0, 3.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(longest_path_length(g, times), 5.0);
+  // Crank up the isolated task: it becomes the critical path by itself.
+  const std::vector<double> times2{1.0, 2.0, 3.0, 1.0, 50.0};
+  EXPECT_DOUBLE_EQ(longest_path_length(g, times2), 50.0);
+}
+
+TEST(AlgorithmsTest, CriticalPathTasksFollowHeaviestRoute) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> times{1.0, 2.0, 3.0, 1.0, 0.5};
+  const auto path = critical_path_tasks(g, times);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);  // a
+  EXPECT_EQ(path[1], 2);  // c (heavier branch)
+  EXPECT_EQ(path[2], 3);  // d
+  // The path length matches longest_path_length.
+  double len = 0.0;
+  for (const TaskId v : path) len += times[static_cast<std::size_t>(v)];
+  EXPECT_DOUBLE_EQ(len, longest_path_length(g, times));
+}
+
+TEST(AlgorithmsTest, CriticalPathIsARealPath) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> times{1.0, 2.0, 3.0, 1.0, 0.5};
+  const auto path = critical_path_tasks(g, times);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+}
+
+TEST(AlgorithmsTest, LongestHopCount) {
+  const auto g = diamond_plus_isolated();
+  EXPECT_EQ(longest_hop_count(g), 3);  // a -> b/c -> d
+  TaskGraph single;
+  (void)single.add_task(unit_model());
+  EXPECT_EQ(longest_hop_count(single), 1);
+}
+
+TEST(AlgorithmsTest, SizeMismatchThrows) {
+  const auto g = diamond_plus_isolated();
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW((void)top_levels(g, wrong), std::invalid_argument);
+  EXPECT_THROW((void)bottom_levels(g, wrong), std::invalid_argument);
+  EXPECT_THROW((void)longest_path_length(g, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::graph

@@ -1,0 +1,104 @@
+#include "moldsched/graph/chains.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+TEST(ChainsInstanceTest, Figure3Numbers) {
+  // The paper's Figure 3: ell = 2, K = 4, n = 15 chains.
+  const auto inst = make_chains_instance(4);
+  EXPECT_EQ(inst.K, 4);
+  EXPECT_EQ(inst.ell, 2);
+  EXPECT_EQ(inst.num_chains, 15);
+  EXPECT_EQ(inst.P, 4 * 8);  // K * 2^{K-1} = 32
+  // Groups: 8 chains of length 1, 4 of 2, 2 of 3, 1 of 4.
+  ASSERT_EQ(inst.chains_per_group.size(), 4u);
+  EXPECT_EQ(inst.chains_per_group[0], 8);
+  EXPECT_EQ(inst.chains_per_group[1], 4);
+  EXPECT_EQ(inst.chains_per_group[2], 2);
+  EXPECT_EQ(inst.chains_per_group[3], 1);
+  EXPECT_EQ(inst.total_tasks, 8 + 8 + 6 + 4);
+  EXPECT_DOUBLE_EQ(inst.offline_makespan, 1.0);
+}
+
+TEST(ChainsInstanceTest, LowerBoundMatchesLemma10Sum) {
+  const auto inst = make_chains_instance(4);
+  // sum_{i=1..4} 1/(2+i) = 1/3 + 1/4 + 1/5 + 1/6 = 0.95.
+  EXPECT_NEAR(inst.online_makespan_lower_bound, 0.95, 1e-12);
+}
+
+TEST(ChainsInstanceTest, NonPowerOfTwoKUsesRealLog) {
+  const auto inst = make_chains_instance(6);
+  EXPECT_EQ(inst.ell, -1);
+  double expect = 0.0;
+  for (int i = 1; i <= 6; ++i) expect += 1.0 / (std::log2(6.0) + i);
+  EXPECT_NEAR(inst.online_makespan_lower_bound, expect, 1e-12);
+}
+
+TEST(ChainsInstanceTest, CountsAreConsistent) {
+  for (const int K : {1, 2, 3, 5, 8, 10}) {
+    const auto inst = make_chains_instance(K);
+    std::int64_t chains = 0;
+    std::int64_t tasks = 0;
+    for (int i = 1; i <= K; ++i) {
+      chains += inst.chains_per_group[static_cast<std::size_t>(i - 1)];
+      tasks += i * inst.chains_per_group[static_cast<std::size_t>(i - 1)];
+    }
+    EXPECT_EQ(chains, inst.num_chains);
+    EXPECT_EQ(chains, (std::int64_t{1} << K) - 1);
+    EXPECT_EQ(tasks, inst.total_tasks);
+  }
+}
+
+TEST(ChainsInstanceTest, RejectsBadK) {
+  EXPECT_THROW((void)make_chains_instance(0), std::invalid_argument);
+  EXPECT_THROW((void)make_chains_instance(63), std::invalid_argument);
+}
+
+TEST(ChainsGraphTest, MaterializesFigure3Graph) {
+  const auto inst = make_chains_instance(4);
+  const auto g = chains_graph(inst);
+  EXPECT_EQ(g.num_tasks(), 26);
+  EXPECT_EQ(g.num_edges(), 26u - 15u);  // tasks minus one per chain
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), 15u);
+  EXPECT_EQ(g.sinks().size(), 15u);
+  // D = K: the longest chain has K tasks (Theorem 9's parameter).
+  EXPECT_EQ(longest_hop_count(g), 4);
+}
+
+TEST(ChainsGraphTest, TaskNamingMatchesFigure3Convention) {
+  const auto inst = make_chains_instance(2);
+  const auto g = chains_graph(inst);
+  // K=2: 2 chains of length 1 (ids 1, 2), 1 chain of length 2 (id 3).
+  EXPECT_EQ(g.num_tasks(), 4);
+  EXPECT_EQ(g.name(0), "1(1)");
+  EXPECT_EQ(g.name(1), "2(1)");
+  EXPECT_EQ(g.name(2), "3(1)");
+  EXPECT_EQ(g.name(3), "3(2)");
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(ChainsGraphTest, RespectsTaskCap) {
+  const auto inst = make_chains_instance(10);
+  EXPECT_THROW((void)chains_graph(inst, 100), std::invalid_argument);
+  EXPECT_NO_THROW((void)chains_graph(inst));
+}
+
+TEST(ChainsGraphTest, AllTasksShareTheLogModel) {
+  const auto inst = make_chains_instance(3);
+  const auto g = chains_graph(inst);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(g.model_ptr(v).get(), inst.task_model.get());
+    EXPECT_DOUBLE_EQ(g.model_of(v).time(2), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::graph

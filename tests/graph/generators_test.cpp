@@ -1,0 +1,164 @@
+#include "moldsched/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+ModelProvider unit_provider() {
+  return constant_provider(std::make_shared<model::RooflineModel>(1.0, 1));
+}
+
+TEST(GeneratorsTest, ChainShape) {
+  const auto g = chain(5, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(longest_hop_count(g), 5);
+  EXPECT_THROW((void)chain(0, unit_provider()), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, SingleTaskChain) {
+  const auto g = chain(1, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, IndependentShape) {
+  const auto g = independent(7, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 7);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.sources().size(), 7u);
+  EXPECT_THROW((void)independent(-1, unit_provider()), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, ForkJoinShape) {
+  const auto g = fork_join(2, 3, unit_provider());
+  // 1 + (3 + 1) * 2 tasks: fork0, 3 mids + join per stage.
+  EXPECT_EQ(g.num_tasks(), 9);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(longest_hop_count(g), 5);  // fork, mid, join, mid, join
+  EXPECT_THROW((void)fork_join(0, 3, unit_provider()), std::invalid_argument);
+  EXPECT_THROW((void)fork_join(1, 0, unit_provider()), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, LayeredRandomIsAcyclicWithNoOrphans) {
+  util::Rng rng(1);
+  const auto g = layered_random(6, 2, 5, 0.4, rng, unit_provider());
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_GE(g.num_tasks(), 12);
+  EXPECT_LE(g.num_tasks(), 30);
+  // Every task beyond the first layer has a predecessor; count sources
+  // and compare with the first layer width (between 2 and 5).
+  EXPECT_LE(g.sources().size(), 5u);
+  EXPECT_GE(g.sources().size(), 2u);
+}
+
+TEST(GeneratorsTest, LayeredRandomRejectsBadArgs) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)layered_random(0, 1, 2, 0.5, rng, unit_provider()),
+               std::invalid_argument);
+  EXPECT_THROW((void)layered_random(2, 3, 2, 0.5, rng, unit_provider()),
+               std::invalid_argument);
+  EXPECT_THROW((void)layered_random(2, 1, 2, 1.5, rng, unit_provider()),
+               std::invalid_argument);
+}
+
+TEST(GeneratorsTest, ErdosRenyiEdgeCountScalesWithProbability) {
+  util::Rng rng(2);
+  const auto sparse = erdos_renyi_dag(40, 0.02, rng, unit_provider());
+  const auto dense = erdos_renyi_dag(40, 0.5, rng, unit_provider());
+  EXPECT_TRUE(is_acyclic(sparse));
+  EXPECT_TRUE(is_acyclic(dense));
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+  // Dense should be near 0.5 * n(n-1)/2 = 390.
+  EXPECT_GT(dense.num_edges(), 300u);
+  EXPECT_LT(dense.num_edges(), 480u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiZeroAndOneProbability) {
+  util::Rng rng(3);
+  EXPECT_EQ(erdos_renyi_dag(10, 0.0, rng, unit_provider()).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_dag(10, 1.0, rng, unit_provider()).num_edges(), 45u);
+}
+
+TEST(GeneratorsTest, OutTreeHasOneSourceAndParentArray) {
+  util::Rng rng(4);
+  const auto g = random_out_tree(30, 2, rng, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 30);
+  EXPECT_EQ(g.num_edges(), 29u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_TRUE(is_acyclic(g));
+  // Child cap respected.
+  for (TaskId v = 0; v < g.num_tasks(); ++v) EXPECT_LE(g.out_degree(v), 2);
+  // Every non-root has exactly one predecessor.
+  for (TaskId v = 1; v < g.num_tasks(); ++v) EXPECT_EQ(g.in_degree(v), 1);
+}
+
+TEST(GeneratorsTest, InTreeHasOneSink) {
+  util::Rng rng(5);
+  const auto g = random_in_tree(30, 3, rng, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 30);
+  EXPECT_EQ(g.num_edges(), 29u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_TRUE(is_acyclic(g));
+  for (TaskId v = 0; v < g.num_tasks(); ++v) EXPECT_LE(g.in_degree(v), 3);
+}
+
+TEST(GeneratorsTest, DiamondShape) {
+  const auto g = diamond(4, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 6);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(longest_hop_count(g), 3);
+  EXPECT_THROW((void)diamond(0, unit_provider()), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, SeriesParallelApproximatesBudgetAndIsAcyclic) {
+  util::Rng rng(6);
+  for (const int n : {1, 2, 5, 20, 60}) {
+    const auto g = series_parallel(n, rng, unit_provider());
+    EXPECT_TRUE(is_acyclic(g));
+    EXPECT_GE(g.num_tasks(), n);       // parallel nodes may add entries/exits
+    EXPECT_LE(g.num_tasks(), 3 * n + 2);
+  }
+}
+
+TEST(GeneratorsTest, SamplingProviderDrawsFreshModels) {
+  util::Rng rng(7);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto provider = sampling_provider(sampler, rng, 16);
+  const auto a = provider();
+  const auto b = provider();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->kind(), model::ModelKind::kAmdahl);
+}
+
+TEST(GeneratorsTest, ConstantProviderSharesModel) {
+  const auto m = std::make_shared<model::RooflineModel>(2.0, 2);
+  const auto provider = constant_provider(m);
+  EXPECT_EQ(provider().get(), m.get());
+  EXPECT_EQ(provider().get(), m.get());
+  EXPECT_THROW((void)constant_provider(nullptr), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, DeterministicUnderSameSeed) {
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const auto a = erdos_renyi_dag(25, 0.2, rng1, unit_provider());
+  const auto b = erdos_renyi_dag(25, 0.2, rng2, unit_provider());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId v = 0; v < a.num_tasks(); ++v)
+    EXPECT_EQ(a.successors(v), b.successors(v));
+}
+
+}  // namespace
+}  // namespace moldsched::graph

@@ -1,0 +1,115 @@
+#include "moldsched/graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+model::ModelPtr unit_model() {
+  return std::make_shared<model::RooflineModel>(1.0, 1);
+}
+
+TEST(TaskGraphTest, AddTaskAssignsSequentialIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(unit_model(), "a"), 0);
+  EXPECT_EQ(g.add_task(unit_model(), "b"), 1);
+  EXPECT_EQ(g.add_task(unit_model()), 2);
+  EXPECT_EQ(g.num_tasks(), 3);
+  EXPECT_EQ(g.name(0), "a");
+  EXPECT_EQ(g.name(2), "task2");  // auto-named
+}
+
+TEST(TaskGraphTest, NullModelRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(nullptr), std::invalid_argument);
+}
+
+TEST(TaskGraphTest, EdgesTrackPredsAndSuccs) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  const auto c = g.add_task(unit_model());
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(a), 2);
+  EXPECT_EQ(g.in_degree(c), 2);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  ASSERT_EQ(g.predecessors(c).size(), 2u);
+  EXPECT_EQ(g.predecessors(c)[0], a);
+  EXPECT_EQ(g.successors(a)[1], c);
+}
+
+TEST(TaskGraphTest, RejectsBadEdges) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);   // self-loop
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), std::invalid_argument);   // duplicate
+  EXPECT_THROW(g.add_edge(a, 99), std::out_of_range);      // unknown id
+  EXPECT_THROW(g.add_edge(-1, b), std::out_of_range);
+}
+
+TEST(TaskGraphTest, OutOfRangeAccessThrows) {
+  TaskGraph g;
+  (void)g.add_task(unit_model());
+  EXPECT_THROW((void)g.name(5), std::out_of_range);
+  EXPECT_THROW((void)g.model_of(-1), std::out_of_range);
+  EXPECT_THROW((void)g.predecessors(1), std::out_of_range);
+}
+
+TEST(TaskGraphTest, SourcesAndSinks) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  const auto c = g.add_task(unit_model());
+  const auto d = g.add_task(unit_model());
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.add_edge(c, d);
+  EXPECT_EQ(g.sources(), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(g.sinks(), (std::vector<TaskId>{d}));
+}
+
+TEST(TaskGraphTest, ValidateRejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(TaskGraphTest, ValidateRejectsCycle) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  const auto c = g.add_task(unit_model());
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(TaskGraphTest, ValidateAcceptsDag) {
+  TaskGraph g;
+  const auto a = g.add_task(unit_model());
+  const auto b = g.add_task(unit_model());
+  g.add_edge(a, b);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskGraphTest, ModelAccessors) {
+  TaskGraph g;
+  const auto m = unit_model();
+  const auto a = g.add_task(m);
+  EXPECT_EQ(g.model_ptr(a).get(), m.get());
+  EXPECT_DOUBLE_EQ(g.model_of(a).time(1), 1.0);
+}
+
+}  // namespace
+}  // namespace moldsched::graph

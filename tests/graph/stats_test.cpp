@@ -1,0 +1,83 @@
+#include "moldsched/graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+ModelProvider unit_provider() {
+  return constant_provider(std::make_shared<model::RooflineModel>(1.0, 1));
+}
+
+TEST(GraphStatsTest, ChainStats) {
+  const auto s = compute_stats(chain(5, unit_provider()));
+  EXPECT_EQ(s.num_tasks, 5);
+  EXPECT_EQ(s.num_edges, 4);
+  EXPECT_EQ(s.num_sources, 1);
+  EXPECT_EQ(s.num_sinks, 1);
+  EXPECT_EQ(s.longest_path_tasks, 5);
+  EXPECT_EQ(s.num_levels, 5);
+  EXPECT_EQ(s.max_level_width, 1);
+  EXPECT_EQ(s.max_in_degree, 1);
+  EXPECT_EQ(s.max_out_degree, 1);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 8.0 / 5.0);
+}
+
+TEST(GraphStatsTest, DiamondStats) {
+  const auto s = compute_stats(diamond(6, unit_provider()));
+  EXPECT_EQ(s.num_tasks, 8);
+  EXPECT_EQ(s.num_edges, 12);
+  EXPECT_EQ(s.longest_path_tasks, 3);
+  EXPECT_EQ(s.num_levels, 3);
+  EXPECT_EQ(s.max_level_width, 6);
+  EXPECT_EQ(s.max_out_degree, 6);
+  EXPECT_EQ(s.max_in_degree, 6);
+}
+
+TEST(GraphStatsTest, IndependentStats) {
+  const auto s = compute_stats(independent(10, unit_provider()));
+  EXPECT_EQ(s.num_levels, 1);
+  EXPECT_EQ(s.max_level_width, 10);
+  EXPECT_DOUBLE_EQ(s.edge_density, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+TEST(GraphStatsTest, DensityOfCompleteDag) {
+  util::Rng rng(1);
+  const auto g = erdos_renyi_dag(10, 1.0, rng, unit_provider());
+  const auto s = compute_stats(g);
+  EXPECT_DOUBLE_EQ(s.edge_density, 1.0);
+}
+
+TEST(GraphStatsTest, WorkflowStatsAreConsistent) {
+  WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kAmdahl;
+  const auto s = compute_stats(cholesky(5, cfg));
+  EXPECT_EQ(s.num_tasks, 35);
+  EXPECT_EQ(s.num_sources, 1);
+  EXPECT_EQ(s.num_sinks, 1);
+  EXPECT_GT(s.longest_path_tasks, 5);
+  EXPECT_EQ(s.num_levels, s.longest_path_tasks);
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyNumbers) {
+  const auto s = compute_stats(chain(3, unit_provider()));
+  const auto text = to_string(s);
+  EXPECT_NE(text.find("3 tasks"), std::string::npos);
+  EXPECT_NE(text.find("D=3"), std::string::npos);
+}
+
+TEST(GraphStatsTest, RejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW((void)compute_stats(g), std::logic_error);
+}
+
+}  // namespace
+}  // namespace moldsched::graph

@@ -1,0 +1,139 @@
+#include "moldsched/graph/workflows.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "moldsched/graph/algorithms.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+WorkflowModelConfig amdahl_cfg() {
+  WorkflowModelConfig c;
+  c.kind = model::ModelKind::kAmdahl;
+  return c;
+}
+
+TEST(WorkflowModelTest, WorkScalesWithRelWork) {
+  const auto cfg = amdahl_cfg();
+  const auto small = make_workflow_model(cfg, 1.0);
+  const auto big = make_workflow_model(cfg, 4.0);
+  // Sequential time scales ~4x.
+  EXPECT_NEAR(big->time(1) / small->time(1), 4.0, 1e-9);
+}
+
+TEST(WorkflowModelTest, ProducesEveryParameterizableKind) {
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    WorkflowModelConfig cfg;
+    cfg.kind = kind;
+    const auto m = make_workflow_model(cfg, 2.0);
+    EXPECT_EQ(m->kind(), kind);
+    EXPECT_GT(m->time(1), 0.0);
+  }
+}
+
+TEST(WorkflowModelTest, RejectsBadInput) {
+  const auto cfg = amdahl_cfg();
+  EXPECT_THROW((void)make_workflow_model(cfg, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_workflow_model(cfg, -1.0), std::invalid_argument);
+  WorkflowModelConfig arb;
+  arb.kind = model::ModelKind::kArbitrary;
+  EXPECT_THROW((void)make_workflow_model(arb, 1.0), std::invalid_argument);
+  WorkflowModelConfig bad = amdahl_cfg();
+  bad.base_work = 0.0;
+  EXPECT_THROW((void)make_workflow_model(bad, 1.0), std::invalid_argument);
+}
+
+TEST(CholeskyTest, TaskCountMatchesClosedForm) {
+  // Kernel counts for nt tiles: potrf nt, trsm nt(nt-1)/2,
+  // syrk nt(nt-1)/2, gemm nt(nt-1)(nt-2)/6.
+  for (const int nt : {1, 2, 3, 5}) {
+    const auto g = cholesky(nt, amdahl_cfg());
+    const int expected = nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 +
+                         nt * (nt - 1) * (nt - 2) / 6;
+    EXPECT_EQ(g.num_tasks(), expected) << "nt=" << nt;
+    EXPECT_TRUE(is_acyclic(g));
+  }
+}
+
+TEST(CholeskyTest, SingleSourceIsFirstPotrf) {
+  const auto g = cholesky(4, amdahl_cfg());
+  const auto sources = g.sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(g.name(sources[0]), "potrf(0)");
+  // Final task: potrf(nt-1) is the unique sink.
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.name(sinks[0]), "potrf(3)");
+}
+
+TEST(CholeskyTest, CriticalPathGrowsLinearlyInTiles) {
+  const auto g3 = cholesky(3, amdahl_cfg());
+  const auto g6 = cholesky(6, amdahl_cfg());
+  EXPECT_GT(longest_hop_count(g6), longest_hop_count(g3));
+}
+
+TEST(LuTest, TaskCountMatchesClosedForm) {
+  // getrf nt, trsm 2 * nt(nt-1)/2, gemm sum (nt-1-k)^2.
+  for (const int nt : {1, 2, 3, 4}) {
+    int gemm = 0;
+    for (int k = 0; k < nt; ++k) gemm += (nt - 1 - k) * (nt - 1 - k);
+    const int expected = nt + nt * (nt - 1) + gemm;
+    const auto g = lu(nt, amdahl_cfg());
+    EXPECT_EQ(g.num_tasks(), expected) << "nt=" << nt;
+    EXPECT_TRUE(is_acyclic(g));
+  }
+}
+
+TEST(LuTest, RejectsBadTileCount) {
+  EXPECT_THROW((void)lu(0, amdahl_cfg()), std::invalid_argument);
+}
+
+TEST(FftTest, ButterflyShape) {
+  const int log2n = 3;
+  const auto g = fft(log2n, amdahl_cfg());
+  const int n = 1 << log2n;
+  EXPECT_EQ(g.num_tasks(), n * (log2n + 1));
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(g.sinks().size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(longest_hop_count(g), log2n + 1);
+  // Every non-input task has exactly two predecessors.
+  int two_pred = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    if (g.in_degree(v) == 2) ++two_pred;
+  EXPECT_EQ(two_pred, n * log2n);
+}
+
+TEST(FftTest, RejectsBadSizes) {
+  EXPECT_THROW((void)fft(0, amdahl_cfg()), std::invalid_argument);
+  EXPECT_THROW((void)fft(25, amdahl_cfg()), std::invalid_argument);
+}
+
+TEST(MontageTest, LayerStructure) {
+  const int width = 5;
+  const auto g = montage(width, amdahl_cfg());
+  // width projections + (width-1) diffs + fit + width backgrounds + coadd.
+  EXPECT_EQ(g.num_tasks(), width + (width - 1) + 1 + width + 1);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), static_cast<std::size_t>(width));
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_THROW((void)montage(1, amdahl_cfg()), std::invalid_argument);
+}
+
+TEST(WavefrontTest, GridStructure) {
+  const auto g = wavefront(3, 4, amdahl_cfg());
+  EXPECT_EQ(g.num_tasks(), 12);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // Longest path: rows + cols - 1 hops.
+  EXPECT_EQ(longest_hop_count(g), 3 + 4 - 1);
+  EXPECT_THROW((void)wavefront(0, 2, amdahl_cfg()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::graph

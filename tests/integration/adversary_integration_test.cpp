@@ -1,0 +1,157 @@
+// Running Algorithm 1 on the Section 4.4 adversarial instances must
+// reproduce the proofs exactly: the predicted allocations, the predicted
+// layer-serialized makespan, and competitive ratios that approach the
+// Table 1 lower bounds as the instances grow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched {
+namespace {
+
+/// Runs Algorithm 1 on an instance and checks allocations + makespan
+/// against the proof's predictions.
+void check_instance(const graph::AdversaryInstance& inst) {
+  const core::LpaAllocator alloc(inst.mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  sim::expect_valid_schedule(inst.graph, result.trace, inst.P);
+
+  // Check per-group allocations against the proof.
+  for (graph::TaskId v = 0; v < inst.graph.num_tasks(); ++v) {
+    const char group = inst.graph.name(v).front();
+    const int expected = group == 'A'   ? inst.expected_alloc_a
+                         : group == 'B' ? inst.expected_alloc_b
+                                        : inst.expected_alloc_c;
+    ASSERT_EQ(result.allocation[static_cast<std::size_t>(v)], expected)
+        << inst.description << ": task " << inst.graph.name(v);
+  }
+
+  // The simulated makespan equals the proof's prediction.
+  EXPECT_NEAR(result.makespan, inst.predicted_online_makespan,
+              1e-9 * inst.predicted_online_makespan)
+      << inst.description;
+
+  // And the instance indeed forces a large ratio against the explicit
+  // alternative schedule.
+  EXPECT_GT(result.makespan / inst.t_opt_upper, 1.0) << inst.description;
+}
+
+TEST(RooflineAdversaryRunTest, MatchesTheorem5) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kRoofline);
+  for (const int P : {8, 64, 256, 1024}) {
+    const auto inst = graph::roofline_adversary(P, mu);
+    check_instance(inst);
+  }
+}
+
+TEST(RooflineAdversaryRunTest, RatioApproachesLimit) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kRoofline);
+  const auto inst = graph::roofline_adversary(4096, mu);
+  const core::LpaAllocator alloc(mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  const double ratio = result.makespan / inst.t_opt_upper;
+  // Theorem 5: limit 1/mu ~ 2.618; finite-P value is slightly below.
+  EXPECT_GT(ratio, 2.61);
+  EXPECT_LE(ratio, inst.ratio_limit + 1e-9);
+}
+
+TEST(CommunicationAdversaryRunTest, MatchesTheorem6) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  for (const int P : {16, 64, 128}) {
+    check_instance(graph::communication_adversary(P, mu));
+  }
+}
+
+TEST(CommunicationAdversaryRunTest, RatioApproachesTheoremLimit) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const core::LpaAllocator alloc(mu);
+  double prev_ratio = 0.0;
+  for (const int P : {32, 128, 512}) {
+    const auto inst = graph::communication_adversary(P, mu);
+    const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+    const double ratio = result.makespan / inst.t_opt_upper;
+    EXPECT_GT(ratio, prev_ratio * 0.999) << "P=" << P;
+    prev_ratio = ratio;
+  }
+  // At P = 512 the ratio should be most of the way to the ~3.514 limit
+  // and must never exceed the 3.61 upper bound.
+  EXPECT_GT(prev_ratio, 3.2);
+  EXPECT_LT(prev_ratio,
+            analysis::optimal_ratio(model::ModelKind::kCommunication)
+                    .upper_bound +
+                1e-9);
+}
+
+TEST(AmdahlAdversaryRunTest, MatchesTheorem7) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  for (const int K : {8, 12, 20}) {
+    check_instance(graph::amdahl_adversary(K, mu));
+  }
+}
+
+TEST(AmdahlAdversaryRunTest, RatioApproachesTheoremLimit) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const core::LpaAllocator alloc(mu);
+  const auto inst = graph::amdahl_adversary(32, mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  const double ratio = result.makespan / inst.t_opt_upper;
+  // Limit is ~4.73; finite-K sits below but should be well past 4.
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, inst.ratio_limit + 0.1);
+}
+
+TEST(GeneralAdversaryRunTest, MatchesTheorem8) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kGeneral);
+  for (const int K : {8, 16}) {
+    check_instance(graph::general_adversary(K, mu));
+  }
+}
+
+TEST(GeneralAdversaryRunTest, RatioApproachesTheoremLimit) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kGeneral);
+  const core::LpaAllocator alloc(mu);
+  const auto inst = graph::general_adversary(32, mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+  const double ratio = result.makespan / inst.t_opt_upper;
+  // Limit is ~5.25.
+  EXPECT_GT(ratio, 4.4);
+  EXPECT_LT(ratio, inst.ratio_limit + 0.1);
+}
+
+TEST(AdversaryRunTest, LayersAreSerializedAsInFigure2a) {
+  // The defining feature of the bad schedule: B tasks of a layer run
+  // first, the layer's A task runs strictly after they complete.
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const auto inst = graph::communication_adversary(24, mu);
+  const core::LpaAllocator alloc(mu);
+  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+
+  const auto& g = inst.graph;
+  for (const auto& rec : result.trace.records()) {
+    if (g.name(rec.task).front() != 'A') continue;
+    // Find this layer's B tasks: they are the X ids just before the A.
+    for (int j = 1; j <= inst.X; ++j) {
+      const auto b = rec.task - j;
+      ASSERT_EQ(g.name(b).front(), 'B');
+      // A starts only after the layer's B finished.
+      const auto& b_rec = result.trace.records()[static_cast<std::size_t>(
+          std::find_if(result.trace.records().begin(),
+                       result.trace.records().end(),
+                       [&](const sim::TaskRecord& r) { return r.task == b; }) -
+          result.trace.records().begin())];
+      EXPECT_GE(rec.start, b_rec.end - 1e-9)
+          << "A task " << g.name(rec.task) << " overlapped "
+          << g.name(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moldsched

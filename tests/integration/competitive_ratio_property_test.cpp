@@ -1,0 +1,149 @@
+// The headline machine-checkable property: Lemma 5's proof bounds the
+// online makespan by ratio * max(A_min/P, C_min), where ratio is the
+// Theorem 1-4 constant of the task's speedup model. We assert it on a
+// grid of random graph shapes, platform sizes and seeds, for all four
+// models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+struct RatioCase {
+  model::ModelKind kind;
+  int P;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<RatioCase>& info) {
+  return model::to_string(info.param.kind) + "_P" +
+         std::to_string(info.param.P) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class CompetitiveRatioTest : public testing::TestWithParam<RatioCase> {};
+
+TEST_P(CompetitiveRatioTest, MakespanWithinTheoremBoundOfLowerBound) {
+  const auto [kind, P, seed] = GetParam();
+  const double mu = analysis::optimal_mu(kind);
+  const double bound = analysis::optimal_ratio(kind).upper_bound;
+  const core::LpaAllocator alloc(mu);
+
+  util::Rng rng(seed);
+  const model::ModelSampler sampler(kind);
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+
+  const std::vector<graph::TaskGraph> graphs = [&] {
+    std::vector<graph::TaskGraph> out;
+    out.push_back(graph::layered_random(6, 2, 10, 0.3, rng, provider));
+    out.push_back(graph::erdos_renyi_dag(50, 0.08, rng, provider));
+    out.push_back(graph::fork_join(3, 9, provider));
+    out.push_back(graph::random_out_tree(60, 3, rng, provider));
+    out.push_back(graph::chain(15, provider));
+    out.push_back(graph::independent(40, provider));
+    out.push_back(graph::series_parallel(45, rng, provider));
+    return out;
+  }();
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto& g = graphs[i];
+    const auto result = core::schedule_online(g, P, alloc);
+    sim::expect_valid_schedule(g, result.trace, P);
+    const double lb = analysis::optimal_makespan_lower_bound(g, P);
+    EXPECT_LE(result.makespan, bound * lb * (1.0 + 1e-9))
+        << "graph " << i << " of kind " << model::to_string(kind)
+        << ": ratio " << result.makespan / lb << " vs bound " << bound;
+    // And the makespan can never beat the lower bound itself.
+    EXPECT_GE(result.makespan, lb * (1.0 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompetitiveRatioTest,
+    testing::Values(
+        RatioCase{model::ModelKind::kRoofline, 4, 1},
+        RatioCase{model::ModelKind::kRoofline, 16, 2},
+        RatioCase{model::ModelKind::kRoofline, 61, 3},
+        RatioCase{model::ModelKind::kCommunication, 4, 1},
+        RatioCase{model::ModelKind::kCommunication, 16, 2},
+        RatioCase{model::ModelKind::kCommunication, 61, 3},
+        RatioCase{model::ModelKind::kAmdahl, 4, 1},
+        RatioCase{model::ModelKind::kAmdahl, 16, 2},
+        RatioCase{model::ModelKind::kAmdahl, 61, 3},
+        RatioCase{model::ModelKind::kGeneral, 4, 1},
+        RatioCase{model::ModelKind::kGeneral, 16, 2},
+        RatioCase{model::ModelKind::kGeneral, 61, 3},
+        RatioCase{model::ModelKind::kGeneral, 128, 4}),
+    case_name);
+
+// Graphs mixing all four model families are still Eq. (1) instances, so
+// Theorem 4's general bound applies to them at the general mu*.
+TEST(MixedModelRatioTest, GeneralBoundCoversMixedFamilies) {
+  const double mu = analysis::optimal_mu(model::ModelKind::kGeneral);
+  const double bound =
+      analysis::optimal_ratio(model::ModelKind::kGeneral).upper_bound;
+  const core::LpaAllocator alloc(mu);
+
+  util::Rng rng(2024);
+  const model::ModelSampler samplers[] = {
+      model::ModelSampler(model::ModelKind::kRoofline),
+      model::ModelSampler(model::ModelKind::kCommunication),
+      model::ModelSampler(model::ModelKind::kAmdahl),
+      model::ModelSampler(model::ModelKind::kGeneral)};
+  for (const int P : {6, 23, 64}) {
+    const graph::ModelProvider mixed = [&]() {
+      return samplers[rng.uniform_int(0, 3)].sample(rng, P);
+    };
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto g = graph::layered_random(6, 2, 8, 0.35, rng, mixed);
+      const auto result = core::schedule_online(g, P, alloc);
+      sim::expect_valid_schedule(g, result.trace, P);
+      const double lb = analysis::optimal_makespan_lower_bound(g, P);
+      EXPECT_LE(result.makespan, bound * lb * (1.0 + 1e-9))
+          << "P=" << P << " rep=" << rep;
+    }
+  }
+}
+
+// The theorem bound must hold for every admissible mu, not only mu*.
+class MuSweepRatioTest : public testing::TestWithParam<double> {};
+
+TEST_P(MuSweepRatioTest, BoundHoldsAcrossMuForAmdahl) {
+  const double mu = GetParam();
+  const double bound = analysis::upper_ratio(model::ModelKind::kAmdahl, mu);
+  if (std::isinf(bound)) GTEST_SKIP() << "mu infeasible for the model";
+  const core::LpaAllocator alloc(mu);
+  util::Rng rng(99);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 24;
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto g = graph::layered_random(5, 2, 8, 0.35, rng, provider);
+    const auto result = core::schedule_online(g, P, alloc);
+    const double lb = analysis::optimal_makespan_lower_bound(g, P);
+    EXPECT_LE(result.makespan, bound * lb * (1.0 + 1e-9)) << "mu=" << mu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MuSweepRatioTest,
+                         testing::Values(0.15, 0.2, 0.25, 0.271, 0.3, 0.33),
+                         [](const auto& param_info) {
+                           const int milli = static_cast<int>(
+                               param_info.param * 1000.0 + 0.5);
+                           return "mu" + std::to_string(milli);
+                         });
+
+}  // namespace
+}  // namespace moldsched

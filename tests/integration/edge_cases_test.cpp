@@ -1,0 +1,166 @@
+// Edge cases and less-travelled paths across modules.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/resilience/resilient_scheduler.hpp"
+#include "moldsched/sched/contiguous_scheduler.hpp"
+#include "moldsched/sched/release_scheduler.hpp"
+#include "moldsched/sim/gantt.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/rng.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(EdgeCaseTest, GanttWithManyTasksCyclesLabelsAndTruncatesLegend) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 80; ++i)
+    (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1));
+  sim::Trace t;
+  for (int i = 0; i < 80; ++i) {
+    t.record_start(i, static_cast<double>(i), 1);
+    t.record_end(i, static_cast<double>(i) + 1.0);
+  }
+  const auto out = sim::render_gantt(t, g, 1, 120);
+  EXPECT_NE(out.find("..."), std::string::npos);  // legend truncated
+  // Labels wrap around the 62-character alphabet: task 62 reuses 'A'.
+  EXPECT_NE(out.find('A'), std::string::npos);
+}
+
+TEST(EdgeCaseTest, ReleaseSchedulerHonorsPriorityPolicies) {
+  // Two tasks released together; largest-work-first reverses FIFO order.
+  std::vector<sched::ReleasedTask> tasks{
+      {std::make_shared<model::RooflineModel>(1.0, 1), 0.0, "small"},
+      {std::make_shared<model::RooflineModel>(9.0, 1), 0.0, "big"}};
+  class One : public core::Allocator {
+   public:
+    int allocate(const model::SpeedupModel&, int) const override { return 1; }
+    std::string name() const override { return "one"; }
+  };
+  const One alloc;
+  const auto fifo = sched::OnlineReleaseScheduler(tasks, 1, alloc).run();
+  EXPECT_EQ(fifo.trace.records()[0].task, 0);
+  const auto lwf =
+      sched::OnlineReleaseScheduler(tasks, 1, alloc,
+                                    core::QueuePolicy::kLargestWorkFirst)
+          .run();
+  EXPECT_EQ(lwf.trace.records()[0].task, 1);
+}
+
+TEST(EdgeCaseTest, ResilientSchedulerWorksUnderEveryPolicy) {
+  util::Rng rng(91);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 8;
+  const auto g = graph::layered_random(
+      4, 2, 5, 0.4, rng, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.271);
+  const auto failures = std::make_shared<resilience::BernoulliFailures>(0.3);
+  for (const auto policy :
+       {core::QueuePolicy::kFifo, core::QueuePolicy::kLifo,
+        core::QueuePolicy::kLargestWorkFirst,
+        core::QueuePolicy::kSmallestAllocFirst}) {
+    const resilience::ResilientOnlineScheduler sched(g, P, alloc, failures,
+                                                     17, policy);
+    const auto result = sched.run();
+    EXPECT_TRUE(
+        resilience::validate_resilient_schedule(g, result, P).empty())
+        << core::to_string(policy);
+  }
+}
+
+TEST(EdgeCaseTest, ContiguousSchedulerWithLifoPolicy) {
+  util::Rng rng(92);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const int P = 12;
+  const auto g = graph::fork_join(
+      2, 5, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.211);
+  const auto result = sched::schedule_online_contiguous(
+      g, P, alloc, core::QueuePolicy::kLifo);
+  sim::expect_valid_schedule(g, result.base.trace, P);
+}
+
+TEST(EdgeCaseTest, FlagsWithNoArguments) {
+  const util::Flags flags(0, nullptr);
+  EXPECT_TRUE(flags.program_name().empty());
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_EQ(flags.get_int("missing", -1), -1);
+}
+
+TEST(EdgeCaseTest, MarkdownRendersShortRows) {
+  util::Table t({"a", "b", "c"});
+  t.new_row().cell("only-one");
+  const auto md = t.to_markdown();
+  EXPECT_NE(md.find("only-one"), std::string::npos);
+  EXPECT_NE(md.find("|--"), std::string::npos);
+}
+
+TEST(EdgeCaseTest, QueuePolicyToStringCoversAll) {
+  EXPECT_EQ(core::to_string(core::QueuePolicy::kFifo), "fifo");
+  EXPECT_EQ(core::to_string(core::QueuePolicy::kLifo), "lifo");
+  EXPECT_EQ(core::to_string(core::QueuePolicy::kLargestWorkFirst),
+            "largest-work");
+  EXPECT_EQ(core::to_string(core::QueuePolicy::kLongestMinTimeFirst),
+            "longest-min-time");
+  EXPECT_EQ(core::to_string(core::QueuePolicy::kSmallestAllocFirst),
+            "smallest-alloc");
+}
+
+TEST(EdgeCaseTest, PriorityKeyMatchesPolicySemantics) {
+  const model::AmdahlModel m(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(
+      core::priority_key(core::QueuePolicy::kFifo, m, 3, 8), 0.0);
+  EXPECT_DOUBLE_EQ(
+      core::priority_key(core::QueuePolicy::kLargestWorkFirst, m, 3, 8),
+      12.0);  // t(1)
+  EXPECT_DOUBLE_EQ(
+      core::priority_key(core::QueuePolicy::kLongestMinTimeFirst, m, 3, 8),
+      10.0 / 8.0 + 2.0);  // t_min(8)
+  EXPECT_DOUBLE_EQ(
+      core::priority_key(core::QueuePolicy::kSmallestAllocFirst, m, 3, 8),
+      -3.0);
+}
+
+TEST(EdgeCaseTest, SchedulingOnUnitPlatform) {
+  // P = 1 degenerates everything to sequential execution; total time is
+  // the sum of t(1) regardless of policy or model family.
+  util::Rng rng(93);
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    const auto g = graph::independent(
+        12, graph::sampling_provider(sampler, rng, 1));
+    double total = 0.0;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      total += g.model_of(v).time(1);
+    const core::LpaAllocator alloc(0.3);
+    const auto run = core::schedule_online(g, 1, alloc);
+    EXPECT_NEAR(run.makespan, total, 1e-9 * total);
+  }
+}
+
+TEST(EdgeCaseTest, ZeroDurationTasksAreHandled) {
+  // A task with tiny-but-positive work amid normal ones.
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(1e-12, 1), "tiny");
+  const auto b =
+      g.add_task(std::make_shared<model::RooflineModel>(1.0, 1), "unit");
+  g.add_edge(a, b);
+  const core::LpaAllocator alloc(0.3);
+  const auto run = core::schedule_online(g, 2, alloc);
+  EXPECT_NEAR(run.makespan, 1.0, 1e-9);
+  sim::expect_valid_schedule(g, run.trace, 2);
+}
+
+}  // namespace
+}  // namespace moldsched

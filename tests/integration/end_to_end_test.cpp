@@ -1,0 +1,101 @@
+// End-to-end pipeline tests: the flows a library user would run, from
+// graph construction through scheduling, validation, comparison and
+// rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/sim/gantt.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(EndToEndTest, CholeskyWorkflowFullPipeline) {
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kAmdahl;
+  const auto g = graph::cholesky(5, cfg);
+  const int P = 16;
+
+  const double mu = analysis::optimal_mu(cfg.kind);
+  const auto spec = sched::lpa_spec(mu);
+  const auto m = analysis::measure_scheduler(g, P, spec);
+
+  // The measured ratio must respect the Amdahl theorem bound.
+  const double bound = analysis::optimal_ratio(cfg.kind).upper_bound;
+  EXPECT_LE(m.ratio_vs_lb, bound + 1e-9);
+  EXPECT_GE(m.ratio_vs_lb, 1.0 - 1e-9);
+}
+
+TEST(EndToEndTest, SuiteComparisonOnWorkflows) {
+  const auto cases = analysis::workflow_catalog(model::ModelKind::kGeneral);
+  const double mu = analysis::optimal_mu(model::ModelKind::kGeneral);
+  const auto rows =
+      analysis::compare_suite(cases, 32, sched::standard_suite(mu));
+  ASSERT_FALSE(rows.empty());
+  // LPA respects its bound on every case (max, not just mean).
+  const double bound =
+      analysis::optimal_ratio(model::ModelKind::kGeneral).upper_bound;
+  EXPECT_LE(rows.front().ratio.max, bound + 1e-9);
+  // The table renders.
+  const auto table = analysis::suite_table(rows);
+  EXPECT_GT(table.to_ascii().size(), 100u);
+}
+
+TEST(EndToEndTest, OnlineVersusOfflineOnMontage) {
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kCommunication;
+  const auto g = graph::montage(10, cfg);
+  const int P = 24;
+
+  const double mu = analysis::optimal_mu(cfg.kind);
+  const core::LpaAllocator lpa(mu);
+  const auto online = core::schedule_online(g, P, lpa);
+  sim::expect_valid_schedule(g, online.trace, P);
+
+  const auto offline = sched::OfflineTradeoffScheduler(g, P).run();
+  sim::expect_valid_schedule(g, offline.trace, P);
+
+  // Offline with full knowledge is a sane T_opt proxy: it must be within
+  // the theorem bound of the lower bound, and online must be within the
+  // bound of offline.
+  const double lb = analysis::optimal_makespan_lower_bound(g, P);
+  EXPECT_GE(offline.makespan, lb * (1.0 - 1e-9));
+  const double bound = analysis::optimal_ratio(cfg.kind).upper_bound;
+  EXPECT_LE(online.makespan, bound * offline.makespan * (1.0 + 1e-9));
+}
+
+TEST(EndToEndTest, GanttRendersARealSchedule) {
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kRoofline;
+  const auto g = graph::wavefront(3, 3, cfg);
+  const int P = 8;
+  const core::LpaAllocator lpa(analysis::optimal_mu(cfg.kind));
+  const auto result = core::schedule_online(g, P, lpa);
+  const auto chart = sim::render_gantt(result.trace, g, P);
+  EXPECT_NE(chart.find("Gantt (P=8"), std::string::npos);
+  EXPECT_NE(chart.find("cell(0,0)"), std::string::npos);
+  const auto util = sim::render_utilization(result.trace, P);
+  EXPECT_NE(util.find("/8"), std::string::npos);
+}
+
+TEST(EndToEndTest, Table1PipelineRendersPaperNumbers) {
+  const auto table = analysis::table1_table(analysis::compute_table1());
+  const auto text = table.to_markdown();
+  // All four upper bounds at 3 decimals, matching Table 1 after rounding.
+  EXPECT_NE(text.find("2.618"), std::string::npos);
+  EXPECT_NE(text.find("3.6"), std::string::npos);
+  EXPECT_NE(text.find("4.7"), std::string::npos);
+  EXPECT_NE(text.find("5.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched

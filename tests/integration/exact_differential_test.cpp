@@ -1,0 +1,67 @@
+// Differential testing against the exact optimum on a randomized grid of
+// tiny instances: every scheduler in the stack must sit between the
+// exact optimum and its own guarantee.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sched/exact.hpp"
+#include "moldsched/sched/level_scheduler.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+class ExactDifferentialTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactDifferentialTest, AllSchedulersBoundedByExactOptimum) {
+  util::Rng rng(GetParam());
+  const model::ModelKind kinds[] = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto kind = kinds[rng.uniform_int(0, 3)];
+    const model::ModelSampler sampler(kind);
+    const int P = static_cast<int>(rng.uniform_int(2, 6));
+    const auto provider = graph::sampling_provider(sampler, rng, P);
+    const auto g = graph::erdos_renyi_dag(
+        static_cast<int>(rng.uniform_int(2, 6)), 0.35, rng, provider);
+
+    const auto exact = sched::ExactScheduler(g, P).run();
+    const double lb = analysis::optimal_makespan_lower_bound(g, P);
+    ASSERT_GE(exact.makespan, lb * (1.0 - 1e-9));
+
+    // Online at the model-optimal mu stays within the theorem bound of
+    // the true optimum.
+    const double mu = analysis::optimal_mu(kind);
+    const double bound = analysis::optimal_ratio(kind).upper_bound;
+    const core::LpaAllocator lpa(mu);
+    const auto online = core::schedule_online(g, P, lpa);
+    EXPECT_GE(online.makespan, exact.makespan * (1.0 - 1e-9));
+    EXPECT_LE(online.makespan, bound * exact.makespan * (1.0 + 1e-9));
+
+    // The offline heuristic sits between the optimum and online-quality.
+    const auto offline = sched::OfflineTradeoffScheduler(g, P).run();
+    EXPECT_GE(offline.makespan, exact.makespan * (1.0 - 1e-9));
+
+    // Level-by-level is feasible and never better than the optimum.
+    const auto level = sched::schedule_level_by_level(g, P, lpa);
+    EXPECT_GE(level.makespan, exact.makespan * (1.0 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactDifferentialTest,
+                         testing::Range<std::uint64_t>(100, 110),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,125 @@
+// Randomized stress testing: many random (generator, model, P, policy)
+// combinations; every schedule must validate, never beat the Lemma 2
+// bound, and agree across repeated runs. A crash, validation failure or
+// nondeterminism here is a library bug regardless of the theory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sched/baselines.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+class FuzzTest : public testing::TestWithParam<std::uint64_t> {};
+
+graph::TaskGraph random_graph(util::Rng& rng, int P) {
+  const model::ModelKind kinds[] = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+  const auto kind = kinds[rng.uniform_int(0, 3)];
+  const model::ModelSampler sampler(kind);
+  auto provider = graph::sampling_provider(sampler, rng, P);
+  switch (rng.uniform_int(0, 6)) {
+    case 0:
+      return graph::layered_random(
+          static_cast<int>(rng.uniform_int(1, 8)), 1,
+          static_cast<int>(rng.uniform_int(1, 10)), rng.unit(), rng,
+          provider);
+    case 1:
+      return graph::erdos_renyi_dag(
+          static_cast<int>(rng.uniform_int(1, 60)), rng.unit() * 0.3, rng,
+          provider);
+    case 2:
+      return graph::fork_join(static_cast<int>(rng.uniform_int(1, 4)),
+                              static_cast<int>(rng.uniform_int(1, 10)),
+                              provider);
+    case 3:
+      return graph::random_out_tree(
+          static_cast<int>(rng.uniform_int(1, 60)),
+          static_cast<int>(rng.uniform_int(0, 4)), rng, provider);
+    case 4:
+      return graph::random_in_tree(
+          static_cast<int>(rng.uniform_int(1, 60)),
+          static_cast<int>(rng.uniform_int(0, 4)), rng, provider);
+    case 5:
+      return graph::series_parallel(
+          static_cast<int>(rng.uniform_int(1, 50)), rng, provider);
+    default:
+      return graph::chain(static_cast<int>(rng.uniform_int(1, 25)), provider);
+  }
+}
+
+TEST_P(FuzzTest, EveryScheduleValidatesAndIsDeterministic) {
+  util::Rng rng(GetParam());
+  for (int rep = 0; rep < 6; ++rep) {
+    const int P = static_cast<int>(rng.uniform_int(1, 100));
+    const auto g = random_graph(rng, P);
+
+    // Random allocator from the suite.
+    const double mu = rng.uniform(0.05, 0.38);
+    const core::LpaAllocator lpa(mu);
+    const sched::MinTimeAllocator greedy;
+    const sched::SequentialAllocator seq;
+    const core::Allocator* allocators[] = {&lpa, &greedy, &seq};
+    const auto* alloc = allocators[rng.uniform_int(0, 2)];
+
+    const core::QueuePolicy policies[] = {
+        core::QueuePolicy::kFifo, core::QueuePolicy::kLifo,
+        core::QueuePolicy::kLargestWorkFirst,
+        core::QueuePolicy::kLongestMinTimeFirst,
+        core::QueuePolicy::kSmallestAllocFirst};
+    const auto policy = policies[rng.uniform_int(0, 4)];
+
+    const auto r1 = core::schedule_online(g, P, *alloc, policy);
+    sim::expect_valid_schedule(g, r1.trace, P);
+    EXPECT_GE(r1.makespan,
+              analysis::optimal_makespan_lower_bound(g, P) * (1.0 - 1e-9));
+
+    const auto r2 = core::schedule_online(g, P, *alloc, policy);
+    EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         testing::Range<std::uint64_t>(1, 13),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+// Differential test: with FIFO and a fixed allocator, the online engine
+// and the offline list engine given reveal-order priorities must agree
+// exactly (same machine state decisions), whenever the graph is a set of
+// independent tasks (no reveal dynamics).
+TEST(DifferentialTest, OnlineMatchesOfflineListOnIndependentTasks) {
+  util::Rng rng(777);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  for (int rep = 0; rep < 10; ++rep) {
+    const int P = static_cast<int>(rng.uniform_int(2, 64));
+    const auto g = graph::independent(
+        static_cast<int>(rng.uniform_int(1, 50)),
+        graph::sampling_provider(sampler, rng, P));
+    const core::LpaAllocator alloc(0.25);
+    const auto online = core::schedule_online(g, P, alloc);
+
+    std::vector<double> priorities(static_cast<std::size_t>(g.num_tasks()));
+    // Reveal order is id order; offline uses descending priority, so
+    // give task i priority -i.
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      priorities[static_cast<std::size_t>(v)] = -static_cast<double>(v);
+    const auto offline = sched::list_schedule_with_allocations(
+        g, P, online.allocation, priorities);
+    EXPECT_DOUBLE_EQ(online.makespan, offline.makespan());
+  }
+}
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,91 @@
+// Machine-checks of the analysis framework of Section 4.2 on simulated
+// schedules: the interval partition, Lemma 3, Lemma 4 and the combined
+// Lemma 5 bound, with the per-task alpha/beta actually realized by
+// Algorithm 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/intervals.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+struct LemmaCase {
+  model::ModelKind kind;
+  int P;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<LemmaCase>& info) {
+  return model::to_string(info.param.kind) + "_P" +
+         std::to_string(info.param.P) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class LemmaPropertyTest : public testing::TestWithParam<LemmaCase> {};
+
+TEST_P(LemmaPropertyTest, IntervalPartitionAndLemmas345) {
+  const auto [kind, P, seed] = GetParam();
+  const double mu = analysis::optimal_mu(kind);
+  const core::LpaAllocator alloc(mu);
+
+  util::Rng rng(seed);
+  const model::ModelSampler sampler(kind);
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+  const auto g = graph::layered_random(7, 2, 9, 0.3, rng, provider);
+
+  const auto result = core::schedule_online(g, P, alloc);
+  const auto breakdown = core::classify_intervals(result.trace, P, mu);
+
+  // List schedules never leave the machine fully idle mid-run.
+  EXPECT_NEAR(breakdown.t0, 0.0, 1e-12);
+  // T = T1 + T2 + T3 (the partition of Section 4.2).
+  EXPECT_NEAR(breakdown.total(), result.makespan, 1e-9 * result.makespan);
+
+  // Realized alpha: max over tasks of a(p_initial)/a_min. Lemma 3 uses
+  // the *initial* allocations, which upper-bound the final areas.
+  double alpha = 1.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    alpha = std::max(alpha, alloc.decide(g.model_of(v), P).alpha);
+
+  const auto bounds = analysis::lower_bounds(g, P);
+
+  // Lemma 3: mu*T2 + (1-mu)*T3 <= alpha * A_min / P.
+  EXPECT_LE(core::lemma3_lhs(breakdown, mu),
+            alpha * bounds.min_total_area / static_cast<double>(P) *
+                (1.0 + 1e-9));
+
+  // Lemma 4: T1/beta + mu*T2 <= C_min with beta = delta(mu).
+  const double beta = alloc.delta();
+  EXPECT_LE(core::lemma4_lhs(breakdown, mu, std::max(1.0, beta)),
+            bounds.min_critical_path * (1.0 + 1e-9));
+
+  // Lemma 5 with the realized alpha.
+  const double ratio = (mu * alpha + 1.0 - 2.0 * mu) / (mu * (1.0 - mu));
+  EXPECT_LE(result.makespan, ratio * bounds.lower_bound * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LemmaPropertyTest,
+    testing::Values(LemmaCase{model::ModelKind::kRoofline, 10, 1},
+                    LemmaCase{model::ModelKind::kRoofline, 37, 2},
+                    LemmaCase{model::ModelKind::kCommunication, 10, 1},
+                    LemmaCase{model::ModelKind::kCommunication, 37, 2},
+                    LemmaCase{model::ModelKind::kAmdahl, 10, 1},
+                    LemmaCase{model::ModelKind::kAmdahl, 37, 2},
+                    LemmaCase{model::ModelKind::kGeneral, 10, 1},
+                    LemmaCase{model::ModelKind::kGeneral, 37, 2},
+                    LemmaCase{model::ModelKind::kGeneral, 97, 3}),
+    case_name);
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,130 @@
+// Robustness: the algorithm keeps its guarantees when configured
+// off-nominally — wrong-model mu, extreme mu values, tiny and huge
+// machines, and adversarial instances evaluated at mismatched mu.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "moldsched/analysis/adversary_study.hpp"
+#include "moldsched/analysis/blame.hpp"
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(RobustnessTest, WrongModelMuStillSatisfiesItsOwnBound) {
+  // Running Amdahl tasks with the roofline mu (or vice versa) must still
+  // satisfy upper_ratio(kind, mu) — Lemma 5 holds for any feasible mu.
+  util::Rng rng(11);
+  const struct {
+    model::ModelKind kind;
+    double mu;
+  } combos[] = {
+      {model::ModelKind::kAmdahl,
+       analysis::optimal_mu(model::ModelKind::kGeneral)},
+      {model::ModelKind::kCommunication,
+       analysis::optimal_mu(model::ModelKind::kAmdahl)},
+      {model::ModelKind::kRoofline,
+       analysis::optimal_mu(model::ModelKind::kCommunication)},
+  };
+  for (const auto& combo : combos) {
+    const double bound = analysis::upper_ratio(combo.kind, combo.mu);
+    ASSERT_TRUE(std::isfinite(bound));
+    const core::LpaAllocator alloc(combo.mu);
+    const model::ModelSampler sampler(combo.kind);
+    const int P = 24;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto g = graph::layered_random(
+          5, 2, 7, 0.35, rng, graph::sampling_provider(sampler, rng, P));
+      const auto run = core::schedule_online(g, P, alloc);
+      const double lb = analysis::optimal_makespan_lower_bound(g, P);
+      EXPECT_LE(run.makespan, bound * lb * (1.0 + 1e-9))
+          << model::to_string(combo.kind) << " at mu=" << combo.mu;
+    }
+  }
+}
+
+TEST(RobustnessTest, ExtremeMuValuesStillProduceValidSchedules) {
+  util::Rng rng(12);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const int P = 16;
+  const auto g = graph::fork_join(
+      3, 6, graph::sampling_provider(sampler, rng, P));
+  for (const double mu : {1e-3, 0.01, 0.38, analysis::kMuMax}) {
+    const core::LpaAllocator alloc(mu);
+    const auto run = core::schedule_online(g, P, alloc);
+    sim::expect_valid_schedule(g, run.trace, P);
+  }
+}
+
+TEST(RobustnessTest, AdversaryAtMismatchedMuStaysWithinItsBound) {
+  // The instance is tuned for mu*, but Lemma 5 bounds the algorithm at
+  // *any* feasible mu: ratio vs the Lemma-2 LB must respect
+  // upper_ratio(kind, mu) even on the adversary built for another mu.
+  const double mu = 0.25;  // not any model's optimum
+  const auto inst = graph::communication_adversary(
+      64, analysis::optimal_mu(model::ModelKind::kCommunication));
+  const core::LpaAllocator alloc(mu);
+  const auto run = core::schedule_online(inst.graph, inst.P, alloc);
+  sim::expect_valid_schedule(inst.graph, run.trace, inst.P);
+  const double bound =
+      analysis::upper_ratio(model::ModelKind::kCommunication, mu);
+  const double lb =
+      analysis::optimal_makespan_lower_bound(inst.graph, inst.P);
+  EXPECT_LE(run.makespan, bound * lb * (1.0 + 1e-9));
+}
+
+TEST(RobustnessTest, BlameChainOnAdversaryAlternatesCauses) {
+  // On the Figure 1 instance the makespan chain is A-tasks waiting on
+  // B-phases: the blame chain must contain both precedence and resource
+  // links.
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const auto inst = graph::communication_adversary(24, mu);
+  const core::LpaAllocator alloc(mu);
+  const auto run = core::schedule_online(inst.graph, inst.P, alloc);
+  const auto chain = analysis::blame_chain(inst.graph, run);
+  bool has_precedence = false;
+  bool has_resources = false;
+  for (const auto& link : chain) {
+    has_precedence |= link.reason == analysis::BlameReason::kPrecedence;
+    has_resources |= link.reason == analysis::BlameReason::kResources;
+  }
+  EXPECT_TRUE(has_precedence);
+  EXPECT_TRUE(has_resources);
+  EXPECT_DOUBLE_EQ(chain.front().end, run.makespan);
+}
+
+TEST(RobustnessTest, HugeMachineTinyGraph) {
+  util::Rng rng(13);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 4096;
+  const auto g =
+      graph::chain(3, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.271);
+  const auto run = core::schedule_online(g, P, alloc);
+  sim::expect_valid_schedule(g, run.trace, P);
+  // Allocations capped at ceil(mu P).
+  for (const int a : run.allocation) EXPECT_LE(a, 1111);
+}
+
+TEST(RobustnessTest, MeasureAdversaryAtCustomMu) {
+  const auto m =
+      analysis::measure_adversary(model::ModelKind::kAmdahl, 12, 0.2);
+  EXPECT_DOUBLE_EQ(m.mu, 0.2);
+  EXPECT_GT(m.ratio, 1.0);
+  // The instance internally rebuilt itself for mu = 0.2, so the proof's
+  // allocations still match.
+  EXPECT_TRUE(m.allocations_match_proof);
+}
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,42 @@
+// Compiles the umbrella header and exercises one call per major module,
+// guarding against include breakage in the advertised one-header API.
+#include "moldsched/moldsched.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moldsched/version.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(UmbrellaTest, OneCallPerModule) {
+  EXPECT_STREQ(version(), "1.0.0");
+
+  const model::AmdahlModel m(10.0, 1.0);
+  EXPECT_GT(m.time(4), 0.0);
+
+  graph::TaskGraph g;
+  const auto a = g.add_task(m.clone(), "a");
+  const auto b = g.add_task(std::make_shared<model::AmdahlModel>(5.0, 0.5),
+                            "b");
+  g.add_edge(a, b);
+  EXPECT_EQ(graph::compute_stats(g).num_tasks, 2);
+
+  const core::LpaAllocator alloc(analysis::optimal_mu(m.kind()));
+  const auto run = core::schedule_online(g, 8, alloc);
+  sim::expect_valid_schedule(g, run.trace, 8);
+
+  EXPECT_TRUE(analysis::check_framework(g, 8, alloc, run).all_hold());
+  EXPECT_FALSE(io::to_dot(g).empty());
+  EXPECT_FALSE(io::graph_to_json(g).empty());
+  EXPECT_FALSE(io::render_gantt_svg(run.trace, g, 8).empty());
+
+  util::Rng rng(1);
+  EXPECT_GE(rng.unit(), 0.0);
+  EXPECT_GE(sched::standard_suite(0.25).size(), 6u);
+  EXPECT_EQ(sched::engine_variants(0.25).size(), 3u);
+  EXPECT_GT(resilience::NoFailures().expected_attempts(1.0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,72 @@
+#include "moldsched/io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::io {
+namespace {
+
+graph::TaskGraph small_graph() {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(4.0, 2), "alpha");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(6.0, 1.0), "beta");
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(DotTest, ContainsNodesEdgesAndLabels) {
+  const auto dot = to_dot(small_graph());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("roofline"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotTest, EscapesQuotesInNames) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1),
+                   "has\"quote");
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("has\\\"quote"), std::string::npos);
+}
+
+TEST(DotWithScheduleTest, AnnotatesScheduledWindows) {
+  const auto g = small_graph();
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 3);
+  t.record_end(1, 5.0);
+  const auto dot = to_dot_with_schedule(g, t);
+  EXPECT_NE(dot.find("[0.000, 2.000) p=2"), std::string::npos);
+  EXPECT_NE(dot.find("[2.000, 5.000) p=3"), std::string::npos);
+}
+
+TEST(DotWithScheduleTest, MarksUnscheduledTasksDashed) {
+  const auto g = small_graph();
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  const auto dot = to_dot_with_schedule(g, t);
+  EXPECT_NE(dot.find("unscheduled"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotWithScheduleTest, RejectsUnknownTaskInTrace) {
+  const auto g = small_graph();
+  sim::Trace t;
+  t.record_start(9, 0.0, 1);
+  t.record_end(9, 1.0);
+  EXPECT_THROW((void)to_dot_with_schedule(g, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::io

@@ -1,0 +1,63 @@
+// The instance files shipped under data/ must stay loadable and
+// schedulable — they are the repository's quickstart fixtures.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/stats.hpp"
+#include "moldsched/io/text_format.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched::io {
+namespace {
+
+std::string slurp(const std::string& relative) {
+  const std::string path = std::string(MOLDSCHED_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open fixture " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class FixtureTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureTest, LoadsValidatesAndSchedules) {
+  const auto text = slurp(GetParam());
+  ASSERT_FALSE(text.empty());
+  const auto g = read_graph_text(text);
+  EXPECT_GT(g.num_tasks(), 10);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GT(graph::compute_stats(g).longest_path_tasks, 1);
+
+  const int P = 16;
+  const core::LpaAllocator alloc(0.25);
+  const auto run = core::schedule_online(g, P, alloc);
+  sim::expect_valid_schedule(g, run.trace, P);
+  EXPECT_GE(run.makespan,
+            analysis::optimal_makespan_lower_bound(g, P) * (1.0 - 1e-9));
+
+  // Round trip is exact.
+  EXPECT_EQ(write_graph_text(read_graph_text(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShippedInstances, FixtureTest,
+    testing::Values("data/cholesky5_amdahl.msg",
+                    "data/montage12_communication.msg",
+                    "data/layered_general.msg"),
+    [](const testing::TestParamInfo<const char*>& param_info) {
+      std::string name = param_info.param;
+      name = name.substr(name.find('/') + 1);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace moldsched::io

@@ -1,0 +1,119 @@
+#include "moldsched/io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::io {
+namespace {
+
+TEST(GraphJsonTest, EncodesTasksAndEdges) {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::CommunicationModel>(10.0, 0.5), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 2.0), "b");
+  g.add_edge(a, b);
+  const auto json = graph_to_json(g);
+  EXPECT_NE(json.find("\"kind\":\"communication\""), std::string::npos);
+  EXPECT_NE(json.find("\"w\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"edges\":[[0,1]]"), std::string::npos);
+  // Unbounded pbar omitted.
+  EXPECT_EQ(json.find("\"pbar\""), std::string::npos);
+}
+
+TEST(GraphJsonTest, EncodesBoundedPbar) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 3), "r");
+  const auto json = graph_to_json(g);
+  EXPECT_NE(json.find("\"pbar\":3"), std::string::npos);
+}
+
+TEST(GraphJsonTest, ArbitraryModelsFallBackToDescription) {
+  graph::TaskGraph g;
+  (void)g.add_task(model::make_log_speedup_model(), "log");
+  const auto json = graph_to_json(g);
+  EXPECT_NE(json.find("\"model\":"), std::string::npos);
+  EXPECT_NE(json.find("lg p"), std::string::npos);
+}
+
+TEST(GraphJsonTest, EscapesSpecialCharacters) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1),
+                   "quote\"and\\slash");
+  const auto json = graph_to_json(g);
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+}
+
+TEST(TraceJsonTest, EncodesRecordsAndMakespan) {
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 1.5);
+  const auto json = trace_to_json(t);
+  EXPECT_NE(json.find("\"makespan\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"task\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"procs\":2"), std::string::npos);
+}
+
+TEST(TraceCsvTest, RoundTripThroughCsv) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 2), "a");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(3.0, 1), "b");
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 5.0);
+  const auto csv = trace_to_csv(g, t);
+  const auto loaded = read_trace_csv(csv);
+  ASSERT_EQ(loaded.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.makespan(), 5.0);
+  EXPECT_EQ(loaded.records()[0].procs, 2);
+  EXPECT_DOUBLE_EQ(loaded.records()[1].start, 2.0);
+}
+
+TEST(TraceCsvTest, ReadRejectsMalformedInput) {
+  EXPECT_THROW((void)read_trace_csv("wrong,header\n"),
+               std::invalid_argument);
+  const std::string h = "task,name,start,end,procs\n";
+  EXPECT_THROW((void)read_trace_csv(h + "0,a,0,1\n"),
+               std::invalid_argument);  // 4 fields
+  EXPECT_THROW((void)read_trace_csv(h + "0,a,xx,1,1\n"),
+               std::invalid_argument);  // non-numeric
+  EXPECT_THROW((void)read_trace_csv(h + "0,a,2,1,1\n"),
+               std::invalid_argument);  // end < start
+  EXPECT_THROW((void)read_trace_csv(h + "0,a,0,1,1\n0,a,1,2,1\n"),
+               std::invalid_argument);  // duplicate task
+}
+
+TEST(TraceCsvTest, CommasInNamesAreSanitized) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1),
+                   "gemm(0,1,2)");
+  sim::Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  const auto csv = trace_to_csv(g, t);
+  EXPECT_NE(csv.find("gemm(0;1;2)"), std::string::npos);
+  // And the result stays machine-readable.
+  EXPECT_NO_THROW((void)read_trace_csv(csv));
+}
+
+TEST(TraceCsvTest, OneRowPerTaskWithHeader) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "solo");
+  sim::Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 2.0);
+  const auto csv = trace_to_csv(g, t);
+  EXPECT_NE(csv.find("task,name,start,end,procs"), std::string::npos);
+  EXPECT_NE(csv.find("0,solo,0,2,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::io

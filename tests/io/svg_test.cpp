@@ -1,0 +1,89 @@
+#include "moldsched/io/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::io {
+namespace {
+
+TEST(SvgGanttTest, ProducesWellFormedDocument) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 2), "alpha");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "beta");
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 4.0);
+  const auto svg = render_gantt_svg(t, g, 4);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("alpha"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  // One background + at least one rect per task.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos)
+    ++rects;
+  EXPECT_GE(rects, 3u);
+}
+
+TEST(SvgGanttTest, EscapesXmlInNames) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1),
+                   "a<b>&c");
+  sim::Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  const auto svg = render_gantt_svg(t, g, 1);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+}
+
+TEST(SvgGanttTest, WholeScheduleRenders) {
+  graph::WorkflowModelConfig cfg;
+  cfg.kind = model::ModelKind::kAmdahl;
+  const auto g = graph::cholesky(5, cfg);
+  const int P = 16;
+  const core::LpaAllocator alloc(0.271);
+  const auto run = core::schedule_online(g, P, alloc);
+  const auto svg = render_gantt_svg(run.trace, g, P);
+  // Every task shows up as a tooltip title.
+  EXPECT_NE(svg.find("potrf(0)"), std::string::npos);
+  EXPECT_NE(svg.find("potrf(4)"), std::string::npos);
+}
+
+TEST(SvgGanttTest, DeterministicOutput) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1), "x");
+  sim::Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  EXPECT_EQ(render_gantt_svg(t, g, 2), render_gantt_svg(t, g, 2));
+}
+
+TEST(SvgGanttTest, RejectsBadArguments) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1));
+  const sim::Trace t;
+  EXPECT_THROW((void)render_gantt_svg(t, g, 0), std::invalid_argument);
+  EXPECT_THROW((void)render_gantt_svg(t, g, 5000), std::invalid_argument);
+  SvgGanttOptions tiny;
+  tiny.width = 10;
+  EXPECT_THROW((void)render_gantt_svg(t, g, 4, tiny), std::invalid_argument);
+  // Unknown task id in the trace.
+  sim::Trace bad;
+  bad.record_start(9, 0.0, 1);
+  bad.record_end(9, 1.0);
+  EXPECT_THROW((void)render_gantt_svg(bad, g, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::io

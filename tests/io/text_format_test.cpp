@@ -1,0 +1,170 @@
+#include "moldsched/io/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::io {
+namespace {
+
+graph::TaskGraph mixed_graph() {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(12.5, 4), "roof");
+  const auto b = g.add_task(
+      std::make_shared<model::CommunicationModel>(100.0, 0.25), "comm");
+  const auto c =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.5), "amd");
+  model::GeneralParams p;
+  p.w = 30.0;
+  p.d = 2.0;
+  p.c = 0.1;
+  p.pbar = 16;
+  const auto d = g.add_task(std::make_shared<model::GeneralModel>(p), "gen");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(TextFormatTest, RoundTripPreservesEverything) {
+  const auto g = mixed_graph();
+  const auto text = write_graph_text(g);
+  const auto g2 = read_graph_text(text);
+
+  ASSERT_EQ(g2.num_tasks(), g.num_tasks());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(g2.name(v), g.name(v));
+    EXPECT_EQ(g2.model_of(v).kind(), g.model_of(v).kind());
+    for (const int pp : {1, 2, 5, 16, 64})
+      EXPECT_DOUBLE_EQ(g2.model_of(v).time(pp), g.model_of(v).time(pp))
+          << g.name(v) << " p=" << pp;
+    EXPECT_EQ(g2.successors(v), g.successors(v));
+  }
+  // Idempotence: serializing the reloaded graph gives identical text.
+  EXPECT_EQ(write_graph_text(g2), text);
+}
+
+TEST(TextFormatTest, HeaderAndCommentsHandled) {
+  const auto g2 = read_graph_text(
+      "# moldsched-graph v1\n"
+      "# a comment\n"
+      "\n"
+      "task a roofline 4 0 0 2\n"
+      "task b amdahl 6 1 0 inf\n"
+      "edge 0 1\n");
+  EXPECT_EQ(g2.num_tasks(), 2);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_EQ(g2.model_of(0).kind(), model::ModelKind::kRoofline);
+  EXPECT_EQ(g2.model_of(1).kind(), model::ModelKind::kAmdahl);
+}
+
+TEST(TextFormatTest, MissingHeaderRejected) {
+  EXPECT_THROW((void)read_graph_text("task a roofline 4 0 0 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)read_graph_text(""), std::invalid_argument);
+}
+
+TEST(TextFormatTest, MalformedLinesRejectedWithLineNumbers) {
+  const std::string header = "# moldsched-graph v1\n";
+  try {
+    (void)read_graph_text(header + "task a roofline nan_w\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)read_graph_text(header + "task a nosuchkind 1 0 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)read_graph_text(header + "frobnicate 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)read_graph_text(header + "edge 0 1\n"),
+               std::invalid_argument);  // endpoints out of range
+  EXPECT_THROW(
+      (void)read_graph_text(header + "task a roofline 1 0 0 bogus\n"),
+      std::invalid_argument);
+  // Invalid model parameters surface as parse errors too.
+  EXPECT_THROW(
+      (void)read_graph_text(header + "task a roofline -1 0 0 2\n"),
+      std::invalid_argument);
+}
+
+TEST(TextFormatTest, DuplicateEdgeRejected) {
+  const std::string text =
+      "# moldsched-graph v1\n"
+      "task a roofline 1 0 0 1\n"
+      "task b roofline 1 0 0 1\n"
+      "edge 0 1\n"
+      "edge 0 1\n";
+  EXPECT_THROW((void)read_graph_text(text), std::invalid_argument);
+}
+
+TEST(TextFormatTest, ArbitraryModelNotSerializable) {
+  graph::TaskGraph g;
+  (void)g.add_task(model::make_log_speedup_model(), "log");
+  EXPECT_THROW((void)write_graph_text(g), std::invalid_argument);
+}
+
+TEST(TextFormatTest, WhitespaceNamesRejected) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1),
+                   "has space");
+  EXPECT_THROW((void)write_graph_text(g), std::invalid_argument);
+}
+
+TEST(ReleasedTasksFormatTest, RoundTrip) {
+  std::vector<sched::ReleasedTask> tasks;
+  tasks.push_back(
+      {std::make_shared<model::AmdahlModel>(10.0, 2.0), 0.0, "first"});
+  tasks.push_back(
+      {std::make_shared<model::CommunicationModel>(25.0, 0.5), 3.75,
+       "second"});
+  tasks.push_back(
+      {std::make_shared<model::RooflineModel>(4.0, 8), 10.0, "third"});
+  const auto text = write_released_tasks_text(tasks);
+  const auto loaded = read_released_tasks_text(text);
+  ASSERT_EQ(loaded.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, tasks[i].name);
+    EXPECT_DOUBLE_EQ(loaded[i].release, tasks[i].release);
+    for (const int p : {1, 3, 8})
+      EXPECT_DOUBLE_EQ(loaded[i].model->time(p), tasks[i].model->time(p));
+  }
+  EXPECT_EQ(write_released_tasks_text(loaded), text);
+}
+
+TEST(ReleasedTasksFormatTest, RejectsBadInput) {
+  EXPECT_THROW((void)read_released_tasks_text("task a roofline 1 0 0 1 0\n"),
+               std::invalid_argument);  // missing header
+  const std::string h = "# moldsched-released-tasks v1\n";
+  EXPECT_THROW((void)read_released_tasks_text(h + "edge 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)read_released_tasks_text(h + "task a roofline 1 0 0 1\n"),
+      std::invalid_argument);  // missing release field
+  EXPECT_THROW(
+      (void)read_released_tasks_text(h + "task a roofline 1 0 0 1 -2\n"),
+      std::invalid_argument);  // negative release
+  std::vector<sched::ReleasedTask> unnamed{
+      {std::make_shared<model::RooflineModel>(1.0, 1), 0.0, ""}};
+  EXPECT_THROW((void)write_released_tasks_text(unnamed),
+               std::invalid_argument);
+}
+
+TEST(TextFormatTest, UnboundedPbarSpelledInf) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(5.0, 1.0), "a");
+  const auto text = write_graph_text(g);
+  EXPECT_NE(text.find(" inf"), std::string::npos);
+  const auto g2 = read_graph_text(text);
+  EXPECT_DOUBLE_EQ(g2.model_of(0).time(1000), 5.0 / 1000.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace moldsched::io

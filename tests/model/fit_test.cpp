@@ -1,0 +1,107 @@
+#include "moldsched/model/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::model {
+namespace {
+
+std::vector<std::pair<int, double>> sample_model(const SpeedupModel& m,
+                                                 std::initializer_list<int> ps) {
+  std::vector<std::pair<int, double>> out;
+  for (const int p : ps) out.emplace_back(p, m.time(p));
+  return out;
+}
+
+TEST(FitTest, RecoversExactGeneralParameters) {
+  GeneralParams truth;
+  truth.w = 120.0;
+  truth.d = 7.0;
+  truth.c = 0.8;
+  const GeneralModel m(truth);
+  const auto fit =
+      fit_general_model(sample_model(m, {1, 2, 4, 8, 16, 32}));
+  EXPECT_NEAR(fit.params.w, 120.0, 1e-6);
+  EXPECT_NEAR(fit.params.d, 7.0, 1e-6);
+  EXPECT_NEAR(fit.params.c, 0.8, 1e-8);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-8);
+  EXPECT_NEAR(fit.max_relative_error, 0.0, 1e-9);
+}
+
+TEST(FitTest, RecoversAmdahlWithZeroC) {
+  const AmdahlModel m(64.0, 4.0);
+  const auto fit = fit_general_model(sample_model(m, {1, 2, 3, 5, 9}));
+  EXPECT_NEAR(fit.params.w, 64.0, 1e-6);
+  EXPECT_NEAR(fit.params.d, 4.0, 1e-6);
+  EXPECT_NEAR(fit.params.c, 0.0, 1e-9);
+}
+
+TEST(FitTest, RecoversCommunicationWithZeroD) {
+  const CommunicationModel m(200.0, 1.5);
+  const auto fit = fit_general_model(sample_model(m, {1, 2, 4, 6, 10}));
+  EXPECT_NEAR(fit.params.w, 200.0, 1e-5);
+  EXPECT_NEAR(fit.params.d, 0.0, 1e-6);
+  EXPECT_NEAR(fit.params.c, 1.5, 1e-7);
+}
+
+TEST(FitTest, NoisySamplesStillCloseToTruth) {
+  GeneralParams truth;
+  truth.w = 100.0;
+  truth.d = 5.0;
+  truth.c = 0.5;
+  const GeneralModel m(truth);
+  util::Rng rng(7);
+  std::vector<std::pair<int, double>> samples;
+  for (const int p : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    // +-1% multiplicative noise.
+    samples.emplace_back(p, m.time(p) * rng.uniform(0.99, 1.01));
+  }
+  const auto fit = fit_general_model(samples);
+  EXPECT_NEAR(fit.params.w, 100.0, 5.0);
+  EXPECT_NEAR(fit.params.d, 5.0, 1.0);
+  EXPECT_NEAR(fit.params.c, 0.5, 0.2);
+  EXPECT_LT(fit.max_relative_error, 0.05);
+}
+
+TEST(FitTest, NonNegativityIsEnforced) {
+  // Superlinear-looking data (time drops faster than 1/p) would want
+  // negative d or c; the fit must stay in the feasible region.
+  const std::vector<std::pair<int, double>> samples{
+      {1, 10.0}, {2, 4.0}, {4, 1.2}, {8, 0.3}};
+  const auto fit = fit_general_model(samples);
+  EXPECT_GE(fit.params.w, 0.0);
+  EXPECT_GE(fit.params.d, 0.0);
+  EXPECT_GE(fit.params.c, 0.0);
+  EXPECT_GT(fit.rmse, 0.0);  // cannot fit superlinear data exactly
+}
+
+TEST(FitTest, FittedModelIsSchedulable) {
+  const AmdahlModel m(50.0, 2.0);
+  const auto fit = fit_general_model(sample_model(m, {1, 4, 16, 64}));
+  // The result is a real GeneralModel usable by the allocator stack.
+  EXPECT_EQ(fit.model->kind(), ModelKind::kGeneral);
+  EXPECT_GT(fit.model->time(8), 0.0);
+  EXPECT_EQ(fit.model->max_useful_procs(32), 32);
+}
+
+TEST(FitTest, RejectsBadInput) {
+  EXPECT_THROW((void)fit_general_model({}), std::invalid_argument);
+  EXPECT_THROW((void)fit_general_model({{1, 1.0}, {2, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_general_model({{1, 1.0}, {1, 1.1}, {1, 0.9}}),
+      std::invalid_argument);  // one distinct allocation
+  EXPECT_THROW(
+      (void)fit_general_model({{0, 1.0}, {2, 0.5}, {3, 0.4}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_general_model({{1, -1.0}, {2, 0.5}, {3, 0.4}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::model

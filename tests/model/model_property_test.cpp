@@ -1,0 +1,110 @@
+// Property tests of the monotonicity results of Section 3.2 (Lemma 1 and
+// Eq. (6)) across randomized parameterizations of every Eq. (1) family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::model {
+namespace {
+
+struct PropertyCase {
+  ModelKind kind;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  return to_string(info.param.kind) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class ModelPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+constexpr int kP = 48;
+
+TEST_P(ModelPropertyTest, Lemma1TimeNonIncreasingUpToPmax) {
+  util::Rng rng(GetParam().seed);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    const int p_max = m->max_useful_procs(kP);
+    EXPECT_TRUE(is_time_nonincreasing(*m, p_max)) << m->describe();
+  }
+}
+
+TEST_P(ModelPropertyTest, Lemma1AreaNonDecreasingUpToPmax) {
+  util::Rng rng(GetParam().seed + 1000);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    const int p_max = m->max_useful_procs(kP);
+    EXPECT_TRUE(is_area_nondecreasing(*m, p_max)) << m->describe();
+  }
+}
+
+TEST_P(ModelPropertyTest, Eq6NoSuperlinearSpeedup) {
+  util::Rng rng(GetParam().seed + 2000);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    const int p_max = m->max_useful_procs(kP);
+    EXPECT_TRUE(has_no_superlinear_speedup(*m, p_max)) << m->describe();
+  }
+}
+
+TEST_P(ModelPropertyTest, PmaxIsGloballyTimeMinimalOverMachine) {
+  util::Rng rng(GetParam().seed + 3000);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    const int p_max = m->max_useful_procs(kP);
+    const double t_min = m->time(p_max);
+    for (int p = 1; p <= kP; ++p)
+      EXPECT_GE(m->time(p), t_min - 1e-12) << m->describe() << " p=" << p;
+  }
+}
+
+TEST_P(ModelPropertyTest, MinAreaIsSequentialArea) {
+  util::Rng rng(GetParam().seed + 4000);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    EXPECT_DOUBLE_EQ(m->min_area(kP), m->area(1)) << m->describe();
+    // And indeed no allocation does better.
+    for (int p = 1; p <= kP; ++p)
+      EXPECT_GE(m->area(p), m->min_area(kP) - 1e-9) << m->describe();
+  }
+}
+
+TEST_P(ModelPropertyTest, TimesArePositiveAndFinite) {
+  util::Rng rng(GetParam().seed + 5000);
+  const ModelSampler sampler(GetParam().kind);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto m = sampler.sample(rng, kP);
+    for (int p = 1; p <= kP; ++p) {
+      const double t = m->time(p);
+      EXPECT_GT(t, 0.0);
+      EXPECT_TRUE(std::isfinite(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ModelPropertyTest,
+    testing::Values(PropertyCase{ModelKind::kRoofline, 1},
+                    PropertyCase{ModelKind::kRoofline, 2},
+                    PropertyCase{ModelKind::kCommunication, 1},
+                    PropertyCase{ModelKind::kCommunication, 2},
+                    PropertyCase{ModelKind::kAmdahl, 1},
+                    PropertyCase{ModelKind::kAmdahl, 2},
+                    PropertyCase{ModelKind::kGeneral, 1},
+                    PropertyCase{ModelKind::kGeneral, 2},
+                    PropertyCase{ModelKind::kGeneral, 3}),
+    case_name);
+
+}  // namespace
+}  // namespace moldsched::model

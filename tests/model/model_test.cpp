@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::model {
+namespace {
+
+TEST(GeneralModelTest, TimeMatchesEquationOne) {
+  GeneralParams p;
+  p.w = 12.0;
+  p.d = 2.0;
+  p.c = 0.5;
+  p.pbar = 4;
+  const GeneralModel m(p);
+  // t(p) = w/min(p, pbar) + d + c(p-1)
+  EXPECT_DOUBLE_EQ(m.time(1), 12.0 + 2.0);
+  EXPECT_DOUBLE_EQ(m.time(2), 6.0 + 2.0 + 0.5);
+  EXPECT_DOUBLE_EQ(m.time(4), 3.0 + 2.0 + 1.5);
+  // Beyond pbar the parallel part stops shrinking but overhead grows.
+  EXPECT_DOUBLE_EQ(m.time(6), 3.0 + 2.0 + 2.5);
+}
+
+TEST(GeneralModelTest, AreaIsPTimesTime) {
+  GeneralParams p;
+  p.w = 10.0;
+  p.d = 1.0;
+  const GeneralModel m(p);
+  for (int q = 1; q <= 8; ++q)
+    EXPECT_DOUBLE_EQ(m.area(q), q * m.time(q));
+}
+
+TEST(GeneralModelTest, RejectsBadParameters) {
+  GeneralParams p;
+  p.w = -1.0;
+  EXPECT_THROW(GeneralModel{p}, std::invalid_argument);
+  p.w = 1.0;
+  p.d = -0.5;
+  EXPECT_THROW(GeneralModel{p}, std::invalid_argument);
+  p.d = 0.0;
+  p.c = -0.1;
+  EXPECT_THROW(GeneralModel{p}, std::invalid_argument);
+  p.c = 0.0;
+  p.pbar = 0;
+  EXPECT_THROW(GeneralModel{p}, std::invalid_argument);
+  // Zero total time is also rejected.
+  GeneralParams zero;
+  zero.w = 0.0;
+  EXPECT_THROW(GeneralModel{zero}, std::invalid_argument);
+}
+
+TEST(GeneralModelTest, RejectsNonPositiveProcs) {
+  GeneralParams p;
+  p.w = 1.0;
+  const GeneralModel m(p);
+  EXPECT_THROW((void)m.time(0), std::invalid_argument);
+  EXPECT_THROW((void)m.time(-3), std::invalid_argument);
+}
+
+TEST(GeneralModelTest, MaxUsefulProcsRespectsAllThreeCaps) {
+  // Cap by P.
+  {
+    GeneralParams p;
+    p.w = 100.0;
+    const GeneralModel m(p);
+    EXPECT_EQ(m.max_useful_procs(8), 8);
+  }
+  // Cap by pbar.
+  {
+    GeneralParams p;
+    p.w = 100.0;
+    p.pbar = 3;
+    const GeneralModel m(p);
+    EXPECT_EQ(m.max_useful_procs(8), 3);
+  }
+  // Cap by the communication sweet spot sqrt(w/c) = 4.
+  {
+    GeneralParams p;
+    p.w = 16.0;
+    p.c = 1.0;
+    const GeneralModel m(p);
+    EXPECT_EQ(m.max_useful_procs(100), 4);
+  }
+}
+
+TEST(GeneralModelTest, MaxUsefulProcsPicksBetterSqrtNeighbour) {
+  // sqrt(w/c) = sqrt(10) ~ 3.162: compare t(3) and t(4).
+  GeneralParams p;
+  p.w = 10.0;
+  p.c = 1.0;
+  const GeneralModel m(p);
+  const int pm = m.max_useful_procs(100);
+  EXPECT_TRUE(pm == 3 || pm == 4);
+  EXPECT_LE(m.time(pm), m.time(3));
+  EXPECT_LE(m.time(pm), m.time(4));
+}
+
+TEST(GeneralModelTest, MaxUsefulProcsMatchesBruteForce) {
+  for (const double w : {0.5, 3.0, 25.0, 400.0}) {
+    for (const double c : {0.01, 0.3, 2.0}) {
+      GeneralParams p;
+      p.w = w;
+      p.c = c;
+      p.d = 0.1;
+      const GeneralModel m(p);
+      const int P = 64;
+      int best = 1;
+      for (int q = 2; q <= P; ++q)
+        if (m.time(q) < m.time(best)) best = q;
+      EXPECT_DOUBLE_EQ(m.time(m.max_useful_procs(P)), m.time(best))
+          << "w=" << w << " c=" << c;
+    }
+  }
+}
+
+TEST(GeneralModelTest, MinTimeAndMinArea) {
+  GeneralParams p;
+  p.w = 16.0;
+  p.c = 1.0;
+  const GeneralModel m(p);
+  EXPECT_DOUBLE_EQ(m.min_time(100), m.time(4));
+  EXPECT_DOUBLE_EQ(m.min_area(100), m.area(1));
+}
+
+TEST(GeneralModelTest, DescribeAndClone) {
+  GeneralParams p;
+  p.w = 2.0;
+  p.d = 1.0;
+  const GeneralModel m(p);
+  EXPECT_NE(m.describe().find("general"), std::string::npos);
+  const auto copy = m.clone();
+  EXPECT_DOUBLE_EQ(copy->time(3), m.time(3));
+  EXPECT_EQ(copy->kind(), ModelKind::kGeneral);
+}
+
+TEST(RooflineModelTest, LinearSpeedupUntilPbar) {
+  const RooflineModel m(12.0, 4);
+  EXPECT_DOUBLE_EQ(m.time(1), 12.0);
+  EXPECT_DOUBLE_EQ(m.time(2), 6.0);
+  EXPECT_DOUBLE_EQ(m.time(4), 3.0);
+  EXPECT_DOUBLE_EQ(m.time(8), 3.0);  // flat beyond pbar
+  EXPECT_EQ(m.kind(), ModelKind::kRoofline);
+}
+
+TEST(RooflineModelTest, MaxUsefulProcsIsMinOfPbarAndP) {
+  const RooflineModel m(12.0, 4);
+  EXPECT_EQ(m.max_useful_procs(2), 2);
+  EXPECT_EQ(m.max_useful_procs(10), 4);
+}
+
+TEST(RooflineModelTest, AreaConstantUpToPbar) {
+  const RooflineModel m(12.0, 4);
+  EXPECT_DOUBLE_EQ(m.area(1), 12.0);
+  EXPECT_DOUBLE_EQ(m.area(4), 12.0);
+  EXPECT_DOUBLE_EQ(m.area(8), 24.0);  // idle processors inflate area
+}
+
+TEST(RooflineModelTest, RejectsBadParameters) {
+  EXPECT_THROW(RooflineModel(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(RooflineModel(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(RooflineModel(1.0, 0), std::invalid_argument);
+}
+
+TEST(CommunicationModelTest, TimeMatchesEquationThree) {
+  const CommunicationModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.time(1), 10.0);
+  EXPECT_DOUBLE_EQ(m.time(2), 5.0 + 0.5);
+  EXPECT_DOUBLE_EQ(m.time(5), 2.0 + 2.0);
+  EXPECT_EQ(m.kind(), ModelKind::kCommunication);
+}
+
+TEST(CommunicationModelTest, SweetSpotAllocation) {
+  // sqrt(w/c) = sqrt(100/1) = 10.
+  const CommunicationModel m(100.0, 1.0);
+  EXPECT_EQ(m.max_useful_procs(1000), 10);
+  EXPECT_EQ(m.max_useful_procs(5), 5);
+}
+
+TEST(CommunicationModelTest, RejectsDegenerateOverhead) {
+  EXPECT_THROW(CommunicationModel(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(CommunicationModel(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(AmdahlModelTest, TimeMatchesEquationFour) {
+  const AmdahlModel m(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.time(1), 12.0);
+  EXPECT_DOUBLE_EQ(m.time(2), 7.0);
+  EXPECT_DOUBLE_EQ(m.time(10), 3.0);
+  EXPECT_EQ(m.kind(), ModelKind::kAmdahl);
+}
+
+TEST(AmdahlModelTest, MinTimeUsesWholeMachine) {
+  const AmdahlModel m(10.0, 2.0);
+  EXPECT_EQ(m.max_useful_procs(16), 16);
+  EXPECT_DOUBLE_EQ(m.min_time(16), 10.0 / 16.0 + 2.0);
+  EXPECT_DOUBLE_EQ(m.min_area(16), 12.0);
+}
+
+TEST(AmdahlModelTest, RejectsDegenerateSequentialPart) {
+  EXPECT_THROW(AmdahlModel(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(AmdahlModel(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(SpeedupEfficiencyTest, RooflineIsPerfectlyEfficientUpToPbar) {
+  const RooflineModel m(12.0, 4);
+  EXPECT_DOUBLE_EQ(m.speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.speedup(4), 4.0);
+  EXPECT_DOUBLE_EQ(m.speedup(8), 4.0);  // saturates
+  EXPECT_DOUBLE_EQ(m.efficiency(4), 1.0);
+  EXPECT_DOUBLE_EQ(m.efficiency(8), 0.5);
+}
+
+TEST(SpeedupEfficiencyTest, AmdahlEfficiencyDecays) {
+  const AmdahlModel m(9.0, 1.0);
+  // s(p) = 10 / (9/p + 1); s(9) = 5.
+  EXPECT_DOUBLE_EQ(m.speedup(9), 5.0);
+  EXPECT_NEAR(m.efficiency(9), 5.0 / 9.0, 1e-12);
+  // Efficiency is in (0, 1] and non-increasing for monotonic models.
+  double prev = 1.0;
+  for (int p = 1; p <= 32; ++p) {
+    const double e = m.efficiency(p);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, prev + 1e-12);
+    prev = e;
+  }
+}
+
+TEST(ModelKindTest, ToStringCoversAll) {
+  EXPECT_EQ(to_string(ModelKind::kRoofline), "roofline");
+  EXPECT_EQ(to_string(ModelKind::kCommunication), "communication");
+  EXPECT_EQ(to_string(ModelKind::kAmdahl), "amdahl");
+  EXPECT_EQ(to_string(ModelKind::kGeneral), "general");
+  EXPECT_EQ(to_string(ModelKind::kArbitrary), "arbitrary");
+}
+
+TEST(SpecialModelsTest, CloneKeepsDynamicType) {
+  const RooflineModel r(3.0, 2);
+  EXPECT_EQ(r.clone()->kind(), ModelKind::kRoofline);
+  const CommunicationModel c(3.0, 0.1);
+  EXPECT_EQ(c.clone()->kind(), ModelKind::kCommunication);
+  const AmdahlModel a(3.0, 0.1);
+  EXPECT_EQ(a.clone()->kind(), ModelKind::kAmdahl);
+}
+
+}  // namespace
+}  // namespace moldsched::model

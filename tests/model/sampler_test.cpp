@@ -1,0 +1,113 @@
+#include "moldsched/model/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::model {
+namespace {
+
+TEST(SamplerTest, RejectsArbitraryKind) {
+  EXPECT_THROW(ModelSampler(ModelKind::kArbitrary), std::invalid_argument);
+}
+
+TEST(SamplerTest, RejectsBadConfig) {
+  SamplerConfig bad;
+  bad.w_min = -1.0;
+  EXPECT_THROW(ModelSampler(ModelKind::kGeneral, bad), std::invalid_argument);
+  bad = SamplerConfig{};
+  bad.w_min = 10.0;
+  bad.w_max = 1.0;
+  EXPECT_THROW(ModelSampler(ModelKind::kGeneral, bad), std::invalid_argument);
+  bad = SamplerConfig{};
+  bad.seq_fraction_min = 0.5;
+  bad.seq_fraction_max = 0.1;
+  EXPECT_THROW(ModelSampler(ModelKind::kGeneral, bad), std::invalid_argument);
+  bad = SamplerConfig{};
+  bad.pbar_min = 0;
+  EXPECT_THROW(ModelSampler(ModelKind::kGeneral, bad), std::invalid_argument);
+  bad = SamplerConfig{};
+  bad.pbar_min = 5;
+  bad.pbar_max = 2;
+  EXPECT_THROW(ModelSampler(ModelKind::kGeneral, bad), std::invalid_argument);
+}
+
+TEST(SamplerTest, SampleRejectsBadP) {
+  const ModelSampler s(ModelKind::kAmdahl);
+  util::Rng rng(1);
+  EXPECT_THROW((void)s.sample(rng, 0), std::invalid_argument);
+}
+
+TEST(SamplerTest, ProducesRequestedKind) {
+  util::Rng rng(2);
+  for (const auto kind :
+       {ModelKind::kRoofline, ModelKind::kCommunication, ModelKind::kAmdahl,
+        ModelKind::kGeneral}) {
+    const ModelSampler s(kind);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(s.sample(rng, 16)->kind(), kind);
+  }
+}
+
+TEST(SamplerTest, WorkRespectsConfiguredRange) {
+  SamplerConfig cfg;
+  cfg.w_min = 10.0;
+  cfg.w_max = 20.0;
+  const ModelSampler s(ModelKind::kGeneral, cfg);
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = s.sample(rng, 16);
+    const auto& g = dynamic_cast<const GeneralModel&>(*m);
+    EXPECT_GE(g.w(), 10.0 - 1e-9);
+    EXPECT_LE(g.w(), 20.0 + 1e-9);
+  }
+}
+
+TEST(SamplerTest, SequentialFractionBounded) {
+  SamplerConfig cfg;
+  cfg.seq_fraction_min = 0.1;
+  cfg.seq_fraction_max = 0.2;
+  const ModelSampler s(ModelKind::kGeneral, cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto& g = dynamic_cast<const GeneralModel&>(*s.sample(rng, 16));
+    EXPECT_GE(g.d(), 0.1 * g.w() - 1e-9);
+    EXPECT_LE(g.d(), 0.2 * g.w() + 1e-9);
+  }
+}
+
+TEST(SamplerTest, RooflinePbarWithinMachine) {
+  const ModelSampler s(ModelKind::kRoofline);
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto& g = dynamic_cast<const GeneralModel&>(*s.sample(rng, 12));
+    EXPECT_GE(g.pbar(), 1);
+    EXPECT_LE(g.pbar(), 12);
+  }
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  const ModelSampler s(ModelKind::kCommunication);
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = s.sample(rng1, 32);
+    const auto b = s.sample(rng2, 32);
+    EXPECT_DOUBLE_EQ(a->time(5), b->time(5));
+  }
+}
+
+TEST(SamplerTest, AmdahlAlwaysHasPositiveSequentialPart) {
+  SamplerConfig cfg;
+  cfg.seq_fraction_min = 0.0;
+  cfg.seq_fraction_max = 0.0;
+  const ModelSampler s(ModelKind::kAmdahl, cfg);
+  util::Rng rng(8);
+  // d = 0 would throw in AmdahlModel; the sampler must nudge it positive.
+  for (int i = 0; i < 20; ++i) EXPECT_NO_THROW((void)s.sample(rng, 8));
+}
+
+}  // namespace
+}  // namespace moldsched::model

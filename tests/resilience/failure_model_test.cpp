@@ -1,0 +1,93 @@
+#include "moldsched/resilience/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::resilience {
+namespace {
+
+TEST(BernoulliFailuresTest, RejectsBadProbability) {
+  EXPECT_THROW(BernoulliFailures(-0.1), std::invalid_argument);
+  EXPECT_THROW(BernoulliFailures(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(BernoulliFailures{0.0});
+  EXPECT_NO_THROW(BernoulliFailures{0.99});
+}
+
+TEST(BernoulliFailuresTest, FrequencyMatchesQ) {
+  const BernoulliFailures f(0.3);
+  util::Rng rng(1);
+  int fails = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (f.attempt_fails(1.0, 4, rng)) ++fails;
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.3, 0.02);
+}
+
+TEST(BernoulliFailuresTest, ExpectedAttempts) {
+  EXPECT_DOUBLE_EQ(BernoulliFailures(0.0).expected_attempts(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(BernoulliFailures(0.5).expected_attempts(1.0, 1), 2.0);
+  EXPECT_NEAR(BernoulliFailures(0.9).expected_attempts(1.0, 1), 10.0, 1e-12);
+}
+
+TEST(BernoulliFailuresTest, IgnoresAttemptShape) {
+  const BernoulliFailures f(0.5);
+  EXPECT_DOUBLE_EQ(f.expected_attempts(0.1, 1), f.expected_attempts(100.0, 64));
+}
+
+TEST(PoissonAreaFailuresTest, RejectsNegativeLambda) {
+  EXPECT_THROW(PoissonAreaFailures(-1.0), std::invalid_argument);
+  EXPECT_NO_THROW(PoissonAreaFailures{0.0});
+}
+
+TEST(PoissonAreaFailuresTest, ZeroLambdaNeverFails) {
+  const PoissonAreaFailures f(0.0);
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(f.attempt_fails(100.0, 64, rng));
+}
+
+TEST(PoissonAreaFailuresTest, FailureGrowsWithArea) {
+  const PoissonAreaFailures f(0.01);
+  util::Rng rng(3);
+  int small_fails = 0;
+  int big_fails = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (f.attempt_fails(1.0, 1, rng)) ++small_fails;     // area 1
+    if (f.attempt_fails(10.0, 10, rng)) ++big_fails;     // area 100
+  }
+  // Expected rates: 1 - e^{-0.01} ~ 0.00995, 1 - e^{-1} ~ 0.632.
+  EXPECT_NEAR(static_cast<double>(small_fails) / n, 0.00995, 0.005);
+  EXPECT_NEAR(static_cast<double>(big_fails) / n, 0.632, 0.02);
+}
+
+TEST(PoissonAreaFailuresTest, ExpectedAttemptsIsExpLambdaArea) {
+  const PoissonAreaFailures f(0.02);
+  EXPECT_NEAR(f.expected_attempts(5.0, 4), std::exp(0.02 * 20.0), 1e-12);
+}
+
+TEST(PoissonAreaFailuresTest, RejectsBadAttemptShape) {
+  const PoissonAreaFailures f(0.1);
+  util::Rng rng(4);
+  EXPECT_THROW((void)f.attempt_fails(-1.0, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)f.attempt_fails(1.0, 0, rng), std::invalid_argument);
+}
+
+TEST(NoFailuresTest, NeverFails) {
+  const NoFailures f;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(f.attempt_fails(1e9, 1024, rng));
+  EXPECT_DOUBLE_EQ(f.expected_attempts(1e9, 1024), 1.0);
+}
+
+TEST(FailureModelTest, DescribeMentionsParameters) {
+  EXPECT_NE(BernoulliFailures(0.25).describe().find("0.25"),
+            std::string::npos);
+  EXPECT_NE(PoissonAreaFailures(0.5).describe().find("0.5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::resilience

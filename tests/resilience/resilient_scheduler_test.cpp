@@ -1,0 +1,213 @@
+#include "moldsched/resilience/resilient_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+#include "moldsched/util/stats.hpp"
+
+namespace moldsched::resilience {
+namespace {
+
+graph::TaskGraph sample_graph(std::uint64_t seed, int P) {
+  util::Rng rng(seed);
+  static const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  return graph::layered_random(5, 2, 6, 0.4, rng,
+                               graph::sampling_provider(sampler, rng, P));
+}
+
+TEST(ResilientSchedulerTest, NoFailuresMatchesPlainAlgorithm1) {
+  const int P = 12;
+  const auto g = sample_graph(1, P);
+  const core::LpaAllocator alloc(0.271);
+
+  const auto plain = core::schedule_online(g, P, alloc);
+  const ResilientOnlineScheduler sched(g, P, alloc,
+                                       std::make_shared<NoFailures>(), 7);
+  const auto resilient = sched.run();
+
+  EXPECT_DOUBLE_EQ(resilient.makespan, plain.makespan);
+  EXPECT_EQ(resilient.allocation, plain.allocation);
+  for (const int attempts : resilient.attempts_per_task)
+    EXPECT_EQ(attempts, 1);
+  EXPECT_DOUBLE_EQ(resilient.wasted_area, 0.0);
+  EXPECT_TRUE(validate_resilient_schedule(g, resilient, P).empty());
+}
+
+TEST(ResilientSchedulerTest, FailuresForceReexecution) {
+  const int P = 8;
+  const auto g = sample_graph(2, P);
+  const core::LpaAllocator alloc(0.271);
+  const ResilientOnlineScheduler sched(
+      g, P, alloc, std::make_shared<BernoulliFailures>(0.4), 11);
+  const auto result = sched.run();
+
+  int total_attempts = 0;
+  for (const int a : result.attempts_per_task) {
+    EXPECT_GE(a, 1);
+    total_attempts += a;
+  }
+  EXPECT_GT(total_attempts, g.num_tasks());  // q = 0.4 will retry something
+  EXPECT_GT(result.wasted_area, 0.0);
+  EXPECT_LT(result.wasted_area, result.total_area);
+  const auto violations = validate_resilient_schedule(g, result, P);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+}
+
+TEST(ResilientSchedulerTest, DeterministicGivenSeed) {
+  const int P = 8;
+  const auto g = sample_graph(3, P);
+  const core::LpaAllocator alloc(0.271);
+  const auto model = std::make_shared<BernoulliFailures>(0.3);
+  const auto r1 = ResilientOnlineScheduler(g, P, alloc, model, 42).run();
+  const auto r2 = ResilientOnlineScheduler(g, P, alloc, model, 42).run();
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.attempts_per_task, r2.attempts_per_task);
+  const auto r3 = ResilientOnlineScheduler(g, P, alloc, model, 43).run();
+  // A different seed almost surely draws different failures.
+  EXPECT_NE(r1.attempts_per_task, r3.attempts_per_task);
+}
+
+TEST(ResilientSchedulerTest, MakespanGrowsWithFailureRate) {
+  const int P = 8;
+  const auto g = sample_graph(4, P);
+  const core::LpaAllocator alloc(0.271);
+  double prev = 0.0;
+  for (const double q : {0.0, 0.3, 0.6}) {
+    util::Accumulator acc;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const ResilientOnlineScheduler sched(
+          g, P, alloc, std::make_shared<BernoulliFailures>(q), seed);
+      acc.add(sched.run().makespan);
+    }
+    EXPECT_GT(acc.mean(), prev) << "q=" << q;
+    prev = acc.mean();
+  }
+}
+
+TEST(ResilientSchedulerTest, PoissonModelPenalizesLargeAllocations) {
+  // Under area-proportional failures, min-time allocations (big areas)
+  // should waste more work than LPA's area-lean allocations.
+  const int P = 16;
+  util::Rng rng(5);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const auto g = graph::independent(
+      30, graph::sampling_provider(sampler, rng, P));
+  const auto failures = std::make_shared<PoissonAreaFailures>(0.002);
+
+  const core::LpaAllocator lpa(0.324);
+  double lpa_waste = 0.0;
+  double greedy_waste = 0.0;
+  class MaxAlloc : public core::Allocator {
+   public:
+    int allocate(const model::SpeedupModel& m, int P_) const override {
+      return m.max_useful_procs(P_);
+    }
+    std::string name() const override { return "max"; }
+  };
+  const MaxAlloc greedy;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    lpa_waste +=
+        ResilientOnlineScheduler(g, P, lpa, failures, seed).run().wasted_area;
+    greedy_waste += ResilientOnlineScheduler(g, P, greedy, failures, seed)
+                        .run()
+                        .wasted_area;
+  }
+  EXPECT_LT(lpa_waste, greedy_waste);
+}
+
+TEST(ResilientSchedulerTest, MeanAttemptsMatchGeometricExpectation) {
+  // With Bernoulli(q) failures, attempts per task are geometric with
+  // mean 1/(1-q); across many tasks and seeds the sample mean must land
+  // near it.
+  const int P = 8;
+  util::Rng rng(99);
+  const model::ModelSampler sampler(model::ModelKind::kRoofline);
+  const auto g =
+      graph::independent(60, graph::sampling_provider(sampler, rng, P));
+  const core::LpaAllocator alloc(0.38);
+  for (const double q : {0.2, 0.5}) {
+    const auto failures = std::make_shared<BernoulliFailures>(q);
+    double total = 0.0;
+    long count = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto result =
+          ResilientOnlineScheduler(g, P, alloc, failures, seed).run();
+      for (const int a : result.attempts_per_task) {
+        total += a;
+        ++count;
+      }
+    }
+    const double mean = total / static_cast<double>(count);
+    EXPECT_NEAR(mean, 1.0 / (1.0 - q), 0.15 / (1.0 - q)) << "q=" << q;
+  }
+}
+
+TEST(ResilientSchedulerTest, RejectsBadConstruction) {
+  const auto g = sample_graph(6, 4);
+  const core::LpaAllocator alloc(0.3);
+  EXPECT_THROW(
+      ResilientOnlineScheduler(g, 0, alloc, std::make_shared<NoFailures>(), 1),
+      std::invalid_argument);
+  EXPECT_THROW(ResilientOnlineScheduler(g, 4, alloc, nullptr, 1),
+               std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW(ResilientOnlineScheduler(empty, 4, alloc,
+                                        std::make_shared<NoFailures>(), 1),
+               std::logic_error);
+}
+
+TEST(ValidateResilientTest, CatchesHandMadeViolations) {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "b");
+  g.add_edge(a, b);
+
+  ResilientResult r;
+  r.allocation = {1, 1};
+  r.attempts_per_task = {1, 1};
+  // b starts before a succeeds.
+  r.attempts.push_back({0, 1, 0.0, 2.0, 1, false});
+  r.attempts.push_back({1, 1, 1.0, 3.0, 1, false});
+  const auto violations = validate_resilient_schedule(g, r, 2);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("before predecessor"),
+            std::string::npos);
+
+  // Two successes for one task.
+  ResilientResult r2;
+  r2.attempts.push_back({0, 1, 0.0, 2.0, 1, false});
+  r2.attempts.push_back({0, 2, 2.0, 4.0, 1, false});
+  r2.attempts.push_back({1, 1, 4.0, 6.0, 1, false});
+  EXPECT_FALSE(validate_resilient_schedule(g, r2, 2).empty());
+}
+
+TEST(ResilientSchedulerTest, LemmaBoundsStillHoldWithoutFailures) {
+  // Sanity: the resilient engine with NoFailures inherits Algorithm 1's
+  // competitive guarantee.
+  const int P = 16;
+  const auto g = sample_graph(7, P);
+  const double mu = analysis::optimal_mu(model::ModelKind::kAmdahl);
+  const core::LpaAllocator alloc(mu);
+  const auto result =
+      ResilientOnlineScheduler(g, P, alloc, std::make_shared<NoFailures>(), 1)
+          .run();
+  const double bound =
+      analysis::optimal_ratio(model::ModelKind::kAmdahl).upper_bound;
+  const double lb = analysis::optimal_makespan_lower_bound(g, P);
+  EXPECT_LE(result.makespan, bound * lb * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace moldsched::resilience

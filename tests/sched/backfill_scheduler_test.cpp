@@ -1,0 +1,124 @@
+#include "moldsched/sched/backfill_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+
+/// Record lookup by task id (trace records are in start order).
+const sim::TaskRecord& rec_of(const core::ScheduleResult& r, int task) {
+  for (const auto& rec : r.trace.records())
+    if (rec.task == task) return rec;
+  throw std::logic_error("no record for task");
+}
+class MaxAlloc : public core::Allocator {
+ public:
+  int allocate(const model::SpeedupModel& m, int P) const override {
+    return m.max_useful_procs(P);
+  }
+  std::string name() const override { return "max"; }
+};
+
+TEST(BackfillTest, BackfillsShortNarrowTaskIntoHeadGap) {
+  // P = 4. Running: X on 3 procs until t=10 (started first). Queue after
+  // X starts: WIDE (4 procs, blocked -> reservation at t=10), then
+  // SHORT (1 proc, t=2). SHORT fits now and finishes by the
+  // reservation, so backfilling starts it immediately.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(30.0, 3), "X");      // t(3) = 10
+  (void)g.add_task(roofline(16.0, 4), "WIDE");   // t(4) = 4
+  (void)g.add_task(roofline(2.0, 1), "SHORT");   // t(1) = 2
+  const MaxAlloc alloc;
+  const auto result = schedule_online_backfill(g, 4, alloc);
+  sim::expect_valid_schedule(g, result.trace, 4);
+  // SHORT ran inside [0, 10), not after WIDE.
+  EXPECT_DOUBLE_EQ(rec_of(result, 2).start, 0.0);
+  // WIDE starts exactly at its reservation.
+  EXPECT_DOUBLE_EQ(rec_of(result, 1).start, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 14.0);
+}
+
+TEST(BackfillTest, RefusesBackfillThatWouldDelayReservation) {
+  // Same setup but the narrow task is long (t = 20 > reservation at 10)
+  // and would hold a processor past the reservation: with zero slack at
+  // the reservation (WIDE needs all 4), it must NOT backfill.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(30.0, 3), "X");      // runs [0,10) on 3
+  (void)g.add_task(roofline(16.0, 4), "WIDE");   // reservation t=10
+  (void)g.add_task(roofline(20.0, 1), "LONG");   // t(1) = 20
+  const MaxAlloc alloc;
+  const auto result = schedule_online_backfill(g, 4, alloc);
+  sim::expect_valid_schedule(g, result.trace, 4);
+  // WIDE still starts at 10; LONG waits until WIDE is done.
+  EXPECT_DOUBLE_EQ(rec_of(result, 1).start, 10.0);
+  EXPECT_DOUBLE_EQ(rec_of(result, 2).start, 14.0);
+  // Plain list scheduling (Algorithm 1) would have started LONG at 0 and
+  // delayed WIDE to 20 — backfilling protects the wide task:
+  const auto plain = core::schedule_online(g, 4, alloc);
+  EXPECT_DOUBLE_EQ(rec_of(plain, 1).start, 20.0);
+}
+
+TEST(BackfillTest, SlackAtReservationPermitsLongNarrowBackfill) {
+  // Head needs 3 of 4 procs at its reservation: one processor of slack,
+  // so a long 1-proc task may backfill without delaying the head.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(30.0, 3), "X");      // [0,10) on 3
+  (void)g.add_task(roofline(30.0, 3), "HEAD");   // reservation t=10, 3 procs
+  (void)g.add_task(roofline(50.0, 1), "LONG");   // t(1) = 50
+  const MaxAlloc alloc;
+  const auto result = schedule_online_backfill(g, 4, alloc);
+  sim::expect_valid_schedule(g, result.trace, 4);
+  EXPECT_DOUBLE_EQ(rec_of(result, 2).start, 0.0);   // LONG backfilled
+  EXPECT_DOUBLE_EQ(rec_of(result, 1).start, 10.0);  // HEAD unharmed
+}
+
+TEST(BackfillTest, ValidAndBoundedOnRandomGraphs) {
+  util::Rng rng(95);
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 4; ++rep) {
+      const int P = static_cast<int>(rng.uniform_int(4, 40));
+      const auto g = graph::layered_random(
+          5, 2, 8, 0.35, rng, graph::sampling_provider(sampler, rng, P));
+      const core::LpaAllocator alloc(0.25);
+      const auto result = schedule_online_backfill(g, P, alloc);
+      sim::expect_valid_schedule(g, result.trace, P);
+      EXPECT_GE(result.makespan,
+                analysis::optimal_makespan_lower_bound(g, P) * (1.0 - 1e-9));
+      // Deterministic.
+      EXPECT_DOUBLE_EQ(result.makespan,
+                       schedule_online_backfill(g, P, alloc).makespan);
+    }
+  }
+}
+
+TEST(BackfillTest, RejectsBadInput) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  const core::LpaAllocator alloc(0.3);
+  EXPECT_THROW((void)schedule_online_backfill(g, 0, alloc),
+               std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_online_backfill(empty, 2, alloc),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

@@ -1,0 +1,92 @@
+#include "moldsched/sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+TEST(MinTimeAllocatorTest, PicksPmax) {
+  const MinTimeAllocator a;
+  const model::CommunicationModel comm(100.0, 1.0);  // sweet spot 10
+  EXPECT_EQ(a.allocate(comm, 64), 10);
+  EXPECT_EQ(a.allocate(comm, 4), 4);
+  const model::RooflineModel roof(8.0, 3);
+  EXPECT_EQ(a.allocate(roof, 64), 3);
+  EXPECT_EQ(a.name(), "min-time");
+}
+
+TEST(SequentialAllocatorTest, AlwaysOne) {
+  const SequentialAllocator a;
+  const model::AmdahlModel m(10.0, 1.0);
+  EXPECT_EQ(a.allocate(m, 64), 1);
+  EXPECT_EQ(a.allocate(m, 1), 1);
+  EXPECT_THROW((void)a.allocate(m, 0), std::invalid_argument);
+}
+
+TEST(FixedAllocatorTest, ClampsToUsefulRange) {
+  const FixedAllocator a(8);
+  const model::RooflineModel narrow(8.0, 3);
+  EXPECT_EQ(a.allocate(narrow, 64), 3);  // capped by p_max = pbar
+  const model::AmdahlModel wide(100.0, 1.0);
+  EXPECT_EQ(a.allocate(wide, 64), 8);
+  EXPECT_EQ(a.allocate(wide, 4), 4);  // capped by P
+  EXPECT_THROW(FixedAllocator(0), std::invalid_argument);
+  EXPECT_NE(a.name().find("8"), std::string::npos);
+}
+
+TEST(FractionAllocatorTest, RoundsFractionOfMachine) {
+  const FractionAllocator a(0.5);
+  const model::AmdahlModel m(100.0, 1.0);
+  EXPECT_EQ(a.allocate(m, 64), 32);
+  EXPECT_EQ(a.allocate(m, 1), 1);
+  EXPECT_THROW(FractionAllocator(0.0), std::invalid_argument);
+  EXPECT_THROW(FractionAllocator(1.5), std::invalid_argument);
+}
+
+TEST(FractionAllocatorTest, TinyFractionStillAllocatesOne) {
+  const FractionAllocator a(0.01);
+  const model::AmdahlModel m(100.0, 1.0);
+  EXPECT_EQ(a.allocate(m, 10), 1);  // round(0.1) = 0 clamps to 1
+}
+
+TEST(SqrtAllocatorTest, SquareRootRule) {
+  const SqrtAllocator a;
+  const model::AmdahlModel m(100.0, 1.0);
+  EXPECT_EQ(a.allocate(m, 64), 8);
+  EXPECT_EQ(a.allocate(m, 100), 10);
+  EXPECT_EQ(a.allocate(m, 1), 1);
+  const model::RooflineModel narrow(8.0, 2);
+  EXPECT_EQ(a.allocate(narrow, 100), 2);  // capped by p_max
+}
+
+TEST(UncappedLpaAllocatorTest, MatchesStepOneOfAlgorithm2) {
+  const UncappedLpaAllocator uncapped(0.324);
+  const core::LpaAllocator full(0.324);
+  // Communication task from the allocator_test hand case: initial 4.
+  const model::CommunicationModel comm(100.0, 1.0);
+  EXPECT_EQ(uncapped.allocate(comm, 64), full.decide(comm, 64).initial);
+  // A task whose Step 1 exceeds the cap: the roofline whole-machine task.
+  const model::RooflineModel wide(64.0, 64);
+  EXPECT_EQ(uncapped.allocate(wide, 64), full.decide(wide, 64).initial);
+  EXPECT_GT(uncapped.allocate(wide, 64), full.allocate(wide, 64));
+  EXPECT_THROW(UncappedLpaAllocator(0.5), std::invalid_argument);
+  EXPECT_NE(uncapped.name().find("uncapped"), std::string::npos);
+}
+
+TEST(CappedMinTimeAllocatorTest, MinOfPmaxAndMuCap) {
+  const CappedMinTimeAllocator a(0.3);
+  const model::AmdahlModel wide(100.0, 1.0);  // p_max = P
+  EXPECT_EQ(a.allocate(wide, 100), 30);       // ceil(0.3 * 100)
+  const model::CommunicationModel comm(100.0, 1.0);  // p_max = 10
+  EXPECT_EQ(a.allocate(comm, 100), 10);
+  EXPECT_THROW(CappedMinTimeAllocator(0.0), std::invalid_argument);
+  EXPECT_THROW(CappedMinTimeAllocator(0.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(a.mu(), 0.3);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

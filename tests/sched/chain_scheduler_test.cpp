@@ -1,0 +1,118 @@
+#include "moldsched/sched/chain_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldsched::sched {
+namespace {
+
+TEST(OfflineChainScheduleTest, VerifiesForManyK) {
+  for (const int K : {1, 2, 3, 4, 8, 16, 20}) {
+    const auto inst = graph::make_chains_instance(K);
+    EXPECT_DOUBLE_EQ(verify_offline_chain_schedule(inst), 1.0) << "K=" << K;
+  }
+}
+
+TEST(EqualAllocationTest, TrivialSingleChain) {
+  // K = 1: one chain of one task, P = 1; t(1) = 1.
+  const auto inst = graph::make_chains_instance(1);
+  const auto result = EqualAllocationChainScheduler(inst).run();
+  EXPECT_DOUBLE_EQ(result.makespan, 1.0);
+  EXPECT_EQ(result.tasks_executed, 1);
+  EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+}
+
+TEST(EqualAllocationTest, Figure4bMilestonesForK4) {
+  // The paper's Figure 4(b): t1 = 1/2, t2 = 5/6 for equal allocation with
+  // floor shares. (t3, t4 in the figure are approximate; we assert the
+  // exact simulated values bracket them.)
+  const auto inst = graph::make_chains_instance(4);
+  const auto result = EqualAllocationChainScheduler(inst).run();
+  ASSERT_EQ(result.milestones.size(), 4u);
+  // All 15 chains start with 2 or 3 processors; the ones on 2 finish at
+  // 1/2, and survivors exist at both speeds, so t1 <= 1/2.
+  EXPECT_LE(result.milestones[0], 0.5 + 1e-9);
+  EXPECT_GT(result.milestones[0], 0.0);
+  // Milestones are strictly increasing and end at the makespan.
+  for (std::size_t i = 1; i < result.milestones.size(); ++i)
+    EXPECT_GT(result.milestones[i], result.milestones[i - 1]);
+  EXPECT_DOUBLE_EQ(result.milestones[3], result.makespan);
+  // Figure 4(b) reports a makespan around 1.23 for this strategy.
+  EXPECT_GT(result.makespan, 1.1);
+  EXPECT_LT(result.makespan, 1.4);
+}
+
+TEST(EqualAllocationTest, MakespanBeatsOfflineNever) {
+  for (const int K : {2, 3, 4, 6, 8}) {
+    const auto inst = graph::make_chains_instance(K);
+    const auto result = EqualAllocationChainScheduler(inst).run();
+    EXPECT_GE(result.makespan, inst.offline_makespan - 1e-9) << "K=" << K;
+    EXPECT_DOUBLE_EQ(result.ratio, result.makespan);
+  }
+}
+
+TEST(EqualAllocationTest, ExecutesEveryTaskOnce) {
+  for (const int K : {2, 4, 6}) {
+    const auto inst = graph::make_chains_instance(K);
+    const auto result = EqualAllocationChainScheduler(inst).run();
+    EXPECT_EQ(result.tasks_executed, inst.total_tasks) << "K=" << K;
+  }
+}
+
+TEST(EqualAllocationTest, RespectsLemma10LowerBound) {
+  // Lemma 10 applies to every deterministic online algorithm, including
+  // the equal-allocation strategy, for power-of-two K.
+  for (const int K : {2, 4, 8, 16}) {
+    const auto inst = graph::make_chains_instance(K);
+    const auto result = EqualAllocationChainScheduler(inst).run();
+    EXPECT_GE(result.makespan,
+              inst.online_makespan_lower_bound - 1e-9)
+        << "K=" << K;
+  }
+}
+
+TEST(EqualAllocationTest, RatioGrowsWithK) {
+  // The Theorem 9 phenomenon: the online/offline gap widens like ln K.
+  const auto r4 = EqualAllocationChainScheduler(graph::make_chains_instance(4))
+                      .run()
+                      .ratio;
+  const auto r8 = EqualAllocationChainScheduler(graph::make_chains_instance(8))
+                      .run()
+                      .ratio;
+  const auto r16 =
+      EqualAllocationChainScheduler(graph::make_chains_instance(16))
+          .run()
+          .ratio;
+  EXPECT_LT(r4, r8);
+  EXPECT_LT(r8, r16);
+}
+
+TEST(EqualAllocationTest, MilestoneGapsRespectLemma10PerLevel) {
+  // t_i - t_{i-1} >= 1/(l + i) with l = lg K, for K a power of two.
+  const int K = 8;
+  const auto inst = graph::make_chains_instance(K);
+  const auto result = EqualAllocationChainScheduler(inst).run();
+  const double ell = std::log2(static_cast<double>(K));
+  double prev = 0.0;
+  for (int i = 1; i <= K; ++i) {
+    const double ti = result.milestones[static_cast<std::size_t>(i - 1)];
+    EXPECT_GE(ti - prev, 1.0 / (ell + i) - 1e-9) << "i=" << i;
+    prev = ti;
+  }
+}
+
+TEST(EqualAllocationTest, RejectsOverlargeK) {
+  const auto inst = graph::make_chains_instance(30);
+  EXPECT_THROW(EqualAllocationChainScheduler{inst}, std::invalid_argument);
+}
+
+TEST(OfflineChainScheduleTest, DetectsCorruptedInstance) {
+  auto inst = graph::make_chains_instance(4);
+  inst.P += 1;  // processor count no longer matches the construction
+  EXPECT_THROW((void)verify_offline_chain_schedule(inst), std::logic_error);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

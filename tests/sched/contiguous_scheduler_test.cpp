@@ -1,0 +1,126 @@
+#include "moldsched/sched/contiguous_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+/// Checks that no two concurrent tasks overlap in processor indices.
+void expect_disjoint_placement(const ContiguousScheduleResult& r,
+                               const graph::TaskGraph& g, int P) {
+  const auto& recs = r.base.trace.records();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    for (std::size_t j = i + 1; j < recs.size(); ++j) {
+      const auto& a = recs[i];
+      const auto& b = recs[j];
+      const bool time_overlap = a.start < b.end - 1e-12 &&
+                                b.start < a.end - 1e-12;
+      if (!time_overlap) continue;
+      const int alo = r.first_processor[static_cast<std::size_t>(a.task)];
+      const int blo = r.first_processor[static_cast<std::size_t>(b.task)];
+      const bool proc_overlap =
+          alo < blo + b.procs && blo < alo + a.procs;
+      EXPECT_FALSE(proc_overlap)
+          << g.name(a.task) << " and " << g.name(b.task)
+          << " overlap in processors";
+    }
+  }
+  for (const auto& rec : recs) {
+    const int lo = r.first_processor[static_cast<std::size_t>(rec.task)];
+    EXPECT_GE(lo, 0);
+    EXPECT_LE(lo + rec.procs, P);
+  }
+}
+
+TEST(ContiguousSchedulerTest, MatchesUnconstrainedOnSimpleWorkloads) {
+  // With identical 1-proc tasks there is no fragmentation.
+  graph::TaskGraph g;
+  for (int i = 0; i < 6; ++i)
+    (void)g.add_task(std::make_shared<model::RooflineModel>(2.0, 1));
+  const core::LpaAllocator alloc(0.3);
+  const auto contiguous = schedule_online_contiguous(g, 3, alloc);
+  const auto plain = core::schedule_online(g, 3, alloc);
+  EXPECT_DOUBLE_EQ(contiguous.base.makespan, plain.makespan);
+  EXPECT_DOUBLE_EQ(contiguous.fragmentation_wait, 0.0);
+  sim::expect_valid_schedule(g, contiguous.base.trace, 3);
+  expect_disjoint_placement(contiguous, g, 3);
+}
+
+TEST(ContiguousSchedulerTest, ValidSchedulesOnRandomGraphs) {
+  util::Rng rng(51);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  for (int rep = 0; rep < 5; ++rep) {
+    const int P = static_cast<int>(rng.uniform_int(4, 32));
+    const auto g = graph::layered_random(
+        5, 2, 7, 0.35, rng, graph::sampling_provider(sampler, rng, P));
+    const core::LpaAllocator alloc(0.25);
+    const auto result = schedule_online_contiguous(g, P, alloc);
+    sim::expect_valid_schedule(g, result.base.trace, P);
+    expect_disjoint_placement(result, g, P);
+    EXPECT_GE(result.fragmentation_wait, 0.0);
+  }
+}
+
+TEST(ContiguousSchedulerTest, DeterministicAcrossRuns) {
+  util::Rng rng(52);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto g = graph::erdos_renyi_dag(
+      30, 0.1, rng, graph::sampling_provider(sampler, rng, 16));
+  const core::LpaAllocator alloc(0.271);
+  const auto a = schedule_online_contiguous(g, 16, alloc);
+  const auto b = schedule_online_contiguous(g, 16, alloc);
+  EXPECT_DOUBLE_EQ(a.base.makespan, b.base.makespan);
+  EXPECT_EQ(a.first_processor, b.first_processor);
+}
+
+TEST(ContiguousSchedulerTest, FragmentationCanDelayTasks) {
+  // Engineer fragmentation: P = 4. Tasks A(2 procs, long), B(1 proc,
+  // short), C(1 proc, long) start; B finishes leaving holes such that a
+  // 2-proc task may have to wait although 2 processors are free.
+  // We use a fixed allocator and check the accounting is non-negative
+  // and the schedule valid; the precise delay depends on placement.
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(8.0, 2), "A");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1), "B");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(8.0, 1), "C");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 2), "D");
+  class Exact : public core::Allocator {
+   public:
+    int allocate(const model::SpeedupModel& m, int P) const override {
+      return m.max_useful_procs(P);
+    }
+    std::string name() const override { return "max"; }
+  };
+  const Exact alloc;
+  const auto result = schedule_online_contiguous(g, 4, alloc);
+  sim::expect_valid_schedule(g, result.base.trace, 4);
+  expect_disjoint_placement(result, g, 4);
+}
+
+TEST(ContiguousSchedulerTest, NeverBeatsTheLowerBound) {
+  util::Rng rng(53);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const auto g = graph::fork_join(
+      3, 6, graph::sampling_provider(sampler, rng, 12));
+  const core::LpaAllocator alloc(0.324);
+  const auto result = schedule_online_contiguous(g, 12, alloc);
+  const auto plain = core::schedule_online(g, 12, alloc);
+  // The contiguity constraint can only restrict start opportunities at
+  // each instant; with list scheduling anomalies it is not *provably*
+  // never faster, but it can never beat the Lemma 2 bound.
+  EXPECT_GE(result.base.makespan, plain.makespan * 0.5);
+  sim::expect_valid_schedule(g, result.base.trace, 12);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

@@ -1,0 +1,153 @@
+#include "moldsched/sched/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+TEST(ExactSchedulerTest, SingleTaskRunsAtFullUsefulSpeed) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(12.0, 3));
+  const auto r = ExactScheduler(g, 4).run();
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);  // 12 / min(3, 4)
+  EXPECT_EQ(r.allocation[0], 3);
+  EXPECT_DOUBLE_EQ(r.start_time[0], 0.0);
+}
+
+TEST(ExactSchedulerTest, TwoIndependentTasksShareTheMachine) {
+  // Two identical roofline tasks (w = 4, pbar = 2) on P = 2: running both
+  // sequentially at p = 2 gives 4; running both in parallel at p = 1
+  // gives 4; optimum is 4 either way. On P = 4, both at p = 2 in
+  // parallel give 2.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(4.0, 2));
+  (void)g.add_task(roofline(4.0, 2));
+  EXPECT_DOUBLE_EQ(ExactScheduler(g, 2).run().makespan, 4.0);
+  EXPECT_DOUBLE_EQ(ExactScheduler(g, 4).run().makespan, 2.0);
+}
+
+TEST(ExactSchedulerTest, TradeoffBetweenAreaAndTime) {
+  // Amdahl task A (w=6, d=1) and sequential-ish task B (w=6, pbar=1...)
+  // Hand-checkable: A(p=3) = 3, B always 6; P = 4.
+  // Run B on 1 proc [0,6) and A on 3 procs [0,3): makespan 6.
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(6.0, 1.0), "A");
+  (void)g.add_task(roofline(6.0, 1), "B");
+  const auto r = ExactScheduler(g, 4).run();
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(ExactSchedulerTest, ChainUsesFullAllocations) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(8.0, 4), "a");
+  const auto b = g.add_task(roofline(4.0, 4), "b");
+  g.add_edge(a, b);
+  const auto r = ExactScheduler(g, 4).run();
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);  // 8/4 + 4/4
+  EXPECT_EQ(r.allocation[0], 4);
+  EXPECT_EQ(r.allocation[1], 4);
+  EXPECT_DOUBLE_EQ(r.start_time[1], 2.0);
+}
+
+TEST(ExactSchedulerTest, DelayedStartCanBeOptimal) {
+  // Classic case where pure greed misallocates: three tasks, P = 2.
+  //   X: w=2, pbar=2  (can use both procs)
+  //   Y: w=3, pbar=1
+  //   Z: w=3, pbar=1
+  // Optimal: Y and Z in parallel [0,3), X at p=2 [3,4): makespan 4.
+  // (X first at p=2 [0,1), then Y,Z [1,4) also gives 4 — equally good.)
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(2.0, 2), "X");
+  (void)g.add_task(roofline(3.0, 1), "Y");
+  (void)g.add_task(roofline(3.0, 1), "Z");
+  EXPECT_DOUBLE_EQ(ExactScheduler(g, 2).run().makespan, 4.0);
+}
+
+TEST(ExactSchedulerTest, RespectsCaps) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 9; ++i) (void)g.add_task(roofline(1.0, 1));
+  EXPECT_THROW(ExactScheduler(g, 4), std::invalid_argument);
+  graph::TaskGraph small;
+  (void)small.add_task(roofline(1.0, 1));
+  EXPECT_THROW(ExactScheduler(small, 16), std::invalid_argument);
+  EXPECT_THROW(ExactScheduler(small, 0), std::invalid_argument);
+  EXPECT_NO_THROW(ExactScheduler(small, 4));
+}
+
+TEST(ExactSchedulerTest, NeverBelowLemma2AndNeverAboveHeuristics) {
+  util::Rng rng(31);
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 6; ++rep) {
+      const int P = static_cast<int>(rng.uniform_int(2, 4));
+      const auto provider = graph::sampling_provider(sampler, rng, P);
+      const auto g = graph::erdos_renyi_dag(
+          static_cast<int>(rng.uniform_int(2, 6)), 0.3, rng, provider);
+      const auto exact = ExactScheduler(g, P).run();
+      const double lb = analysis::optimal_makespan_lower_bound(g, P);
+      EXPECT_GE(exact.makespan, lb * (1.0 - 1e-9))
+          << model::to_string(kind);
+      // Exact optimum never loses to the heuristics.
+      const auto offline = OfflineTradeoffScheduler(g, P).run();
+      EXPECT_LE(exact.makespan, offline.makespan * (1.0 + 1e-9));
+      const core::LpaAllocator lpa(0.25);
+      const auto online = core::schedule_online(g, P, lpa);
+      EXPECT_LE(exact.makespan, online.makespan * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(ExactSchedulerTest, OnlineAlgorithmWithinTheoremRatioOfTrueOptimum) {
+  // The competitive-ratio statement proper: T_lpa <= c * T_opt, measured
+  // against the *exact* optimum on small random instances.
+  util::Rng rng(37);
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    const double mu = analysis::optimal_mu(kind);
+    const double bound = analysis::optimal_ratio(kind).upper_bound;
+    const core::LpaAllocator lpa(mu);
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 5; ++rep) {
+      const int P = static_cast<int>(rng.uniform_int(2, 5));
+      const auto provider = graph::sampling_provider(sampler, rng, P);
+      const auto g = graph::layered_random(
+          2, 1, 3, 0.5, rng, provider);
+      if (g.num_tasks() > 6) continue;
+      const auto exact = ExactScheduler(g, P).run();
+      const auto online = core::schedule_online(g, P, lpa);
+      EXPECT_LE(online.makespan, bound * exact.makespan * (1.0 + 1e-9))
+          << model::to_string(kind) << " rep " << rep;
+    }
+  }
+}
+
+TEST(ExactSchedulerTest, ReportsSearchStatistics) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(2.0, 2));
+  (void)g.add_task(roofline(3.0, 1));
+  const auto r = ExactScheduler(g, 2).run();
+  EXPECT_GT(r.nodes_explored, 0);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

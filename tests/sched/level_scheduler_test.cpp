@@ -1,0 +1,109 @@
+#include "moldsched/sched/level_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+TEST(LevelSchedulerTest, BarrierSeparatesLevels) {
+  // Diamond: source (level 0), two mids (level 1), sink (level 2);
+  // mids have different lengths — the barrier waits for the longer one.
+  graph::TaskGraph g;
+  const auto s = g.add_task(roofline(1.0, 1), "s");
+  const auto m1 = g.add_task(roofline(1.0, 1), "m1");
+  const auto m2 = g.add_task(roofline(5.0, 1), "m2");
+  const auto t = g.add_task(roofline(1.0, 1), "t");
+  g.add_edge(s, m1);
+  g.add_edge(s, m2);
+  g.add_edge(m1, t);
+  g.add_edge(m2, t);
+
+  class One : public core::Allocator {
+   public:
+    int allocate(const model::SpeedupModel&, int) const override { return 1; }
+    std::string name() const override { return "one"; }
+  };
+  const One alloc;
+  const auto result = schedule_level_by_level(g, 4, alloc);
+  // Levels end at 1, 6, 7.
+  ASSERT_EQ(result.level_finish.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.level_finish[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.level_finish[1], 6.0);
+  EXPECT_DOUBLE_EQ(result.level_finish[2], 7.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+  EXPECT_EQ(result.level_of[static_cast<std::size_t>(m2)], 1);
+  sim::expect_valid_schedule(g, result.trace, 4);
+}
+
+TEST(LevelSchedulerTest, LevelInternalPackingWorks) {
+  // Four 1-proc unit tasks in one level on P = 2 take two waves.
+  graph::TaskGraph g;
+  const auto src = g.add_task(roofline(1.0, 1), "src");
+  for (int i = 0; i < 4; ++i)
+    g.add_edge(src, g.add_task(roofline(1.0, 1)));
+  class One : public core::Allocator {
+   public:
+    int allocate(const model::SpeedupModel&, int) const override { return 1; }
+    std::string name() const override { return "one"; }
+  };
+  const auto result = schedule_level_by_level(g, 2, One{});
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);  // 1 + 2 waves
+}
+
+TEST(LevelSchedulerTest, NeverFasterThanGreedyListOnRandomGraphs) {
+  // Barriers only remove overlap opportunities relative to Algorithm 1
+  // when allocations coincide... not a theorem (list anomalies exist),
+  // but overwhelmingly true; assert a sane relationship instead:
+  // the level schedule is within 3x of greedy and never invalid.
+  util::Rng rng(77);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const int P = 16;
+  const core::LpaAllocator alloc(0.271);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto g = graph::layered_random(
+        6, 2, 8, 0.4, rng, graph::sampling_provider(sampler, rng, P));
+    const auto level = schedule_level_by_level(g, P, alloc);
+    const auto greedy = core::schedule_online(g, P, alloc);
+    sim::expect_valid_schedule(g, level.trace, P);
+    EXPECT_GE(level.makespan, greedy.makespan * 0.99);
+    EXPECT_LE(level.makespan, greedy.makespan * 3.0);
+  }
+}
+
+TEST(LevelSchedulerTest, RejectsBadInput) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  const core::LpaAllocator alloc(0.3);
+  EXPECT_THROW((void)schedule_level_by_level(g, 0, alloc),
+               std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_level_by_level(empty, 4, alloc),
+               std::logic_error);
+}
+
+TEST(LevelSchedulerTest, SingleTaskTrivial) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(6.0, 2), "only");
+  const core::LpaAllocator alloc(0.38196601125010515);
+  const auto result = schedule_level_by_level(g, 4, alloc);
+  EXPECT_EQ(result.level_finish.size(), 1u);
+  EXPECT_GT(result.makespan, 0.0);
+  sim::expect_valid_schedule(g, result.trace, 4);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

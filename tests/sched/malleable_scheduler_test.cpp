@@ -1,0 +1,101 @@
+#include "moldsched/sched/malleable_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+TEST(MalleableFluidTest, SingleTaskRunsAtMinTime) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(12.0, 4));
+  const auto r = schedule_malleable_fluid(g, 8);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);  // 12 / 4
+  EXPECT_EQ(r.events, 1);
+  EXPECT_DOUBLE_EQ(r.busy_area, 12.0);
+}
+
+TEST(MalleableFluidTest, ChainIsSumOfMinTimes) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(8.0, 4));
+  const auto b = g.add_task(roofline(6.0, 2));
+  g.add_edge(a, b);
+  const auto r = schedule_malleable_fluid(g, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0 + 3.0);
+}
+
+TEST(MalleableFluidTest, ReallocationBeatsMoldableOnStaggeredWork) {
+  // Two tasks, P = 4, roofline pbar = 4: A (w=8), B (w=4).
+  // Moldable with p=2 each: A takes 4, B takes 2; after B ends, its two
+  // processors idle (B's block cannot help A). Fluid: B's processors
+  // flow to A. Fluid optimum: total work 12 on 4 procs = 3.
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4), "A");
+  (void)g.add_task(roofline(4.0, 4), "B");
+  const auto fluid = schedule_malleable_fluid(g, 4);
+  EXPECT_DOUBLE_EQ(fluid.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(fluid.busy_area, 12.0);
+
+  // The moldable online schedule cannot beat the fluid one here.
+  const core::LpaAllocator alloc(0.38196601125010515);
+  const auto moldable = core::schedule_online(g, 4, alloc);
+  EXPECT_GE(moldable.makespan, fluid.makespan - 1e-9);
+}
+
+TEST(MalleableFluidTest, RespectsLemma2LowerBound) {
+  util::Rng rng(71);
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 4; ++rep) {
+      const int P = static_cast<int>(rng.uniform_int(2, 32));
+      const auto g = graph::layered_random(
+          4, 2, 6, 0.4, rng, graph::sampling_provider(sampler, rng, P));
+      const auto r = schedule_malleable_fluid(g, P);
+      const double lb = analysis::optimal_makespan_lower_bound(g, P);
+      EXPECT_GE(r.makespan, lb * (1.0 - 1e-9))
+          << model::to_string(kind) << " P=" << P;
+      // Fluid area accounting never exceeds the machine's capacity.
+      EXPECT_LE(r.busy_area, static_cast<double>(P) * r.makespan * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(MalleableFluidTest, PrecedenceDelaysSuccessors) {
+  // Fork: source then two children; the source must fully finish first.
+  graph::TaskGraph g;
+  const auto s = g.add_task(roofline(4.0, 4), "s");
+  const auto c1 = g.add_task(roofline(4.0, 4), "c1");
+  const auto c2 = g.add_task(roofline(4.0, 4), "c2");
+  g.add_edge(s, c1);
+  g.add_edge(s, c2);
+  const auto r = schedule_malleable_fluid(g, 4);
+  // s: 1.0 at p=4; then both children share: 8 work on 4 procs = 2.
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(MalleableFluidTest, RejectsBadInput) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  EXPECT_THROW((void)schedule_malleable_fluid(g, 0), std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW((void)schedule_malleable_fluid(empty, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

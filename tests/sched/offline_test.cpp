@@ -1,0 +1,139 @@
+#include "moldsched/sched/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+TEST(ListScheduleTest, HonorsPrioritiesAmongReadyTasks) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1), "low");
+  (void)g.add_task(roofline(1.0, 1), "high");
+  const std::vector<int> alloc{1, 1};
+  const std::vector<double> prio{1.0, 2.0};
+  const auto trace = list_schedule_with_allocations(g, 1, alloc, prio);
+  EXPECT_EQ(trace.records()[0].task, 1);  // higher priority first
+  EXPECT_EQ(trace.records()[1].task, 0);
+}
+
+TEST(ListScheduleTest, TieBreaksById) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  (void)g.add_task(roofline(1.0, 1));
+  const auto trace = list_schedule_with_allocations(g, 1, {1, 1}, {5.0, 5.0});
+  EXPECT_EQ(trace.records()[0].task, 0);
+}
+
+TEST(ListScheduleTest, RespectsDependencies) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(2.0, 2), "a");
+  const auto b = g.add_task(roofline(2.0, 2), "b");
+  g.add_edge(a, b);
+  const auto trace =
+      list_schedule_with_allocations(g, 4, {2, 2}, {0.0, 10.0});
+  // b has higher priority but cannot start before a finishes.
+  EXPECT_DOUBLE_EQ(trace.makespan(), 2.0);
+  sim::expect_valid_schedule(g, trace, 4);
+}
+
+TEST(ListScheduleTest, RejectsBadInput) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  EXPECT_THROW(
+      (void)list_schedule_with_allocations(g, 0, {1}, {0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)list_schedule_with_allocations(g, 2, {1, 1}, {0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)list_schedule_with_allocations(g, 2, {3}, {0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)list_schedule_with_allocations(g, 2, {0}, {0.0}),
+      std::invalid_argument);
+}
+
+TEST(OfflineTradeoffTest, ValidScheduleOnRandomGraphs) {
+  util::Rng rng(11);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const auto g = graph::layered_random(
+      6, 2, 6, 0.4, rng, graph::sampling_provider(sampler, rng, 16));
+  const OfflineTradeoffScheduler sched(g, 16);
+  const auto result = sched.run();
+  sim::expect_valid_schedule(g, result.trace, 16);
+  EXPECT_DOUBLE_EQ(result.trace.makespan(), result.makespan);
+  // Never below the Lemma 2 lower bound.
+  EXPECT_GE(result.makespan,
+            analysis::optimal_makespan_lower_bound(g, 16) * (1.0 - 1e-9));
+}
+
+TEST(OfflineTradeoffTest, AtLeastAsGoodAsOnlineOnEasyGraphs) {
+  // With full knowledge and a makespan sweep, the offline schedule should
+  // not lose to the online algorithm by more than rounding on these
+  // simple workloads.
+  util::Rng rng(12);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto g = graph::independent(
+      24, graph::sampling_provider(sampler, rng, 8));
+  const auto offline = OfflineTradeoffScheduler(g, 8).run();
+  const core::LpaAllocator lpa(0.271);
+  const auto online = core::schedule_online(g, 8, lpa);
+  EXPECT_LE(offline.makespan, online.makespan * 1.05);
+}
+
+TEST(OfflineTradeoffTest, SingleTaskIsOptimal) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4));
+  const auto result = OfflineTradeoffScheduler(g, 4).run();
+  // Best possible: all useful processors, t = 8/4 = 2.
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  EXPECT_EQ(result.allocation[0], 4);
+}
+
+TEST(OfflineTradeoffTest, ChainGetsMaxAllocation) {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(4.0, 4));
+  const auto b = g.add_task(roofline(4.0, 4));
+  g.add_edge(a, b);
+  const auto result = OfflineTradeoffScheduler(g, 4).run();
+  // Pure chain: area is free (roofline), so run each at full speed.
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+}
+
+TEST(OfflineTradeoffTest, RejectsBadConstruction) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(1.0, 1));
+  EXPECT_THROW(OfflineTradeoffScheduler(g, 0), std::invalid_argument);
+  EXPECT_THROW(OfflineTradeoffScheduler(g, 4, 1), std::invalid_argument);
+  graph::TaskGraph empty;
+  EXPECT_THROW(OfflineTradeoffScheduler(empty, 4), std::logic_error);
+}
+
+TEST(OfflineTradeoffTest, SweepImprovesOverSinglePoint) {
+  util::Rng rng(13);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  const auto g = graph::fork_join(
+      3, 8, graph::sampling_provider(sampler, rng, 32));
+  const auto coarse = OfflineTradeoffScheduler(g, 32, 2).run();
+  const auto fine = OfflineTradeoffScheduler(g, 32, 32).run();
+  EXPECT_LE(fine.makespan, coarse.makespan + 1e-9);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

@@ -1,0 +1,89 @@
+#include "moldsched/sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+TEST(RegistryTest, LpaSpecUsesGivenMu) {
+  const auto spec = lpa_spec(0.25);
+  EXPECT_EQ(spec.name, "lpa");
+  ASSERT_NE(spec.allocator, nullptr);
+  const auto* lpa =
+      dynamic_cast<const core::LpaAllocator*>(spec.allocator.get());
+  ASSERT_NE(lpa, nullptr);
+  EXPECT_DOUBLE_EQ(lpa->mu(), 0.25);
+  EXPECT_EQ(spec.policy, core::QueuePolicy::kFifo);
+}
+
+TEST(RegistryTest, SpecRunDispatchesToEngine) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "t");
+  const auto spec = lpa_spec(0.271);
+  const auto direct = spec.run(g, 4);
+  EXPECT_GT(direct.makespan, 0.0);
+
+  SchedulerSpec custom;
+  custom.name = "stub";
+  bool called = false;
+  custom.runner = [&called](const graph::TaskGraph& gr, int P) {
+    called = true;
+    core::ScheduleResult r;
+    r.trace.record_start(0, 0.0, 1);
+    r.trace.record_end(0, gr.model_of(0).time(1));
+    r.makespan = r.trace.makespan();
+    r.allocation = {1};
+    r.ready_time = {0.0};
+    (void)P;
+    return r;
+  };
+  EXPECT_GT(custom.run(g, 4).makespan, 0.0);
+  EXPECT_TRUE(called);
+
+  SchedulerSpec empty;
+  empty.name = "broken";
+  EXPECT_THROW((void)empty.run(g, 4), std::invalid_argument);
+}
+
+TEST(RegistryTest, EngineVariantsProduceValidResults) {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(4.0, 0.5), "b");
+  g.add_edge(a, b);
+  const auto variants = engine_variants(0.271);
+  ASSERT_EQ(variants.size(), 3u);
+  for (const auto& spec : variants) {
+    const auto result = spec.run(g, 8);
+    EXPECT_GT(result.makespan, 0.0) << spec.name;
+    EXPECT_EQ(result.trace.records().size(), 2u) << spec.name;
+  }
+  EXPECT_EQ(variants[0].name, "level-lpa");
+  EXPECT_EQ(variants[1].name, "contiguous-lpa");
+  EXPECT_EQ(variants[2].name, "backfill-lpa");
+}
+
+TEST(RegistryTest, StandardSuiteHasDistinctWorkingSchedulers) {
+  const auto suite = standard_suite(0.3);
+  EXPECT_GE(suite.size(), 5u);
+  std::set<std::string> names;
+  const model::AmdahlModel m(10.0, 1.0);
+  for (const auto& spec : suite) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    ASSERT_NE(spec.allocator, nullptr) << spec.name;
+    const int a = spec.allocator->allocate(m, 16);
+    EXPECT_GE(a, 1);
+    EXPECT_LE(a, 16);
+  }
+  EXPECT_TRUE(names.count("lpa"));
+  EXPECT_TRUE(names.count("min-time"));
+  EXPECT_TRUE(names.count("sequential"));
+}
+
+}  // namespace
+}  // namespace moldsched::sched

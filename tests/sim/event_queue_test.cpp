@@ -1,0 +1,100 @@
+#include "moldsched/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace moldsched::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.schedule(3.0, 30);
+  q.schedule(1.0, 10);
+  q.schedule(2.0, 20);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  q.schedule(1.0, 2);
+  q.schedule(1.0, 3);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+TEST(EventQueueTest, NowAdvancesWithPops) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.schedule(2.5, 1);
+  q.schedule(4.0, 2);
+  (void)q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  (void)q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueueTest, PopSimultaneousBatchesExactTies) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  q.schedule(1.0, 2);
+  q.schedule(2.0, 3);
+  const auto batch = q.pop_simultaneous();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].payload, 1);
+  EXPECT_EQ(batch[1].payload, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.schedule(7.0, 1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueTest, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.pop_simultaneous(), std::logic_error);
+}
+
+TEST(EventQueueTest, RejectsBadTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), 0),
+               std::invalid_argument);
+}
+
+TEST(EventQueueTest, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, 1);
+  (void)q.pop();  // now = 5
+  EXPECT_THROW(q.schedule(4.0, 2), std::logic_error);
+  EXPECT_NO_THROW(q.schedule(5.0, 3));  // present is fine
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndPop) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  q.schedule(5.0, 5);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.schedule(3.0, 3);  // after now=1, before 5
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 5);
+}
+
+}  // namespace
+}  // namespace moldsched::sim

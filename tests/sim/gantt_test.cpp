@@ -1,0 +1,70 @@
+#include "moldsched/sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::sim {
+namespace {
+
+graph::TaskGraph two_task_graph() {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "alpha");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "beta");
+  return g;
+}
+
+TEST(GanttTest, RendersRowsAndLegend) {
+  const auto g = two_task_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 4.0);
+  const auto out = render_gantt(t, g, 4, 40);
+  EXPECT_NE(out.find("Gantt (P=4"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  // Four processor rows.
+  EXPECT_NE(out.find("p0"), std::string::npos);
+  EXPECT_NE(out.find("p3"), std::string::npos);
+  // Task 0 drawn with 'A', task 1 with 'B'.
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+TEST(GanttTest, EmptyTraceRendersIdleRows) {
+  const auto g = two_task_graph();
+  const Trace t;
+  const auto out = render_gantt(t, g, 2, 20);
+  EXPECT_NE(out.find("makespan=0"), std::string::npos);
+  EXPECT_NE(out.find("...."), std::string::npos);
+}
+
+TEST(GanttTest, RejectsBadArguments) {
+  const auto g = two_task_graph();
+  const Trace t;
+  EXPECT_THROW((void)render_gantt(t, g, 0, 40), std::invalid_argument);
+  EXPECT_THROW((void)render_gantt(t, g, 200, 40), std::invalid_argument);
+  EXPECT_THROW((void)render_gantt(t, g, 4, 5), std::invalid_argument);
+}
+
+TEST(UtilizationRenderTest, OneLinePerInterval) {
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 1.0);
+  t.record_start(1, 1.0, 4);
+  t.record_end(1, 2.0);
+  const auto out = render_utilization(t, 4, 20);
+  EXPECT_NE(out.find("2/4"), std::string::npos);
+  EXPECT_NE(out.find("4/4"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_THROW((void)render_utilization(t, 0, 20), std::invalid_argument);
+  EXPECT_THROW((void)render_utilization(t, 4, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::sim

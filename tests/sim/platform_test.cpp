@@ -1,0 +1,54 @@
+#include "moldsched/sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moldsched::sim {
+namespace {
+
+TEST(PlatformTest, InitialState) {
+  const Platform p(8);
+  EXPECT_EQ(p.total(), 8);
+  EXPECT_EQ(p.in_use(), 0);
+  EXPECT_EQ(p.available(), 8);
+}
+
+TEST(PlatformTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(Platform(0), std::invalid_argument);
+  EXPECT_THROW(Platform(-2), std::invalid_argument);
+}
+
+TEST(PlatformTest, AcquireReleaseRoundTrip) {
+  Platform p(10);
+  p.acquire(4);
+  EXPECT_EQ(p.in_use(), 4);
+  EXPECT_EQ(p.available(), 6);
+  p.acquire(6);
+  EXPECT_EQ(p.available(), 0);
+  p.release(4);
+  EXPECT_EQ(p.available(), 4);
+  p.release(6);
+  EXPECT_EQ(p.in_use(), 0);
+}
+
+TEST(PlatformTest, OverAcquireThrows) {
+  Platform p(4);
+  p.acquire(3);
+  EXPECT_THROW(p.acquire(2), std::logic_error);
+  // State unchanged after the failed acquire.
+  EXPECT_EQ(p.in_use(), 3);
+}
+
+TEST(PlatformTest, BadAmountsThrow) {
+  Platform p(4);
+  EXPECT_THROW(p.acquire(0), std::invalid_argument);
+  EXPECT_THROW(p.acquire(-1), std::invalid_argument);
+  EXPECT_THROW(p.release(1), std::logic_error);  // nothing in use
+  p.acquire(2);
+  EXPECT_THROW(p.release(3), std::logic_error);
+  EXPECT_THROW(p.release(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace moldsched::sim

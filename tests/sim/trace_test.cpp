@@ -1,0 +1,151 @@
+#include "moldsched/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moldsched::sim {
+namespace {
+
+TEST(TraceTest, EmptyTrace) {
+  const Trace t;
+  EXPECT_EQ(t.num_records(), 0u);
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(t.total_area(), 0.0);
+  EXPECT_TRUE(t.utilization_profile().empty());
+}
+
+TEST(TraceTest, SingleTaskRecord) {
+  Trace t;
+  t.record_start(0, 1.0, 3);
+  t.record_end(0, 4.0);
+  ASSERT_EQ(t.records().size(), 1u);
+  const auto& r = t.records()[0];
+  EXPECT_EQ(r.task, 0);
+  EXPECT_DOUBLE_EQ(r.start, 1.0);
+  EXPECT_DOUBLE_EQ(r.end, 4.0);
+  EXPECT_EQ(r.procs, 3);
+  EXPECT_DOUBLE_EQ(t.makespan(), 4.0);
+  EXPECT_DOUBLE_EQ(t.total_area(), 9.0);
+}
+
+TEST(TraceTest, RunningTaskBlocksQueries) {
+  Trace t;
+  t.record_start(0, 0.0, 1);
+  EXPECT_THROW((void)t.makespan(), std::logic_error);
+  EXPECT_THROW((void)t.records(), std::logic_error);
+  EXPECT_THROW((void)t.total_area(), std::logic_error);
+  t.record_end(0, 1.0);
+  EXPECT_NO_THROW((void)t.makespan());
+}
+
+TEST(TraceTest, DoubleStartRejected) {
+  Trace t;
+  t.record_start(5, 0.0, 1);
+  EXPECT_THROW(t.record_start(5, 0.5, 1), std::logic_error);
+  t.record_end(5, 1.0);
+  // Restart after completion is also forbidden (non-preemptive, no
+  // restarts).
+  EXPECT_THROW(t.record_start(5, 2.0, 1), std::logic_error);
+}
+
+TEST(TraceTest, BadEndRejected) {
+  Trace t;
+  EXPECT_THROW(t.record_end(0, 1.0), std::logic_error);  // never started
+  t.record_start(0, 2.0, 1);
+  EXPECT_THROW(t.record_end(0, 1.0), std::invalid_argument);  // end < start
+  t.record_end(0, 2.0);  // zero-duration is allowed
+  EXPECT_THROW(t.record_end(0, 3.0), std::logic_error);  // already ended
+}
+
+TEST(TraceTest, BadStartArgumentsRejected) {
+  Trace t;
+  EXPECT_THROW(t.record_start(-1, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(t.record_start(0, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(t.record_start(0, 0.0, 0), std::invalid_argument);
+}
+
+TEST(TraceTest, UtilizationProfileOfOverlappingTasks) {
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_start(1, 1.0, 3);
+  t.record_end(0, 2.0);
+  t.record_end(1, 3.0);
+  const auto profile = t.utilization_profile();
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(profile[0].end, 1.0);
+  EXPECT_EQ(profile[0].procs_in_use, 2);
+  EXPECT_EQ(profile[1].procs_in_use, 5);
+  EXPECT_DOUBLE_EQ(profile[1].duration(), 1.0);
+  EXPECT_EQ(profile[2].procs_in_use, 3);
+}
+
+TEST(TraceTest, ProfileKeepsInteriorIdleGaps) {
+  Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 3.0);
+  const auto profile = t.utilization_profile();
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[1].procs_in_use, 0);
+  EXPECT_DOUBLE_EQ(profile[1].begin, 1.0);
+  EXPECT_DOUBLE_EQ(profile[1].end, 2.0);
+}
+
+TEST(TraceTest, ProfileDurationsSumToMakespanWhenBusyFromZero) {
+  Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 2.5);
+  t.record_start(1, 1.0, 2);
+  t.record_end(1, 4.0);
+  double total = 0.0;
+  for (const auto& iv : t.utilization_profile()) total += iv.duration();
+  EXPECT_DOUBLE_EQ(total, t.makespan());
+}
+
+TEST(TraceTest, AverageUtilization) {
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 1.0);
+  // Area 2, makespan 1, P = 4 -> utilization 0.5.
+  EXPECT_DOUBLE_EQ(t.average_utilization(4), 0.5);
+  EXPECT_THROW((void)t.average_utilization(0), std::invalid_argument);
+}
+
+TEST(TraceTest, IdleAreaAndMaxConcurrency) {
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 1.0);
+  t.record_start(1, 0.5, 3);
+  t.record_end(1, 2.0);
+  // Area = 2 + 4.5 = 6.5; makespan 2; P = 5 -> idle = 10 - 6.5.
+  EXPECT_DOUBLE_EQ(t.idle_area(5), 3.5);
+  EXPECT_EQ(t.max_concurrency(), 5);
+  EXPECT_DOUBLE_EQ(t.total_gap_time(), 0.0);
+  EXPECT_THROW((void)t.idle_area(0), std::invalid_argument);
+}
+
+TEST(TraceTest, GapTimeCountsInteriorIdle) {
+  Trace t;
+  t.record_start(0, 0.0, 1);
+  t.record_end(0, 1.0);
+  t.record_start(1, 4.0, 1);
+  t.record_end(1, 5.0);
+  EXPECT_DOUBLE_EQ(t.total_gap_time(), 3.0);
+}
+
+TEST(TraceTest, SimultaneousEdgesReleaseBeforeAcquire) {
+  // Task 1 starts exactly when task 0 ends: usage never double-counts.
+  Trace t;
+  t.record_start(0, 0.0, 4);
+  t.record_end(0, 1.0);
+  t.record_start(1, 1.0, 4);
+  t.record_end(1, 2.0);
+  for (const auto& iv : t.utilization_profile())
+    EXPECT_LE(iv.procs_in_use, 4);
+}
+
+}  // namespace
+}  // namespace moldsched::sim

@@ -1,0 +1,128 @@
+#include "moldsched/sim/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::sim {
+namespace {
+
+/// Two-task chain: a (t(p) = 4/p, pbar 4) -> b (t = 2, sequential).
+graph::TaskGraph make_chain_graph() {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::RooflineModel>(2.0, 1), "b");
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(ValidatorTest, AcceptsCorrectSchedule) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);  // t = 4/2 = 2
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);  // t = 2
+  t.record_end(1, 4.0);
+  const auto report = validate_schedule(g, t, 4);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NO_THROW(expect_valid_schedule(g, t, 4));
+  EXPECT_EQ(report.to_string(), "schedule valid");
+}
+
+TEST(ValidatorTest, DetectsMissingTask) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  const auto report = validate_schedule(g, t, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("never scheduled"), std::string::npos);
+  EXPECT_THROW(expect_valid_schedule(g, t, 4), std::logic_error);
+}
+
+TEST(ValidatorTest, DetectsWrongDuration) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 3.0);  // should be 2.0 with 2 procs
+  t.record_start(1, 3.0, 1);
+  t.record_end(1, 5.0);
+  const auto report = validate_schedule(g, t, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("duration"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsPrecedenceViolation) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 1.0, 1);  // starts before predecessor finishes
+  t.record_end(1, 3.0);
+  const auto report = validate_schedule(g, t, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("before predecessor"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsCapacityViolation) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "x");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "y");
+  Trace t;
+  t.record_start(0, 0.0, 3);
+  t.record_start(1, 0.0, 3);
+  t.record_end(0, 4.0 / 3.0);
+  t.record_end(1, 4.0 / 3.0);
+  const auto report = validate_schedule(g, t, 4);  // 6 > 4
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("capacity exceeded"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsAllocationOutOfRange) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 8), "x");
+  Trace t;
+  t.record_start(0, 0.0, 8);
+  t.record_end(0, 0.5);
+  const auto report = validate_schedule(g, t, 4);  // alloc 8 > P = 4
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("outside [1, 4]"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsUnknownTaskId) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 4.0);
+  t.record_start(7, 0.0, 1);  // not in the graph
+  t.record_end(7, 1.0);
+  const auto report = validate_schedule(g, t, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("unknown task id"), std::string::npos);
+}
+
+TEST(ValidatorTest, ToleranceAllowsRoundoff) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0 + 1e-12);
+  t.record_start(1, 2.0 + 1e-12, 1);
+  t.record_end(1, 4.0 + 1e-12);
+  EXPECT_TRUE(validate_schedule(g, t, 4).ok());
+}
+
+TEST(ValidatorTest, RejectsBadPlatformSize) {
+  const auto g = make_chain_graph();
+  const Trace t;
+  EXPECT_FALSE(validate_schedule(g, t, 0).ok());
+}
+
+}  // namespace
+}  // namespace moldsched::sim

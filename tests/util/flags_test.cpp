@@ -1,0 +1,85 @@
+#include "moldsched/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moldsched::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const auto f = make({"--n=10", "--rate=0.5", "--name=test"});
+  EXPECT_EQ(f.get_int("n", 0), 10);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(f.get_string("name", ""), "test");
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const auto f = make({"--n", "20", "--mode", "fast"});
+  EXPECT_EQ(f.get_int("n", 0), 20);
+  EXPECT_EQ(f.get_string("mode", ""), "fast");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const auto f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=FALSE"}).get_bool("x", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const auto f = make({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("r", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("s", "dft"), "dft");
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  const auto f = make({"pos1", "--n=1", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+  EXPECT_EQ(f.program_name(), "prog");
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsBoolean) {
+  const auto f = make({"--a", "--b=2"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_EQ(f.get_int("b", 0), 2);
+}
+
+TEST(FlagsTest, MalformedValuesThrow) {
+  const auto f = make({"--n=abc", "--r=xyz", "--b=maybe"});
+  EXPECT_THROW((void)f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_double("r", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(FlagsTest, BareDoubleDashThrows) {
+  EXPECT_THROW(make({"--"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, LastDuplicateWins) {
+  const auto f = make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace moldsched::util

@@ -1,0 +1,84 @@
+#include "moldsched/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::util {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsANoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](unsigned threads) {
+    std::vector<double> out(100);
+    parallel_for(out.size(),
+                 [&](std::size_t i) {
+                   double x = static_cast<double>(i) + 1.0;
+                   for (int k = 0; k < 50; ++k) x = x * 1.000001 + 0.5;
+                   out[i] = x;
+                 },
+                 threads);
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ParallelForTest, PropagatesFirstExceptionByIndex) {
+  try {
+    parallel_for(
+        64,
+        [](std::size_t i) {
+          if (i == 7) throw std::runtime_error("boom at 7");
+          if (i == 50) throw std::runtime_error("boom at 50");
+        },
+        4);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    // With 4 threads both indices usually run; the earlier one wins.
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(ParallelForTest, SequentialFallbackPropagatesExceptions) {
+  EXPECT_THROW(parallel_for(
+                   4,
+                   [](std::size_t i) {
+                     if (i == 2) throw std::logic_error("x");
+                   },
+                   1),
+               std::logic_error);
+}
+
+TEST(ParallelForTest, RejectsEmptyFunction) {
+  EXPECT_THROW(parallel_for(3, nullptr), std::invalid_argument);
+}
+
+TEST(ParallelForTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> sum{0};
+  parallel_for(3, [&](std::size_t i) { sum += static_cast<int>(i); }, 64);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+}  // namespace
+}  // namespace moldsched::util

@@ -1,0 +1,217 @@
+#include "moldsched/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace moldsched::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  // Must not be stuck at a degenerate state.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(r());
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng r(1);
+  EXPECT_THROW((void)r.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(RngTest, UnitIsInHalfOpenInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformRejectsInvertedBounds) {
+  Rng r(5);
+  EXPECT_THROW((void)r.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)r.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)r.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng r(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng r(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+  EXPECT_THROW((void)r.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng r(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = r.log_uniform(1.0, 1000.0);
+    EXPECT_GE(v, 1.0 - 1e-12);
+    EXPECT_LE(v, 1000.0 + 1e-9);
+  }
+  EXPECT_THROW((void)r.log_uniform(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)r.log_uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, LogUniformSpansDecades) {
+  Rng r(37);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.log_uniform(1.0, 1000.0);
+    if (v < 10.0) ++low;
+    if (v > 100.0) ++high;
+  }
+  // Each decade should get ~1/3 of the mass.
+  EXPECT_NEAR(low / 10000.0, 1.0 / 3.0, 0.03);
+  EXPECT_NEAR(high / 10000.0, 1.0 / 3.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng r(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng r(43);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng r(47);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = r.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+  const std::vector<int> empty;
+  EXPECT_THROW((void)r.pick(empty), std::invalid_argument);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(53);
+  Rng b = a.split();
+  // Parent and child should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, WorksWithStandardDistributions) {
+  Rng r(59);
+  // Compile-time check that Rng satisfies UniformRandomBitGenerator.
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  std::uniform_int_distribution<int> dist(0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(r);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::util

@@ -1,0 +1,115 @@
+#include "moldsched/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched::util {
+namespace {
+
+TEST(AccumulatorTest, EmptyDefaults) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.sum(), 40.0, 1e-9);
+}
+
+TEST(AccumulatorTest, NumericallyStableOnShiftedData) {
+  Accumulator acc;
+  const double offset = 1e9;
+  for (const double x : {1.0, 2.0, 3.0}) acc.add(offset + x);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(AccumulatorTest, NegativeValues) {
+  Accumulator acc;
+  acc.add(-2.0);
+  acc.add(2.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 2.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.75), 7.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(SummarizeTest, AllFieldsConsistent) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_LE(s.p95, s.max);
+  EXPECT_GE(s.p95, s.p75);
+}
+
+TEST(SummarizeTest, RejectsEmpty) {
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(GeometricMeanTest, KnownValue) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMeanTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(geometric_mean({7.0}), 7.0);
+}
+
+TEST(GeometricMeanTest, RejectsBadInput) {
+  EXPECT_THROW((void)geometric_mean({}), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean({1.0, -2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::util

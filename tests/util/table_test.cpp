@@ -1,0 +1,110 @@
+#include "moldsched/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldsched::util {
+namespace {
+
+TEST(TableTest, RejectsZeroColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, AsciiContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.new_row().cell("alpha").cell(1.5, 2);
+  t.new_row().cell("beta").cell(42);
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TableTest, FirstCellStartsARowImplicitly) {
+  Table t({"a"});
+  t.cell("x");  // no explicit new_row
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, OverfilledRowThrows) {
+  Table t({"a"});
+  t.new_row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::logic_error);
+}
+
+TEST(TableTest, MarkdownHasSeparatorRow) {
+  Table t({"col1", "col2"});
+  t.new_row().cell(1).cell(2);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| col1"), std::string::npos);
+  EXPECT_NE(md.find("|--"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.new_row().cell("plain").cell("has,comma");
+  t.new_row().cell("has\"quote").cell("x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TableTest, CsvRowsAndColumnsCount) {
+  Table t({"a", "b", "c"});
+  t.new_row().cell(1).cell(2).cell(3);
+  const std::string csv = t.to_csv();
+  // header + one row, each with two commas
+  std::size_t lines = 0;
+  std::size_t commas = 0;
+  for (const char ch : csv) {
+    if (ch == '\n') ++lines;
+    if (ch == ',') ++commas;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(commas, 4u);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.new_row().cell("only");
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableTest, PrintWritesTitle) {
+  Table t({"a"});
+  t.new_row().cell(1);
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_NE(os.str().find("My Title"), std::string::npos);
+}
+
+TEST(TableTest, IntegerCellOverloads) {
+  Table t({"a", "b", "c", "d"});
+  t.new_row()
+      .cell(static_cast<int>(-1))
+      .cell(static_cast<long>(2))
+      .cell(static_cast<long long>(3))
+      .cell(static_cast<unsigned long>(4));
+  const std::string out = t.to_csv();
+  EXPECT_NE(out.find("-1,2,3,4"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 3), "2.000");
+}
+
+TEST(FormatDoubleTest, NanRendersAsNa) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "n/a");
+}
+
+}  // namespace
+}  // namespace moldsched::util
