@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contiguity.dir/bench_contiguity.cpp.o"
+  "CMakeFiles/bench_contiguity.dir/bench_contiguity.cpp.o.d"
+  "bench_contiguity"
+  "bench_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

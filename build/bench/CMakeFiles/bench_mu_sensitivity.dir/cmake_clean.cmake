@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mu_sensitivity.dir/bench_mu_sensitivity.cpp.o"
+  "CMakeFiles/bench_mu_sensitivity.dir/bench_mu_sensitivity.cpp.o.d"
+  "bench_mu_sensitivity"
+  "bench_mu_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mu_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

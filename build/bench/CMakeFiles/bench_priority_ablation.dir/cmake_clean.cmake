@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_ablation.dir/bench_priority_ablation.cpp.o"
+  "CMakeFiles/bench_priority_ablation.dir/bench_priority_ablation.cpp.o.d"
+  "bench_priority_ablation"
+  "bench_priority_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

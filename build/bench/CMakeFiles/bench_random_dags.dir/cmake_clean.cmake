@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_dags.dir/bench_random_dags.cpp.o"
+  "CMakeFiles/bench_random_dags.dir/bench_random_dags.cpp.o.d"
+  "bench_random_dags"
+  "bench_random_dags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_dags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

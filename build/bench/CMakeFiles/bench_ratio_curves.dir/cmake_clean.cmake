@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratio_curves.dir/bench_ratio_curves.cpp.o"
+  "CMakeFiles/bench_ratio_curves.dir/bench_ratio_curves.cpp.o.d"
+  "bench_ratio_curves"
+  "bench_ratio_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_release.dir/bench_release.cpp.o"
+  "CMakeFiles/bench_release.dir/bench_release.cpp.o.d"
+  "bench_release"
+  "bench_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chains_game.dir/chains_game.cpp.o"
+  "CMakeFiles/chains_game.dir/chains_game.cpp.o.d"
+  "chains_game"
+  "chains_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chains_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tools.dir/graph_tools.cpp.o"
+  "CMakeFiles/graph_tools.dir/graph_tools.cpp.o.d"
+  "graph_tools"
+  "graph_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

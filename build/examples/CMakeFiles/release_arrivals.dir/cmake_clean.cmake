@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_arrivals.dir/release_arrivals.cpp.o"
+  "CMakeFiles/release_arrivals.dir/release_arrivals.cpp.o.d"
+  "release_arrivals"
+  "release_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_scheduling.dir/resilient_scheduling.cpp.o"
+  "CMakeFiles/resilient_scheduling.dir/resilient_scheduling.cpp.o.d"
+  "resilient_scheduling"
+  "resilient_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

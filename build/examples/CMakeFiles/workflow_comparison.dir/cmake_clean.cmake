@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_comparison.dir/workflow_comparison.cpp.o"
+  "CMakeFiles/workflow_comparison.dir/workflow_comparison.cpp.o.d"
+  "workflow_comparison"
+  "workflow_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

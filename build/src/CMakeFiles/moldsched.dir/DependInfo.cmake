@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moldsched/analysis/adversary_study.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/adversary_study.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/adversary_study.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/blame.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/blame.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/blame.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/bounds.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/bounds.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/curves.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/curves.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/curves.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/experiment.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/experiment.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/lemma_check.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/lemma_check.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/lemma_check.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/markdown_report.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/markdown_report.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/markdown_report.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/optimize.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/optimize.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/optimize.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/ratios.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/ratios.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/ratios.cpp.o.d"
+  "/root/repo/src/moldsched/analysis/report.cpp" "src/CMakeFiles/moldsched.dir/moldsched/analysis/report.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/analysis/report.cpp.o.d"
+  "/root/repo/src/moldsched/core/allocator.cpp" "src/CMakeFiles/moldsched.dir/moldsched/core/allocator.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/core/allocator.cpp.o.d"
+  "/root/repo/src/moldsched/core/intervals.cpp" "src/CMakeFiles/moldsched.dir/moldsched/core/intervals.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/core/intervals.cpp.o.d"
+  "/root/repo/src/moldsched/core/online_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/core/online_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/core/online_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/core/queue_policy.cpp" "src/CMakeFiles/moldsched.dir/moldsched/core/queue_policy.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/core/queue_policy.cpp.o.d"
+  "/root/repo/src/moldsched/graph/adversary.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/adversary.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/adversary.cpp.o.d"
+  "/root/repo/src/moldsched/graph/algorithms.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/algorithms.cpp.o.d"
+  "/root/repo/src/moldsched/graph/chains.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/chains.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/chains.cpp.o.d"
+  "/root/repo/src/moldsched/graph/generators.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/generators.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/generators.cpp.o.d"
+  "/root/repo/src/moldsched/graph/stats.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/stats.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/stats.cpp.o.d"
+  "/root/repo/src/moldsched/graph/task_graph.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/task_graph.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/task_graph.cpp.o.d"
+  "/root/repo/src/moldsched/graph/workflows.cpp" "src/CMakeFiles/moldsched.dir/moldsched/graph/workflows.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/graph/workflows.cpp.o.d"
+  "/root/repo/src/moldsched/io/dot.cpp" "src/CMakeFiles/moldsched.dir/moldsched/io/dot.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/io/dot.cpp.o.d"
+  "/root/repo/src/moldsched/io/json.cpp" "src/CMakeFiles/moldsched.dir/moldsched/io/json.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/io/json.cpp.o.d"
+  "/root/repo/src/moldsched/io/svg.cpp" "src/CMakeFiles/moldsched.dir/moldsched/io/svg.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/io/svg.cpp.o.d"
+  "/root/repo/src/moldsched/io/text_format.cpp" "src/CMakeFiles/moldsched.dir/moldsched/io/text_format.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/io/text_format.cpp.o.d"
+  "/root/repo/src/moldsched/model/arbitrary_model.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/arbitrary_model.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/arbitrary_model.cpp.o.d"
+  "/root/repo/src/moldsched/model/extra_models.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/extra_models.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/extra_models.cpp.o.d"
+  "/root/repo/src/moldsched/model/fit.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/fit.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/fit.cpp.o.d"
+  "/root/repo/src/moldsched/model/general_model.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/general_model.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/general_model.cpp.o.d"
+  "/root/repo/src/moldsched/model/sampler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/sampler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/sampler.cpp.o.d"
+  "/root/repo/src/moldsched/model/special_models.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/special_models.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/special_models.cpp.o.d"
+  "/root/repo/src/moldsched/model/speedup_model.cpp" "src/CMakeFiles/moldsched.dir/moldsched/model/speedup_model.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/model/speedup_model.cpp.o.d"
+  "/root/repo/src/moldsched/resilience/failure_model.cpp" "src/CMakeFiles/moldsched.dir/moldsched/resilience/failure_model.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/resilience/failure_model.cpp.o.d"
+  "/root/repo/src/moldsched/resilience/resilient_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/resilience/resilient_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/resilience/resilient_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/backfill_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/backfill_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/backfill_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/baselines.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/baselines.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/baselines.cpp.o.d"
+  "/root/repo/src/moldsched/sched/chain_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/chain_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/chain_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/contiguous_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/contiguous_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/contiguous_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/exact.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/exact.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/exact.cpp.o.d"
+  "/root/repo/src/moldsched/sched/level_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/level_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/level_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/malleable_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/malleable_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/malleable_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sched/offline.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/offline.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/offline.cpp.o.d"
+  "/root/repo/src/moldsched/sched/registry.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/registry.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/registry.cpp.o.d"
+  "/root/repo/src/moldsched/sched/release_scheduler.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sched/release_scheduler.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sched/release_scheduler.cpp.o.d"
+  "/root/repo/src/moldsched/sim/block_platform.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/block_platform.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/block_platform.cpp.o.d"
+  "/root/repo/src/moldsched/sim/event_queue.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/event_queue.cpp.o.d"
+  "/root/repo/src/moldsched/sim/gantt.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/gantt.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/gantt.cpp.o.d"
+  "/root/repo/src/moldsched/sim/platform.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/platform.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/platform.cpp.o.d"
+  "/root/repo/src/moldsched/sim/trace.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/trace.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/trace.cpp.o.d"
+  "/root/repo/src/moldsched/sim/validator.cpp" "src/CMakeFiles/moldsched.dir/moldsched/sim/validator.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/sim/validator.cpp.o.d"
+  "/root/repo/src/moldsched/util/flags.cpp" "src/CMakeFiles/moldsched.dir/moldsched/util/flags.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/util/flags.cpp.o.d"
+  "/root/repo/src/moldsched/util/parallel.cpp" "src/CMakeFiles/moldsched.dir/moldsched/util/parallel.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/util/parallel.cpp.o.d"
+  "/root/repo/src/moldsched/util/rng.cpp" "src/CMakeFiles/moldsched.dir/moldsched/util/rng.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/util/rng.cpp.o.d"
+  "/root/repo/src/moldsched/util/stats.cpp" "src/CMakeFiles/moldsched.dir/moldsched/util/stats.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/util/stats.cpp.o.d"
+  "/root/repo/src/moldsched/util/table.cpp" "src/CMakeFiles/moldsched.dir/moldsched/util/table.cpp.o" "gcc" "src/CMakeFiles/moldsched.dir/moldsched/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

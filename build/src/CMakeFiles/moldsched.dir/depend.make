@@ -1,0 +1,2 @@
+# Empty dependencies file for moldsched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/adversary_study_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/adversary_study_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/adversary_study_test.cpp.o.d"
+  "/root/repo/tests/analysis/blame_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/blame_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/blame_test.cpp.o.d"
+  "/root/repo/tests/analysis/bounds_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/bounds_test.cpp.o.d"
+  "/root/repo/tests/analysis/curves_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/curves_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/curves_test.cpp.o.d"
+  "/root/repo/tests/analysis/experiment_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/experiment_test.cpp.o.d"
+  "/root/repo/tests/analysis/lemma_check_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/lemma_check_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/lemma_check_test.cpp.o.d"
+  "/root/repo/tests/analysis/markdown_report_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/markdown_report_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/markdown_report_test.cpp.o.d"
+  "/root/repo/tests/analysis/optimize_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/optimize_test.cpp.o.d"
+  "/root/repo/tests/analysis/ratios_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/ratios_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/ratios_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_analysis_tests.dir/analysis/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/adversary_study_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/adversary_study_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/blame_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/blame_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/bounds_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/bounds_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/curves_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/curves_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/experiment_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/experiment_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/lemma_check_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/lemma_check_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/markdown_report_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/markdown_report_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/optimize_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/optimize_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/ratios_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/ratios_test.cpp.o.d"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/moldsched_analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "moldsched_analysis_tests"
+  "moldsched_analysis_tests.pdb"
+  "moldsched_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_core_tests.dir/core/allocator_test.cpp.o"
+  "CMakeFiles/moldsched_core_tests.dir/core/allocator_test.cpp.o.d"
+  "CMakeFiles/moldsched_core_tests.dir/core/intervals_test.cpp.o"
+  "CMakeFiles/moldsched_core_tests.dir/core/intervals_test.cpp.o.d"
+  "CMakeFiles/moldsched_core_tests.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_core_tests.dir/core/scheduler_test.cpp.o.d"
+  "moldsched_core_tests"
+  "moldsched_core_tests.pdb"
+  "moldsched_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/adversary_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/adversary_test.cpp.o.d"
+  "/root/repo/tests/graph/algorithms_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/algorithms_test.cpp.o.d"
+  "/root/repo/tests/graph/chains_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/chains_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/chains_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/stats_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/stats_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/stats_test.cpp.o.d"
+  "/root/repo/tests/graph/workflows_test.cpp" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/workflows_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_graph_tests.dir/graph/workflows_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

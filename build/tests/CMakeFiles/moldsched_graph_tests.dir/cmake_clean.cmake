@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_graph_tests.dir/graph/adversary_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/adversary_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/algorithms_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/algorithms_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/chains_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/chains_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/stats_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/stats_test.cpp.o.d"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/workflows_test.cpp.o"
+  "CMakeFiles/moldsched_graph_tests.dir/graph/workflows_test.cpp.o.d"
+  "moldsched_graph_tests"
+  "moldsched_graph_tests.pdb"
+  "moldsched_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

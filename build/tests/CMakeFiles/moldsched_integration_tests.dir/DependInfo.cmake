@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/adversary_integration_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/adversary_integration_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/adversary_integration_test.cpp.o.d"
+  "/root/repo/tests/integration/competitive_ratio_property_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/competitive_ratio_property_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/competitive_ratio_property_test.cpp.o.d"
+  "/root/repo/tests/integration/edge_cases_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/exact_differential_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/exact_differential_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/exact_differential_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/lemma_property_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/lemma_property_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/lemma_property_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/robustness_test.cpp.o.d"
+  "/root/repo/tests/integration/umbrella_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/umbrella_test.cpp.o.d"
+  "/root/repo/tests/integration/workflow_ratio_test.cpp" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/workflow_ratio_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_integration_tests.dir/integration/workflow_ratio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_integration_tests.dir/integration/adversary_integration_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/adversary_integration_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/competitive_ratio_property_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/competitive_ratio_property_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/edge_cases_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/edge_cases_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/exact_differential_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/exact_differential_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/lemma_property_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/lemma_property_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/robustness_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/robustness_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/umbrella_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/umbrella_test.cpp.o.d"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/workflow_ratio_test.cpp.o"
+  "CMakeFiles/moldsched_integration_tests.dir/integration/workflow_ratio_test.cpp.o.d"
+  "moldsched_integration_tests"
+  "moldsched_integration_tests.pdb"
+  "moldsched_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

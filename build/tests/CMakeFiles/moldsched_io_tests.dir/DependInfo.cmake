@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/dot_test.cpp" "tests/CMakeFiles/moldsched_io_tests.dir/io/dot_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_io_tests.dir/io/dot_test.cpp.o.d"
+  "/root/repo/tests/io/fixtures_test.cpp" "tests/CMakeFiles/moldsched_io_tests.dir/io/fixtures_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_io_tests.dir/io/fixtures_test.cpp.o.d"
+  "/root/repo/tests/io/json_test.cpp" "tests/CMakeFiles/moldsched_io_tests.dir/io/json_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_io_tests.dir/io/json_test.cpp.o.d"
+  "/root/repo/tests/io/svg_test.cpp" "tests/CMakeFiles/moldsched_io_tests.dir/io/svg_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_io_tests.dir/io/svg_test.cpp.o.d"
+  "/root/repo/tests/io/text_format_test.cpp" "tests/CMakeFiles/moldsched_io_tests.dir/io/text_format_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_io_tests.dir/io/text_format_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_io_tests.dir/io/dot_test.cpp.o"
+  "CMakeFiles/moldsched_io_tests.dir/io/dot_test.cpp.o.d"
+  "CMakeFiles/moldsched_io_tests.dir/io/fixtures_test.cpp.o"
+  "CMakeFiles/moldsched_io_tests.dir/io/fixtures_test.cpp.o.d"
+  "CMakeFiles/moldsched_io_tests.dir/io/json_test.cpp.o"
+  "CMakeFiles/moldsched_io_tests.dir/io/json_test.cpp.o.d"
+  "CMakeFiles/moldsched_io_tests.dir/io/svg_test.cpp.o"
+  "CMakeFiles/moldsched_io_tests.dir/io/svg_test.cpp.o.d"
+  "CMakeFiles/moldsched_io_tests.dir/io/text_format_test.cpp.o"
+  "CMakeFiles/moldsched_io_tests.dir/io/text_format_test.cpp.o.d"
+  "moldsched_io_tests"
+  "moldsched_io_tests.pdb"
+  "moldsched_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

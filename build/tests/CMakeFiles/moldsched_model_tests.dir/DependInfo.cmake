@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/arbitrary_model_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/arbitrary_model_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/arbitrary_model_test.cpp.o.d"
+  "/root/repo/tests/model/extra_models_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/extra_models_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/extra_models_test.cpp.o.d"
+  "/root/repo/tests/model/fit_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/fit_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/fit_test.cpp.o.d"
+  "/root/repo/tests/model/model_property_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/model_property_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/model_property_test.cpp.o.d"
+  "/root/repo/tests/model/model_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/model_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/model_test.cpp.o.d"
+  "/root/repo/tests/model/sampler_test.cpp" "tests/CMakeFiles/moldsched_model_tests.dir/model/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_model_tests.dir/model/sampler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

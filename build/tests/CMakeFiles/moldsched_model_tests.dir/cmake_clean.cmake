@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_model_tests.dir/model/arbitrary_model_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/arbitrary_model_test.cpp.o.d"
+  "CMakeFiles/moldsched_model_tests.dir/model/extra_models_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/extra_models_test.cpp.o.d"
+  "CMakeFiles/moldsched_model_tests.dir/model/fit_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/fit_test.cpp.o.d"
+  "CMakeFiles/moldsched_model_tests.dir/model/model_property_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/model_property_test.cpp.o.d"
+  "CMakeFiles/moldsched_model_tests.dir/model/model_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/model_test.cpp.o.d"
+  "CMakeFiles/moldsched_model_tests.dir/model/sampler_test.cpp.o"
+  "CMakeFiles/moldsched_model_tests.dir/model/sampler_test.cpp.o.d"
+  "moldsched_model_tests"
+  "moldsched_model_tests.pdb"
+  "moldsched_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_resilience_tests.dir/resilience/failure_model_test.cpp.o"
+  "CMakeFiles/moldsched_resilience_tests.dir/resilience/failure_model_test.cpp.o.d"
+  "CMakeFiles/moldsched_resilience_tests.dir/resilience/resilient_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_resilience_tests.dir/resilience/resilient_scheduler_test.cpp.o.d"
+  "moldsched_resilience_tests"
+  "moldsched_resilience_tests.pdb"
+  "moldsched_resilience_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_resilience_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/backfill_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/backfill_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/backfill_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/baselines_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "/root/repo/tests/sched/chain_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/chain_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/chain_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/contiguous_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/contiguous_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/contiguous_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/exact_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/exact_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/exact_test.cpp.o.d"
+  "/root/repo/tests/sched/level_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/level_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/level_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/malleable_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/malleable_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/malleable_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/offline_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/offline_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/offline_test.cpp.o.d"
+  "/root/repo/tests/sched/registry_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/registry_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/registry_test.cpp.o.d"
+  "/root/repo/tests/sched/release_scheduler_test.cpp" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/release_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sched_tests.dir/sched/release_scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_sched_tests.dir/sched/backfill_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/backfill_scheduler_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/chain_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/chain_scheduler_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/contiguous_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/contiguous_scheduler_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/exact_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/exact_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/level_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/level_scheduler_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/malleable_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/malleable_scheduler_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/offline_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/offline_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/registry_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/registry_test.cpp.o.d"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/release_scheduler_test.cpp.o"
+  "CMakeFiles/moldsched_sched_tests.dir/sched/release_scheduler_test.cpp.o.d"
+  "moldsched_sched_tests"
+  "moldsched_sched_tests.pdb"
+  "moldsched_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/block_platform_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/block_platform_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/block_platform_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/gantt_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/gantt_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/gantt_test.cpp.o.d"
+  "/root/repo/tests/sim/platform_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/platform_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/platform_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/validator_test.cpp" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/validator_test.cpp.o" "gcc" "tests/CMakeFiles/moldsched_sim_tests.dir/sim/validator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moldsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

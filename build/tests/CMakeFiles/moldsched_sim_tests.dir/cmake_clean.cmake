@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_sim_tests.dir/sim/block_platform_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/block_platform_test.cpp.o.d"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/gantt_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/gantt_test.cpp.o.d"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/platform_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/platform_test.cpp.o.d"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/trace_test.cpp.o.d"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/validator_test.cpp.o"
+  "CMakeFiles/moldsched_sim_tests.dir/sim/validator_test.cpp.o.d"
+  "moldsched_sim_tests"
+  "moldsched_sim_tests.pdb"
+  "moldsched_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

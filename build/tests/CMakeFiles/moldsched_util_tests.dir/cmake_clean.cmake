@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldsched_util_tests.dir/util/flags_test.cpp.o"
+  "CMakeFiles/moldsched_util_tests.dir/util/flags_test.cpp.o.d"
+  "CMakeFiles/moldsched_util_tests.dir/util/parallel_test.cpp.o"
+  "CMakeFiles/moldsched_util_tests.dir/util/parallel_test.cpp.o.d"
+  "CMakeFiles/moldsched_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/moldsched_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/moldsched_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/moldsched_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/moldsched_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/moldsched_util_tests.dir/util/table_test.cpp.o.d"
+  "moldsched_util_tests"
+  "moldsched_util_tests.pdb"
+  "moldsched_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldsched_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

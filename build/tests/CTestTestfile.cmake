@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/moldsched_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_resilience_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_io_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/moldsched_integration_tests[1]_include.cmake")
