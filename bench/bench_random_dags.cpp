@@ -2,54 +2,27 @@
 // anticipates: "our algorithm will perform much better practically than
 // predicted by the worst-case competitive ratios."
 //
-// Runs Algorithm 1 and the baseline suite over a diverse random-DAG
-// catalog for each speedup model and reports makespan ratios against the
-// Lemma 2 lower bound (a conservative over-estimate of the true
+// The study now lives in the experiment engine: the "random-dags" suite
+// runs Algorithm 1 and the baseline suite over a diverse random-DAG
+// catalog for each speedup model and aggregates makespan ratios against
+// the Lemma 2 lower bound (a conservative over-estimate of the true
 // competitive ratio). Observe: measured ratios sit far below the
-// Table 1 constants.
+// Table 1 constants. This binary is a thin wrapper over
+// engine::run_suite (equivalent to `moldsched_run --suite random-dags`)
+// plus the micro-benchmark sections.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "moldsched/analysis/experiment.hpp"
 #include "moldsched/analysis/ratios.hpp"
-#include "moldsched/analysis/report.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/engine/suites.hpp"
 #include "moldsched/graph/generators.hpp"
-#include "moldsched/sched/registry.hpp"
 
 namespace {
 
 using namespace moldsched;
-
-void run_model(model::ModelKind kind, int P, std::uint64_t seed) {
-  const double mu = analysis::optimal_mu(kind);
-  util::Rng rng(seed);
-  // Aggregate across several seeds' worth of catalogs.
-  std::vector<analysis::GraphCase> cases;
-  for (int rep = 0; rep < 3; ++rep) {
-    auto batch = analysis::random_graph_catalog(kind, P, rng);
-    for (auto& gc : batch) cases.push_back(std::move(gc));
-  }
-  auto suite = sched::standard_suite(mu);
-  for (auto& variant : sched::engine_variants(mu))
-    suite.push_back(std::move(variant));
-  const auto rows = analysis::compare_suite(cases, P, suite);
-  analysis::write_file(
-      "results/random_dags_" + model::to_string(kind) + ".csv",
-      analysis::suite_table(rows).to_csv());
-  analysis::suite_table(rows).print(
-      std::cout, "model = " + model::to_string(kind) +
-                     ", P = " + std::to_string(P) + ", " +
-                     std::to_string(cases.size()) +
-                     " random graphs (ratio = makespan / Lemma-2 LB; "
-                     "theorem bound = " +
-                     util::format_double(
-                         analysis::optimal_ratio(kind).upper_bound, 2) +
-                     ")");
-  std::cout << '\n';
-}
 
 void BM_LpaOnLayeredGraph(benchmark::State& state) {
   const auto kind = model::ModelKind::kGeneral;
@@ -73,11 +46,9 @@ BENCHMARK(BM_LpaOnLayeredGraph)->Arg(10)->Arg(40)->Unit(
 int main(int argc, char** argv) {
   std::cout << "=== bench_random_dags: practical performance on random "
                "DAGs ===\n\n";
-  for (const auto kind :
-       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
-        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
-    run_model(kind, 32, 1234);
-  }
+  engine::SuiteOptions options;
+  options.human_out = &std::cout;
+  (void)engine::run_suite("random-dags", options);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

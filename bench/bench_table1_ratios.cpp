@@ -1,13 +1,11 @@
 // Experiment E1/E2 — Table 1 of the paper.
 //
-// Part 1 re-derives every Table 1 entry numerically: the upper bounds by
-// minimizing the Theorem 1-4 ratio functions over mu, the lower bounds
-// from the closed-form Theorem 5-8 limits at the same mu.
-//
-// Part 2 *measures* the lower bounds: it runs Algorithm 1 on the
-// adversarial instances at growing platform sizes and reports the
-// simulated ratio T / T_alt (T_alt = the proofs' explicit alternative
-// schedule), which climbs toward the closed-form limit.
+// The study itself now lives in the experiment engine: the "table1"
+// suite re-derives every Table 1 entry numerically, measures the lower
+// bounds on the Section 4.4 adversarial instances at growing platform
+// sizes, and runs the baseline suite on those worst-case instances.
+// This binary is a thin wrapper over engine::run_suite (equivalent to
+// `moldsched_run --suite table1`) plus the micro-benchmark sections.
 //
 // Paper reference values:
 //   Model        Roofline  Comm.  Amdahl  General
@@ -18,106 +16,14 @@
 #include <iostream>
 
 #include "moldsched/analysis/ratios.hpp"
-#include "moldsched/analysis/report.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/engine/suites.hpp"
 #include "moldsched/graph/adversary.hpp"
-#include "moldsched/sched/registry.hpp"
-#include "moldsched/util/table.hpp"
 
 namespace {
 
 using namespace moldsched;
-
-double simulated_ratio(const graph::AdversaryInstance& inst) {
-  const core::LpaAllocator alloc(inst.mu);
-  const auto result = core::schedule_online(inst.graph, inst.P, alloc);
-  return result.makespan / inst.t_opt_upper;
-}
-
-void print_table1() {
-  const auto rows = analysis::compute_table1();
-  const auto table = analysis::table1_table(rows);
-  table.print(
-      std::cout,
-      "Table 1 — competitive ratios of Algorithm 1 (numerically derived)");
-  analysis::write_file("results/table1.csv", table.to_csv());
-  std::cout << "paper reports: upper 2.62 / 3.61 / 4.74 / 5.72, "
-               "lower 2.61 / 3.51 / 4.73 / 5.25\n\n";
-}
-
-void print_empirical_lower_bounds() {
-  const auto rows = analysis::compute_table1();
-  util::Table t({"Model", "instance size", "simulated T/T_alt",
-                 "closed-form limit", "upper bound"});
-  for (const auto& row : rows) {
-    auto emit = [&](const std::string& size_label,
-                    const graph::AdversaryInstance& inst) {
-      t.new_row()
-          .cell(model::to_string(row.kind))
-          .cell(size_label)
-          .cell(simulated_ratio(inst), 3)
-          .cell(inst.ratio_limit, 3)
-          .cell(row.upper_bound, 3);
-    };
-    switch (row.kind) {
-      case model::ModelKind::kRoofline:
-        emit("P=64", graph::roofline_adversary(64, row.mu_star));
-        emit("P=1024", graph::roofline_adversary(1024, row.mu_star));
-        emit("P=8192", graph::roofline_adversary(8192, row.mu_star));
-        break;
-      case model::ModelKind::kCommunication:
-        emit("P=64", graph::communication_adversary(64, row.mu_star));
-        emit("P=256", graph::communication_adversary(256, row.mu_star));
-        emit("P=512", graph::communication_adversary(512, row.mu_star));
-        break;
-      case model::ModelKind::kAmdahl:
-        emit("K=12 (P=144)", graph::amdahl_adversary(12, row.mu_star));
-        emit("K=24 (P=576)", graph::amdahl_adversary(24, row.mu_star));
-        emit("K=48 (P=2304)", graph::amdahl_adversary(48, row.mu_star));
-        break;
-      case model::ModelKind::kGeneral:
-        emit("K=12 (P=144)", graph::general_adversary(12, row.mu_star));
-        emit("K=24 (P=576)", graph::general_adversary(24, row.mu_star));
-        emit("K=48 (P=2304)", graph::general_adversary(48, row.mu_star));
-        break;
-      case model::ModelKind::kArbitrary:
-        break;
-    }
-  }
-  t.print(std::cout,
-          "Table 1 lower bounds, measured on the Section 4.4 adversarial "
-          "instances (ratio climbs toward the limit as size grows)");
-  analysis::write_file("results/table1_adversary_ratios.csv", t.to_csv());
-  std::cout << '\n';
-}
-
-void print_baselines_on_adversaries() {
-  // How the baselines fare on the paper's own worst-case instances: the
-  // LPA design (both steps) is what keeps the ratio at the Table 1
-  // constant; ablated/greedy variants can do better or much worse
-  // depending on which mechanism the instance attacks.
-  const double mu_c = analysis::optimal_mu(model::ModelKind::kCommunication);
-  const double mu_a = analysis::optimal_mu(model::ModelKind::kAmdahl);
-  const auto comm = graph::communication_adversary(256, mu_c);
-  const auto amd = graph::amdahl_adversary(24, mu_a);
-
-  util::Table t({"scheduler", "comm adversary T/T_alt",
-                 "amdahl adversary T/T_alt"});
-  for (const auto& spec : sched::standard_suite(mu_c)) {
-    const auto rc = spec.run(comm.graph, comm.P);
-    // Rebuild Amdahl-suite spec at its own mu where the name matches.
-    const auto ra = spec.run(amd.graph, amd.P);
-    t.new_row()
-        .cell(spec.name)
-        .cell(rc.makespan / comm.t_opt_upper, 3)
-        .cell(ra.makespan / amd.t_opt_upper, 3);
-  }
-  t.print(std::cout,
-          "baseline schedulers on the adversarial instances (LPA's Table 1 "
-          "guarantee holds by design; baselines have no such bound)");
-  std::cout << '\n';
-}
 
 void BM_OptimalRatioDerivation(benchmark::State& state) {
   const auto kind = static_cast<model::ModelKind>(state.range(0));
@@ -153,9 +59,9 @@ BENCHMARK(BM_CommunicationAdversarySimulation)
 
 int main(int argc, char** argv) {
   std::cout << "=== bench_table1_ratios: reproduction of Table 1 ===\n\n";
-  print_table1();
-  print_empirical_lower_bounds();
-  print_baselines_on_adversaries();
+  engine::SuiteOptions options;
+  options.human_out = &std::cout;
+  (void)engine::run_suite("table1", options);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

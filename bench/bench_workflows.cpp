@@ -2,63 +2,26 @@
 // tiled Cholesky/LU, FFT butterflies, Montage mosaicking and wavefront
 // sweeps, with kernels drawn from each speedup-model family.
 //
-// For every workflow we report the online algorithm against the offline
-// tradeoff scheduler (a practical T_opt proxy) and the Lemma 2 bound.
+// The study now lives in the experiment engine: the "workflows" suite
+// reports the online algorithm against the offline tradeoff scheduler
+// (a practical T_opt proxy), the level-by-level variant, the fluid
+// malleable relaxation and the Lemma 2 bound. This binary is a thin
+// wrapper over engine::run_suite (equivalent to
+// `moldsched_run --suite workflows`) plus the micro-benchmark sections.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "moldsched/analysis/bounds.hpp"
-#include "moldsched/analysis/experiment.hpp"
 #include "moldsched/analysis/ratios.hpp"
-#include "moldsched/analysis/report.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/engine/suites.hpp"
 #include "moldsched/graph/workflows.hpp"
-#include "moldsched/sched/level_scheduler.hpp"
-#include "moldsched/sched/malleable_scheduler.hpp"
 #include "moldsched/sched/offline.hpp"
-#include "moldsched/util/table.hpp"
 
 namespace {
 
 using namespace moldsched;
-
-void run_model(model::ModelKind kind, int P) {
-  const double mu = analysis::optimal_mu(kind);
-  const core::LpaAllocator lpa(mu);
-  const auto cases = analysis::workflow_catalog(kind, 2);
-
-  util::Table t({"workflow", "tasks", "LB (Lemma 2)", "online T",
-                 "offline T", "level T", "malleable T", "T/LB",
-                 "T/malleable"});
-  for (const auto& gc : cases) {
-    const auto online = core::schedule_online(gc.graph, P, lpa);
-    const auto offline = sched::OfflineTradeoffScheduler(gc.graph, P).run();
-    const auto level = sched::schedule_level_by_level(gc.graph, P, lpa);
-    const auto fluid = sched::schedule_malleable_fluid(gc.graph, P);
-    const double lb = analysis::optimal_makespan_lower_bound(gc.graph, P);
-    t.new_row()
-        .cell(gc.name)
-        .cell(gc.graph.num_tasks())
-        .cell(lb, 2)
-        .cell(online.makespan, 2)
-        .cell(offline.makespan, 2)
-        .cell(level.makespan, 2)
-        .cell(fluid.makespan, 2)
-        .cell(online.makespan / lb, 3)
-        .cell(online.makespan / fluid.makespan, 3);
-  }
-  t.print(std::cout, "model = " + model::to_string(kind) +
-                         ", P = " + std::to_string(P) +
-                         " (theorem bound = " +
-                         util::format_double(
-                             analysis::optimal_ratio(kind).upper_bound, 2) +
-                         ")");
-  analysis::write_file("results/workflows_" + model::to_string(kind) + ".csv",
-                       t.to_csv());
-  std::cout << '\n';
-}
 
 void BM_CholeskySchedule(benchmark::State& state) {
   graph::WorkflowModelConfig cfg;
@@ -87,11 +50,9 @@ BENCHMARK(BM_OfflineTradeoffOnLu)->Arg(6)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   std::cout << "=== bench_workflows: realistic workflow study ===\n\n";
-  for (const auto kind :
-       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
-        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
-    run_model(kind, 48);
-  }
+  engine::SuiteOptions options;
+  options.human_out = &std::cout;
+  (void)engine::run_suite("workflows", options);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,10 @@
+// Umbrella header for the parallel experiment engine: declarative job
+// grids, the persistent work-stealing executor, the JSONL result
+// pipeline and the named experiment suites behind moldsched_run.
+#pragma once
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/engine/job.hpp"
+#include "moldsched/engine/result_sink.hpp"
+#include "moldsched/engine/runner.hpp"
+#include "moldsched/engine/suites.hpp"

@@ -1,0 +1,98 @@
+// Persistent work-stealing executor for the experiment engine.
+//
+// One pool outlives all experiment suites (no per-call thread spawning):
+// each worker owns a deque, pushes/pops its own work LIFO and steals
+// FIFO from its peers. Cooperative cancellation is carried by
+// CancelToken — compute jobs poll it at natural boundaries (between
+// repetitions, between instances), which is how per-job wall-clock
+// timeouts and whole-run budgets are enforced without preemption.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace moldsched::engine {
+
+/// Shared cancellation state. Copies observe the same flag; a token is
+/// "cancelled" once request_cancel() was called, its deadline passed, or
+/// its parent token is cancelled. Default-constructed tokens never
+/// cancel, so hot loops can poll unconditionally.
+class CancelToken {
+ public:
+  CancelToken();
+
+  /// A token that cancels `seconds` from now (and whenever `parent`
+  /// does). Pass a negative value for "already expired".
+  [[nodiscard]] static CancelToken deadline_in(double seconds);
+  [[nodiscard]] static CancelToken deadline_in(double seconds,
+                                               const CancelToken& parent);
+
+  /// Manually cancels this token (and every copy of it).
+  void request_cancel() const noexcept;
+
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  /// Seconds until the deadline; +inf when none, <= 0 when passed.
+  [[nodiscard]] double seconds_left() const noexcept;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed-size pool of worker threads with per-worker deques and work
+/// stealing. Threads are started once and live until destruction, so
+/// repeated parallel sections pay no spawn cost.
+class Executor {
+ public:
+  /// `threads` == 0 picks util::default_parallelism().
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Process-wide pool, created on first use with default parallelism.
+  [[nodiscard]] static Executor& global();
+
+  [[nodiscard]] unsigned thread_count() const noexcept;
+
+  /// Enqueues a fire-and-forget task. From a worker thread the task goes
+  /// to that worker's own deque (LIFO, cache-friendly); from outside it
+  /// is injected round-robin. Tasks must not throw; escaped exceptions
+  /// are swallowed.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// tasks) has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for all i in [0, count), using at most `max_workers`
+  /// concurrent executors (0 = util::default_parallelism(); the calling
+  /// thread is one of them, so this never deadlocks when invoked from a
+  /// worker). Iterations are claimed in chunks of `chunk` (0 = derived
+  /// from count and worker count) through a shared counter, which
+  /// load-balances uneven iteration costs.
+  ///
+  /// If any iteration throws, the first exception in iteration order is
+  /// rethrown after all claimed work finishes; remaining iterations may
+  /// or may not run.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn,
+                    unsigned max_workers = 0, std::size_t chunk = 0);
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  /// Total tasks + chunks executed so far (heartbeat/diagnostics).
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace moldsched::engine

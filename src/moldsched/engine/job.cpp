@@ -1,0 +1,93 @@
+#include "moldsched/engine/job.hpp"
+
+#include <stdexcept>
+
+namespace moldsched::engine {
+
+std::string JobSpec::key() const {
+  return instance + "/" + scheduler + " model=" + model::to_string(model) +
+         " P=" + std::to_string(P) + " rep=" + std::to_string(repeat);
+}
+
+namespace {
+
+template <typename T>
+std::size_t axis_size(const std::vector<T>& axis) {
+  return axis.empty() ? 1 : axis.size();
+}
+
+template <typename T>
+const T* axis_value(const std::vector<T>& axis, std::size_t index) {
+  return axis.empty() ? nullptr : &axis[index];
+}
+
+}  // namespace
+
+std::size_t JobGrid::size() const {
+  if (repeats < 1)
+    throw std::invalid_argument("JobGrid::size: repeats must be >= 1");
+  return axis_size(models) * axis_size(instances) * axis_size(schedulers) *
+         axis_size(procs) * static_cast<std::size_t>(repeats);
+}
+
+JobSpec JobGrid::at(std::size_t id) const {
+  if (id >= size()) throw std::out_of_range("JobGrid::at: id out of range");
+  const std::size_t n_rep = static_cast<std::size_t>(repeats);
+  const std::size_t n_p = axis_size(procs);
+  const std::size_t n_sched = axis_size(schedulers);
+  const std::size_t n_inst = axis_size(instances);
+
+  std::size_t rest = id;
+  const std::size_t i_rep = rest % n_rep;
+  rest /= n_rep;
+  const std::size_t i_p = rest % n_p;
+  rest /= n_p;
+  const std::size_t i_sched = rest % n_sched;
+  rest /= n_sched;
+  const std::size_t i_inst = rest % n_inst;
+  rest /= n_inst;
+  const std::size_t i_model = rest;
+
+  JobSpec spec;
+  spec.job_id = id;
+  spec.suite = suite;
+  if (const auto* inst = axis_value(instances, i_inst)) spec.instance = *inst;
+  if (const auto* sched = axis_value(schedulers, i_sched))
+    spec.scheduler = *sched;
+  if (const auto* kind = axis_value(models, i_model)) spec.model = *kind;
+  if (const auto* p = axis_value(procs, i_p)) spec.P = *p;
+  spec.repeat = static_cast<int>(i_rep);
+  spec.seed = derive_seed(base_seed, id);
+  return spec;
+}
+
+std::vector<JobSpec> JobGrid::jobs() const {
+  const std::size_t n = size();
+  std::vector<JobSpec> out;
+  out.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) out.push_back(at(id));
+  return out;
+}
+
+std::vector<JobSpec> JobGrid::jobs_matching(const std::string& filter) const {
+  if (filter.empty()) return jobs();
+  std::vector<JobSpec> out;
+  const std::size_t n = size();
+  for (std::size_t id = 0; id < n; ++id) {
+    auto spec = at(id);
+    if (spec.key().find(filter) != std::string::npos)
+      out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::uint64_t JobGrid::derive_seed(std::uint64_t base, std::uint64_t job_id) {
+  // splitmix64 finalizer over the combined state; the golden-ratio
+  // stride decorrelates consecutive job ids.
+  std::uint64_t z = base + (job_id + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace moldsched::engine

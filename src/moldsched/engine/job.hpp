@@ -1,0 +1,70 @@
+// Declarative experiment jobs: a JobGrid is the cartesian product of
+// instance names x scheduler names x speedup models x processor counts
+// x repetitions, enumerated in a fixed order. Each job derives its RNG
+// seed from (base_seed, job_id) alone, so results are independent of
+// which thread runs the job and in what order — the property the
+// determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::engine {
+
+/// One fully specified unit of work: "run scheduler S on instance I
+/// under model M at processor count P with seed r, repetition k".
+struct JobSpec {
+  std::uint64_t job_id = 0;  ///< index in the grid's enumeration order
+  std::string suite;
+  std::string instance;   ///< generator / instance name within the suite
+  std::string scheduler;  ///< sched::SchedulerSpec name (or suite-defined)
+  model::ModelKind model = model::ModelKind::kRoofline;
+  int P = 0;      ///< platform size
+  int param = 0;  ///< suite-specific knob (e.g. adversary size K)
+  int repeat = 0;
+  std::uint64_t seed = 0;  ///< derived: splitmix64(base_seed, job_id)
+
+  /// "instance/scheduler model=... P=... rep=..." — the string --filter
+  /// substring-matches against, also used as a stable sort key.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Cartesian product over the five axes. Axes left empty contribute a
+/// single neutral value so small suites can use only the axes they need.
+struct JobGrid {
+  std::string suite;
+  std::vector<std::string> instances;
+  std::vector<std::string> schedulers;
+  std::vector<model::ModelKind> models;
+  std::vector<int> procs;
+  int repeats = 1;
+  std::uint64_t base_seed = 0;
+
+  /// Number of jobs in the product. Throws std::invalid_argument on
+  /// repeats < 1.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Decodes job `id` (mixed-radix: model is the slowest axis, repeat
+  /// the fastest). Pure: at(i) never depends on prior calls.
+  [[nodiscard]] JobSpec at(std::size_t id) const;
+
+  /// All jobs in enumeration order.
+  [[nodiscard]] std::vector<JobSpec> jobs() const;
+
+  /// Jobs whose key() contains `filter` (all jobs when empty). Job ids
+  /// and seeds are those of the full grid, so filtering never changes
+  /// the surviving jobs' results.
+  [[nodiscard]] std::vector<JobSpec> jobs_matching(
+      const std::string& filter) const;
+
+  /// splitmix64-style mix of (base, job_id); stable across platforms,
+  /// distinct for distinct ids, independent of execution order.
+  [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t base,
+                                                 std::uint64_t job_id);
+};
+
+}  // namespace moldsched::engine

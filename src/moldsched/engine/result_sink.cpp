@@ -1,0 +1,367 @@
+#include "moldsched/engine/result_sink.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+
+namespace moldsched::engine {
+
+namespace {
+
+std::string format_number(double v) {
+  // %.17g round-trips every finite double, keeping canonical JSONL
+  // byte-identical across runs that computed identical values.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+model::ModelKind kind_from_string(const std::string& s) {
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral,
+        model::ModelKind::kArbitrary}) {
+    if (model::to_string(kind) == s) return kind;
+  }
+  throw std::invalid_argument("unknown model kind '" + s + "'");
+}
+
+// --- minimal JSON scanner for the flat record schema -----------------------
+
+struct Scanner {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c))
+      throw std::invalid_argument(std::string("expected '") + c +
+                                  "' at offset " + std::to_string(i));
+  }
+  [[nodiscard]] std::string string_value() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size())
+          throw std::invalid_argument("truncated escape sequence");
+        const char e = s[i++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (i + 4 > s.size())
+              throw std::invalid_argument("truncated \\u escape");
+            c = static_cast<char>(
+                std::strtoul(s.substr(i, 4).c_str(), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default:
+            throw std::invalid_argument("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+  /// Raw numeric token; converted per-field so 64-bit seeds keep full
+  /// precision instead of passing through a double.
+  [[nodiscard]] std::string number_token() {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+            s[i] == 'i' || s[i] == 'n' || s[i] == 'f' || s[i] == 'a'))
+      ++i;
+    if (i == start)
+      throw std::invalid_argument("expected number at offset " +
+                                  std::to_string(start));
+    return s.substr(start, i - start);
+  }
+};
+
+double to_double(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size())
+    throw std::invalid_argument("malformed number '" + token + "'");
+  return v;
+}
+
+JobRecord parse_impl(const std::string& line) {
+  Scanner sc{line};
+  JobRecord rec;
+  bool saw_job_id = false, saw_suite = false, saw_status = false,
+       saw_metrics = false, saw_seed = false, saw_scheduler = false,
+       saw_instance = false, saw_model = false;
+  sc.expect('{');
+  if (!sc.eat('}')) {
+    do {
+      const std::string k = sc.string_value();
+      sc.expect(':');
+      if (k == "job_id") {
+        rec.spec.job_id = std::strtoull(sc.number_token().c_str(), nullptr, 10);
+        saw_job_id = true;
+      } else if (k == "suite") {
+        rec.spec.suite = sc.string_value();
+        saw_suite = true;
+      } else if (k == "instance") {
+        rec.spec.instance = sc.string_value();
+        saw_instance = true;
+      } else if (k == "scheduler") {
+        rec.spec.scheduler = sc.string_value();
+        saw_scheduler = true;
+      } else if (k == "model") {
+        rec.spec.model = kind_from_string(sc.string_value());
+        saw_model = true;
+      } else if (k == "P") {
+        rec.spec.P = static_cast<int>(std::strtol(sc.number_token().c_str(),
+                                                  nullptr, 10));
+      } else if (k == "param") {
+        rec.spec.param = static_cast<int>(
+            std::strtol(sc.number_token().c_str(), nullptr, 10));
+      } else if (k == "repeat") {
+        rec.spec.repeat = static_cast<int>(
+            std::strtol(sc.number_token().c_str(), nullptr, 10));
+      } else if (k == "seed") {
+        rec.spec.seed = std::strtoull(sc.number_token().c_str(), nullptr, 10);
+        saw_seed = true;
+      } else if (k == "status") {
+        rec.status = sc.string_value();
+        saw_status = true;
+      } else if (k == "error") {
+        rec.error = sc.string_value();
+      } else if (k == "wall_ms") {
+        rec.wall_ms = to_double(sc.number_token());
+      } else if (k == "metrics") {
+        saw_metrics = true;
+        sc.expect('{');
+        if (!sc.eat('}')) {
+          do {
+            const std::string name = sc.string_value();
+            sc.expect(':');
+            rec.metrics.emplace_back(name, to_double(sc.number_token()));
+          } while (sc.eat(','));
+          sc.expect('}');
+        }
+      } else {
+        throw std::invalid_argument("unknown key '" + k + "'");
+      }
+    } while (sc.eat(','));
+    sc.expect('}');
+  }
+  sc.skip_ws();
+  if (sc.i != line.size())
+    throw std::invalid_argument("trailing characters after record");
+  if (!saw_job_id) throw std::invalid_argument("missing key 'job_id'");
+  if (!saw_suite) throw std::invalid_argument("missing key 'suite'");
+  if (!saw_instance) throw std::invalid_argument("missing key 'instance'");
+  if (!saw_scheduler) throw std::invalid_argument("missing key 'scheduler'");
+  if (!saw_model) throw std::invalid_argument("missing key 'model'");
+  if (!saw_seed) throw std::invalid_argument("missing key 'seed'");
+  if (!saw_status) throw std::invalid_argument("missing key 'status'");
+  if (!saw_metrics) throw std::invalid_argument("missing key 'metrics'");
+  if (rec.status != "ok" && rec.status != "error" && rec.status != "timeout" &&
+      rec.status != "cancelled")
+    throw std::invalid_argument("unknown status '" + rec.status + "'");
+  return rec;
+}
+
+}  // namespace
+
+void JobRecord::set(const std::string& name, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+std::optional<double> JobRecord::metric(const std::string& name) const {
+  for (const auto& [k, v] : metrics)
+    if (k == name) return v;
+  return std::nullopt;
+}
+
+std::string JobRecord::to_json(bool include_timing) const {
+  std::string out = "{";
+  out += "\"job_id\":" + std::to_string(spec.job_id);
+  out += ",\"suite\":\"" + escape(spec.suite) + '"';
+  out += ",\"instance\":\"" + escape(spec.instance) + '"';
+  out += ",\"scheduler\":\"" + escape(spec.scheduler) + '"';
+  out += ",\"model\":\"" + escape(model::to_string(spec.model)) + '"';
+  out += ",\"P\":" + std::to_string(spec.P);
+  out += ",\"param\":" + std::to_string(spec.param);
+  out += ",\"repeat\":" + std::to_string(spec.repeat);
+  out += ",\"seed\":" + std::to_string(spec.seed);
+  out += ",\"status\":\"" + escape(status) + '"';
+  if (!error.empty()) out += ",\"error\":\"" + escape(error) + '"';
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [k, v] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escape(k) + "\":" + format_number(v);
+  }
+  out += '}';
+  if (include_timing) out += ",\"wall_ms\":" + format_number(wall_ms);
+  out += '}';
+  return out;
+}
+
+std::optional<std::string> validate_record_line(const std::string& line) {
+  try {
+    (void)parse_impl(line);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+}
+
+JobRecord parse_record_line(const std::string& line) {
+  try {
+    return parse_impl(line);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("parse_record_line: ") + e.what());
+  }
+}
+
+std::string sorted_canonical_jsonl(const std::vector<JobRecord>& records) {
+  std::vector<const JobRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              return a->spec.job_id < b->spec.job_id;
+            });
+  std::string out;
+  for (const auto* r : sorted) {
+    out += r->canonical_json();
+    out += '\n';
+  }
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path, bool truncate) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, truncate ? std::ios::trunc : std::ios::app);
+  if (!out_) throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::write(const JobRecord& record) {
+  const std::string line = record.to_json() + '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  out_.flush();  // crash-safe: at most the in-flight line is lost
+  if (!out_) throw std::runtime_error("JsonlSink: write failed on " + path_);
+  ++lines_;
+}
+
+std::vector<MetricSummary> summarize_metric(
+    const std::vector<JobRecord>& records, const std::string& metric) {
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& rec : records) {
+    if (rec.status != "ok") continue;
+    const auto value = rec.metric(metric);
+    if (!value) continue;
+    auto [it, inserted] = groups.try_emplace(rec.spec.scheduler);
+    if (inserted) order.push_back(rec.spec.scheduler);
+    it->second.push_back(*value);
+  }
+  std::vector<MetricSummary> out;
+  out.reserve(order.size());
+  for (const auto& name : order) {
+    const auto& xs = groups[name];
+    MetricSummary s;
+    s.group = name;
+    s.count = xs.size();
+    s.min = s.max = xs.front();
+    double sum = 0.0;
+    for (const double x : xs) {
+      sum += x;
+      s.min = std::min(s.min, x);
+      s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    if (xs.size() > 1) {
+      double sq = 0.0;
+      for (const double x : xs) sq += (x - s.mean) * (x - s.mean);
+      const double sd = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+      s.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(xs.size()));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+util::Table summary_table(const std::vector<MetricSummary>& summaries,
+                          const std::string& group_header,
+                          const std::string& metric_header) {
+  util::Table t({group_header, "count", metric_header + " mean", "ci95",
+                 "min", "max"});
+  for (const auto& s : summaries) {
+    t.new_row()
+        .cell(s.group)
+        .cell(static_cast<unsigned long>(s.count))
+        .cell(s.mean, 3)
+        .cell(s.ci95, 3)
+        .cell(s.min, 3)
+        .cell(s.max, 3);
+  }
+  return t;
+}
+
+}  // namespace moldsched::engine

@@ -1,0 +1,101 @@
+// Structured per-job results and the JSONL pipeline.
+//
+// Every job produces one JobRecord; records stream to a JSONL file with
+// crash-safe append (one flushed line per record — a killed run loses at
+// most the line being written) and aggregate into the mean/min/max/CI
+// tables the legacy results/*.csv formats use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moldsched/engine/job.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace moldsched::engine {
+
+/// Outcome of one job. `metrics` is an ordered list of named doubles
+/// (makespan, ratio, utilization, ...); order is part of the record's
+/// canonical form so serialization is deterministic.
+struct JobRecord {
+  JobSpec spec;
+  std::string status = "ok";  ///< ok | error | timeout | cancelled
+  std::string error;          ///< what() of the escaping exception
+  std::vector<std::pair<std::string, double>> metrics;
+  double wall_ms = 0.0;  ///< measured wall time (volatile across runs)
+
+  void set(const std::string& name, double value);
+  [[nodiscard]] std::optional<double> metric(const std::string& name) const;
+
+  /// One JSON object, single line. `include_timing` == false omits the
+  /// wall_ms field — the canonical form used by determinism checks,
+  /// identical across thread counts and execution orders.
+  [[nodiscard]] std::string to_json(bool include_timing = true) const;
+  [[nodiscard]] std::string canonical_json() const { return to_json(false); }
+};
+
+/// Validates one JSONL line against the record schema (required keys,
+/// types, known status). Returns std::nullopt when valid, else a
+/// description of the first violation.
+[[nodiscard]] std::optional<std::string> validate_record_line(
+    const std::string& line);
+
+/// Parses a line produced by JobRecord::to_json. Throws
+/// std::invalid_argument (with the validate_record_line diagnosis) on
+/// malformed input.
+[[nodiscard]] JobRecord parse_record_line(const std::string& line);
+
+/// Canonical JSONL of a record batch: sorted by job_id, no timing
+/// fields, one line each with trailing '\n'. Byte-identical for
+/// byte-identical results.
+[[nodiscard]] std::string sorted_canonical_jsonl(
+    const std::vector<JobRecord>& records);
+
+/// Crash-safe JSONL appender: opens in append mode (creating parent
+/// directories), writes one line per record and flushes after each.
+/// Thread-safe.
+class JsonlSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit JsonlSink(const std::string& path, bool truncate = false);
+
+  void write(const JobRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t lines_written() const noexcept { return lines_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+  std::size_t lines_ = 0;
+};
+
+/// Per-group summary of one metric across records (mean/min/max plus a
+/// normal-approximation 95% confidence half-width).
+struct MetricSummary {
+  std::string group;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(count); 0 below 2 samples
+};
+
+/// Groups `ok` records by scheduler name and summarizes `metric`.
+/// Groups appear in first-seen (job id) order.
+[[nodiscard]] std::vector<MetricSummary> summarize_metric(
+    const std::vector<JobRecord>& records, const std::string& metric);
+
+/// Renders summaries as a table: group, count, mean, ci95, min, max.
+[[nodiscard]] util::Table summary_table(
+    const std::vector<MetricSummary>& summaries,
+    const std::string& group_header, const std::string& metric_header);
+
+}  // namespace moldsched::engine

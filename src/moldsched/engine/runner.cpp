@@ -1,0 +1,76 @@
+#include "moldsched/engine/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace moldsched::engine {
+
+std::vector<JobRecord> run_jobs(const std::vector<JobSpec>& jobs,
+                                const JobRunner& runner,
+                                const RunOptions& options) {
+  if (!runner) throw std::invalid_argument("run_jobs: empty runner");
+  std::vector<JobRecord> records(jobs.size());
+  if (jobs.empty()) return records;
+
+  const CancelToken budget =
+      options.total_budget_s > 0.0
+          ? CancelToken::deadline_in(options.total_budget_s)
+          : CancelToken();
+
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  Executor::global().parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const JobSpec& spec = jobs[i];
+        JobRecord& rec = records[i];
+        rec.spec = spec;
+
+        if (budget.cancelled()) {
+          rec.status = "cancelled";
+          rec.error = "run budget exhausted before start";
+        } else {
+          const CancelToken token =
+              options.job_timeout_s > 0.0
+                  ? CancelToken::deadline_in(options.job_timeout_s, budget)
+                  : budget;
+          const auto start = std::chrono::steady_clock::now();
+          try {
+            rec = runner(spec, token);
+            rec.spec = spec;  // runner must not rewrite identity fields
+          } catch (const std::exception& e) {
+            rec.status = "error";
+            rec.error = e.what();
+          } catch (...) {
+            rec.status = "error";
+            rec.error = "unknown exception";
+          }
+          rec.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+          // A job that outlived its own deadline reports "timeout" even
+          // if the runner managed to finish: its budget was exceeded.
+          if (rec.status == "ok" && options.job_timeout_s > 0.0 &&
+              rec.wall_ms > options.job_timeout_s * 1e3)
+            rec.status = "timeout";
+        }
+
+        if (options.sink) options.sink->write(rec);
+        const std::size_t finished =
+            done.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (options.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          options.progress(rec, finished, jobs.size());
+        }
+      },
+      options.threads, /*chunk=*/1);
+
+  return records;
+}
+
+}  // namespace moldsched::engine

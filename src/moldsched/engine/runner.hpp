@@ -1,0 +1,42 @@
+// Parallel execution of job batches on the persistent executor, with
+// per-job wall-clock timeouts, a whole-run budget, and a serialized
+// progress/heartbeat callback.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/engine/job.hpp"
+#include "moldsched/engine/result_sink.hpp"
+
+namespace moldsched::engine {
+
+/// Computes one job. Implementations poll `token` at natural boundaries
+/// (between repetitions, instances, sweep points) and return early when
+/// it fires; the engine stamps the final status. Exceptions are caught
+/// by the engine and recorded as status "error".
+using JobRunner = std::function<JobRecord(const JobSpec&, const CancelToken&)>;
+
+struct RunOptions {
+  unsigned threads = 0;        ///< 0 = util::default_parallelism()
+  double job_timeout_s = 0.0;  ///< 0 = no per-job timeout
+  double total_budget_s = 0.0; ///< 0 = no whole-run budget; jobs that
+                               ///< would start after it are "cancelled"
+  /// Called after each job completes (serialized; done counts finished
+  /// jobs). Doubles as a heartbeat: it fires even for cancelled jobs.
+  std::function<void(const JobRecord&, std::size_t done, std::size_t total)>
+      progress;
+  JsonlSink* sink = nullptr;  ///< optional streaming sink (thread-safe)
+};
+
+/// Runs every job through `runner` on the global executor and returns
+/// records in job order (records[i] belongs to jobs[i] regardless of
+/// which thread ran it). Result fields are thread-count independent;
+/// only wall_ms and statuses produced by timeouts/budgets vary.
+[[nodiscard]] std::vector<JobRecord> run_jobs(const std::vector<JobSpec>& jobs,
+                                              const JobRunner& runner,
+                                              const RunOptions& options = {});
+
+}  // namespace moldsched::engine

@@ -1,0 +1,1065 @@
+#include "moldsched/engine/suites.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/curves.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/engine/runner.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/resilience/resilient_scheduler.hpp"
+#include "moldsched/sched/baselines.hpp"
+#include "moldsched/sched/level_scheduler.hpp"
+#include "moldsched/sched/malleable_scheduler.hpp"
+#include "moldsched/sched/offline.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/sched/release_scheduler.hpp"
+#include "moldsched/util/parallel.hpp"
+#include "moldsched/util/stats.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace moldsched::engine {
+
+namespace {
+
+const std::vector<model::ModelKind> kAllModels = {
+    model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+    model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+
+std::size_t kind_index(model::ModelKind kind) {
+  switch (kind) {
+    case model::ModelKind::kRoofline: return 0;
+    case model::ModelKind::kCommunication: return 1;
+    case model::ModelKind::kAmdahl: return 2;
+    case model::ModelKind::kGeneral: return 3;
+    case model::ModelKind::kArbitrary: break;
+  }
+  throw std::invalid_argument("kind_index: arbitrary model");
+}
+
+/// Stable 64-bit hash of a string (FNV-1a); used to fold axis labels
+/// into derived seeds without depending on std::hash's implementation.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+JobRecord cancelled_record(const JobSpec& spec) {
+  JobRecord rec;
+  rec.spec = spec;
+  rec.status = "cancelled";
+  rec.error = "cancelled before completion";
+  return rec;
+}
+
+std::vector<const JobRecord*> ok_records(
+    const std::vector<JobRecord>& records) {
+  std::vector<const JobRecord*> out;
+  for (const auto& r : records)
+    if (r.status == "ok") out.push_back(&r);
+  return out;
+}
+
+struct SuiteDef {
+  SuiteInfo info;
+  int default_repeats = 1;
+  std::function<std::vector<JobSpec>(const SuiteOptions&)> build;
+  JobRunner run;
+  /// Writes the suite's CSVs / prints its legacy tables; returns paths.
+  std::function<std::vector<std::string>(const std::vector<JobRecord>&,
+                                         const SuiteOptions&)>
+      finalize;
+};
+
+int effective_repeats(const SuiteOptions& options, int fallback) {
+  if (options.repeats < 0)
+    throw std::invalid_argument("SuiteOptions: repeats must be >= 0");
+  return options.repeats == 0 ? fallback : options.repeats;
+}
+
+// ---------------------------------------------------------------------------
+// table1 — numeric Table 1 derivation, measured adversary lower bounds,
+// baselines on the adversarial instances.
+
+const char* const kAdversaryPrefix = "adversary/";
+
+struct AdversarySize {
+  const char* label;
+  int param;  // P for roofline/communication, K for amdahl/general
+};
+
+const std::vector<AdversarySize>& adversary_sizes(model::ModelKind kind) {
+  static const std::vector<AdversarySize> roofline = {
+      {"P=64", 64}, {"P=1024", 1024}, {"P=8192", 8192}};
+  static const std::vector<AdversarySize> comm = {
+      {"P=64", 64}, {"P=256", 256}, {"P=512", 512}};
+  static const std::vector<AdversarySize> amdahl = {
+      {"K=12 (P=144)", 12}, {"K=24 (P=576)", 24}, {"K=48 (P=2304)", 48}};
+  switch (kind) {
+    case model::ModelKind::kRoofline: return roofline;
+    case model::ModelKind::kCommunication: return comm;
+    default: return amdahl;  // amdahl and general share K sizes
+  }
+}
+
+graph::AdversaryInstance build_adversary(model::ModelKind kind, int param,
+                                         double mu) {
+  switch (kind) {
+    case model::ModelKind::kRoofline:
+      return graph::roofline_adversary(param, mu);
+    case model::ModelKind::kCommunication:
+      return graph::communication_adversary(param, mu);
+    case model::ModelKind::kAmdahl:
+      return graph::amdahl_adversary(param, mu);
+    case model::ModelKind::kGeneral:
+      return graph::general_adversary(param, mu);
+    case model::ModelKind::kArbitrary: break;
+  }
+  throw std::invalid_argument("build_adversary: arbitrary model");
+}
+
+std::vector<JobSpec> table1_jobs(const SuiteOptions& options) {
+  std::vector<JobSpec> jobs;
+  auto push = [&](JobSpec spec) {
+    spec.job_id = jobs.size();
+    spec.suite = "table1";
+    spec.seed = JobGrid::derive_seed(options.base_seed, spec.job_id);
+    jobs.push_back(std::move(spec));
+  };
+  for (const auto kind : kAllModels) {
+    JobSpec s;
+    s.instance = "derive";
+    s.scheduler = "analytic";
+    s.model = kind;
+    push(std::move(s));
+  }
+  for (const auto kind : kAllModels) {
+    for (const auto& size : adversary_sizes(kind)) {
+      JobSpec s;
+      s.instance = std::string(kAdversaryPrefix) + size.label;
+      s.scheduler = "lpa";
+      s.model = kind;
+      s.param = size.param;
+      push(std::move(s));
+    }
+  }
+  // Baselines on the worst-case instances, all parameterized at the
+  // communication model's mu (as in the legacy bench).
+  for (const auto kind :
+       {model::ModelKind::kCommunication, model::ModelKind::kAmdahl}) {
+    for (const auto& spec : sched::standard_suite(0.3)) {
+      JobSpec s;
+      s.instance = kind == model::ModelKind::kCommunication
+                       ? "comm-adversary"
+                       : "amdahl-adversary";
+      s.scheduler = spec.name;
+      s.model = kind;
+      s.param = kind == model::ModelKind::kCommunication ? 256 : 24;
+      push(std::move(s));
+    }
+  }
+  return jobs;
+}
+
+JobRecord table1_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+
+  if (spec.instance == "derive") {
+    const auto row = analysis::optimal_ratio(spec.model);
+    rec.set("upper_bound", row.upper_bound);
+    rec.set("lower_bound", row.lower_bound);
+    rec.set("mu_star", row.mu_star);
+    rec.set("x_star", row.x_star);
+    return rec;
+  }
+  if (spec.instance.rfind(kAdversaryPrefix, 0) == 0) {
+    const auto row = analysis::optimal_ratio(spec.model);
+    const auto inst = build_adversary(spec.model, spec.param, row.mu_star);
+    if (token.cancelled()) return cancelled_record(spec);
+    const core::LpaAllocator alloc(inst.mu);
+    const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+    rec.set("simulated_ratio", result.makespan / inst.t_opt_upper);
+    rec.set("ratio_limit", inst.ratio_limit);
+    rec.set("upper_bound", row.upper_bound);
+    rec.set("P", static_cast<double>(inst.P));
+    return rec;
+  }
+  // Baseline-on-adversary jobs.
+  const double mu_c = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const double mu_own = analysis::optimal_mu(spec.model);
+  const auto inst = build_adversary(spec.model, spec.param, mu_own);
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto sched_spec = sched::spec_by_name(spec.scheduler, mu_c);
+  const auto result = sched_spec.run(inst.graph, inst.P);
+  rec.set("ratio", result.makespan / inst.t_opt_upper);
+  return rec;
+}
+
+std::vector<std::string> table1_finalize(const std::vector<JobRecord>& records,
+                                         const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+
+  // Part 1 — the derived Table 1 (byte-identical to the legacy CSV).
+  std::vector<analysis::OptimalRatio> rows;
+  for (const auto kind : kAllModels) {
+    for (const auto* rec : ok) {
+      if (rec->spec.instance != "derive" || rec->spec.model != kind) continue;
+      analysis::OptimalRatio row;
+      row.kind = kind;
+      row.upper_bound = rec->metric("upper_bound").value_or(0.0);
+      row.lower_bound = rec->metric("lower_bound").value_or(0.0);
+      row.mu_star = rec->metric("mu_star").value_or(0.0);
+      row.x_star = rec->metric("x_star").value_or(0.0);
+      rows.push_back(row);
+      break;
+    }
+  }
+  if (rows.size() == kAllModels.size()) {
+    const auto table = analysis::table1_table(rows);
+    const std::string path = options.results_dir + "/table1.csv";
+    analysis::write_file(path, table.to_csv());
+    outputs.push_back(path);
+    if (options.human_out) {
+      table.print(*options.human_out,
+                  "Table 1 — competitive ratios of Algorithm 1 (numerically "
+                  "derived)");
+      *options.human_out << "paper reports: upper 2.62 / 3.61 / 4.74 / 5.72, "
+                            "lower 2.61 / 3.51 / 4.73 / 5.25\n\n";
+    }
+  }
+
+  // Part 2 — measured adversary lower bounds.
+  util::Table adversaries({"Model", "instance size", "simulated T/T_alt",
+                           "closed-form limit", "upper bound"});
+  for (const auto* rec : ok) {
+    if (rec->spec.instance.rfind(kAdversaryPrefix, 0) != 0) continue;
+    adversaries.new_row()
+        .cell(model::to_string(rec->spec.model))
+        .cell(rec->spec.instance.substr(std::string(kAdversaryPrefix).size()))
+        .cell(rec->metric("simulated_ratio").value_or(0.0), 3)
+        .cell(rec->metric("ratio_limit").value_or(0.0), 3)
+        .cell(rec->metric("upper_bound").value_or(0.0), 3);
+  }
+  if (adversaries.num_rows() > 0) {
+    const std::string path = options.results_dir + "/table1_adversary_ratios.csv";
+    analysis::write_file(path, adversaries.to_csv());
+    outputs.push_back(path);
+    if (options.human_out) {
+      adversaries.print(
+          *options.human_out,
+          "Table 1 lower bounds, measured on the Section 4.4 adversarial "
+          "instances (ratio climbs toward the limit as size grows)");
+      *options.human_out << '\n';
+    }
+  }
+
+  // Part 3 — baselines on the adversarial instances (print only, as in
+  // the legacy bench).
+  if (options.human_out) {
+    util::Table baselines({"scheduler", "comm adversary T/T_alt",
+                           "amdahl adversary T/T_alt"});
+    for (const auto& spec : sched::standard_suite(0.3)) {
+      const JobRecord* comm = nullptr;
+      const JobRecord* amd = nullptr;
+      for (const auto* rec : ok) {
+        if (rec->spec.scheduler != spec.name) continue;
+        if (rec->spec.instance == "comm-adversary") comm = rec;
+        if (rec->spec.instance == "amdahl-adversary") amd = rec;
+      }
+      if (!comm || !amd) continue;
+      baselines.new_row()
+          .cell(spec.name)
+          .cell(comm->metric("ratio").value_or(0.0), 3)
+          .cell(amd->metric("ratio").value_or(0.0), 3);
+    }
+    if (baselines.num_rows() > 0) {
+      baselines.print(
+          *options.human_out,
+          "baseline schedulers on the adversarial instances (LPA's Table 1 "
+          "guarantee holds by design; baselines have no such bound)");
+      *options.human_out << '\n';
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// random-dags — the practical-performance study over the random-DAG
+// catalog, one job per (model, case, scheduler, repetition).
+
+const std::vector<std::string>& random_dag_cases() {
+  static const std::vector<std::string> cases = {
+      "layered",   "erdos-renyi", "fork-join",       "out-tree", "in-tree",
+      "series-parallel", "chain", "independent", "diamond"};
+  return cases;
+}
+
+/// Catalogs are shared by every (scheduler, case) job of one
+/// (model, repetition) pair, memoized under a deterministic key so the
+/// graphs are identical no matter which job materializes them first.
+std::shared_ptr<const std::vector<analysis::GraphCase>> dag_catalog(
+    model::ModelKind kind, int P, int repeat, std::uint64_t base_seed) {
+  static std::mutex mutex;
+  static std::map<std::string,
+                  std::shared_ptr<const std::vector<analysis::GraphCase>>>
+      cache;
+  const std::string key = model::to_string(kind) + "|" + std::to_string(P) +
+                          "|" + std::to_string(repeat) + "|" +
+                          std::to_string(base_seed);
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const std::uint64_t seed = JobGrid::derive_seed(
+      base_seed ^ 0xDA65u,
+      kind_index(kind) * 1009 + static_cast<std::uint64_t>(repeat));
+  util::Rng rng(seed);
+  auto catalog = std::make_shared<const std::vector<analysis::GraphCase>>(
+      analysis::random_graph_catalog(kind, P, rng));
+  cache.emplace(key, catalog);
+  if (cache.size() > 256) cache.clear();  // bound memory across huge sweeps
+  return catalog;
+}
+
+std::vector<JobSpec> random_dags_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "random-dags";
+  grid.instances = random_dag_cases();
+  grid.schedulers = sched::full_suite_names();
+  grid.models = kAllModels;
+  grid.procs = {32};
+  grid.repeats = effective_repeats(options, 3);
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+JobRunner random_dags_runner(const SuiteOptions& options) {
+  const std::uint64_t base_seed = options.base_seed;
+  return [base_seed](const JobSpec& spec, const CancelToken& token) {
+    JobRecord rec;
+    rec.spec = spec;
+    if (token.cancelled()) return cancelled_record(spec);
+    const auto catalog =
+        dag_catalog(spec.model, spec.P, spec.repeat, base_seed);
+    const analysis::GraphCase* gc = nullptr;
+    for (const auto& c : *catalog)
+      if (c.name == spec.instance) gc = &c;
+    if (!gc)
+      throw std::invalid_argument("random-dags: unknown case '" +
+                                  spec.instance + "'");
+    if (token.cancelled()) return cancelled_record(spec);
+    const double mu = analysis::optimal_mu(spec.model);
+    const auto m = analysis::measure_scheduler(
+        gc->graph, spec.P, sched::spec_by_name(spec.scheduler, mu));
+    rec.set("makespan", m.makespan);
+    rec.set("lower_bound", m.lower_bound);
+    rec.set("ratio", m.ratio_vs_lb);
+    rec.set("utilization", m.avg_utilization);
+    rec.set("tasks", static_cast<double>(gc->graph.num_tasks()));
+    return rec;
+  };
+}
+
+std::vector<std::string> random_dags_finalize(
+    const std::vector<JobRecord>& records, const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+  for (const auto kind : kAllModels) {
+    std::vector<analysis::AggregateRow> rows;
+    for (const auto& name : sched::full_suite_names()) {
+      std::vector<double> ratios;
+      util::Accumulator utilization;
+      for (const auto* rec : ok) {
+        if (rec->spec.model != kind || rec->spec.scheduler != name) continue;
+        ratios.push_back(rec->metric("ratio").value_or(0.0));
+        utilization.add(rec->metric("utilization").value_or(0.0));
+      }
+      if (ratios.empty()) continue;
+      analysis::AggregateRow row;
+      row.scheduler = name;
+      row.ratio = util::summarize(ratios);
+      row.mean_utilization = utilization.mean();
+      rows.push_back(std::move(row));
+    }
+    if (rows.empty()) continue;
+    const auto table = analysis::suite_table(rows);
+    const std::string path =
+        options.results_dir + "/random_dags_" + model::to_string(kind) + ".csv";
+    analysis::write_file(path, table.to_csv());
+    outputs.push_back(path);
+    if (options.human_out) {
+      table.print(*options.human_out,
+                  "model = " + model::to_string(kind) +
+                      ", P = 32 (ratio = makespan / Lemma-2 LB; theorem "
+                      "bound = " +
+                      util::format_double(
+                          analysis::optimal_ratio(kind).upper_bound, 2) +
+                      ")");
+      *options.human_out << '\n';
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// workflows — realistic workflow study: online LPA vs offline tradeoff,
+// level-by-level and fluid malleable references.
+
+const std::vector<std::string>& workflow_cases() {
+  static const std::vector<std::string> cases = {"cholesky", "lu", "fft",
+                                                 "montage", "wavefront"};
+  return cases;
+}
+
+const std::vector<std::string>& workflow_schedulers() {
+  static const std::vector<std::string> names = {"lpa", "offline", "level-lpa",
+                                                 "malleable-fluid"};
+  return names;
+}
+
+std::shared_ptr<const std::vector<analysis::GraphCase>> workflow_cache(
+    model::ModelKind kind) {
+  static std::mutex mutex;
+  static std::map<std::size_t,
+                  std::shared_ptr<const std::vector<analysis::GraphCase>>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(kind_index(kind));
+  if (it != cache.end()) return it->second;
+  auto catalog = std::make_shared<const std::vector<analysis::GraphCase>>(
+      analysis::workflow_catalog(kind, 2));
+  cache.emplace(kind_index(kind), catalog);
+  return catalog;
+}
+
+std::vector<JobSpec> workflows_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "workflows";
+  grid.instances = workflow_cases();
+  grid.schedulers = workflow_schedulers();
+  grid.models = kAllModels;
+  grid.procs = {48};
+  grid.repeats = 1;  // fully deterministic; repetition adds nothing
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+JobRecord workflows_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto catalog = workflow_cache(spec.model);
+  const analysis::GraphCase* gc = nullptr;
+  for (const auto& c : *catalog)
+    if (c.name == spec.instance) gc = &c;
+  if (!gc)
+    throw std::invalid_argument("workflows: unknown case '" + spec.instance +
+                                "'");
+  const int P = spec.P;
+  const double mu = analysis::optimal_mu(spec.model);
+  double makespan = 0.0;
+  if (spec.scheduler == "lpa") {
+    makespan = core::schedule_online(gc->graph, P, core::LpaAllocator(mu))
+                   .makespan;
+  } else if (spec.scheduler == "offline") {
+    makespan = sched::OfflineTradeoffScheduler(gc->graph, P).run().makespan;
+  } else if (spec.scheduler == "level-lpa") {
+    makespan =
+        sched::schedule_level_by_level(gc->graph, P, core::LpaAllocator(mu))
+            .makespan;
+  } else if (spec.scheduler == "malleable-fluid") {
+    makespan = sched::schedule_malleable_fluid(gc->graph, P).makespan;
+  } else {
+    throw std::invalid_argument("workflows: unknown scheduler '" +
+                                spec.scheduler + "'");
+  }
+  rec.set("makespan", makespan);
+  rec.set("lower_bound", analysis::optimal_makespan_lower_bound(gc->graph, P));
+  rec.set("tasks", static_cast<double>(gc->graph.num_tasks()));
+  return rec;
+}
+
+std::vector<std::string> workflows_finalize(
+    const std::vector<JobRecord>& records, const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+  for (const auto kind : kAllModels) {
+    util::Table t({"workflow", "tasks", "LB (Lemma 2)", "online T",
+                   "offline T", "level T", "malleable T", "T/LB",
+                   "T/malleable"});
+    for (const auto& case_name : workflow_cases()) {
+      std::map<std::string, const JobRecord*> by_sched;
+      for (const auto* rec : ok)
+        if (rec->spec.model == kind && rec->spec.instance == case_name)
+          by_sched[rec->spec.scheduler] = rec;
+      if (by_sched.size() < workflow_schedulers().size()) continue;
+      const double online = by_sched["lpa"]->metric("makespan").value_or(0.0);
+      const double fluid =
+          by_sched["malleable-fluid"]->metric("makespan").value_or(0.0);
+      const double lb = by_sched["lpa"]->metric("lower_bound").value_or(0.0);
+      t.new_row()
+          .cell(case_name)
+          .cell(static_cast<long>(
+              by_sched["lpa"]->metric("tasks").value_or(0.0)))
+          .cell(lb, 2)
+          .cell(online, 2)
+          .cell(by_sched["offline"]->metric("makespan").value_or(0.0), 2)
+          .cell(by_sched["level-lpa"]->metric("makespan").value_or(0.0), 2)
+          .cell(fluid, 2)
+          .cell(online / lb, 3)
+          .cell(online / fluid, 3);
+    }
+    if (t.num_rows() == 0) continue;
+    const std::string path =
+        options.results_dir + "/workflows_" + model::to_string(kind) + ".csv";
+    analysis::write_file(path, t.to_csv());
+    outputs.push_back(path);
+    if (options.human_out) {
+      t.print(*options.human_out,
+              "model = " + model::to_string(kind) + ", P = 48 (theorem "
+              "bound = " +
+                  util::format_double(
+                      analysis::optimal_ratio(kind).upper_bound, 2) +
+                  ")");
+      *options.human_out << '\n';
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// ratio-curves — per-model optimum plus the dense mu-sweep CSV.
+
+std::vector<JobSpec> ratio_curves_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "ratio-curves";
+  grid.instances = {"curve"};
+  grid.schedulers = {"analytic"};
+  grid.models = kAllModels;
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+JobRecord ratio_curves_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto row = analysis::optimal_ratio(spec.model);
+  rec.set("mu_star", row.mu_star);
+  rec.set("upper_bound", row.upper_bound);
+  rec.set("lower_bound", row.lower_bound);
+  return rec;
+}
+
+std::vector<std::string> ratio_curves_finalize(
+    const std::vector<JobRecord>& records, const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  if (ok_records(records).empty()) return outputs;
+  const std::string path = options.results_dir + "/ratio_curves.csv";
+  analysis::write_file(path, analysis::ratio_curves_csv(400));
+  outputs.push_back(path);
+  if (options.human_out) {
+    *options.human_out << "dense ratio-vs-mu curves (400 samples) written to "
+                       << path << "\n\n";
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// resilience — re-execution under Bernoulli / Poisson failures.
+
+const std::vector<double>& resilience_intensities() {
+  static const std::vector<double> xs = {0.0, 0.1, 0.2, 0.4, 0.6};
+  return xs;
+}
+
+std::string intensity_label(const std::string& family, double intensity) {
+  std::ostringstream os;
+  os << family << '@' << intensity;
+  return os.str();
+}
+
+double parse_intensity(const std::string& instance) {
+  const auto at = instance.find('@');
+  if (at == std::string::npos)
+    throw std::invalid_argument("resilience: malformed instance '" + instance +
+                                "'");
+  return std::strtod(instance.c_str() + at + 1, nullptr);
+}
+
+std::vector<JobSpec> resilience_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "resilience";
+  for (const char* family : {"bernoulli", "poisson"})
+    for (const double x : resilience_intensities())
+      grid.instances.push_back(intensity_label(family, x));
+  grid.schedulers = {"lpa", "min-time"};
+  grid.models = {model::ModelKind::kCommunication};
+  grid.procs = {32};
+  grid.repeats = effective_repeats(options, 5);
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+const graph::TaskGraph& resilience_workload(int P) {
+  static std::mutex mutex;
+  static std::unique_ptr<graph::TaskGraph> workload;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!workload) {
+    util::Rng rng(77);
+    static const model::ModelSampler sampler(
+        model::ModelKind::kCommunication);
+    workload = std::make_unique<graph::TaskGraph>(graph::layered_random(
+        8, 3, 10, 0.3, rng, graph::sampling_provider(sampler, rng, P)));
+  }
+  return *workload;
+}
+
+JobRecord resilience_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto& g = resilience_workload(spec.P);
+  const double intensity = parse_intensity(spec.instance);
+  resilience::FailureModelPtr failures;
+  if (spec.instance.rfind("poisson", 0) == 0)
+    failures =
+        std::make_shared<resilience::PoissonAreaFailures>(intensity * 0.002);
+  else
+    failures = std::make_shared<resilience::BernoulliFailures>(intensity);
+
+  const double mu = analysis::optimal_mu(model::ModelKind::kCommunication);
+  const core::LpaAllocator lpa(mu);
+  const sched::MinTimeAllocator greedy;
+  const core::Allocator& alloc =
+      spec.scheduler == "lpa" ? static_cast<const core::Allocator&>(lpa)
+                              : greedy;
+  const auto result =
+      resilience::ResilientOnlineScheduler(g, spec.P, alloc, failures,
+                                           spec.seed)
+          .run();
+  double total_attempts = 0.0;
+  for (const int a : result.attempts_per_task)
+    total_attempts += static_cast<double>(a);
+  rec.set("makespan", result.makespan);
+  rec.set("attempts_per_task",
+          total_attempts / static_cast<double>(g.num_tasks()));
+  rec.set("waste_fraction", result.wasted_area / result.total_area);
+  rec.set("intensity", intensity);
+  return rec;
+}
+
+std::vector<std::string> resilience_finalize(
+    const std::vector<JobRecord>& records, const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+  util::Table csv({"failure_model", "intensity", "scheduler",
+                   "mean makespan", "mean attempts/task", "mean waste"});
+  for (const char* family : {"bernoulli", "poisson"}) {
+    util::Table t({"intensity", "lpa makespan", "lpa attempts/task",
+                   "lpa waste", "min-time makespan",
+                   "min-time attempts/task", "min-time waste"});
+    for (const double intensity : resilience_intensities()) {
+      const std::string label = intensity_label(family, intensity);
+      std::map<std::string, std::array<util::Accumulator, 3>> by_sched;
+      for (const auto* rec : ok) {
+        if (rec->spec.instance != label) continue;
+        auto& acc = by_sched[rec->spec.scheduler];
+        acc[0].add(rec->metric("makespan").value_or(0.0));
+        acc[1].add(rec->metric("attempts_per_task").value_or(0.0));
+        acc[2].add(rec->metric("waste_fraction").value_or(0.0));
+      }
+      if (by_sched.count("lpa") == 0 || by_sched.count("min-time") == 0)
+        continue;
+      auto& l = by_sched["lpa"];
+      auto& m = by_sched["min-time"];
+      t.new_row()
+          .cell(intensity, 3)
+          .cell(l[0].mean(), 2)
+          .cell(l[1].mean(), 3)
+          .cell(l[2].mean(), 3)
+          .cell(m[0].mean(), 2)
+          .cell(m[1].mean(), 3)
+          .cell(m[2].mean(), 3);
+      for (const char* sched_name : {"lpa", "min-time"}) {
+        auto& acc = by_sched[sched_name];
+        csv.new_row()
+            .cell(family)
+            .cell(intensity, 3)
+            .cell(sched_name)
+            .cell(acc[0].mean(), 4)
+            .cell(acc[1].mean(), 4)
+            .cell(acc[2].mean(), 4);
+      }
+    }
+    if (options.human_out && t.num_rows() > 0) {
+      t.print(*options.human_out,
+              std::string(family) +
+                  " failures, model = communication, P = 32 (means over "
+                  "failure seeds)");
+      *options.human_out << '\n';
+    }
+  }
+  if (csv.num_rows() > 0) {
+    const std::string path = options.results_dir + "/resilience.csv";
+    analysis::write_file(path, csv.to_csv());
+    outputs.push_back(path);
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// release — independent tasks released over time.
+
+const std::vector<double>& release_rates() {
+  static const std::vector<double> xs = {0.0, 0.05, 0.2, 1.0};
+  return xs;
+}
+
+std::vector<JobSpec> release_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "release";
+  for (const double rate : release_rates())
+    grid.instances.push_back(intensity_label("rate", rate));
+  grid.schedulers = {"lpa", "min-time", "sequential"};
+  grid.models = kAllModels;
+  grid.procs = {32};
+  grid.repeats = effective_repeats(options, 3);
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+JobRunner release_runner(const SuiteOptions& options) {
+  const std::uint64_t base_seed = options.base_seed;
+  return [base_seed](const JobSpec& spec, const CancelToken& token) {
+    JobRecord rec;
+    rec.spec = spec;
+    if (token.cancelled()) return cancelled_record(spec);
+    const int n = 150;
+    const double rate = parse_intensity(spec.instance);
+    // Arrival streams are shared by the three schedulers of one
+    // (model, rate, repetition) point so their ratios are comparable —
+    // the seed therefore omits the scheduler axis.
+    const std::uint64_t arrival_seed = JobGrid::derive_seed(
+        base_seed ^ fnv1a(spec.instance),
+        kind_index(spec.model) * 131 + static_cast<std::uint64_t>(spec.repeat));
+    util::Rng rng(arrival_seed);
+    const model::ModelSampler sampler(spec.model);
+    std::vector<sched::ReleasedTask> tasks;
+    tasks.reserve(static_cast<std::size_t>(n));
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (rate > 0.0) t += rng.exponential(rate);
+      tasks.push_back({sampler.sample(rng, spec.P), t, "t" + std::to_string(i)});
+    }
+    if (token.cancelled()) return cancelled_record(spec);
+
+    const double mu = analysis::optimal_mu(spec.model);
+    const core::LpaAllocator lpa(mu);
+    const sched::MinTimeAllocator greedy;
+    const sched::SequentialAllocator sequential;
+    const core::Allocator* alloc = nullptr;
+    if (spec.scheduler == "lpa") alloc = &lpa;
+    else if (spec.scheduler == "min-time") alloc = &greedy;
+    else if (spec.scheduler == "sequential") alloc = &sequential;
+    else
+      throw std::invalid_argument("release: unknown scheduler '" +
+                                  spec.scheduler + "'");
+
+    const double lb = sched::release_makespan_lower_bound(tasks, spec.P);
+    const double makespan =
+        sched::OnlineReleaseScheduler(tasks, spec.P, *alloc).run().makespan;
+    rec.set("lower_bound", lb);
+    rec.set("makespan", makespan);
+    rec.set("ratio", makespan / lb);
+    return rec;
+  };
+}
+
+std::vector<std::string> release_finalize(const std::vector<JobRecord>& records,
+                                          const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+  util::Table csv(
+      {"model", "arrival_rate", "scheduler", "lb_mean", "ratio_mean"});
+  for (const auto kind : kAllModels) {
+    util::Table t({"arrival rate", "LB", "lpa T/LB", "min-time T/LB",
+                   "sequential T/LB"});
+    for (const double rate : release_rates()) {
+      const std::string label = intensity_label("rate", rate);
+      std::map<std::string, std::pair<util::Accumulator, util::Accumulator>>
+          by_sched;  // scheduler -> (lb, ratio)
+      for (const auto* rec : ok) {
+        if (rec->spec.model != kind || rec->spec.instance != label) continue;
+        auto& acc = by_sched[rec->spec.scheduler];
+        acc.first.add(rec->metric("lower_bound").value_or(0.0));
+        acc.second.add(rec->metric("ratio").value_or(0.0));
+      }
+      if (by_sched.size() < 3) continue;
+      t.new_row()
+          .cell(rate, 2)
+          .cell(by_sched["lpa"].first.mean(), 1)
+          .cell(by_sched["lpa"].second.mean(), 3)
+          .cell(by_sched["min-time"].second.mean(), 3)
+          .cell(by_sched["sequential"].second.mean(), 3);
+      for (const auto& [name, acc] : by_sched) {
+        csv.new_row()
+            .cell(model::to_string(kind))
+            .cell(rate, 3)
+            .cell(name)
+            .cell(acc.first.mean(), 4)
+            .cell(acc.second.mean(), 4);
+      }
+    }
+    if (options.human_out && t.num_rows() > 0) {
+      t.print(*options.human_out,
+              "model = " + model::to_string(kind) +
+                  ", n = 150, P = 32 (rate 0 = all released at t=0; Ye et "
+                  "al. worst case 16.74)");
+      *options.human_out << '\n';
+    }
+  }
+  if (csv.num_rows() > 0) {
+    const std::string path = options.results_dir + "/release.csv";
+    analysis::write_file(path, csv.to_csv());
+    outputs.push_back(path);
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// registry + run_suite
+
+const std::vector<SuiteDef>& suite_defs() {
+  static const std::vector<SuiteDef> defs = [] {
+    std::vector<SuiteDef> out;
+    out.push_back({{"table1",
+                    "Table 1: derived bounds, measured adversary ratios, "
+                    "baselines on the worst-case instances"},
+                   1,
+                   table1_jobs,
+                   table1_run,
+                   table1_finalize});
+    out.push_back({{"ratio-curves",
+                    "per-model optimal mu plus the dense ratio-vs-mu sweep"},
+                   1,
+                   ratio_curves_jobs,
+                   ratio_curves_run,
+                   ratio_curves_finalize});
+    out.push_back({{"random-dags",
+                    "scheduler suite over the random-DAG catalog, all four "
+                    "speedup models"},
+                   3,
+                   random_dags_jobs,
+                   {},  // runner built per-options below
+                   random_dags_finalize});
+    out.push_back({{"workflows",
+                    "realistic workflows (Cholesky, LU, FFT, Montage, "
+                    "wavefront) vs offline/level/malleable references"},
+                   1,
+                   workflows_jobs,
+                   workflows_run,
+                   workflows_finalize});
+    out.push_back({{"resilience",
+                    "re-execution under Bernoulli/Poisson failures, LPA vs "
+                    "min-time"},
+                   5,
+                   resilience_jobs,
+                   resilience_run,
+                   resilience_finalize});
+    out.push_back({{"release",
+                    "independent tasks released over time, three allocators "
+                    "across arrival rates"},
+                   3,
+                   release_jobs,
+                   {},  // runner built per-options below
+                   release_finalize});
+    return out;
+  }();
+  return defs;
+}
+
+const SuiteDef& find_suite(const std::string& name) {
+  for (const auto& def : suite_defs())
+    if (def.info.name == name) return def;
+  std::string known;
+  for (const auto& def : suite_defs()) {
+    if (!known.empty()) known += ", ";
+    known += def.info.name;
+  }
+  throw std::invalid_argument("unknown suite '" + name + "' (known: " + known +
+                              ")");
+}
+
+JobRunner suite_runner(const SuiteDef& def, const SuiteOptions& options) {
+  if (def.info.name == "random-dags") return random_dags_runner(options);
+  if (def.info.name == "release") return release_runner(options);
+  return def.run;
+}
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+const std::vector<SuiteInfo>& suites() {
+  static const std::vector<SuiteInfo> infos = [] {
+    std::vector<SuiteInfo> out;
+    for (const auto& def : suite_defs()) out.push_back(def.info);
+    return out;
+  }();
+  return infos;
+}
+
+bool has_suite(const std::string& name) {
+  for (const auto& def : suite_defs())
+    if (def.info.name == name) return true;
+  return false;
+}
+
+std::vector<JobSpec> suite_jobs(const std::string& name,
+                                const SuiteOptions& options) {
+  return find_suite(name).build(options);
+}
+
+SuiteReport run_suite(const std::string& name, const SuiteOptions& options) {
+  const auto& def = find_suite(name);
+  const auto started = std::chrono::steady_clock::now();
+
+  auto jobs = def.build(options);
+  if (!options.filter.empty() && def.info.name == "table1") {
+    // table1 builds its heterogeneous job list by hand; apply the
+    // generic filter here instead of inside the builder.
+    std::vector<JobSpec> kept;
+    for (auto& spec : jobs)
+      if (spec.key().find(options.filter) != std::string::npos)
+        kept.push_back(std::move(spec));
+    jobs = std::move(kept);
+  }
+
+  const std::string jsonl = options.jsonl_path.empty()
+                                ? options.results_dir + "/" + name + ".jsonl"
+                                : options.jsonl_path;
+
+  // --resume: collect completed job ids from a previous (possibly
+  // crashed) run and skip them; their records come from the file.
+  std::vector<JobRecord> resumed;
+  if (options.resume) {
+    std::ifstream in(jsonl);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (validate_record_line(line)) continue;  // skip damaged tail lines
+      auto rec = parse_record_line(line);
+      if (rec.status == "ok") resumed.push_back(std::move(rec));
+    }
+  }
+  std::set<std::uint64_t> done_ids;
+  for (const auto& rec : resumed) done_ids.insert(rec.spec.job_id);
+  std::vector<JobSpec> pending;
+  for (auto& spec : jobs)
+    if (done_ids.count(spec.job_id) == 0) pending.push_back(std::move(spec));
+
+  JsonlSink sink(jsonl, /*truncate=*/!options.resume);
+
+  RunOptions run_options;
+  run_options.threads = options.threads;
+  run_options.job_timeout_s = options.job_timeout_s;
+  run_options.total_budget_s = options.total_budget_s;
+  run_options.progress = options.progress;
+  run_options.sink = &sink;
+
+  SuiteReport report;
+  report.suite = name;
+  report.records = run_jobs(pending, suite_runner(def, options), run_options);
+  for (auto& rec : resumed) report.records.push_back(std::move(rec));
+  std::sort(report.records.begin(), report.records.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.spec.job_id < b.spec.job_id;
+            });
+
+  report.outputs.push_back(jsonl);
+  if (options.write_outputs) {
+    for (auto& path : def.finalize(report.records, options))
+      report.outputs.push_back(std::move(path));
+  }
+
+  for (const auto& rec : report.records) {
+    if (rec.status == "ok") ++report.ok;
+    else if (rec.status == "error") ++report.errors;
+    else if (rec.status == "timeout") ++report.timeouts;
+    else ++report.cancelled;
+  }
+  report.resumed = resumed.size();
+  report.threads = options.threads == 0 ? util::default_parallelism()
+                                        : options.threads;
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+  report.jobs_per_s = report.wall_s > 0.0
+                          ? static_cast<double>(report.records.size()) /
+                                report.wall_s
+                          : 0.0;
+  return report;
+}
+
+std::string bench_json(const SuiteReport& report) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n"
+     << "  \"suite\": \"" << report.suite << "\",\n"
+     << "  \"jobs\": " << report.records.size() << ",\n"
+     << "  \"ok\": " << report.ok << ",\n"
+     << "  \"error\": " << report.errors << ",\n"
+     << "  \"timeout\": " << report.timeouts << ",\n"
+     << "  \"cancelled\": " << report.cancelled << ",\n"
+     << "  \"resumed\": " << report.resumed << ",\n"
+     << "  \"threads\": " << report.threads << ",\n"
+     << "  \"wall_s\": " << report.wall_s << ",\n"
+     << "  \"jobs_per_sec\": " << report.jobs_per_s << ",\n"
+     << "  \"peak_rss_mb\": " << peak_rss_mb() << "\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace moldsched::engine

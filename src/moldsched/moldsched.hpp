@@ -63,6 +63,9 @@
 #include "moldsched/analysis/ratios.hpp"
 #include "moldsched/analysis/report.hpp"
 
+// Parallel experiment engine (job grids, executor, JSONL results, suites)
+#include "moldsched/engine/engine.hpp"
+
 // Import/export
 #include "moldsched/io/dot.hpp"
 #include "moldsched/io/json.hpp"

@@ -82,4 +82,29 @@ std::vector<SchedulerSpec> engine_variants(double mu) {
   return variants;
 }
 
+std::vector<SchedulerSpec> full_suite(double mu) {
+  auto suite = standard_suite(mu);
+  for (auto& variant : engine_variants(mu)) suite.push_back(std::move(variant));
+  return suite;
+}
+
+std::vector<std::string> full_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : full_suite(0.3)) names.push_back(spec.name);
+  return names;
+}
+
+SchedulerSpec spec_by_name(const std::string& name, double mu) {
+  auto suite = full_suite(mu);
+  for (auto& spec : suite)
+    if (spec.name == name) return std::move(spec);
+  std::string known;
+  for (const auto& spec : suite) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw std::invalid_argument("spec_by_name: unknown scheduler '" + name +
+                              "' (known: " + known + ")");
+}
+
 }  // namespace moldsched::sched

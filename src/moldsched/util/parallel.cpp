@@ -1,12 +1,9 @@
 #include "moldsched/util/parallel.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
-#include <vector>
+
+#include "moldsched/engine/executor.hpp"
 
 namespace moldsched::util {
 
@@ -20,42 +17,10 @@ void parallel_for(std::size_t count,
                   unsigned threads) {
   if (!fn) throw std::invalid_argument("parallel_for: empty function");
   if (count == 0) return;
-  if (threads == 0) threads = default_parallelism();
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, count));
-
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::size_t first_error_index = count;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  // Delegates to the persistent work-stealing executor instead of
+  // spawning a thread pool per call; the calling thread participates, so
+  // nested parallel_for from inside a worker cannot deadlock.
+  engine::Executor::global().parallel_for(count, fn, threads);
 }
 
 }  // namespace moldsched::util

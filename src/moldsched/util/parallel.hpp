@@ -10,10 +10,13 @@
 namespace moldsched::util {
 
 /// Invokes fn(i) for every i in [0, count), distributing iterations over
-/// up to `threads` worker threads (0 = hardware concurrency). Blocks
-/// until all iterations finish. If any invocation throws, the first
-/// exception (in iteration order) is rethrown after all workers join;
-/// remaining iterations may or may not have run.
+/// up to `threads` workers (0 = hardware concurrency) of the process-wide
+/// persistent executor (engine::Executor::global()). The calling thread
+/// participates, so calls may be nested — including from inside executor
+/// workers — without deadlock. Blocks until all iterations finish. If any
+/// invocation throws, the first exception (in iteration order) is
+/// rethrown after all iterations complete or are abandoned; remaining
+/// iterations may or may not have run.
 ///
 /// fn must be safe to call concurrently for distinct i.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,

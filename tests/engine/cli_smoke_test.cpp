@@ -1,0 +1,160 @@
+// End-to-end smoke test of the moldsched_run CLI: runs the table1 suite
+// in a scratch directory, validates every JSONL record against the
+// schema, and checks the generated table1.csv against the committed
+// reference within 1e-9.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "moldsched/engine/result_sink.hpp"
+
+namespace moldsched::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Splits one CSV line; the table1 CSV has no quoted cells.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+class CliSmokeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // One scratch dir per test: ctest -j runs these processes
+    // concurrently, and they must not clobber each other's results.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(testing::TempDir()) /
+           (std::string("moldsched_cli_smoke_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] int run_cli(const std::string& args) const {
+    const std::string cmd = std::string(MOLDSCHED_RUN_BINARY) + " " + args +
+                            " --results-dir=" + (dir_ / "results").string() +
+                            " > " + (dir_ / "stdout.log").string() + " 2> " +
+                            (dir_ / "stderr.log").string();
+    return std::system(cmd.c_str());
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliSmokeTest, Table1SuiteEndToEnd) {
+  ASSERT_EQ(run_cli("--suite table1 --repeats 1 --threads 2"), 0)
+      << read_file(dir_ / "stderr.log");
+
+  // Every JSONL line satisfies the record schema and succeeded.
+  std::ifstream jsonl(dir_ / "results" / "table1.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    const auto problem = validate_record_line(line);
+    EXPECT_EQ(problem, std::nullopt) << line;
+    if (!problem) {
+      const auto rec = parse_record_line(line);
+      EXPECT_EQ(rec.status, "ok") << rec.error;
+      EXPECT_EQ(rec.spec.suite, "table1");
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, 30u);
+
+  // The perf record exists and is non-trivial.
+  const auto bench = read_file(dir_ / "results" / "BENCH_table1.json");
+  EXPECT_NE(bench.find("\"suite\": \"table1\""), std::string::npos);
+  EXPECT_NE(bench.find("\"ok\": 30"), std::string::npos);
+
+  // The regenerated Table 1 matches the committed reference within 1e-9.
+  std::ifstream got(dir_ / "results" / "table1.csv");
+  std::ifstream want(fs::path(MOLDSCHED_SOURCE_DIR) / "results" /
+                     "table1.csv");
+  ASSERT_TRUE(got.is_open());
+  ASSERT_TRUE(want.is_open());
+  std::string got_line, want_line;
+  std::size_t rows = 0;
+  while (std::getline(want, want_line)) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(got, got_line)))
+        << "generated CSV is shorter than the reference";
+    const auto got_cells = split_csv_line(got_line);
+    const auto want_cells = split_csv_line(want_line);
+    ASSERT_EQ(got_cells.size(), want_cells.size()) << want_line;
+    for (std::size_t c = 0; c < want_cells.size(); ++c) {
+      char* end = nullptr;
+      const double expected = std::strtod(want_cells[c].c_str(), &end);
+      if (end == want_cells[c].c_str() + want_cells[c].size() &&
+          !want_cells[c].empty()) {
+        EXPECT_NEAR(std::strtod(got_cells[c].c_str(), nullptr), expected,
+                    1e-9)
+            << "row " << rows << " column " << c;
+      } else {
+        EXPECT_EQ(got_cells[c], want_cells[c]);
+      }
+    }
+    ++rows;
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(got, got_line)))
+      << "generated CSV is longer than the reference";
+  EXPECT_EQ(rows, 5u);  // header + four model rows
+}
+
+TEST_F(CliSmokeTest, ListAndDryRunModes) {
+  ASSERT_EQ(run_cli("--list"), 0);
+  const auto listing = read_file(dir_ / "stdout.log");
+  for (const char* name : {"table1", "ratio-curves", "random-dags",
+                           "workflows", "resilience", "release"})
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+
+  ASSERT_EQ(run_cli("--suite release --dry-run --repeats 1"), 0);
+  const auto plan = read_file(dir_ / "stdout.log");
+  EXPECT_NE(plan.find("# release: 48 job(s)"), std::string::npos) << plan;
+}
+
+TEST_F(CliSmokeTest, UnknownSuiteFailsWithUsage) {
+  EXPECT_NE(run_cli("--suite no-such-suite"), 0);
+  const auto err = read_file(dir_ / "stderr.log");
+  EXPECT_NE(err.find("unknown suite"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, FilterRunsASubsetAndResumeSkipsIt) {
+  ASSERT_EQ(run_cli("--suite workflows --filter cholesky --no-outputs"), 0);
+  std::ifstream jsonl(dir_ / "results" / "workflows.jsonl");
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    const auto rec = parse_record_line(line);
+    EXPECT_EQ(rec.spec.instance, "cholesky");
+    ++records;
+  }
+  EXPECT_EQ(records, 16u);  // 4 models x 4 schedulers
+
+  // --resume re-runs nothing: all jobs are already ok in the JSONL.
+  ASSERT_EQ(
+      run_cli("--suite workflows --filter cholesky --no-outputs --resume"),
+      0);
+  const auto log = read_file(dir_ / "stdout.log");
+  EXPECT_NE(log.find("16 resumed"), std::string::npos) << log;
+}
+
+}  // namespace
+}  // namespace moldsched::engine

@@ -1,0 +1,181 @@
+#include "moldsched/engine/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace moldsched::engine {
+namespace {
+
+JobRecord sample_record(std::uint64_t id = 3) {
+  JobRecord rec;
+  rec.spec.job_id = id;
+  rec.spec.suite = "demo";
+  rec.spec.instance = "layered";
+  rec.spec.scheduler = "lpa";
+  rec.spec.model = model::ModelKind::kAmdahl;
+  rec.spec.P = 32;
+  rec.spec.param = 7;
+  rec.spec.repeat = 2;
+  rec.spec.seed = 18446744073709551557ULL;  // needs full uint64 precision
+  rec.set("makespan", 123.4567890123456789);
+  rec.set("ratio", 1.0 / 3.0);
+  rec.wall_ms = 42.5;
+  return rec;
+}
+
+TEST(JobRecordTest, SetOverwritesAndMetricLooksUp) {
+  JobRecord rec;
+  rec.set("x", 1.0);
+  rec.set("y", 2.0);
+  rec.set("x", 3.0);
+  ASSERT_EQ(rec.metrics.size(), 2u);
+  EXPECT_EQ(rec.metrics[0].first, "x");  // order preserved on overwrite
+  EXPECT_EQ(rec.metric("x"), 3.0);
+  EXPECT_EQ(rec.metric("y"), 2.0);
+  EXPECT_FALSE(rec.metric("z").has_value());
+}
+
+TEST(JobRecordTest, JsonRoundTripPreservesEverything) {
+  const auto rec = sample_record();
+  const auto line = rec.to_json();
+  EXPECT_EQ(validate_record_line(line), std::nullopt)
+      << *validate_record_line(line);
+
+  const auto back = parse_record_line(line);
+  EXPECT_EQ(back.spec.job_id, rec.spec.job_id);
+  EXPECT_EQ(back.spec.suite, rec.spec.suite);
+  EXPECT_EQ(back.spec.instance, rec.spec.instance);
+  EXPECT_EQ(back.spec.scheduler, rec.spec.scheduler);
+  EXPECT_EQ(back.spec.model, rec.spec.model);
+  EXPECT_EQ(back.spec.P, rec.spec.P);
+  EXPECT_EQ(back.spec.param, rec.spec.param);
+  EXPECT_EQ(back.spec.repeat, rec.spec.repeat);
+  EXPECT_EQ(back.spec.seed, rec.spec.seed);  // no double round-trip loss
+  EXPECT_EQ(back.status, "ok");
+  ASSERT_EQ(back.metrics.size(), rec.metrics.size());
+  for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].first, rec.metrics[i].first);
+    // %.17g is exact for doubles.
+    EXPECT_EQ(back.metrics[i].second, rec.metrics[i].second);
+  }
+  EXPECT_DOUBLE_EQ(back.wall_ms, rec.wall_ms);
+}
+
+TEST(JobRecordTest, ErrorRecordsCarryTheMessage) {
+  JobRecord rec = sample_record();
+  rec.status = "error";
+  rec.error = "bad \"quote\" and \\ backslash\nnewline";
+  const auto back = parse_record_line(rec.to_json());
+  EXPECT_EQ(back.status, "error");
+  EXPECT_EQ(back.error, rec.error);
+}
+
+TEST(JobRecordTest, CanonicalJsonOmitsTiming) {
+  const auto rec = sample_record();
+  EXPECT_NE(rec.to_json().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(rec.canonical_json().find("wall_ms"), std::string::npos);
+
+  JobRecord slower = rec;
+  slower.wall_ms = 9999.0;
+  EXPECT_EQ(rec.canonical_json(), slower.canonical_json());
+  EXPECT_NE(rec.to_json(), slower.to_json());
+}
+
+TEST(ValidateRecordLineTest, RejectsMalformedInput) {
+  EXPECT_NE(validate_record_line(""), std::nullopt);
+  EXPECT_NE(validate_record_line("not json"), std::nullopt);
+  EXPECT_NE(validate_record_line("{}"), std::nullopt);
+  // Truncated line, as a crash mid-append would leave behind.
+  const auto full = sample_record().to_json();
+  EXPECT_NE(validate_record_line(full.substr(0, full.size() / 2)),
+            std::nullopt);
+  // Unknown status.
+  JobRecord rec = sample_record();
+  rec.status = "exploded";
+  EXPECT_NE(validate_record_line(rec.to_json()), std::nullopt);
+  EXPECT_THROW((void)parse_record_line("{}"), std::invalid_argument);
+}
+
+TEST(SortedCanonicalJsonlTest, SortsByJobIdAndIsOrderInvariant) {
+  std::vector<JobRecord> a = {sample_record(5), sample_record(1),
+                              sample_record(9)};
+  std::vector<JobRecord> b = {a[2], a[0], a[1]};
+  b[0].wall_ms = 1.0;  // timing noise must not affect the canonical form
+  const auto ja = sorted_canonical_jsonl(a);
+  EXPECT_EQ(ja, sorted_canonical_jsonl(b));
+  const auto first_id = ja.find("\"job_id\":1");
+  const auto second_id = ja.find("\"job_id\":5");
+  const auto third_id = ja.find("\"job_id\":9");
+  EXPECT_LT(first_id, second_id);
+  EXPECT_LT(second_id, third_id);
+  EXPECT_EQ(ja.back(), '\n');
+}
+
+TEST(JsonlSinkTest, AppendsFlushedValidLines) {
+  const std::string path =
+      testing::TempDir() + "/moldsched_sink_test.jsonl";
+  std::filesystem::remove(path);
+  {
+    JsonlSink sink(path);
+    sink.write(sample_record(0));
+    sink.write(sample_record(1));
+    EXPECT_EQ(sink.lines_written(), 2u);
+  }
+  {
+    JsonlSink sink(path);  // append mode by default
+    sink.write(sample_record(2));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(validate_record_line(line), std::nullopt) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+
+  JsonlSink truncating(path, /*truncate=*/true);
+  truncating.write(sample_record(7));
+  std::ifstream in2(path);
+  lines = 0;
+  while (std::getline(in2, line)) ++lines;
+  EXPECT_EQ(lines, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(SummarizeMetricTest, GroupsBySchedulerInFirstSeenOrder) {
+  std::vector<JobRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    JobRecord rec = sample_record(static_cast<std::uint64_t>(i));
+    rec.spec.scheduler = i % 2 == 0 ? "lpa" : "min-time";
+    rec.metrics.clear();
+    rec.set("ratio", 1.0 + i);
+    records.push_back(std::move(rec));
+  }
+  records[5].status = "error";  // excluded from aggregation
+
+  const auto summaries = summarize_metric(records, "ratio");
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].group, "lpa");
+  EXPECT_EQ(summaries[0].count, 3u);
+  EXPECT_DOUBLE_EQ(summaries[0].mean, (1.0 + 3.0 + 5.0) / 3.0);
+  EXPECT_DOUBLE_EQ(summaries[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(summaries[0].max, 5.0);
+  EXPECT_GT(summaries[0].ci95, 0.0);
+  EXPECT_EQ(summaries[1].group, "min-time");
+  EXPECT_EQ(summaries[1].count, 2u);
+
+  const auto table = summary_table(summaries, "Scheduler", "ratio");
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_NE(table.to_csv().find("lpa"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::engine

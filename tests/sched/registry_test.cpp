@@ -49,6 +49,50 @@ TEST(RegistryTest, SpecRunDispatchesToEngine) {
   EXPECT_THROW((void)empty.run(g, 4), std::invalid_argument);
 }
 
+TEST(RegistryTest, MisconfiguredSpecErrorNamesTheSpec) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "t");
+  SchedulerSpec empty;
+  empty.name = "broken";
+  try {
+    (void)empty.run(g, 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos)
+        << "message should name the spec: " << e.what();
+  }
+}
+
+TEST(RegistryTest, FullSuiteConcatenatesStandardAndVariants) {
+  const auto suite = full_suite(0.3);
+  const auto standard = standard_suite(0.3);
+  const auto variants = engine_variants(0.3);
+  ASSERT_EQ(suite.size(), standard.size() + variants.size());
+  const auto names = full_suite_names();
+  ASSERT_EQ(names.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    EXPECT_EQ(names[i], suite[i].name);
+}
+
+TEST(RegistryTest, SpecByNameFindsEverySuiteMember) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "t");
+  for (const auto& name : full_suite_names()) {
+    const auto spec = spec_by_name(name, 0.3);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_GT(spec.run(g, 8).makespan, 0.0) << name;
+  }
+  try {
+    (void)spec_by_name("no-such-scheduler", 0.3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scheduler"), std::string::npos);
+    EXPECT_NE(what.find("lpa"), std::string::npos)
+        << "message should list the known names: " << what;
+  }
+}
+
 TEST(RegistryTest, EngineVariantsProduceValidResults) {
   graph::TaskGraph g;
   const auto a =

@@ -1,0 +1,181 @@
+// moldsched_run — the unified experiment CLI.
+//
+// Runs a named experiment suite (table1, ratio-curves, random-dags,
+// workflows, resilience, release) on the persistent work-stealing
+// executor, streams one JSONL record per job, and writes the legacy
+// results/*.csv tables plus a machine-readable BENCH_<suite>.json perf
+// record. See EXPERIMENTS.md for the mapping from the old bench
+// binaries to suite invocations.
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/engine/engine.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: moldsched_run --suite <name> [options]\n"
+        "       moldsched_run --list\n"
+        "       moldsched_run --suite <name> --dry-run [--filter S]\n"
+        "\n"
+        "options:\n"
+        "  --suite NAME       suite to run (repeatable via comma list)\n"
+        "  --list             list the available suites and exit\n"
+        "  --dry-run          print the suite's job list instead of running\n"
+        "  --threads N        worker threads (default: hardware concurrency)\n"
+        "  --repeats N        repetitions per stochastic point (default: "
+        "per-suite)\n"
+        "  --seed S           base seed for per-job RNG derivation "
+        "(default 1234)\n"
+        "  --filter S         run only jobs whose key contains substring S\n"
+        "  --results-dir D    output directory (default: results)\n"
+        "  --jsonl PATH       override the per-job JSONL path\n"
+        "  --job-timeout T    per-job wall-clock budget in seconds\n"
+        "  --budget T         total wall-clock budget in seconds\n"
+        "  --resume           skip jobs already recorded ok in the JSONL\n"
+        "  --no-outputs       skip the CSV finalizers (JSONL only)\n"
+        "  --no-bench-json    skip writing BENCH_<suite>.json\n"
+        "  --quiet            suppress per-job progress lines\n"
+        "\n"
+        "suites:\n";
+  for (const auto& info : engine::suites())
+    os << "  " << info.name << std::string(14 - std::min<std::size_t>(13, info.name.size()), ' ')
+       << info.description << '\n';
+  return code;
+}
+
+/// util::Flags accepts any `--name`; reject typos (e.g. `--thread`)
+/// instead of silently running with the default value.
+int reject_unknown_flags(int argc, const char* const* argv) {
+  static const char* const kKnown[] = {
+      "suite",       "list",        "dry-run",     "threads",
+      "repeats",     "seed",        "filter",      "results-dir",
+      "jsonl",       "job-timeout", "budget",      "resume",
+      "no-outputs",  "no-bench-json", "quiet",     "help",
+      "h"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const auto name = arg.substr(2, arg.find('=') - 2);
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return name == k; }) ==
+        std::end(kKnown)) {
+      std::cerr << "moldsched_run: unknown flag '--" << name << "'\n\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (const int code = reject_unknown_flags(argc, argv)) return code;
+    const util::Flags flags(argc, argv);
+    if (flags.has("help") || flags.has("h")) return usage(std::cout, 0);
+    if (flags.has("list")) {
+      for (const auto& info : engine::suites())
+        std::cout << info.name << ": " << info.description << '\n';
+      return 0;
+    }
+
+    const auto suite_names = split_csv(flags.get_string("suite", ""));
+    if (suite_names.empty()) {
+      std::cerr << "moldsched_run: --suite is required\n\n";
+      return usage(std::cerr, 2);
+    }
+    for (const auto& name : suite_names) {
+      if (!engine::has_suite(name)) {
+        std::cerr << "moldsched_run: unknown suite '" << name << "'\n\n";
+        return usage(std::cerr, 2);
+      }
+    }
+
+    engine::SuiteOptions options;
+    options.threads =
+        static_cast<unsigned>(flags.get_int("threads", 0));
+    options.repeats = static_cast<int>(flags.get_int("repeats", 0));
+    options.base_seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+    options.filter = flags.get_string("filter", "");
+    options.results_dir = flags.get_string("results-dir", "results");
+    options.jsonl_path = flags.get_string("jsonl", "");
+    options.job_timeout_s = flags.get_double("job-timeout", 0.0);
+    options.total_budget_s = flags.get_double("budget", 0.0);
+    options.resume = flags.get_bool("resume", false);
+    options.write_outputs = !flags.get_bool("no-outputs", false);
+    const bool quiet = flags.get_bool("quiet", false);
+    const bool bench_json = !flags.get_bool("no-bench-json", false);
+
+    if (flags.has("dry-run")) {
+      for (const auto& name : suite_names) {
+        const auto jobs = engine::suite_jobs(name, options);
+        for (const auto& job : jobs)
+          std::cout << name << " #" << job.job_id << "  " << job.key()
+                    << "  seed=" << job.seed << '\n';
+        std::cout << "# " << name << ": " << jobs.size() << " job(s)\n";
+      }
+      return 0;
+    }
+
+    options.human_out = &std::cout;
+    if (!quiet) {
+      options.progress = [](const engine::JobRecord& rec, std::size_t done,
+                            std::size_t total) {
+        std::cerr << "[" << done << "/" << total << "] " << rec.status
+                  << "  " << rec.spec.key() << '\n';
+      };
+    }
+
+    int failures = 0;
+    for (const auto& name : suite_names) {
+      std::cout << "=== suite " << name << " ===\n\n";
+      const auto report = engine::run_suite(name, options);
+      std::cout << "suite " << name << ": " << report.records.size()
+                << " job(s), " << report.ok << " ok, " << report.errors
+                << " error, " << report.timeouts << " timeout, "
+                << report.cancelled << " cancelled";
+      if (report.resumed > 0) std::cout << ", " << report.resumed << " resumed";
+      std::cout << "  (" << report.threads << " threads, "
+                << util::format_double(report.wall_s, 2) << " s)\n";
+      for (const auto& path : report.outputs)
+        std::cout << "  wrote " << path << '\n';
+      if (bench_json) {
+        const std::string path =
+            options.results_dir + "/BENCH_" + name + ".json";
+        analysis::write_file(path, engine::bench_json(report));
+        std::cout << "  wrote " << path << '\n';
+      }
+      std::cout << '\n';
+      failures += static_cast<int>(report.errors + report.timeouts +
+                                   report.cancelled);
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "moldsched_run: " << e.what() << '\n';
+    return 1;
+  }
+}
