@@ -4,14 +4,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "moldsched/graph/algorithms.hpp"
 #include "moldsched/sim/event_queue.hpp"
 #include "moldsched/sim/platform.hpp"
 
 namespace moldsched::core {
 
 OnlineScheduler::OnlineScheduler(const graph::TaskGraph& g, int P,
-                                 const Allocator& alloc, QueuePolicy policy)
-    : graph_(g), P_(P), allocator_(alloc), policy_(policy) {
+                                 const Allocator& alloc, QueuePolicy policy,
+                                 obs::Observer* observer)
+    : graph_(g), P_(P), allocator_(alloc), policy_(policy),
+      observer_(observer) {
   if (P < 1) throw std::invalid_argument("OnlineScheduler: P must be >= 1");
   g.validate();
 }
@@ -40,6 +43,25 @@ ScheduleResult OnlineScheduler::run() const {
 
   std::vector<QueueEntry> queue;  // waiting queue Q, kept in service order
   std::uint64_t reveal_seq = 0;
+
+  // Instrumentation state, touched only when an observer is attached so
+  // unobserved runs pay a single pointer check per decision.
+  int alloc_cap = -1;          // LPA mu-threshold ceil(mu P), if any
+  std::vector<int> layers;     // hop depth per task (0 = source)
+  std::vector<double> start_time;
+  int procs_in_use = 0;
+  double waiting_area = 0.0;    // sum of alloc * (start - ready)
+  double executing_area = 0.0;  // sum of alloc * exec_time
+  if (observer_ != nullptr) {
+    events.set_observer(observer_);
+    if (const auto* lpa = dynamic_cast<const LpaAllocator*>(&allocator_))
+      alloc_cap = lpa->cap(P_);
+    const std::vector<double> hops(static_cast<std::size_t>(n), 1.0);
+    const std::vector<double> tops = graph::top_levels(graph_, hops);
+    layers.reserve(static_cast<std::size_t>(n));
+    for (const double t : tops) layers.push_back(static_cast<int>(t + 0.5));
+    start_time.assign(static_cast<std::size_t>(n), 0.0);
+  }
 
   auto reveal = [&](graph::TaskId task, double now) {
     const int alloc = allocator_.allocate(graph_.model_of(task), P_);
@@ -72,6 +94,9 @@ ScheduleResult OnlineScheduler::run() const {
         break;
       }
     }
+    if (observer_ != nullptr)
+      observer_->on_task_ready(task, graph_.name(task), now, alloc, alloc_cap,
+                               queue.size());
   };
 
   auto try_start_all = [&](double now) {
@@ -86,6 +111,17 @@ ScheduleResult OnlineScheduler::run() const {
         result.trace.record_start(task, now, alloc);
         events.schedule(now + graph_.model_of(task).time(alloc), task);
         it = queue.erase(it);
+        if (observer_ != nullptr) {
+          const auto t = static_cast<std::size_t>(task);
+          const double waited = now - result.ready_time[t];
+          start_time[t] = now;
+          procs_in_use += alloc;
+          waiting_area += static_cast<double>(alloc) * waited;
+          observer_->on_task_start(task, graph_.name(task),
+                                   graph_.model_of(task).describe(), now,
+                                   alloc, waited, layers[t], queue.size(),
+                                   procs_in_use);
+        }
       } else {
         ++it;
       }
@@ -106,7 +142,16 @@ ScheduleResult OnlineScheduler::run() const {
     for (const auto& ev : batch) {
       const auto task = static_cast<graph::TaskId>(ev.payload);
       result.trace.record_end(task, now);
-      platform.release(result.allocation[static_cast<std::size_t>(task)]);
+      const int alloc = result.allocation[static_cast<std::size_t>(task)];
+      platform.release(alloc);
+      if (observer_ != nullptr) {
+        const auto t = static_cast<std::size_t>(task);
+        const double exec_time = now - start_time[t];
+        procs_in_use -= alloc;
+        executing_area += static_cast<double>(alloc) * exec_time;
+        observer_->on_task_end(task, now, alloc, exec_time, queue.size(),
+                               procs_in_use);
+      }
       for (const graph::TaskId s : graph_.successors(task))
         if (--pending_preds[static_cast<std::size_t>(s)] == 0)
           newly_ready.push_back(s);
@@ -126,12 +171,16 @@ ScheduleResult OnlineScheduler::run() const {
     throw std::logic_error("OnlineScheduler: not every task was scheduled");
 
   result.makespan = result.trace.makespan();
+  if (observer_ != nullptr)
+    observer_->on_sim_done(result.makespan, waiting_area, executing_area,
+                           result.num_events);
   return result;
 }
 
 ScheduleResult schedule_online(const graph::TaskGraph& g, int P,
-                               const Allocator& alloc, QueuePolicy policy) {
-  return OnlineScheduler(g, P, alloc, policy).run();
+                               const Allocator& alloc, QueuePolicy policy,
+                               obs::Observer* observer) {
+  return OnlineScheduler(g, P, alloc, policy, observer).run();
 }
 
 }  // namespace moldsched::core

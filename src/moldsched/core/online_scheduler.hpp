@@ -14,6 +14,7 @@
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/queue_policy.hpp"
 #include "moldsched/graph/task_graph.hpp"
+#include "moldsched/obs/observer.hpp"
 #include "moldsched/sim/trace.hpp"
 
 namespace moldsched::core {
@@ -32,9 +33,13 @@ struct ScheduleResult {
 class OnlineScheduler {
  public:
   /// Throws std::invalid_argument for an empty/cyclic graph or P < 1.
-  /// The allocator reference must outlive run().
+  /// The allocator reference must outlive run(). An optional observer
+  /// receives every scheduling decision (task ready/start/end, event
+  /// queue activity, final Lemma areas); nullptr — the default — keeps
+  /// the hot path free of instrumentation beyond one pointer check.
   OnlineScheduler(const graph::TaskGraph& g, int P, const Allocator& alloc,
-                  QueuePolicy policy = QueuePolicy::kFifo);
+                  QueuePolicy policy = QueuePolicy::kFifo,
+                  obs::Observer* observer = nullptr);
 
   /// Simulates the schedule to completion and returns the result.
   /// Throws std::logic_error if the allocator ever returns an allocation
@@ -46,11 +51,13 @@ class OnlineScheduler {
   int P_;
   const Allocator& allocator_;
   QueuePolicy policy_;
+  obs::Observer* observer_;
 };
 
 /// One-call convenience wrapper.
 [[nodiscard]] ScheduleResult schedule_online(
     const graph::TaskGraph& g, int P, const Allocator& alloc,
-    QueuePolicy policy = QueuePolicy::kFifo);
+    QueuePolicy policy = QueuePolicy::kFifo,
+    obs::Observer* observer = nullptr);
 
 }  // namespace moldsched::core

@@ -8,9 +8,12 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/trace_writer.hpp"
 #include "moldsched/util/parallel.hpp"
 
 namespace moldsched::engine {
@@ -105,6 +108,15 @@ struct Executor::Impl {
 
   const Executor* owner = nullptr;
 
+  // Sharded counters from the process registry: one relaxed atomic
+  // add per pop/steal, so instrumentation does not serialize workers.
+  obs::Counter& submits = obs::default_registry().counter(
+      "engine.executor.submitted");
+  obs::Counter& pops = obs::default_registry().counter(
+      "engine.executor.pops");
+  obs::Counter& steals = obs::default_registry().counter(
+      "engine.executor.steals");
+
   void push(std::size_t worker, std::function<void()> task) {
     {
       const std::lock_guard<std::mutex> lock(queues[worker]->mutex);
@@ -123,17 +135,25 @@ struct Executor::Impl {
         auto task = std::move(q.tasks.back());
         q.tasks.pop_back();
         queued.fetch_sub(1, std::memory_order_relaxed);
+        pops.add();
         return task;
       }
     }
     const std::size_t n = queues.size();
     for (std::size_t k = 1; k < n; ++k) {
-      auto& q = *queues[(self + k) % n];
+      const std::size_t victim = (self + k) % n;
+      auto& q = *queues[victim];
       const std::lock_guard<std::mutex> lock(q.mutex);
       if (!q.tasks.empty()) {
         auto task = std::move(q.tasks.front());
         q.tasks.pop_front();
         queued.fetch_sub(1, std::memory_order_relaxed);
+        steals.add();
+        if (obs::TraceWriter* tracer = obs::global_tracer())
+          tracer->instant(obs::TraceWriter::kEnginePid,
+                          static_cast<int>(self), "steal", "engine",
+                          tracer->now_us(),
+                          {{"victim", std::to_string(victim)}});
         return task;
       }
     }
@@ -206,6 +226,10 @@ unsigned Executor::thread_count() const noexcept {
 
 bool Executor::on_worker_thread() const noexcept { return tl_pool == this; }
 
+std::size_t Executor::current_worker() const noexcept {
+  return tl_pool == this ? tl_worker : npos;
+}
+
 std::uint64_t Executor::tasks_executed() const noexcept {
   return impl_->executed.load(std::memory_order_relaxed);
 }
@@ -213,6 +237,7 @@ std::uint64_t Executor::tasks_executed() const noexcept {
 void Executor::submit(std::function<void()> task) {
   if (!task) throw std::invalid_argument("Executor::submit: empty task");
   impl_->pending.fetch_add(1, std::memory_order_acq_rel);
+  impl_->submits.add();
   const std::size_t target =
       on_worker_thread()
           ? tl_worker

@@ -87,6 +87,12 @@ class Executor {
   /// True when called from one of this pool's worker threads.
   [[nodiscard]] bool on_worker_thread() const noexcept;
 
+  /// Index in [0, thread_count()) of the calling worker thread, or npos
+  /// when the caller is not one of this pool's workers. Stable for the
+  /// thread's lifetime, so it doubles as a trace lane id.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t current_worker() const noexcept;
+
   /// Total tasks + chunks executed so far (heartbeat/diagnostics).
   [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
 

@@ -177,6 +177,8 @@ JobRecord parse_impl(const std::string& line) {
         saw_status = true;
       } else if (k == "error") {
         rec.error = sc.string_value();
+      } else if (k == "queue_ms") {
+        rec.queue_ms = to_double(sc.number_token());
       } else if (k == "wall_ms") {
         rec.wall_ms = to_double(sc.number_token());
       } else if (k == "metrics") {
@@ -252,7 +254,10 @@ std::string JobRecord::to_json(bool include_timing) const {
     out += '"' + escape(k) + "\":" + format_number(v);
   }
   out += '}';
-  if (include_timing) out += ",\"wall_ms\":" + format_number(wall_ms);
+  if (include_timing) {
+    out += ",\"queue_ms\":" + format_number(queue_ms);
+    out += ",\"wall_ms\":" + format_number(wall_ms);
+  }
   out += '}';
   return out;
 }

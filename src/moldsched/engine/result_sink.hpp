@@ -28,14 +28,15 @@ struct JobRecord {
   std::string status = "ok";  ///< ok | error | timeout | cancelled
   std::string error;          ///< what() of the escaping exception
   std::vector<std::pair<std::string, double>> metrics;
-  double wall_ms = 0.0;  ///< measured wall time (volatile across runs)
+  double queue_ms = 0.0;  ///< time from batch submission to worker pickup
+  double wall_ms = 0.0;   ///< measured run wall time (volatile across runs)
 
   void set(const std::string& name, double value);
   [[nodiscard]] std::optional<double> metric(const std::string& name) const;
 
   /// One JSON object, single line. `include_timing` == false omits the
-  /// wall_ms field — the canonical form used by determinism checks,
-  /// identical across thread counts and execution orders.
+  /// queue_ms/wall_ms fields — the canonical form used by determinism
+  /// checks, identical across thread counts and execution orders.
   [[nodiscard]] std::string to_json(bool include_timing = true) const;
   [[nodiscard]] std::string canonical_json() const { return to_json(false); }
 };

@@ -6,8 +6,31 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/trace_writer.hpp"
 
 namespace moldsched::engine {
+
+namespace {
+
+/// Trace lane for the calling thread: its worker index, or one lane
+/// past the pool (the caller participates in parallel_for).
+int trace_lane(obs::TraceWriter& tracer) {
+  const Executor& pool = Executor::global();
+  const std::size_t worker = pool.current_worker();
+  const int tid = worker == Executor::npos
+                      ? static_cast<int>(pool.thread_count())
+                      : static_cast<int>(worker);
+  tracer.set_thread_name(obs::TraceWriter::kEnginePid, tid,
+                         worker == Executor::npos
+                             ? "caller"
+                             : "worker " + std::to_string(worker));
+  return tid;
+}
+
+}  // namespace
 
 std::vector<JobRecord> run_jobs(const std::vector<JobSpec>& jobs,
                                 const JobRunner& runner,
@@ -24,16 +47,39 @@ std::vector<JobRecord> run_jobs(const std::vector<JobSpec>& jobs,
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
 
+  auto& registry = obs::default_registry();
+  obs::Counter& jobs_total = registry.counter("engine.jobs.total");
+  obs::Counter& jobs_ok = registry.counter("engine.jobs.ok");
+  obs::Counter& jobs_error = registry.counter("engine.jobs.error");
+  obs::Counter& jobs_timeout = registry.counter("engine.jobs.timeout");
+  obs::Counter& jobs_cancelled = registry.counter("engine.jobs.cancelled");
+  obs::Histogram& wall_hist = registry.histogram("engine.job.wall_ms");
+  obs::Histogram& queue_hist = registry.histogram("engine.job.queue_ms");
+
+  const auto batch_start = std::chrono::steady_clock::now();
+
   Executor::global().parallel_for(
       jobs.size(),
       [&](std::size_t i) {
         const JobSpec& spec = jobs[i];
         JobRecord& rec = records[i];
         rec.spec = spec;
+        rec.queue_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - batch_start)
+                           .count();
+        if (options.observer)
+          options.observer->on_job_start(spec.job_id, spec.key(),
+                                         rec.queue_ms);
+        obs::TraceWriter* tracer = obs::global_tracer();
+        const double span_ts = tracer ? tracer->now_us() : 0.0;
 
         if (budget.cancelled()) {
           rec.status = "cancelled";
           rec.error = "run budget exhausted before start";
+          if (tracer)
+            tracer->instant(obs::TraceWriter::kEnginePid, trace_lane(*tracer),
+                            "cancelled", "engine", tracer->now_us(),
+                            {{"job", spec.key()}});
         } else {
           const CancelToken token =
               options.job_timeout_s > 0.0
@@ -53,12 +99,38 @@ std::vector<JobRecord> run_jobs(const std::vector<JobSpec>& jobs,
           rec.wall_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - start)
                             .count();
+          rec.queue_ms = std::chrono::duration<double, std::milli>(
+                             start - batch_start)
+                             .count();
           // A job that outlived its own deadline reports "timeout" even
           // if the runner managed to finish: its budget was exceeded.
           if (rec.status == "ok" && options.job_timeout_s > 0.0 &&
               rec.wall_ms > options.job_timeout_s * 1e3)
             rec.status = "timeout";
+          if (tracer) {
+            const int tid = trace_lane(*tracer);
+            tracer->complete_span(obs::TraceWriter::kEnginePid, tid,
+                                  spec.key(), "engine", span_ts,
+                                  rec.wall_ms * 1e3,
+                                  {{"status", rec.status},
+                                   {"queue_ms", std::to_string(rec.queue_ms)}});
+            if (rec.status == "timeout")
+              tracer->instant(obs::TraceWriter::kEnginePid, tid, "timeout",
+                              "engine", tracer->now_us(),
+                              {{"job", spec.key()}});
+          }
         }
+
+        jobs_total.add();
+        if (rec.status == "ok") jobs_ok.add();
+        else if (rec.status == "error") jobs_error.add();
+        else if (rec.status == "timeout") jobs_timeout.add();
+        else if (rec.status == "cancelled") jobs_cancelled.add();
+        wall_hist.observe(rec.wall_ms);
+        queue_hist.observe(rec.queue_ms);
+        if (options.observer)
+          options.observer->on_job_end(spec.job_id, spec.key(), rec.status,
+                                       rec.wall_ms);
 
         if (options.sink) options.sink->write(rec);
         const std::size_t finished =

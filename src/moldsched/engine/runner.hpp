@@ -10,6 +10,7 @@
 #include "moldsched/engine/executor.hpp"
 #include "moldsched/engine/job.hpp"
 #include "moldsched/engine/result_sink.hpp"
+#include "moldsched/obs/observer.hpp"
 
 namespace moldsched::engine {
 
@@ -29,6 +30,11 @@ struct RunOptions {
   std::function<void(const JobRecord&, std::size_t done, std::size_t total)>
       progress;
   JsonlSink* sink = nullptr;  ///< optional streaming sink (thread-safe)
+  /// Optional lifecycle observer: on_job_start fires when a worker picks
+  /// the job up (queue_ms = time spent waiting since batch submission),
+  /// on_job_end when its record is final. Must be thread-safe; called
+  /// concurrently from worker threads.
+  obs::Observer* observer = nullptr;
 };
 
 /// Runs every job through `runner` on the global executor and returns

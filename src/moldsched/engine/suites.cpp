@@ -29,6 +29,7 @@
 #include "moldsched/graph/adversary.hpp"
 #include "moldsched/graph/generators.hpp"
 #include "moldsched/model/sampler.hpp"
+#include "moldsched/obs/obs.hpp"
 #include "moldsched/resilience/resilient_scheduler.hpp"
 #include "moldsched/sched/baselines.hpp"
 #include "moldsched/sched/level_scheduler.hpp"
@@ -205,7 +206,31 @@ JobRecord table1_run(const JobSpec& spec, const CancelToken& token) {
     const auto inst = build_adversary(spec.model, spec.param, row.mu_star);
     if (token.cancelled()) return cancelled_record(spec);
     const core::LpaAllocator alloc(inst.mu);
-    const auto result = core::schedule_online(inst.graph, inst.P, alloc);
+
+    // When the run is being observed, watch this simulation: feed the
+    // default registry and/or render it as its own process lane group
+    // in the Chrome trace. Unobserved runs pass a null observer and
+    // take the uninstrumented path through the scheduler.
+    obs::TraceWriter* tracer = obs::global_tracer();
+    std::unique_ptr<obs::MetricsObserver> metrics_obs;
+    std::unique_ptr<obs::SimTraceObserver> trace_obs;
+    std::vector<obs::Observer*> sinks;
+    if (obs::metrics_collection_enabled()) {
+      metrics_obs = std::make_unique<obs::MetricsObserver>(
+          obs::default_registry());
+      sinks.push_back(metrics_obs.get());
+    }
+    if (tracer != nullptr) {
+      const int pid = tracer->new_process("sim " + spec.key());
+      trace_obs =
+          std::make_unique<obs::SimTraceObserver>(*tracer, pid, inst.P);
+      sinks.push_back(trace_obs.get());
+    }
+    obs::FanoutObserver fanout(sinks);
+    obs::Observer* observer = sinks.empty() ? nullptr : &fanout;
+
+    const auto result = core::schedule_online(
+        inst.graph, inst.P, alloc, core::QueuePolicy::kFifo, observer);
     rec.set("simulated_ratio", result.makespan / inst.t_opt_upper);
     rec.set("ratio_limit", inst.ratio_limit);
     rec.set("upper_bound", row.upper_bound);
@@ -1057,7 +1082,8 @@ std::string bench_json(const SuiteReport& report) {
      << "  \"threads\": " << report.threads << ",\n"
      << "  \"wall_s\": " << report.wall_s << ",\n"
      << "  \"jobs_per_sec\": " << report.jobs_per_s << ",\n"
-     << "  \"peak_rss_mb\": " << peak_rss_mb() << "\n"
+     << "  \"peak_rss_mb\": " << peak_rss_mb() << ",\n"
+     << "  \"metrics\": " << obs::default_registry().to_json(2) << "\n"
      << "}\n";
   return os.str();
 }

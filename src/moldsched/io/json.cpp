@@ -3,9 +3,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "moldsched/model/general_model.hpp"
+#include "moldsched/obs/trace_writer.hpp"
 
 namespace moldsched::io {
 
@@ -72,6 +74,64 @@ std::string trace_to_json(const sim::Trace& trace) {
   }
   os << "]}";
   return os.str();
+}
+
+std::string trace_to_chrome_json(const sim::Trace& trace, int P,
+                                 const std::string& process_name,
+                                 const graph::TaskGraph* g) {
+  if (P < 1)
+    throw std::invalid_argument("trace_to_chrome_json: P must be >= 1");
+  constexpr double kScale = 1e6;  // simulated seconds -> microseconds
+  constexpr int kMaxLanes = 64;
+  const bool per_processor = P <= kMaxLanes;
+
+  obs::TraceWriter writer;
+  const int pid = writer.new_process(process_name);
+
+  // Greedy lane assignment over records in start order: a lane is free
+  // once the previous occupant's end is <= the new start. A valid
+  // schedule never needs more than P lanes in per-processor mode.
+  std::vector<double> lane_free;
+  if (per_processor) {
+    lane_free.assign(static_cast<std::size_t>(P), 0.0);
+    for (int lane = 0; lane < P; ++lane)
+      writer.set_thread_name(pid, lane, "proc " + std::to_string(lane));
+  }
+  for (const auto& r : trace.records()) {
+    const std::string label =
+        g != nullptr && r.task >= 0 && r.task < g->num_tasks()
+            ? g->name(r.task)
+            : "task " + std::to_string(r.task);
+    const std::vector<std::pair<std::string, std::string>> args = {
+        {"task", std::to_string(r.task)},
+        {"procs", std::to_string(r.procs)}};
+    const int spans = per_processor ? r.procs : 1;
+    int placed = 0;
+    for (std::size_t lane = 0; lane < lane_free.size() && placed < spans;
+         ++lane) {
+      if (lane_free[lane] <= r.start) {
+        lane_free[lane] = r.end;
+        writer.complete_span(pid, static_cast<int>(lane), label, "sim",
+                             r.start * kScale, (r.end - r.start) * kScale,
+                             args);
+        ++placed;
+      }
+    }
+    while (placed < spans) {
+      lane_free.push_back(r.end);
+      const int lane = static_cast<int>(lane_free.size()) - 1;
+      if (!per_processor)
+        writer.set_thread_name(pid, lane, "slot " + std::to_string(lane));
+      writer.complete_span(pid, lane, label, "sim", r.start * kScale,
+                           (r.end - r.start) * kScale, args);
+      ++placed;
+    }
+  }
+
+  for (const auto& iv : trace.utilization_profile())
+    writer.counter(pid, "procs in use", iv.begin * kScale,
+                   {{"procs", static_cast<double>(iv.procs_in_use)}});
+  return writer.to_json();
 }
 
 sim::Trace read_trace_csv(const std::string& csv) {

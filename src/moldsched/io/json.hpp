@@ -17,6 +17,16 @@ namespace moldsched::io {
 /// {"makespan": ..., "records": [{"task", "start", "end", "procs"}]}.
 [[nodiscard]] std::string trace_to_json(const sim::Trace& trace);
 
+/// Chrome trace-event JSON of a completed trace, loadable in Perfetto /
+/// chrome://tracing: one process named `process_name`, one lane per
+/// processor (each task spans every lane it occupies) when P <= 64,
+/// else one lane per concurrently running task, plus a "procs in use"
+/// counter track. Simulated seconds map to trace seconds. Task names
+/// come from `g` when given, else "task <id>".
+[[nodiscard]] std::string trace_to_chrome_json(
+    const sim::Trace& trace, int P, const std::string& process_name = "sim",
+    const graph::TaskGraph* g = nullptr);
+
 /// CSV with one row per scheduled task: task,name,start,end,procs.
 [[nodiscard]] std::string trace_to_csv(const graph::TaskGraph& g,
                                        const sim::Trace& trace);

@@ -1,0 +1,281 @@
+#include "moldsched/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace moldsched::obs {
+
+namespace detail {
+
+std::size_t thread_shard(std::size_t num_shards) noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id % num_shards;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+  for (auto& shard : shards_)
+    shard.buckets =
+        std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+const std::vector<double>& Histogram::default_time_bounds() {
+  static const std::vector<double> bounds = {
+      0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+      250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& shard = shards_[detail::thread_shard(kShards)];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + v,
+                                          std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] += shard.buckets[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const auto& shard : shards_)
+    total += shard.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+namespace {
+
+std::string format_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) {
+    if (!it->second.counter)
+      throw std::invalid_argument("MetricRegistry: '" + name +
+                                  "' is registered with a different type");
+    return *it->second.counter;
+  }
+  Entry entry;
+  entry.counter = std::make_unique<Counter>();
+  Counter& ref = *entry.counter;
+  entries_.insert(it, {name, std::move(entry)});
+  return ref;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) {
+    if (!it->second.gauge)
+      throw std::invalid_argument("MetricRegistry: '" + name +
+                                  "' is registered with a different type");
+    return *it->second.gauge;
+  }
+  Entry entry;
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge& ref = *entry.gauge;
+  entries_.insert(it, {name, std::move(entry)});
+  return ref;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) {
+    if (!it->second.histogram)
+      throw std::invalid_argument("MetricRegistry: '" + name +
+                                  "' is registered with a different type");
+    return *it->second.histogram;
+  }
+  Entry entry;
+  entry.histogram = std::make_unique<Histogram>(
+      bounds.empty() ? Histogram::default_time_bounds() : std::move(bounds));
+  Histogram& ref = *entry.histogram;
+  entries_.insert(it, {name, std::move(entry)});
+  return ref;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample s;
+    s.name = name;
+    if (entry.counter) {
+      s.kind = MetricSample::Kind::kCounter;
+      s.value = static_cast<double>(entry.counter->value());
+    } else if (entry.gauge) {
+      s.kind = MetricSample::Kind::kGauge;
+      s.value = entry.gauge->value();
+    } else {
+      s.kind = MetricSample::Kind::kHistogram;
+      s.count = entry.histogram->count();
+      s.sum = entry.histogram->sum();
+      s.min = entry.histogram->min();
+      s.max = entry.histogram->max();
+      s.bounds = entry.histogram->bounds();
+      s.buckets = entry.histogram->bucket_counts();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricRegistry::to_json(int indent) const {
+  const auto samples = snapshot();
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  // The opening brace carries no padding so the document embeds cleanly
+  // after a "key": prefix; continuation lines use `indent` spaces.
+  std::string out = "{\n";
+  for (const auto kind :
+       {MetricSample::Kind::kCounter, MetricSample::Kind::kGauge,
+        MetricSample::Kind::kHistogram}) {
+    const char* section = kind == MetricSample::Kind::kCounter ? "counters"
+                          : kind == MetricSample::Kind::kGauge
+                              ? "gauges"
+                              : "histograms";
+    out += pad + "  \"" + section + "\": {";
+    bool first = true;
+    for (const auto& s : samples) {
+      if (s.kind != kind) continue;
+      if (!first) out += ',';
+      first = false;
+      out += "\n" + pad + "    \"" + s.name + "\": ";
+      if (kind == MetricSample::Kind::kCounter) {
+        out += std::to_string(static_cast<std::uint64_t>(s.value));
+      } else if (kind == MetricSample::Kind::kGauge) {
+        out += format_number(s.value);
+      } else {
+        out += "{\"count\": " + std::to_string(s.count) +
+               ", \"sum\": " + format_number(s.sum);
+        if (s.count > 0) {
+          out += ", \"min\": " + format_number(s.min) +
+                 ", \"max\": " + format_number(s.max);
+        }
+        out += ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(s.buckets[i]);
+        }
+        out += "]}";
+      }
+    }
+    out += first ? "}" : "\n" + pad + "  }";
+    out += kind == MetricSample::Kind::kHistogram ? "\n" : ",\n";
+  }
+  out += pad + "}";
+  return out;
+}
+
+void MetricRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    else if (entry.gauge) entry.gauge->reset();
+    else entry.histogram->reset();
+  }
+}
+
+MetricRegistry& default_registry() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+namespace {
+std::atomic<bool> g_metrics_collection{false};
+}  // namespace
+
+void set_metrics_collection(bool enabled) noexcept {
+  g_metrics_collection.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_collection_enabled() noexcept {
+  return g_metrics_collection.load(std::memory_order_relaxed);
+}
+
+}  // namespace moldsched::obs

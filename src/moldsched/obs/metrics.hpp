@@ -1,0 +1,203 @@
+// Thread-safe metrics: counters, gauges and histograms behind a named
+// registry, designed so instrumenting a hot path (the executor's
+// steal/pop loop, the simulator's event loop) costs about one relaxed
+// atomic operation.
+//
+// Counters are sharded: each thread hashes to one of a fixed set of
+// cache-line-padded atomic cells, so concurrent increments from the
+// worker pool do not bounce a single cache line. Reads sum the shards
+// (reads are rare — snapshots, heartbeats — writes are the hot case).
+// Gauges are a single atomic double. Histograms bucket by fixed,
+// registration-time bounds with sharded per-bucket counts.
+//
+// A process-wide default_registry() backs the engine's built-in
+// instrumentation; library code may also create private registries.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace moldsched::obs {
+
+namespace detail {
+/// Stable small shard index for the calling thread (assigned on first
+/// use, round-robin over the shard count).
+[[nodiscard]] std::size_t thread_shard(std::size_t num_shards) noexcept;
+}  // namespace detail
+
+/// Monotonic event count. add() is wait-free: one relaxed fetch_add on
+/// the caller's shard.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_shard(kShards)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Concurrent adds may or may not be included.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins instantaneous value (queue depth, utilization, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Raises the stored value to v if v is larger (peak tracking).
+  void record_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed values over fixed upper-bound buckets
+/// (bucket i counts samples <= bounds[i]; one implicit +inf bucket
+/// catches the rest). observe() touches one sharded bucket cell plus
+/// sharded sum/count cells — all relaxed.
+class Histogram {
+ public:
+  /// Bounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default bounds suited to millisecond timings: 0.1 .. 10000 ms.
+  [[nodiscard]] static const std::vector<double>& default_time_bounds();
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts, one extra trailing entry for the +inf bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// +inf / -inf when empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Point-in-time value of one metric, as captured by
+/// MetricRegistry::snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter value or gauge reading
+  // Histogram-only fields:
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+};
+
+/// Named metric registry. Registration is idempotent: asking twice for
+/// the same name returns the same instrument (and throws
+/// std::invalid_argument if the existing instrument has a different
+/// type). Returned references live as long as the registry.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration; empty = default
+  /// time bounds.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds = {});
+
+  /// All metrics in name order (deterministic serialization).
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Pretty-printed JSON object {"counters":{...}, "gauges":{...},
+  /// "histograms":{...}} with keys in name order. `indent` spaces of
+  /// leading indentation on every line (for embedding).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// Zeroes every counter/gauge and clears histogram contents without
+  /// invalidating references handed out earlier.
+  void reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // name-sorted
+};
+
+/// The process-wide registry used by the engine's built-in
+/// instrumentation (executor steal/pop counters, job outcome counters).
+[[nodiscard]] MetricRegistry& default_registry();
+
+/// Arms optional fine-grained collection (the CLI sets this when
+/// --metrics is passed). The engine's coarse built-in counters are
+/// always on; this flag gates only instrumentation too hot to run
+/// unconditionally, such as per-task simulator observers.
+void set_metrics_collection(bool enabled) noexcept;
+[[nodiscard]] bool metrics_collection_enabled() noexcept;
+
+}  // namespace moldsched::obs

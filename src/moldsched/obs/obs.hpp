@@ -1,0 +1,10 @@
+// Umbrella header for the observability subsystem: the metrics registry
+// (counters/gauges/histograms with per-thread sharding), the Chrome
+// trace-event writer + validator, and the Observer instrumentation
+// hooks wired into the simulator, the online scheduler and the
+// experiment engine.
+#pragma once
+
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/observer.hpp"
+#include "moldsched/obs/trace_writer.hpp"

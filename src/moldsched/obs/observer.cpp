@@ -1,0 +1,212 @@
+#include "moldsched/obs/observer.hpp"
+
+#include <algorithm>
+
+namespace moldsched::obs {
+
+// ---------------------------------------------------------------------------
+// FanoutObserver
+
+FanoutObserver::FanoutObserver(std::vector<Observer*> sinks) {
+  for (Observer* s : sinks)
+    if (s != nullptr) sinks_.push_back(s);
+}
+
+void FanoutObserver::on_task_ready(int task, const std::string& name,
+                                   double time, int alloc, int alloc_cap,
+                                   std::size_t queue_depth) {
+  for (Observer* s : sinks_)
+    s->on_task_ready(task, name, time, alloc, alloc_cap, queue_depth);
+}
+
+void FanoutObserver::on_task_start(int task, const std::string& name,
+                                   const std::string& model, double time,
+                                   int procs, double waited, int layer,
+                                   std::size_t queue_depth,
+                                   int procs_in_use) {
+  for (Observer* s : sinks_)
+    s->on_task_start(task, name, model, time, procs, waited, layer,
+                     queue_depth, procs_in_use);
+}
+
+void FanoutObserver::on_task_end(int task, double time, int procs,
+                                 double exec_time, std::size_t queue_depth,
+                                 int procs_in_use) {
+  for (Observer* s : sinks_)
+    s->on_task_end(task, time, procs, exec_time, queue_depth, procs_in_use);
+}
+
+void FanoutObserver::on_sim_done(double makespan, double waiting_area,
+                                 double executing_area,
+                                 std::uint64_t num_events) {
+  for (Observer* s : sinks_)
+    s->on_sim_done(makespan, waiting_area, executing_area, num_events);
+}
+
+void FanoutObserver::on_event_scheduled(double now, double event_time,
+                                        std::int64_t payload,
+                                        std::size_t pending_events) {
+  for (Observer* s : sinks_)
+    s->on_event_scheduled(now, event_time, payload, pending_events);
+}
+
+void FanoutObserver::on_event_batch(double time, std::size_t batch_size,
+                                    std::size_t pending_events) {
+  for (Observer* s : sinks_)
+    s->on_event_batch(time, batch_size, pending_events);
+}
+
+void FanoutObserver::on_job_start(std::uint64_t job_id, const std::string& key,
+                                  double queue_ms) {
+  for (Observer* s : sinks_) s->on_job_start(job_id, key, queue_ms);
+}
+
+void FanoutObserver::on_job_end(std::uint64_t job_id, const std::string& key,
+                                const std::string& status, double wall_ms) {
+  for (Observer* s : sinks_) s->on_job_end(job_id, key, status, wall_ms);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsObserver
+
+MetricsObserver::MetricsObserver(MetricRegistry& registry,
+                                 const std::string& prefix)
+    : ready_(registry.counter(prefix + ".tasks.ready")),
+      started_(registry.counter(prefix + ".tasks.started")),
+      completed_(registry.counter(prefix + ".tasks.completed")),
+      capped_(registry.counter(prefix + ".tasks.capped")),
+      sims_(registry.counter(prefix + ".sims")),
+      queue_peak_(registry.gauge(prefix + ".queue_depth.peak")),
+      waiting_area_(registry.gauge(prefix + ".waiting_area")),
+      executing_area_(registry.gauge(prefix + ".executing_area")),
+      wait_(registry.histogram(prefix + ".task.wait")) {}
+
+void MetricsObserver::on_task_ready(int, const std::string&, double,
+                                    int alloc, int alloc_cap,
+                                    std::size_t queue_depth) {
+  ready_.add();
+  if (alloc_cap >= 1 && alloc >= alloc_cap) capped_.add();
+  queue_peak_.record_max(static_cast<double>(queue_depth));
+}
+
+void MetricsObserver::on_task_start(int, const std::string&,
+                                    const std::string&, double, int,
+                                    double waited, int, std::size_t, int) {
+  started_.add();
+  wait_.observe(waited);
+}
+
+void MetricsObserver::on_task_end(int, double, int, double, std::size_t,
+                                  int) {
+  completed_.add();
+}
+
+void MetricsObserver::on_sim_done(double, double waiting_area,
+                                  double executing_area, std::uint64_t) {
+  sims_.add();
+  waiting_area_.add(waiting_area);
+  executing_area_.add(executing_area);
+}
+
+// ---------------------------------------------------------------------------
+// SimTraceObserver
+
+SimTraceObserver::SimTraceObserver(TraceWriter& writer, int pid, int P,
+                                   int max_lanes, double time_scale)
+    : writer_(writer),
+      pid_(pid),
+      P_(P),
+      per_processor_(P <= max_lanes),
+      scale_(time_scale) {
+  if (per_processor_) {
+    lane_busy_.assign(static_cast<std::size_t>(P), 0);
+    for (int lane = 0; lane < P; ++lane)
+      writer_.set_thread_name(pid_, lane, "proc " + std::to_string(lane));
+  }
+}
+
+int SimTraceObserver::acquire_lane() {
+  for (std::size_t i = 0; i < lane_busy_.size(); ++i) {
+    if (!lane_busy_[i]) {
+      lane_busy_[i] = 1;
+      return static_cast<int>(i);
+    }
+  }
+  lane_busy_.push_back(1);
+  const int lane = static_cast<int>(lane_busy_.size()) - 1;
+  if (!per_processor_)
+    writer_.set_thread_name(pid_, lane, "slot " + std::to_string(lane));
+  return lane;
+}
+
+void SimTraceObserver::on_task_ready(int task, const std::string& name,
+                                     double time, int alloc, int alloc_cap,
+                                     std::size_t queue_depth) {
+  std::vector<std::pair<std::string, std::string>> args = {
+      {"task", std::to_string(task)},
+      {"alloc", std::to_string(alloc)},
+  };
+  if (!name.empty()) args.emplace_back("name", name);
+  if (alloc_cap >= 1) args.emplace_back("mu_cap", std::to_string(alloc_cap));
+  writer_.instant(pid_, 0, "ready", "sim", time * scale_, std::move(args));
+  writer_.counter(pid_, "ready queue", time * scale_,
+                  {{"depth", static_cast<double>(queue_depth)}});
+}
+
+void SimTraceObserver::on_task_start(int task, const std::string& name,
+                                     const std::string& model, double time,
+                                     int procs, double waited, int layer,
+                                     std::size_t queue_depth,
+                                     int procs_in_use) {
+  Running run;
+  run.start = time;
+  run.label = name.empty() ? "task " + std::to_string(task) : name;
+  run.args = {{"task", std::to_string(task)},
+              {"procs", std::to_string(procs)},
+              {"model", model},
+              {"layer", std::to_string(layer)},
+              {"waited", std::to_string(waited)}};
+  const int spans = per_processor_ ? procs : 1;
+  run.lanes.reserve(static_cast<std::size_t>(spans));
+  for (int k = 0; k < spans; ++k) run.lanes.push_back(acquire_lane());
+  running_[task] = std::move(run);
+
+  writer_.counter(pid_, "ready queue", time * scale_,
+                  {{"depth", static_cast<double>(queue_depth)}});
+  writer_.counter(pid_, "procs in use", time * scale_,
+                  {{"procs", static_cast<double>(procs_in_use)}});
+}
+
+void SimTraceObserver::on_task_end(int task, double time, int procs,
+                                   double exec_time, std::size_t queue_depth,
+                                   int procs_in_use) {
+  (void)procs;
+  (void)exec_time;
+  (void)queue_depth;
+  const auto it = running_.find(task);
+  if (it == running_.end()) return;  // started before this observer attached
+  const Running& run = it->second;
+  const double ts = run.start * scale_;
+  const double dur = (time - run.start) * scale_;
+  for (const int lane : run.lanes) {
+    writer_.complete_span(pid_, lane, run.label, "sim", ts, dur, run.args);
+    lane_busy_[static_cast<std::size_t>(lane)] = 0;
+  }
+  running_.erase(it);
+  writer_.counter(pid_, "procs in use", time * scale_,
+                  {{"procs", static_cast<double>(procs_in_use)}});
+}
+
+void SimTraceObserver::on_sim_done(double makespan, double waiting_area,
+                                   double executing_area,
+                                   std::uint64_t num_events) {
+  writer_.instant(
+      pid_, 0, "sim done", "sim", makespan * scale_,
+      {{"makespan", std::to_string(makespan)},
+       {"waiting_area", std::to_string(waiting_area)},
+       {"executing_area", std::to_string(executing_area)},
+       {"events", std::to_string(num_events)},
+       {"P", std::to_string(P_)}});
+}
+
+}  // namespace moldsched::obs

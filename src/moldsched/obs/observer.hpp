@@ -1,0 +1,218 @@
+// Scheduler/engine instrumentation hooks.
+//
+// An Observer receives the per-decision data the paper's analysis is
+// built on: when a task is revealed (and what allocation Algorithm 2
+// chose relative to the mu-cap), when it starts (after how much
+// waiting), when it completes, and the running waiting-area /
+// executing-area totals that Lemmas 1-5 partition the schedule into.
+// The engine reports its own lifecycle (job start/end) through the same
+// interface so one observer can watch both layers.
+//
+// All callbacks use plain scalar/string parameters — obs stays below
+// graph/sim/core in the layering. Hooks fire synchronously on the
+// calling thread; implementations must be cheap and, when shared across
+// jobs, thread-safe. The default is no observer at all (a null pointer,
+// checked once per event), so unobserved runs pay nothing; NullObserver
+// exists for call sites that want a non-null sink.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/trace_writer.hpp"
+
+namespace moldsched::obs {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  // --- simulated-scheduler events (times are simulation time) ---------
+
+  /// Task revealed: its last predecessor completed and Algorithm 2
+  /// fixed `alloc` processors. `alloc_cap` is the LPA mu-threshold
+  /// ceil(mu P) when the allocator exposes one, else -1. `queue_depth`
+  /// counts waiting tasks including this one.
+  virtual void on_task_ready(int task, const std::string& name, double time,
+                             int alloc, int alloc_cap,
+                             std::size_t queue_depth) {
+    (void)task; (void)name; (void)time; (void)alloc; (void)alloc_cap;
+    (void)queue_depth;
+  }
+
+  /// Task left the waiting queue and started. `waited` is time spent
+  /// ready-but-queued (its contribution to the waiting area is
+  /// procs * waited); `layer` is the task's hop depth (0 = source).
+  virtual void on_task_start(int task, const std::string& name,
+                             const std::string& model, double time, int procs,
+                             double waited, int layer,
+                             std::size_t queue_depth, int procs_in_use) {
+    (void)task; (void)name; (void)model; (void)time; (void)procs;
+    (void)waited; (void)layer; (void)queue_depth; (void)procs_in_use;
+  }
+
+  /// Task completed after `exec_time` on `procs` processors.
+  virtual void on_task_end(int task, double time, int procs, double exec_time,
+                           std::size_t queue_depth, int procs_in_use) {
+    (void)task; (void)time; (void)procs; (void)exec_time; (void)queue_depth;
+    (void)procs_in_use;
+  }
+
+  /// Simulation finished. `waiting_area` is sum over tasks of
+  /// alloc * (start - ready); `executing_area` sum of alloc * exec_time
+  /// — the two areas the Lemma accounting partitions work into.
+  virtual void on_sim_done(double makespan, double waiting_area,
+                           double executing_area, std::uint64_t num_events) {
+    (void)makespan; (void)waiting_area; (void)executing_area;
+    (void)num_events;
+  }
+
+  // --- event-queue events ---------------------------------------------
+
+  /// An event was inserted into the discrete-event queue.
+  virtual void on_event_scheduled(double now, double event_time,
+                                  std::int64_t payload,
+                                  std::size_t pending_events) {
+    (void)now; (void)event_time; (void)payload; (void)pending_events;
+  }
+
+  /// A batch of simultaneous events is about to be processed.
+  virtual void on_event_batch(double time, std::size_t batch_size,
+                              std::size_t pending_events) {
+    (void)time; (void)batch_size; (void)pending_events;
+  }
+
+  // --- engine events (times are real milliseconds) --------------------
+
+  virtual void on_job_start(std::uint64_t job_id, const std::string& key,
+                            double queue_ms) {
+    (void)job_id; (void)key; (void)queue_ms;
+  }
+
+  virtual void on_job_end(std::uint64_t job_id, const std::string& key,
+                          const std::string& status, double wall_ms) {
+    (void)job_id; (void)key; (void)status; (void)wall_ms;
+  }
+};
+
+/// Explicit do-nothing sink (equivalent to passing no observer).
+class NullObserver final : public Observer {};
+
+/// Forwards every event to each registered observer, in order.
+class FanoutObserver final : public Observer {
+ public:
+  /// Pointers must outlive this observer; nulls are ignored.
+  explicit FanoutObserver(std::vector<Observer*> sinks);
+
+  void on_task_ready(int task, const std::string& name, double time,
+                     int alloc, int alloc_cap,
+                     std::size_t queue_depth) override;
+  void on_task_start(int task, const std::string& name,
+                     const std::string& model, double time, int procs,
+                     double waited, int layer, std::size_t queue_depth,
+                     int procs_in_use) override;
+  void on_task_end(int task, double time, int procs, double exec_time,
+                   std::size_t queue_depth, int procs_in_use) override;
+  void on_sim_done(double makespan, double waiting_area,
+                   double executing_area, std::uint64_t num_events) override;
+  void on_event_scheduled(double now, double event_time, std::int64_t payload,
+                          std::size_t pending_events) override;
+  void on_event_batch(double time, std::size_t batch_size,
+                      std::size_t pending_events) override;
+  void on_job_start(std::uint64_t job_id, const std::string& key,
+                    double queue_ms) override;
+  void on_job_end(std::uint64_t job_id, const std::string& key,
+                  const std::string& status, double wall_ms) override;
+
+ private:
+  std::vector<Observer*> sinks_;
+};
+
+/// Feeds scheduler events into a MetricRegistry under `prefix`:
+/// counters <prefix>.tasks.started/.completed/.capped (allocation hit
+/// the mu-cap), gauges <prefix>.queue_depth.peak, .waiting_area,
+/// .executing_area, histogram <prefix>.task.wait (waiting times).
+/// Thread-safe to share across concurrent simulations.
+class MetricsObserver final : public Observer {
+ public:
+  explicit MetricsObserver(MetricRegistry& registry,
+                           const std::string& prefix = "sim");
+
+  void on_task_ready(int task, const std::string& name, double time,
+                     int alloc, int alloc_cap,
+                     std::size_t queue_depth) override;
+  void on_task_start(int task, const std::string& name,
+                     const std::string& model, double time, int procs,
+                     double waited, int layer, std::size_t queue_depth,
+                     int procs_in_use) override;
+  void on_task_end(int task, double time, int procs, double exec_time,
+                   std::size_t queue_depth, int procs_in_use) override;
+  void on_sim_done(double makespan, double waiting_area,
+                   double executing_area, std::uint64_t num_events) override;
+
+ private:
+  Counter& ready_;
+  Counter& started_;
+  Counter& completed_;
+  Counter& capped_;
+  Counter& sims_;
+  Gauge& queue_peak_;
+  Gauge& waiting_area_;
+  Gauge& executing_area_;
+  Histogram& wait_;
+};
+
+/// Renders one simulation as a Chrome-trace process: one lane (tid) per
+/// processor with a span for every task occupying it, plus counter
+/// tracks "ready queue" and "procs in use" — the timeline picture of
+/// Figure 2 (layer serialization shows up as staircased lanes).
+///
+/// For platforms larger than `max_lanes` the per-processor rendering
+/// would drown the viewer, so the observer falls back to one lane per
+/// *concurrently running task* and a single span per task (the counter
+/// tracks still carry the utilization shape). Simulated seconds map to
+/// trace microseconds times `time_scale` (default 1e6, i.e. 1 simulated
+/// second = 1 trace second).
+///
+/// Not thread-safe: use one instance per simulation.
+class SimTraceObserver final : public Observer {
+ public:
+  SimTraceObserver(TraceWriter& writer, int pid, int P, int max_lanes = 64,
+                   double time_scale = 1e6);
+
+  void on_task_ready(int task, const std::string& name, double time,
+                     int alloc, int alloc_cap,
+                     std::size_t queue_depth) override;
+  void on_task_start(int task, const std::string& name,
+                     const std::string& model, double time, int procs,
+                     double waited, int layer, std::size_t queue_depth,
+                     int procs_in_use) override;
+  void on_task_end(int task, double time, int procs, double exec_time,
+                   std::size_t queue_depth, int procs_in_use) override;
+  void on_sim_done(double makespan, double waiting_area,
+                   double executing_area, std::uint64_t num_events) override;
+
+ private:
+  struct Running {
+    double start = 0.0;
+    std::vector<int> lanes;
+    std::string label;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  [[nodiscard]] int acquire_lane();
+
+  TraceWriter& writer_;
+  int pid_;
+  int P_;
+  bool per_processor_;  ///< true when P <= max_lanes
+  double scale_;
+  std::vector<char> lane_busy_;
+  std::map<int, Running> running_;
+};
+
+}  // namespace moldsched::obs

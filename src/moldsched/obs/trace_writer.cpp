@@ -1,0 +1,531 @@
+#include "moldsched/obs/trace_writer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace moldsched::obs {
+
+namespace {
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True when `s` is a plain JSON number token, so arg values that carry
+/// numbers serialize unquoted.
+bool is_number_token(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceWriter::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int TraceWriter::new_process(const std::string& name) {
+  int pid = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pid = next_pid_++;
+  }
+  set_process_name(pid, name);
+  return pid;
+}
+
+void TraceWriter::push(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+  seq_.push_back(next_seq_++);
+}
+
+void TraceWriter::complete_span(
+    int pid, int tid, const std::string& name, const std::string& cat,
+    double ts_us, double dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.phase = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceWriter::instant(
+    int pid, int tid, const std::string& name, const std::string& cat,
+    double ts_us, std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.phase = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceWriter::counter(int pid, const std::string& name, double ts_us,
+                          std::vector<std::pair<std::string, double>> series) {
+  TraceEvent e;
+  e.phase = 'C';
+  e.pid = pid;
+  e.tid = 0;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.args.reserve(series.size());
+  for (auto& [k, v] : series) e.args.emplace_back(k, format_number(v));
+  push(std::move(e));
+}
+
+void TraceWriter::set_process_name(int pid, const std::string& name) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(named_processes_.begin(), named_processes_.end(), pid) !=
+        named_processes_.end())
+      return;
+    named_processes_.push_back(pid);
+  }
+  TraceEvent e;
+  e.phase = 'M';
+  e.pid = pid;
+  e.name = "process_name";
+  e.args.emplace_back("name", name);
+  push(std::move(e));
+}
+
+void TraceWriter::set_thread_name(int pid, int tid, const std::string& name) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto key = std::make_pair(pid, tid);
+    if (std::find(named_threads_.begin(), named_threads_.end(), key) !=
+        named_threads_.end())
+      return;
+    named_threads_.push_back(key);
+  }
+  TraceEvent e;
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = "thread_name";
+  e.args.emplace_back("name", name);
+  push(std::move(e));
+}
+
+std::size_t TraceWriter::num_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceWriter::to_json() const {
+  std::vector<TraceEvent> events;
+  std::vector<std::uint64_t> seq;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    seq = seq_;
+  }
+  // Metadata first, then by timestamp, ties by insertion order — a
+  // deterministic document for deterministic event streams.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool meta_a = events[a].phase == 'M';
+    const bool meta_b = events[b].phase == 'M';
+    if (meta_a != meta_b) return meta_a;
+    if (events[a].ts_us != events[b].ts_us)
+      return events[a].ts_us < events[b].ts_us;
+    return seq[a] < seq[b];
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const std::size_t i : order) {
+    const TraceEvent& e = events[i];
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":" + std::to_string(e.pid) +
+           ",\"tid\":" + std::to_string(e.tid);
+    out += ",\"name\":\"" + escape(e.name) + '"';
+    if (!e.cat.empty()) out += ",\"cat\":\"" + escape(e.cat) + '"';
+    if (e.phase != 'M') out += ",\"ts\":" + format_number(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + format_number(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += '"' + escape(k) + "\":";
+        if (is_number_token(v)) out += v;
+        else out += '"' + escape(v) + '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("TraceWriter: cannot open " + path);
+  out << to_json();
+  if (!out) throw std::runtime_error("TraceWriter: write failed on " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Global tracer slot
+
+namespace {
+std::atomic<TraceWriter*> g_tracer{nullptr};
+}  // namespace
+
+void set_global_tracer(TraceWriter* tracer) noexcept {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+TraceWriter* global_tracer() noexcept {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Strict validation
+
+namespace {
+
+/// Minimal strict JSON parser (objects, arrays, strings, numbers,
+/// true/false/null) producing just enough structure to check the trace
+/// schema. Throws std::invalid_argument with an offset on any deviation
+/// from RFC 8259 syntax it understands.
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber, kBool, kNull };
+  Type type = Type::kNull;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(what + " at offset " + std::to_string(i));
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i;
+  }
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (i != s.size()) fail("trailing characters after document");
+    return v;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(c == 't');
+    if (c == 'n') {
+      match_keyword("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  void match_keyword(const char* kw) {
+    for (const char* p = kw; *p; ++p) {
+      if (i >= s.size() || s[i] != *p) fail(std::string("expected ") + kw);
+      ++i;
+    }
+  }
+
+  JsonValue parse_keyword(bool value) {
+    match_keyword(value ? "true" : "false");
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      fail("malformed number");
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+        fail("malformed number");
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+        fail("malformed number");
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(s.substr(start, i - start).c_str(), nullptr);
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (i >= s.size()) fail("unterminated string");
+      const char c = s[i++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i >= s.size()) fail("truncated escape");
+      const char e = s[i++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 4 > s.size()) fail("truncated \\u escape");
+          for (std::size_t k = 0; k < 4; ++k)
+            if (!std::isxdigit(static_cast<unsigned char>(s[i + k])))
+              fail("malformed \\u escape");
+          out += static_cast<char>(
+              std::strtoul(s.substr(i, 4).c_str(), nullptr, 16));
+          i += 4;
+          break;
+        }
+        default: fail("unsupported escape");
+      }
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++i;
+      return v;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++i;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++i;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++i;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+};
+
+std::optional<std::string> check_event(const JsonValue& e, std::size_t index,
+                                       TraceStats& stats,
+                                       std::set<int>& pids) {
+  const auto where = [index](const std::string& what) {
+    return "event " + std::to_string(index) + ": " + what;
+  };
+  if (e.type != JsonValue::Type::kObject) return where("not an object");
+
+  const JsonValue* ph = e.find("ph");
+  if (!ph || ph->type != JsonValue::Type::kString || ph->string.size() != 1)
+    return where("missing or malformed \"ph\"");
+  const char phase = ph->string[0];
+  static const std::string kKnownPhases = "XBEiICMbens";
+  if (kKnownPhases.find(phase) == std::string::npos)
+    return where(std::string("unknown phase '") + phase + "'");
+
+  const JsonValue* name = e.find("name");
+  if (!name || name->type != JsonValue::Type::kString || name->string.empty())
+    return where("missing or empty \"name\"");
+
+  for (const char* key : {"pid", "tid"}) {
+    const JsonValue* v = e.find(key);
+    if (!v || v->type != JsonValue::Type::kNumber)
+      return where(std::string("missing numeric \"") + key + "\"");
+  }
+  pids.insert(static_cast<int>(e.find("pid")->number));
+
+  if (phase != 'M') {
+    const JsonValue* ts = e.find("ts");
+    if (!ts || ts->type != JsonValue::Type::kNumber)
+      return where("missing numeric \"ts\"");
+    if (!(ts->number >= 0.0)) return where("negative \"ts\"");
+  }
+  if (phase == 'X') {
+    const JsonValue* dur = e.find("dur");
+    if (!dur || dur->type != JsonValue::Type::kNumber)
+      return where("complete span without numeric \"dur\"");
+    if (!(dur->number >= 0.0)) return where("negative \"dur\"");
+    ++stats.spans;
+  }
+  if (phase == 'i') ++stats.instants;
+  if (phase == 'C' || phase == 'M') {
+    const JsonValue* args = e.find("args");
+    if (!args || args->type != JsonValue::Type::kObject ||
+        args->object.empty())
+      return where("counter/metadata event without \"args\" object");
+    if (phase == 'C') {
+      for (const auto& [k, v] : args->object)
+        if (v.type != JsonValue::Type::kNumber)
+          return where("counter series \"" + k + "\" is not numeric");
+      ++stats.counter_samples;
+    } else {
+      ++stats.metadata;
+    }
+  }
+  ++stats.events;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_chrome_trace(const std::string& json,
+                                                 TraceStats* stats) {
+  JsonValue doc;
+  try {
+    JsonParser parser{json};
+    doc = parser.parse_document();
+  } catch (const std::exception& e) {
+    return std::string("malformed JSON: ") + e.what();
+  }
+  if (doc.type != JsonValue::Type::kObject)
+    return "top level is not an object";
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::kArray)
+    return "missing \"traceEvents\" array";
+
+  TraceStats local;
+  std::set<int> pids;
+  for (std::size_t i = 0; i < events->array.size(); ++i)
+    if (auto problem = check_event(events->array[i], i, local, pids))
+      return problem;
+  local.pids.assign(pids.begin(), pids.end());
+  if (stats) *stats = local;
+  return std::nullopt;
+}
+
+}  // namespace moldsched::obs

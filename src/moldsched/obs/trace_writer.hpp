@@ -1,0 +1,127 @@
+// Chrome trace-event JSON production (the format Perfetto and
+// chrome://tracing load natively).
+//
+// One TraceWriter collects events from many threads; export sorts by
+// timestamp (then insertion order) so output is deterministic for
+// deterministic inputs. Two producers feed it in this codebase:
+//   - the engine: one lane (tid) per worker thread, with job spans and
+//     steal/cancellation instants, timestamped with real wall time;
+//   - the simulator: one process (pid) per traced simulation, one lane
+//     per processor, timestamped with simulated time (see
+//     obs::SimTraceObserver in observer.hpp).
+//
+// A process-wide tracer slot (set_global_tracer / global_tracer) lets
+// the CLI arm tracing for a whole run without threading a pointer
+// through every layer; it is null by default, and instrumented code
+// must check it before paying any cost.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moldsched::obs {
+
+/// One trace event. `args` values are emitted as JSON strings unless
+/// they parse as a plain number (keeps the writer API simple).
+struct TraceEvent {
+  char phase = 'X';   ///< X = complete span, i = instant, C = counter,
+                      ///< M = metadata
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;   ///< event timestamp, microseconds
+  double dur_us = 0.0;  ///< span duration (phase 'X' only)
+  std::string name;
+  std::string cat;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceWriter {
+ public:
+  /// Process id used by the engine producer (workers, jobs).
+  static constexpr int kEnginePid = 1;
+
+  TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Microseconds since this writer was constructed (the engine's
+  /// timestamp base, so every run's trace starts near 0).
+  [[nodiscard]] double now_us() const;
+
+  /// Allocates a fresh pid (> kEnginePid) and names it; used to give
+  /// each traced simulation its own process group in the viewer.
+  int new_process(const std::string& name);
+
+  void complete_span(int pid, int tid, const std::string& name,
+                     const std::string& cat, double ts_us, double dur_us,
+                     std::vector<std::pair<std::string, std::string>> args = {});
+  void instant(int pid, int tid, const std::string& name,
+               const std::string& cat, double ts_us,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  /// Counter track: one sample of named series at ts_us.
+  void counter(int pid, const std::string& name, double ts_us,
+               std::vector<std::pair<std::string, double>> series);
+
+  /// Metadata events; idempotent per (pid, tid)/(pid) — repeated calls
+  /// with the same target are dropped.
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  [[nodiscard]] std::size_t num_events() const;
+
+  /// The complete trace document:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path` (creating parent directories). Throws
+  /// std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::uint64_t> seq_;  ///< insertion order, parallel to events_
+  std::uint64_t next_seq_ = 0;
+  int next_pid_ = kEnginePid + 1;
+  std::vector<std::pair<int, int>> named_threads_;
+  std::vector<int> named_processes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Arms/disarms process-wide tracing. The pointer must outlive every
+/// instrumented call made while it is set; callers disarm (nullptr)
+/// before destroying the writer.
+void set_global_tracer(TraceWriter* tracer) noexcept;
+[[nodiscard]] TraceWriter* global_tracer() noexcept;
+
+/// Statistics gathered while validating a trace document.
+struct TraceStats {
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t counter_samples = 0;
+  std::size_t metadata = 0;
+  std::vector<int> pids;  ///< distinct pids, ascending
+};
+
+/// Strict structural validation of a Chrome trace-event document: the
+/// top level must be an object with a "traceEvents" array; every event
+/// must be an object with a string "ph" of a known phase, string
+/// "name", numeric "pid"/"tid", a numeric "ts" (except metadata), a
+/// numeric "dur" on complete spans, and an "args" object where
+/// required. Returns std::nullopt on success (filling *stats when
+/// given), else a description of the first violation. The parser
+/// rejects malformed JSON outright — trailing garbage, unquoted keys,
+/// bad escapes.
+[[nodiscard]] std::optional<std::string> validate_chrome_trace(
+    const std::string& json, TraceStats* stats = nullptr);
+
+}  // namespace moldsched::obs

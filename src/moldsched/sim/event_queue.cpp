@@ -12,6 +12,8 @@ void EventQueue::schedule(Time time, std::int64_t payload) {
   if (time < now_)
     throw std::logic_error("EventQueue::schedule: time is in the past");
   heap_.push(Event{time, next_seq_++, payload});
+  if (observer_ != nullptr)
+    observer_->on_event_scheduled(now_, time, payload, heap_.size());
 }
 
 Time EventQueue::next_time() const {
@@ -37,6 +39,8 @@ std::vector<Event> EventQueue::pop_simultaneous() {
     heap_.pop();
   }
   now_ = t;
+  if (observer_ != nullptr)
+    observer_->on_event_batch(t, batch.size(), heap_.size());
   // The heap pops ties in seq order already (Later comparator), so the
   // batch is in insertion order by construction.
   return batch;

@@ -9,6 +9,8 @@
 #include <queue>
 #include <vector>
 
+#include "moldsched/obs/observer.hpp"
+
 namespace moldsched::sim {
 
 using Time = double;
@@ -43,6 +45,15 @@ class EventQueue {
   /// Current simulation time: the time of the last popped event.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  /// Attaches an instrumentation observer (nullptr detaches; the
+  /// default). The observer sees every insertion
+  /// (on_event_scheduled) and every simultaneous batch about to be
+  /// processed (on_event_batch); it must outlive the queue or be
+  /// detached first.
+  void set_observer(obs::Observer* observer) noexcept {
+    observer_ = observer;
+  }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -54,6 +65,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
   Time now_ = 0.0;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace moldsched::sim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "moldsched/engine/result_sink.hpp"
+#include "moldsched/obs/trace_writer.hpp"
 
 namespace moldsched::engine {
 namespace {
@@ -154,6 +155,74 @@ TEST_F(CliSmokeTest, FilterRunsASubsetAndResumeSkipsIt) {
       0);
   const auto log = read_file(dir_ / "stdout.log");
   EXPECT_NE(log.find("16 resumed"), std::string::npos) << log;
+}
+
+TEST_F(CliSmokeTest, TraceAndMetricsExportsValidate) {
+  const auto trace_path = (dir_ / "trace.json").string();
+  const auto metrics_path = (dir_ / "metrics.json").string();
+  ASSERT_EQ(run_cli("--suite table1 --repeats 1 --threads 2 --trace=" +
+                    trace_path + " --metrics=" + metrics_path),
+            0)
+      << read_file(dir_ / "stderr.log");
+
+  // Count the JSONL records and check the timing satellite: every line
+  // carries queue_ms alongside wall_ms.
+  std::ifstream jsonl(dir_ / "results" / "table1.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    EXPECT_NE(line.find("\"queue_ms\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos) << line;
+    const auto rec = parse_record_line(line);
+    EXPECT_GE(rec.queue_ms, 0.0);
+    ++records;
+  }
+  EXPECT_EQ(records, 30u);
+
+  // The trace validates against the strict Chrome schema and contains
+  // engine worker-lane job spans plus at least one sim process with
+  // per-processor task spans.
+  const auto trace = read_file(trace_path);
+  obs::TraceStats stats;
+  const auto problem = obs::validate_chrome_trace(trace, &stats);
+  ASSERT_FALSE(problem.has_value()) << *problem;
+  EXPECT_GT(stats.spans, 0u);
+  ASSERT_GE(stats.pids.size(), 2u);  // engine + >= 1 traced simulation
+  EXPECT_EQ(stats.pids[0], obs::TraceWriter::kEnginePid);
+  EXPECT_NE(trace.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"sim\""), std::string::npos);
+  EXPECT_NE(trace.find("proc 0"), std::string::npos);
+
+  // The metrics registry export counts exactly the jobs the JSONL holds.
+  const auto metrics = read_file(metrics_path);
+  EXPECT_NE(metrics.find("\"engine.jobs.total\": " +
+                         std::to_string(records)),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(
+      metrics.find("\"engine.jobs.ok\": " + std::to_string(records)),
+      std::string::npos);
+  EXPECT_NE(metrics.find("\"sim.sims\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"engine.job.wall_ms\""), std::string::npos);
+
+  const auto log = read_file(dir_ / "stdout.log");
+  EXPECT_NE(log.find("wrote trace " + trace_path), std::string::npos);
+  EXPECT_NE(log.find("wrote metrics " + metrics_path), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, QuietStillPrintsSummaryFooterAndWrotePaths) {
+  ASSERT_EQ(run_cli("--suite table1 --repeats 1 --threads 2 --quiet"), 0)
+      << read_file(dir_ / "stderr.log");
+  const auto out = read_file(dir_ / "stdout.log");
+  // The footer and the written-file paths survive --quiet...
+  EXPECT_NE(out.find("suite table1: 30 job(s), 30 ok"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("wrote "), std::string::npos);
+  // ...while the banner, verbose tables and per-job progress are gone.
+  EXPECT_EQ(out.find("=== suite"), std::string::npos);
+  const auto err = read_file(dir_ / "stderr.log");
+  EXPECT_EQ(err.find("[1/"), std::string::npos) << err;
 }
 
 }  // namespace

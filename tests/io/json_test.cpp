@@ -7,6 +7,7 @@
 
 #include "moldsched/model/arbitrary_model.hpp"
 #include "moldsched/model/special_models.hpp"
+#include "moldsched/obs/trace_writer.hpp"
 
 namespace moldsched::io {
 namespace {
@@ -102,6 +103,40 @@ TEST(TraceCsvTest, CommasInNamesAreSanitized) {
   EXPECT_NE(csv.find("gemm(0;1;2)"), std::string::npos);
   // And the result stays machine-readable.
   EXPECT_NO_THROW((void)read_trace_csv(csv));
+}
+
+TEST(ChromeTraceTest, ExportValidatesAndNamesLanes) {
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 2), "gemm");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(1.0, 1), "trsm");
+  sim::Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0, 1);
+  t.record_end(1, 3.0);
+  const auto json = trace_to_chrome_json(t, /*P=*/3, "sim test", &g);
+  obs::TraceStats stats;
+  const auto problem = obs::validate_chrome_trace(json, &stats);
+  ASSERT_FALSE(problem.has_value()) << *problem;
+  // Task 0 occupies two processor lanes, task 1 one.
+  EXPECT_EQ(stats.spans, 3u);
+  EXPECT_GT(stats.counter_samples, 0u);
+  EXPECT_NE(json.find("\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"trsm\""), std::string::npos);
+  EXPECT_NE(json.find("proc 0"), std::string::npos);
+  EXPECT_NE(json.find("sim test"), std::string::npos);
+  EXPECT_THROW((void)trace_to_chrome_json(t, 0), std::invalid_argument);
+}
+
+TEST(ChromeTraceTest, LargePlatformFallsBackToSlotLanes) {
+  sim::Trace t;
+  t.record_start(0, 0.0, 100);
+  t.record_end(0, 1.0);
+  const auto json = trace_to_chrome_json(t, /*P=*/128);
+  obs::TraceStats stats;
+  ASSERT_FALSE(obs::validate_chrome_trace(json, &stats).has_value());
+  EXPECT_EQ(stats.spans, 1u);  // one span per task, not per processor
+  EXPECT_NE(json.find("slot 0"), std::string::npos);
 }
 
 TEST(TraceCsvTest, OneRowPerTaskWithHeader) {

@@ -1,0 +1,185 @@
+#include "moldsched/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace moldsched::obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddRecordMax) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.record_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.record_max(3.0);  // smaller: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketPlacement) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive upper limits)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +inf bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.5 / 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreLossless) {
+  Histogram h(Histogram::default_time_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(static_cast<double>(t));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const auto n : h.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("jobs");
+  Counter& b = reg.counter("jobs");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("latency", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("latency");  // bounds ignored on re-lookup
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricRegistryTest, TypeMismatchThrows) {
+  MetricRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndUse) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared.counter").add();
+        reg.gauge("shared.gauge").record_max(static_cast<double>(i));
+        reg.histogram("shared.hist").observe(1.0);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared.counter").value(), 8000u);
+  EXPECT_DOUBLE_EQ(reg.gauge("shared.gauge").value(), 999.0);
+  EXPECT_EQ(reg.histogram("shared.hist").count(), 8000u);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  MetricRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.gauge("alpha").set(3.0);
+  reg.histogram("mid").observe(1.0);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[2].name, "zeta");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(samples[2].value, 1.0);
+}
+
+TEST(MetricRegistryTest, ToJsonHasAllSectionsAndValues) {
+  MetricRegistry reg;
+  reg.counter("events").add(7);
+  reg.gauge("depth").set(2.5);
+  reg.histogram("wait", {1.0}).observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [1,0]"), std::string::npos);
+  // Identical registries serialize identically (determinism).
+  EXPECT_EQ(json, reg.to_json());
+}
+
+TEST(MetricRegistryTest, ResetZeroesWithoutInvalidatingReferences) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("n");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // the reference handed out earlier is still live
+  EXPECT_EQ(reg.counter("n").value(), 1u);
+}
+
+TEST(MetricsCollectionFlagTest, ArmsAndDisarms) {
+  EXPECT_FALSE(metrics_collection_enabled());
+  set_metrics_collection(true);
+  EXPECT_TRUE(metrics_collection_enabled());
+  set_metrics_collection(false);
+  EXPECT_FALSE(metrics_collection_enabled());
+}
+
+}  // namespace
+}  // namespace moldsched::obs

@@ -1,0 +1,325 @@
+#include "moldsched/obs/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/obs/trace_writer.hpp"
+#include "moldsched/sim/event_queue.hpp"
+
+namespace moldsched::obs {
+namespace {
+
+model::ModelPtr roofline(double w, int pbar) {
+  return std::make_shared<model::RooflineModel>(w, pbar);
+}
+
+class StubAllocator : public core::Allocator {
+ public:
+  explicit StubAllocator(int value) : value_(value) {}
+  int allocate(const model::SpeedupModel&, int) const override {
+    return value_;
+  }
+  std::string name() const override { return "stub"; }
+
+ private:
+  int value_;
+};
+
+/// Records every hook invocation verbatim for assertions.
+class RecordingObserver final : public Observer {
+ public:
+  struct Ready {
+    int task;
+    std::string name;
+    double time;
+    int alloc;
+    int alloc_cap;
+    std::size_t queue_depth;
+  };
+  struct Start {
+    int task;
+    std::string name;
+    std::string model;
+    double time;
+    int procs;
+    double waited;
+    int layer;
+    std::size_t queue_depth;
+    int procs_in_use;
+  };
+  struct End {
+    int task;
+    double time;
+    int procs;
+    double exec_time;
+    int procs_in_use;
+  };
+  struct Done {
+    double makespan;
+    double waiting_area;
+    double executing_area;
+    std::uint64_t num_events;
+  };
+  struct Batch {
+    double time;
+    std::size_t batch_size;
+    std::size_t pending;
+  };
+
+  std::vector<Ready> ready;
+  std::vector<Start> starts;
+  std::vector<End> ends;
+  std::vector<Done> done;
+  std::vector<Batch> batches;
+  std::size_t scheduled = 0;
+  std::vector<std::pair<std::uint64_t, std::string>> job_starts;
+  std::vector<std::pair<std::uint64_t, std::string>> job_ends;
+
+  void on_task_ready(int task, const std::string& name, double time,
+                     int alloc, int alloc_cap,
+                     std::size_t queue_depth) override {
+    ready.push_back({task, name, time, alloc, alloc_cap, queue_depth});
+  }
+  void on_task_start(int task, const std::string& name,
+                     const std::string& model, double time, int procs,
+                     double waited, int layer, std::size_t queue_depth,
+                     int procs_in_use) override {
+    starts.push_back({task, name, model, time, procs, waited, layer,
+                      queue_depth, procs_in_use});
+  }
+  void on_task_end(int task, double time, int procs, double exec_time,
+                   std::size_t, int procs_in_use) override {
+    ends.push_back({task, time, procs, exec_time, procs_in_use});
+  }
+  void on_sim_done(double makespan, double waiting_area,
+                   double executing_area, std::uint64_t num_events) override {
+    done.push_back({makespan, waiting_area, executing_area, num_events});
+  }
+  void on_event_scheduled(double, double, std::int64_t, std::size_t) override {
+    ++scheduled;
+  }
+  void on_event_batch(double time, std::size_t batch_size,
+                      std::size_t pending) override {
+    batches.push_back({time, batch_size, pending});
+  }
+  void on_job_start(std::uint64_t job_id, const std::string& key,
+                    double) override {
+    job_starts.emplace_back(job_id, key);
+  }
+  void on_job_end(std::uint64_t job_id, const std::string& key,
+                  const std::string&, double) override {
+    job_ends.emplace_back(job_id, key);
+  }
+};
+
+/// Diamond a -> {b, c} -> d of unit-width roofline tasks.
+graph::TaskGraph diamond() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(roofline(2.0, 1), "a");
+  const auto b = g.add_task(roofline(2.0, 1), "b");
+  const auto c = g.add_task(roofline(2.0, 1), "c");
+  const auto d = g.add_task(roofline(2.0, 1), "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(ObserverTest, DiamondEventOrderingWaitingAndLayers) {
+  // On P = 1 the diamond serializes: a [0,2), b [2,4), c [4,6) after
+  // waiting 2 time units in the queue, d [6,8).
+  const auto g = diamond();
+  RecordingObserver rec;
+  const StubAllocator alloc(1);
+  const auto result =
+      core::schedule_online(g, 1, alloc, core::QueuePolicy::kFifo, &rec);
+  EXPECT_DOUBLE_EQ(result.makespan, 8.0);
+
+  ASSERT_EQ(rec.ready.size(), 4u);
+  ASSERT_EQ(rec.starts.size(), 4u);
+  ASSERT_EQ(rec.ends.size(), 4u);
+  ASSERT_EQ(rec.done.size(), 1u);
+
+  // Every task: revealed no later than started, started no later than
+  // ended, waited = start - ready, exec_time = end - start.
+  std::map<int, double> ready_time;
+  std::map<int, double> start_time;
+  for (const auto& r : rec.ready) ready_time[r.task] = r.time;
+  for (const auto& s : rec.starts) {
+    ASSERT_TRUE(ready_time.count(s.task));
+    EXPECT_LE(ready_time[s.task], s.time);
+    EXPECT_DOUBLE_EQ(s.waited, s.time - ready_time[s.task]);
+    EXPECT_FALSE(s.model.empty());
+    start_time[s.task] = s.time;
+  }
+  for (const auto& e : rec.ends) {
+    ASSERT_TRUE(start_time.count(e.task));
+    EXPECT_LE(start_time[e.task], e.time);
+    EXPECT_DOUBLE_EQ(e.exec_time, e.time - start_time[e.task]);
+  }
+
+  // Hop layers: a = 0, b = c = 1, d = 2.
+  std::map<std::string, int> layer;
+  for (const auto& s : rec.starts) layer[s.name] = s.layer;
+  EXPECT_EQ(layer["a"], 0);
+  EXPECT_EQ(layer["b"], 1);
+  EXPECT_EQ(layer["c"], 1);
+  EXPECT_EQ(layer["d"], 2);
+
+  // The StubAllocator exposes no mu-cap.
+  for (const auto& r : rec.ready) EXPECT_EQ(r.alloc_cap, -1);
+
+  // Only c waits (2 time units on 1 processor); the Lemma areas follow.
+  const auto& done = rec.done[0];
+  EXPECT_DOUBLE_EQ(done.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(done.waiting_area, 2.0);
+  double executing_area = 0.0;
+  for (const auto& r : result.trace.records())
+    executing_area += r.procs * (r.end - r.start);
+  EXPECT_DOUBLE_EQ(done.executing_area, executing_area);
+  EXPECT_EQ(done.num_events, result.num_events);
+
+  // The scheduler wires the observer into its event queue too.
+  EXPECT_GT(rec.scheduled, 0u);
+  EXPECT_FALSE(rec.batches.empty());
+}
+
+TEST(ObserverTest, LpaAllocatorReportsMuCap) {
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4));
+  const core::LpaAllocator alloc(0.38196601125010515);
+  RecordingObserver rec;
+  const auto result =
+      core::schedule_online(g, 4, alloc, core::QueuePolicy::kFifo, &rec);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  ASSERT_EQ(rec.ready.size(), 1u);
+  EXPECT_EQ(rec.ready[0].alloc, 2);
+  EXPECT_EQ(rec.ready[0].alloc_cap, alloc.cap(4));  // ceil(mu * 4) = 2
+}
+
+TEST(ObserverTest, EventQueueReportsSchedulesAndBatches) {
+  sim::EventQueue q;
+  RecordingObserver rec;
+  q.set_observer(&rec);
+  q.schedule(1.0, 7);
+  q.schedule(1.0, 8);
+  q.schedule(2.0, 9);
+  EXPECT_EQ(rec.scheduled, 3u);
+  const auto first = q.pop_simultaneous();
+  EXPECT_EQ(first.size(), 2u);
+  ASSERT_EQ(rec.batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.batches[0].time, 1.0);
+  EXPECT_EQ(rec.batches[0].batch_size, 2u);
+  EXPECT_EQ(rec.batches[0].pending, 1u);
+  const auto second = q.pop_simultaneous();
+  EXPECT_EQ(second.size(), 1u);
+  ASSERT_EQ(rec.batches.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.batches[1].time, 2.0);
+  EXPECT_EQ(rec.batches[1].pending, 0u);
+}
+
+TEST(ObserverTest, MetricsObserverFeedsRegistry) {
+  MetricRegistry reg;
+  MetricsObserver obs(reg);
+  const auto g = diamond();
+  const StubAllocator alloc(1);
+  (void)core::schedule_online(g, 1, alloc, core::QueuePolicy::kFifo, &obs);
+  EXPECT_EQ(reg.counter("sim.tasks.ready").value(), 4u);
+  EXPECT_EQ(reg.counter("sim.tasks.started").value(), 4u);
+  EXPECT_EQ(reg.counter("sim.tasks.completed").value(), 4u);
+  EXPECT_EQ(reg.counter("sim.tasks.capped").value(), 0u);  // no mu-cap
+  EXPECT_EQ(reg.counter("sim.sims").value(), 1u);
+  // b and c are queued together once: peak depth 2.
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth.peak").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.waiting_area").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.executing_area").value(), 8.0);
+  EXPECT_EQ(reg.histogram("sim.task.wait").count(), 4u);
+  EXPECT_DOUBLE_EQ(reg.histogram("sim.task.wait").sum(), 2.0);
+}
+
+TEST(ObserverTest, MetricsObserverCountsCappedAllocations) {
+  MetricRegistry reg;
+  MetricsObserver obs(reg);
+  graph::TaskGraph g;
+  (void)g.add_task(roofline(8.0, 4));
+  const core::LpaAllocator alloc(0.38196601125010515);
+  (void)core::schedule_online(g, 4, alloc, core::QueuePolicy::kFifo, &obs);
+  // The single task's allocation (2) hits the cap ceil(mu * 4) = 2.
+  EXPECT_EQ(reg.counter("sim.tasks.capped").value(), 1u);
+}
+
+TEST(ObserverTest, SimTraceObserverProducesValidChromeTrace) {
+  TraceWriter writer;
+  const int pid = writer.new_process("sim diamond/P=1");
+  SimTraceObserver obs(writer, pid, /*P=*/1);
+  const auto g = diamond();
+  const StubAllocator alloc(1);
+  (void)core::schedule_online(g, 1, alloc, core::QueuePolicy::kFifo, &obs);
+
+  const std::string json = writer.to_json();
+  TraceStats stats;
+  const auto problem = validate_chrome_trace(json, &stats);
+  ASSERT_FALSE(problem.has_value()) << *problem;
+  // One span per task (each runs on 1 processor = 1 lane); the "ready"
+  // instants plus the closing "sim done" instant; counter samples for
+  // the ready-queue and procs-in-use tracks.
+  EXPECT_EQ(stats.spans, 4u);
+  EXPECT_EQ(stats.instants, 5u);
+  EXPECT_GT(stats.counter_samples, 0u);
+  ASSERT_EQ(stats.pids.size(), 1u);
+  EXPECT_EQ(stats.pids[0], pid);
+  for (const char* task : {"\"a\"", "\"b\"", "\"c\"", "\"d\""})
+    EXPECT_NE(json.find(task), std::string::npos) << task;
+  EXPECT_NE(json.find("proc 0"), std::string::npos);
+  EXPECT_NE(json.find("sim done"), std::string::npos);
+}
+
+TEST(ObserverTest, FanoutForwardsEveryHookAndIgnoresNulls) {
+  RecordingObserver a;
+  RecordingObserver b;
+  FanoutObserver fan({&a, nullptr, &b});
+  fan.on_task_ready(0, "t", 0.0, 1, -1, 1);
+  fan.on_task_start(0, "t", "m", 0.0, 1, 0.0, 0, 0, 1);
+  fan.on_task_end(0, 1.0, 1, 1.0, 0, 0);
+  fan.on_sim_done(1.0, 0.0, 1.0, 1);
+  fan.on_event_scheduled(0.0, 1.0, 0, 1);
+  fan.on_event_batch(1.0, 1, 0);
+  fan.on_job_start(7, "k", 0.5);
+  fan.on_job_end(7, "k", "ok", 2.0);
+  for (const RecordingObserver* rec : {&a, &b}) {
+    EXPECT_EQ(rec->ready.size(), 1u);
+    EXPECT_EQ(rec->starts.size(), 1u);
+    EXPECT_EQ(rec->ends.size(), 1u);
+    EXPECT_EQ(rec->done.size(), 1u);
+    EXPECT_EQ(rec->scheduled, 1u);
+    EXPECT_EQ(rec->batches.size(), 1u);
+    ASSERT_EQ(rec->job_starts.size(), 1u);
+    EXPECT_EQ(rec->job_starts[0].second, "k");
+    ASSERT_EQ(rec->job_ends.size(), 1u);
+    EXPECT_EQ(rec->job_ends[0].first, 7u);
+  }
+}
+
+TEST(ObserverTest, NullObserverAcceptsEveryHook) {
+  NullObserver null;
+  Observer& obs = null;
+  obs.on_task_ready(0, "", 0.0, 1, -1, 0);
+  obs.on_task_start(0, "", "", 0.0, 1, 0.0, 0, 0, 1);
+  obs.on_task_end(0, 0.0, 1, 0.0, 0, 0);
+  obs.on_sim_done(0.0, 0.0, 0.0, 0);
+  obs.on_event_scheduled(0.0, 0.0, 0, 0);
+  obs.on_event_batch(0.0, 0, 0);
+  obs.on_job_start(0, "", 0.0);
+  obs.on_job_end(0, "", "", 0.0);
+}
+
+}  // namespace
+}  // namespace moldsched::obs

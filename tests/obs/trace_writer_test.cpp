@@ -1,0 +1,197 @@
+#include "moldsched/obs/trace_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace moldsched::obs {
+namespace {
+
+/// A small but representative trace: engine process with a named worker
+/// lane, one sim process, spans, an instant, and a counter track. All
+/// timestamps are explicit so the document is fully deterministic.
+void fill(TraceWriter& w) {
+  w.set_process_name(TraceWriter::kEnginePid, "engine");
+  w.set_thread_name(TraceWriter::kEnginePid, 0, "worker 0");
+  const int sim_pid = w.new_process("sim adversary/P=4");
+  w.set_thread_name(sim_pid, 0, "proc 0");
+  w.complete_span(TraceWriter::kEnginePid, 0, "job adversary/P=4", "engine",
+                  10.0, 500.0, {{"status", "ok"}, {"queue_ms", "0.25"}});
+  w.instant(TraceWriter::kEnginePid, 0, "steal", "engine", 12.0,
+            {{"victim", "1"}});
+  w.complete_span(sim_pid, 0, "task 0", "sim", 0.0, 4e6,
+                  {{"task", "0"}, {"procs", "2"}});
+  w.counter(sim_pid, "ready queue", 0.0, {{"depth", 3.0}});
+  w.counter(sim_pid, "ready queue", 4e6, {{"depth", 0.0}});
+}
+
+TEST(TraceWriterTest, RoundTripThroughStrictValidator) {
+  TraceWriter w;
+  fill(w);
+  const std::string json = w.to_json();
+  TraceStats stats;
+  const auto problem = validate_chrome_trace(json, &stats);
+  EXPECT_FALSE(problem.has_value()) << *problem;
+  EXPECT_EQ(stats.events, w.num_events());
+  EXPECT_EQ(stats.spans, 2u);
+  EXPECT_EQ(stats.instants, 1u);
+  EXPECT_EQ(stats.counter_samples, 2u);
+  EXPECT_EQ(stats.metadata, 4u);  // 2 process names + 2 thread names
+  ASSERT_EQ(stats.pids.size(), 2u);
+  EXPECT_EQ(stats.pids[0], TraceWriter::kEnginePid);
+  EXPECT_GT(stats.pids[1], TraceWriter::kEnginePid);
+}
+
+TEST(TraceWriterTest, OutputIsDeterministic) {
+  TraceWriter a;
+  TraceWriter b;
+  fill(a);
+  fill(b);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(TraceWriterTest, MetadataSortsFirstThenTimestamp) {
+  TraceWriter w;
+  // Inserted in "wrong" order: a late span, then an early span, then the
+  // process name. Export must put metadata first and sort spans by ts.
+  w.complete_span(1, 0, "late", "c", 100.0, 1.0);
+  w.complete_span(1, 0, "early", "c", 5.0, 1.0);
+  w.set_process_name(1, "p");
+  const std::string json = w.to_json();
+  const auto meta = json.find("process_name");
+  const auto early = json.find("\"early\"");
+  const auto late = json.find("\"late\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(meta, early);
+  EXPECT_LT(early, late);
+}
+
+TEST(TraceWriterTest, NumericArgsAreUnquoted) {
+  TraceWriter w;
+  w.complete_span(1, 0, "s", "c", 0.0, 1.0,
+                  {{"procs", "4"}, {"status", "ok"}});
+  const std::string json = w.to_json();
+  EXPECT_NE(json.find("\"procs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(TraceWriterTest, MetadataIsIdempotentPerTarget) {
+  TraceWriter w;
+  w.set_process_name(1, "engine");
+  w.set_process_name(1, "renamed");  // dropped
+  w.set_thread_name(1, 0, "worker 0");
+  w.set_thread_name(1, 0, "renamed");  // dropped
+  w.set_thread_name(1, 1, "worker 1");
+  EXPECT_EQ(w.num_events(), 3u);
+  EXPECT_EQ(w.to_json().find("renamed"), std::string::npos);
+}
+
+TEST(TraceWriterTest, NewProcessAllocatesDistinctPids) {
+  TraceWriter w;
+  const int a = w.new_process("a");
+  const int b = w.new_process("b");
+  EXPECT_GT(a, TraceWriter::kEnginePid);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(w.num_events(), 2u);  // the two process_name records
+}
+
+TEST(TraceWriterTest, EmptyWriterStillValidates) {
+  TraceWriter w;
+  TraceStats stats;
+  const auto problem = validate_chrome_trace(w.to_json(), &stats);
+  EXPECT_FALSE(problem.has_value()) << *problem;
+  EXPECT_EQ(stats.events, 0u);
+}
+
+TEST(TraceWriterTest, WriteFileCreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "moldsched_trace_writer_test";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "nested" / "trace.json";
+  TraceWriter w;
+  fill(w);
+  w.write_file(path.string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), w.to_json());
+  EXPECT_FALSE(validate_chrome_trace(buf.str()).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceWriterTest, GlobalTracerSlotSetAndClear) {
+  EXPECT_EQ(global_tracer(), nullptr);
+  TraceWriter w;
+  set_global_tracer(&w);
+  EXPECT_EQ(global_tracer(), &w);
+  set_global_tracer(nullptr);
+  EXPECT_EQ(global_tracer(), nullptr);
+}
+
+TEST(TraceWriterTest, NowUsIsMonotonicFromConstruction) {
+  TraceWriter w;
+  const double a = w.now_us();
+  const double b = w.now_us();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ValidateChromeTraceTest, RejectsMalformedDocuments) {
+  // Each entry: (document, reason it must be rejected).
+  const char* const bad[] = {
+      "",                                              // empty input
+      "{",                                             // truncated
+      "[]",                                            // top level not object
+      "{\"traceEvents\":{}}",                          // events not an array
+      "{\"noEvents\":[]}",                             // missing key
+      "{\"traceEvents\":[]} garbage",                  // trailing garbage
+      "{\"traceEvents\":[42]}",                        // event not an object
+      "{\"traceEvents\":[{\"pid\":1,\"tid\":0,\"name\":\"x\",\"ts\":0}]}",
+      // ^ missing "ph"
+      "{\"traceEvents\":[{\"ph\":\"Z\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"ts\":0}]}",                    // unknown phase
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"ts\":0,\"dur\":1}]}",                         // missing name
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":\"1\",\"tid\":0,"
+      "\"name\":\"x\",\"ts\":0,\"dur\":1}]}",          // pid not numeric
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"dur\":1}]}",                   // span without ts
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"ts\":0}]}",                    // span without dur
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"ts\":-1,\"dur\":1}]}",         // negative ts
+      "{\"traceEvents\":[{\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"ts\":0}]}",                    // counter without args
+      "{\"traceEvents\":[{\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+      "\"name\":\"x\",\"ts\":0,\"args\":{\"v\":\"high\"}}]}",
+      // ^ counter series not numeric
+      "{\"traceEvents\":[{bad json}]}",                // unquoted keys
+  };
+  for (const char* doc : bad)
+    EXPECT_TRUE(validate_chrome_trace(doc).has_value())
+        << "accepted: " << doc;
+}
+
+TEST(ValidateChromeTraceTest, AcceptsMinimalHandWrittenDocument) {
+  const std::string doc =
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":2,\"tid\":3,"
+      "\"name\":\"t\",\"cat\":\"sim\",\"ts\":1.5,\"dur\":2e3,"
+      "\"args\":{\"task\":7}}]}";
+  TraceStats stats;
+  const auto problem = validate_chrome_trace(doc, &stats);
+  EXPECT_FALSE(problem.has_value()) << *problem;
+  EXPECT_EQ(stats.events, 1u);
+  EXPECT_EQ(stats.spans, 1u);
+  ASSERT_EQ(stats.pids.size(), 1u);
+  EXPECT_EQ(stats.pids[0], 2);
+}
+
+}  // namespace
+}  // namespace moldsched::obs

@@ -136,6 +136,60 @@ TEST(TraceTest, GapTimeCountsInteriorIdle) {
   EXPECT_DOUBLE_EQ(t.total_gap_time(), 3.0);
 }
 
+TEST(TraceTest, ProfileOmitsZeroLengthIntervals) {
+  // A zero-duration task splits the sweep at its instant but must not
+  // produce a zero-length interval.
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 4.0);
+  t.record_start(1, 2.0, 3);
+  t.record_end(1, 2.0);
+  const auto profile = t.utilization_profile();
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(profile[0].end, 2.0);
+  EXPECT_EQ(profile[0].procs_in_use, 2);
+  EXPECT_DOUBLE_EQ(profile[1].begin, 2.0);
+  EXPECT_DOUBLE_EQ(profile[1].end, 4.0);
+  EXPECT_EQ(profile[1].procs_in_use, 2);
+  for (const auto& iv : profile) EXPECT_GT(iv.duration(), 0.0);
+}
+
+TEST(TraceTest, ProfileOfOnlyZeroDurationTasksIsEmpty) {
+  Trace t;
+  t.record_start(0, 1.0, 4);
+  t.record_end(0, 1.0);
+  EXPECT_TRUE(t.utilization_profile().empty());
+  EXPECT_DOUBLE_EQ(t.makespan(), 1.0);
+  EXPECT_DOUBLE_EQ(t.total_area(), 0.0);
+}
+
+TEST(TraceTest, SingleTaskProfileDropsLeadingIdle) {
+  // The profile starts at the first busy instant, not at time 0.
+  Trace t;
+  t.record_start(0, 2.0, 3);
+  t.record_end(0, 5.0);
+  const auto profile = t.utilization_profile();
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile[0].begin, 2.0);
+  EXPECT_DOUBLE_EQ(profile[0].end, 5.0);
+  EXPECT_EQ(profile[0].procs_in_use, 3);
+}
+
+TEST(TraceTest, ProfileMergesFullyCoincidentTasks) {
+  // Three tasks with identical [1, 2) windows form one summed interval.
+  Trace t;
+  for (int task = 0; task < 3; ++task) {
+    t.record_start(task, 1.0, 2);
+    t.record_end(task, 2.0);
+  }
+  const auto profile = t.utilization_profile();
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(profile[0].end, 2.0);
+  EXPECT_EQ(profile[0].procs_in_use, 6);
+}
+
 TEST(TraceTest, SimultaneousEdgesReleaseBeforeAcquire) {
   // Task 1 starts exactly when task 0 ends: usage never double-counts.
   Trace t;

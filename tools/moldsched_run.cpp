@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "moldsched/analysis/report.hpp"
 #include "moldsched/engine/engine.hpp"
+#include "moldsched/obs/obs.hpp"
 #include "moldsched/util/flags.hpp"
 #include "moldsched/util/table.hpp"
 
@@ -44,7 +47,14 @@ int usage(std::ostream& os, int code) {
         "  --resume           skip jobs already recorded ok in the JSONL\n"
         "  --no-outputs       skip the CSV finalizers (JSONL only)\n"
         "  --no-bench-json    skip writing BENCH_<suite>.json\n"
-        "  --quiet            suppress per-job progress lines\n"
+        "  --trace FILE       write a Chrome trace-event JSON (Perfetto /\n"
+        "                     chrome://tracing) of the run: engine worker\n"
+        "                     lanes plus one process per traced simulation\n"
+        "  --metrics FILE     write the metrics registry (counters, gauges,\n"
+        "                     histograms) as JSON after the run\n"
+        "  --quiet            suppress per-job progress and the verbose\n"
+        "                     tables; the per-suite summary footer and the\n"
+        "                     written-file paths still print\n"
         "\n"
         "suites:\n";
   for (const auto& info : engine::suites())
@@ -60,8 +70,8 @@ int reject_unknown_flags(int argc, const char* const* argv) {
       "suite",       "list",        "dry-run",     "threads",
       "repeats",     "seed",        "filter",      "results-dir",
       "jsonl",       "job-timeout", "budget",      "resume",
-      "no-outputs",  "no-bench-json", "quiet",     "help",
-      "h"};
+      "no-outputs",  "no-bench-json", "quiet",     "trace",
+      "metrics",     "help",        "h"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
@@ -129,6 +139,8 @@ int main(int argc, char** argv) {
     options.write_outputs = !flags.get_bool("no-outputs", false);
     const bool quiet = flags.get_bool("quiet", false);
     const bool bench_json = !flags.get_bool("no-bench-json", false);
+    const std::string trace_path = flags.get_string("trace", "");
+    const std::string metrics_path = flags.get_string("metrics", "");
 
     if (flags.has("dry-run")) {
       for (const auto& name : suite_names) {
@@ -141,18 +153,37 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    options.human_out = &std::cout;
+    // --quiet keeps the per-suite summary footer and the wrote-file
+    // paths; it drops only per-job progress and the verbose tables.
+    options.human_out = quiet ? nullptr : &std::cout;
+
+    // Arm process-wide observability before any suite runs.
+    std::unique_ptr<obs::TraceWriter> tracer;
+    if (!trace_path.empty()) {
+      tracer = std::make_unique<obs::TraceWriter>();
+      tracer->set_process_name(obs::TraceWriter::kEnginePid, "engine");
+      obs::set_global_tracer(tracer.get());
+    }
+    if (!metrics_path.empty()) obs::set_metrics_collection(true);
+
     if (!quiet) {
-      options.progress = [](const engine::JobRecord& rec, std::size_t done,
-                            std::size_t total) {
+      // The heartbeat reads live registry counters — cheap (a shard sum
+      // per counter) and serialized by the runner's progress mutex.
+      auto& registry = obs::default_registry();
+      obs::Counter& ok_jobs = registry.counter("engine.jobs.ok");
+      obs::Counter& steals = registry.counter("engine.executor.steals");
+      options.progress = [&ok_jobs, &steals](const engine::JobRecord& rec,
+                                             std::size_t done,
+                                             std::size_t total) {
         std::cerr << "[" << done << "/" << total << "] " << rec.status
-                  << "  " << rec.spec.key() << '\n';
+                  << "  " << rec.spec.key() << "  (ok " << ok_jobs.value()
+                  << ", steals " << steals.value() << ")" << '\n';
       };
     }
 
     int failures = 0;
     for (const auto& name : suite_names) {
-      std::cout << "=== suite " << name << " ===\n\n";
+      if (!quiet) std::cout << "=== suite " << name << " ===\n\n";
       const auto report = engine::run_suite(name, options);
       std::cout << "suite " << name << ": " << report.records.size()
                 << " job(s), " << report.ok << " ok, " << report.errors
@@ -172,6 +203,17 @@ int main(int argc, char** argv) {
       std::cout << '\n';
       failures += static_cast<int>(report.errors + report.timeouts +
                                    report.cancelled);
+    }
+
+    if (tracer) {
+      obs::set_global_tracer(nullptr);
+      tracer->write_file(trace_path);
+      std::cout << "wrote trace " << trace_path << '\n';
+    }
+    if (!metrics_path.empty()) {
+      analysis::write_file(metrics_path,
+                           obs::default_registry().to_json() + "\n");
+      std::cout << "wrote metrics " << metrics_path << '\n';
     }
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
