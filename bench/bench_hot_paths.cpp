@@ -1,0 +1,287 @@
+// Hot-path microbenchmarks guarding the PR's optimizations, emitting a
+// machine-readable BENCH_hotpaths.json (parseable by io::parse_json).
+//
+// Unlike the bench_* google-benchmark binaries, this is a plain
+// executable: it owns its output format so CI can assert the recorded
+// allocator_speedup of the allocator-bound random-dags entry stays
+// >= 1.5x. Entries:
+//   * allocator_random_dags      — the LPA decision stream harvested from
+//     random DAGs (general models, binary-search Step 1), uncached vs
+//     warm DecisionCache. The headline number.
+//   * allocator_arbitrary_tables — same stream with TableModel tasks,
+//     whose Step 1 is the O(p_max) exhaustive scan; caching wins big.
+//   * event_queue_batch_pop      — pop_simultaneous (allocating) vs
+//     pop_simultaneous_into (buffer reuse) on a tie-heavy event stream.
+//   * end_to_end_random_dags     — full schedule_online over the graph
+//     set, plain LPA vs warm cache (informational; sim work dominates).
+//
+// Usage: bench_hot_paths [--out PATH] [--rounds N] [--reuse K]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/sim/event_queue.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace {
+
+using moldsched::core::CachingAllocator;
+using moldsched::core::DecisionCache;
+using moldsched::core::LpaAllocator;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Best-of-`rounds` wall time of `fn()`, in nanoseconds.
+template <typename Fn>
+double best_ns(int rounds, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    const double t0 = now_ns();
+    fn();
+    const double t1 = now_ns();
+    if (t1 - t0 < best) best = t1 - t0;
+  }
+  return best;
+}
+
+/// Best-of-`rounds` for two competing paths, alternating them within
+/// each round so frequency drift and scheduler noise land on both
+/// sides instead of biasing whichever happened to run later.
+template <typename FnA, typename FnB>
+std::pair<double, double> best_pair_ns(int rounds, FnA&& a, FnB&& b) {
+  double best_a = std::numeric_limits<double>::infinity();
+  double best_b = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    double t0 = now_ns();
+    a();
+    double t1 = now_ns();
+    if (t1 - t0 < best_a) best_a = t1 - t0;
+    t0 = now_ns();
+    b();
+    t1 = now_ns();
+    if (t1 - t0 < best_b) best_b = t1 - t0;
+  }
+  return {best_a, best_b};
+}
+
+struct Entry {
+  std::string name;
+  double baseline_ns = 0.0;   ///< reference path, total per round
+  double optimized_ns = 0.0;  ///< optimized path, total per round
+  double ops = 0.0;           ///< units of work per round (calls/events)
+  std::string baseline_label;
+  std::string optimized_label;
+
+  [[nodiscard]] double speedup() const {
+    return optimized_ns > 0.0 ? baseline_ns / optimized_ns : 0.0;
+  }
+};
+
+/// The allocation-request stream a job grid replays: every task of every
+/// graph asks the allocator once per reveal, and repeated jobs repeat
+/// the whole stream.
+std::vector<moldsched::model::ModelPtr> harvest_models(
+    const std::vector<moldsched::graph::TaskGraph>& graphs) {
+  std::vector<moldsched::model::ModelPtr> stream;
+  for (const auto& g : graphs)
+    for (moldsched::graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      stream.push_back(g.model_ptr(v));
+  return stream;
+}
+
+Entry bench_allocator_stream(const std::string& name,
+                             const std::vector<moldsched::model::ModelPtr>& stream,
+                             int P, int reuse, int rounds) {
+  const LpaAllocator lpa(0.25);
+  long long sink = 0;
+
+  Entry e;
+  e.name = name;
+  e.ops = static_cast<double>(stream.size()) * reuse;
+  e.baseline_label = "lpa";
+  e.optimized_label = "cached(lpa), warm";
+
+  const auto cache = std::make_shared<DecisionCache>();
+  const CachingAllocator cached(lpa, cache);
+  // Warm the cache outside the timed region: the steady state of a job
+  // grid is all-hits.
+  for (const auto& m : stream) sink += cached.allocate(*m, P);
+  std::tie(e.baseline_ns, e.optimized_ns) = best_pair_ns(
+      rounds,
+      [&] {
+        for (int k = 0; k < reuse; ++k)
+          for (const auto& m : stream) sink += lpa.allocate(*m, P);
+      },
+      [&] {
+        for (int k = 0; k < reuse; ++k)
+          for (const auto& m : stream) sink += cached.allocate(*m, P);
+      });
+
+  if (sink == 42) std::cerr << "";  // defeat dead-code elimination
+  return e;
+}
+
+Entry bench_event_queue(int rounds) {
+  constexpr int kTimes = 2000;
+  constexpr int kTies = 8;
+  const auto fill = [](moldsched::sim::EventQueue& q) {
+    q.reserve(kTimes * kTies);
+    for (int t = 0; t < kTimes; ++t)
+      for (int i = 0; i < kTies; ++i)
+        q.schedule(static_cast<double>(t), t * kTies + i);
+  };
+  long long sink = 0;
+
+  Entry e;
+  e.name = "event_queue_batch_pop";
+  e.ops = static_cast<double>(kTimes) * kTies;
+  e.baseline_label = "pop_simultaneous (fresh vector per batch)";
+  e.optimized_label = "pop_simultaneous_into (reused buffer)";
+
+  e.baseline_ns = best_ns(rounds, [&] {
+    moldsched::sim::EventQueue q;
+    fill(q);
+    while (!q.empty()) {
+      const auto batch = q.pop_simultaneous();
+      sink += static_cast<long long>(batch.size());
+    }
+  });
+  e.optimized_ns = best_ns(rounds, [&] {
+    moldsched::sim::EventQueue q;
+    fill(q);
+    std::vector<moldsched::sim::Event> batch;
+    while (!q.empty()) {
+      q.pop_simultaneous_into(batch);
+      sink += static_cast<long long>(batch.size());
+    }
+  });
+
+  if (sink == 42) std::cerr << "";
+  return e;
+}
+
+Entry bench_end_to_end(const std::vector<moldsched::graph::TaskGraph>& graphs,
+                       int P, int rounds) {
+  const LpaAllocator lpa(0.25);
+  double sink = 0.0;
+
+  Entry e;
+  e.name = "end_to_end_random_dags";
+  e.ops = static_cast<double>(graphs.size());
+  e.baseline_label = "schedule_online + lpa";
+  e.optimized_label = "schedule_online + cached(lpa), warm";
+
+  const auto cache = std::make_shared<DecisionCache>();
+  const CachingAllocator cached(lpa, cache);
+  for (const auto& g : graphs)
+    sink += moldsched::core::schedule_online(g, P, cached).makespan;
+  std::tie(e.baseline_ns, e.optimized_ns) = best_pair_ns(
+      rounds,
+      [&] {
+        for (const auto& g : graphs)
+          sink += moldsched::core::schedule_online(g, P, lpa).makespan;
+      },
+      [&] {
+        for (const auto& g : graphs)
+          sink += moldsched::core::schedule_online(g, P, cached).makespan;
+      });
+
+  if (sink == 42.0) std::cerr << "";
+  return e;
+}
+
+std::string to_json(const std::vector<Entry>& entries, int rounds, int reuse) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n  \"bench\": \"hotpaths\",\n  \"rounds\": " << rounds
+     << ",\n  \"reuse\": " << reuse << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "    {\n"
+       << "      \"name\": \"" << e.name << "\",\n"
+       << "      \"baseline\": \"" << e.baseline_label << "\",\n"
+       << "      \"optimized\": \"" << e.optimized_label << "\",\n"
+       << "      \"ops_per_round\": " << e.ops << ",\n"
+       << "      \"baseline_ns_per_op\": " << e.baseline_ns / e.ops << ",\n"
+       << "      \"optimized_ns_per_op\": " << e.optimized_ns / e.ops << ",\n"
+       << "      \"speedup\": " << e.speedup() << "\n"
+       << "    }" << (i + 1 < entries.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const moldsched::util::Flags flags(argc, argv);
+  const std::string out = flags.get_string("out", "BENCH_hotpaths.json");
+  const int rounds = static_cast<int>(flags.get_int("rounds", 7));
+  const int reuse = static_cast<int>(flags.get_int("reuse", 10));
+  if (rounds < 1 || reuse < 1) {
+    std::cerr << "bench_hot_paths: --rounds and --reuse must be >= 1\n";
+    return 2;
+  }
+
+  // The instance set: one graph per corpus family, general models (the
+  // binary-search Step 1), on a platform large enough that the search
+  // depth matters.
+  constexpr int kP = 65536;
+  moldsched::util::Rng rng(20220815);  // ICPP 2022 vintage
+  std::vector<moldsched::graph::TaskGraph> graphs;
+  for (int f = 0; f < moldsched::check::num_corpus_families(); ++f)
+    graphs.push_back(moldsched::check::corpus_graph(
+        f, moldsched::model::ModelKind::kGeneral, rng, kP));
+  const auto general_stream = harvest_models(graphs);
+
+  // The table stream: arbitrary models whose Step 1 is the exhaustive
+  // O(p_max) scan.
+  constexpr int kTableP = 1024;
+  std::vector<moldsched::model::ModelPtr> table_stream;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> times(kTableP);
+    for (auto& t : times) t = rng.log_uniform(0.1, 100.0);
+    table_stream.push_back(
+        std::make_shared<moldsched::model::TableModel>(std::move(times)));
+  }
+
+  std::vector<Entry> entries;
+  entries.push_back(bench_allocator_stream("allocator_random_dags",
+                                           general_stream, kP, reuse, rounds));
+  entries.push_back(bench_allocator_stream("allocator_arbitrary_tables",
+                                           table_stream, kTableP, reuse,
+                                           rounds));
+  entries.push_back(bench_event_queue(rounds));
+  entries.push_back(bench_end_to_end(graphs, kP, rounds));
+
+  const std::string json = to_json(entries, rounds, reuse);
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "bench_hot_paths: cannot open '" << out << "'\n";
+    return 2;
+  }
+  file << json;
+  std::cout << json;
+
+  for (const Entry& e : entries)
+    std::cout << e.name << ": " << e.speedup() << "x\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "moldsched/check/corpus.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/sampler.hpp"
+
+namespace moldsched::check {
+
+namespace {
+
+/// Random positive table of length <= min(P, 64). Entries are log-uniform
+/// in [0.1, 100] with no monotonicity — that is the point of Section 5.
+graph::ModelProvider table_provider(util::Rng& rng, int P) {
+  const int max_len = std::min(P, 64);
+  return [&rng, max_len]() -> model::ModelPtr {
+    const int len = static_cast<int>(rng.uniform_int(1, max_len));
+    std::vector<double> times(static_cast<std::size_t>(len));
+    for (auto& t : times) t = rng.log_uniform(0.1, 100.0);
+    return std::make_shared<model::TableModel>(std::move(times));
+  };
+}
+
+}  // namespace
+
+const std::vector<std::string>& corpus_families() {
+  static const std::vector<std::string> families = {
+      "layered_random", "erdos_renyi",     "fork_join",
+      "random_out_tree", "random_in_tree", "series_parallel",
+      "chain",           "independent",    "diamond"};
+  return families;
+}
+
+int num_corpus_families() {
+  return static_cast<int>(corpus_families().size());
+}
+
+const std::vector<model::ModelKind>& corpus_model_kinds() {
+  static const std::vector<model::ModelKind> kinds = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral,
+      model::ModelKind::kArbitrary};
+  return kinds;
+}
+
+graph::TaskGraph corpus_graph(int family, model::ModelKind kind,
+                              util::Rng& rng, int P) {
+  // kArbitrary has no sampler parameterization; use random tables. The
+  // sampler must outlive the provider (captured by reference), hence the
+  // optional local.
+  std::optional<model::ModelSampler> sampler;
+  graph::ModelProvider provider;
+  if (kind == model::ModelKind::kArbitrary) {
+    provider = table_provider(rng, P);
+  } else {
+    sampler.emplace(kind);
+    provider = graph::sampling_provider(*sampler, rng, P);
+  }
+  switch (family) {
+    case 0:
+      return graph::layered_random(
+          static_cast<int>(rng.uniform_int(1, 8)), 1,
+          static_cast<int>(rng.uniform_int(1, 10)), rng.unit(), rng,
+          provider);
+    case 1:
+      return graph::erdos_renyi_dag(
+          static_cast<int>(rng.uniform_int(1, 60)), rng.unit() * 0.3, rng,
+          provider);
+    case 2:
+      return graph::fork_join(static_cast<int>(rng.uniform_int(1, 4)),
+                              static_cast<int>(rng.uniform_int(1, 10)),
+                              provider);
+    case 3:
+      return graph::random_out_tree(
+          static_cast<int>(rng.uniform_int(1, 60)),
+          static_cast<int>(rng.uniform_int(0, 4)), rng, provider);
+    case 4:
+      return graph::random_in_tree(
+          static_cast<int>(rng.uniform_int(1, 60)),
+          static_cast<int>(rng.uniform_int(0, 4)), rng, provider);
+    case 5:
+      return graph::series_parallel(
+          static_cast<int>(rng.uniform_int(1, 50)), rng, provider);
+    case 6:
+      return graph::chain(static_cast<int>(rng.uniform_int(1, 25)), provider);
+    case 7:
+      return graph::independent(static_cast<int>(rng.uniform_int(1, 50)),
+                                provider);
+    case 8:
+      return graph::diamond(static_cast<int>(rng.uniform_int(1, 20)),
+                            provider);
+    default:
+      throw std::invalid_argument("corpus_graph: unknown family " +
+                                  std::to_string(family));
+  }
+}
+
+CorpusInstance corpus_instance(util::Rng& rng) {
+  // Draw the knobs before the graph so the graph recipe consumes the
+  // tail of the stream and knob draws stay aligned across families.
+  const int P = static_cast<int>(rng.uniform_int(1, 100));
+  const double mu = rng.uniform(0.05, 0.38);
+  static const std::vector<core::QueuePolicy> policies = {
+      core::QueuePolicy::kFifo, core::QueuePolicy::kLifo,
+      core::QueuePolicy::kLargestWorkFirst,
+      core::QueuePolicy::kLongestMinTimeFirst,
+      core::QueuePolicy::kSmallestAllocFirst};
+  const auto policy = rng.pick(policies);
+  const int family =
+      static_cast<int>(rng.uniform_int(0, num_corpus_families() - 1));
+  const auto kind = rng.pick(corpus_model_kinds());
+  CorpusInstance inst{corpus_graph(family, kind, rng, P),
+                      P, mu, policy, family, kind};
+  return inst;
+}
+
+}  // namespace moldsched::check

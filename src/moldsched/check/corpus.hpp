@@ -1,0 +1,49 @@
+// Shared random-instance corpus for the fuzz and self-check harnesses.
+//
+// One canonical recipe turns (family, model kind, platform size, rng)
+// into a task graph, so the gtest fuzzer and the engine's selfcheck
+// suite exercise the same instance distribution and a failure in either
+// reproduces in the other from the same seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/speedup_model.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::check {
+
+/// Generator families of the corpus, in a fixed order so family indices
+/// are stable identifiers in logs and repros.
+[[nodiscard]] const std::vector<std::string>& corpus_families();
+[[nodiscard]] int num_corpus_families();
+
+/// Model kinds the corpus draws from: the four Eq. (1) kinds plus
+/// kArbitrary, realized as random TableModel instances.
+[[nodiscard]] const std::vector<model::ModelKind>& corpus_model_kinds();
+
+/// Builds one random graph of the given family (index into
+/// corpus_families()) whose tasks all carry models of `kind`. kArbitrary
+/// yields random positive tables of length <= min(P, 64). Throws
+/// std::invalid_argument for an unknown family index.
+[[nodiscard]] graph::TaskGraph corpus_graph(int family, model::ModelKind kind,
+                                            util::Rng& rng, int P);
+
+/// One fully specified random instance: graph plus scheduling knobs.
+struct CorpusInstance {
+  graph::TaskGraph graph;
+  int P = 1;
+  double mu = 0.25;                 ///< LPA parameter, in (0, mu_max]
+  core::QueuePolicy policy = core::QueuePolicy::kFifo;
+  int family = 0;                   ///< index into corpus_families()
+  model::ModelKind kind = model::ModelKind::kGeneral;
+};
+
+/// Draws a complete instance: P in [1, 100], mu in [0.05, 0.38], a
+/// uniform queue policy, a uniform family, and a uniform model kind.
+[[nodiscard]] CorpusInstance corpus_instance(util::Rng& rng);
+
+}  // namespace moldsched::check

@@ -1,0 +1,111 @@
+#include "moldsched/check/differential.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched::check {
+
+namespace {
+
+void hexfloat(std::ostream& os, double v) {
+  // std::hexfloat via operator<< is locale-independent and bit-exact for
+  // finite doubles, which makes the canonical form a byte-level witness.
+  os << std::hexfloat << v << std::defaultfloat;
+}
+
+bool graph_has_cacheable_model(const graph::TaskGraph& g) {
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    if (g.model_of(v).fingerprint().cacheable) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string canonical_schedule(const core::ScheduleResult& r) {
+  std::ostringstream os;
+  os << "makespan=";
+  hexfloat(os, r.makespan);
+  os << "\nevents=" << r.num_events << "\nalloc=";
+  for (const int a : r.allocation) os << ' ' << a;
+  os << '\n';
+  for (const auto& rec : r.trace.records()) {
+    os << rec.task << ' ' << rec.procs << ' ';
+    hexfloat(os, rec.start);
+    os << ' ';
+    hexfloat(os, rec.end);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string DifferentialReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "differential: ok (makespan=" << makespan
+       << ", lower_bound=" << lower_bound << ", cache_hits=" << cache_hits
+       << ")";
+    return os.str();
+  }
+  os << "differential: " << mismatches.size() << " mismatch(es):\n";
+  for (const auto& m : mismatches) os << "  - " << m << '\n';
+  return os.str();
+}
+
+DifferentialReport differential_check(const graph::TaskGraph& g, int P,
+                                      const core::Allocator& reference,
+                                      core::QueuePolicy policy) {
+  DifferentialReport report;
+
+  const auto ref = core::schedule_online(g, P, reference, policy);
+  report.makespan = ref.makespan;
+  const std::string ref_canon = canonical_schedule(ref);
+
+  // Oracle 1: the reference schedule must be feasible on its own terms.
+  const auto validation = sim::validate_schedule(g, ref.trace, P);
+  if (!validation.ok())
+    report.mismatches.push_back("reference schedule invalid: " +
+                                validation.to_string());
+
+  // Oracle 2: no schedule may beat the Lemma 2 optimal lower bound.
+  report.lower_bound = analysis::optimal_makespan_lower_bound(g, P);
+  if (ref.makespan < report.lower_bound * (1.0 - 1e-9)) {
+    std::ostringstream os;
+    os << "makespan " << ref.makespan << " beats the Lemma 2 lower bound "
+       << report.lower_bound;
+    report.mismatches.push_back(os.str());
+  }
+
+  // Optimized path, cold cache: every cacheable decision is a miss that
+  // populates the store; the schedule must not change.
+  const auto cache = std::make_shared<core::DecisionCache>();
+  const core::CachingAllocator caching(reference, cache);
+  const auto cold = core::schedule_online(g, P, caching, policy);
+  if (canonical_schedule(cold) != ref_canon)
+    report.mismatches.push_back(
+        "cold-cache schedule diverges from the reference schedule");
+  report.cache_misses = cache->misses();
+
+  // Optimized path, warm cache: decisions are served from the store.
+  const auto warm = core::schedule_online(g, P, caching, policy);
+  if (canonical_schedule(warm) != ref_canon)
+    report.mismatches.push_back(
+        "warm-cache schedule diverges from the reference schedule");
+  report.cache_hits = cache->hits();
+  if (report.cache_hits == 0 && graph_has_cacheable_model(g))
+    report.mismatches.push_back(
+        "warm pass served zero cache hits despite cacheable models — "
+        "the decision cache is dead");
+
+  return report;
+}
+
+DifferentialReport differential_check(const graph::TaskGraph& g, int P,
+                                      double mu, core::QueuePolicy policy) {
+  const core::LpaAllocator lpa(mu);
+  return differential_check(g, P, lpa, policy);
+}
+
+}  // namespace moldsched::check

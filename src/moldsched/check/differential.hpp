@@ -1,0 +1,63 @@
+// Differential self-check harness guarding the hot-path optimizations.
+//
+// The optimized paths (CachingAllocator memoization, the event-queue
+// batch pop, the scheduler's ready-set skip) are only admissible because
+// they are *behavior-preserving*: for any instance they must produce the
+// byte-identical schedule the reference path produces. This module makes
+// that property executable — it runs one instance through the reference
+// allocator and through the caching decorator (cold cache, then warm),
+// canonicalizes each resulting schedule to a byte string, and reports any
+// divergence, alongside two independent oracles: the schedule validator
+// and the Lemma 2 makespan lower bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/core/queue_policy.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::check {
+
+/// Canonical byte representation of a schedule: one line per trace record
+/// (task, start, end, procs) plus the allocation vector and makespan, all
+/// doubles printed as hexfloats so the string is bit-exact. Two schedules
+/// are the same computation iff their canonical forms compare equal.
+[[nodiscard]] std::string canonical_schedule(const core::ScheduleResult& r);
+
+struct DifferentialReport {
+  /// Human-readable description of every divergence or oracle failure.
+  /// Empty means the optimized paths are indistinguishable from the
+  /// reference and both oracles hold.
+  std::vector<std::string> mismatches;
+
+  double makespan = 0.0;     ///< reference-path makespan
+  double lower_bound = 0.0;  ///< Lemma 2 bound max(A_min/P, C_min)
+  std::uint64_t cache_hits = 0;    ///< hits observed on the warm pass
+  std::uint64_t cache_misses = 0;  ///< misses observed on the cold pass
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs `g` on P processors under `policy` three times — with `reference`
+/// directly, with a cold CachingAllocator around it, and again with the
+/// now-warm cache — and checks:
+///  * the three canonical schedules are byte-identical;
+///  * the reference schedule passes sim::validate_schedule;
+///  * makespan >= Lemma 2 lower bound (within 1e-9 relative slack).
+/// The warm pass must serve at least one hit whenever the graph contains
+/// a cacheable model (otherwise the cache is silently dead — reported).
+[[nodiscard]] DifferentialReport differential_check(
+    const graph::TaskGraph& g, int P, const core::Allocator& reference,
+    core::QueuePolicy policy = core::QueuePolicy::kFifo);
+
+/// Convenience overload: reference = LpaAllocator(mu).
+[[nodiscard]] DifferentialReport differential_check(
+    const graph::TaskGraph& g, int P, double mu,
+    core::QueuePolicy policy = core::QueuePolicy::kFifo);
+
+}  // namespace moldsched::check

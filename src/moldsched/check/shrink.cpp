@@ -1,0 +1,209 @@
+#include "moldsched/check/shrink.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::check {
+
+namespace {
+
+graph::TaskGraph copy_with_model(const graph::TaskGraph& g, graph::TaskId id,
+                                 model::ModelPtr replacement) {
+  graph::TaskGraph out;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    out.add_task(v == id ? std::move(replacement) : g.model_ptr(v),
+                 g.name(v));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v)) out.add_edge(v, s);
+  return out;
+}
+
+/// Simpler replacement candidates for one task's model, most aggressive
+/// first. Empty when the model is already minimal or not simplifiable.
+std::vector<model::ModelPtr> simpler_models(const model::SpeedupModel& m) {
+  std::vector<model::ModelPtr> out;
+  if (const auto* gen = dynamic_cast<const model::GeneralModel*>(&m)) {
+    const model::GeneralParams p = gen->params();
+    const model::GeneralParams unit{1.0, 0.0, 0.0,
+                                    model::GeneralParams::kUnboundedParallelism};
+    const auto differs = [&p](const model::GeneralParams& q) {
+      return q.w != p.w || q.d != p.d || q.c != p.c || q.pbar != p.pbar;
+    };
+    // Most aggressive: the unit roofline task.
+    if (differs(unit))
+      out.push_back(std::make_shared<model::GeneralModel>(unit));
+    // Drop one complication at a time.
+    if (p.d != 0.0)
+      out.push_back(std::make_shared<model::GeneralModel>(
+          model::GeneralParams{p.w, 0.0, p.c, p.pbar}));
+    if (p.c != 0.0)
+      out.push_back(std::make_shared<model::GeneralModel>(
+          model::GeneralParams{p.w, p.d, 0.0, p.pbar}));
+    if (p.pbar != model::GeneralParams::kUnboundedParallelism)
+      out.push_back(std::make_shared<model::GeneralModel>(model::GeneralParams{
+          p.w, p.d, p.c, model::GeneralParams::kUnboundedParallelism}));
+    // Rescale the work towards 1 (keeps w + d + c > 0).
+    if (p.w > 2.0)
+      out.push_back(std::make_shared<model::GeneralModel>(
+          model::GeneralParams{p.w / 2.0, p.d, p.c, p.pbar}));
+  } else if (const auto* table = dynamic_cast<const model::TableModel*>(&m)) {
+    // Truncate the table: fewer distinct allocations to reason about.
+    const int len = table->table_size();
+    const auto truncated = [&](int new_len) {
+      std::vector<double> times(static_cast<std::size_t>(new_len));
+      for (int p = 1; p <= new_len; ++p)
+        times[static_cast<std::size_t>(p - 1)] = table->time(p);
+      return std::make_shared<model::TableModel>(std::move(times));
+    };
+    if (len > 1) out.push_back(truncated(1));
+    if (len > 2) out.push_back(truncated(len / 2));
+  }
+  return out;
+}
+
+}  // namespace
+
+graph::TaskGraph induced_subgraph(const graph::TaskGraph& g,
+                                  const std::vector<graph::TaskId>& keep) {
+  std::vector<graph::TaskId> ids = keep;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty())
+    throw std::invalid_argument("induced_subgraph: empty selection");
+  std::vector<graph::TaskId> new_id(static_cast<std::size_t>(g.num_tasks()),
+                                    -1);
+  graph::TaskGraph out;
+  for (const graph::TaskId v : ids) {
+    if (v < 0 || v >= g.num_tasks())
+      throw std::invalid_argument("induced_subgraph: unknown task id " +
+                                  std::to_string(v));
+    new_id[static_cast<std::size_t>(v)] = out.add_task(g.model_ptr(v),
+                                                       g.name(v));
+  }
+  for (const graph::TaskId v : ids)
+    for (const graph::TaskId s : g.successors(v))
+      if (new_id[static_cast<std::size_t>(s)] != -1)
+        out.add_edge(new_id[static_cast<std::size_t>(v)],
+                     new_id[static_cast<std::size_t>(s)]);
+  return out;
+}
+
+graph::TaskGraph without_edge(const graph::TaskGraph& g, graph::TaskId from,
+                              graph::TaskId to) {
+  if (!g.has_edge(from, to))
+    throw std::invalid_argument("without_edge: no such edge");
+  graph::TaskGraph out;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    out.add_task(g.model_ptr(v), g.name(v));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      if (!(v == from && s == to)) out.add_edge(v, s);
+  return out;
+}
+
+ShrinkResult shrink_instance(const graph::TaskGraph& g,
+                             const FailurePredicate& still_fails) {
+  ShrinkResult result{g, 0, 0, 0, 0};
+  const auto fails = [&](const graph::TaskGraph& candidate) {
+    ++result.predicate_calls;
+    return still_fails(candidate);
+  };
+  if (!fails(g))
+    throw std::invalid_argument(
+        "shrink_instance: the original instance does not fail");
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Phase 1 (ddmin over tasks): drop contiguous id chunks, halving the
+    // chunk size down to single tasks. Induced subgraphs of a DAG stay
+    // acyclic, so candidates are always valid unless empty.
+    const int n = result.graph.num_tasks();
+    for (int chunk = (n + 1) / 2; chunk >= 1; chunk = chunk == 1 ? 0 : chunk / 2) {
+      for (int begin = 0; begin + chunk <= result.graph.num_tasks();) {
+        const int m = result.graph.num_tasks();
+        if (m - chunk < 1) break;  // never empty the graph
+        std::vector<graph::TaskId> keep;
+        keep.reserve(static_cast<std::size_t>(m - chunk));
+        for (graph::TaskId v = 0; v < m; ++v)
+          if (v < begin || v >= begin + chunk) keep.push_back(v);
+        auto candidate = induced_subgraph(result.graph, keep);
+        if (fails(candidate)) {
+          result.graph = std::move(candidate);
+          result.tasks_removed += chunk;
+          progress = true;
+          // Ids shifted; retry the same window against the new graph.
+        } else {
+          begin += chunk;
+        }
+      }
+    }
+
+    // Phase 2: drop single edges.
+    bool edge_progress = true;
+    while (edge_progress) {
+      edge_progress = false;
+      const int m = result.graph.num_tasks();
+      for (graph::TaskId v = 0; v < m && !edge_progress; ++v) {
+        for (const graph::TaskId s : result.graph.successors(v)) {
+          auto candidate = without_edge(result.graph, v, s);
+          if (fails(candidate)) {
+            result.graph = std::move(candidate);
+            ++result.edges_removed;
+            edge_progress = true;
+            progress = true;
+            break;  // successor list invalidated; rescan
+          }
+        }
+      }
+    }
+
+    // Phase 3: simplify task models (round Eq. (1) params, truncate
+    // tables) one accepted replacement at a time.
+    bool model_progress = true;
+    while (model_progress) {
+      model_progress = false;
+      const int m = result.graph.num_tasks();
+      for (graph::TaskId v = 0; v < m && !model_progress; ++v) {
+        for (auto& replacement : simpler_models(result.graph.model_of(v))) {
+          auto candidate = copy_with_model(result.graph, v,
+                                           std::move(replacement));
+          if (fails(candidate)) {
+            result.graph = std::move(candidate);
+            ++result.models_simplified;
+            model_progress = true;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string describe_instance(const graph::TaskGraph& g, int P, double mu,
+                              const std::string& note) {
+  std::ostringstream os;
+  os << "minimal repro";
+  if (!note.empty()) os << " (" << note << ")";
+  os << ": P=" << P << " mu=" << mu << " tasks=" << g.num_tasks()
+     << " edges=" << g.num_edges() << '\n';
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    os << "  task " << v;
+    if (!g.name(v).empty()) os << " [" << g.name(v) << "]";
+    os << ": " << g.model_of(v).describe() << '\n';
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      os << "  edge " << v << " -> " << s << '\n';
+  return os.str();
+}
+
+}  // namespace moldsched::check

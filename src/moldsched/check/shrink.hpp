@@ -1,0 +1,60 @@
+// Test-case reduction for failing fuzz/self-check instances.
+//
+// A randomized harness that finds a bug hands back a 60-task graph; the
+// human debugging it wants a 3-task one. shrink_instance runs a ddmin-
+// style greedy loop — drop task chunks, drop single tasks, drop edges,
+// round the Eq. (1) work parameters — re-testing the caller's failure
+// predicate after each candidate reduction and keeping every reduction
+// that still fails. The result is 1-minimal with respect to these moves:
+// no single remaining task or edge can be removed without losing the
+// failure.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::check {
+
+/// Returns true when the instance still exhibits the failure under
+/// reduction. Predicates must treat exceptions themselves (a throwing
+/// predicate aborts the shrink); a predicate that fails on the original
+/// graph is a precondition of shrink_instance.
+using FailurePredicate = std::function<bool(const graph::TaskGraph&)>;
+
+/// Subgraph induced by `keep` (ids into g, any order, duplicates
+/// ignored): tasks are re-numbered in ascending old-id order and every
+/// edge with both endpoints kept survives. Throws on unknown ids or an
+/// empty selection.
+[[nodiscard]] graph::TaskGraph induced_subgraph(
+    const graph::TaskGraph& g, const std::vector<graph::TaskId>& keep);
+
+/// Copy of g without the edge from -> to (which must exist).
+[[nodiscard]] graph::TaskGraph without_edge(const graph::TaskGraph& g,
+                                            graph::TaskId from,
+                                            graph::TaskId to);
+
+struct ShrinkResult {
+  graph::TaskGraph graph;    ///< smallest failing instance found
+  int tasks_removed = 0;
+  int edges_removed = 0;
+  int models_simplified = 0; ///< Eq. (1) models rounded to simpler params
+  int predicate_calls = 0;
+};
+
+/// Greedily minimizes `g` while `still_fails` keeps returning true.
+/// `still_fails(g)` must be true on entry (checked; throws
+/// std::invalid_argument otherwise). Deterministic: candidate order is a
+/// pure function of the input graph.
+[[nodiscard]] ShrinkResult shrink_instance(const graph::TaskGraph& g,
+                                           const FailurePredicate& still_fails);
+
+/// Printable minimal repro: per-task model description plus the edge
+/// list, ready to paste into a bug report or a regression test.
+[[nodiscard]] std::string describe_instance(const graph::TaskGraph& g, int P,
+                                            double mu,
+                                            const std::string& note = "");
+
+}  // namespace moldsched::check

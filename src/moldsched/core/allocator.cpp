@@ -3,12 +3,24 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "moldsched/obs/metrics.hpp"
 
 namespace moldsched::core {
 
 namespace {
 
 constexpr double kMuMax = 0.38196601125010515;  // (3 - sqrt(5)) / 2
+
+std::uint64_t fnv1a_string(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 // Relative tolerance when comparing beta_p against delta: the constraint
 // boundary is often hit exactly by construction (adversarial instances),
@@ -81,6 +93,228 @@ std::string LpaAllocator::name() const {
   std::ostringstream os;
   os << "lpa(mu=" << mu_ << ")";
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DecisionCache
+
+std::size_t DecisionCache::KeyHash::operator()(const Key& key) const noexcept {
+  // This hash sits on the cache's hit path, so latency matters more
+  // than mixing strength: multiply each word by its own odd constant
+  // (independent multiplies, which the CPU overlaps), xor-reduce, and
+  // run one murmur3-style finalizer for avalanche. A serial round-per-
+  // word chain here costs as much as the LPA search it short-cuts; the
+  // distinct constants keep word swaps from cancelling in the xor.
+  std::uint64_t h = key.allocator_tag * 0x9e3779b97f4a7c15ULL ^
+                    key.words[0] * 0xbf58476d1ce4e5b9ULL ^
+                    key.words[1] * 0x94d049bb133111ebULL ^
+                    key.words[2] * 0x2545f4914f6cdd1dULL ^
+                    key.words[3] * 0xd6e8feb86659fd93ULL ^
+                    ((static_cast<std::uint64_t>(key.kind) << 32) |
+                     static_cast<std::uint32_t>(key.P)) *
+                        0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h);
+}
+
+struct DecisionCache::RegistryCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+
+  static const RegistryCounters& get() {
+    static const RegistryCounters counters{
+        obs::default_registry().counter("core.alloc_cache.hits"),
+        obs::default_registry().counter("core.alloc_cache.misses"),
+        obs::default_registry().counter("core.alloc_cache.evictions")};
+    return counters;
+  }
+};
+
+DecisionCache::DecisionCache(std::size_t capacity)
+    : capacity_(capacity), registry_(RegistryCounters::get()) {
+  if (capacity == 0)
+    throw std::invalid_argument("DecisionCache: capacity must be >= 1");
+}
+
+std::array<std::uint64_t, 6> DecisionCache::key_words(
+    const Key& key) noexcept {
+  return {key.allocator_tag, key.words[0], key.words[1], key.words[2],
+          key.words[3],
+          (static_cast<std::uint64_t>(key.kind) << 32) |
+              static_cast<std::uint32_t>(key.P)};
+}
+
+// Canonical atomic seqlock (Boehm, MSPC'12). Readers retry nothing: an
+// inconsistent or mismatching snapshot simply reports a miss and the
+// caller falls back to the mutexed map.
+int DecisionCache::l1_lookup(const Key& key,
+                             std::size_t hash) const noexcept {
+  const L1Slot& s = l1_[hash & (kL1Slots - 1)];
+  const std::uint64_t seq0 = s.seq.load(std::memory_order_acquire);
+  if ((seq0 & 1U) != 0) return -1;  // write in flight
+  std::array<std::uint64_t, 6> got;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    got[i] = s.words[i].load(std::memory_order_relaxed);
+  const int alloc = s.alloc.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != seq0) return -1;  // torn
+  if (got != key_words(key)) return -1;  // different key in this slot
+  return alloc;  // -1 when the slot has never been filled
+}
+
+// Callers hold mutex_, making the writer side single-threaded.
+void DecisionCache::l1_store(const Key& key, std::size_t hash,
+                             int alloc) const noexcept {
+  L1Slot& s = l1_[hash & (kL1Slots - 1)];
+  const std::uint64_t seq0 = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(seq0 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const auto words = key_words(key);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    s.words[i].store(words[i], std::memory_order_relaxed);
+  s.alloc.store(alloc, std::memory_order_relaxed);
+  s.seq.store(seq0 + 2, std::memory_order_release);
+}
+
+void DecisionCache::l1_erase(const Key& key) const noexcept {
+  const std::size_t hash = KeyHash{}(key);
+  L1Slot& s = l1_[hash & (kL1Slots - 1)];
+  // Sole writer (mutex_ held): plain relaxed reads see the truth.
+  const auto words = key_words(key);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    if (s.words[i].load(std::memory_order_relaxed) != words[i])
+      return;  // slot holds a different key; leave it alone
+  l1_store(key, hash, -1);
+}
+
+int DecisionCache::lookup(const Key& key) const {
+  const std::size_t hash = KeyHash{}(key);
+  int found = l1_lookup(key, hash);
+  if (found < 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      found = it->second;
+      l1_store(key, hash, found);  // promote: next lookup is lock-free
+    }
+  }
+  // Statistics use plain load+store increments rather than fetch_add:
+  // the read-modify-write would dominate a hit. Concurrent hits may
+  // drop a count — tolerable for monitoring, and still race-free.
+  if (found < 0) {
+    misses_.store(misses_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    registry_.misses.add();
+    return -1;
+  }
+  hits_.store(hits_.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+  registry_.hits.add();
+  return found;
+}
+
+void DecisionCache::insert(const Key& key, int alloc) {
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!map_.emplace(key, alloc).second) return;  // idempotent re-insert
+    if (map_.size() > capacity_) {
+      // The ring holds exactly the keys of map_ in insertion order, so
+      // the slot at evict_next_ is the oldest live entry; reuse its slot
+      // for the newcomer to keep the ring aligned with the map.
+      map_.erase(fifo_[evict_next_]);
+      l1_erase(fifo_[evict_next_]);
+      fifo_[evict_next_] = key;
+      evict_next_ = (evict_next_ + 1) % capacity_;
+      evicted = true;
+    } else {
+      fifo_.push_back(key);
+    }
+    l1_store(key, KeyHash{}(key), alloc);
+  }
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    registry_.evictions.add();
+  }
+}
+
+std::size_t DecisionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::uint64_t DecisionCache::hits() const {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DecisionCache::misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DecisionCache::evictions() const {
+  return evictions_.load(std::memory_order_relaxed);
+}
+
+void DecisionCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  fifo_.clear();
+  evict_next_ = 0;
+  // Publish empty slots; all-zero words never match a real key (the
+  // kind<<32|P word is nonzero for every legal P >= 1).
+  for (std::size_t i = 0; i < kL1Slots; ++i) {
+    L1Slot& s = l1_[i];
+    const std::uint64_t seq0 = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(seq0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (auto& w : s.words) w.store(0, std::memory_order_relaxed);
+    s.alloc.store(-1, std::memory_order_relaxed);
+    s.seq.store(seq0 + 2, std::memory_order_release);
+  }
+}
+
+const std::shared_ptr<DecisionCache>& DecisionCache::process_wide() {
+  static const std::shared_ptr<DecisionCache> cache =
+      std::make_shared<DecisionCache>();
+  return cache;
+}
+
+// ---------------------------------------------------------------------------
+// CachingAllocator
+
+CachingAllocator::CachingAllocator(const Allocator& inner,
+                                   std::shared_ptr<DecisionCache> cache)
+    : inner_(inner),
+      cache_(cache ? std::move(cache) : std::make_shared<DecisionCache>()),
+      allocator_tag_(fnv1a_string(inner.name())) {}
+
+CachingAllocator::CachingAllocator(std::shared_ptr<const Allocator> inner,
+                                   std::shared_ptr<DecisionCache> cache)
+    : owned_((inner == nullptr
+                  ? throw std::invalid_argument("CachingAllocator: null inner")
+                  : void(0),
+              std::move(inner))),
+      inner_(*owned_),
+      cache_(cache ? std::move(cache) : std::make_shared<DecisionCache>()),
+      allocator_tag_(fnv1a_string(inner_.name())) {}
+
+int CachingAllocator::allocate(const model::SpeedupModel& m, int P) const {
+  const model::ModelFingerprint fp = m.fingerprint();
+  if (!fp.cacheable) return inner_.allocate(m, P);
+  const DecisionCache::Key key{allocator_tag_, fp.words,
+                               static_cast<std::uint32_t>(m.kind()), P};
+  const int cached = cache_->lookup(key);
+  if (cached >= 0) return cached;
+  const int alloc = inner_.allocate(m, P);
+  cache_->insert(key, alloc);
+  return alloc;
+}
+
+std::string CachingAllocator::name() const {
+  return "cached(" + inner_.name() + ")";
 }
 
 }  // namespace moldsched::core

@@ -23,6 +23,7 @@ namespace {
 
 struct QueueEntry {
   graph::TaskId task;
+  int alloc;           // final allocation, denormalized off ScheduleResult
   double key;          // priority key; larger first
   std::uint64_t seq;   // reveal order; lower first among equal keys
 };
@@ -36,6 +37,7 @@ ScheduleResult OnlineScheduler::run() const {
   result.ready_time.assign(static_cast<std::size_t>(n), -1.0);
 
   sim::EventQueue events;
+  events.reserve(static_cast<std::size_t>(std::min(n, P_)));
   sim::Platform platform(P_);
   std::vector<int> pending_preds(static_cast<std::size_t>(n));
   for (graph::TaskId v = 0; v < n; ++v)
@@ -43,6 +45,13 @@ ScheduleResult OnlineScheduler::run() const {
 
   std::vector<QueueEntry> queue;  // waiting queue Q, kept in service order
   std::uint64_t reveal_seq = 0;
+  // Smallest allocation among queued tasks: when it exceeds the idle
+  // processor count, no queued task can start and the Algorithm 1 queue
+  // scan is provably a no-op, so try_start_all skips it outright. The
+  // value is exact after every scan (recomputed in-pass) and only ever
+  // an under-estimate between scans (reveals lower it), so skipping is
+  // behavior-identical to scanning.
+  int min_waiting_alloc = P_ + 1;
 
   // Instrumentation state, touched only when an observer is attached so
   // unobserved runs pay a single pointer check per decision.
@@ -74,8 +83,9 @@ ScheduleResult OnlineScheduler::run() const {
     result.ready_time[static_cast<std::size_t>(task)] = now;
 
     const QueueEntry entry{
-        task, priority_key(policy_, graph_.model_of(task), alloc, P_),
+        task, alloc, priority_key(policy_, graph_.model_of(task), alloc, P_),
         reveal_seq++};
+    min_waiting_alloc = std::min(min_waiting_alloc, alloc);
     switch (policy_) {
       case QueuePolicy::kFifo:
         queue.push_back(entry);
@@ -100,12 +110,20 @@ ScheduleResult OnlineScheduler::run() const {
   };
 
   auto try_start_all = [&](double now) {
+    // Fast path: nothing waiting, or even the smallest waiting
+    // allocation exceeds the idle processors — the scan cannot start
+    // anything, so skip it (amortized O(1) per event when saturated).
+    if (queue.empty() || min_waiting_alloc > platform.available()) return;
+    min_waiting_alloc = P_ + 1;
     // Algorithm 1, lines 7-11: scan the whole queue; start every task
-    // that fits on the idle processors.
+    // that fits on the idle processors. platform.available() only
+    // shrinks during the pass, so entries skipped earlier stay
+    // unstartable and one pass both starts everything startable and
+    // recomputes the exact minimum over the survivors.
     auto it = queue.begin();
     while (it != queue.end()) {
       const graph::TaskId task = it->task;
-      const int alloc = result.allocation[static_cast<std::size_t>(task)];
+      const int alloc = it->alloc;
       if (alloc <= platform.available()) {
         platform.acquire(alloc);
         result.trace.record_start(task, now, alloc);
@@ -123,6 +141,7 @@ ScheduleResult OnlineScheduler::run() const {
                                    procs_in_use);
         }
       } else {
+        min_waiting_alloc = std::min(min_waiting_alloc, alloc);
         ++it;
       }
     }
@@ -133,12 +152,14 @@ ScheduleResult OnlineScheduler::run() const {
     if (pending_preds[static_cast<std::size_t>(v)] == 0) reveal(v, 0.0);
   try_start_all(0.0);
 
+  std::vector<sim::Event> batch;        // reused across iterations
+  std::vector<graph::TaskId> newly_ready;
   while (!events.empty()) {
-    const auto batch = events.pop_simultaneous();
+    events.pop_simultaneous_into(batch);
     const double now = events.now();
     result.num_events += batch.size();
 
-    std::vector<graph::TaskId> newly_ready;
+    newly_ready.clear();
     for (const auto& ev : batch) {
       const auto task = static_cast<graph::TaskId>(ev.payload);
       result.trace.record_end(task, now);

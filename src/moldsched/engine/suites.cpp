@@ -23,6 +23,9 @@
 #include "moldsched/analysis/experiment.hpp"
 #include "moldsched/analysis/ratios.hpp"
 #include "moldsched/analysis/report.hpp"
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/check/differential.hpp"
+#include "moldsched/check/shrink.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
 #include "moldsched/engine/runner.hpp"
@@ -512,14 +515,16 @@ JobRecord workflows_run(const JobSpec& spec, const CancelToken& token) {
   const double mu = analysis::optimal_mu(spec.model);
   double makespan = 0.0;
   if (spec.scheduler == "lpa") {
-    makespan = core::schedule_online(gc->graph, P, core::LpaAllocator(mu))
-                   .makespan;
+    const core::LpaAllocator lpa(mu);
+    const core::CachingAllocator cached(lpa, core::DecisionCache::process_wide());
+    makespan = core::schedule_online(gc->graph, P, cached).makespan;
   } else if (spec.scheduler == "offline") {
     makespan = sched::OfflineTradeoffScheduler(gc->graph, P).run().makespan;
   } else if (spec.scheduler == "level-lpa") {
+    const core::LpaAllocator lpa(mu);
+    const core::CachingAllocator cached(lpa, core::DecisionCache::process_wide());
     makespan =
-        sched::schedule_level_by_level(gc->graph, P, core::LpaAllocator(mu))
-            .makespan;
+        sched::schedule_level_by_level(gc->graph, P, cached).makespan;
   } else if (spec.scheduler == "malleable-fluid") {
     makespan = sched::schedule_malleable_fluid(gc->graph, P).makespan;
   } else {
@@ -881,6 +886,119 @@ std::vector<std::string> release_finalize(const std::vector<JobRecord>& records,
 }
 
 // ---------------------------------------------------------------------------
+// selfcheck — differential verification of the hot-path optimizations:
+// every corpus instance must schedule byte-identically with the decision
+// cache off, cold, and warm, and never beat the Lemma 2 bound. Failures
+// carry a shrunken minimal repro in the error field.
+
+std::vector<JobSpec> selfcheck_jobs(const SuiteOptions& options) {
+  JobGrid grid;
+  grid.suite = "selfcheck";
+  grid.instances = check::corpus_families();
+  grid.schedulers = {"differential"};
+  grid.models = check::corpus_model_kinds();
+  grid.repeats = effective_repeats(options, 6);
+  grid.base_seed = options.base_seed;
+  return grid.jobs_matching(options.filter);
+}
+
+JobRecord selfcheck_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto& families = check::corpus_families();
+  int family = -1;
+  for (std::size_t i = 0; i < families.size(); ++i)
+    if (families[i] == spec.instance) family = static_cast<int>(i);
+  if (family < 0)
+    throw std::invalid_argument("selfcheck: unknown family '" +
+                                spec.instance + "'");
+
+  util::Rng rng(spec.seed);
+  const int P = static_cast<int>(rng.uniform_int(1, 100));
+  const double mu = rng.uniform(0.05, 0.38);
+  static const std::vector<core::QueuePolicy> policies = {
+      core::QueuePolicy::kFifo, core::QueuePolicy::kLifo,
+      core::QueuePolicy::kLargestWorkFirst,
+      core::QueuePolicy::kLongestMinTimeFirst,
+      core::QueuePolicy::kSmallestAllocFirst};
+  const auto policy =
+      policies[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  const auto g = check::corpus_graph(family, spec.model, rng, P);
+  if (token.cancelled()) return cancelled_record(spec);
+
+  const core::LpaAllocator lpa(mu);
+  const auto report = check::differential_check(g, P, lpa, policy);
+  if (!report.ok()) {
+    // Reduce before reporting: the error field carries a minimal repro.
+    const auto still_fails = [&](const graph::TaskGraph& candidate) {
+      try {
+        return !check::differential_check(candidate, P, lpa, policy).ok();
+      } catch (...) {
+        return true;  // a crash is also a failure worth minimizing
+      }
+    };
+    std::string repro;
+    try {
+      const auto shrunk = check::shrink_instance(g, still_fails);
+      repro = check::describe_instance(shrunk.graph, P, mu, spec.key());
+    } catch (const std::exception& e) {
+      repro = std::string("(shrink failed: ") + e.what() + ")";
+    }
+    rec.status = "error";
+    rec.error = report.to_string() + "\n" + repro;
+    return rec;
+  }
+  rec.set("mismatches", 0.0);
+  rec.set("makespan", report.makespan);
+  rec.set("lower_bound", report.lower_bound);
+  rec.set("cache_hits", static_cast<double>(report.cache_hits));
+  rec.set("cache_misses", static_cast<double>(report.cache_misses));
+  rec.set("tasks", static_cast<double>(g.num_tasks()));
+  return rec;
+}
+
+std::vector<std::string> selfcheck_finalize(
+    const std::vector<JobRecord>& records, const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+  util::Table t({"model", "instances", "tasks", "cache_hits", "cache_misses",
+                 "warm_hit_rate"});
+  for (const auto kind : check::corpus_model_kinds()) {
+    long long count = 0;
+    double tasks = 0.0, hits = 0.0, misses = 0.0;
+    for (const auto* rec : ok) {
+      if (rec->spec.model != kind) continue;
+      ++count;
+      tasks += rec->metric("tasks").value_or(0.0);
+      hits += rec->metric("cache_hits").value_or(0.0);
+      misses += rec->metric("cache_misses").value_or(0.0);
+    }
+    if (count == 0) continue;
+    const double total = hits + misses;
+    t.new_row()
+        .cell(model::to_string(kind))
+        .cell(count)
+        .cell(tasks, 0)
+        .cell(hits, 0)
+        .cell(misses, 0)
+        .cell(total > 0.0 ? hits / total : 0.0, 3);
+  }
+  if (t.num_rows() > 0) {
+    const std::string path = options.results_dir + "/selfcheck.csv";
+    analysis::write_file(path, t.to_csv());
+    outputs.push_back(path);
+    if (options.human_out) {
+      t.print(*options.human_out,
+              "selfcheck: cache off/cold/warm schedules byte-identical on "
+              "every instance (errors above would carry minimal repros)");
+      *options.human_out << '\n';
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
 // registry + run_suite
 
 const std::vector<SuiteDef>& suite_defs() {
@@ -920,6 +1038,14 @@ const std::vector<SuiteDef>& suite_defs() {
                    resilience_jobs,
                    resilience_run,
                    resilience_finalize});
+    out.push_back({{"selfcheck",
+                    "differential self-check: cached vs reference LPA "
+                    "schedules must be byte-identical over the random "
+                    "corpus, plus validator and Lemma 2 oracles"},
+                   6,
+                   selfcheck_jobs,
+                   selfcheck_run,
+                   selfcheck_finalize});
     out.push_back({{"release",
                     "independent tasks released over time, three allocators "
                     "across arrival rates"},

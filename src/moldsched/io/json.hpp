@@ -1,13 +1,57 @@
-// Minimal JSON export of graphs and traces (no external dependency).
+// Minimal JSON export of graphs and traces (no external dependency),
+// plus a small DOM parser so tools and tests can read the JSON the
+// library itself writes (BENCH_*.json, metrics dumps) back in.
 // The output is plain, stable JSON suitable for plotting scripts.
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "moldsched/graph/task_graph.hpp"
 #include "moldsched/sim/trace.hpp"
 
 namespace moldsched::io {
+
+/// One parsed JSON value. Object members keep their source order (the
+/// library's writers emit deterministic key order; round-trips preserve
+/// it). Numbers are doubles — adequate for every file this library
+/// produces.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+
+  /// First member with the given key, or nullptr (also for non-objects).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// find(key), throwing std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+};
+
+/// Strict recursive-descent parse of one JSON document. Throws
+/// std::invalid_argument (with byte offset) on syntax errors, trailing
+/// garbage, or nesting deeper than 256 levels. \uXXXX escapes are
+/// decoded to UTF-8 (surrogate pairs included).
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 /// {"tasks": [{"id", "name", "model", ...params}], "edges": [[u, v]]}.
 /// Eq. (1)-family tasks carry their (w, d, c, pbar) parameters;

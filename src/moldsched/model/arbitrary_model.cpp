@@ -1,10 +1,34 @@
 #include "moldsched/model/arbitrary_model.hpp"
 
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace moldsched::model {
+
+namespace {
+
+/// Two independent 64-bit FNV-1a passes over the table's bit patterns.
+/// 128 bits of content hash make an accidental collision between two
+/// distinct tables (which would poison a decision cache) astronomically
+/// unlikely; the differential self-check harness guards the remainder.
+ModelFingerprint table_fingerprint(const std::vector<double>& times) {
+  std::uint64_t h1 = 0xcbf29ce484222325ULL;
+  std::uint64_t h2 = 0x84222325cbf29ce4ULL;
+  for (const double t : times) {
+    const auto bits = std::bit_cast<std::uint64_t>(t);
+    for (int shift = 0; shift < 64; shift += 8) {
+      const auto byte = (bits >> shift) & 0xffU;
+      h1 = (h1 ^ byte) * 0x100000001b3ULL;
+      h2 = (h2 ^ byte) * 0x00000100000001b3ULL + 0x9e3779b97f4a7c15ULL;
+    }
+  }
+  constexpr std::uint64_t kFamilyTag = 0x7ab1'0001ULL << 32;
+  return {true, {h1, h2, times.size(), kFamilyTag}};
+}
+
+}  // namespace
 
 TableModel::TableModel(std::vector<double> times, std::string name)
     : times_(std::move(times)), name_(std::move(name)) {
@@ -14,6 +38,7 @@ TableModel::TableModel(std::vector<double> times, std::string name)
     if (!(t > 0.0) || !std::isfinite(t))
       throw std::invalid_argument(
           "TableModel: all times must be positive and finite");
+  fingerprint_ = table_fingerprint(times_);
 }
 
 double TableModel::time(int p) const {

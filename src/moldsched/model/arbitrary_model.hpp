@@ -22,6 +22,11 @@ class TableModel : public SpeedupModel {
   [[nodiscard]] double time(int p) const override;
   [[nodiscard]] ModelKind kind() const override { return ModelKind::kArbitrary; }
   [[nodiscard]] std::string describe() const override;
+  /// Cacheable: a 128-bit content hash of the table plus its length,
+  /// precomputed at construction (tables are immutable).
+  [[nodiscard]] ModelFingerprint fingerprint() const override {
+    return fingerprint_;
+  }
   [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
 
   [[nodiscard]] int table_size() const noexcept {
@@ -31,6 +36,7 @@ class TableModel : public SpeedupModel {
  private:
   std::vector<double> times_;
   std::string name_;
+  ModelFingerprint fingerprint_;
 };
 
 /// Speedup model wrapping a user-supplied callable t(p).

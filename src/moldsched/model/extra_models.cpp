@@ -1,6 +1,7 @@
 #include "moldsched/model/extra_models.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -28,6 +29,13 @@ std::string PowerLawModel::describe() const {
   std::ostringstream os;
   os << "power-law(w=" << w_ << ", sigma=" << sigma_ << ")";
   return os.str();
+}
+
+ModelFingerprint PowerLawModel::fingerprint() const {
+  constexpr std::uint64_t kFamilyTag = 0x9013'0001ULL << 32;
+  return {true,
+          {std::bit_cast<std::uint64_t>(w_), std::bit_cast<std::uint64_t>(sigma_),
+           0, kFamilyTag}};
 }
 
 std::unique_ptr<SpeedupModel> PowerLawModel::clone() const {

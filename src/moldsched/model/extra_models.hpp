@@ -32,6 +32,8 @@ class PowerLawModel : public SpeedupModel {
     return ModelKind::kArbitrary;
   }
   [[nodiscard]] std::string describe() const override;
+  /// Cacheable: (w, sigma) bit patterns determine t(p) exactly.
+  [[nodiscard]] ModelFingerprint fingerprint() const override;
   [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
 
   [[nodiscard]] double w() const noexcept { return w_; }

@@ -1,6 +1,7 @@
 #include "moldsched/model/general_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -61,6 +62,17 @@ std::string GeneralModel::describe() const {
     os << params_.pbar;
   os << ")";
   return os.str();
+}
+
+ModelFingerprint GeneralModel::fingerprint() const {
+  // The family tag in the high bits of words[3] keeps Eq. (1) fingerprints
+  // disjoint from those of other cacheable model classes.
+  constexpr std::uint64_t kFamilyTag = 0x4571'0001ULL << 32;
+  return {true,
+          {std::bit_cast<std::uint64_t>(params_.w),
+           std::bit_cast<std::uint64_t>(params_.d),
+           std::bit_cast<std::uint64_t>(params_.c),
+           kFamilyTag | static_cast<std::uint32_t>(params_.pbar)}};
 }
 
 std::unique_ptr<SpeedupModel> GeneralModel::clone() const {

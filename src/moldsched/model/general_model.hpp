@@ -42,6 +42,8 @@ class GeneralModel : public SpeedupModel {
 
   [[nodiscard]] ModelKind kind() const override { return kind_tag_; }
   [[nodiscard]] std::string describe() const override;
+  /// Cacheable: (w, d, c, pbar) bit patterns determine t(p) exactly.
+  [[nodiscard]] ModelFingerprint fingerprint() const override;
   [[nodiscard]] std::unique_ptr<SpeedupModel> clone() const override;
 
   [[nodiscard]] const GeneralParams& params() const noexcept { return params_; }

@@ -8,6 +8,8 @@
 // Amdahl) and, in Section 5, arbitrary functions t(p).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -23,6 +25,18 @@ enum class ModelKind {
 };
 
 [[nodiscard]] std::string to_string(ModelKind kind);
+
+/// Identity token for memoizing allocator decisions (core::DecisionCache).
+/// A model that reports cacheable == true guarantees that any two models
+/// with equal (kind(), words) compute bit-identical time(p) for every p —
+/// the words must therefore encode the model's parameters exactly (bit
+/// patterns, not formatted decimals). Models that cannot give that
+/// guarantee return the default (cacheable == false) and memoizing
+/// allocators fall through to the wrapped allocator.
+struct ModelFingerprint {
+  bool cacheable = false;
+  std::array<std::uint64_t, 4> words{};
+};
 
 /// Interface for a task's execution-time function.
 ///
@@ -69,6 +83,9 @@ class SpeedupModel {
 
   /// Human-readable parameter dump for traces and error messages.
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Cache identity (see ModelFingerprint). Default: not cacheable.
+  [[nodiscard]] virtual ModelFingerprint fingerprint() const { return {}; }
 
   /// Deep copy (models are immutable; the copy shares no state).
   [[nodiscard]] virtual std::unique_ptr<SpeedupModel> clone() const = 0;

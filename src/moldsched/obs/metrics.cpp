@@ -7,17 +7,6 @@
 
 namespace moldsched::obs {
 
-namespace detail {
-
-std::size_t thread_shard(std::size_t num_shards) noexcept {
-  static std::atomic<std::size_t> next{0};
-  thread_local const std::size_t id =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return id % num_shards;
-}
-
-}  // namespace detail
-
 // ---------------------------------------------------------------------------
 // Histogram
 

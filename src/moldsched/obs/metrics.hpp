@@ -27,8 +27,16 @@ namespace moldsched::obs {
 
 namespace detail {
 /// Stable small shard index for the calling thread (assigned on first
-/// use, round-robin over the shard count).
-[[nodiscard]] std::size_t thread_shard(std::size_t num_shards) noexcept;
+/// use, round-robin over the shard count). Inline: Counter::add() sits
+/// on per-decision hot paths (e.g. the allocator cache), where an
+/// out-of-line call would rival the fetch_add it guards.
+[[nodiscard]] inline std::size_t thread_shard(
+    std::size_t num_shards) noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id % num_shards;
+}
 }  // namespace detail
 
 /// Monotonic event count. add() is wait-free: one relaxed fetch_add on

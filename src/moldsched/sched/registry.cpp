@@ -19,7 +19,14 @@ core::ScheduleResult SchedulerSpec::run(const graph::TaskGraph& g,
 }
 
 SchedulerSpec lpa_spec(double mu) {
-  return SchedulerSpec{"lpa", std::make_shared<core::LpaAllocator>(mu),
+  // The production LPA path memoizes its Algorithm 2 decisions in the
+  // process-wide store; decision-for-decision identical to the bare
+  // allocator (check::differential_check guards this), just faster when
+  // a grid revisits (model, P, mu) triples.
+  return SchedulerSpec{"lpa",
+                       std::make_shared<core::CachingAllocator>(
+                           std::make_shared<core::LpaAllocator>(mu),
+                           core::DecisionCache::process_wide()),
                        core::QueuePolicy::kFifo, {}};
 }
 
@@ -47,7 +54,9 @@ std::vector<SchedulerSpec> engine_variants(double mu) {
 
   SchedulerSpec level;
   level.name = "level-lpa";
-  level.allocator = std::make_shared<core::LpaAllocator>(mu);
+  level.allocator = std::make_shared<core::CachingAllocator>(
+      std::make_shared<core::LpaAllocator>(mu),
+      core::DecisionCache::process_wide());
   level.runner = [alloc = level.allocator](const graph::TaskGraph& g,
                                            int P) {
     auto r = schedule_level_by_level(g, P, *alloc);

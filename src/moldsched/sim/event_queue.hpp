@@ -3,10 +3,14 @@
 // Events carry an opaque int64 payload (typically a task or chain id).
 // Ties in time are broken by insertion sequence number, which makes every
 // simulation deterministic regardless of heap internals.
+//
+// The heap is an explicit binary heap over a std::vector (rather than
+// std::priority_queue) so callers on the simulation hot path can
+// reserve() capacity up front and batch-pop time-tied events into a
+// reusable buffer without per-batch allocation.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "moldsched/obs/observer.hpp"
@@ -28,6 +32,9 @@ class EventQueue {
   /// simulation cannot travel backwards).
   void schedule(Time time, std::int64_t payload);
 
+  /// Pre-allocates heap capacity for `n` pending events.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
@@ -42,6 +49,11 @@ class EventQueue {
   /// insertion order. Throws std::logic_error if empty.
   [[nodiscard]] std::vector<Event> pop_simultaneous();
 
+  /// Allocation-free variant for hot loops: clears `out` and fills it
+  /// with the batch (insertion order). `out` keeps its capacity across
+  /// calls, so a loop that reuses one buffer allocates at most once.
+  void pop_simultaneous_into(std::vector<Event>& out);
+
   /// Current simulation time: the time of the last popped event.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -55,14 +67,17 @@ class EventQueue {
   }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Min-heap order on (time, seq): true when a should sit BELOW b.
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  Event pop_top();
+
+  std::vector<Event> heap_;  // binary min-heap on later()
   std::uint64_t next_seq_ = 0;
   Time now_ = 0.0;
   obs::Observer* observer_ = nullptr;

@@ -1,0 +1,74 @@
+// Golden regression pins for the paper's Table 1 (Theorems 1-8).
+//
+// ratios_test.cpp checks the published two-decimal values; this file
+// additionally pins the *exact* numbers this implementation computes,
+// so any future change to the optimizer, the delta/lemma formulas, or
+// the best-x constructions shows up as a precise diff instead of
+// silently drifting within the loose paper tolerances.
+#include <gtest/gtest.h>
+
+#include "moldsched/analysis/ratios.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+// Tolerance for the golden pins: the values are produced by golden-
+// section search (tol 1e-12), so 1e-9 absorbs libm noise across
+// platforms while still catching any algorithmic change.
+constexpr double kGoldenTol = 1e-9;
+// Tolerance against the rounded values printed in the paper.
+constexpr double kPaperTol = 1e-2;
+
+TEST(GoldenBoundsTest, RooflineColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kRoofline);
+  EXPECT_NEAR(r.upper_bound, 2.61803398874989, kGoldenTol);
+  EXPECT_NEAR(r.lower_bound, 2.61803398874989, kGoldenTol);
+  EXPECT_NEAR(r.mu_star, 0.381966011250105, kGoldenTol);
+  // Paper Table 1: upper 2.62 at mu* = 0.382.
+  EXPECT_NEAR(r.upper_bound, 2.62, kPaperTol);
+  EXPECT_NEAR(r.mu_star, 0.382, kPaperTol);
+}
+
+TEST(GoldenBoundsTest, CommunicationColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kCommunication);
+  EXPECT_NEAR(r.upper_bound, 3.60490915119726, kGoldenTol);
+  EXPECT_NEAR(r.lower_bound, 3.51490037455781, kGoldenTol);
+  EXPECT_NEAR(r.mu_star, 0.323494745018517, kGoldenTol);
+  EXPECT_NEAR(r.x_star, 0.445932255582122, kGoldenTol);
+  // Paper Table 1: upper 3.61 at mu* = 0.324, x* = 0.446.
+  EXPECT_NEAR(r.upper_bound, 3.61, kPaperTol);
+  EXPECT_NEAR(r.mu_star, 0.324, kPaperTol);
+}
+
+TEST(GoldenBoundsTest, AmdahlColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kAmdahl);
+  EXPECT_NEAR(r.upper_bound, 4.73057693937962, kGoldenTol);
+  EXPECT_NEAR(r.lower_bound, 4.73057693937962, kGoldenTol);
+  EXPECT_NEAR(r.mu_star, 0.270875015521299, kGoldenTol);
+  EXPECT_NEAR(r.x_star, 0.757442316690474, kGoldenTol);
+  // Paper Table 1: upper 4.74 at mu* = 0.271.
+  EXPECT_NEAR(r.upper_bound, 4.74, kPaperTol);
+  EXPECT_NEAR(r.mu_star, 0.271, kPaperTol);
+}
+
+TEST(GoldenBoundsTest, GeneralColumn) {
+  const auto r = optimal_ratio(model::ModelKind::kGeneral);
+  EXPECT_NEAR(r.upper_bound, 5.71431129827148, kGoldenTol);
+  EXPECT_NEAR(r.lower_bound, 5.25734799264624, kGoldenTol);
+  EXPECT_NEAR(r.mu_star, 0.21068692561976, kGoldenTol);
+  EXPECT_NEAR(r.x_star, 1.97247812225494, kGoldenTol);
+  // Paper Table 1: upper 5.72 at mu* = 0.211.
+  EXPECT_NEAR(r.upper_bound, 5.72, kPaperTol);
+  EXPECT_NEAR(r.mu_star, 0.211, kPaperTol);
+}
+
+TEST(GoldenBoundsTest, OptimalMuMatchesStandaloneQuery) {
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    EXPECT_NEAR(optimal_mu(kind), optimal_ratio(kind).mu_star, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

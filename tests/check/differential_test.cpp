@@ -1,0 +1,99 @@
+// The differential self-check harness: on healthy code it must pass
+// over the whole shared corpus, and it must actually catch a
+// behavior-diverging allocator (otherwise it guards nothing).
+#include "moldsched/check/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::check {
+namespace {
+
+graph::TaskGraph small_chain() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "a");
+  const auto b = g.add_task(std::make_shared<model::AmdahlModel>(6.0, 0.5), "b");
+  const auto c = g.add_task(std::make_shared<model::AmdahlModel>(4.0, 2.0), "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  return g;
+}
+
+TEST(CanonicalScheduleTest, IsBitExactAndDiscriminating) {
+  const auto g = small_chain();
+  const core::LpaAllocator lpa(0.25);
+  const auto r1 = core::schedule_online(g, 8, lpa);
+  const auto r2 = core::schedule_online(g, 8, lpa);
+  EXPECT_EQ(canonical_schedule(r1), canonical_schedule(r2));
+  // A different platform size yields a genuinely different schedule.
+  const auto r3 = core::schedule_online(g, 2, lpa);
+  EXPECT_NE(canonical_schedule(r1), canonical_schedule(r3));
+  // Canonical form mentions every task once in its records.
+  const auto canon = canonical_schedule(r1);
+  EXPECT_NE(canon.find("makespan"), std::string::npos);
+}
+
+TEST(DifferentialCheckTest, PassesOnASimpleChain) {
+  const auto report = differential_check(small_chain(), 8, 0.25);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GE(report.makespan, report.lower_bound * (1.0 - 1e-9));
+  // Three tasks, all cacheable: the cold pass misses three times and
+  // the warm pass serves three hits.
+  EXPECT_EQ(report.cache_misses, 3u);
+  EXPECT_EQ(report.cache_hits, 3u);
+}
+
+TEST(DifferentialCheckTest, PassesAcrossTheWholeCorpus) {
+  util::Rng rng(2022);
+  for (int i = 0; i < 25; ++i) {
+    auto inst = corpus_instance(rng);
+    const auto report =
+        differential_check(inst.graph, inst.P, inst.mu, inst.policy);
+    EXPECT_TRUE(report.ok())
+        << "family=" << corpus_families()[static_cast<std::size_t>(inst.family)]
+        << " P=" << inst.P << " mu=" << inst.mu << '\n'
+        << report.to_string();
+  }
+}
+
+/// Deliberately broken reference: answers drift over repeated calls, so
+/// the reference pass and the caching passes cannot agree.
+class DriftingAllocator final : public core::Allocator {
+ public:
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override {
+    ++calls_;
+    const int p_max = m.max_useful_procs(P);
+    return 1 + static_cast<int>(calls_ % 2) % p_max;
+  }
+  [[nodiscard]] std::string name() const override { return "drifting"; }
+
+ private:
+  mutable long calls_ = 0;
+};
+
+TEST(DifferentialCheckTest, CatchesANonDeterministicAllocator) {
+  const auto report = differential_check(small_chain(), 8, DriftingAllocator());
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(DifferentialReportTest, ToStringSummarizesOutcome) {
+  DifferentialReport report;
+  report.makespan = 3.0;
+  report.lower_bound = 2.0;
+  EXPECT_NE(report.to_string().find("ok"), std::string::npos);
+  report.mismatches.push_back("cold pass diverged");
+  EXPECT_NE(report.to_string().find("cold pass diverged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::check

@@ -1,0 +1,152 @@
+// ddmin-style shrinking of failing fuzz / self-check instances: the
+// result must still fail, must be 1-minimal with respect to task and
+// edge removal, and the helpers must renumber subgraphs correctly.
+#include "moldsched/check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::check {
+namespace {
+
+/// Diamond a -> {b, c} -> d with distinguishable sequential times.
+graph::TaskGraph diamond() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{1.0}), "a");
+  const auto b = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{2.0}), "b");
+  const auto c = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{3.0}), "c");
+  const auto d = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{4.0}), "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(InducedSubgraphTest, RenumbersAndKeepsInternalEdges) {
+  const auto g = diamond();
+  // Keep {a, c, d} (out of order, with a duplicate): new ids 0, 1, 2.
+  const auto sub = induced_subgraph(g, {3, 0, 2, 0});
+  ASSERT_EQ(sub.num_tasks(), 3);
+  EXPECT_DOUBLE_EQ(sub.model_of(0).time(1), 1.0);  // a
+  EXPECT_DOUBLE_EQ(sub.model_of(1).time(1), 3.0);  // c
+  EXPECT_DOUBLE_EQ(sub.model_of(2).time(1), 4.0);  // d
+  EXPECT_EQ(sub.num_edges(), 2u);  // a->c, c->d survive; b's edges die
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+}
+
+TEST(InducedSubgraphTest, RejectsEmptyAndUnknownSelections) {
+  const auto g = diamond();
+  EXPECT_THROW((void)induced_subgraph(g, {}), std::invalid_argument);
+  EXPECT_THROW((void)induced_subgraph(g, {0, 99}), std::invalid_argument);
+}
+
+TEST(WithoutEdgeTest, RemovesExactlyOneEdge) {
+  const auto g = diamond();
+  const auto cut = without_edge(g, 0, 2);
+  EXPECT_EQ(cut.num_tasks(), 4);
+  EXPECT_EQ(cut.num_edges(), 3u);
+  EXPECT_FALSE(cut.has_edge(0, 2));
+  EXPECT_TRUE(cut.has_edge(0, 1));
+  EXPECT_THROW((void)without_edge(g, 1, 2), std::invalid_argument);
+}
+
+TEST(ShrinkTest, ReducesToTheSingleOffendingTask) {
+  // A 40-task chain where exactly one task carries the "bug" marker
+  // (sequential time 13): the minimal failing instance is that task
+  // alone.
+  graph::TaskGraph g;
+  for (int i = 0; i < 40; ++i) {
+    const double t = i == 23 ? 13.0 : 1.0;
+    const auto v = g.add_task(
+        std::make_shared<model::TableModel>(std::vector<double>{t}));
+    if (i > 0) g.add_edge(v - 1, v);
+  }
+  const FailurePredicate marker = [](const graph::TaskGraph& gg) {
+    for (graph::TaskId v = 0; v < gg.num_tasks(); ++v)
+      if (gg.model_of(v).time(1) == 13.0) return true;
+    return false;
+  };
+
+  const auto r = shrink_instance(g, marker);
+  EXPECT_EQ(r.graph.num_tasks(), 1);
+  EXPECT_EQ(r.graph.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(r.graph.model_of(0).time(1), 13.0);
+  EXPECT_EQ(r.tasks_removed, 39);
+  EXPECT_GT(r.predicate_calls, 0);
+}
+
+TEST(ShrinkTest, DropsEdgesTheFailureDoesNotNeed) {
+  const auto g = diamond();
+  // Failure depends only on tasks b and c coexisting, not on any edge.
+  const FailurePredicate needs_bc = [](const graph::TaskGraph& gg) {
+    bool b = false;
+    bool c = false;
+    for (graph::TaskId v = 0; v < gg.num_tasks(); ++v) {
+      if (gg.model_of(v).time(1) == 2.0) b = true;
+      if (gg.model_of(v).time(1) == 3.0) c = true;
+    }
+    return b && c;
+  };
+  const auto r = shrink_instance(g, needs_bc);
+  EXPECT_EQ(r.graph.num_tasks(), 2);
+  EXPECT_EQ(r.graph.num_edges(), 0u);
+  EXPECT_EQ(r.tasks_removed, 2);
+}
+
+TEST(ShrinkTest, SimplifiesModelParameters) {
+  // The failure only needs some task: shrinking should also simplify
+  // the surviving Eq. (1) model toward unit parameters.
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::AmdahlModel>(77.25, 3.5), "t");
+  const FailurePredicate any = [](const graph::TaskGraph& gg) {
+    return gg.num_tasks() >= 1;
+  };
+  const auto r = shrink_instance(g, any);
+  EXPECT_EQ(r.graph.num_tasks(), 1);
+  EXPECT_GT(r.models_simplified, 0);
+}
+
+TEST(ShrinkTest, RequiresAFailingInput) {
+  const FailurePredicate never = [](const graph::TaskGraph&) { return false; };
+  EXPECT_THROW((void)shrink_instance(diamond(), never), std::invalid_argument);
+}
+
+TEST(ShrinkTest, IsDeterministic) {
+  util::Rng rng(5);
+  const auto g = corpus_graph(1, model::ModelKind::kGeneral, rng, 16);
+  const FailurePredicate big = [](const graph::TaskGraph& gg) {
+    return gg.num_tasks() >= 3;
+  };
+  if (!big(g)) GTEST_SKIP() << "corpus draw too small for this seed";
+  const auto r1 = shrink_instance(g, big);
+  const auto r2 = shrink_instance(g, big);
+  EXPECT_EQ(r1.graph.num_tasks(), r2.graph.num_tasks());
+  EXPECT_EQ(r1.graph.num_edges(), r2.graph.num_edges());
+  EXPECT_EQ(r1.predicate_calls, r2.predicate_calls);
+  EXPECT_EQ(r1.graph.num_tasks(), 3);  // 1-minimal for this predicate
+}
+
+TEST(DescribeInstanceTest, PrintsAPasteableRepro) {
+  const auto g = diamond();
+  const auto repro = describe_instance(g, 8, 0.25, "selfcheck mismatch");
+  EXPECT_NE(repro.find("P=8"), std::string::npos);
+  EXPECT_NE(repro.find("mu=0.25"), std::string::npos);
+  EXPECT_NE(repro.find("selfcheck mismatch"), std::string::npos);
+  EXPECT_NE(repro.find("0 -> 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::check

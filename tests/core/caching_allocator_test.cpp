@@ -1,0 +1,254 @@
+// The memoizing CachingAllocator and its DecisionCache: the decorator
+// must be decision-for-decision identical to the wrapped allocator, the
+// cache must evict FIFO at capacity, and the hit/miss totals must be
+// mirrored into the obs registry under "core.alloc_cache.*".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::core {
+namespace {
+
+model::ModelPtr table_model(std::vector<double> times) {
+  return std::make_shared<model::TableModel>(std::move(times));
+}
+
+TEST(DecisionCacheTest, LookupMissThenHitAfterInsert) {
+  DecisionCache cache(8);
+  const DecisionCache::Key key{1, {2, 3, 4, 5}, 0, 16};
+  EXPECT_EQ(cache.lookup(key), -1);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(key, 7);
+  EXPECT_EQ(cache.lookup(key), 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCacheTest, InsertIsIdempotent) {
+  DecisionCache cache(8);
+  const DecisionCache::Key key{1, {2, 3, 4, 5}, 0, 16};
+  cache.insert(key, 7);
+  cache.insert(key, 9);  // ignored: first insertion wins
+  EXPECT_EQ(cache.lookup(key), 7);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCacheTest, EvictsOldestAtCapacity) {
+  DecisionCache cache(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  for (std::int32_t p = 1; p <= 5; ++p)
+    cache.insert({1, {2, 3, 4, 5}, 0, p}, p);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // FIFO: the first key (P=1) died; the other four survive.
+  EXPECT_EQ(cache.lookup({1, {2, 3, 4, 5}, 0, 1}), -1);
+  for (std::int32_t p = 2; p <= 5; ++p)
+    EXPECT_EQ(cache.lookup({1, {2, 3, 4, 5}, 0, p}), p);
+}
+
+TEST(DecisionCacheTest, ClearForgetsEverything) {
+  DecisionCache cache(8);
+  const DecisionCache::Key key{1, {2, 3, 4, 5}, 0, 16};
+  cache.insert(key, 7);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key), -1);
+}
+
+TEST(DecisionCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(DecisionCache cache(0), std::invalid_argument);
+}
+
+TEST(DecisionCacheTest, ProcessWideIsASingleton) {
+  EXPECT_EQ(DecisionCache::process_wide().get(),
+            DecisionCache::process_wide().get());
+  EXPECT_NE(DecisionCache::process_wide(), nullptr);
+}
+
+TEST(CachingAllocatorTest, AgreesWithInnerAcrossModelsAndPlatforms) {
+  util::Rng rng(42);
+  const LpaAllocator lpa(0.25);
+  const CachingAllocator cached(lpa);
+  const model::ModelKind kinds[] = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+  for (const auto kind : kinds) {
+    const model::ModelSampler sampler(kind);
+    for (const int P : {1, 2, 7, 64, 1000}) {
+      for (int i = 0; i < 20; ++i) {
+        const auto m = sampler.sample(rng, P);
+        const int want = lpa.allocate(*m, P);
+        // First sighting (miss) and repeat (hit) must both agree.
+        EXPECT_EQ(cached.allocate(*m, P), want) << m->describe();
+        EXPECT_EQ(cached.allocate(*m, P), want) << m->describe();
+      }
+    }
+  }
+  EXPECT_GT(cached.cache().hits(), 0u);
+}
+
+TEST(CachingAllocatorTest, RepeatDecisionsAreServedFromTheCache) {
+  const LpaAllocator lpa(0.25);
+  const CachingAllocator cached(lpa);
+  const auto m = table_model({10.0, 6.0, 4.5});
+  const int first = cached.allocate(*m, 3);
+  EXPECT_EQ(cached.cache().misses(), 1u);
+  EXPECT_EQ(cached.cache().hits(), 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(cached.allocate(*m, 3), first);
+  EXPECT_EQ(cached.cache().hits(), 5u);
+  EXPECT_EQ(cached.cache().misses(), 1u);
+}
+
+TEST(CachingAllocatorTest, MirrorsHitAndMissTotalsIntoObsRegistry) {
+  auto& reg = obs::default_registry();
+  const auto hits0 = reg.counter("core.alloc_cache.hits").value();
+  const auto misses0 = reg.counter("core.alloc_cache.misses").value();
+
+  const LpaAllocator lpa(0.25);
+  const CachingAllocator cached(lpa);
+  const auto m = table_model({8.0, 5.0});
+  (void)cached.allocate(*m, 2);  // miss
+  (void)cached.allocate(*m, 2);  // hit
+  (void)cached.allocate(*m, 2);  // hit
+
+  EXPECT_EQ(reg.counter("core.alloc_cache.hits").value() - hits0, 2u);
+  EXPECT_EQ(reg.counter("core.alloc_cache.misses").value() - misses0, 1u);
+}
+
+TEST(CachingAllocatorTest, EvictionsAreCountedAndMirrored) {
+  auto& reg = obs::default_registry();
+  const auto evict0 = reg.counter("core.alloc_cache.evictions").value();
+
+  const LpaAllocator lpa(0.25);
+  const auto cache = std::make_shared<DecisionCache>(2);
+  const CachingAllocator cached(lpa, cache);
+  const auto m1 = table_model({9.0, 5.0});
+  const auto m2 = table_model({9.0, 6.0});
+  const auto m3 = table_model({9.0, 7.0});
+  (void)cached.allocate(*m1, 2);
+  (void)cached.allocate(*m2, 2);
+  (void)cached.allocate(*m3, 2);  // evicts m1's entry
+  EXPECT_EQ(cache->evictions(), 1u);
+  EXPECT_EQ(reg.counter("core.alloc_cache.evictions").value() - evict0, 1u);
+
+  // The evicted decision is recomputed, not served stale.
+  const auto misses = cache->misses();
+  EXPECT_EQ(cached.allocate(*m1, 2), lpa.allocate(*m1, 2));
+  EXPECT_EQ(cache->misses(), misses + 1);
+}
+
+TEST(CachingAllocatorTest, IsDeterministicAcrossFreshCaches) {
+  const LpaAllocator lpa(0.21);
+  std::vector<int> first, second;
+  for (int run = 0; run < 2; ++run) {
+    util::Rng rng(7);
+    const model::ModelSampler sampler(model::ModelKind::kGeneral);
+    const CachingAllocator cached(lpa);  // fresh private cache per run
+    auto& out = run == 0 ? first : second;
+    for (int i = 0; i < 50; ++i) {
+      const auto m = sampler.sample(rng, 32);
+      out.push_back(cached.allocate(*m, 32));
+      out.push_back(cached.allocate(*m, 32));
+    }
+    EXPECT_EQ(cached.cache().hits(), 50u);
+    EXPECT_EQ(cached.cache().misses(), 50u);
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(CachingAllocatorTest, UncacheableFunctionModelsPassThrough) {
+  const LpaAllocator lpa(0.25);
+  const CachingAllocator cached(lpa);
+  const model::FunctionModel fn([](int p) { return 12.0 / p; }, "f", true);
+  EXPECT_FALSE(fn.fingerprint().cacheable);
+  const int want = lpa.allocate(fn, 8);
+  EXPECT_EQ(cached.allocate(fn, 8), want);
+  EXPECT_EQ(cached.allocate(fn, 8), want);
+  // Nothing was stored or counted: the cache never saw the model.
+  EXPECT_EQ(cached.cache().size(), 0u);
+  EXPECT_EQ(cached.cache().hits(), 0u);
+  EXPECT_EQ(cached.cache().misses(), 0u);
+}
+
+TEST(CachingAllocatorTest, SharedCacheKeepsDistinctMuApart) {
+  // Two LPA instances with different mu share one store; the
+  // allocator_tag (hashed from name(), which embeds mu) must keep their
+  // entries separate even for the identical (model, P) query.
+  const LpaAllocator tight(0.05);
+  const LpaAllocator loose(0.38);
+  const auto cache = std::make_shared<DecisionCache>();
+  const CachingAllocator cached_tight(tight, cache);
+  const CachingAllocator cached_loose(loose, cache);
+  const model::AmdahlModel m(100.0, 1.0);
+  for (const int P : {8, 64, 512}) {
+    const int want_tight = tight.allocate(m, P);
+    const int want_loose = loose.allocate(m, P);
+    // Warm both in interleaved order, then re-query.
+    EXPECT_EQ(cached_tight.allocate(m, P), want_tight);
+    EXPECT_EQ(cached_loose.allocate(m, P), want_loose);
+    EXPECT_EQ(cached_tight.allocate(m, P), want_tight);
+    EXPECT_EQ(cached_loose.allocate(m, P), want_loose);
+  }
+  // mu caps differ wildly at P=512: the decisions genuinely diverge,
+  // so agreement above proves the entries did not cross-talk.
+  EXPECT_NE(tight.allocate(m, 512), loose.allocate(m, 512));
+}
+
+TEST(CachingAllocatorTest, OwningConstructorKeepsInnerAlive) {
+  auto inner = std::make_shared<const LpaAllocator>(0.25);
+  const model::AmdahlModel m(50.0, 2.0);
+  const int want = inner->allocate(m, 16);
+  const CachingAllocator cached(std::move(inner));  // sole owner now
+  EXPECT_EQ(cached.allocate(m, 16), want);
+  EXPECT_EQ(cached.name(), "cached(lpa(mu=0.25))");
+  EXPECT_THROW(CachingAllocator(std::shared_ptr<const Allocator>()),
+               std::invalid_argument);
+}
+
+// Run under TSan in CI: readers race the seqlock L1 against concurrent
+// inserts and must still return only correct decisions.
+TEST(CachingAllocatorConcurrencyTest, ParallelLookupsAreRaceFreeAndCorrect) {
+  const LpaAllocator lpa(0.25);
+  const auto cache = std::make_shared<DecisionCache>(64);  // force evictions
+  const CachingAllocator cached(lpa, cache);
+
+  constexpr int kP = 128;
+  std::vector<model::ModelPtr> models;
+  std::vector<int> want;
+  util::Rng rng(11);
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  for (int i = 0; i < 256; ++i) {
+    models.push_back(sampler.sample(rng, kP));
+    want.push_back(lpa.allocate(*models.back(), kP));
+  }
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t start = static_cast<std::size_t>(t % 2);
+    threads.emplace_back([&, start] {
+      for (int round = 0; round < 40; ++round) {
+        for (std::size_t i = start; i < models.size(); i += 1 + start) {
+          if (cached.allocate(*models[i], kP) != want[i])
+            wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace moldsched::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "moldsched/engine/result_sink.hpp"
+#include "moldsched/io/json.hpp"
 #include "moldsched/obs/trace_writer.hpp"
 
 namespace moldsched::engine {
@@ -122,12 +123,74 @@ TEST_F(CliSmokeTest, ListAndDryRunModes) {
   ASSERT_EQ(run_cli("--list"), 0);
   const auto listing = read_file(dir_ / "stdout.log");
   for (const char* name : {"table1", "ratio-curves", "random-dags",
-                           "workflows", "resilience", "release"})
+                           "workflows", "resilience", "selfcheck", "release"})
     EXPECT_NE(listing.find(name), std::string::npos) << name;
 
   ASSERT_EQ(run_cli("--suite release --dry-run --repeats 1"), 0);
   const auto plan = read_file(dir_ / "stdout.log");
   EXPECT_NE(plan.find("# release: 48 job(s)"), std::string::npos) << plan;
+}
+
+TEST_F(CliSmokeTest, SelfcheckSuiteEndToEnd) {
+  ASSERT_EQ(run_cli("--suite selfcheck --repeats 1 --threads 2"), 0)
+      << read_file(dir_ / "stderr.log");
+
+  // 9 corpus families x 5 model kinds x 1 repeat, all differentially
+  // verified with zero mismatches.
+  std::ifstream jsonl(dir_ / "results" / "selfcheck.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    const auto problem = validate_record_line(line);
+    EXPECT_EQ(problem, std::nullopt) << line;
+    if (!problem) {
+      const auto rec = parse_record_line(line);
+      EXPECT_EQ(rec.status, "ok") << rec.error;
+      EXPECT_EQ(rec.spec.suite, "selfcheck");
+      bool saw_mismatch_metric = false;
+      for (const auto& [name, value] : rec.metrics) {
+        if (name == "mismatches") {
+          saw_mismatch_metric = true;
+          EXPECT_EQ(value, 0.0) << line;
+        }
+      }
+      EXPECT_TRUE(saw_mismatch_metric) << line;
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, 45u);
+
+  // The per-kind summary table was generated.
+  const auto csv = read_file(dir_ / "results" / "selfcheck.csv");
+  EXPECT_NE(csv.find("model"), std::string::npos);
+  EXPECT_NE(csv.find("arbitrary"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, BenchHotPathsEmitsParseableJson) {
+  const auto out = (dir_ / "BENCH_hotpaths.json").string();
+  const std::string cmd = std::string(MOLDSCHED_BENCH_HOTPATHS_BINARY) +
+                          " --rounds 1 --reuse 1 --out " + out + " > " +
+                          (dir_ / "stdout.log").string() + " 2> " +
+                          (dir_ / "stderr.log").string();
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << read_file(dir_ / "stderr.log");
+
+  const auto doc = io::parse_json(read_file(out));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("bench").string, "hotpaths");
+  const auto& entries = doc.at("entries");
+  ASSERT_TRUE(entries.is_array());
+  ASSERT_EQ(entries.array.size(), 4u);
+  bool saw_random_dags = false;
+  for (const auto& entry : entries.array) {
+    EXPECT_TRUE(entry.at("name").is_string());
+    EXPECT_TRUE(entry.at("speedup").is_number());
+    EXPECT_GT(entry.at("baseline_ns_per_op").number, 0.0);
+    EXPECT_GT(entry.at("optimized_ns_per_op").number, 0.0);
+    if (entry.at("name").string == "allocator_random_dags")
+      saw_random_dags = true;
+  }
+  EXPECT_TRUE(saw_random_dags);
 }
 
 TEST_F(CliSmokeTest, UnknownSuiteFailsWithUsage) {

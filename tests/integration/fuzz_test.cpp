@@ -7,6 +7,7 @@
 #include <string>
 
 #include "moldsched/analysis/bounds.hpp"
+#include "moldsched/check/shrink.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
 #include "moldsched/graph/generators.hpp"
@@ -58,6 +59,26 @@ graph::TaskGraph random_graph(util::Rng& rng, int P) {
   }
 }
 
+/// True when scheduling `gg` violates any fuzz invariant: the schedule
+/// fails validation, beats the Lemma 2 bound, is nondeterministic
+/// across runs, or crashes. Shared between the main check and the
+/// shrinker, so a reduced instance fails for the same reason.
+bool violates_invariants(const graph::TaskGraph& gg, int P,
+                         const core::Allocator& alloc,
+                         core::QueuePolicy policy) {
+  try {
+    const auto r1 = core::schedule_online(gg, P, alloc, policy);
+    if (sim::validate_schedule(gg, r1.trace, P).ok() == false) return true;
+    if (r1.makespan <
+        analysis::optimal_makespan_lower_bound(gg, P) * (1.0 - 1e-9))
+      return true;
+    const auto r2 = core::schedule_online(gg, P, alloc, policy);
+    return r1.makespan != r2.makespan;
+  } catch (...) {
+    return true;
+  }
+}
+
 TEST_P(FuzzTest, EveryScheduleValidatesAndIsDeterministic) {
   util::Rng rng(GetParam());
   for (int rep = 0; rep < 6; ++rep) {
@@ -79,6 +100,20 @@ TEST_P(FuzzTest, EveryScheduleValidatesAndIsDeterministic) {
         core::QueuePolicy::kSmallestAllocFirst};
     const auto policy = policies[rng.uniform_int(0, 4)];
 
+    if (violates_invariants(g, P, *alloc, policy)) {
+      // Hand the human a minimal repro, not a 60-task haystack.
+      const auto shrunk = check::shrink_instance(
+          g, [&](const graph::TaskGraph& candidate) {
+            return violates_invariants(candidate, P, *alloc, policy);
+          });
+      FAIL() << "fuzz invariant violated (seed " << GetParam() << ", rep "
+             << rep << ", allocator " << alloc->name() << ")\n"
+             << check::describe_instance(shrunk.graph, P, mu,
+                                         "shrunk fuzz failure");
+    }
+
+    // The happy path still exercises the detailed gtest assertions so
+    // a regression reports precise expected/actual values.
     const auto r1 = core::schedule_online(g, P, *alloc, policy);
     sim::expect_valid_schedule(g, r1.trace, P);
     EXPECT_GE(r1.makespan,

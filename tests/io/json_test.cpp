@@ -150,5 +150,85 @@ TEST(TraceCsvTest, OneRowPerTaskWithHeader) {
   EXPECT_NE(csv.find("0,solo,0,2,1"), std::string::npos);
 }
 
+// ---- parse_json: the DOM reader for BENCH_*.json and metrics dumps ----
+
+TEST(ParseJsonTest, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").number, -1250.0);
+  EXPECT_DOUBLE_EQ(parse_json("0").number, 0.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(ParseJsonTest, NestedStructuresKeepOrder) {
+  const auto v = parse_json(
+      R"({"b": [1, 2, {"deep": true}], "a": {"x": "y"}, "n": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "b");  // source order preserved
+  EXPECT_EQ(v.object[1].first, "a");
+  const auto& b = v.at("b");
+  ASSERT_TRUE(b.is_array());
+  ASSERT_EQ(b.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(b.array[1].number, 2.0);
+  EXPECT_TRUE(b.array[2].at("deep").boolean);
+  EXPECT_EQ(v.at("a").at("x").string, "y");
+  EXPECT_TRUE(v.at("n").is_null());
+}
+
+TEST(ParseJsonTest, FindAndAt) {
+  const auto v = parse_json(R"({"one": 1})");
+  ASSERT_NE(v.find("one"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("one")->number, 1.0);
+  EXPECT_EQ(v.find("two"), nullptr);
+  EXPECT_THROW((void)v.at("two"), std::out_of_range);
+  // find on a non-object is a miss, not an error.
+  EXPECT_EQ(parse_json("[1]").find("one"), nullptr);
+}
+
+TEST(ParseJsonTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+  // \uXXXX decodes to UTF-8, including astral-plane surrogate pairs;
+  // raw multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").string, "A\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").string, "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parse_json(R"("é")").string, "\xc3\xa9");
+  EXPECT_THROW((void)parse_json(R"("\ud83d")"), std::invalid_argument);
+}
+
+TEST(ParseJsonTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1 2]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("tru"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("1 trailing"), std::invalid_argument);
+}
+
+TEST(ParseJsonTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += '[';
+  EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
+}
+
+TEST(ParseJsonTest, RoundTripsTheLibraryGraphWriter) {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::CommunicationModel>(10.0, 0.5), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 2.0), "b");
+  g.add_edge(a, b);
+  const auto v = parse_json(graph_to_json(g));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.at("tasks").array.size(), 2u);
+  EXPECT_EQ(v.at("tasks").array[0].at("kind").string, "communication");
+  EXPECT_DOUBLE_EQ(v.at("tasks").array[0].at("w").number, 10.0);
+  ASSERT_EQ(v.at("edges").array.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.at("edges").array[0].array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(v.at("edges").array[0].array[1].number, 1.0);
+}
+
 }  // namespace
 }  // namespace moldsched::io

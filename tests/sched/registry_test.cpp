@@ -13,8 +13,12 @@ TEST(RegistryTest, LpaSpecUsesGivenMu) {
   const auto spec = lpa_spec(0.25);
   EXPECT_EQ(spec.name, "lpa");
   ASSERT_NE(spec.allocator, nullptr);
-  const auto* lpa =
-      dynamic_cast<const core::LpaAllocator*>(spec.allocator.get());
+  // The registry hands out the memoizing decorator around the LPA
+  // allocator, sharing the process-wide decision cache.
+  const auto* cached =
+      dynamic_cast<const core::CachingAllocator*>(spec.allocator.get());
+  ASSERT_NE(cached, nullptr);
+  const auto* lpa = dynamic_cast<const core::LpaAllocator*>(&cached->inner());
   ASSERT_NE(lpa, nullptr);
   EXPECT_DOUBLE_EQ(lpa->mu(), 0.25);
   EXPECT_EQ(spec.policy, core::QueuePolicy::kFifo);

@@ -4,6 +4,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace moldsched::sim {
 namespace {
@@ -94,6 +95,75 @@ TEST(EventQueueTest, InterleavedScheduleAndPop) {
   q.schedule(3.0, 3);  // after now=1, before 5
   EXPECT_EQ(q.pop().payload, 3);
   EXPECT_EQ(q.pop().payload, 5);
+}
+
+TEST(EventQueueTest, PopSimultaneousIntoMatchesPopSimultaneous) {
+  EventQueue a;
+  EventQueue b;
+  for (int t = 0; t < 20; ++t)
+    for (int i = 0; i < 3; ++i) {
+      a.schedule(static_cast<double>(t % 7), t * 3 + i);
+      b.schedule(static_cast<double>(t % 7), t * 3 + i);
+    }
+  std::vector<Event> batch;
+  while (!a.empty()) {
+    const auto want = a.pop_simultaneous();
+    b.pop_simultaneous_into(batch);
+    ASSERT_EQ(batch.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(batch[i].time, want[i].time);
+      EXPECT_EQ(batch[i].payload, want[i].payload);
+    }
+    EXPECT_DOUBLE_EQ(b.now(), a.now());
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(EventQueueTest, PopSimultaneousIntoKeepsFifoOrderWithinLargeBatches) {
+  // Many ties at one time, pushed interleaved with other times so the
+  // heap actually permutes the storage: seq must still restore FIFO.
+  EventQueue q;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule(2.0, 100 + i);
+    q.schedule(5.0, 900 + i);
+  }
+  std::vector<Event> batch;
+  q.pop_simultaneous_into(batch);
+  ASSERT_EQ(batch.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(batch[i].payload, 100 + i);
+  q.pop_simultaneous_into(batch);
+  ASSERT_EQ(batch.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(batch[i].payload, 900 + i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopSimultaneousIntoOverwritesAndReusesTheBuffer) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  q.schedule(1.0, 2);
+  q.schedule(3.0, 3);
+  std::vector<Event> batch(17);  // stale junk the call must replace
+  q.pop_simultaneous_into(batch);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].payload, 1);
+  EXPECT_EQ(batch[1].payload, 2);
+  const auto capacity = batch.capacity();
+  q.pop_simultaneous_into(batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload, 3);
+  EXPECT_EQ(batch.capacity(), capacity);  // no reallocation on reuse
+}
+
+TEST(EventQueueTest, ReservePreservesContentsAndOrder) {
+  EventQueue q;
+  q.schedule(2.0, 2);
+  q.schedule(1.0, 1);
+  q.reserve(1000);
+  q.schedule(3.0, 3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
 }
 
 }  // namespace
