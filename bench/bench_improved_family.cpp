@@ -1,0 +1,148 @@
+// Improved-family study — the per-model-aware allocator vs plain LPA.
+//
+// Two views: (a) head-to-head mean/max T / Lemma-2-LB on the random-DAG
+// catalog, per model kind plus a mixed-kind workload (where the per-kind
+// dispatch is the whole point), and (b) microbenchmarks of the decision
+// hot path, since improved-lpa sits behind the same DecisionCache as lpa
+// and must not regress the allocation cost.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/analysis/improved.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sched/improved_lpa.hpp"
+#include "moldsched/util/table.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+struct FamilyStats {
+  double mean = 0.0;
+  double worst = 0.0;
+};
+
+FamilyStats measure(const std::vector<analysis::GraphCase>& cases, int P,
+                    const core::Allocator& alloc) {
+  FamilyStats s;
+  for (const auto& gc : cases) {
+    const auto result = core::schedule_online(gc.graph, P, alloc);
+    const double ratio =
+        result.makespan / analysis::optimal_makespan_lower_bound(gc.graph, P);
+    s.mean += ratio;
+    s.worst = std::max(s.worst, ratio);
+  }
+  s.mean /= static_cast<double>(cases.size());
+  return s;
+}
+
+void head_to_head(int P) {
+  util::Table t({"model", "lpa mean", "lpa max", "improved mean",
+                 "improved max", "improved envelope"});
+  const sched::ImprovedLpaAllocator improved;
+  for (const auto kind :
+       {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral}) {
+    util::Rng rng(29);
+    const auto cases = analysis::random_graph_catalog(kind, P, rng);
+    const core::LpaAllocator lpa(analysis::optimal_mu(kind));
+    const auto a = measure(cases, P, lpa);
+    const auto b = measure(cases, P, improved);
+    t.new_row()
+        .cell(model::to_string(kind))
+        .cell(a.mean, 3)
+        .cell(a.worst, 3)
+        .cell(b.mean, 3)
+        .cell(b.worst, 3)
+        .cell(analysis::improved_optimal_ratio(kind).upper_bound, 3);
+  }
+
+  // Mixed-kind workload: lpa must fall back to the general-model mu*,
+  // improved dispatches per task; the certified envelope covers the mix.
+  util::Rng rng(31);
+  const model::ModelSampler samplers[] = {
+      model::ModelSampler(model::ModelKind::kRoofline),
+      model::ModelSampler(model::ModelKind::kCommunication),
+      model::ModelSampler(model::ModelKind::kAmdahl),
+      model::ModelSampler(model::ModelKind::kGeneral)};
+  const graph::ModelProvider mixed = [&]() {
+    return samplers[rng.uniform_int(0, 3)].sample(rng, P);
+  };
+  std::vector<analysis::GraphCase> cases;
+  for (int rep = 0; rep < 6; ++rep) {
+    cases.push_back({"layered", graph::layered_random(6, 2, 9, 0.35, rng,
+                                                      mixed)});
+    cases.push_back({"sp", graph::series_parallel(45, rng, mixed)});
+  }
+  const core::LpaAllocator lpa(
+      analysis::optimal_mu(model::ModelKind::kGeneral));
+  const auto a = measure(cases, P, lpa);
+  const auto b = measure(cases, P, improved);
+  const auto env = analysis::improved_mixed_envelope(
+      {model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+       model::ModelKind::kAmdahl, model::ModelKind::kGeneral});
+  t.new_row()
+      .cell("mixed (all 4)")
+      .cell(a.mean, 3)
+      .cell(a.worst, 3)
+      .cell(b.mean, 3)
+      .cell(b.worst, 3)
+      .cell(env.bound, 3);
+
+  t.print(std::cout, "improved-lpa vs lpa, random-DAG catalog, P = " +
+                         std::to_string(P));
+  std::cout << '\n';
+}
+
+void BM_ImprovedDecide(benchmark::State& state) {
+  const sched::ImprovedLpaAllocator alloc;
+  const model::AmdahlModel m(500.0, 25.0);
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.decide(m, P));
+  }
+}
+BENCHMARK(BM_ImprovedDecide)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_ImprovedDeriveConstants(benchmark::State& state) {
+  // First call per process pays the 2-D optimization; the cache makes
+  // every later construction (and allocator instantiation) cheap.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::improved_optimal_ratio(model::ModelKind::kGeneral));
+  }
+}
+BENCHMARK(BM_ImprovedDeriveConstants);
+
+void BM_ImprovedScheduleOnline(benchmark::State& state) {
+  const sched::ImprovedLpaAllocator alloc;
+  const int P = 64;
+  util::Rng rng(5);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+  const auto g = graph::layered_random(8, 3, 12, 0.3, rng, provider);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_online(g, P, alloc).makespan);
+  }
+}
+BENCHMARK(BM_ImprovedScheduleOnline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== bench_improved_family: per-model-aware allocator vs LPA "
+               "===\n\n";
+  head_to_head(32);
+  head_to_head(128);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

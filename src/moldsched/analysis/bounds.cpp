@@ -27,6 +27,13 @@ double min_critical_path(const graph::TaskGraph& g, int P) {
   return graph::longest_path_length(g, min_times(g, P));
 }
 
+double total_serial_work(const graph::TaskGraph& g) {
+  double total = 0.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    total += g.model_of(v).time(1);
+  return total;
+}
+
 double optimal_makespan_lower_bound(const graph::TaskGraph& g, int P) {
   return lower_bounds(g, P).lower_bound;
 }

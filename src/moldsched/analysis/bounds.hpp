@@ -23,6 +23,11 @@ namespace moldsched::analysis {
 [[nodiscard]] double optimal_makespan_lower_bound(const graph::TaskGraph& g,
                                                   int P);
 
+/// Sum of single-processor times t(1) — the exact makespan every valid
+/// schedule must achieve on a unit platform (P = 1 serializes the graph),
+/// and the natural yardstick for the degenerate-instance checks.
+[[nodiscard]] double total_serial_work(const graph::TaskGraph& g);
+
 /// All three quantities in one pass (cheaper for the harnesses).
 struct LowerBounds {
   double min_total_area = 0.0;

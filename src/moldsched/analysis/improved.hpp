@@ -1,0 +1,92 @@
+// Refined two-parameter allocation analysis behind sched::improved_lpa.
+//
+// Algorithm 2 couples its two knobs: the Step 1 time-ratio threshold is
+// delta(mu) = (1-2mu)/(mu(1-mu)) for the same mu that caps Step 2 at
+// ceil(mu P). The refinement studied here (following the improved
+// analysis of Perotin & Sun, arXiv:2304.14127) decouples them: Step 1
+// admits any allocation with t(p) <= delta_tilde(nu) * t_min while Step 2
+// caps at ceil(mu P), with (mu, nu) free. Re-running the interval
+// charging argument of Section 4.2 with the decoupled pair yields
+//
+//   R(mu, nu) = max(delta(mu), delta_tilde(nu))
+//               + alpha(delta_tilde(nu)) / (1 - mu),
+//
+// where delta_tilde(nu) = max(1, delta(nu)) and alpha(B) is the model's
+// area ratio at time-ratio threshold B (best_x_at_threshold). The
+// constants pinned by tests/analysis/golden_bounds_test.cpp are the
+// numerical optima of this program as computed by this module — they are
+// re-derived from the generalized program above, not transcribed from
+// the paper (whose exact theorem constants are not reproduced here).
+//
+// The second export is the piece the coupled analysis cannot provide: a
+// certified makespan envelope for the *per-model-aware* allocator, which
+// gives every task the optimal parameters of its own speedup-model kind
+// instead of one global mu. For a graph mixing kinds K, re-running the
+// interval argument at mu_min = min_k mu_k with alpha_max = max_k
+// alpha_k shows
+//
+//   T <= lemma5_ratio(alpha_max, mu_min) * max(A_min/P, C_min),
+//
+// which on single-kind graphs collapses to that kind's own optimal
+// constant — strictly tighter than running one global mu and paying the
+// general-model bound on every instance.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::analysis {
+
+/// delta_tilde(nu) = max(1, delta(nu)): the effective Step 1 threshold
+/// (a threshold below 1 is vacuous since beta >= 1 always). Throws
+/// outside (0, kMuMax], like delta_of_mu.
+[[nodiscard]] double threshold_of_nu(double nu);
+
+/// The decoupled upper-bound ratio R(mu, nu) described above; +inf when
+/// no admissible allocation exists at threshold delta_tilde(nu) for this
+/// model. Throws for kArbitrary (no constant ratio exists) and for
+/// mu or nu outside (0, kMuMax].
+[[nodiscard]] double improved_upper_ratio(model::ModelKind kind, double mu,
+                                          double nu);
+
+/// Result of jointly minimizing R(mu, nu) for one model.
+struct ImprovedRatio {
+  model::ModelKind kind = model::ModelKind::kRoofline;
+  double mu_star = 0.0;     ///< optimal Step 2 cap parameter
+  double nu_star = 0.0;     ///< optimal Step 1 threshold parameter
+  double threshold = 0.0;   ///< delta_tilde(nu_star)
+  double x_star = 0.0;      ///< model allocation parameter at the threshold
+  double alpha_star = 0.0;  ///< area ratio at the threshold
+  double upper_bound = 0.0; ///< min over (mu, nu) of R
+  double coupled_bound = 0.0;  ///< the coupled optimum (optimal_ratio), for
+                               ///< the side-by-side report
+};
+
+/// Joint numerical optimum of the decoupled program. Cached per kind
+/// after the first computation (the 2-D search is not free).
+[[nodiscard]] ImprovedRatio improved_optimal_ratio(model::ModelKind kind);
+
+/// All four analytic models in Table 1 column order.
+[[nodiscard]] std::vector<ImprovedRatio> compute_improved_table();
+
+/// Certified envelope of the per-model-aware allocator over a set of
+/// model kinds: lemma5_ratio(max_k alpha_k, min_k mu_k) with each kind
+/// at its own optimum. kArbitrary contributes +inf (Theorem 9: no
+/// constant-competitive online algorithm exists for arbitrary speedups).
+struct MixedEnvelope {
+  double mu_min = 0.0;     ///< min over kinds of the per-kind optimal mu
+  double alpha_max = 1.0;  ///< max over kinds of the per-kind alpha*
+  double bound = 0.0;      ///< lemma5_ratio(alpha_max, mu_min); may be +inf
+};
+[[nodiscard]] MixedEnvelope improved_mixed_envelope(
+    const std::vector<model::ModelKind>& kinds);
+
+/// Envelope for exactly the kinds appearing in g. Throws on an empty
+/// graph.
+[[nodiscard]] MixedEnvelope improved_envelope_for_graph(
+    const graph::TaskGraph& g);
+
+}  // namespace moldsched::analysis

@@ -1,5 +1,6 @@
 #include "moldsched/analysis/ratios.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
@@ -33,7 +34,15 @@ double lemma5_ratio(double alpha, double mu) {
 }
 
 XChoice best_x(model::ModelKind kind, double mu) {
-  const double delta = delta_of_mu(mu);
+  return best_x_at_threshold(kind, delta_of_mu(mu));
+}
+
+XChoice best_x_at_threshold(model::ModelKind kind, double B) {
+  // delta_of_mu(kMuMax) is analytically 1 but can round to 1 - eps, so
+  // tolerate (and clamp away) tiny underflow instead of rejecting it.
+  if (!(B >= 1.0 - 1e-9))
+    throw std::invalid_argument("best_x_at_threshold: threshold must be >= 1");
+  const double delta = std::max(B, 1.0);
   XChoice choice;
   switch (kind) {
     case model::ModelKind::kRoofline: {
@@ -102,8 +111,8 @@ XChoice best_x(model::ModelKind kind, double mu) {
       break;
   }
   throw std::invalid_argument(
-      "best_x: no (alpha, beta) construction for the arbitrary model "
-      "(Section 5 proves no constant ratio exists)");
+      "best_x_at_threshold: no (alpha, beta) construction for the arbitrary "
+      "model (Section 5 proves no constant ratio exists)");
 }
 
 double upper_ratio(model::ModelKind kind, double mu) {

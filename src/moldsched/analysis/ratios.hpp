@@ -35,6 +35,13 @@ struct XChoice {
 };
 [[nodiscard]] XChoice best_x(model::ModelKind kind, double mu);
 
+/// Same construction, parameterized by the raw time-ratio threshold
+/// B >= 1 instead of mu (best_x(kind, mu) == best_x_at_threshold(kind,
+/// delta_of_mu(mu))). This is the form the decoupled two-parameter
+/// analysis in analysis/improved.hpp needs, where the Step 1 threshold
+/// no longer equals delta of the Step 2 cap. Throws on B < 1.
+[[nodiscard]] XChoice best_x_at_threshold(model::ModelKind kind, double B);
+
 /// Upper-bound ratio of Algorithm 1 at parameter mu under `kind`
 /// (Theorems 1-4 before the final minimization); +inf if mu is
 /// infeasible for the model.

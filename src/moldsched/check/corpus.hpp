@@ -42,8 +42,10 @@ struct CorpusInstance {
   model::ModelKind kind = model::ModelKind::kGeneral;
 };
 
-/// Draws a complete instance: P in [1, 100], mu in [0.05, 0.38], a
-/// uniform queue policy, a uniform family, and a uniform model kind.
+/// Draws a complete instance: P in [1, 100] with an extra ~7% slice
+/// pinned to the P = 1 unit platform (the degenerate serial case every
+/// scheduler must handle), mu in [0.05, 0.38], a uniform queue policy,
+/// a uniform family, and a uniform model kind.
 [[nodiscard]] CorpusInstance corpus_instance(util::Rng& rng);
 
 }  // namespace moldsched::check

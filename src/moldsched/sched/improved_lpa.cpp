@@ -1,0 +1,105 @@
+#include "moldsched/sched/improved_lpa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "moldsched/analysis/improved.hpp"
+
+namespace moldsched::sched {
+
+namespace {
+
+// Same boundary slack as LpaAllocator: adversarial instances sit exactly
+// on the time-ratio constraint, and rounding noise must not flip the
+// Step 1 decision there.
+constexpr double kBetaTol = 1e-9;
+
+std::size_t kind_slot(model::ModelKind kind) {
+  switch (kind) {
+    case model::ModelKind::kRoofline: return 0;
+    case model::ModelKind::kCommunication: return 1;
+    case model::ModelKind::kAmdahl: return 2;
+    case model::ModelKind::kGeneral: return 3;
+    case model::ModelKind::kArbitrary:
+      return 3;  // borrow the general-model parameters
+  }
+  throw std::invalid_argument("ImprovedLpaAllocator: unknown model kind");
+}
+
+}  // namespace
+
+ImprovedLpaAllocator::ImprovedLpaAllocator() {
+  const model::ModelKind kinds[] = {
+      model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+      model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+  for (const auto kind : kinds) {
+    const auto r = analysis::improved_optimal_ratio(kind);
+    params_[kind_slot(kind)] = {r.mu_star, r.threshold};
+  }
+}
+
+ImprovedLpaAllocator::KindParams ImprovedLpaAllocator::params_for(
+    model::ModelKind kind) const {
+  return params_[kind_slot(kind)];
+}
+
+int ImprovedLpaAllocator::cap(model::ModelKind kind, int P) const {
+  if (P < 1)
+    throw std::invalid_argument("ImprovedLpaAllocator::cap: P must be >= 1");
+  return static_cast<int>(
+      std::ceil(params_for(kind).mu * static_cast<double>(P) - 1e-12));
+}
+
+core::LpaDecision ImprovedLpaAllocator::decide(const model::SpeedupModel& m,
+                                               int P) const {
+  if (P < 1)
+    throw std::invalid_argument(
+        "ImprovedLpaAllocator::decide: P must be >= 1");
+  const KindParams params = params_for(m.kind());
+  core::LpaDecision d;
+  d.p_max = m.max_useful_procs(P);
+  d.t_min = m.time(d.p_max);
+  d.a_min = m.min_area(P);
+  const double limit_time = params.threshold * d.t_min * (1.0 + kBetaTol);
+
+  if (m.kind() == model::ModelKind::kArbitrary) {
+    // No monotonicity guarantees: exhaustive Step 1 scan over [1, p_max].
+    int best = d.p_max;  // t(p_max) = t_min <= limit_time, always feasible
+    double best_area = m.area(d.p_max);
+    for (int p = 1; p <= d.p_max; ++p) {
+      if (m.time(p) <= limit_time && m.area(p) < best_area) {
+        best = p;
+        best_area = m.area(p);
+      }
+    }
+    d.initial = best;
+  } else {
+    // Lemma 1 monotonicity: the smallest p with t(p) <= threshold t_min
+    // minimizes the area ratio; binary search in O(log P).
+    int lo = 1;
+    int hi = d.p_max;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (m.time(mid) <= limit_time)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    d.initial = lo;
+  }
+
+  d.alpha = m.area(d.initial) / d.a_min;
+  d.beta = m.time(d.initial) / d.t_min;
+  const int limit = cap(m.kind(), P);
+  d.final_alloc = d.initial > limit ? limit : d.initial;
+  return d;
+}
+
+int ImprovedLpaAllocator::allocate(const model::SpeedupModel& m,
+                                   int P) const {
+  return decide(m, P).final_alloc;
+}
+
+std::string ImprovedLpaAllocator::name() const { return "improved-lpa"; }
+
+}  // namespace moldsched::sched

@@ -1,0 +1,61 @@
+// The per-model-aware refinement of Algorithm 2 behind the "improved-lpa"
+// registry entry.
+//
+// LpaAllocator runs every task through one global (mu, delta(mu)) pair,
+// so on a mixed workload each model family pays the bound of the worst
+// one (the general-model constant). This allocator instead dispatches on
+// the task's own ModelKind and applies that kind's jointly optimized
+// (mu*, threshold*) from the decoupled two-parameter program of
+// analysis/improved.hpp: Step 1 minimizes the area ratio subject to
+// t(p) <= threshold* t_min, Step 2 caps at ceil(mu* P). Arbitrary-model
+// tasks (no Eq. (1) structure, no constant ratio) reuse the general-model
+// parameters with the exhaustive Step 1 scan, exactly as LpaAllocator
+// does.
+//
+// Guarantee (see analysis::improved_mixed_envelope): on a graph whose
+// tasks draw from kinds K, the online makespan is at most
+// lemma5_ratio(max_k alpha_k, min_k mu_k) times the Lemma 2 lower bound;
+// on a single-kind graph this is exactly that kind's optimal constant.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::sched {
+
+class ImprovedLpaAllocator : public core::Allocator {
+ public:
+  /// Parameters of one model kind's allocation rule.
+  struct KindParams {
+    double mu = 0.0;         ///< Step 2 cap fraction (allocation <= ceil(mu P))
+    double threshold = 0.0;  ///< Step 1 time-ratio bound (>= 1)
+  };
+
+  /// Loads the per-kind optima from analysis::improved_optimal_ratio
+  /// (computed once per process, then cached).
+  ImprovedLpaAllocator();
+
+  [[nodiscard]] int allocate(const model::SpeedupModel& m,
+                             int P) const override;
+  /// Stable name ("improved-lpa"): the parameter set is a process-wide
+  /// constant, so the DecisionCache tag needs no further qualification.
+  [[nodiscard]] std::string name() const override;
+
+  /// Both steps with every intermediate quantity, as LpaAllocator::decide.
+  [[nodiscard]] core::LpaDecision decide(const model::SpeedupModel& m,
+                                         int P) const;
+
+  /// The parameters the given kind dispatches to (kArbitrary reports the
+  /// general-model pair it borrows).
+  [[nodiscard]] KindParams params_for(model::ModelKind kind) const;
+  /// ceil(mu_kind P), the Step 2 cap for the given kind.
+  [[nodiscard]] int cap(model::ModelKind kind, int P) const;
+
+ private:
+  std::array<KindParams, 4> params_{};  // roofline, comm, amdahl, general
+};
+
+}  // namespace moldsched::sched

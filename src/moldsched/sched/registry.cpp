@@ -5,6 +5,7 @@
 #include "moldsched/sched/backfill_scheduler.hpp"
 #include "moldsched/sched/baselines.hpp"
 #include "moldsched/sched/contiguous_scheduler.hpp"
+#include "moldsched/sched/improved_lpa.hpp"
 #include "moldsched/sched/level_scheduler.hpp"
 
 namespace moldsched::sched {
@@ -30,9 +31,21 @@ SchedulerSpec lpa_spec(double mu) {
                        core::QueuePolicy::kFifo, {}};
 }
 
+SchedulerSpec improved_lpa_spec() {
+  // Parameter-free: the per-kind optima are process-wide constants, so
+  // the stable "improved-lpa" cache tag is fully qualifying and the
+  // shared store never cross-talks with the lpa(mu=...) entries.
+  return SchedulerSpec{"improved-lpa",
+                       std::make_shared<core::CachingAllocator>(
+                           std::make_shared<ImprovedLpaAllocator>(),
+                           core::DecisionCache::process_wide()),
+                       core::QueuePolicy::kFifo, {}};
+}
+
 std::vector<SchedulerSpec> standard_suite(double mu) {
   std::vector<SchedulerSpec> suite;
   suite.push_back(lpa_spec(mu));
+  suite.push_back(improved_lpa_spec());
   suite.push_back({"min-time", std::make_shared<MinTimeAllocator>(),
                    core::QueuePolicy::kFifo, {}});
   suite.push_back({"sequential", std::make_shared<SequentialAllocator>(),

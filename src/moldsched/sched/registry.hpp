@@ -33,9 +33,15 @@ struct SchedulerSpec {
 /// The paper's algorithm at parameter mu (FIFO queue, as in Algorithm 1).
 [[nodiscard]] SchedulerSpec lpa_spec(double mu);
 
-/// The full comparison suite: LPA(mu) plus min-time, sequential,
-/// capped-min-time(mu), uncapped-lpa(mu), sqrt-p and fraction(1/4)
-/// baselines.
+/// The per-model-aware refinement (sched::ImprovedLpaAllocator): each
+/// task is allocated with its own model kind's jointly optimized
+/// (mu*, threshold*) pair instead of one global mu. Parameter-free; like
+/// lpa_spec it memoizes decisions in the process-wide cache.
+[[nodiscard]] SchedulerSpec improved_lpa_spec();
+
+/// The full comparison suite: LPA(mu) plus improved-lpa, min-time,
+/// sequential, capped-min-time(mu), uncapped-lpa(mu), sqrt-p and
+/// fraction(1/4) baselines.
 [[nodiscard]] std::vector<SchedulerSpec> standard_suite(double mu);
 
 /// Engine variants of LPA(mu): level-by-level barriers and contiguous

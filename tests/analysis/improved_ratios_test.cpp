@@ -1,0 +1,135 @@
+// Unit tests of the decoupled (mu, nu) program in analysis/improved.hpp:
+// the R(mu, nu) surface, the joint optima, and the mixed-kind envelope
+// of the per-model-aware allocator.
+#include "moldsched/analysis/improved.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+const std::vector<model::ModelKind> kAnalytic = {
+    model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+    model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+
+TEST(ThresholdOfNu, ClampsAtOneAndMatchesDelta) {
+  // delta(mu) crosses 1 at mu_max; below that it exceeds 1.
+  EXPECT_DOUBLE_EQ(threshold_of_nu(kMuMax), 1.0);
+  const double nu = 0.25;
+  EXPECT_DOUBLE_EQ(threshold_of_nu(nu), delta_of_mu(nu));
+  EXPECT_GT(threshold_of_nu(0.1), 1.0);
+}
+
+TEST(ThresholdOfNu, RejectsOutOfDomain) {
+  EXPECT_THROW((void)threshold_of_nu(0.0), std::invalid_argument);
+  EXPECT_THROW((void)threshold_of_nu(kMuMax + 0.01), std::invalid_argument);
+}
+
+TEST(ImprovedUpperRatio, CoupledDiagonalReproducesLemma5) {
+  // At nu == mu the decoupled program is exactly the coupled analysis:
+  // R(mu, mu) = delta(mu) + alpha(delta(mu)) / (1 - mu) = lemma5_ratio.
+  for (const auto kind : kAnalytic) {
+    for (const double mu : {0.15, 0.25, 0.33}) {
+      const double r = improved_upper_ratio(kind, mu, mu);
+      if (std::isinf(r)) continue;  // threshold infeasible for this model
+      const auto choice = best_x(kind, mu);
+      EXPECT_NEAR(r, lemma5_ratio(choice.alpha, mu), 1e-12)
+          << model::to_string(kind) << " mu=" << mu;
+    }
+  }
+}
+
+TEST(ImprovedUpperRatio, RejectsArbitraryModel) {
+  EXPECT_THROW(
+      (void)improved_upper_ratio(model::ModelKind::kArbitrary, 0.2, 0.2),
+      std::invalid_argument);
+}
+
+TEST(ImprovedOptimalRatio, JointOptimumNeverWorseThanCoupled) {
+  // The coupled point (mu*, mu*) is in the feasible set of the decoupled
+  // program, so the joint minimum cannot exceed the Table 1 constant.
+  for (const auto kind : kAnalytic) {
+    const auto refined = improved_optimal_ratio(kind);
+    const auto coupled = optimal_ratio(kind);
+    EXPECT_LE(refined.upper_bound, coupled.upper_bound * (1.0 + 1e-9))
+        << model::to_string(kind);
+    EXPECT_NEAR(refined.coupled_bound, coupled.upper_bound, 1e-12);
+    // The reported point must reproduce the reported value.
+    EXPECT_NEAR(improved_upper_ratio(kind, refined.mu_star, refined.nu_star),
+                refined.upper_bound, 1e-9);
+    EXPECT_NEAR(refined.threshold, threshold_of_nu(refined.nu_star), 1e-12);
+    EXPECT_GE(refined.threshold, 1.0);
+    EXPECT_GT(refined.alpha_star, 0.0);
+  }
+}
+
+TEST(ImprovedOptimalRatio, CachedCallsAreConsistent) {
+  const auto a = improved_optimal_ratio(model::ModelKind::kAmdahl);
+  const auto b = improved_optimal_ratio(model::ModelKind::kAmdahl);
+  EXPECT_DOUBLE_EQ(a.upper_bound, b.upper_bound);
+  EXPECT_DOUBLE_EQ(a.mu_star, b.mu_star);
+  EXPECT_DOUBLE_EQ(a.nu_star, b.nu_star);
+}
+
+TEST(ComputeImprovedTable, FourRowsInTableOneOrder) {
+  const auto rows = compute_improved_table();
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i].kind, kAnalytic[i]);
+}
+
+TEST(MixedEnvelope, SingleKindCollapsesToOwnConstant) {
+  for (const auto kind : kAnalytic) {
+    const auto env = improved_mixed_envelope({kind});
+    const auto refined = improved_optimal_ratio(kind);
+    EXPECT_NEAR(env.bound, refined.upper_bound, 1e-9)
+        << model::to_string(kind);
+    EXPECT_DOUBLE_EQ(env.mu_min, refined.mu_star);
+    EXPECT_DOUBLE_EQ(env.alpha_max, refined.alpha_star);
+  }
+}
+
+TEST(MixedEnvelope, MixedKindsAreBoundedByGeneralEnvelope) {
+  const auto all = improved_mixed_envelope(kAnalytic);
+  EXPECT_TRUE(std::isfinite(all.bound));
+  // A strict subset of kinds can only tighten the envelope.
+  const auto pair = improved_mixed_envelope(
+      {model::ModelKind::kRoofline, model::ModelKind::kAmdahl});
+  EXPECT_LE(pair.bound, all.bound * (1.0 + 1e-12));
+  // And any envelope dominates each member's own constant.
+  EXPECT_GE(pair.bound,
+            improved_optimal_ratio(model::ModelKind::kAmdahl).upper_bound *
+                (1.0 - 1e-12));
+}
+
+TEST(MixedEnvelope, ArbitraryKindIsUnbounded) {
+  const auto env = improved_mixed_envelope(
+      {model::ModelKind::kRoofline, model::ModelKind::kArbitrary});
+  EXPECT_TRUE(std::isinf(env.bound));
+}
+
+TEST(EnvelopeForGraph, CollectsDistinctKindsAndRejectsEmpty) {
+  util::Rng rng(7);
+  const model::ModelSampler amdahl(model::ModelKind::kAmdahl);
+  const auto provider = graph::sampling_provider(amdahl, rng, 16);
+  const auto g = graph::chain(5, provider);
+  const auto env = improved_envelope_for_graph(g);
+  EXPECT_NEAR(env.bound,
+              improved_optimal_ratio(model::ModelKind::kAmdahl).upper_bound,
+              1e-9);
+  const graph::TaskGraph empty;
+  EXPECT_THROW((void)improved_envelope_for_graph(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

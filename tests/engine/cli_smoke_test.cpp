@@ -79,12 +79,12 @@ TEST_F(CliSmokeTest, Table1SuiteEndToEnd) {
     }
     ++records;
   }
-  EXPECT_EQ(records, 30u);
+  EXPECT_EQ(records, 32u);
 
   // The perf record exists and is non-trivial.
   const auto bench = read_file(dir_ / "results" / "BENCH_table1.json");
   EXPECT_NE(bench.find("\"suite\": \"table1\""), std::string::npos);
-  EXPECT_NE(bench.find("\"ok\": 30"), std::string::npos);
+  EXPECT_NE(bench.find("\"ok\": 32"), std::string::npos);
 
   // The regenerated Table 1 matches the committed reference within 1e-9.
   std::ifstream got(dir_ / "results" / "table1.csv");
@@ -241,7 +241,7 @@ TEST_F(CliSmokeTest, TraceAndMetricsExportsValidate) {
     EXPECT_GE(rec.queue_ms, 0.0);
     ++records;
   }
-  EXPECT_EQ(records, 30u);
+  EXPECT_EQ(records, 32u);
 
   // The trace validates against the strict Chrome schema and contains
   // engine worker-lane job spans plus at least one sim process with
@@ -279,7 +279,7 @@ TEST_F(CliSmokeTest, QuietStillPrintsSummaryFooterAndWrotePaths) {
       << read_file(dir_ / "stderr.log");
   const auto out = read_file(dir_ / "stdout.log");
   // The footer and the written-file paths survive --quiet...
-  EXPECT_NE(out.find("suite table1: 30 job(s), 30 ok"), std::string::npos)
+  EXPECT_NE(out.find("suite table1: 32 job(s), 32 ok"), std::string::npos)
       << out;
   EXPECT_NE(out.find("wrote "), std::string::npos);
   // ...while the banner, verbose tables and per-job progress are gone.

@@ -1,0 +1,110 @@
+// Property suite for the improved (per-model-aware) allocator over the
+// full check corpus: 9 generator families x 5 model kinds, >= 64 seeds
+// per cell (raise with MOLDSCHED_PROPERTY_SEEDS for the nightly sweep).
+//
+// Two properties per (family, kind) cell:
+//  1. Soundness — for every analytic kind, the improved makespan never
+//     exceeds that kind's derived constant times the Lemma 2 lower bound
+//     (kArbitrary has no constant; Theorem 9).
+//  2. No regression — over the same instances, the improved family's
+//     mean T / LB is no worse than plain LPA at the kind's optimal mu
+//     (general-model mu for kArbitrary, which is LPA's only analytic
+//     fallback there).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/improved.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/sched/improved_lpa.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+#include "moldsched/util/stats.hpp"
+
+namespace moldsched {
+namespace {
+
+int seeds_per_cell() {
+  if (const char* env = std::getenv("MOLDSCHED_PROPERTY_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 64;
+}
+
+double lpa_mu_for(model::ModelKind kind) {
+  return analysis::optimal_mu(kind == model::ModelKind::kArbitrary
+                                  ? model::ModelKind::kGeneral
+                                  : kind);
+}
+
+struct CorpusCell {
+  int family;
+  model::ModelKind kind;
+};
+
+std::string cell_name(const testing::TestParamInfo<CorpusCell>& info) {
+  return check::corpus_families()[static_cast<std::size_t>(
+             info.param.family)] +
+         "_" + model::to_string(info.param.kind);
+}
+
+class ImprovedRatioPropertyTest : public testing::TestWithParam<CorpusCell> {};
+
+TEST_P(ImprovedRatioPropertyTest, SoundAndNoWorseThanLpaOnAverage) {
+  const auto [family, kind] = GetParam();
+  const bool analytic = kind != model::ModelKind::kArbitrary;
+  const double bound =
+      analytic ? analysis::improved_optimal_ratio(kind).upper_bound : 0.0;
+  const sched::ImprovedLpaAllocator improved;
+  const core::LpaAllocator lpa(lpa_mu_for(kind));
+
+  util::Accumulator improved_ratio;
+  util::Accumulator lpa_ratio;
+  const int seeds = seeds_per_cell();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    // One private stream per (family, kind, seed) point, so cells and
+    // seeds are independent and any failure reproduces from its triple.
+    util::Rng rng(0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(seed) +
+                  static_cast<std::uint64_t>(family) * 131 +
+                  static_cast<std::uint64_t>(kind));
+    const int P = static_cast<int>(rng.uniform_int(1, 100));
+    const auto g = check::corpus_graph(family, kind, rng, P);
+    const double lb = analysis::optimal_makespan_lower_bound(g, P);
+
+    const auto r_improved = core::schedule_online(g, P, improved);
+    sim::expect_valid_schedule(g, r_improved.trace, P);
+    if (analytic) {
+      EXPECT_LE(r_improved.makespan, bound * lb * (1.0 + 1e-9))
+          << "seed " << seed << " P=" << P << ": improved ratio "
+          << r_improved.makespan / lb << " exceeds derived bound " << bound;
+    }
+
+    const auto r_lpa = core::schedule_online(g, P, lpa);
+    improved_ratio.add(r_improved.makespan / lb);
+    lpa_ratio.add(r_lpa.makespan / lb);
+  }
+
+  EXPECT_LE(improved_ratio.mean(), lpa_ratio.mean() * (1.0 + 1e-9))
+      << "improved mean " << improved_ratio.mean() << " vs lpa mean "
+      << lpa_ratio.mean() << " over " << seeds << " seeds";
+}
+
+std::vector<CorpusCell> all_cells() {
+  std::vector<CorpusCell> cells;
+  for (int family = 0; family < check::num_corpus_families(); ++family)
+    for (const auto kind : check::corpus_model_kinds())
+      cells.push_back({family, kind});
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ImprovedRatioPropertyTest,
+                         testing::ValuesIn(all_cells()), cell_name);
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,68 @@
+// Degenerate single-processor platform: with P = 1 every allocator must
+// collapse to serial execution, so every registered scheduler has to
+// produce a validator-clean schedule whose makespan is exactly the sum
+// of the tasks' serial times (one processor can never idle while work
+// remains, and no allocation other than 1 is admissible).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/ratios.hpp"
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+class SingleProcessorTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(SingleProcessorTest, SerializesEveryCorpusShape) {
+  const auto spec = sched::spec_by_name(GetParam(), 0.3);
+  util::Rng rng(41);
+  for (int family = 0; family < check::num_corpus_families(); ++family) {
+    for (const auto kind : check::corpus_model_kinds()) {
+      const auto g = check::corpus_graph(family, kind, rng, 1);
+      const auto result = spec.run(g, 1);
+      sim::expect_valid_schedule(g, result.trace, 1);
+      EXPECT_NEAR(result.makespan, analysis::total_serial_work(g),
+                  1e-9 * (1.0 + analysis::total_serial_work(g)))
+          << spec.name << " on family "
+          << check::corpus_families()[static_cast<std::size_t>(family)]
+          << " kind " << model::to_string(kind);
+      for (const int alloc : result.allocation)
+        EXPECT_EQ(alloc, 1) << spec.name;
+    }
+  }
+}
+
+TEST_P(SingleProcessorTest, HandlesSingleTaskAndEmptyChain) {
+  const auto spec = sched::spec_by_name(GetParam(), 0.3);
+  // Non-monotone table whose serial time is not its minimum: the only
+  // admissible allocation is still 1 processor.
+  graph::TaskGraph g;
+  g.add_task(std::make_shared<model::TableModel>(
+      std::vector<double>{5.0, 1.0, 9.0}));
+  const auto result = spec.run(g, 1);
+  sim::expect_valid_schedule(g, result.trace, 1);
+  EXPECT_NEAR(result.makespan, 5.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSuite, SingleProcessorTest,
+                         testing::ValuesIn(sched::full_suite_names()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (auto& c : n) {
+                             if (c == '-' || c == '/') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,142 @@
+// Unit tests of the per-model-aware ImprovedLpaAllocator: parameter
+// dispatch, the Step 1/Step 2 invariants, the degenerate P = 1 platform,
+// determinism, and compatibility with the CachingAllocator decorator.
+#include "moldsched/sched/improved_lpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "moldsched/analysis/improved.hpp"
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::sched {
+namespace {
+
+const std::vector<model::ModelKind> kAnalytic = {
+    model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+    model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+
+TEST(ImprovedLpaAllocator, NameIsStable) {
+  EXPECT_EQ(ImprovedLpaAllocator().name(), "improved-lpa");
+}
+
+TEST(ImprovedLpaAllocator, DispatchesToPerKindOptima) {
+  const ImprovedLpaAllocator alloc;
+  for (const auto kind : kAnalytic) {
+    const auto refined = analysis::improved_optimal_ratio(kind);
+    const auto params = alloc.params_for(kind);
+    EXPECT_DOUBLE_EQ(params.mu, refined.mu_star) << model::to_string(kind);
+    EXPECT_DOUBLE_EQ(params.threshold, refined.threshold);
+  }
+  // The arbitrary kind has no constant of its own; it borrows the
+  // general-model pair.
+  const auto general = alloc.params_for(model::ModelKind::kGeneral);
+  const auto arb = alloc.params_for(model::ModelKind::kArbitrary);
+  EXPECT_DOUBLE_EQ(arb.mu, general.mu);
+  EXPECT_DOUBLE_EQ(arb.threshold, general.threshold);
+}
+
+TEST(ImprovedLpaAllocator, CapMatchesCeilMuP) {
+  const ImprovedLpaAllocator alloc;
+  for (const auto kind : kAnalytic) {
+    const double mu = alloc.params_for(kind).mu;
+    for (const int P : {1, 2, 7, 64, 1000}) {
+      const int cap = alloc.cap(kind, P);
+      EXPECT_EQ(cap, static_cast<int>(std::ceil(mu * P - 1e-12)));
+      EXPECT_GE(cap, 1);
+      EXPECT_LE(cap, P);
+    }
+  }
+}
+
+TEST(ImprovedLpaAllocator, DecisionInvariantsOnSampledModels) {
+  const ImprovedLpaAllocator alloc;
+  util::Rng rng(11);
+  for (const auto kind : kAnalytic) {
+    const model::ModelSampler sampler(kind);
+    for (const int P : {2, 16, 100}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto m = sampler.sample(rng, P);
+        const auto d = alloc.decide(*m, P);
+        const auto params = alloc.params_for(kind);
+        EXPECT_GE(d.final_alloc, 1);
+        EXPECT_LE(d.final_alloc, alloc.cap(kind, P));
+        EXPECT_GE(d.initial, 1);
+        EXPECT_LE(d.initial, P);
+        // Step 1 admits only allocations within the kind's threshold
+        // (p_max itself has beta = 1, so the program is never empty).
+        EXPECT_LE(d.beta, params.threshold * (1.0 + 1e-9));
+        EXPECT_GE(d.alpha, 1.0 - 1e-12);
+        EXPECT_EQ(alloc.allocate(*m, P), d.final_alloc);
+      }
+    }
+  }
+}
+
+TEST(ImprovedLpaAllocator, ArbitraryTablesUseExhaustiveScan) {
+  const ImprovedLpaAllocator alloc;
+  // Non-monotone table: the binary-search shortcut would be wrong here,
+  // so the decision must still satisfy the Step 1 program exactly.
+  const model::TableModel m({10.0, 7.0, 9.0, 2.0, 8.0});
+  const int P = 5;
+  const auto d = alloc.decide(m, P);
+  const auto params = alloc.params_for(model::ModelKind::kArbitrary);
+  EXPECT_EQ(d.p_max, 4);  // argmin of the table
+  EXPECT_LE(d.beta, params.threshold * (1.0 + 1e-9));
+  // No admissible allocation with smaller area exists.
+  const double limit = params.threshold * d.t_min * (1.0 + 1e-9);
+  for (int p = 1; p <= P; ++p) {
+    const double t = m.time(p);
+    if (t <= limit) {
+      EXPECT_GE(t * p, d.alpha * d.a_min * (1.0 - 1e-9)) << "p=" << p;
+    }
+  }
+}
+
+TEST(ImprovedLpaAllocator, SingleProcessorAlwaysAllocatesOne) {
+  const ImprovedLpaAllocator alloc;
+  util::Rng rng(3);
+  for (const auto kind : kAnalytic) {
+    const model::ModelSampler sampler(kind);
+    const auto m = sampler.sample(rng, 1);
+    EXPECT_EQ(alloc.allocate(*m, 1), 1) << model::to_string(kind);
+  }
+  const model::TableModel table({4.2});
+  EXPECT_EQ(alloc.allocate(table, 1), 1);
+}
+
+TEST(ImprovedLpaAllocator, DeterministicAcrossInstances) {
+  const ImprovedLpaAllocator a;
+  const ImprovedLpaAllocator b;
+  util::Rng rng(17);
+  const model::ModelSampler sampler(model::ModelKind::kCommunication);
+  for (int rep = 0; rep < 16; ++rep) {
+    const auto m = sampler.sample(rng, 48);
+    EXPECT_EQ(a.allocate(*m, 48), b.allocate(*m, 48));
+  }
+}
+
+TEST(ImprovedLpaAllocator, CachingDecoratorIsDecisionIdentical) {
+  const ImprovedLpaAllocator bare;
+  const core::CachingAllocator cached(bare);
+  util::Rng rng(23);
+  for (const auto kind : kAnalytic) {
+    const model::ModelSampler sampler(kind);
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto m = sampler.sample(rng, 32);
+      const int expected = bare.allocate(*m, 32);
+      // First sighting populates the cache, the second must replay it.
+      EXPECT_EQ(cached.allocate(*m, 32), expected);
+      EXPECT_EQ(cached.allocate(*m, 32), expected);
+    }
+  }
+  EXPECT_GT(cached.cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace moldsched::sched

@@ -1,7 +1,8 @@
 // moldsched_run — the unified experiment CLI.
 //
 // Runs a named experiment suite (table1, ratio-curves, random-dags,
-// workflows, resilience, release) on the persistent work-stealing
+// workflows, resilience, selfcheck, release, improved) on the
+// persistent work-stealing
 // executor, streams one JSONL record per job, and writes the legacy
 // results/*.csv tables plus a machine-readable BENCH_<suite>.json perf
 // record. See EXPERIMENTS.md for the mapping from the old bench
