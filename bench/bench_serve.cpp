@@ -1,0 +1,370 @@
+// bench_serve — load generator for the scheduling service.
+//
+// Replays a catalog of instances (random DAGs, scientific workflows,
+// Section 4.4 adversary graphs, or a mix) against a svc::Server at a
+// configurable client concurrency: each worker thread opens its own
+// connection, streams one session at a time task by task, and closes it.
+// By default the server runs in process on an ephemeral port so the
+// binary is self-contained; --host/--port target an external
+// moldsched_serve instead.
+//
+// Output is BENCH_serve.json: request throughput, exact p50/p99 request
+// latencies (sorted-sample order statistics, not histogram
+// interpolation), per-error-code rejection counts, and — for the
+// in-process server — a snapshot of the svc.* metrics registry.
+// --overload shrinks the server's in-flight limit and piles on
+// concurrency so the admission path (overloaded replies) is the thing
+// being measured; the run must finish without hangs, and rejections are
+// expected rather than tolerated.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "moldsched/check/wire_check.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/svc/client.hpp"
+#include "moldsched/svc/server.hpp"
+#include "moldsched/svc/wire.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+struct CatalogEntry {
+  std::string name;
+  graph::TaskGraph graph;
+};
+
+std::vector<CatalogEntry> build_catalog(const std::string& which, int P,
+                                        double mu, std::uint64_t seed) {
+  std::vector<CatalogEntry> out;
+  util::Rng rng(seed);
+
+  const auto add = [&out](std::string name, graph::TaskGraph g) {
+    // Streaming requires id order to be topological; the relabel is the
+    // identity for graphs that already are (all but the in-tree).
+    out.push_back(
+        CatalogEntry{std::move(name), check::relabel_topological(g)});
+  };
+
+  if (which == "random" || which == "mixed") {
+    const model::ModelKind kinds[] = {
+        model::ModelKind::kRoofline, model::ModelKind::kCommunication,
+        model::ModelKind::kAmdahl, model::ModelKind::kGeneral};
+    int i = 0;
+    for (const auto kind : kinds) {
+      const model::ModelSampler sampler(kind);
+      const auto provider = graph::sampling_provider(sampler, rng, P);
+      add("random/layered-" + std::to_string(i),
+          graph::layered_random(6, 2, 8, 0.35, rng, provider));
+      add("random/erdos-" + std::to_string(i),
+          graph::erdos_renyi_dag(40, 0.08, rng, provider));
+      add("random/intree-" + std::to_string(i),
+          graph::random_in_tree(32, 3, rng, provider));
+      add("random/sp-" + std::to_string(i),
+          graph::series_parallel(36, rng, provider));
+      ++i;
+    }
+  }
+  if (which == "workflow" || which == "mixed") {
+    graph::WorkflowModelConfig config;
+    config.kind = model::ModelKind::kAmdahl;
+    add("workflow/cholesky", graph::cholesky(4, config));
+    add("workflow/lu", graph::lu(4, config));
+    config.kind = model::ModelKind::kCommunication;
+    add("workflow/fft", graph::fft(5, config));
+    add("workflow/montage", graph::montage(8, config));
+    config.kind = model::ModelKind::kGeneral;
+    add("workflow/wavefront", graph::wavefront(6, 6, config));
+  }
+  if (which == "adversary" || which == "mixed") {
+    add("adversary/roofline",
+        graph::roofline_adversary(std::max(P, 2), mu).graph);
+    add("adversary/communication",
+        graph::communication_adversary(std::max(P, 4), mu).graph);
+    add("adversary/amdahl", graph::amdahl_adversary(5, mu).graph);
+    add("adversary/general", graph::general_adversary(5, mu).graph);
+  }
+  if (out.empty())
+    throw std::invalid_argument(
+        "unknown catalog '" + which +
+        "' (known: random, workflow, adversary, mixed)");
+  return out;
+}
+
+struct WorkerStats {
+  std::vector<double> latencies_ms;  ///< every request round trip
+  std::uint64_t requests_ok = 0;
+  std::uint64_t tasks_released = 0;
+  std::uint64_t sessions_ok = 0;
+  std::uint64_t sessions_failed = 0;
+  std::map<std::string, std::uint64_t> rejections;  ///< error code -> count
+};
+
+/// Percentile by exact order statistic (nearest-rank) on a sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: bench_serve [options]\n"
+        "\n"
+        "options:\n"
+        "  --host H          target an external server (default: run one\n"
+        "                    in process on an ephemeral port)\n"
+        "  --port N          external server port (required with --host)\n"
+        "  --catalog C       random | workflow | adversary | mixed "
+        "(default mixed)\n"
+        "  --sessions N      total sessions to replay (default 60)\n"
+        "  --concurrency C   client threads, one connection each "
+        "(default 8)\n"
+        "  --P N             platform size per session (default 48)\n"
+        "  --scheduler NAME  scheduler to request (default lpa)\n"
+        "  --mu X            LPA parameter (default 0.25)\n"
+        "  --seed S          catalog RNG seed (default 1234)\n"
+        "  --max-inflight N  in-process server queue bound (default 256)\n"
+        "  --overload        provoke admission control: shrink the queue\n"
+        "                    bound to 2 and quadruple the offered load\n"
+        "  --out FILE        result JSON (default BENCH_serve.json)\n"
+        "  --quiet           suppress the progress line\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.has("help") || flags.has("h")) return usage(std::cout, 0);
+
+    const std::string catalog_name = flags.get_string("catalog", "mixed");
+    const bool overload = flags.get_bool("overload", false);
+    int sessions = static_cast<int>(flags.get_int("sessions", 60));
+    int concurrency = static_cast<int>(flags.get_int("concurrency", 8));
+    if (overload) {
+      sessions *= 2;
+      concurrency *= 4;
+    }
+    const int P = static_cast<int>(flags.get_int("P", 48));
+    const std::string scheduler = flags.get_string("scheduler", "lpa");
+    const double mu = flags.get_double("mu", 0.25);
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+    const std::string out_path =
+        flags.get_string("out", "BENCH_serve.json");
+    const bool quiet = flags.get_bool("quiet", false);
+    std::string host = flags.get_string("host", "");
+    int port = static_cast<int>(flags.get_int("port", 0));
+
+    const auto catalog = build_catalog(catalog_name, P, mu, seed);
+
+    // In-process server unless --host names an external one.
+    std::unique_ptr<svc::Server> server;
+    const bool in_process = host.empty();
+    if (in_process) {
+      svc::ServerLimits limits;
+      limits.max_in_flight = overload
+                                 ? 2
+                                 : static_cast<int>(
+                                       flags.get_int("max-inflight", 256));
+      limits.max_sessions = std::max(64, concurrency * 2);
+      server = std::make_unique<svc::Server>(limits);
+      host = "127.0.0.1";
+      port = server->listen(host, 0);
+    } else if (port == 0) {
+      std::cerr << "bench_serve: --host requires --port\n";
+      return 2;
+    }
+
+    std::atomic<int> next_session{0};
+    std::vector<WorkerStats> stats(static_cast<std::size_t>(concurrency));
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(concurrency));
+    for (int w = 0; w < concurrency; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerStats& st = stats[static_cast<std::size_t>(w)];
+        svc::Client client;
+        client.connect(host, port);
+        const auto timed = [&st, &client](const std::string& payload) {
+          const auto s = std::chrono::steady_clock::now();
+          std::string reply = client.roundtrip(payload);
+          st.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - s)
+                  .count());
+          return reply;
+        };
+        for (;;) {
+          const int i = next_session.fetch_add(1);
+          if (i >= sessions) return;
+          const CatalogEntry& entry =
+              catalog[static_cast<std::size_t>(i) % catalog.size()];
+          svc::OpenParams open;
+          open.scheduler = scheduler;
+          open.P = P;
+          open.mu = mu;
+          bool failed = false;
+          const auto note_error = [&st, &failed](const svc::Error& e) {
+            ++st.rejections[svc::to_string(e.code)];
+            failed = true;
+          };
+          const svc::OpenReply opened = svc::parse_open_reply(
+              timed(svc::open_request_json(open, 1)));
+          if (!opened.ok) {
+            note_error(opened.error);
+            ++st.sessions_failed;
+            continue;
+          }
+          ++st.requests_ok;
+          const graph::TaskGraph& g = entry.graph;
+          for (graph::TaskId v = 0; v < g.num_tasks() && !failed; ++v) {
+            svc::ReleaseParams release;
+            release.name = g.name(v);
+            release.model = g.model_ptr(v);
+            for (const graph::TaskId u : g.predecessors(v))
+              release.preds.push_back(u);
+            release.expected_task = v;
+            const svc::ReleaseReply rr =
+                svc::parse_release_reply(timed(svc::release_request_json(
+                    opened.session, release, v + 2)));
+            if (!rr.ok) {
+              note_error(rr.error);
+            } else {
+              ++st.requests_ok;
+              ++st.tasks_released;
+            }
+          }
+          const svc::CloseReply closed = svc::parse_close_reply(
+              timed(svc::close_request_json(opened.session, 0)));
+          if (!closed.ok)
+            note_error(closed.error);
+          else
+            ++st.requests_ok;
+          if (failed)
+            ++st.sessions_failed;
+          else
+            ++st.sessions_ok;
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+    if (server) {
+      server->stop();
+      server->wait();
+    }
+
+    // Merge worker stats.
+    std::vector<double> latencies;
+    std::uint64_t requests_ok = 0, tasks = 0, sess_ok = 0, sess_failed = 0;
+    std::map<std::string, std::uint64_t> rejections;
+    for (const auto& st : stats) {
+      latencies.insert(latencies.end(), st.latencies_ms.begin(),
+                       st.latencies_ms.end());
+      requests_ok += st.requests_ok;
+      tasks += st.tasks_released;
+      sess_ok += st.sessions_ok;
+      sess_failed += st.sessions_failed;
+      for (const auto& [code, n] : st.rejections) rejections[code] += n;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double total_requests = static_cast<double>(latencies.size());
+    const double p50 = percentile(latencies, 0.50);
+    const double p99 = percentile(latencies, 0.99);
+    std::uint64_t rejected = 0;
+    for (const auto& [code, n] : rejections) rejected += n;
+    const double reject_rate =
+        total_requests > 0 ? static_cast<double>(rejected) / total_requests
+                           : 0.0;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"bench\": \"serve\",\n"
+       << "  \"catalog\": \"" << catalog_name << "\",\n"
+       << "  \"in_process_server\": " << (in_process ? "true" : "false")
+       << ",\n"
+       << "  \"overload\": " << (overload ? "true" : "false") << ",\n"
+       << "  \"sessions\": " << sessions << ",\n"
+       << "  \"concurrency\": " << concurrency << ",\n"
+       << "  \"P\": " << P << ",\n"
+       << "  \"scheduler\": \"" << scheduler << "\",\n"
+       << "  \"wall_s\": " << svc::wire_number(wall_s) << ",\n"
+       << "  \"requests\": " << static_cast<std::uint64_t>(total_requests)
+       << ",\n"
+       << "  \"requests_ok\": " << requests_ok << ",\n"
+       << "  \"tasks_released\": " << tasks << ",\n"
+       << "  \"sessions_ok\": " << sess_ok << ",\n"
+       << "  \"sessions_failed\": " << sess_failed << ",\n"
+       << "  \"throughput_rps\": "
+       << svc::wire_number(wall_s > 0 ? total_requests / wall_s : 0.0)
+       << ",\n"
+       << "  \"latency_ms\": {\"p50\": " << svc::wire_number(p50)
+       << ", \"p99\": " << svc::wire_number(p99) << ", \"min\": "
+       << svc::wire_number(latencies.empty() ? 0.0 : latencies.front())
+       << ", \"max\": "
+       << svc::wire_number(latencies.empty() ? 0.0 : latencies.back())
+       << "},\n"
+       << "  \"rejected\": " << rejected << ",\n"
+       << "  \"reject_rate\": " << svc::wire_number(reject_rate) << ",\n"
+       << "  \"rejections\": {";
+    bool first = true;
+    for (const auto& [code, n] : rejections) {
+      if (!first) js << ", ";
+      first = false;
+      js << '"' << code << "\": " << n;
+    }
+    js << "},\n"
+       << "  \"metrics\": "
+       << (in_process ? obs::default_registry().to_json(2) : "null") << "\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_serve: cannot write " << out_path << '\n';
+      return 1;
+    }
+    out << js.str();
+    out.close();
+
+    if (!quiet)
+      std::cout << "bench_serve: " << sessions << " sessions ("
+                << sess_ok << " ok, " << sess_failed << " failed), "
+                << static_cast<std::uint64_t>(total_requests)
+                << " requests in " << wall_s << " s, p50 " << p50
+                << " ms, p99 " << p99 << " ms, rejected " << rejected
+                << "\nwrote " << out_path << '\n';
+
+    // Overload runs exist to exercise admission control; finishing with
+    // zero rejections means the queue bound never engaged.
+    if (overload && rejected == 0) {
+      std::cerr << "bench_serve: --overload produced no rejections\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -27,6 +27,7 @@
 #include "moldsched/check/corpus.hpp"
 #include "moldsched/check/differential.hpp"
 #include "moldsched/check/shrink.hpp"
+#include "moldsched/check/wire_check.hpp"
 #include "moldsched/core/allocator.hpp"
 #include "moldsched/core/online_scheduler.hpp"
 #include "moldsched/engine/runner.hpp"
@@ -965,7 +966,19 @@ JobRecord selfcheck_run(const JobSpec& spec, const CancelToken& token) {
     rec.error = alloc->name() + ": " + report.to_string() + "\n" + repro;
     return rec;
   }
+  // The wire path must be equally indistinguishable: graph codec round
+  // trip plus a streamed svc::Session, against the same instance. (Runs
+  // after all RNG draws, so the corpus stream stays aligned with the
+  // gtest fuzzer's.)
+  const auto wire_report = check::wire_roundtrip_check(g, P, "lpa", mu, policy);
+  if (!wire_report.ok()) {
+    rec.status = "error";
+    rec.error = "wire: " + wire_report.to_string();
+    return rec;
+  }
+
   rec.set("mismatches", 0.0);
+  rec.set("wire_relabeled", wire_report.relabeled ? 1.0 : 0.0);
   rec.set("makespan", lpa_report.makespan);
   rec.set("lower_bound", lpa_report.lower_bound);
   rec.set("cache_hits", static_cast<double>(lpa_report.cache_hits));

@@ -1,6 +1,7 @@
 #include "moldsched/io/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -18,11 +19,10 @@ namespace {
 // ---------------------------------------------------------------------------
 // parse_json
 
-constexpr int kMaxJsonDepth = 256;
-
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonParser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value(0);
@@ -32,9 +32,22 @@ class JsonParser {
   }
 
  private:
+  /// Errors carry byte offset plus line/column so a malformed frame in a
+  /// multi-line document (or a server log) pinpoints the defect.
   [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
     throw std::invalid_argument("parse_json: " + what + " at byte " +
-                                std::to_string(pos_));
+                                std::to_string(pos_) + " (line " +
+                                std::to_string(line) + ", column " +
+                                std::to_string(col) + ")");
   }
 
   void skip_ws() {
@@ -142,20 +155,54 @@ class JsonParser {
     }
   }
 
+  [[nodiscard]] bool digit_at(std::size_t i) const {
+    return i < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i])) != 0;
+  }
+
+  /// Strict JSON number grammar: '-'? ('0' | [1-9][0-9]*) ('.' [0-9]+)?
+  /// ([eE] [+-]? [0-9]+)?. strtod alone is too permissive (it accepts
+  /// "+1", ".5", "1.", "0x10", "inf"), so the token is scanned first and
+  /// strtod only converts what the grammar admitted.
   JsonValue parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0') {
+    if (!digit_at(pos_)) {
       pos_ = start;
-      fail("malformed number '" + token + "'");
+      fail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit_at(pos_)) {
+        pos_ = start;
+        fail("malformed number (leading zero)");
+      }
+    } else {
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) {
+        pos_ = start;
+        fail("malformed number (bare decimal point)");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digit_at(pos_)) {
+        pos_ = start;
+        fail("malformed number (missing exponent digits)");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number '" + token + "' outside the finite double range");
     }
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
@@ -164,7 +211,7 @@ class JsonParser {
   }
 
   JsonValue parse_value(int depth) {
-    if (depth > kMaxJsonDepth) fail("nesting too deep");
+    if (depth > max_depth_) fail("nesting too deep");
     skip_ws();
     const char c = peek();
     JsonValue v;
@@ -222,8 +269,11 @@ class JsonParser {
   }
 
   const std::string& text_;
+  int max_depth_;
   std::size_t pos_ = 0;
 };
+
+}  // namespace
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -234,13 +284,24 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters as \u00XX — required for valid
+          // JSON when echoing untrusted strings (svc task names).
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   return out;
 }
-
-}  // namespace
 
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (type != Type::kObject) return nullptr;
@@ -256,8 +317,10 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   return *v;
 }
 
-JsonValue parse_json(const std::string& text) {
-  return JsonParser(text).parse_document();
+JsonValue parse_json(const std::string& text, int max_depth) {
+  if (max_depth < 1)
+    throw std::invalid_argument("parse_json: max_depth must be >= 1");
+  return JsonParser(text, max_depth).parse_document();
 }
 
 std::string graph_to_json(const graph::TaskGraph& g) {

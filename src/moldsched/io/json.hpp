@@ -48,10 +48,24 @@ struct JsonValue {
 };
 
 /// Strict recursive-descent parse of one JSON document. Throws
-/// std::invalid_argument (with byte offset) on syntax errors, trailing
-/// garbage, or nesting deeper than 256 levels. \uXXXX escapes are
-/// decoded to UTF-8 (surrogate pairs included).
-[[nodiscard]] JsonValue parse_json(const std::string& text);
+/// std::invalid_argument (with byte offset, line and column) on syntax
+/// errors, trailing garbage, numbers outside the strict JSON grammar
+/// (leading zeros, bare '.', missing exponent digits) or outside the
+/// finite double range, or nesting deeper than `max_depth` levels. The
+/// depth limit exists because this parser also sits on the svc network
+/// boundary, where a hostile peer could otherwise exhaust the stack with
+/// "[[[[...". \uXXXX escapes are decoded to UTF-8 (surrogate pairs
+/// included); unpaired surrogates are rejected.
+inline constexpr int kDefaultMaxJsonDepth = 256;
+[[nodiscard]] JsonValue parse_json(const std::string& text,
+                                   int max_depth = kDefaultMaxJsonDepth);
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes and every control character below 0x20 (the common ones
+/// as \n-style shorthands, the rest as \u00XX). Exposed because every
+/// JSON writer in the library — and the svc wire encoder, which echoes
+/// client-supplied names back over the network — must agree on it.
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 /// {"tasks": [{"id", "name", "model", ...params}], "edges": [[u, v]]}.
 /// Eq. (1)-family tasks carry their (w, d, c, pbar) parameters;

@@ -63,8 +63,26 @@
 #include "moldsched/analysis/ratios.hpp"
 #include "moldsched/analysis/report.hpp"
 
+// Differential self-checking: hot-path equivalence, instance shrinking,
+// the shared fuzz corpus, and the service wire-path differential
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/check/differential.hpp"
+#include "moldsched/check/shrink.hpp"
+#include "moldsched/check/wire_check.hpp"
+
+// Observability: metrics registry, Chrome traces, scheduler observers
+#include "moldsched/obs/obs.hpp"
+
 // Parallel experiment engine (job grids, executor, JSONL results, suites)
 #include "moldsched/engine/engine.hpp"
+
+// Scheduling service: streaming online RPC (framing, protocol, session
+// state machine, TCP server and client)
+#include "moldsched/svc/client.hpp"
+#include "moldsched/svc/protocol.hpp"
+#include "moldsched/svc/server.hpp"
+#include "moldsched/svc/session.hpp"
+#include "moldsched/svc/wire.hpp"
 
 // Import/export
 #include "moldsched/io/dot.hpp"

@@ -1,0 +1,108 @@
+#include "moldsched/svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace moldsched::svc {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { disconnect(); }
+
+void Client::connect(const std::string& host, int port) {
+  if (fd_ >= 0) throw std::logic_error("Client::connect: already connected");
+  if (port < 1 || port > 65535)
+    throw std::invalid_argument("Client::connect: port out of range");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("Client::connect: bad IPv4 host '" + host +
+                                "'");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(errno_message("socket"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string msg = errno_message("connect");
+    ::close(fd);
+    throw std::runtime_error(msg);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_all(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(errno_message("Client send"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_frame() {
+  for (;;) {
+    if (auto payload = reader_.next()) return *payload;
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0)
+      throw std::runtime_error("Client: server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(errno_message("Client recv"));
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::roundtrip(const std::string& payload) {
+  if (fd_ < 0) throw std::logic_error("Client: not connected");
+  send_all(encode_frame(payload, max_frame_));
+  return read_frame();
+}
+
+OpenReply Client::open(const OpenParams& params) {
+  return parse_open_reply(roundtrip(open_request_json(params, ++next_seq_)));
+}
+
+ReleaseReply Client::release(const std::string& session,
+                             const ReleaseParams& params) {
+  return parse_release_reply(
+      roundtrip(release_request_json(session, params, ++next_seq_)));
+}
+
+CloseReply Client::close_session(const std::string& session) {
+  return parse_close_reply(
+      roundtrip(close_request_json(session, ++next_seq_)));
+}
+
+StopReply Client::stop_server() {
+  return parse_stop_reply(roundtrip(stop_request_json(++next_seq_)));
+}
+
+}  // namespace moldsched::svc

@@ -1,0 +1,62 @@
+// Blocking TCP client of the scheduling service.
+//
+// One Client wraps one connection and speaks the protocol in lockstep:
+// each call sends a frame and blocks for the matching reply. Transport
+// failures (connect/read/write errors, oversized frames, a server that
+// hangs up) throw std::runtime_error; application-level failures come
+// back inside the reply structs with ok == false and the error code set,
+// so callers can distinguish "the network broke" from "the server said
+// no". Not thread-safe; use one Client per thread (the load generator
+// does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "moldsched/svc/protocol.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::svc {
+
+class Client {
+ public:
+  explicit Client(std::size_t max_frame = kDefaultMaxFrameBytes)
+      : reader_(max_frame), max_frame_(max_frame) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to an IPv4 host. Throws std::runtime_error on failure.
+  void connect(const std::string& host, int port);
+  void disconnect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// session.open. On ok, reply.session is the id for release/close.
+  [[nodiscard]] OpenReply open(const OpenParams& params);
+
+  /// task.release for the next task. `expected_task` in params guards
+  /// against duplicated or reordered streams (server checks it).
+  [[nodiscard]] ReleaseReply release(const std::string& session,
+                                     const ReleaseParams& params);
+
+  [[nodiscard]] CloseReply close_session(const std::string& session);
+
+  /// server.stop; the server must run with allow_remote_stop.
+  [[nodiscard]] StopReply stop_server();
+
+  /// Sends a raw payload and returns the raw reply payload — the escape
+  /// hatch for protocol tests (malformed requests, unknown ops).
+  [[nodiscard]] std::string roundtrip(const std::string& payload);
+
+ private:
+  void send_all(const std::string& bytes);
+  [[nodiscard]] std::string read_frame();
+  std::int64_t next_seq_ = 0;
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::size_t max_frame_;
+};
+
+}  // namespace moldsched::svc

@@ -1,0 +1,384 @@
+#include "moldsched/svc/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::svc {
+
+namespace {
+
+[[nodiscard]] const io::JsonValue& member(const io::JsonValue& v,
+                                          const std::string& key,
+                                          const char* who) {
+  const auto* f = v.find(key);
+  if (f == nullptr)
+    throw std::invalid_argument(std::string(who) + ": missing '" + key +
+                                "'");
+  return *f;
+}
+
+[[nodiscard]] std::string string_field(const io::JsonValue& v,
+                                       const std::string& key,
+                                       const char* who) {
+  const auto& f = member(v, key, who);
+  if (!f.is_string())
+    throw std::invalid_argument(std::string(who) + ": '" + key +
+                                "' must be a string");
+  return f.string;
+}
+
+[[nodiscard]] int int_field(const io::JsonValue& v, const std::string& key,
+                            const char* who) {
+  const auto& f = member(v, key, who);
+  if (!f.is_number() || f.number != std::floor(f.number) ||
+      std::abs(f.number) > 2147483647.0)
+    throw std::invalid_argument(std::string(who) + ": '" + key +
+                                "' must be a 32-bit integer");
+  return static_cast<int>(f.number);
+}
+
+[[nodiscard]] core::QueuePolicy policy_from_string(const std::string& s) {
+  if (s == "fifo") return core::QueuePolicy::kFifo;
+  if (s == "lifo") return core::QueuePolicy::kLifo;
+  if (s == "largest-work") return core::QueuePolicy::kLargestWorkFirst;
+  if (s == "longest-min-time")
+    return core::QueuePolicy::kLongestMinTimeFirst;
+  if (s == "smallest-alloc") return core::QueuePolicy::kSmallestAllocFirst;
+  throw std::invalid_argument(
+      "unknown queue policy '" + s +
+      "' (known: fifo, lifo, largest-work, longest-min-time, "
+      "smallest-alloc)");
+}
+
+void append_error(std::ostringstream& os, const Error& e) {
+  os << "\"ok\":false,\"error\":{\"code\":\"" << to_string(e.code)
+     << "\",\"message\":\"" << io::json_escape(e.message) << "\"}";
+}
+
+/// Shared ok/error head of every reply parse.
+void parse_reply_head(const io::JsonValue& v, bool& ok, Error& error,
+                      std::int64_t& seq) {
+  if (!v.is_object())
+    throw std::invalid_argument("svc reply: payload is not an object");
+  const auto* okf = v.find("ok");
+  if (okf == nullptr || !okf->is_bool())
+    throw std::invalid_argument("svc reply: missing boolean 'ok'");
+  ok = okf->boolean;
+  const auto* seqf = v.find("seq");
+  seq = seqf != nullptr && seqf->is_number()
+            ? static_cast<std::int64_t>(seqf->number)
+            : 0;
+  if (!ok) {
+    const auto* err = v.find("error");
+    if (err == nullptr || !err->is_object())
+      throw std::invalid_argument("svc reply: error reply without 'error'");
+    error.code = error_code_from_string(
+        string_field(*err, "code", "svc reply"));
+    const auto* msg = err->find("message");
+    if (msg != nullptr && msg->is_string()) error.message = msg->string;
+  }
+}
+
+}  // namespace
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kForbidden: return "forbidden";
+    case ErrorCode::kInternal: return "internal";
+  }
+  throw std::logic_error("to_string: unknown ErrorCode");
+}
+
+ErrorCode error_code_from_string(const std::string& s) {
+  if (s == "parse_error") return ErrorCode::kParseError;
+  if (s == "bad_request") return ErrorCode::kBadRequest;
+  if (s == "unknown_op") return ErrorCode::kUnknownOp;
+  if (s == "unknown_session") return ErrorCode::kUnknownSession;
+  if (s == "overloaded") return ErrorCode::kOverloaded;
+  if (s == "quota_exceeded") return ErrorCode::kQuotaExceeded;
+  if (s == "shutting_down") return ErrorCode::kShuttingDown;
+  if (s == "forbidden") return ErrorCode::kForbidden;
+  if (s == "internal") return ErrorCode::kInternal;
+  throw std::invalid_argument("error_code_from_string: unknown code '" + s +
+                              "'");
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing (server side)
+
+Request parse_request(const std::string& payload) {
+  io::JsonValue doc;
+  try {
+    doc = io::parse_json(payload);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("parse_error: ") + e.what());
+  }
+  if (!doc.is_object())
+    throw std::invalid_argument("parse_error: request is not an object");
+
+  Request req;
+  const auto* seq = doc.find("seq");
+  if (seq != nullptr && seq->is_number())
+    req.seq = static_cast<std::int64_t>(seq->number);
+
+  const std::string op = string_field(doc, "op", "request");
+  if (op == "session.open") {
+    req.op = Request::Op::kOpen;
+    const auto* sched = doc.find("scheduler");
+    if (sched != nullptr) {
+      if (!sched->is_string())
+        throw std::invalid_argument("request: 'scheduler' must be a string");
+      req.open.scheduler = sched->string;
+    }
+    req.open.P = int_field(doc, "P", "request");
+    if (req.open.P < 1)
+      throw std::invalid_argument("request: P must be >= 1");
+    const auto* mu = doc.find("mu");
+    if (mu != nullptr) {
+      if (!mu->is_number())
+        throw std::invalid_argument("request: 'mu' must be a number");
+      req.open.mu = mu->number;
+    }
+    const auto* policy = doc.find("policy");
+    if (policy != nullptr) {
+      if (!policy->is_string())
+        throw std::invalid_argument("request: 'policy' must be a string");
+      req.open.policy = policy_from_string(policy->string);
+    }
+    const auto* trace = doc.find("trace");
+    if (trace != nullptr) {
+      if (!trace->is_bool())
+        throw std::invalid_argument("request: 'trace' must be a boolean");
+      req.open.trace = trace->boolean;
+    }
+    return req;
+  }
+  if (op == "task.release") {
+    req.op = Request::Op::kRelease;
+    req.session = string_field(doc, "session", "request");
+    const auto* name = doc.find("name");
+    if (name != nullptr && name->is_string()) req.release.name = name->string;
+    req.release.model = decode_model(member(doc, "model", "request"));
+    const auto* preds = doc.find("preds");
+    if (preds != nullptr) {
+      if (!preds->is_array())
+        throw std::invalid_argument("request: 'preds' must be an array");
+      for (const auto& p : preds->array) {
+        if (!p.is_number() || p.number != std::floor(p.number) || p.number < 0)
+          throw std::invalid_argument(
+              "request: 'preds' entries must be non-negative integers");
+        req.release.preds.push_back(static_cast<int>(p.number));
+      }
+    }
+    const auto* expected = doc.find("task");
+    if (expected != nullptr)
+      req.release.expected_task = int_field(doc, "task", "request");
+    return req;
+  }
+  if (op == "session.close") {
+    req.op = Request::Op::kClose;
+    req.session = string_field(doc, "session", "request");
+    return req;
+  }
+  if (op == "server.stop") {
+    req.op = Request::Op::kStop;
+    return req;
+  }
+  throw std::invalid_argument("unknown_op: '" + op + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Request building (client side)
+
+std::string open_request_json(const OpenParams& p, std::int64_t seq) {
+  std::ostringstream os;
+  os << "{\"op\":\"session.open\",\"seq\":" << seq << ",\"scheduler\":\""
+     << io::json_escape(p.scheduler) << "\",\"P\":" << p.P
+     << ",\"mu\":" << wire_number(p.mu) << ",\"policy\":\""
+     << core::to_string(p.policy) << "\",\"trace\":"
+     << (p.trace ? "true" : "false") << '}';
+  return os.str();
+}
+
+std::string release_request_json(const std::string& session,
+                                 const ReleaseParams& p, std::int64_t seq) {
+  if (!p.model)
+    throw std::invalid_argument("release_request_json: model is required");
+  std::ostringstream os;
+  os << "{\"op\":\"task.release\",\"seq\":" << seq << ",\"session\":\""
+     << io::json_escape(session) << "\",\"name\":\""
+     << io::json_escape(p.name) << "\",\"model\":" << encode_model(*p.model)
+     << ",\"preds\":[";
+  for (std::size_t i = 0; i < p.preds.size(); ++i) {
+    if (i > 0) os << ',';
+    os << p.preds[i];
+  }
+  os << ']';
+  if (p.expected_task) os << ",\"task\":" << *p.expected_task;
+  os << '}';
+  return os.str();
+}
+
+std::string close_request_json(const std::string& session, std::int64_t seq) {
+  std::ostringstream os;
+  os << "{\"op\":\"session.close\",\"seq\":" << seq << ",\"session\":\""
+     << io::json_escape(session) << "\"}";
+  return os.str();
+}
+
+std::string stop_request_json(std::int64_t seq) {
+  return "{\"op\":\"server.stop\",\"seq\":" + std::to_string(seq) + "}";
+}
+
+// ---------------------------------------------------------------------------
+// Reply building (server side)
+
+std::string error_reply_json(std::int64_t seq, ErrorCode code,
+                             const std::string& message) {
+  std::ostringstream os;
+  os << "{\"seq\":" << seq << ',';
+  append_error(os, Error{code, message});
+  os << '}';
+  return os.str();
+}
+
+std::string open_reply_json(const OpenReply& r) {
+  if (!r.ok) return error_reply_json(r.seq, r.error.code, r.error.message);
+  std::ostringstream os;
+  os << "{\"seq\":" << r.seq << ",\"ok\":true,\"session\":\""
+     << io::json_escape(r.session) << "\",\"scheduler\":\""
+     << io::json_escape(r.scheduler) << "\",\"P\":" << r.P << '}';
+  return os.str();
+}
+
+std::string release_reply_json(const ReleaseReply& r) {
+  if (!r.ok) return error_reply_json(r.seq, r.error.code, r.error.message);
+  std::ostringstream os;
+  os << "{\"seq\":" << r.seq << ",\"ok\":true,\"task\":" << r.task
+     << ",\"alloc\":" << r.alloc << ",\"ready\":" << wire_number(r.ready)
+     << ",\"start\":" << wire_number(r.start)
+     << ",\"end\":" << wire_number(r.end) << ",\"projected_makespan\":"
+     << wire_number(r.projected_makespan) << '}';
+  return os.str();
+}
+
+std::string close_reply_json(const CloseReply& r) {
+  if (!r.ok) return error_reply_json(r.seq, r.error.code, r.error.message);
+  std::ostringstream os;
+  os << "{\"seq\":" << r.seq << ",\"ok\":true,\"makespan\":"
+     << wire_number(r.makespan) << ",\"lower_bound\":"
+     << wire_number(r.lower_bound) << ",\"ratio\":" << wire_number(r.ratio)
+     << ",\"num_tasks\":" << r.num_tasks << ",\"num_events\":" << r.num_events
+     << ",\"allocation\":[";
+  for (std::size_t i = 0; i < r.allocation.size(); ++i) {
+    if (i > 0) os << ',';
+    os << r.allocation[i];
+  }
+  os << "],\"records\":[";
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    if (i > 0) os << ',';
+    const auto& rec = r.records[i];
+    os << "{\"task\":" << rec.task << ",\"start\":" << wire_number(rec.start)
+       << ",\"end\":" << wire_number(rec.end) << ",\"procs\":" << rec.procs
+       << '}';
+  }
+  os << "],\"stats\":{\"releases\":" << r.stats.releases
+     << ",\"reschedules\":" << r.stats.reschedules << ",\"schedule_ms\":"
+     << wire_number(r.stats.schedule_ms) << '}';
+  if (!r.trace_json.empty())
+    os << ",\"trace_json\":\"" << io::json_escape(r.trace_json) << '"';
+  os << '}';
+  return os.str();
+}
+
+std::string stop_reply_json(const StopReply& r) {
+  if (!r.ok) return error_reply_json(r.seq, r.error.code, r.error.message);
+  return "{\"seq\":" + std::to_string(r.seq) + ",\"ok\":true}";
+}
+
+// ---------------------------------------------------------------------------
+// Reply parsing (client side)
+
+OpenReply parse_open_reply(const std::string& payload) {
+  const auto doc = io::parse_json(payload);
+  OpenReply r;
+  parse_reply_head(doc, r.ok, r.error, r.seq);
+  if (!r.ok) return r;
+  r.session = string_field(doc, "session", "open reply");
+  r.scheduler = string_field(doc, "scheduler", "open reply");
+  r.P = int_field(doc, "P", "open reply");
+  return r;
+}
+
+ReleaseReply parse_release_reply(const std::string& payload) {
+  const auto doc = io::parse_json(payload);
+  ReleaseReply r;
+  parse_reply_head(doc, r.ok, r.error, r.seq);
+  if (!r.ok) return r;
+  r.task = int_field(doc, "task", "release reply");
+  r.alloc = int_field(doc, "alloc", "release reply");
+  r.ready = member(doc, "ready", "release reply").number;
+  r.start = member(doc, "start", "release reply").number;
+  r.end = member(doc, "end", "release reply").number;
+  r.projected_makespan =
+      member(doc, "projected_makespan", "release reply").number;
+  return r;
+}
+
+CloseReply parse_close_reply(const std::string& payload) {
+  const auto doc = io::parse_json(payload);
+  CloseReply r;
+  parse_reply_head(doc, r.ok, r.error, r.seq);
+  if (!r.ok) return r;
+  r.makespan = member(doc, "makespan", "close reply").number;
+  r.lower_bound = member(doc, "lower_bound", "close reply").number;
+  r.ratio = member(doc, "ratio", "close reply").number;
+  r.num_tasks = int_field(doc, "num_tasks", "close reply");
+  r.num_events = static_cast<std::uint64_t>(
+      member(doc, "num_events", "close reply").number);
+  const auto& alloc = member(doc, "allocation", "close reply");
+  if (!alloc.is_array())
+    throw std::invalid_argument("close reply: 'allocation' must be an array");
+  for (const auto& a : alloc.array)
+    r.allocation.push_back(static_cast<int>(a.number));
+  const auto& records = member(doc, "records", "close reply");
+  if (!records.is_array())
+    throw std::invalid_argument("close reply: 'records' must be an array");
+  for (const auto& rec : records.array) {
+    sim::TaskRecord t;
+    t.task = int_field(rec, "task", "close reply record");
+    t.start = member(rec, "start", "close reply record").number;
+    t.end = member(rec, "end", "close reply record").number;
+    t.procs = int_field(rec, "procs", "close reply record");
+    r.records.push_back(t);
+  }
+  const auto& stats = member(doc, "stats", "close reply");
+  r.stats.releases = static_cast<std::uint64_t>(
+      member(stats, "releases", "close reply stats").number);
+  r.stats.reschedules = static_cast<std::uint64_t>(
+      member(stats, "reschedules", "close reply stats").number);
+  r.stats.schedule_ms =
+      member(stats, "schedule_ms", "close reply stats").number;
+  const auto* trace = doc.find("trace_json");
+  if (trace != nullptr && trace->is_string()) r.trace_json = trace->string;
+  return r;
+}
+
+StopReply parse_stop_reply(const std::string& payload) {
+  const auto doc = io::parse_json(payload);
+  StopReply r;
+  parse_reply_head(doc, r.ok, r.error, r.seq);
+  return r;
+}
+
+}  // namespace moldsched::svc

@@ -1,0 +1,91 @@
+// One scheduling session: the server-side state machine behind the
+// session.open / task.release / session.close protocol.
+//
+// A session accumulates the streamed instance into a TaskGraph and
+// answers each release with the task's final allocation plus its
+// start/finish in the schedule of the prefix revealed so far. Re-running
+// the *actual* Algorithm 1 engine on the prefix — rather than keeping a
+// bespoke incremental simulator — is what makes the close reply
+// byte-identical to an in-process run by construction: the same
+// SchedulerSpec executes the same graph. The prefix re-runs stay cheap
+// because registry specs memoize their Algorithm 2 decisions in the
+// process-wide DecisionCache, so only the event simulation repeats.
+//
+// Sessions are not thread-safe; the server serializes access per session.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/svc/protocol.hpp"
+
+namespace moldsched::svc {
+
+/// Application error raised by Session; the server turns it into an
+/// error reply with the carried code.
+class SessionError : public std::runtime_error {
+ public:
+  SessionError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Session {
+ public:
+  /// Resolves `params.scheduler` through sched::spec_by_name at
+  /// `params.mu`. Throws SessionError(kBadRequest) for unknown scheduler
+  /// names or an out-of-range mu.
+  Session(std::string id, const OpenParams& params);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] int P() const noexcept { return params_.P; }
+  [[nodiscard]] const std::string& scheduler_name() const noexcept {
+    return spec_.name;
+  }
+  [[nodiscard]] int num_tasks() const noexcept { return graph_.num_tasks(); }
+  [[nodiscard]] const graph::TaskGraph& graph() const noexcept {
+    return graph_;
+  }
+
+  /// Adds the released task and reports its allocation and projected
+  /// start/finish under the prefix instance. Throws SessionError
+  /// (kBadRequest) on a missing model, an id mismatch (duplicate or
+  /// reordered release), or predecessors that were never released.
+  [[nodiscard]] ReleaseReply release(const ReleaseParams& params);
+
+  /// The authoritative result: schedules the full accumulated instance
+  /// (reusing the last prefix run — the prefix *is* the full instance
+  /// after the final release) and reports makespan, the Lemma 2 lower
+  /// bound, their ratio, allocations, trace records and session stats.
+  /// A zero-task session closes with makespan 0 and ratio 1.
+  [[nodiscard]] CloseReply close();
+
+  /// Seconds since the last release/close touched this session
+  /// (monotonic clock); drives the server's idle reaper.
+  [[nodiscard]] double idle_seconds() const;
+
+ private:
+  void touch();
+  const core::ScheduleResult& run_prefix();
+
+  std::string id_;
+  OpenParams params_;
+  sched::SchedulerSpec spec_;
+  graph::TaskGraph graph_;
+  /// Schedule of the first `result_tasks_` tasks; reused when no release
+  /// happened in between (close after release re-runs nothing).
+  core::ScheduleResult last_result_;
+  int result_tasks_ = -1;
+  SessionStats stats_;
+  std::chrono::steady_clock::time_point last_active_;
+};
+
+}  // namespace moldsched::svc

@@ -1,0 +1,255 @@
+#include "moldsched/svc/wire.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::svc {
+
+namespace {
+
+[[nodiscard]] double number_field(const io::JsonValue& v,
+                                  const std::string& key) {
+  const auto* f = v.find(key);
+  if (f == nullptr || !f->is_number())
+    throw std::invalid_argument("decode_model: missing numeric '" + key +
+                                "'");
+  return f->number;
+}
+
+[[nodiscard]] double number_field_or(const io::JsonValue& v,
+                                     const std::string& key,
+                                     double fallback) {
+  const auto* f = v.find(key);
+  if (f == nullptr) return fallback;
+  if (!f->is_number())
+    throw std::invalid_argument("decode_model: '" + key +
+                                "' must be a number");
+  return f->number;
+}
+
+[[nodiscard]] int int_field(const io::JsonValue& v, const std::string& key,
+                            const char* who) {
+  const auto* f = v.find(key);
+  if (f == nullptr || !f->is_number())
+    throw std::invalid_argument(std::string(who) + ": missing integer '" +
+                                key + "'");
+  const double d = f->number;
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0)
+    throw std::invalid_argument(std::string(who) + ": '" + key +
+                                "' is not a 32-bit integer");
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+
+std::string encode_frame(const std::string& payload, std::size_t max_frame) {
+  if (payload.size() > max_frame)
+    throw std::invalid_argument("encode_frame: payload of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds the frame cap of " +
+                                std::to_string(max_frame));
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>(n & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  // Reclaim consumed prefix lazily, once it dominates the buffer, so
+  // feeding many small frames stays amortized O(bytes).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+std::optional<std::string> FrameReader::next() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) |
+                            static_cast<std::uint32_t>(p[3]);
+  if (len > max_frame_)
+    throw std::invalid_argument("FrameReader: frame of " +
+                                std::to_string(len) +
+                                " bytes exceeds the cap of " +
+                                std::to_string(max_frame_));
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  std::string payload = buffer_.substr(consumed_ + 4, len);
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Model / graph codec
+
+std::string wire_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string encode_model(const model::SpeedupModel& m) {
+  std::ostringstream os;
+  if (const auto* gm = dynamic_cast<const model::GeneralModel*>(&m)) {
+    os << "{\"kind\":\"" << model::to_string(gm->kind()) << "\",\"w\":"
+       << wire_number(gm->w()) << ",\"d\":" << wire_number(gm->d())
+       << ",\"c\":" << wire_number(gm->c());
+    if (gm->pbar() != model::GeneralParams::kUnboundedParallelism)
+      os << ",\"pbar\":" << gm->pbar();
+    os << '}';
+    return os.str();
+  }
+  if (const auto* tm = dynamic_cast<const model::TableModel*>(&m)) {
+    os << "{\"kind\":\"arbitrary\",\"times\":[";
+    for (int p = 1; p <= tm->table_size(); ++p) {
+      if (p > 1) os << ',';
+      os << wire_number(tm->time(p));
+    }
+    os << "]}";
+    return os.str();
+  }
+  throw std::invalid_argument("encode_model: model '" + m.describe() +
+                              "' is not wire-serializable");
+}
+
+model::ModelPtr decode_model(const io::JsonValue& v) {
+  if (!v.is_object())
+    throw std::invalid_argument("decode_model: model must be an object");
+  const auto* kind = v.find("kind");
+  if (kind == nullptr || !kind->is_string())
+    throw std::invalid_argument("decode_model: missing string 'kind'");
+
+  if (kind->string == "arbitrary") {
+    const auto* times = v.find("times");
+    if (times == nullptr || !times->is_array())
+      throw std::invalid_argument(
+          "decode_model: arbitrary model needs a 'times' array");
+    std::vector<double> t;
+    t.reserve(times->array.size());
+    for (const auto& e : times->array) {
+      if (!e.is_number())
+        throw std::invalid_argument(
+            "decode_model: 'times' entries must be numbers");
+      t.push_back(e.number);
+    }
+    return std::make_shared<model::TableModel>(std::move(t));
+  }
+
+  const double w = number_field(v, "w");
+  if (kind->string == "roofline") {
+    // pbar defaults to unbounded, matching GeneralParams — a roofline
+    // without pbar is w/p all the way up to P.
+    const auto* pb = v.find("pbar");
+    const int pbar = pb != nullptr
+                         ? int_field(v, "pbar", "decode_model")
+                         : model::GeneralParams::kUnboundedParallelism;
+    return std::make_shared<model::RooflineModel>(w, pbar);
+  }
+  if (kind->string == "communication")
+    return std::make_shared<model::CommunicationModel>(w,
+                                                       number_field(v, "c"));
+  if (kind->string == "amdahl")
+    return std::make_shared<model::AmdahlModel>(w, number_field(v, "d"));
+  if (kind->string == "general") {
+    model::GeneralParams params;
+    params.w = w;
+    params.d = number_field_or(v, "d", 0.0);
+    params.c = number_field_or(v, "c", 0.0);
+    params.pbar = v.find("pbar") != nullptr
+                      ? int_field(v, "pbar", "decode_model")
+                      : model::GeneralParams::kUnboundedParallelism;
+    return std::make_shared<model::GeneralModel>(params);
+  }
+  throw std::invalid_argument("decode_model: unknown kind '" + kind->string +
+                              "'");
+}
+
+std::string encode_graph(const graph::TaskGraph& g) {
+  std::ostringstream os;
+  os << "{\"tasks\":[";
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (v > 0) os << ',';
+    os << "{\"id\":" << v << ",\"name\":\"" << io::json_escape(g.name(v))
+       << "\",\"model\":" << encode_model(g.model_of(v)) << '}';
+  }
+  os << "],\"edges\":[";
+  bool first = true;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const graph::TaskId s : g.successors(v)) {
+      if (!first) os << ',';
+      first = false;
+      os << '[' << v << ',' << s << ']';
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+graph::TaskGraph decode_graph(const io::JsonValue& v) {
+  if (!v.is_object())
+    throw std::invalid_argument("decode_graph: document must be an object");
+  const auto* tasks = v.find("tasks");
+  if (tasks == nullptr || !tasks->is_array())
+    throw std::invalid_argument("decode_graph: missing 'tasks' array");
+  graph::TaskGraph g;
+  int expected_id = 0;
+  for (const auto& t : tasks->array) {
+    if (!t.is_object())
+      throw std::invalid_argument("decode_graph: task entries are objects");
+    if (int_field(t, "id", "decode_graph") != expected_id)
+      throw std::invalid_argument(
+          "decode_graph: task ids must be dense and ascending (expected " +
+          std::to_string(expected_id) + ")");
+    ++expected_id;
+    const auto* name = t.find("name");
+    const auto* m = t.find("model");
+    if (m == nullptr)
+      throw std::invalid_argument("decode_graph: task without 'model'");
+    g.add_task(decode_model(*m),
+               name != nullptr && name->is_string() ? name->string : "");
+  }
+  const auto* edges = v.find("edges");
+  if (edges != nullptr) {
+    if (!edges->is_array())
+      throw std::invalid_argument("decode_graph: 'edges' must be an array");
+    for (const auto& e : edges->array) {
+      if (!e.is_array() || e.array.size() != 2 || !e.array[0].is_number() ||
+          !e.array[1].is_number())
+        throw std::invalid_argument(
+            "decode_graph: edges are [from, to] integer pairs");
+      const double fu = e.array[0].number, fv = e.array[1].number;
+      if (fu != std::floor(fu) || fv != std::floor(fv) || fu < 0 || fv < 0 ||
+          fu >= g.num_tasks() || fv >= g.num_tasks())
+        throw std::invalid_argument("decode_graph: edge endpoint out of range");
+      g.add_edge(static_cast<graph::TaskId>(fu),
+                 static_cast<graph::TaskId>(fv));
+    }
+  }
+  return g;
+}
+
+graph::TaskGraph decode_graph(const std::string& json) {
+  return decode_graph(io::parse_json(json));
+}
+
+}  // namespace moldsched::svc

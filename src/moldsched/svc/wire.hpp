@@ -1,0 +1,86 @@
+// Wire layer of the scheduling service: length-prefixed framing and the
+// JSON codec for speedup models and task graphs.
+//
+// Every frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. The codec is *round-trip exact*: doubles are
+// printed with 17 significant digits (lossless for IEEE-754 binary64) and
+// re-parsed by strtod, so a decoded model carries bit-identical
+// parameters — and therefore an identical ModelFingerprint — to the one
+// that was encoded. That property is what makes scheduling a streamed
+// instance byte-for-byte equal to scheduling it in process
+// (check::wire_roundtrip_check asserts it over the corpus).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/io/json.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::svc {
+
+/// Default cap on one frame's payload; a peer announcing more is a
+/// protocol error, not an allocation.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+/// Prepends the 4-byte big-endian length header to `payload`.
+/// Throws std::invalid_argument if payload exceeds max_frame.
+[[nodiscard]] std::string encode_frame(
+    const std::string& payload,
+    std::size_t max_frame = kDefaultMaxFrameBytes);
+
+/// Incremental decoder for a stream of frames. Feed raw bytes in any
+/// fragmentation (TCP gives no message boundaries); next() pops complete
+/// payloads in order. A header announcing more than max_frame bytes
+/// throws std::invalid_argument — the connection is then unrecoverable
+/// and must be closed, since the stream position is poisoned.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// The next complete payload, or nullopt if more bytes are needed.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (header + partial payloads).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::size_t max_frame_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+/// Formats a double with enough digits (precision 17) that strtod
+/// recovers the exact bit pattern. The wire format's number printer.
+[[nodiscard]] std::string wire_number(double v);
+
+/// JSON object for one speedup model:
+///   Eq. (1) family:  {"kind":"roofline|communication|amdahl|general",
+///                     "w":..,"d":..,"c":..[,"pbar":..]}
+///   arbitrary:       {"kind":"arbitrary","times":[..]}
+/// Only GeneralModel subtypes and TableModel are serializable; other
+/// arbitrary models (FunctionModel) throw std::invalid_argument.
+[[nodiscard]] std::string encode_model(const model::SpeedupModel& m);
+
+/// Inverse of encode_model. Throws std::invalid_argument on unknown
+/// kinds, missing parameters, or values the model constructors reject.
+[[nodiscard]] model::ModelPtr decode_model(const io::JsonValue& v);
+
+/// {"tasks":[{"id":..,"name":..,"model":{..}},..],"edges":[[u,v],..]}
+/// with tasks in id order — unlike io::graph_to_json, every model is
+/// encoded losslessly so the graph can be reconstructed.
+[[nodiscard]] std::string encode_graph(const graph::TaskGraph& g);
+
+/// Inverse of encode_graph. Task ids must be dense and ascending.
+[[nodiscard]] graph::TaskGraph decode_graph(const io::JsonValue& v);
+[[nodiscard]] graph::TaskGraph decode_graph(const std::string& json);
+
+}  // namespace moldsched::svc

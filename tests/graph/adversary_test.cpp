@@ -160,5 +160,20 @@ TEST(AdversaryTest, WorstCaseQueueOrderBTasksFirst) {
   }
 }
 
+TEST(AdversaryTest, EveryAdversaryStreamsInIdOrder) {
+  // The scheduling service streams tasks by ascending id; every Figure
+  // 1-4 adversary must therefore emit edges from smaller to larger ids.
+  const TaskGraph graphs[] = {
+      roofline_adversary(16, 0.25).graph,
+      communication_adversary(16, 0.3).graph,
+      amdahl_adversary(5, 0.25).graph,
+      general_adversary(5, 0.25).graph,
+  };
+  for (const auto& g : graphs)
+    for (TaskId v = 0; v < g.num_tasks(); ++v)
+      for (const TaskId u : g.predecessors(v))
+        EXPECT_LT(u, v) << "edge " << u << "->" << v;
+}
+
 }  // namespace
 }  // namespace moldsched::graph

@@ -135,5 +135,37 @@ TEST(WavefrontTest, GridStructure) {
   EXPECT_THROW((void)wavefront(0, 2, amdahl_cfg()), std::invalid_argument);
 }
 
+TEST(WorkflowEdgeCases, MinimalSizesProduceValidGraphs) {
+  const auto cfg = amdahl_cfg();
+  // The smallest legal instance of every builder is a well-formed DAG.
+  const auto chol = cholesky(1, cfg);
+  EXPECT_EQ(chol.num_tasks(), 1);
+  EXPECT_EQ(chol.num_edges(), 0u);
+  const auto l = lu(1, cfg);
+  EXPECT_EQ(l.num_tasks(), 1);
+  const auto f = fft(1, cfg);
+  EXPECT_EQ(f.num_tasks(), 4);  // n = 2 inputs + 2 butterfly outputs
+  const auto m = montage(2, cfg);
+  EXPECT_EQ(m.num_tasks(), 2 + 1 + 1 + 2 + 1);
+  const auto w = wavefront(1, 1, cfg);
+  EXPECT_EQ(w.num_tasks(), 1);
+  EXPECT_EQ(w.num_edges(), 0u);
+  for (const auto* g : {&chol, &l, &f, &m, &w}) EXPECT_TRUE(is_acyclic(*g));
+}
+
+TEST(WorkflowEdgeCases, EveryBuilderStreamsInIdOrder) {
+  // The scheduling service streams tasks by ascending id, which requires
+  // every edge to point from a smaller to a larger id. All workflow
+  // builders emit tasks in a topological order, so this is a structural
+  // invariant worth pinning.
+  const auto cfg = amdahl_cfg();
+  const TaskGraph graphs[] = {cholesky(4, cfg), lu(3, cfg), fft(3, cfg),
+                              montage(5, cfg), wavefront(4, 5, cfg)};
+  for (const auto& g : graphs)
+    for (TaskId v = 0; v < g.num_tasks(); ++v)
+      for (const TaskId u : g.predecessors(v))
+        EXPECT_LT(u, v) << "edge " << u << "->" << v;
+}
+
 }  // namespace
 }  // namespace moldsched::graph

@@ -36,6 +36,16 @@ TEST(UmbrellaTest, OneCallPerModule) {
   EXPECT_GE(sched::standard_suite(0.25).size(), 6u);
   EXPECT_EQ(sched::engine_variants(0.25).size(), 3u);
   EXPECT_GT(resilience::NoFailures().expected_attempts(1.0, 1), 0.0);
+
+  EXPECT_TRUE(check::wire_roundtrip_check(g, 8, 0.25).ok());
+  obs::default_registry().counter("umbrella.touch").add();
+
+  svc::FrameReader reader;
+  const std::string frame = svc::encode_frame(svc::encode_graph(g));
+  reader.feed(frame.data(), frame.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(svc::decode_graph(*payload).num_tasks(), g.num_tasks());
 }
 
 }  // namespace

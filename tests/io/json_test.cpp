@@ -213,6 +213,70 @@ TEST(ParseJsonTest, RejectsPathologicalNesting) {
   EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
 }
 
+TEST(ParseJsonTest, DepthLimitIsExact) {
+  // depth = number of open containers; max_depth of 3 admits [[[1]]]
+  // but not [[[[1]]]].
+  EXPECT_NO_THROW((void)parse_json("[[[1]]]", 3));
+  EXPECT_THROW((void)parse_json("[[[[1]]]]", 3), std::invalid_argument);
+  EXPECT_NO_THROW((void)parse_json("{\"a\":{\"b\":[1]}}", 3));
+  EXPECT_THROW((void)parse_json("{\"a\":{\"b\":[[1]]}}", 3),
+               std::invalid_argument);
+}
+
+TEST(ParseJsonTest, RejectsNonStandardNumbers) {
+  // JSON's number grammar is strict; common C-isms must not slip in.
+  for (const char* doc : {"01", "+1", "1.", ".5", "1e", "1e+", "-",
+                          "0x10", "1.2.3", "Infinity", "NaN", "- 1"}) {
+    EXPECT_THROW((void)parse_json(doc), std::invalid_argument) << doc;
+  }
+  // Out-of-double-range magnitudes are rejected, not rounded to inf.
+  EXPECT_THROW((void)parse_json("1e99999"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("-1e99999"), std::invalid_argument);
+  // But extreme-yet-finite values parse.
+  EXPECT_NO_THROW((void)parse_json("1e308"));
+  EXPECT_NO_THROW((void)parse_json("1e-320"));  // denormal is fine
+}
+
+TEST(ParseJsonTest, RejectsBadStringsAndEscapes) {
+  EXPECT_THROW((void)parse_json(R"("\q")"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"("\u12")"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"("\u12zz")"), std::invalid_argument);
+  // Raw control characters must be escaped inside strings.
+  EXPECT_THROW((void)parse_json("\"a\nb\""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"a\tb\""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(std::string("\"a\0b\"", 5)),
+               std::invalid_argument);
+}
+
+TEST(ParseJsonTest, RejectsTruncatedDocuments) {
+  for (const char* doc :
+       {"{\"a\":", "[1,", "{\"a\"", "[", "{", "\"", "{\"a\":1,", "[1,2",
+        "{\"a\":{\"b\":1}", "fal", "nul", "-"}) {
+    EXPECT_THROW((void)parse_json(doc), std::invalid_argument) << doc;
+  }
+}
+
+TEST(ParseJsonTest, ErrorsCarryLineAndColumn) {
+  // The offending token sits on line 3, column 8.
+  try {
+    (void)parse_json("{\n  \"a\": 1,\n  \"b\": trouble\n}");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 8"), std::string::npos) << msg;
+  }
+  // Single-line documents report column precisely too.
+  try {
+    (void)parse_json("[1, 2, x]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 8"), std::string::npos) << msg;
+  }
+}
+
 TEST(ParseJsonTest, RoundTripsTheLibraryGraphWriter) {
   graph::TaskGraph g;
   const auto a =

@@ -124,5 +124,58 @@ TEST(ValidatorTest, RejectsBadPlatformSize) {
   EXPECT_FALSE(validate_schedule(g, t, 0).ok());
 }
 
+TEST(ValidatorTest, EmptyGraphWithEmptyTraceIsValid) {
+  const graph::TaskGraph g;
+  const Trace t;
+  EXPECT_TRUE(validate_schedule(g, t, 4).ok());
+}
+
+TEST(ValidatorTest, RestartsAreRejectedAtTheTraceLayer) {
+  // The no-restart invariant is enforced upstream: Trace itself refuses
+  // a second record_start, so the validator can assume one record per id.
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  EXPECT_THROW(t.record_start(0, 2.0, 2), std::logic_error);
+}
+
+TEST(ValidatorTest, DetectsZeroDurationRun) {
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 0.0);  // t(2) = 2, not 0
+  t.record_start(1, 0.0, 1);
+  t.record_end(1, 2.0);
+  const auto report = validate_schedule(g, t, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("duration"), std::string::npos);
+}
+
+TEST(ValidatorTest, AcceptsCapacityExactlyAtP) {
+  // Two tasks using 2 + 2 = P = 4 processors concurrently: at the
+  // boundary, not over it.
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "x");
+  (void)g.add_task(std::make_shared<model::RooflineModel>(4.0, 4), "y");
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_start(1, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_end(1, 2.0);
+  EXPECT_TRUE(validate_schedule(g, t, 4).ok());
+}
+
+TEST(ValidatorTest, PrecedenceBoundaryWithinToleranceIsAccepted) {
+  // The successor starts half a tolerance before the predecessor ends:
+  // legal roundoff, not a precedence violation.
+  const auto g = make_chain_graph();
+  Trace t;
+  t.record_start(0, 0.0, 2);
+  t.record_end(0, 2.0);
+  t.record_start(1, 2.0 - 5e-10, 1);
+  t.record_end(1, 4.0 - 5e-10);
+  EXPECT_TRUE(validate_schedule(g, t, 4).ok()) << "tolerance is 1e-9";
+}
+
 }  // namespace
 }  // namespace moldsched::sim

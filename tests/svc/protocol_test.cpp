@@ -1,0 +1,191 @@
+// Protocol layer: request/reply JSON codecs and the error taxonomy.
+#include "moldsched/svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+TEST(ErrorCodes, RoundTripEveryCode) {
+  for (const auto code :
+       {svc::ErrorCode::kParseError, svc::ErrorCode::kBadRequest,
+        svc::ErrorCode::kUnknownOp, svc::ErrorCode::kUnknownSession,
+        svc::ErrorCode::kOverloaded, svc::ErrorCode::kQuotaExceeded,
+        svc::ErrorCode::kShuttingDown, svc::ErrorCode::kForbidden,
+        svc::ErrorCode::kInternal}) {
+    EXPECT_EQ(svc::error_code_from_string(svc::to_string(code)), code);
+  }
+  EXPECT_THROW((void)svc::error_code_from_string("nope"),
+               std::invalid_argument);
+}
+
+TEST(RequestCodec, OpenRoundTrip) {
+  svc::OpenParams params;
+  params.scheduler = "improved-lpa";
+  params.P = 48;
+  params.mu = 0.31;
+  params.policy = core::QueuePolicy::kLargestWorkFirst;
+  params.trace = true;
+  const svc::Request req =
+      svc::parse_request(svc::open_request_json(params, 17));
+  EXPECT_EQ(req.op, svc::Request::Op::kOpen);
+  EXPECT_EQ(req.seq, 17);
+  EXPECT_EQ(req.open.scheduler, "improved-lpa");
+  EXPECT_EQ(req.open.P, 48);
+  EXPECT_EQ(req.open.mu, 0.31);  // wire_number is lossless
+  EXPECT_EQ(req.open.policy, core::QueuePolicy::kLargestWorkFirst);
+  EXPECT_TRUE(req.open.trace);
+}
+
+TEST(RequestCodec, ReleaseRoundTrip) {
+  svc::ReleaseParams params;
+  params.name = "t \"7\"";
+  params.model = std::make_shared<model::AmdahlModel>(12.5, 0.125);
+  params.preds = {0, 3, 5};
+  params.expected_task = 6;
+  const svc::Request req =
+      svc::parse_request(svc::release_request_json("s42", params, 9));
+  EXPECT_EQ(req.op, svc::Request::Op::kRelease);
+  EXPECT_EQ(req.session, "s42");
+  EXPECT_EQ(req.release.name, "t \"7\"");
+  ASSERT_TRUE(req.release.model);
+  EXPECT_EQ(req.release.model->time(4), params.model->time(4));
+  EXPECT_EQ(req.release.preds, (std::vector<int>{0, 3, 5}));
+  ASSERT_TRUE(req.release.expected_task.has_value());
+  EXPECT_EQ(*req.release.expected_task, 6);
+}
+
+TEST(RequestCodec, CloseAndStopRoundTrip) {
+  const svc::Request close =
+      svc::parse_request(svc::close_request_json("abc", 3));
+  EXPECT_EQ(close.op, svc::Request::Op::kClose);
+  EXPECT_EQ(close.session, "abc");
+  const svc::Request stop = svc::parse_request(svc::stop_request_json(4));
+  EXPECT_EQ(stop.op, svc::Request::Op::kStop);
+  EXPECT_EQ(stop.seq, 4);
+}
+
+TEST(RequestCodec, ClassifiesBadInputs) {
+  // Invalid JSON -> parse_error prefix (the server maps it to the code).
+  try {
+    (void)svc::parse_request("{nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("parse_error: ", 0), 0u);
+  }
+  // Unknown op -> unknown_op prefix.
+  try {
+    (void)svc::parse_request("{\"op\":\"task.explode\"}");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("unknown_op: ", 0), 0u);
+  }
+  // Structural problems -> plain bad-request messages.
+  EXPECT_THROW((void)svc::parse_request("[1,2]"), std::invalid_argument);
+  EXPECT_THROW((void)svc::parse_request("{\"op\":\"session.open\"}"),
+               std::invalid_argument);  // missing P
+  EXPECT_THROW(
+      (void)svc::parse_request(
+          "{\"op\":\"session.open\",\"P\":0}"),
+      std::invalid_argument);  // P < 1
+  EXPECT_THROW(
+      (void)svc::parse_request(
+          "{\"op\":\"session.open\",\"P\":4,\"policy\":\"speed\"}"),
+      std::invalid_argument);  // unknown policy
+  EXPECT_THROW((void)svc::parse_request("{\"op\":\"task.release\"}"),
+               std::invalid_argument);  // missing session + model
+  EXPECT_THROW(
+      (void)svc::parse_request(
+          "{\"op\":\"task.release\",\"session\":\"s\",\"model\":"
+          "{\"kind\":\"amdahl\",\"w\":1,\"d\":1},\"preds\":[-1]}"),
+      std::invalid_argument);  // negative predecessor
+}
+
+TEST(ReplyCodec, ErrorReplyRoundTrip) {
+  const std::string payload = svc::error_reply_json(
+      21, svc::ErrorCode::kOverloaded, "queue full \"now\"");
+  const svc::StopReply r = svc::parse_stop_reply(payload);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.seq, 21);
+  EXPECT_EQ(r.error.code, svc::ErrorCode::kOverloaded);
+  EXPECT_EQ(r.error.message, "queue full \"now\"");
+}
+
+TEST(ReplyCodec, OpenReplyRoundTrip) {
+  svc::OpenReply reply;
+  reply.ok = true;
+  reply.seq = 2;
+  reply.session = "s7";
+  reply.scheduler = "lpa";
+  reply.P = 99;
+  const svc::OpenReply back =
+      svc::parse_open_reply(svc::open_reply_json(reply));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.seq, 2);
+  EXPECT_EQ(back.session, "s7");
+  EXPECT_EQ(back.scheduler, "lpa");
+  EXPECT_EQ(back.P, 99);
+}
+
+TEST(ReplyCodec, ReleaseReplyIsBitExact) {
+  svc::ReleaseReply reply;
+  reply.ok = true;
+  reply.seq = 5;
+  reply.task = 3;
+  reply.alloc = 12;
+  reply.ready = 1.0 / 3.0;
+  reply.start = 0.1 + 0.2;  // deliberately not 0.3
+  reply.end = 1e-17;
+  reply.projected_makespan = 123.4567890123456789;
+  const svc::ReleaseReply back =
+      svc::parse_release_reply(svc::release_reply_json(reply));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.task, 3);
+  EXPECT_EQ(back.alloc, 12);
+  EXPECT_EQ(back.ready, reply.ready);
+  EXPECT_EQ(back.start, reply.start);
+  EXPECT_EQ(back.end, reply.end);
+  EXPECT_EQ(back.projected_makespan, reply.projected_makespan);
+}
+
+TEST(ReplyCodec, CloseReplyCarriesRecordsStatsAndTrace) {
+  svc::CloseReply reply;
+  reply.ok = true;
+  reply.seq = 11;
+  reply.makespan = 7.25;
+  reply.lower_bound = 3.5;
+  reply.ratio = 7.25 / 3.5;
+  reply.num_tasks = 2;
+  reply.num_events = 2;
+  reply.allocation = {4, 1};
+  reply.records.push_back(sim::TaskRecord{0, 0.0, 3.5, 4});
+  reply.records.push_back(sim::TaskRecord{1, 3.5, 7.25, 1});
+  reply.stats.releases = 2;
+  reply.stats.reschedules = 2;
+  reply.stats.schedule_ms = 0.75;
+  reply.trace_json = "{\"traceEvents\":[]}";
+  const svc::CloseReply back =
+      svc::parse_close_reply(svc::close_reply_json(reply));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.makespan, 7.25);
+  EXPECT_EQ(back.lower_bound, 3.5);
+  EXPECT_EQ(back.ratio, reply.ratio);
+  EXPECT_EQ(back.num_tasks, 2);
+  EXPECT_EQ(back.num_events, 2u);
+  EXPECT_EQ(back.allocation, (std::vector<int>{4, 1}));
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[1].task, 1);
+  EXPECT_EQ(back.records[1].start, 3.5);
+  EXPECT_EQ(back.records[1].end, 7.25);
+  EXPECT_EQ(back.records[1].procs, 1);
+  EXPECT_EQ(back.stats.releases, 2u);
+  EXPECT_EQ(back.stats.reschedules, 2u);
+  EXPECT_EQ(back.stats.schedule_ms, 0.75);
+  EXPECT_EQ(back.trace_json, "{\"traceEvents\":[]}");
+}
+
+}  // namespace

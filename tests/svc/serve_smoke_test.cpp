@@ -1,0 +1,65 @@
+// Black-box smoke test of the moldsched_serve binary: spawn it on an
+// ephemeral port, parse its "listening on" line, run real sessions over
+// TCP and shut it down remotely. The binary path comes from CMake via
+// MOLDSCHED_SERVE_BINARY.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/svc/client.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+TEST(ServeSmoke, ServesSessionsAndStopsRemotely) {
+  const std::string command = std::string(MOLDSCHED_SERVE_BINARY) +
+                              " --port 0 --allow-remote-stop --quiet 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+
+  // First line: "listening on 127.0.0.1:<port>".
+  char line[256] = {};
+  ASSERT_NE(std::fgets(line, sizeof line, pipe), nullptr);
+  const std::string banner(line);
+  const std::size_t colon = banner.rfind(':');
+  ASSERT_EQ(banner.rfind("listening on 127.0.0.1:", 0), 0u) << banner;
+  ASSERT_NE(colon, std::string::npos);
+  const int port = std::stoi(banner.substr(colon + 1));
+  ASSERT_GT(port, 0);
+
+  {
+    svc::Client client;
+    client.connect("127.0.0.1", port);
+    for (int s = 0; s < 3; ++s) {
+      svc::OpenParams open;
+      open.P = 4 + s;
+      const svc::OpenReply opened = client.open(open);
+      ASSERT_TRUE(opened.ok) << opened.error.message;
+      svc::ReleaseParams params;
+      params.model = std::make_shared<model::AmdahlModel>(8.0, 0.5);
+      params.expected_task = 0;
+      ASSERT_TRUE(client.release(opened.session, params).ok);
+      params.preds = {0};
+      params.expected_task = 1;
+      ASSERT_TRUE(client.release(opened.session, params).ok);
+      const svc::CloseReply closed = client.close_session(opened.session);
+      ASSERT_TRUE(closed.ok);
+      EXPECT_EQ(closed.num_tasks, 2);
+      EXPECT_GT(closed.makespan, 0.0);
+    }
+    const svc::StopReply stop = client.stop_server();
+    EXPECT_TRUE(stop.ok) << stop.error.message;
+  }
+
+  const int status = pclose(pipe);
+  ASSERT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace

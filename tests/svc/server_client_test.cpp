@@ -1,0 +1,327 @@
+// End-to-end server/client tests over real sockets on an ephemeral port:
+// bit-exact streamed scheduling, admission control (overload, quota,
+// reaper), remote stop, and malformed-input resilience.
+#include "moldsched/svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/graph/workflows.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/svc/client.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+svc::ReleaseParams release_of(const graph::TaskGraph& g, graph::TaskId v) {
+  svc::ReleaseParams params;
+  params.name = g.name(v);
+  params.model = g.model_ptr(v);
+  for (const graph::TaskId u : g.predecessors(v)) params.preds.push_back(u);
+  params.expected_task = v;
+  return params;
+}
+
+/// Retry loop shared by every request kind below: an `overloaded`
+/// rejection means the request was not admitted — resend it. Any other
+/// failure is recorded and ends the loop (`send` result with ok=false).
+template <typename Reply, typename Send>
+Reply retry_overloaded(const Send& send, std::uint64_t* retries) {
+  for (;;) {
+    const Reply r = send();
+    if (r.ok || r.error.code != svc::ErrorCode::kOverloaded) {
+      EXPECT_TRUE(r.ok) << r.error.message;
+      return r;
+    }
+    if (retries != nullptr) ++*retries;
+    std::this_thread::yield();
+  }
+}
+
+/// Streams `g` through one client session and returns the close reply,
+/// retrying any request the server rejected with `overloaded` (the
+/// contract under backpressure).
+svc::CloseReply stream_instance(svc::Client& client, const graph::TaskGraph& g,
+                                const svc::OpenParams& open,
+                                std::uint64_t* retries = nullptr) {
+  const svc::OpenReply opened = retry_overloaded<svc::OpenReply>(
+      [&] { return client.open(open); }, retries);
+  if (!opened.ok) return {};
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    const svc::ReleaseParams params = release_of(g, v);
+    const svc::ReleaseReply r = retry_overloaded<svc::ReleaseReply>(
+        [&] { return client.release(opened.session, params); }, retries);
+    if (!r.ok) return {};
+  }
+  return retry_overloaded<svc::CloseReply>(
+      [&] { return client.close_session(opened.session); }, retries);
+}
+
+TEST(ServerClient, StreamedAdversaryMatchesInProcessBitExactly) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::Server server({}, executor, registry);
+  const int port = server.listen();
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(server.port(), port);
+
+  const auto inst = graph::roofline_adversary(16, 0.25);
+  svc::OpenParams open;
+  open.P = inst.P;
+  open.mu = inst.mu;
+  open.trace = true;
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+  const svc::CloseReply closed = stream_instance(client, inst.graph, open);
+
+  sched::SchedulerSpec spec = sched::spec_by_name("lpa", inst.mu);
+  const core::ScheduleResult reference = spec.run(inst.graph, inst.P);
+  EXPECT_EQ(closed.makespan, reference.makespan);
+  EXPECT_EQ(closed.allocation, reference.allocation);
+  EXPECT_EQ(closed.num_events, reference.num_events);
+  ASSERT_EQ(closed.records.size(), reference.trace.records().size());
+  for (std::size_t i = 0; i < closed.records.size(); ++i) {
+    EXPECT_EQ(closed.records[i].task, reference.trace.records()[i].task);
+    EXPECT_EQ(closed.records[i].start, reference.trace.records()[i].start);
+    EXPECT_EQ(closed.records[i].end, reference.trace.records()[i].end);
+    EXPECT_EQ(closed.records[i].procs, reference.trace.records()[i].procs);
+  }
+  EXPECT_NE(closed.trace_json.find("traceEvents"), std::string::npos);
+
+  EXPECT_GE(registry.counter("svc.requests.received").value(),
+            static_cast<std::uint64_t>(inst.graph.num_tasks()) + 2);
+  EXPECT_EQ(registry.counter("svc.sessions.opened").value(), 1u);
+  EXPECT_EQ(registry.counter("svc.sessions.closed").value(), 1u);
+  EXPECT_EQ(server.num_sessions(), 0);
+
+  client.disconnect();
+  server.stop();
+  server.wait();
+  EXPECT_TRUE(server.stopped());
+}
+
+TEST(ServerClient, SessionLimitRejectsWithOverloaded) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::ServerLimits limits;
+  limits.max_sessions = 1;
+  svc::Server server(limits, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+  svc::OpenParams open;
+  open.P = 4;
+  const svc::OpenReply first = client.open(open);
+  ASSERT_TRUE(first.ok);
+  const svc::OpenReply second = client.open(open);
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(second.error.code, svc::ErrorCode::kOverloaded);
+  EXPECT_GE(registry.counter("svc.rejected.overloaded").value(), 1u);
+  // Closing the first session frees the slot.
+  EXPECT_TRUE(client.close_session(first.session).ok);
+  EXPECT_TRUE(client.open(open).ok);
+}
+
+TEST(ServerClient, BackpressureUnderConcurrencyRejectsButStaysCorrect) {
+  engine::Executor executor(4);
+  obs::MetricRegistry registry;
+  svc::ServerLimits limits;
+  limits.max_in_flight = 1;  // every overlapping request is rejected
+  svc::Server server(limits, executor, registry);
+  const int port = server.listen();
+
+  graph::WorkflowModelConfig config;
+  config.kind = model::ModelKind::kAmdahl;
+  const graph::TaskGraph g = graph::cholesky(4, config);
+  sched::SchedulerSpec spec = sched::spec_by_name("lpa", 0.25);
+  const double reference = spec.run(g, 8).makespan;
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<double> makespans(kClients, -1.0);
+  std::atomic<std::uint64_t> retries{0};
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      svc::Client client;
+      client.connect("127.0.0.1", port);
+      svc::OpenParams open;
+      open.P = 8;
+      std::uint64_t local_retries = 0;
+      const svc::CloseReply closed =
+          stream_instance(client, g, open, &local_retries);
+      makespans[static_cast<std::size_t>(i)] = closed.makespan;
+      retries += local_retries;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Rejections never corrupt results: every stream converges to the same
+  // bit-exact makespan after retries.
+  for (const double m : makespans) EXPECT_EQ(m, reference);
+  EXPECT_EQ(retries.load(),
+            registry.counter("svc.rejected.overloaded").value());
+}
+
+TEST(ServerClient, UnknownSessionAndQuota) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::ServerLimits limits;
+  limits.max_tasks_per_session = 2;
+  svc::Server server(limits, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+
+  svc::ReleaseParams params;
+  params.model = std::make_shared<model::AmdahlModel>(4.0, 0.5);
+  const svc::ReleaseReply ghost = client.release("s999", params);
+  EXPECT_FALSE(ghost.ok);
+  EXPECT_EQ(ghost.error.code, svc::ErrorCode::kUnknownSession);
+  EXPECT_FALSE(client.close_session("s999").ok);
+
+  svc::OpenParams open;
+  open.P = 4;
+  const svc::OpenReply opened = client.open(open);
+  ASSERT_TRUE(opened.ok);
+  params.expected_task = 0;
+  EXPECT_TRUE(client.release(opened.session, params).ok);
+  params.expected_task = 1;
+  EXPECT_TRUE(client.release(opened.session, params).ok);
+  params.expected_task = 2;
+  const svc::ReleaseReply third = client.release(opened.session, params);
+  EXPECT_FALSE(third.ok);
+  EXPECT_EQ(third.error.code, svc::ErrorCode::kQuotaExceeded);
+  // The session survives the quota rejection and closes with 2 tasks.
+  const svc::CloseReply closed = client.close_session(opened.session);
+  ASSERT_TRUE(closed.ok);
+  EXPECT_EQ(closed.num_tasks, 2);
+}
+
+TEST(ServerClient, IdleSessionsAreReaped) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::ServerLimits limits;
+  limits.idle_timeout_s = 0.05;
+  svc::Server server(limits, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+  svc::OpenParams open;
+  open.P = 2;
+  const svc::OpenReply opened = client.open(open);
+  ASSERT_TRUE(opened.ok);
+  EXPECT_EQ(server.num_sessions(), 1);
+
+  // The reaper sweeps about once a second; give it two chances.
+  for (int i = 0; i < 50 && server.num_sessions() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(server.num_sessions(), 0);
+  EXPECT_GE(registry.counter("svc.sessions.reaped").value(), 1u);
+
+  svc::ReleaseParams params;
+  params.model = std::make_shared<model::AmdahlModel>(1.0, 0.1);
+  const svc::ReleaseReply r = client.release(opened.session, params);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, svc::ErrorCode::kUnknownSession);
+}
+
+TEST(ServerClient, RemoteStopIsForbiddenByDefault) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::Server server({}, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+  const svc::StopReply r = client.stop_server();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, svc::ErrorCode::kForbidden);
+  EXPECT_FALSE(server.stopped());
+  // The server keeps serving after the refused stop.
+  svc::OpenParams open;
+  open.P = 2;
+  EXPECT_TRUE(client.open(open).ok);
+}
+
+TEST(ServerClient, RemoteStopShutsDownWhenAllowed) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::ServerLimits limits;
+  limits.allow_remote_stop = true;
+  svc::Server server(limits, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+  const svc::StopReply r = client.stop_server();
+  EXPECT_TRUE(r.ok) << r.error.message;
+  EXPECT_TRUE(server.wait_for(10.0));
+  EXPECT_TRUE(server.stopped());
+}
+
+TEST(ServerClient, MalformedPayloadsGetErrorRepliesNotHangs) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::Server server({}, executor, registry);
+  const int port = server.listen();
+
+  svc::Client client;
+  client.connect("127.0.0.1", port);
+
+  const svc::StopReply bad_json =
+      svc::parse_stop_reply(client.roundtrip("{definitely not json"));
+  EXPECT_FALSE(bad_json.ok);
+  EXPECT_EQ(bad_json.error.code, svc::ErrorCode::kParseError);
+
+  const svc::StopReply bad_op = svc::parse_stop_reply(
+      client.roundtrip("{\"op\":\"task.explode\",\"seq\":7}"));
+  EXPECT_FALSE(bad_op.ok);
+  EXPECT_EQ(bad_op.error.code, svc::ErrorCode::kUnknownOp);
+  EXPECT_EQ(bad_op.seq, 7);
+
+  const svc::StopReply bad_open = svc::parse_stop_reply(
+      client.roundtrip("{\"op\":\"session.open\",\"P\":-3}"));
+  EXPECT_FALSE(bad_open.ok);
+  EXPECT_EQ(bad_open.error.code, svc::ErrorCode::kBadRequest);
+
+  EXPECT_GE(registry.counter("svc.replies.error").value(), 3u);
+  // The connection is still healthy after three error replies.
+  svc::OpenParams open;
+  open.P = 2;
+  EXPECT_TRUE(client.open(open).ok);
+}
+
+TEST(ServerClient, DestructorDrainsWithLiveConnections) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::Client client;
+  {
+    svc::Server server({}, executor, registry);
+    const int port = server.listen();
+    client.connect("127.0.0.1", port);
+    svc::OpenParams open;
+    open.P = 2;
+    ASSERT_TRUE(client.open(open).ok);
+    // Destructor runs with the session open and the client connected.
+  }
+  // After shutdown the client sees a closed socket (throws) rather than
+  // a hang.
+  svc::OpenParams open;
+  open.P = 2;
+  EXPECT_THROW((void)client.open(open), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Wire layer: framing under arbitrary fragmentation, frame caps, and the
+// bit-exact model / graph codec.
+#include "moldsched/svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+TEST(FrameCodec, RoundTripsSinglePayload) {
+  const std::string frame = svc::encode_frame("hello");
+  ASSERT_EQ(frame.size(), 9u);
+  svc::FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodec, EmptyPayloadIsAValidFrame) {
+  const std::string frame = svc::encode_frame("");
+  svc::FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(FrameCodec, ReassemblesAcrossEveryFragmentation) {
+  const std::string a = svc::encode_frame("first payload");
+  const std::string b = svc::encode_frame(std::string(300, 'x'));
+  const std::string stream = a + b;
+  // Split the byte stream at every position; framing must never care.
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    svc::FrameReader reader;
+    reader.feed(stream.data(), cut);
+    std::vector<std::string> got;
+    while (auto p = reader.next()) got.push_back(*p);
+    reader.feed(stream.data() + cut, stream.size() - cut);
+    while (auto p = reader.next()) got.push_back(*p);
+    ASSERT_EQ(got.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(got[0], "first payload");
+    EXPECT_EQ(got[1], std::string(300, 'x'));
+  }
+}
+
+TEST(FrameCodec, ByteAtATimeFeeding) {
+  const std::string frame = svc::encode_frame("drip-fed");
+  svc::FrameReader reader;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(frame.data() + i, 1);
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  reader.feed(frame.data() + frame.size() - 1, 1);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "drip-fed");
+}
+
+TEST(FrameCodec, EncodeRejectsPayloadOverCap) {
+  EXPECT_THROW(svc::encode_frame(std::string(100, 'x'), 99),
+               std::invalid_argument);
+  EXPECT_NO_THROW(svc::encode_frame(std::string(100, 'x'), 100));
+}
+
+TEST(FrameCodec, ReaderRejectsHeaderOverCap) {
+  // Header announcing 2^31 bytes against a small cap: must throw as soon
+  // as the 4 header bytes arrive, without allocating the payload.
+  const char header[4] = {'\x80', '\x00', '\x00', '\x00'};
+  svc::FrameReader reader(1 << 20);
+  reader.feed(header, 4);
+  EXPECT_THROW(reader.next(), std::invalid_argument);
+}
+
+TEST(FrameCodec, ManySmallFramesStayLinear) {
+  svc::FrameReader reader;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string frame = svc::encode_frame(std::to_string(i));
+    reader.feed(frame.data(), frame.size());
+    const auto payload = reader.next();
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, std::to_string(i));
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireNumber, RoundTripsExactBitPatterns) {
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-1e12, 1e12) *
+                     (i % 3 == 0 ? 1e-9 : 1.0);
+    const double back = std::strtod(svc::wire_number(v).c_str(), nullptr);
+    EXPECT_EQ(back, v);
+  }
+  // Awkward exact values.
+  for (const double v : {0.1, 1.0 / 3.0, std::numeric_limits<double>::min(),
+                         std::numeric_limits<double>::denorm_min(),
+                         std::numeric_limits<double>::max(), 0.0}) {
+    EXPECT_EQ(std::strtod(svc::wire_number(v).c_str(), nullptr), v);
+  }
+}
+
+void expect_model_roundtrip(const model::SpeedupModel& m, int P) {
+  const std::string encoded = svc::encode_model(m);
+  const auto decoded = svc::decode_model(io::parse_json(encoded));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->kind(), m.kind());
+  // Bit-exact: identical fingerprints and identical time(p) everywhere.
+  const auto f1 = m.fingerprint(), f2 = decoded->fingerprint();
+  EXPECT_EQ(f1.cacheable, f2.cacheable);
+  EXPECT_EQ(f1.words, f2.words);
+  for (int p = 1; p <= P; ++p) EXPECT_EQ(decoded->time(p), m.time(p));
+  // Re-encode stability.
+  EXPECT_EQ(svc::encode_model(*decoded), encoded);
+}
+
+TEST(ModelCodec, RoundTripsEveryWireKind) {
+  expect_model_roundtrip(model::RooflineModel(3.7, 12), 32);
+  expect_model_roundtrip(
+      model::RooflineModel(5.0,
+                           model::GeneralParams::kUnboundedParallelism),
+      32);
+  expect_model_roundtrip(model::CommunicationModel(100.0, 0.37), 32);
+  expect_model_roundtrip(model::AmdahlModel(250.0, 1.0 / 3.0), 32);
+  model::GeneralParams params;
+  params.w = 123.456;
+  params.d = 0.1;
+  params.c = 0.01;
+  params.pbar = 17;
+  expect_model_roundtrip(model::GeneralModel(params), 32);
+  expect_model_roundtrip(model::TableModel({5.0, 3.0, 2.5, 2.5001}), 4);
+}
+
+TEST(ModelCodec, RandomParametersSurviveExactly) {
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    model::GeneralParams params;
+    params.w = rng.uniform(1e-6, 1e9);
+    params.d = rng.uniform(0.0, 10.0);
+    params.c = rng.uniform(0.0, 1.0);
+    expect_model_roundtrip(model::GeneralModel(params), 16);
+  }
+}
+
+TEST(ModelCodec, RejectsMalformedModels) {
+  EXPECT_THROW(svc::decode_model(io::parse_json("42")),
+               std::invalid_argument);
+  EXPECT_THROW(svc::decode_model(io::parse_json("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(svc::decode_model(io::parse_json("{\"kind\":\"nope\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      svc::decode_model(io::parse_json("{\"kind\":\"amdahl\",\"w\":1}")),
+      std::invalid_argument);  // missing d
+  EXPECT_THROW(svc::decode_model(
+                   io::parse_json("{\"kind\":\"arbitrary\",\"times\":[]}")),
+               std::invalid_argument);  // TableModel rejects empty tables
+  EXPECT_THROW(
+      svc::decode_model(io::parse_json(
+          "{\"kind\":\"roofline\",\"w\":1,\"pbar\":2.5}")),
+      std::invalid_argument);  // non-integer pbar
+}
+
+TEST(ModelCodec, FunctionModelIsNotSerializable) {
+  const model::FunctionModel m([](int p) { return 1.0 / p; }, "f");
+  EXPECT_THROW(svc::encode_model(m), std::invalid_argument);
+}
+
+TEST(GraphCodec, RoundTripsTasksEdgesAndNames) {
+  graph::TaskGraph g;
+  g.add_task(std::make_shared<model::AmdahlModel>(10.0, 1.0), "load \"x\"");
+  g.add_task(std::make_shared<model::RooflineModel>(4.0, 8), "");
+  g.add_task(std::make_shared<model::TableModel>(
+                 std::vector<double>{3.0, 2.0}),
+             "reduce");
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+
+  const std::string encoded = svc::encode_graph(g);
+  const graph::TaskGraph back = svc::decode_graph(encoded);
+  ASSERT_EQ(back.num_tasks(), 3);
+  EXPECT_EQ(back.num_edges(), 3u);
+  EXPECT_EQ(back.name(0), "load \"x\"");
+  EXPECT_EQ(back.name(2), "reduce");
+  EXPECT_TRUE(back.has_edge(0, 1));
+  EXPECT_TRUE(back.has_edge(1, 2));
+  for (graph::TaskId v = 0; v < 3; ++v)
+    for (int p = 1; p <= 8; ++p)
+      EXPECT_EQ(back.model_of(v).time(p), g.model_of(v).time(p));
+  EXPECT_EQ(svc::encode_graph(back), encoded);
+}
+
+TEST(GraphCodec, RejectsBadDocuments) {
+  EXPECT_THROW(svc::decode_graph("[]"), std::invalid_argument);
+  EXPECT_THROW(svc::decode_graph("{}"), std::invalid_argument);
+  // Non-dense ids.
+  EXPECT_THROW(
+      svc::decode_graph("{\"tasks\":[{\"id\":1,\"model\":{\"kind\":"
+                        "\"amdahl\",\"w\":1,\"d\":1}}]}"),
+      std::invalid_argument);
+  // Edge endpoint out of range.
+  EXPECT_THROW(
+      svc::decode_graph(
+          "{\"tasks\":[{\"id\":0,\"model\":{\"kind\":\"amdahl\",\"w\":1,"
+          "\"d\":1}}],\"edges\":[[0,5]]}"),
+      std::invalid_argument);
+}
+
+}  // namespace

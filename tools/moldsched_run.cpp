@@ -19,6 +19,7 @@
 #include "moldsched/analysis/report.hpp"
 #include "moldsched/engine/engine.hpp"
 #include "moldsched/obs/obs.hpp"
+#include "moldsched/sched/registry.hpp"
 #include "moldsched/util/flags.hpp"
 #include "moldsched/util/table.hpp"
 
@@ -61,7 +62,20 @@ int usage(std::ostream& os, int code) {
   for (const auto& info : engine::suites())
     os << "  " << info.name << std::string(14 - std::min<std::size_t>(13, info.name.size()), ' ')
        << info.description << '\n';
+  os << "\nschedulers (sched::registry, usable wherever a scheduler name "
+        "is accepted):\n ";
+  for (const auto& name : sched::full_suite_names()) os << ' ' << name;
+  os << '\n';
   return code;
+}
+
+std::string joined_suite_names() {
+  std::string out;
+  for (const auto& info : engine::suites()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
 }
 
 /// util::Flags accepts any `--name`; reject typos (e.g. `--thread`)
@@ -120,7 +134,8 @@ int main(int argc, char** argv) {
     }
     for (const auto& name : suite_names) {
       if (!engine::has_suite(name)) {
-        std::cerr << "moldsched_run: unknown suite '" << name << "'\n\n";
+        std::cerr << "moldsched_run: unknown suite '" << name
+                  << "' (available: " << joined_suite_names() << ")\n\n";
         return usage(std::cerr, 2);
       }
     }

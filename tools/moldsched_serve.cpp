@@ -1,0 +1,104 @@
+// moldsched_serve — the scheduling service front end.
+//
+// Binds a TCP port (0 = ephemeral) and serves the length-prefixed JSON
+// protocol of svc::Server: session.open / task.release / session.close,
+// with admission control and an idle-session reaper. Prints one
+//   listening on <host>:<port>
+// line once bound (the smoke test and the load generator parse it), then
+// runs until SIGINT/SIGTERM — or until a client sends server.stop when
+// --allow-remote-stop is set.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "moldsched/analysis/report.hpp"
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/svc/server.hpp"
+#include "moldsched/util/flags.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int usage(std::ostream& os, int code) {
+  os << "usage: moldsched_serve [options]\n"
+        "\n"
+        "options:\n"
+        "  --host H             IPv4 address to bind (default 127.0.0.1)\n"
+        "  --port N             TCP port; 0 picks an ephemeral port "
+        "(default 0)\n"
+        "  --threads N          executor worker threads (default: hardware "
+        "concurrency)\n"
+        "  --max-sessions N     live-session limit (default 64)\n"
+        "  --max-tasks N        per-session task quota (default 100000)\n"
+        "  --max-inflight N     bounded request queue size across all\n"
+        "                       connections; beyond it requests are\n"
+        "                       rejected with 'overloaded' (default 256)\n"
+        "  --idle-timeout S     reap sessions idle longer than S seconds\n"
+        "                       (default 300)\n"
+        "  --allow-remote-stop  honor the server.stop op (off by default)\n"
+        "  --metrics FILE       write the svc.* metrics registry as JSON\n"
+        "                       on shutdown\n"
+        "  --quiet              print only the 'listening on' line\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace moldsched;
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.has("help") || flags.has("h")) return usage(std::cout, 0);
+
+    svc::ServerLimits limits;
+    limits.max_sessions = static_cast<int>(flags.get_int("max-sessions", 64));
+    limits.max_tasks_per_session =
+        static_cast<int>(flags.get_int("max-tasks", 100000));
+    limits.max_in_flight =
+        static_cast<int>(flags.get_int("max-inflight", 256));
+    limits.idle_timeout_s = flags.get_double("idle-timeout", 300.0);
+    limits.allow_remote_stop = flags.get_bool("allow-remote-stop", false);
+    const std::string host = flags.get_string("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.get_int("port", 0));
+    const auto threads =
+        static_cast<unsigned>(flags.get_int("threads", 0));
+    const std::string metrics_path = flags.get_string("metrics", "");
+    const bool quiet = flags.get_bool("quiet", false);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    engine::Executor executor(threads);
+    svc::Server server(limits, executor);
+    const int bound = server.listen(host, port);
+    std::cout << "listening on " << host << ":" << bound << std::endl;
+    if (!quiet)
+      std::cout << "limits: sessions " << limits.max_sessions << ", tasks "
+                << limits.max_tasks_per_session << ", in-flight "
+                << limits.max_in_flight << ", idle timeout "
+                << limits.idle_timeout_s << " s, remote stop "
+                << (limits.allow_remote_stop ? "on" : "off") << '\n';
+
+    // wait_for returns true once the server stopped (remote server.stop);
+    // a signal breaks the loop and stops it from here.
+    while (g_signal == 0 && !server.wait_for(0.2)) {
+    }
+    server.stop();
+    server.wait();
+
+    if (!metrics_path.empty()) {
+      analysis::write_file(metrics_path,
+                           obs::default_registry().to_json() + "\n");
+      if (!quiet) std::cout << "wrote metrics " << metrics_path << '\n';
+    }
+    if (!quiet) std::cout << "stopped\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "moldsched_serve: " << e.what() << '\n';
+    return 1;
+  }
+}
