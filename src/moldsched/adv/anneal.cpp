@@ -1,0 +1,151 @@
+#include "moldsched/adv/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/adv/perturb.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::adv {
+
+namespace {
+
+/// Outcome of one annealing chain; merged across restarts afterwards.
+struct ChainResult {
+  graph::TaskGraph best_graph;
+  int best_P = 2;
+  double best_ratio = -1.0;
+  double start_ratio = -1.0;
+  std::uint64_t evals = 0;
+  std::uint64_t accepts = 0;
+};
+
+ChainResult run_chain(const StartPoint& start,
+                      const sched::SchedulerSpec& target,
+                      const sched::SchedulerSpec& reference,
+                      const AnnealOptions& opt, std::uint64_t chain_seed) {
+  util::Rng rng(chain_seed);
+  ChainResult out;
+  out.best_graph = start.graph;
+  out.best_P = start.P;
+
+  graph::TaskGraph current = start.graph;
+  double current_ratio = evaluate_ratio(current, start.P, target, reference);
+  ++out.evals;
+  out.start_ratio = current_ratio;
+  out.best_ratio = current_ratio;
+  if (current_ratio < 0.0) return out;  // start rejected; nothing to climb
+
+  // Geometric cooling: temperature decays t_initial -> t_final over the
+  // iteration budget. The acceptance test works on the *relative* ratio
+  // change, so the schedule is scale-free in the objective.
+  const int denom = std::max(1, opt.iterations - 1);
+  const double decay = std::pow(opt.t_final / opt.t_initial, 1.0 / denom);
+  double temperature = opt.t_initial;
+
+  for (int it = 0; it < opt.iterations; ++it, temperature *= decay) {
+    if (opt.token.cancelled()) break;
+    const auto move = propose_perturbation(current, rng, opt.max_tasks);
+    if (!move) break;  // no applicable move exists; chain is stuck
+    auto candidate = apply_perturbation(current, *move);
+    if (!candidate) continue;
+    const double ratio =
+        evaluate_ratio(*candidate, start.P, target, reference);
+    ++out.evals;
+    if (ratio < 0.0) continue;  // scheduler refused the candidate
+    const double delta = (ratio - current_ratio) /
+                         std::max(current_ratio, 1e-12);
+    if (delta >= 0.0 || rng.unit() < std::exp(delta / temperature)) {
+      current = std::move(*candidate);
+      current_ratio = ratio;
+      ++out.accepts;
+      if (ratio > out.best_ratio) {
+        out.best_ratio = ratio;
+        out.best_graph = current;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double evaluate_ratio(const graph::TaskGraph& g, int P,
+                      const sched::SchedulerSpec& target,
+                      const sched::SchedulerSpec& reference) {
+  try {
+    const double t = target.run(g, P).makespan;
+    const double r = reference.run(g, P).makespan;
+    if (!(t > 0.0) || !(r > 0.0) || !std::isfinite(t) || !std::isfinite(r))
+      return -1.0;
+    return t / r;
+  } catch (const std::exception&) {
+    return -1.0;
+  }
+}
+
+AnnealResult anneal_search(const std::vector<StartPoint>& starts,
+                           const sched::SchedulerSpec& target,
+                           const sched::SchedulerSpec& reference,
+                           const AnnealOptions& options) {
+  if (starts.empty())
+    throw std::invalid_argument("anneal_search: no starting instances");
+  if (options.iterations < 1 || options.restarts < 1)
+    throw std::invalid_argument(
+        "anneal_search: iterations and restarts must be positive");
+  if (!(options.t_final > 0.0) || options.t_initial < options.t_final)
+    throw std::invalid_argument(
+        "anneal_search: need t_initial >= t_final > 0");
+  if (options.max_tasks < 1)
+    throw std::invalid_argument("anneal_search: max_tasks must be positive");
+  for (const auto& s : starts) s.graph.validate();
+
+  // At least one chain per start point: the merged best can then never
+  // fall below the best starting instance (each chain's start ratio
+  // seeds its best), which is what lets callers use the fixed
+  // constructions as a guaranteed baseline.
+  const auto n = std::max(static_cast<std::size_t>(options.restarts),
+                          starts.size());
+  std::vector<ChainResult> chains(n);
+  auto run_one = [&](std::size_t r) {
+    const auto& start = starts[r % starts.size()];
+    chains[r] = run_chain(start, target, reference, options,
+                          util::derive_seed(options.seed, r));
+  };
+  if (options.parallel_restarts && n > 1) {
+    engine::Executor::global().parallel_for(n, run_one);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) run_one(r);
+  }
+
+  // Deterministic merge regardless of chain completion order: the
+  // highest ratio wins, ties broken by the lowest restart index.
+  AnnealResult result;
+  result.best_graph = starts.front().graph;
+  result.best_P = starts.front().P;
+  result.best_ratio = -1.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const ChainResult& c = chains[r];
+    result.evals += c.evals;
+    result.accepts += c.accepts;
+    result.start_ratio = std::max(result.start_ratio, c.start_ratio);
+    if (c.best_ratio > result.best_ratio) {
+      result.best_ratio = c.best_ratio;
+      result.best_graph = c.best_graph;
+      result.best_P = c.best_P;
+      result.best_restart = static_cast<int>(r);
+    }
+  }
+
+  auto& reg = obs::default_registry();
+  reg.counter("adv.evals").add(result.evals);
+  reg.counter("adv.accepts").add(result.accepts);
+  if (result.best_ratio > 0.0)
+    reg.gauge("adv.best_ratio").set(result.best_ratio);
+  return result;
+}
+
+}  // namespace moldsched::adv

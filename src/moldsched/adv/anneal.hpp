@@ -1,0 +1,78 @@
+// Simulated-annealing search for adversarial instances (PISA-style,
+// arXiv:2403.07120): maximize the makespan ratio
+//     target_makespan(g, P) / reference_makespan(g, P)
+// over the perturbation grammar of perturb.hpp, starting from the
+// paper's fixed adversary constructions (or any caller-supplied
+// instances).
+//
+// Reproducibility contract: restart r draws every random decision from
+// Rng(util::derive_seed(options.seed, r)) — a pure function of (seed,
+// restart index) — so results are bit-identical whether restarts run
+// sequentially or in parallel on engine::Executor, and across runs.
+// The only nondeterministic input is a wall-clock cancel token; runs
+// without a deadline are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sched/registry.hpp"
+
+namespace moldsched::adv {
+
+/// One starting instance of the search: a graph plus the platform size
+/// it is evaluated on (the perturbation grammar never changes P).
+struct StartPoint {
+  graph::TaskGraph graph;
+  int P = 2;
+  std::string label;  ///< e.g. "fig1-roofline"; reporting only
+};
+
+struct AnnealOptions {
+  int iterations = 80;      ///< proposals per restart
+  int restarts = 2;         ///< independent chains; restart r starts from
+                            ///< starts[r % starts.size()]. Raised to
+                            ///< starts.size() when smaller, so every
+                            ///< start anchors at least one chain and the
+                            ///< result never falls below the best start.
+  double t_initial = 0.10;  ///< relative-delta temperature, geometric
+  double t_final = 0.005;   ///< schedule from t_initial down to t_final
+  int max_tasks = 240;      ///< growth ops stop proposing past this size
+  std::uint64_t seed = 1;
+  bool parallel_restarts = true;  ///< run chains on engine::Executor
+  /// Optional budget: iterations stop early once cancelled. Determinism
+  /// only holds for runs that never hit the deadline.
+  engine::CancelToken token;
+};
+
+struct AnnealResult {
+  graph::TaskGraph best_graph;
+  int best_P = 2;
+  double best_ratio = 0.0;   ///< target/reference makespan of best_graph
+  double start_ratio = 0.0;  ///< best ratio among the starting instances
+  std::uint64_t evals = 0;   ///< candidate evaluations across restarts
+  std::uint64_t accepts = 0; ///< accepted moves across restarts
+  int best_restart = 0;      ///< chain that found best_graph
+};
+
+/// target_makespan / reference_makespan on (g, P), or a negative value
+/// when either scheduler rejects the instance (the annealer treats that
+/// candidate as refused rather than failing the search).
+[[nodiscard]] double evaluate_ratio(const graph::TaskGraph& g, int P,
+                                    const sched::SchedulerSpec& target,
+                                    const sched::SchedulerSpec& reference);
+
+/// Runs `options.restarts` annealing chains over `starts` and merges
+/// them deterministically (highest ratio wins; ties go to the lowest
+/// restart index). Updates obs counters adv.evals / adv.accepts and the
+/// gauge adv.best_ratio. Throws std::invalid_argument on an empty start
+/// set or a non-positive/non-monotone temperature schedule.
+[[nodiscard]] AnnealResult anneal_search(const std::vector<StartPoint>& starts,
+                                         const sched::SchedulerSpec& target,
+                                         const sched::SchedulerSpec& reference,
+                                         const AnnealOptions& options);
+
+}  // namespace moldsched::adv

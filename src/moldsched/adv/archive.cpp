@@ -1,0 +1,171 @@
+#include "moldsched/adv/archive.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::adv {
+
+namespace {
+
+double require_number(const io::JsonValue& v, const char* key) {
+  const auto& field = v.at(key);
+  if (!field.is_number())
+    throw std::invalid_argument(std::string("ReproRecord: field '") + key +
+                                "' must be a number");
+  return field.number;
+}
+
+std::string require_string(const io::JsonValue& v, const char* key) {
+  const auto& field = v.at(key);
+  if (!field.is_string())
+    throw std::invalid_argument(std::string("ReproRecord: field '") + key +
+                                "' must be a string");
+  return field.string;
+}
+
+std::mutex& buffer_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<int, std::string>& buffer() {
+  static std::map<int, std::string> lines;
+  return lines;
+}
+
+}  // namespace
+
+std::string encode_record(const ReproRecord& r) {
+  std::ostringstream os;
+  os << "{\"suite\":\"" << io::json_escape(r.suite) << "\""
+     << ",\"target\":\"" << io::json_escape(r.target) << "\""
+     << ",\"reference\":\"" << io::json_escape(r.reference) << "\""
+     << ",\"P\":" << r.P << ",\"mu\":" << svc::wire_number(r.mu)
+     // Seeds are full 64-bit values; JSON numbers are doubles (53-bit
+     // mantissa), so the seed travels as a decimal string.
+     << ",\"seed\":\"" << r.seed << "\""
+     << ",\"ratio\":" << svc::wire_number(r.ratio)
+     << ",\"target_makespan\":" << svc::wire_number(r.target_makespan)
+     << ",\"reference_makespan\":" << svc::wire_number(r.reference_makespan)
+     << ",\"fixed_ratio\":" << svc::wire_number(r.fixed_ratio)
+     << ",\"note\":\"" << io::json_escape(r.note) << "\""
+     << ",\"graph\":" << svc::encode_graph(r.graph) << "}";
+  return os.str();
+}
+
+namespace {
+
+ReproRecord decode_fields(const io::JsonValue& v) {
+  ReproRecord r;
+  r.suite = require_string(v, "suite");
+  r.target = require_string(v, "target");
+  r.reference = require_string(v, "reference");
+  r.P = static_cast<int>(require_number(v, "P"));
+  r.mu = require_number(v, "mu");
+  const std::string seed = require_string(v, "seed");
+  if (seed.empty() ||
+      seed.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("ReproRecord: seed must be a decimal string");
+  errno = 0;
+  char* end = nullptr;
+  r.seed = std::strtoull(seed.c_str(), &end, 10);
+  if (errno != 0 || end != seed.c_str() + seed.size())
+    throw std::invalid_argument("ReproRecord: seed out of range");
+  r.ratio = require_number(v, "ratio");
+  r.target_makespan = require_number(v, "target_makespan");
+  r.reference_makespan = require_number(v, "reference_makespan");
+  r.fixed_ratio = require_number(v, "fixed_ratio");
+  r.note = require_string(v, "note");
+  r.graph = svc::decode_graph(v.at("graph"));
+  if (r.P < 1) throw std::invalid_argument("ReproRecord: P must be >= 1");
+  return r;
+}
+
+}  // namespace
+
+ReproRecord decode_record(const io::JsonValue& v) {
+  if (!v.is_object())
+    throw std::invalid_argument("ReproRecord: line is not a JSON object");
+  try {
+    return decode_fields(v);
+  } catch (const std::out_of_range& e) {
+    // JsonValue::at on a missing member; the documented contract is
+    // invalid_argument for every malformed record.
+    throw std::invalid_argument(std::string("ReproRecord: ") + e.what());
+  }
+}
+
+ReproRecord decode_record(const std::string& line) {
+  return decode_record(io::parse_json(line));
+}
+
+std::vector<ReproRecord> read_archive(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read archive file: " + path);
+  std::vector<ReproRecord> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      records.push_back(decode_record(line));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+  }
+  return records;
+}
+
+ReplayOutcome replay_record(const ReproRecord& r,
+                            const std::string& scheduler) {
+  ReplayOutcome out;
+  out.scheduler = scheduler.empty() ? r.target : scheduler;
+  const auto spec = sched::spec_by_name(out.scheduler, r.mu);
+  const auto result = spec.run(r.graph, r.P);
+  out.makespan = result.makespan;
+  out.lower_bound = analysis::optimal_makespan_lower_bound(r.graph, r.P);
+  out.ratio_to_lb =
+      out.lower_bound > 0.0 ? out.makespan / out.lower_bound : 0.0;
+  const auto report = sim::validate_schedule(r.graph, result.trace, r.P);
+  out.valid = report.ok();
+  if (!out.valid) out.violations = report.to_string();
+  if (out.scheduler == r.target) {
+    out.checked = true;
+    out.recorded_makespan = r.target_makespan;
+  } else if (out.scheduler == r.reference) {
+    out.checked = true;
+    out.recorded_makespan = r.reference_makespan;
+  }
+  if (out.checked) out.bit_identical = out.makespan == out.recorded_makespan;
+  return out;
+}
+
+void archive_buffer_put(int job_id, std::string line) {
+  const std::lock_guard<std::mutex> lock(buffer_mutex());
+  buffer()[job_id] = std::move(line);
+}
+
+std::vector<std::string> archive_buffer_drain() {
+  const std::lock_guard<std::mutex> lock(buffer_mutex());
+  std::vector<std::string> lines;
+  lines.reserve(buffer().size());
+  for (auto& [id, line] : buffer()) lines.push_back(std::move(line));
+  buffer().clear();
+  return lines;
+}
+
+}  // namespace moldsched::adv

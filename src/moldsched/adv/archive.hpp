@@ -1,0 +1,83 @@
+// Replayable repro archive for adversarial instances.
+//
+// Each archive line is one self-contained JSON object carrying the full
+// instance (graph via svc::encode_graph — lossless, bit-exact doubles),
+// the scheduler pair it separates, and the makespans observed when it
+// was archived. Because the codec round-trips IEEE-754 exactly and every
+// scheduler in the registry is deterministic, a replay must reproduce
+// the recorded makespans *bit-identically*; replay_record checks that,
+// re-validates the schedule with sim::validate_schedule, and reports the
+// T/LB ratio against the Lemma 2 lower bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/io/json.hpp"
+
+namespace moldsched::adv {
+
+/// One archived worst instance for a (target, reference) scheduler pair.
+struct ReproRecord {
+  std::string suite;       ///< producer, e.g. "pisa"
+  std::string target;      ///< scheduler whose makespan is the numerator
+  std::string reference;   ///< denominator scheduler
+  int P = 2;
+  double mu = 0.25;        ///< LPA parameter both schedulers were built with
+  std::uint64_t seed = 0;  ///< search seed that produced the instance
+  double ratio = 0.0;      ///< target_makespan / reference_makespan
+  double target_makespan = 0.0;
+  double reference_makespan = 0.0;
+  double fixed_ratio = 0.0;  ///< the fixed Figure 1-4 construction's ratio
+                             ///< for this pair (search baseline)
+  std::string note;          ///< free-form provenance, e.g. start label
+  graph::TaskGraph graph;
+};
+
+/// One JSONL line (no trailing newline). Doubles use svc::wire_number.
+[[nodiscard]] std::string encode_record(const ReproRecord& r);
+
+/// Inverse of encode_record. Throws std::invalid_argument on missing
+/// fields or a graph the codec rejects.
+[[nodiscard]] ReproRecord decode_record(const io::JsonValue& v);
+[[nodiscard]] ReproRecord decode_record(const std::string& line);
+
+/// Parses every non-empty line of a JSONL archive file. Throws
+/// std::runtime_error when the file cannot be read, std::invalid_argument
+/// (with the line number) on a malformed line.
+[[nodiscard]] std::vector<ReproRecord> read_archive(const std::string& path);
+
+/// Result of re-running an archived instance through one scheduler.
+struct ReplayOutcome {
+  std::string scheduler;      ///< name actually run
+  double makespan = 0.0;
+  double lower_bound = 0.0;   ///< Lemma 2 bound: max(A_min/P, C_min)
+  double ratio_to_lb = 0.0;   ///< makespan / lower_bound
+  bool valid = false;         ///< sim::validate_schedule passed
+  std::string violations;     ///< validator report when !valid
+  /// True when the replayed makespan equals the archived one to the bit.
+  /// Only meaningful when the scheduler is the record's target or
+  /// reference (checked = false otherwise).
+  bool bit_identical = false;
+  bool checked = false;
+  double recorded_makespan = 0.0;  ///< archived value compared against
+};
+
+/// Replays `r` through `scheduler` (empty = the record's target),
+/// resolving the name via sched::spec_by_name at the record's mu.
+/// Throws std::invalid_argument for unknown scheduler names.
+[[nodiscard]] ReplayOutcome replay_record(const ReproRecord& r,
+                                          const std::string& scheduler = "");
+
+/// Process-wide buffer carrying archive lines from engine job runners to
+/// the suite finalizer (JobRecord itself transports only numeric
+/// metrics). Keyed by job id; drained in id order so archive files are
+/// deterministic regardless of job execution order.
+void archive_buffer_put(int job_id, std::string line);
+
+/// Removes and returns all buffered lines, sorted by job id.
+[[nodiscard]] std::vector<std::string> archive_buffer_drain();
+
+}  // namespace moldsched::adv

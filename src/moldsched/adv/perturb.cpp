@@ -1,0 +1,355 @@
+#include "moldsched/adv/perturb.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "moldsched/check/shrink.hpp"
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::adv {
+
+namespace {
+
+constexpr int kNumOps = 10;
+
+const char* op_name(PerturbOp op) {
+  switch (op) {
+    case PerturbOp::kAddEdge: return "add-edge";
+    case PerturbOp::kRemoveEdge: return "remove-edge";
+    case PerturbOp::kCloneTask: return "clone-task";
+    case PerturbOp::kRemoveTask: return "remove-task";
+    case PerturbOp::kSplitTask: return "split-task";
+    case PerturbOp::kScaleWork: return "scale-work";
+    case PerturbOp::kScaleSeq: return "scale-seq";
+    case PerturbOp::kScaleComm: return "scale-comm";
+    case PerturbOp::kSetPbar: return "set-pbar";
+    case PerturbOp::kScaleTableEntry: return "scale-table-entry";
+  }
+  throw std::invalid_argument("adv: unknown PerturbOp");
+}
+
+/// Rebuilds an Eq. (1)-family model from mutated parameters while
+/// keeping the original subclass (and thus ModelKind and analysis
+/// constants). Returns nullptr when the parameters violate the
+/// subclass's constructor contract.
+model::ModelPtr rebuild_eq1(model::ModelKind kind,
+                            const model::GeneralParams& p) {
+  try {
+    switch (kind) {
+      case model::ModelKind::kRoofline:
+        return std::make_shared<model::RooflineModel>(p.w, p.pbar);
+      case model::ModelKind::kCommunication:
+        return std::make_shared<model::CommunicationModel>(p.w, p.c);
+      case model::ModelKind::kAmdahl:
+        return std::make_shared<model::AmdahlModel>(p.w, p.d);
+      case model::ModelKind::kGeneral:
+        return std::make_shared<model::GeneralModel>(p);
+      case model::ModelKind::kArbitrary: break;
+    }
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// Copy of g with task `id`'s model replaced.
+graph::TaskGraph with_model(const graph::TaskGraph& g, graph::TaskId id,
+                            model::ModelPtr replacement) {
+  graph::TaskGraph out;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    out.add_task(v == id ? std::move(replacement) : g.model_ptr(v), g.name(v));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v)) out.add_edge(v, s);
+  return out;
+}
+
+bool valid_task(const graph::TaskGraph& g, graph::TaskId id) {
+  return id >= 0 && id < g.num_tasks();
+}
+
+bool usable_factor(double f) {
+  return std::isfinite(f) && f > 0.0;
+}
+
+/// The Eq. (1) parameter block of task `id`, or nullopt for arbitrary
+/// models (TableModel and friends).
+std::optional<std::pair<model::ModelKind, model::GeneralParams>> eq1_params(
+    const graph::TaskGraph& g, graph::TaskId id) {
+  const auto* gen =
+      dynamic_cast<const model::GeneralModel*>(&g.model_of(id));
+  if (gen == nullptr) return std::nullopt;
+  return std::make_pair(gen->kind(), gen->params());
+}
+
+std::optional<graph::TaskGraph> apply_add_edge(const graph::TaskGraph& g,
+                                               const Perturbation& p) {
+  if (!valid_task(g, p.a) || !valid_task(g, p.b) || p.a == p.b) {
+    return std::nullopt;
+  }
+  if (g.has_edge(p.a, p.b)) return std::nullopt;
+  graph::TaskGraph out = g;
+  out.add_edge(p.a, p.b);
+  if (!graph::is_acyclic(out)) return std::nullopt;
+  return out;
+}
+
+std::optional<graph::TaskGraph> apply_remove_task(const graph::TaskGraph& g,
+                                                  graph::TaskId a) {
+  if (!valid_task(g, a) || g.num_tasks() < 2) return std::nullopt;
+  graph::TaskGraph out;
+  std::vector<graph::TaskId> new_id(static_cast<std::size_t>(g.num_tasks()),
+                                    -1);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (v == a) continue;
+    new_id[static_cast<std::size_t>(v)] =
+        out.add_task(g.model_ptr(v), g.name(v));
+  }
+  auto mapped = [&](graph::TaskId v) {
+    return new_id[static_cast<std::size_t>(v)];
+  };
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (v == a) continue;
+    for (const graph::TaskId s : g.successors(v))
+      if (s != a) out.add_edge(mapped(v), mapped(s));
+  }
+  // Preserve transitive precedence through the removed task (the "merge
+  // layers" reading: a's predecessors now gate a's successors directly).
+  for (const graph::TaskId u : g.predecessors(a))
+    for (const graph::TaskId s : g.successors(a))
+      if (!out.has_edge(mapped(u), mapped(s)))
+        out.add_edge(mapped(u), mapped(s));
+  return out;
+}
+
+std::optional<graph::TaskGraph> apply_clone_task(const graph::TaskGraph& g,
+                                                 graph::TaskId a) {
+  if (!valid_task(g, a)) return std::nullopt;
+  graph::TaskGraph out = g;
+  const graph::TaskId twin =
+      out.add_task(g.model_ptr(a), g.name(a).empty() ? "" : g.name(a) + "'");
+  for (const graph::TaskId u : g.predecessors(a)) out.add_edge(u, twin);
+  for (const graph::TaskId s : g.successors(a)) out.add_edge(twin, s);
+  return out;
+}
+
+std::optional<graph::TaskGraph> apply_split_task(const graph::TaskGraph& g,
+                                                 graph::TaskId a) {
+  if (!valid_task(g, a)) return std::nullopt;
+  const auto params = eq1_params(g, a);
+  if (!params) return std::nullopt;
+  model::GeneralParams half = params->second;
+  if (!(half.w > 0.0)) return std::nullopt;
+  half.w /= 2.0;
+  const auto half_model = rebuild_eq1(params->first, half);
+  if (half_model == nullptr) return std::nullopt;
+  graph::TaskGraph out;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    out.add_task(v == a ? half_model : g.model_ptr(v), g.name(v));
+  const graph::TaskId tail = out.add_task(
+      half_model, g.name(a).empty() ? "" : g.name(a) + "/2");
+  // a keeps its predecessors; its successors move to the chained tail.
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId s : g.successors(v))
+      out.add_edge(v == a ? tail : v, s);
+  out.add_edge(a, tail);
+  return out;
+}
+
+std::optional<graph::TaskGraph> apply_scale(const graph::TaskGraph& g,
+                                            const Perturbation& p) {
+  if (!valid_task(g, p.a) || !usable_factor(p.factor)) return std::nullopt;
+  const auto params = eq1_params(g, p.a);
+  if (!params) return std::nullopt;
+  model::GeneralParams q = params->second;
+  switch (p.op) {
+    case PerturbOp::kScaleWork:
+      if (!(q.w > 0.0)) return std::nullopt;
+      q.w *= p.factor;
+      break;
+    case PerturbOp::kScaleSeq:
+      if (!(q.d > 0.0)) return std::nullopt;
+      q.d *= p.factor;
+      break;
+    case PerturbOp::kScaleComm:
+      if (!(q.c > 0.0)) return std::nullopt;
+      q.c *= p.factor;
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!std::isfinite(q.w) || !std::isfinite(q.d) || !std::isfinite(q.c))
+    return std::nullopt;
+  auto rebuilt = rebuild_eq1(params->first, q);
+  if (rebuilt == nullptr) return std::nullopt;
+  return with_model(g, p.a, std::move(rebuilt));
+}
+
+std::optional<graph::TaskGraph> apply_set_pbar(const graph::TaskGraph& g,
+                                               const Perturbation& p) {
+  if (!valid_task(g, p.a) || p.b < 1) return std::nullopt;
+  const auto params = eq1_params(g, p.a);
+  if (!params) return std::nullopt;
+  // Only the families whose analysis carries pbar: roofline and general.
+  if (params->first != model::ModelKind::kRoofline &&
+      params->first != model::ModelKind::kGeneral)
+    return std::nullopt;
+  model::GeneralParams q = params->second;
+  if (q.pbar == p.b) return std::nullopt;
+  q.pbar = p.b;
+  auto rebuilt = rebuild_eq1(params->first, q);
+  if (rebuilt == nullptr) return std::nullopt;
+  return with_model(g, p.a, std::move(rebuilt));
+}
+
+std::optional<graph::TaskGraph> apply_scale_table(const graph::TaskGraph& g,
+                                                  const Perturbation& p) {
+  if (!valid_task(g, p.a) || !usable_factor(p.factor)) return std::nullopt;
+  const auto* table =
+      dynamic_cast<const model::TableModel*>(&g.model_of(p.a));
+  if (table == nullptr || p.b < 0 || p.b >= table->table_size())
+    return std::nullopt;
+  std::vector<double> times(static_cast<std::size_t>(table->table_size()));
+  for (int q = 1; q <= table->table_size(); ++q)
+    times[static_cast<std::size_t>(q - 1)] = table->time(q);
+  double& entry = times[static_cast<std::size_t>(p.b)];
+  entry *= p.factor;
+  if (!std::isfinite(entry) || !(entry > 0.0)) return std::nullopt;
+  return with_model(g, p.a,
+                    std::make_shared<model::TableModel>(std::move(times)));
+}
+
+}  // namespace
+
+std::string to_string(PerturbOp op) { return op_name(op); }
+
+std::string Perturbation::to_json() const {
+  std::ostringstream os;
+  os << "{\"op\":\"" << op_name(op) << "\",\"a\":" << a << ",\"b\":" << b
+     << ",\"factor\":" << svc::wire_number(factor) << "}";
+  return os.str();
+}
+
+Perturbation Perturbation::from_json(const io::JsonValue& v) {
+  if (!v.is_object())
+    throw std::invalid_argument("Perturbation::from_json: not an object");
+  Perturbation p;
+  const auto& name = v.at("op");
+  if (!name.is_string())
+    throw std::invalid_argument("Perturbation::from_json: op must be string");
+  bool found = false;
+  for (int i = 0; i < kNumOps; ++i) {
+    const auto op = static_cast<PerturbOp>(i);
+    if (name.string == op_name(op)) {
+      p.op = op;
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("Perturbation::from_json: unknown op '" +
+                                name.string + "'");
+  p.a = static_cast<graph::TaskId>(v.at("a").number);
+  p.b = static_cast<int>(v.at("b").number);
+  p.factor = v.at("factor").number;
+  return p;
+}
+
+Perturbation Perturbation::from_json(const std::string& json) {
+  return from_json(io::parse_json(json));
+}
+
+std::optional<graph::TaskGraph> apply_perturbation(const graph::TaskGraph& g,
+                                                   const Perturbation& p) {
+  switch (p.op) {
+    case PerturbOp::kAddEdge:
+      return apply_add_edge(g, p);
+    case PerturbOp::kRemoveEdge:
+      if (!valid_task(g, p.a) || !valid_task(g, p.b) ||
+          !g.has_edge(p.a, p.b))
+        return std::nullopt;
+      return check::without_edge(g, p.a, p.b);
+    case PerturbOp::kCloneTask:
+      return apply_clone_task(g, p.a);
+    case PerturbOp::kRemoveTask:
+      return apply_remove_task(g, p.a);
+    case PerturbOp::kSplitTask:
+      return apply_split_task(g, p.a);
+    case PerturbOp::kScaleWork:
+    case PerturbOp::kScaleSeq:
+    case PerturbOp::kScaleComm:
+      return apply_scale(g, p);
+    case PerturbOp::kSetPbar:
+      return apply_set_pbar(g, p);
+    case PerturbOp::kScaleTableEntry:
+      return apply_scale_table(g, p);
+  }
+  return std::nullopt;
+}
+
+std::optional<Perturbation> propose_perturbation(const graph::TaskGraph& g,
+                                                 util::Rng& rng, int max_tasks,
+                                                 int attempts) {
+  const int n = g.num_tasks();
+  if (n == 0) return std::nullopt;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Perturbation p;
+    p.op = static_cast<PerturbOp>(rng.uniform_int(0, kNumOps - 1));
+    const bool grows =
+        p.op == PerturbOp::kCloneTask || p.op == PerturbOp::kSplitTask;
+    if (grows && n >= max_tasks) continue;
+    p.a = static_cast<graph::TaskId>(rng.uniform_int(0, n - 1));
+    switch (p.op) {
+      case PerturbOp::kAddEdge:
+        p.b = static_cast<int>(rng.uniform_int(0, n - 1));
+        break;
+      case PerturbOp::kRemoveEdge: {
+        if (g.num_edges() == 0) continue;
+        // Pick the k-th edge of the deterministic (source id, stored
+        // successor order) enumeration.
+        auto k = rng.uniform_int(
+            0, static_cast<std::int64_t>(g.num_edges()) - 1);
+        bool picked = false;
+        for (graph::TaskId v = 0; v < n && !picked; ++v) {
+          for (const graph::TaskId s : g.successors(v)) {
+            if (k-- == 0) {
+              p.a = v;
+              p.b = s;
+              picked = true;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case PerturbOp::kSetPbar:
+        p.b = static_cast<int>(rng.uniform_int(1, 256));
+        break;
+      case PerturbOp::kScaleTableEntry: {
+        const auto* table =
+            dynamic_cast<const model::TableModel*>(&g.model_of(p.a));
+        if (table == nullptr) continue;
+        p.b = static_cast<int>(rng.uniform_int(0, table->table_size() - 1));
+        p.factor = rng.log_uniform(0.5, 2.0);
+        break;
+      }
+      case PerturbOp::kScaleWork:
+      case PerturbOp::kScaleSeq:
+      case PerturbOp::kScaleComm:
+        p.factor = rng.log_uniform(0.5, 2.0);
+        break;
+      default:
+        break;
+    }
+    if (apply_perturbation(g, p).has_value()) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace moldsched::adv

@@ -1,0 +1,78 @@
+// Perturbation grammar over moldable task graphs — the move set of the
+// PISA-style adversarial search (Coleman & Krishnamachari,
+// arXiv:2403.07120, adapted to the moldable-DAG setting).
+//
+// A Perturbation is one small, serializable edit of an instance:
+// add/remove an edge (acyclicity re-checked via graph::algorithms),
+// clone/remove a task (widening or merging layers), split a task into a
+// serial chain, or mutate one speedup-model parameter of the Eq. (1)
+// family / one TableModel entry. Edits are *bit-exact serializable*:
+// to_json() prints the multiplicative factor with svc::wire_number's 17
+// significant digits, so a decoded delta applied to the same base graph
+// reproduces the byte-identical instance — the property that makes
+// annealing trails replayable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/io/json.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::adv {
+
+/// The move set. Model mutations preserve the task's ModelKind: scaling
+/// d on a roofline task (d == 0) is inapplicable rather than silently
+/// changing the family the analysis reasons about.
+enum class PerturbOp {
+  kAddEdge,          ///< forward edge a -> b (rejected if it closes a cycle)
+  kRemoveEdge,       ///< drop the existing edge a -> b
+  kCloneTask,        ///< duplicate task a with its predecessors/successors
+                     ///< (widens a's layer)
+  kRemoveTask,       ///< remove a, reconnecting each pred to each succ
+                     ///< (merges a's layer into its neighbours)
+  kSplitTask,        ///< replace a's work w with w/2 and append a chained
+                     ///< twin carrying the other half (deepens the graph)
+  kScaleWork,        ///< w  *= factor (Eq. (1) family)
+  kScaleSeq,         ///< d  *= factor (Amdahl / general; requires d > 0)
+  kScaleComm,        ///< c  *= factor (communication / general; c > 0)
+  kSetPbar,          ///< pbar = b (roofline / general)
+  kScaleTableEntry,  ///< times[b] *= factor (TableModel)
+};
+
+[[nodiscard]] std::string to_string(PerturbOp op);
+
+/// One edit. Which of a / b / factor are meaningful depends on op; the
+/// unused fields keep their defaults and round-trip through JSON.
+struct Perturbation {
+  PerturbOp op = PerturbOp::kAddEdge;
+  graph::TaskId a = 0;   ///< task (or edge source)
+  int b = 0;             ///< edge target, pbar value, or table index
+  double factor = 1.0;   ///< multiplicative parameter delta
+
+  /// {"op":"scale-work","a":3,"b":0,"factor":1.2345678901234567}.
+  /// factor is printed with 17 significant digits (bit-exact round trip).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static Perturbation from_json(const io::JsonValue& v);
+  [[nodiscard]] static Perturbation from_json(const std::string& json);
+};
+
+/// Applies `p` to a copy of `g`. Returns nullopt when the edit is
+/// inapplicable: unknown ids, an edge that would close a cycle or
+/// already exists, removing the last task, scaling a zero parameter, or
+/// a model family the op does not address. Applicable edits always yield
+/// a valid (acyclic, positive-time) graph whose models stay losslessly
+/// serializable via svc::encode_graph.
+[[nodiscard]] std::optional<graph::TaskGraph> apply_perturbation(
+    const graph::TaskGraph& g, const Perturbation& p);
+
+/// Draws random perturbations until one is applicable to `g` (at most
+/// `attempts` tries; nullopt afterwards — e.g. a single-task graph with
+/// a non-mutable model). Growth ops (clone/split) are not proposed once
+/// the graph has reached `max_tasks`. Deterministic given the rng state.
+[[nodiscard]] std::optional<Perturbation> propose_perturbation(
+    const graph::TaskGraph& g, util::Rng& rng, int max_tasks,
+    int attempts = 32);
+
+}  // namespace moldsched::adv

@@ -1,0 +1,277 @@
+#include "moldsched/adv/tournament.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/check/differential.hpp"
+#include "moldsched/check/shrink.hpp"
+#include "moldsched/graph/adversary.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::adv {
+
+namespace {
+
+// Small instantiations of the Figure 1-4 constructions: large enough to
+// exhibit the layered worst-case behaviour, small enough that the
+// annealer can afford hundreds of evaluations per pair.
+constexpr int kRooflineP = 32;
+constexpr int kCommunicationP = 8;
+constexpr int kAmdahlK = 6;    // P = K^2 = 36
+constexpr int kGeneralK = 6;   // P = K^2 = 36
+constexpr int kCorpusP = 32;
+
+constexpr const char* kFixedLabelPrefix = "fig:";
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+bool is_fixed_start(const StartPoint& s) {
+  return s.label.rfind(kFixedLabelPrefix, 0) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> tournament_scheduler_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : sched::standard_suite(0.25))
+    names.push_back(spec.name);
+  return names;
+}
+
+std::vector<StartPoint> tournament_starts(double mu, std::uint64_t seed) {
+  std::vector<StartPoint> starts;
+  // A construction can be infeasible at extreme mu (the layer count Y
+  // shrinks with delta(mu)); skip it rather than losing the whole start
+  // set — the remaining constructions still anchor the baseline.
+  auto fixed = [&](auto build, const std::string& name) {
+    try {
+      graph::AdversaryInstance inst = build();
+      starts.push_back(
+          {std::move(inst.graph), inst.P, kFixedLabelPrefix + name});
+    } catch (const std::invalid_argument&) {
+    }
+  };
+  fixed([&] { return graph::roofline_adversary(kRooflineP, mu); },
+        "roofline");
+  fixed([&] { return graph::communication_adversary(kCommunicationP, mu); },
+        "communication");
+  fixed([&] { return graph::amdahl_adversary(kAmdahlK, mu); }, "amdahl");
+  fixed([&] { return graph::general_adversary(kGeneralK, mu); }, "general");
+
+  // Two random corpus instances widen the search beyond the layered
+  // Figure 1 shape: one Eq. (1) general graph, one TableModel graph (the
+  // only family the kScaleTableEntry move applies to). Seeded through
+  // derive_seed so the start set is a pure function of (mu, seed).
+  util::Rng general_rng(util::derive_seed(seed, 0xad50));
+  starts.push_back({check::corpus_graph(0, model::ModelKind::kGeneral,
+                                        general_rng, kCorpusP),
+                    kCorpusP, "corpus:general"});
+  util::Rng table_rng(util::derive_seed(seed, 0xad51));
+  starts.push_back({check::corpus_graph(1, model::ModelKind::kArbitrary,
+                                        table_rng, kCorpusP),
+                    kCorpusP, "corpus:table"});
+  return starts;
+}
+
+PairResult run_pair(const std::string& target, const std::string& reference,
+                    const TournamentOptions& options) {
+  const auto target_spec = sched::spec_by_name(target, options.mu);
+  const auto reference_spec = sched::spec_by_name(reference, options.mu);
+  const auto starts = tournament_starts(options.mu, options.seed);
+
+  PairResult pr;
+  pr.target = target;
+  pr.reference = reference;
+
+  // Baseline: the best the paper's hand-built constructions achieve for
+  // this pair. The search must strictly beat this to count as improved.
+  pr.fixed_ratio = -1.0;
+  for (const auto& s : starts) {
+    if (!is_fixed_start(s)) continue;
+    pr.fixed_ratio =
+        std::max(pr.fixed_ratio,
+                 evaluate_ratio(s.graph, s.P, target_spec, reference_spec));
+  }
+
+  AnnealOptions anneal;
+  anneal.iterations = options.iterations;
+  anneal.restarts = options.restarts;
+  anneal.max_tasks = options.max_tasks;
+  anneal.seed = options.seed;
+  anneal.parallel_restarts = options.parallel_restarts;
+  anneal.token = options.token;
+  const auto search =
+      anneal_search(starts, target_spec, reference_spec, anneal);
+  pr.evals = search.evals;
+  pr.accepts = search.accepts;
+
+  graph::TaskGraph best = search.best_graph;
+  const int P = search.best_P;
+  pr.improved = search.best_ratio > pr.fixed_ratio;
+
+  if (options.shrink && best.num_tasks() > 1 && search.best_ratio > 0.0) {
+    // Preserve the strict improvement through shrinking when there is
+    // one; otherwise keep the instance within 2% of the search optimum
+    // and never below the fixed baseline (the search covers every start,
+    // so best >= fixed going in).
+    const double threshold =
+        pr.improved ? pr.fixed_ratio
+                    : std::max(0.98 * search.best_ratio, pr.fixed_ratio);
+    const bool strict = pr.improved;
+    auto still_fails = [&](const graph::TaskGraph& g) {
+      const double r = evaluate_ratio(g, P, target_spec, reference_spec);
+      return strict ? r > threshold : r >= threshold;
+    };
+    if (still_fails(best))
+      best = check::shrink_instance(best, still_fails).graph;
+  }
+
+  double target_makespan = 0.0;
+  double reference_makespan = 0.0;
+  bool schedules_valid = false;
+  try {
+    const auto t_run = target_spec.run(best, P);
+    const auto r_run = reference_spec.run(best, P);
+    target_makespan = t_run.makespan;
+    reference_makespan = r_run.makespan;
+    schedules_valid = sim::validate_schedule(best, t_run.trace, P).ok() &&
+                      sim::validate_schedule(best, r_run.trace, P).ok();
+  } catch (const std::exception&) {
+    schedules_valid = false;
+  }
+  pr.best_ratio = reference_makespan > 0.0
+                      ? target_makespan / reference_makespan
+                      : search.best_ratio;
+  pr.improved = pr.best_ratio > pr.fixed_ratio;
+  pr.validated = schedules_valid &&
+                 check::differential_check(best, P, options.mu).ok();
+
+  pr.record.suite = "pisa";
+  pr.record.target = target;
+  pr.record.reference = reference;
+  pr.record.P = P;
+  pr.record.mu = options.mu;
+  pr.record.seed = options.seed;
+  pr.record.ratio = pr.best_ratio;
+  pr.record.target_makespan = target_makespan;
+  pr.record.reference_makespan = reference_makespan;
+  pr.record.fixed_ratio = pr.fixed_ratio;
+  pr.record.note = "restart=" + std::to_string(search.best_restart) +
+                   " evals=" + std::to_string(search.evals);
+  pr.record.graph = std::move(best);
+  return pr;
+}
+
+std::string dominance_matrix_csv(const std::vector<PairResult>& results) {
+  const auto names = tournament_scheduler_names();
+  std::map<std::pair<std::string, std::string>, double> cell;
+  for (const auto& r : results) cell[{r.target, r.reference}] = r.best_ratio;
+  std::ostringstream os;
+  os << "target\\reference";
+  for (const auto& n : names) os << "," << n;
+  os << "\n";
+  for (const auto& row : names) {
+    os << row;
+    for (const auto& col : names) {
+      os << ",";
+      if (row == col) continue;
+      const auto it = cell.find({row, col});
+      if (it != cell.end()) os << fmt(it->second);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string pairs_csv(const std::vector<PairResult>& results) {
+  std::ostringstream os;
+  os << "target,reference,fixed_ratio,best_ratio,improved,validated,"
+        "evals,accepts,tasks,P\n";
+  for (const auto& r : results) {
+    os << r.target << "," << r.reference << "," << fmt(r.fixed_ratio) << ","
+       << fmt(r.best_ratio) << "," << (r.improved ? 1 : 0) << ","
+       << (r.validated ? 1 : 0) << "," << r.evals << "," << r.accepts << ","
+       << r.record.graph.num_tasks() << "," << r.record.P << "\n";
+  }
+  return os.str();
+}
+
+std::string tournament_report_md(const std::vector<PairResult>& results,
+                                 const TournamentOptions& options) {
+  const auto names = tournament_scheduler_names();
+  std::map<std::pair<std::string, std::string>, const PairResult*> cell;
+  int improved = 0;
+  int validated = 0;
+  for (const auto& r : results) {
+    cell[{r.target, r.reference}] = &r;
+    improved += r.improved ? 1 : 0;
+    validated += r.validated ? 1 : 0;
+  }
+
+  std::ostringstream os;
+  os << "# PISA adversarial tournament\n\n"
+     << "Objective per ordered pair: maximize makespan(target) / "
+        "makespan(reference)\n"
+     << "over the perturbation grammar, annealing from the fixed Figure "
+        "1-4\n"
+     << "constructions and two random corpus instances.\n\n"
+     << "- mu = " << fmt(options.mu) << ", seed = " << options.seed
+     << ", iterations = " << options.iterations
+     << ", restarts = " << options.restarts << "\n"
+     << "- pairs: " << results.size() << ", search beat the fixed "
+     << "construction on " << improved << ", archived instance validated "
+     << "on " << validated << "\n\n"
+     << "## Dominance matrix (best ratio found; target row / reference "
+        "column)\n\n";
+
+  os << "| target \\ reference |";
+  for (const auto& n : names) os << " " << n << " |";
+  os << "\n|---|";
+  for (std::size_t i = 0; i < names.size(); ++i) os << "---|";
+  os << "\n";
+  for (const auto& row : names) {
+    os << "| " << row << " |";
+    for (const auto& col : names) {
+      if (row == col) {
+        os << " - |";
+        continue;
+      }
+      const auto it = cell.find({row, col});
+      if (it == cell.end()) {
+        os << " |";
+        continue;
+      }
+      os << " " << fmt(it->second->best_ratio)
+         << (it->second->improved ? "*" : "") << " |";
+    }
+    os << "\n";
+  }
+  os << "\n`*` = strictly beats the fixed-construction baseline for that "
+        "pair.\n\n## Pairs where the search won\n\n";
+
+  bool any = false;
+  for (const auto& r : results) {
+    if (!r.improved) continue;
+    any = true;
+    os << "- **" << r.target << "** vs **" << r.reference
+       << "**: " << fmt(r.best_ratio) << " (fixed construction "
+       << fmt(r.fixed_ratio) << "), " << r.record.graph.num_tasks()
+       << " tasks at P = " << r.record.P
+       << (r.validated ? ", validated" : ", VALIDATION FAILED") << "\n";
+  }
+  if (!any) os << "(none)\n";
+  return os.str();
+}
+
+}  // namespace moldsched::adv

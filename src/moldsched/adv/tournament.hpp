@@ -1,0 +1,81 @@
+// Pairwise adversarial tournament over the scheduler registry.
+//
+// For every ordered pair (target, reference) of the 8 standard-suite
+// schedulers, run_pair anneals the perturbation grammar (anneal.hpp)
+// from the paper's fixed Figure 1-4 constructions plus random corpus
+// instances, searching for the instance that maximizes
+// makespan(target) / makespan(reference). The fixed constructions give
+// each pair a baseline ratio; the search is scored against it — "did
+// the adversary beat the hand-built worst case?". The worst instance
+// found is shrunk with check::shrink_instance (preserving the strict
+// improvement when there is one), cross-checked with the differential
+// validator, and packaged as a replayable ReproRecord.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/adv/anneal.hpp"
+#include "moldsched/adv/archive.hpp"
+
+namespace moldsched::adv {
+
+struct TournamentOptions {
+  double mu = 0.25;        ///< LPA parameter for schedulers and adversaries
+  std::uint64_t seed = 1;  ///< search seed (derive per pair for a suite)
+  int iterations = 80;     ///< annealing iterations per restart
+  int restarts = 2;
+  int max_tasks = 240;
+  bool shrink = true;      ///< minimize the worst instance before archiving
+  bool parallel_restarts = true;
+  engine::CancelToken token;  ///< optional wall-clock budget
+};
+
+/// Outcome of one ordered scheduler pair.
+struct PairResult {
+  std::string target;
+  std::string reference;
+  double fixed_ratio = 0.0;  ///< best ratio among the fixed constructions
+  double best_ratio = 0.0;   ///< best ratio the search found
+  bool improved = false;     ///< best_ratio > fixed_ratio (strictly)
+  bool validated = false;    ///< worst instance passed check::/sim:: review
+  std::uint64_t evals = 0;
+  std::uint64_t accepts = 0;
+  ReproRecord record;        ///< archived worst instance (post-shrink)
+};
+
+/// The tournament's scheduler names: the 8-entry standard suite, in
+/// registry order.
+[[nodiscard]] std::vector<std::string> tournament_scheduler_names();
+
+/// Starting instances for the search: small Figure 1-4 adversary
+/// constructions (labels "fig:*") tuned at mu, plus two random corpus
+/// graphs ("corpus:*", one Eq. (1) general, one TableModel) drawn from
+/// `seed`. Deterministic in (mu, seed).
+[[nodiscard]] std::vector<StartPoint> tournament_starts(double mu,
+                                                        std::uint64_t seed);
+
+/// Runs the annealing search for one ordered pair. Both names must be
+/// registered (sched::spec_by_name). The result's record is ready for
+/// encode_record; its `validated` flag reports sim::validate_schedule on
+/// both schedules plus check::differential_check at the pair's mu.
+[[nodiscard]] PairResult run_pair(const std::string& target,
+                                  const std::string& reference,
+                                  const TournamentOptions& options);
+
+/// Square dominance matrix: row = target, column = reference, cell =
+/// best ratio found (empty diagonal). First row/column hold names.
+[[nodiscard]] std::string dominance_matrix_csv(
+    const std::vector<PairResult>& results);
+
+/// Flat per-pair table: target,reference,fixed_ratio,best_ratio,
+/// improved,validated,evals,accepts,tasks,P.
+[[nodiscard]] std::string pairs_csv(const std::vector<PairResult>& results);
+
+/// Markdown report: dominance matrix plus the per-pair summary with the
+/// pairs where the search beat the fixed construction called out.
+[[nodiscard]] std::string tournament_report_md(
+    const std::vector<PairResult>& results, const TournamentOptions& options);
+
+}  // namespace moldsched::adv

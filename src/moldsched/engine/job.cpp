@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "moldsched/util/rng.hpp"
+
 namespace moldsched::engine {
 
 std::string JobSpec::key() const {
@@ -82,12 +84,9 @@ std::vector<JobSpec> JobGrid::jobs_matching(const std::string& filter) const {
 }
 
 std::uint64_t JobGrid::derive_seed(std::uint64_t base, std::uint64_t job_id) {
-  // splitmix64 finalizer over the combined state; the golden-ratio
-  // stride decorrelates consecutive job ids.
-  std::uint64_t z = base + (job_id + 1) * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // One canonical mix for the whole library (bit-identical to the
+  // historical local implementation): util::derive_seed.
+  return util::derive_seed(base, job_id);
 }
 
 }  // namespace moldsched::engine

@@ -18,6 +18,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "moldsched/adv/tournament.hpp"
 #include "moldsched/analysis/bounds.hpp"
 #include "moldsched/analysis/curves.hpp"
 #include "moldsched/analysis/improved.hpp"
@@ -1292,6 +1293,155 @@ std::vector<std::string> improved_finalize(
 }
 
 // ---------------------------------------------------------------------------
+// pisa — pairwise adversarial tournament: for every ordered pair of the
+// standard suite, anneal the perturbation grammar for the instance that
+// maximizes makespan(target)/makespan(reference), score it against the
+// fixed Figure 1-4 construction, shrink and archive the worst instance.
+
+const char* const kVsPrefix = "vs/";
+
+std::vector<JobSpec> pisa_jobs(const SuiteOptions& options) {
+  // A previous (aborted or bench-mode) run may have left archived lines
+  // behind; a fresh job list starts from an empty buffer.
+  (void)adv::archive_buffer_drain();
+  const auto names = adv::tournament_scheduler_names();
+  std::vector<JobSpec> jobs;
+  for (const auto& target : names) {
+    for (const auto& reference : names) {
+      if (target == reference) continue;
+      JobSpec s;
+      s.job_id = jobs.size();
+      s.suite = "pisa";
+      s.instance = kVsPrefix + reference;
+      s.scheduler = target;
+      s.model = model::ModelKind::kGeneral;
+      s.seed = JobGrid::derive_seed(options.base_seed, s.job_id);
+      jobs.push_back(std::move(s));
+    }
+  }
+  if (options.filter.empty()) return jobs;
+  std::vector<JobSpec> kept;
+  for (auto& spec : jobs)
+    if (spec.key().find(options.filter) != std::string::npos)
+      kept.push_back(std::move(spec));
+  return kept;
+}
+
+JobRunner pisa_runner(const SuiteOptions& options) {
+  // --repeats scales search depth: each repeat adds another annealing
+  // restart (and its iteration budget) to every pair.
+  const int restarts = 2 * effective_repeats(options, 1);
+  return [restarts](const JobSpec& spec, const CancelToken& token) {
+    JobRecord rec;
+    rec.spec = spec;
+    if (token.cancelled()) return cancelled_record(spec);
+    const std::string reference =
+        spec.instance.substr(std::string(kVsPrefix).size());
+
+    adv::TournamentOptions opt;
+    opt.seed = spec.seed;
+    opt.iterations = 40;
+    opt.restarts = restarts;
+    opt.token = token;
+    const auto pair = adv::run_pair(spec.scheduler, reference, opt);
+
+    rec.set("fixed_ratio", pair.fixed_ratio);
+    rec.set("best_ratio", pair.best_ratio);
+    rec.set("improved", pair.improved ? 1.0 : 0.0);
+    rec.set("validated", pair.validated ? 1.0 : 0.0);
+    rec.set("evals", static_cast<double>(pair.evals));
+    rec.set("accepts", static_cast<double>(pair.accepts));
+    rec.set("tasks", static_cast<double>(pair.record.graph.num_tasks()));
+    rec.set("P", static_cast<double>(pair.record.P));
+    adv::archive_buffer_put(static_cast<int>(spec.job_id),
+                            adv::encode_record(pair.record));
+    return rec;
+  };
+}
+
+std::vector<std::string> pisa_finalize(const std::vector<JobRecord>& records,
+                                       const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+
+  // The runners parked each pair's worst instance in the archive buffer
+  // (JobRecord carries only numeric metrics); drain it — sorted by job
+  // id, so the file layout is independent of execution order — and
+  // rebuild the PairResults the reporting helpers want.
+  const auto lines = adv::archive_buffer_drain();
+  std::map<std::pair<std::string, std::string>, adv::ReproRecord> worst;
+  std::string archive_text;
+  for (const auto& line : lines) {
+    auto repro = adv::decode_record(line);
+    archive_text += line;
+    archive_text += '\n';
+    worst.emplace(std::make_pair(repro.target, repro.reference),
+                  std::move(repro));
+  }
+
+  std::vector<adv::PairResult> pairs;
+  for (const auto* rec : ok) {
+    if (rec->spec.instance.rfind(kVsPrefix, 0) != 0) continue;
+    adv::PairResult pr;
+    pr.target = rec->spec.scheduler;
+    pr.reference = rec->spec.instance.substr(std::string(kVsPrefix).size());
+    pr.fixed_ratio = rec->metric("fixed_ratio").value_or(0.0);
+    pr.best_ratio = rec->metric("best_ratio").value_or(0.0);
+    pr.improved = rec->metric("improved").value_or(0.0) > 0.5;
+    pr.validated = rec->metric("validated").value_or(0.0) > 0.5;
+    pr.evals =
+        static_cast<std::uint64_t>(rec->metric("evals").value_or(0.0));
+    pr.accepts =
+        static_cast<std::uint64_t>(rec->metric("accepts").value_or(0.0));
+    const auto it = worst.find({pr.target, pr.reference});
+    if (it != worst.end()) pr.record = it->second;
+    pairs.push_back(std::move(pr));
+  }
+  if (pairs.empty()) return outputs;
+
+  adv::TournamentOptions shown;  // defaults the runner used, for the report
+  shown.seed = options.base_seed;
+  shown.restarts = 2 * effective_repeats(options, 1);
+  shown.iterations = 40;
+
+  const std::string dominance = options.results_dir + "/pisa_dominance.csv";
+  analysis::write_file(dominance, adv::dominance_matrix_csv(pairs));
+  outputs.push_back(dominance);
+  const std::string per_pair = options.results_dir + "/pisa_pairs.csv";
+  analysis::write_file(per_pair, adv::pairs_csv(pairs));
+  outputs.push_back(per_pair);
+  const std::string report = options.results_dir + "/pisa_report.md";
+  analysis::write_file(report, adv::tournament_report_md(pairs, shown));
+  outputs.push_back(report);
+  if (!archive_text.empty()) {
+    const std::string archive = options.results_dir + "/pisa_worst.jsonl";
+    analysis::write_file(archive, archive_text);
+    outputs.push_back(archive);
+  }
+
+  if (options.human_out) {
+    util::Table t({"target", "reference", "fixed ratio", "best ratio",
+                   "beat fixed?", "validated", "tasks"});
+    for (const auto& pr : pairs) {
+      t.new_row()
+          .cell(pr.target)
+          .cell(pr.reference)
+          .cell(pr.fixed_ratio, 3)
+          .cell(pr.best_ratio, 3)
+          .cell(pr.improved ? "yes" : "no")
+          .cell(pr.validated ? "yes" : "NO")
+          .cell(static_cast<long>(pr.record.graph.num_tasks()));
+    }
+    t.print(*options.human_out,
+            "PISA adversarial tournament (ratio = makespan(target) / "
+            "makespan(reference); fixed = best Figure 1-4 construction)");
+    *options.human_out << "replay an archived instance with: moldsched_run "
+                          "--replay results/pisa_worst.jsonl\n\n";
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
 // registry + run_suite
 
 const std::vector<SuiteDef>& suite_defs() {
@@ -1353,6 +1503,16 @@ const std::vector<SuiteDef>& suite_defs() {
                    improved_jobs,
                    {},  // runner built per-options below
                    improved_finalize});
+    out.push_back({{"pisa",
+                    "PISA-style adversarial tournament: annealing search "
+                    "for instances separating every ordered scheduler "
+                    "pair, scored against the fixed Figure 1-4 "
+                    "constructions, worst instances archived as repro "
+                    "JSONL"},
+                   1,
+                   pisa_jobs,
+                   {},  // runner built per-options below
+                   pisa_finalize});
     return out;
   }();
   return defs;
@@ -1374,6 +1534,7 @@ JobRunner suite_runner(const SuiteDef& def, const SuiteOptions& options) {
   if (def.info.name == "random-dags") return random_dags_runner(options);
   if (def.info.name == "release") return release_runner(options);
   if (def.info.name == "improved") return improved_runner(options);
+  if (def.info.name == "pisa") return pisa_runner(options);
   return def.run;
 }
 

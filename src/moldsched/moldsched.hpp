@@ -70,6 +70,13 @@
 #include "moldsched/check/shrink.hpp"
 #include "moldsched/check/wire_check.hpp"
 
+// Adversarial search: perturbation grammar, annealing driver, pairwise
+// tournament, replayable repro archive
+#include "moldsched/adv/anneal.hpp"
+#include "moldsched/adv/archive.hpp"
+#include "moldsched/adv/perturb.hpp"
+#include "moldsched/adv/tournament.hpp"
+
 // Observability: metrics registry, Chrome traces, scheduler observers
 #include "moldsched/obs/obs.hpp"
 

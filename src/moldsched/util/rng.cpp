@@ -97,4 +97,15 @@ double Rng::log_uniform(double lo, double hi) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // splitmix64 finalizer over the combined state; the golden-ratio
+  // stride decorrelates consecutive indices. Must stay bit-identical to
+  // the historical engine::JobGrid::derive_seed (which now delegates
+  // here): recorded job seeds are part of the JSONL resume contract.
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace moldsched::util

@@ -74,10 +74,23 @@ class Rng {
 
   /// Derives an independent child generator; used to give each experiment
   /// repetition its own stream without coupling to iteration order.
+  /// NOTE: split() advances this generator's stream, so the child depends
+  /// on how many draws preceded it. When children must be reproducible
+  /// regardless of creation order (parallel restarts, job grids), derive
+  /// them from derive_seed(base, index) instead.
   [[nodiscard]] Rng split();
 
  private:
   std::uint64_t s_[4];
 };
+
+/// Order-independent child-seed derivation: a splitmix64 finalizer over
+/// (base, index). Pure function — deriving child 7 never depends on
+/// whether children 0..6 were derived first — which is the guarantee
+/// engine::JobGrid gives per job and adv::anneal_search gives per
+/// restart. Stable across platforms; distinct indices give distinct
+/// seeds.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t index) noexcept;
 
 }  // namespace moldsched::util

@@ -1,0 +1,152 @@
+// The annealing driver's reproducibility contract: chain r draws from
+// Rng(derive_seed(seed, r)), so the search result is a pure function of
+// (starts, pair, options) — bit-identical across runs and across the
+// serial / parallel restart paths — and because every start anchors at
+// least one chain, the merged best can never fall below the best start.
+#include "moldsched/adv/anneal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "moldsched/adv/perturb.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/svc/wire.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::adv {
+namespace {
+
+constexpr double kMu = 0.25;
+constexpr int kP = 8;
+
+std::vector<StartPoint> small_starts() {
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  std::vector<StartPoint> starts;
+  util::Rng chain_rng(util::derive_seed(11, 0));
+  starts.push_back(
+      {graph::chain(5, graph::sampling_provider(sampler, chain_rng, kP)), kP,
+       "chain"});
+  util::Rng dag_rng(util::derive_seed(11, 1));
+  util::Rng dag_models(util::derive_seed(11, 2));
+  starts.push_back(
+      {graph::erdos_renyi_dag(8, 0.3, dag_rng,
+                              graph::sampling_provider(sampler, dag_models,
+                                                       kP)),
+       kP, "dag"});
+  return starts;
+}
+
+AnnealOptions fast_options(bool parallel) {
+  AnnealOptions opt;
+  opt.iterations = 12;
+  opt.restarts = 2;
+  opt.seed = 42;
+  opt.parallel_restarts = parallel;
+  return opt;
+}
+
+TEST(EvaluateRatioTest, PositiveOnFeasibleNegativeOnRefused) {
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("lpa", kMu);
+  const auto reference = sched::spec_by_name("min-time", kMu);
+  const double r = evaluate_ratio(starts[0].graph, kP, target, reference);
+  EXPECT_GT(r, 0.0);
+  // A scheduler that throws (P < 1) is a refusal, not a test failure.
+  EXPECT_LT(evaluate_ratio(starts[0].graph, 0, target, reference), 0.0);
+}
+
+TEST(AnnealSearchTest, SameSeedIsBitIdentical) {
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("lpa", kMu);
+  const auto reference = sched::spec_by_name("min-time", kMu);
+  const auto a = anneal_search(starts, target, reference, fast_options(true));
+  const auto b = anneal_search(starts, target, reference, fast_options(true));
+  EXPECT_EQ(a.best_ratio, b.best_ratio);  // exact, not near
+  EXPECT_EQ(a.start_ratio, b.start_ratio);
+  EXPECT_EQ(a.evals, b.evals);
+  EXPECT_EQ(a.accepts, b.accepts);
+  EXPECT_EQ(a.best_restart, b.best_restart);
+  EXPECT_EQ(svc::encode_graph(a.best_graph), svc::encode_graph(b.best_graph));
+}
+
+TEST(AnnealSearchTest, ParallelAndSerialRestartsAgree) {
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("improved-lpa", kMu);
+  const auto reference = sched::spec_by_name("lpa", kMu);
+  const auto par =
+      anneal_search(starts, target, reference, fast_options(true));
+  const auto ser =
+      anneal_search(starts, target, reference, fast_options(false));
+  EXPECT_EQ(par.best_ratio, ser.best_ratio);
+  EXPECT_EQ(par.evals, ser.evals);
+  EXPECT_EQ(par.accepts, ser.accepts);
+  EXPECT_EQ(par.best_restart, ser.best_restart);
+  EXPECT_EQ(svc::encode_graph(par.best_graph),
+            svc::encode_graph(ser.best_graph));
+}
+
+TEST(AnnealSearchTest, BestNeverFallsBelowTheBestStart) {
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("lpa", kMu);
+  const auto reference = sched::spec_by_name("sequential", kMu);
+  // restarts == 1 < starts.size(): the driver must still anchor a chain
+  // on every start, so the merged best covers both start ratios.
+  auto opt = fast_options(true);
+  opt.restarts = 1;
+  const auto result = anneal_search(starts, target, reference, opt);
+  double best_start = -1.0;
+  for (const auto& s : starts)
+    best_start = std::max(best_start,
+                          evaluate_ratio(s.graph, s.P, target, reference));
+  EXPECT_GE(result.best_ratio, best_start);
+  EXPECT_GE(result.best_ratio, result.start_ratio);
+  EXPECT_EQ(result.start_ratio, best_start);
+}
+
+TEST(AnnealSearchTest, UpdatesObsCounters) {
+  auto& reg = obs::default_registry();
+  const auto evals_before = reg.counter("adv.evals").value();
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("lpa", kMu);
+  const auto reference = sched::spec_by_name("min-time", kMu);
+  const auto result =
+      anneal_search(starts, target, reference, fast_options(true));
+  EXPECT_GT(result.evals, 0u);
+  EXPECT_EQ(reg.counter("adv.evals").value(), evals_before + result.evals);
+  EXPECT_GT(reg.gauge("adv.best_ratio").value(), 0.0);
+}
+
+TEST(AnnealSearchTest, RejectsBadArguments) {
+  const auto starts = small_starts();
+  const auto target = sched::spec_by_name("lpa", kMu);
+  const auto reference = sched::spec_by_name("min-time", kMu);
+  EXPECT_THROW(
+      (void)anneal_search({}, target, reference, fast_options(true)),
+      std::invalid_argument);
+  auto opt = fast_options(true);
+  opt.iterations = 0;
+  EXPECT_THROW((void)anneal_search(starts, target, reference, opt),
+               std::invalid_argument);
+  opt = fast_options(true);
+  opt.t_final = 0.0;
+  EXPECT_THROW((void)anneal_search(starts, target, reference, opt),
+               std::invalid_argument);
+  opt = fast_options(true);
+  opt.t_initial = 0.001;  // below t_final
+  EXPECT_THROW((void)anneal_search(starts, target, reference, opt),
+               std::invalid_argument);
+  opt = fast_options(true);
+  opt.max_tasks = 0;
+  EXPECT_THROW((void)anneal_search(starts, target, reference, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::adv

@@ -1,0 +1,162 @@
+// The repro archive is the contract between a search run and a later
+// debugging session: records must round-trip losslessly (including full
+// 64-bit seeds, which do not fit in a JSON double), bad files must fail
+// with the offending line number, and replaying a record through its
+// own pair must reproduce the archived makespans bit-identically.
+#include "moldsched/adv/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::adv {
+namespace {
+
+namespace fs = std::filesystem;
+
+ReproRecord sample_record() {
+  ReproRecord r;
+  r.suite = "pisa";
+  r.target = "min-time";
+  r.reference = "lpa";
+  r.P = 8;
+  r.mu = 0.25;
+  // Deliberately not representable as a double: needs all 64 bits.
+  r.seed = 0x9e3779b97f4a7c15ULL;
+  r.ratio = 1.0 / 3.0;
+  r.target_makespan = 3.0;
+  r.reference_makespan = 9.0;
+  r.fixed_ratio = 0.3;
+  r.note = "restart=1 \"quoted\"";
+  const auto a = r.graph.add_task(
+      std::make_shared<model::RooflineModel>(7.0, 4), "a");
+  const auto b = r.graph.add_task(
+      std::make_shared<model::AmdahlModel>(5.0, 1.0 / 7.0), "b");
+  r.graph.add_edge(a, b);
+  return r;
+}
+
+TEST(ReproRecordTest, EncodeDecodeRoundTripIsLossless) {
+  const auto r = sample_record();
+  const auto line = encode_record(r);
+  const auto back = decode_record(line);
+  EXPECT_EQ(back.suite, r.suite);
+  EXPECT_EQ(back.target, r.target);
+  EXPECT_EQ(back.reference, r.reference);
+  EXPECT_EQ(back.P, r.P);
+  EXPECT_EQ(back.mu, r.mu);
+  EXPECT_EQ(back.seed, r.seed);  // all 64 bits survive
+  EXPECT_EQ(back.ratio, r.ratio);
+  EXPECT_EQ(back.target_makespan, r.target_makespan);
+  EXPECT_EQ(back.reference_makespan, r.reference_makespan);
+  EXPECT_EQ(back.fixed_ratio, r.fixed_ratio);
+  EXPECT_EQ(back.note, r.note);
+  EXPECT_EQ(svc::encode_graph(back.graph), svc::encode_graph(r.graph));
+  // Encoding is idempotent: re-encoding the decoded record is byte-equal.
+  EXPECT_EQ(encode_record(back), line);
+}
+
+TEST(ReproRecordTest, DecodeRejectsMalformedRecords) {
+  EXPECT_THROW((void)decode_record(std::string("[]")), std::invalid_argument);
+  // Seed as a JSON number (or garbage string) is rejected, not rounded.
+  auto line = encode_record(sample_record());
+  const auto pos = line.find("\"seed\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  auto bad = line;
+  bad.replace(pos, std::string("\"seed\":\"").size(), "\"seed\":\"x");
+  EXPECT_THROW((void)decode_record(bad), std::invalid_argument);
+  // Missing field.
+  EXPECT_THROW(
+      (void)decode_record(std::string("{\"suite\":\"pisa\"}")),
+      std::invalid_argument);
+}
+
+TEST(ReadArchiveTest, ParsesLinesSkipsBlanksReportsLineNumbers) {
+  const auto dir = fs::path(testing::TempDir()) / "moldsched_archive_test";
+  fs::create_directories(dir);
+  const auto path = (dir / "ok.jsonl").string();
+  {
+    std::ofstream out(path);
+    out << encode_record(sample_record()) << "\n\n   \n"
+        << encode_record(sample_record()) << "\n";
+  }
+  const auto records = read_archive(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].seed, sample_record().seed);
+
+  const auto bad_path = (dir / "bad.jsonl").string();
+  {
+    std::ofstream out(bad_path);
+    out << encode_record(sample_record()) << "\n{\"broken\":1}\n";
+  }
+  try {
+    (void)read_archive(bad_path);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)read_archive((dir / "missing.jsonl").string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(ReplayRecordTest, ReplayIsBitIdenticalForTargetAndReference) {
+  auto r = sample_record();
+  // Archive the genuinely observed makespans so bit-identity can hold.
+  r.target_makespan = sched::spec_by_name(r.target, r.mu)
+                          .run(r.graph, r.P).makespan;
+  r.reference_makespan = sched::spec_by_name(r.reference, r.mu)
+                             .run(r.graph, r.P).makespan;
+  const auto rt = decode_record(encode_record(r));
+
+  const auto target_out = replay_record(rt);  // empty = target
+  EXPECT_EQ(target_out.scheduler, r.target);
+  EXPECT_TRUE(target_out.valid) << target_out.violations;
+  EXPECT_TRUE(target_out.checked);
+  EXPECT_TRUE(target_out.bit_identical);
+  EXPECT_EQ(target_out.makespan, r.target_makespan);
+  EXPECT_GT(target_out.lower_bound, 0.0);
+  EXPECT_GE(target_out.ratio_to_lb, 1.0 - 1e-12);
+
+  const auto ref_out = replay_record(rt, r.reference);
+  EXPECT_TRUE(ref_out.checked);
+  EXPECT_TRUE(ref_out.bit_identical);
+  EXPECT_EQ(ref_out.makespan, r.reference_makespan);
+
+  // A third scheduler replays fine but is not checked against the
+  // archived makespans.
+  const auto other = replay_record(rt, "sequential");
+  EXPECT_TRUE(other.valid) << other.violations;
+  EXPECT_FALSE(other.checked);
+  EXPECT_FALSE(other.bit_identical);
+
+  EXPECT_THROW((void)replay_record(rt, "no-such-scheduler"),
+               std::invalid_argument);
+}
+
+TEST(ArchiveBufferTest, DrainsSortedByJobIdAndEmpties) {
+  (void)archive_buffer_drain();  // isolate from other tests
+  archive_buffer_put(7, "seven");
+  archive_buffer_put(2, "two");
+  archive_buffer_put(5, "five");
+  archive_buffer_put(2, "two-replaced");
+  const auto lines = archive_buffer_drain();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "two-replaced");
+  EXPECT_EQ(lines[1], "five");
+  EXPECT_EQ(lines[2], "seven");
+  EXPECT_TRUE(archive_buffer_drain().empty());
+}
+
+}  // namespace
+}  // namespace moldsched::adv

@@ -1,0 +1,316 @@
+// The perturbation grammar must only ever produce valid instances: every
+// applicable edit yields an acyclic graph with positive-time models and a
+// preserved ModelKind, inapplicable edits return nullopt instead of
+// corrupting the graph, and the JSON encoding round-trips factors
+// bit-exactly so annealing trails can be replayed.
+#include "moldsched/adv/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/svc/wire.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::adv {
+namespace {
+
+/// Diamond a -> {b, c} -> d over Eq. (1) models of distinct families.
+graph::TaskGraph mixed_diamond() {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(8.0, 4), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(6.0, 0.5), "b");
+  const auto c =
+      g.add_task(std::make_shared<model::CommunicationModel>(4.0, 0.25), "c");
+  const auto d = g.add_task(
+      std::make_shared<model::GeneralModel>(
+          model::GeneralParams{10.0, 0.5, 0.125, 8}),
+      "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+graph::TaskGraph table_pair() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{4.0, 2.5, 2.0}),
+      "t0");
+  const auto b = g.add_task(
+      std::make_shared<model::TableModel>(std::vector<double>{3.0, 2.0}),
+      "t1");
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(PerturbationJsonTest, RoundTripIsBitExact) {
+  Perturbation p;
+  p.op = PerturbOp::kScaleWork;
+  p.a = 3;
+  p.b = 7;
+  p.factor = 1.0 / 3.0;  // not representable in few digits
+  const auto back = Perturbation::from_json(p.to_json());
+  EXPECT_EQ(back.op, p.op);
+  EXPECT_EQ(back.a, p.a);
+  EXPECT_EQ(back.b, p.b);
+  EXPECT_EQ(back.factor, p.factor);  // exact, not near
+}
+
+TEST(PerturbationJsonTest, EveryOpNameRoundTrips) {
+  for (int i = 0; i < 10; ++i) {
+    Perturbation p;
+    p.op = static_cast<PerturbOp>(i);
+    const auto back = Perturbation::from_json(p.to_json());
+    EXPECT_EQ(back.op, p.op) << to_string(p.op);
+  }
+}
+
+TEST(PerturbationJsonTest, RejectsUnknownOpAndNonObject) {
+  EXPECT_THROW((void)Perturbation::from_json(
+                   std::string("{\"op\":\"warp\",\"a\":0,\"b\":0,"
+                               "\"factor\":1}")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Perturbation::from_json(std::string("[1,2]")),
+               std::invalid_argument);
+}
+
+TEST(ApplyPerturbationTest, AddEdgeRejectsCyclesDuplicatesAndSelfLoops) {
+  const auto g = mixed_diamond();
+  // b -> c is a legal new edge (both mid-layer).
+  const auto ok = apply_perturbation(g, {PerturbOp::kAddEdge, 1, 2, 1.0});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->has_edge(1, 2));
+  EXPECT_TRUE(graph::is_acyclic(*ok));
+  // d -> a closes a cycle.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kAddEdge, 3, 0, 1.0}).has_value());
+  // a -> b already exists; a -> a is a self loop; 9 is unknown.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kAddEdge, 0, 1, 1.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kAddEdge, 0, 0, 1.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kAddEdge, 0, 9, 1.0}).has_value());
+}
+
+TEST(ApplyPerturbationTest, RemoveEdgeDropsExactlyOne) {
+  const auto g = mixed_diamond();
+  const auto cut =
+      apply_perturbation(g, {PerturbOp::kRemoveEdge, 0, 1, 1.0});
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->num_edges(), 3u);
+  EXPECT_FALSE(cut->has_edge(0, 1));
+  // A missing edge is inapplicable, not an error.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kRemoveEdge, 1, 2, 1.0}).has_value());
+}
+
+TEST(ApplyPerturbationTest, CloneTaskWidensTheLayer) {
+  const auto g = mixed_diamond();
+  const auto wide = apply_perturbation(g, {PerturbOp::kCloneTask, 1, 0, 1.0});
+  ASSERT_TRUE(wide.has_value());
+  ASSERT_EQ(wide->num_tasks(), 5);
+  const graph::TaskId twin = 4;
+  EXPECT_EQ(wide->name(twin), "b'");
+  EXPECT_TRUE(wide->has_edge(0, twin));  // a -> b'
+  EXPECT_TRUE(wide->has_edge(twin, 3));  // b' -> d
+  EXPECT_DOUBLE_EQ(wide->model_of(twin).time(1), g.model_of(1).time(1));
+  EXPECT_TRUE(graph::is_acyclic(*wide));
+}
+
+TEST(ApplyPerturbationTest, RemoveTaskMergesLayersAndRenumbers) {
+  const auto g = mixed_diamond();
+  const auto merged =
+      apply_perturbation(g, {PerturbOp::kRemoveTask, 1, 0, 1.0});
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_EQ(merged->num_tasks(), 3);
+  // New ids: a = 0, c = 1, d = 2. The transitive a -> d precedence that
+  // went through b must survive as a direct edge.
+  EXPECT_EQ(merged->name(1), "c");
+  EXPECT_EQ(merged->name(2), "d");
+  EXPECT_TRUE(merged->has_edge(0, 2));
+  EXPECT_TRUE(merged->has_edge(0, 1));
+  EXPECT_TRUE(merged->has_edge(1, 2));
+  EXPECT_TRUE(graph::is_acyclic(*merged));
+
+  // The last task cannot be removed.
+  graph::TaskGraph single;
+  single.add_task(std::make_shared<model::AmdahlModel>(1.0, 0.1), "only");
+  EXPECT_FALSE(
+      apply_perturbation(single, {PerturbOp::kRemoveTask, 0, 0, 1.0})
+          .has_value());
+}
+
+TEST(ApplyPerturbationTest, SplitTaskHalvesWorkAndChainsTheTail) {
+  const auto g = mixed_diamond();
+  const auto deep = apply_perturbation(g, {PerturbOp::kSplitTask, 1, 0, 1.0});
+  ASSERT_TRUE(deep.has_value());
+  ASSERT_EQ(deep->num_tasks(), 5);
+  const graph::TaskId tail = 4;
+  EXPECT_EQ(deep->name(tail), "b/2");
+  // b keeps its predecessor, the tail inherits the successor, and the
+  // two halves are chained.
+  EXPECT_TRUE(deep->has_edge(0, 1));
+  EXPECT_TRUE(deep->has_edge(1, tail));
+  EXPECT_TRUE(deep->has_edge(tail, 3));
+  EXPECT_FALSE(deep->has_edge(1, 3));
+  const auto* head =
+      dynamic_cast<const model::GeneralModel*>(&deep->model_of(1));
+  const auto* half =
+      dynamic_cast<const model::GeneralModel*>(&deep->model_of(tail));
+  ASSERT_NE(head, nullptr);
+  ASSERT_NE(half, nullptr);
+  EXPECT_EQ(head->kind(), model::ModelKind::kAmdahl);
+  EXPECT_DOUBLE_EQ(head->params().w, 3.0);
+  EXPECT_DOUBLE_EQ(half->params().w, 3.0);
+  // Splitting an arbitrary-model task is inapplicable.
+  const auto t = table_pair();
+  EXPECT_FALSE(
+      apply_perturbation(t, {PerturbOp::kSplitTask, 0, 0, 1.0}).has_value());
+}
+
+TEST(ApplyPerturbationTest, ScaleOpsPreserveModelKind) {
+  const auto g = mixed_diamond();
+  const auto scaled =
+      apply_perturbation(g, {PerturbOp::kScaleWork, 0, 0, 2.0});
+  ASSERT_TRUE(scaled.has_value());
+  const auto* m =
+      dynamic_cast<const model::GeneralModel*>(&scaled->model_of(0));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind(), model::ModelKind::kRoofline);
+  EXPECT_DOUBLE_EQ(m->params().w, 16.0);
+  // Only task 0 changed.
+  EXPECT_DOUBLE_EQ(scaled->model_of(1).time(1), g.model_of(1).time(1));
+}
+
+TEST(ApplyPerturbationTest, ScalingAZeroParameterIsInapplicable) {
+  const auto g = mixed_diamond();
+  // Roofline task a has d == 0 and c == 0: family-changing edits refused.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kScaleSeq, 0, 0, 2.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kScaleComm, 0, 0, 2.0}).has_value());
+  // Amdahl task b has d > 0: scale-seq applies and keeps the family.
+  const auto amdahl =
+      apply_perturbation(g, {PerturbOp::kScaleSeq, 1, 0, 2.0});
+  ASSERT_TRUE(amdahl.has_value());
+  const auto* m =
+      dynamic_cast<const model::GeneralModel*>(&amdahl->model_of(1));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind(), model::ModelKind::kAmdahl);
+  EXPECT_DOUBLE_EQ(m->params().d, 1.0);
+  // Non-positive and non-finite factors are refused.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kScaleWork, 0, 0, 0.0}).has_value());
+  EXPECT_FALSE(apply_perturbation(
+                   g, {PerturbOp::kScaleWork, 0, 0,
+                       std::numeric_limits<double>::infinity()})
+                   .has_value());
+}
+
+TEST(ApplyPerturbationTest, SetPbarAppliesToRooflineAndGeneralOnly) {
+  const auto g = mixed_diamond();
+  const auto bumped = apply_perturbation(g, {PerturbOp::kSetPbar, 0, 16, 1.0});
+  ASSERT_TRUE(bumped.has_value());
+  const auto* m =
+      dynamic_cast<const model::GeneralModel*>(&bumped->model_of(0));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->params().pbar, 16);
+  // No-op, invalid value, and wrong families are inapplicable.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kSetPbar, 0, 4, 1.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kSetPbar, 0, 0, 1.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kSetPbar, 1, 16, 1.0}).has_value());
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kSetPbar, 2, 16, 1.0}).has_value());
+}
+
+TEST(ApplyPerturbationTest, ScaleTableEntryEditsOneEntry) {
+  const auto g = table_pair();
+  const auto scaled =
+      apply_perturbation(g, {PerturbOp::kScaleTableEntry, 0, 1, 0.5});
+  ASSERT_TRUE(scaled.has_value());
+  const auto* m =
+      dynamic_cast<const model::TableModel*>(&scaled->model_of(0));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->time(1), 4.0);
+  EXPECT_DOUBLE_EQ(m->time(2), 1.25);
+  EXPECT_DOUBLE_EQ(m->time(3), 2.0);
+  // Out-of-range index / wrong family are inapplicable.
+  EXPECT_FALSE(
+      apply_perturbation(g, {PerturbOp::kScaleTableEntry, 0, 3, 0.5})
+          .has_value());
+  const auto eq1 = mixed_diamond();
+  EXPECT_FALSE(
+      apply_perturbation(eq1, {PerturbOp::kScaleTableEntry, 0, 0, 0.5})
+          .has_value());
+}
+
+TEST(ProposePerturbationTest, DeterministicGivenRngState) {
+  const auto g = mixed_diamond();
+  util::Rng a(1234);
+  util::Rng b(1234);
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = propose_perturbation(g, a, 240);
+    const auto pb = propose_perturbation(g, b, 240);
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) continue;
+    EXPECT_EQ(pa->to_json(), pb->to_json());
+  }
+}
+
+TEST(ProposePerturbationTest, ProposalsAreAlwaysApplicableAndStayValid) {
+  graph::TaskGraph g = mixed_diamond();
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto move = propose_perturbation(g, rng, 64);
+    ASSERT_TRUE(move.has_value()) << "stuck after " << i << " moves";
+    auto next = apply_perturbation(g, *move);
+    ASSERT_TRUE(next.has_value()) << move->to_json();
+    ASSERT_TRUE(graph::is_acyclic(*next)) << move->to_json();
+    next->validate();
+    // Losslessly serializable, and the serialized edit replays to the
+    // byte-identical instance.
+    const auto wire = svc::encode_graph(*next);
+    const auto replayed =
+        apply_perturbation(g, Perturbation::from_json(move->to_json()));
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(svc::encode_graph(*replayed), wire);
+    g = std::move(*next);
+    ASSERT_LE(g.num_tasks(), 65);  // growth respects max_tasks (+1 worst case)
+  }
+}
+
+TEST(ProposePerturbationTest, GrowthStopsAtMaxTasks) {
+  // max_tasks == current size: clone/split must never be proposed, so
+  // 300 accepted proposals never grow the graph.
+  const auto g = mixed_diamond();
+  util::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const auto move = propose_perturbation(g, rng, g.num_tasks());
+    if (!move) continue;
+    EXPECT_NE(move->op, PerturbOp::kCloneTask);
+    EXPECT_NE(move->op, PerturbOp::kSplitTask);
+  }
+}
+
+TEST(ProposePerturbationTest, ReturnsNulloptOnEmptyGraph) {
+  graph::TaskGraph empty;
+  util::Rng rng(5);
+  EXPECT_FALSE(propose_perturbation(empty, rng, 240).has_value());
+}
+
+}  // namespace
+}  // namespace moldsched::adv

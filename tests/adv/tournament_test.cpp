@@ -1,0 +1,115 @@
+// One pairwise tournament cell end-to-end: the fixed Figure 1-4
+// constructions anchor the baseline, run_pair's archived record replays
+// bit-identically, and the CSV / markdown emitters cover the full
+// 8-scheduler registry.
+#include "moldsched/adv/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "moldsched/adv/archive.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::adv {
+namespace {
+
+TournamentOptions fast_options() {
+  TournamentOptions opt;
+  opt.seed = 3;
+  opt.iterations = 10;
+  opt.restarts = 1;
+  return opt;
+}
+
+TEST(TournamentStartsTest, FixedConstructionsPlusCorpusDeterministically) {
+  const auto starts = tournament_starts(0.25, 3);
+  // Four feasible fixed constructions at mu = 0.25 plus two corpus
+  // instances, in a fixed order.
+  ASSERT_EQ(starts.size(), 6u);
+  EXPECT_EQ(starts[0].label, "fig:roofline");
+  EXPECT_EQ(starts[1].label, "fig:communication");
+  EXPECT_EQ(starts[2].label, "fig:amdahl");
+  EXPECT_EQ(starts[3].label, "fig:general");
+  EXPECT_EQ(starts[4].label, "corpus:general");
+  EXPECT_EQ(starts[5].label, "corpus:table");
+  const auto again = tournament_starts(0.25, 3);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_EQ(svc::encode_graph(starts[i].graph),
+              svc::encode_graph(again[i].graph));
+    EXPECT_EQ(starts[i].P, again[i].P);
+  }
+}
+
+TEST(TournamentTest, SchedulerNamesMatchTheRegistry) {
+  const auto names = tournament_scheduler_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "lpa"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "min-time"), names.end());
+}
+
+TEST(TournamentTest, RunPairProducesAValidatedReplayableRecord) {
+  const auto pr = run_pair("min-time", "lpa", fast_options());
+  EXPECT_EQ(pr.target, "min-time");
+  EXPECT_EQ(pr.reference, "lpa");
+  EXPECT_GT(pr.fixed_ratio, 0.0);
+  EXPECT_GE(pr.best_ratio, pr.fixed_ratio);
+  EXPECT_GT(pr.evals, 0u);
+  EXPECT_TRUE(pr.validated);
+  EXPECT_GE(pr.record.graph.num_tasks(), 1);
+  EXPECT_EQ(pr.record.suite, "pisa");
+  EXPECT_EQ(pr.record.seed, fast_options().seed);
+
+  // The archived record survives the codec and replays bit-identically
+  // through both schedulers of the pair.
+  const auto rt = decode_record(encode_record(pr.record));
+  const auto target_replay = replay_record(rt);
+  EXPECT_TRUE(target_replay.valid) << target_replay.violations;
+  EXPECT_TRUE(target_replay.bit_identical);
+  const auto reference_replay = replay_record(rt, rt.reference);
+  EXPECT_TRUE(reference_replay.valid) << reference_replay.violations;
+  EXPECT_TRUE(reference_replay.bit_identical);
+}
+
+TEST(TournamentTest, RunPairIsDeterministic) {
+  const auto a = run_pair("min-time", "lpa", fast_options());
+  const auto b = run_pair("min-time", "lpa", fast_options());
+  EXPECT_EQ(a.best_ratio, b.best_ratio);
+  EXPECT_EQ(a.fixed_ratio, b.fixed_ratio);
+  EXPECT_EQ(a.evals, b.evals);
+  EXPECT_EQ(encode_record(a.record), encode_record(b.record));
+}
+
+TEST(TournamentTest, CsvAndMarkdownCoverTheFullMatrix) {
+  PairResult pr;
+  pr.target = "min-time";
+  pr.reference = "lpa";
+  pr.fixed_ratio = 1.5;
+  pr.best_ratio = 2.25;
+  pr.improved = true;
+  pr.validated = true;
+  const std::vector<PairResult> results{pr};
+
+  const auto matrix = dominance_matrix_csv(results);
+  // Header + one row per scheduler, each with one cell per scheduler.
+  const auto lines = static_cast<std::size_t>(
+      std::count(matrix.begin(), matrix.end(), '\n'));
+  EXPECT_EQ(lines, 1u + tournament_scheduler_names().size());
+  EXPECT_NE(matrix.find("target\\reference"), std::string::npos);
+  EXPECT_NE(matrix.find("2.25"), std::string::npos);
+
+  const auto pairs = pairs_csv(results);
+  EXPECT_NE(pairs.find("target,reference,fixed_ratio,best_ratio"),
+            std::string::npos);
+  EXPECT_NE(pairs.find("min-time,lpa,1.5,2.25,1,1"), std::string::npos);
+
+  const auto report = tournament_report_md(results, TournamentOptions{});
+  EXPECT_NE(report.find("# PISA adversarial tournament"), std::string::npos);
+  EXPECT_NE(report.find("2.25*"), std::string::npos);  // improved marker
+  EXPECT_NE(report.find("**min-time** vs **lpa**"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched::adv

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "moldsched/check/corpus.hpp"
 #include "moldsched/model/arbitrary_model.hpp"
@@ -137,6 +139,57 @@ TEST(ShrinkTest, IsDeterministic) {
   EXPECT_EQ(r1.graph.num_edges(), r2.graph.num_edges());
   EXPECT_EQ(r1.predicate_calls, r2.predicate_calls);
   EXPECT_EQ(r1.graph.num_tasks(), 3);  // 1-minimal for this predicate
+}
+
+TEST(ShrinkTest, SingleTaskGraphIsAFixedPoint) {
+  // Nothing to remove: the loop must terminate immediately without
+  // touching the graph's structure.
+  graph::TaskGraph g;
+  (void)g.add_task(std::make_shared<model::TableModel>(
+                       std::vector<double>{5.0, 3.0}),
+                   "only");
+  const FailurePredicate any = [](const graph::TaskGraph& gg) {
+    return gg.num_tasks() == 1;
+  };
+  const auto r = shrink_instance(g, any);
+  EXPECT_EQ(r.graph.num_tasks(), 1);
+  EXPECT_EQ(r.graph.num_edges(), 0u);
+  EXPECT_EQ(r.tasks_removed, 0);
+  EXPECT_EQ(r.edges_removed, 0);
+}
+
+TEST(ShrinkTest, WorksWithAPEqualsOnePredicate) {
+  // Predicates often close over a platform; P = 1 (every task runs
+  // sequentially) must not trip the reducer or the schedulers it calls.
+  const auto g = diamond();
+  const FailurePredicate slow_on_one_proc = [](const graph::TaskGraph& gg) {
+    double worst = 0.0;
+    for (graph::TaskId v = 0; v < gg.num_tasks(); ++v)
+      worst = std::max(worst, gg.model_of(v).time(1));
+    return worst >= 4.0;  // only the heaviest task satisfies this alone
+  };
+  const auto r = shrink_instance(g, slow_on_one_proc);
+  EXPECT_EQ(r.graph.num_tasks(), 1);
+  EXPECT_DOUBLE_EQ(r.graph.model_of(0).time(1), 4.0);
+}
+
+TEST(ShrinkTest, AlreadyMinimalInstanceIsUnchanged) {
+  // An instance where every task and every edge is load-bearing: the
+  // shrinker must recognize the fixed point and stop (no infinite loop,
+  // no structural change).
+  const auto g = diamond();
+  const FailurePredicate exact_shape = [](const graph::TaskGraph& gg) {
+    return gg.num_tasks() == 4 && gg.num_edges() == 4u;
+  };
+  const auto r = shrink_instance(g, exact_shape);
+  EXPECT_EQ(r.graph.num_tasks(), 4);
+  EXPECT_EQ(r.graph.num_edges(), 4u);
+  EXPECT_EQ(r.tasks_removed, 0);
+  EXPECT_EQ(r.edges_removed, 0);
+  // Re-shrinking the result is also a fixed point.
+  const auto again = shrink_instance(r.graph, exact_shape);
+  EXPECT_EQ(again.graph.num_tasks(), 4);
+  EXPECT_EQ(again.tasks_removed, 0);
 }
 
 TEST(DescribeInstanceTest, PrintsAPasteableRepro) {

@@ -4,6 +4,7 @@
 // reference within 1e-9.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -123,7 +124,8 @@ TEST_F(CliSmokeTest, ListAndDryRunModes) {
   ASSERT_EQ(run_cli("--list"), 0);
   const auto listing = read_file(dir_ / "stdout.log");
   for (const char* name : {"table1", "ratio-curves", "random-dags",
-                           "workflows", "resilience", "selfcheck", "release"})
+                           "workflows", "resilience", "selfcheck", "release",
+                           "pisa"})
     EXPECT_NE(listing.find(name), std::string::npos) << name;
 
   ASSERT_EQ(run_cli("--suite release --dry-run --repeats 1"), 0);
@@ -272,6 +274,79 @@ TEST_F(CliSmokeTest, TraceAndMetricsExportsValidate) {
   const auto log = read_file(dir_ / "stdout.log");
   EXPECT_NE(log.find("wrote trace " + trace_path), std::string::npos);
   EXPECT_NE(log.find("wrote metrics " + metrics_path), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, PisaSuiteIsDeterministicAndReplayVerifies) {
+  // One reference column of the tournament (7 ordered pairs) keeps the
+  // smoke run fast while exercising the full search -> shrink ->
+  // archive -> finalize path.
+  const std::string filtered =
+      "--suite pisa --filter vs/sequential --repeats 1";
+  ASSERT_EQ(run_cli(filtered + " --threads 2"), 0)
+      << read_file(dir_ / "stderr.log");
+
+  std::ifstream jsonl(dir_ / "results" / "pisa.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    const auto problem = validate_record_line(line);
+    EXPECT_EQ(problem, std::nullopt) << line;
+    if (!problem) {
+      const auto rec = parse_record_line(line);
+      EXPECT_EQ(rec.status, "ok") << rec.error;
+      EXPECT_EQ(rec.spec.instance, "vs/sequential");
+      bool saw_best = false;
+      bool saw_validated = false;
+      for (const auto& [name, value] : rec.metrics) {
+        if (name == "best_ratio") {
+          saw_best = true;
+          EXPECT_GT(value, 0.0) << line;
+        }
+        if (name == "validated") {
+          saw_validated = true;
+          EXPECT_EQ(value, 1.0) << line;
+        }
+      }
+      EXPECT_TRUE(saw_best) << line;
+      EXPECT_TRUE(saw_validated) << line;
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, 7u);  // every target vs the sequential reference
+
+  // Outputs: dominance matrix, per-pair CSV, report, and the archive
+  // with one worst instance per pair.
+  EXPECT_NE(read_file(dir_ / "results" / "pisa_dominance.csv")
+                .find("target\\reference"),
+            std::string::npos);
+  EXPECT_NE(read_file(dir_ / "results" / "pisa_report.md")
+                .find("# PISA adversarial tournament"),
+            std::string::npos);
+  const auto archive = read_file(dir_ / "results" / "pisa_worst.jsonl");
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(archive.begin(), archive.end(), '\n')),
+            7u);
+
+  // Determinism: re-running the same seed (different thread count)
+  // reproduces the archive byte for byte.
+  ASSERT_EQ(run_cli(filtered + " --threads 1"), 0)
+      << read_file(dir_ / "stderr.log");
+  EXPECT_EQ(read_file(dir_ / "results" / "pisa_worst.jsonl"), archive);
+
+  // Replay: the archived instances verify bit-identically through their
+  // own pair, and a third scheduler can be substituted.
+  const auto archive_path = (dir_ / "results" / "pisa_worst.jsonl").string();
+  ASSERT_EQ(run_cli("--replay " + archive_path), 0)
+      << read_file(dir_ / "stderr.log");
+  EXPECT_NE(read_file(dir_ / "stdout.log").find("replay: all records verified"),
+            std::string::npos);
+  ASSERT_EQ(run_cli("--replay " + archive_path + " --scheduler improved-lpa"),
+            0)
+      << read_file(dir_ / "stderr.log");
+
+  // A missing archive is a hard error, not a silent success.
+  EXPECT_NE(run_cli("--replay " + (dir_ / "no-such.jsonl").string()), 0);
 }
 
 TEST_F(CliSmokeTest, QuietStillPrintsSummaryFooterAndWrotePaths) {

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "moldsched/util/rng.hpp"
+
 namespace moldsched::engine {
 namespace {
 
@@ -112,6 +114,15 @@ TEST(JobGridTest, InvalidRepeatsThrow) {
 TEST(JobGridTest, AtOutOfRangeThrows) {
   const auto grid = sample_grid();
   EXPECT_THROW((void)grid.at(grid.size()), std::out_of_range);
+}
+
+TEST(JobGridTest, DeriveSeedMatchesTheSharedUtilMix) {
+  // JobGrid::derive_seed delegates to util::derive_seed; recorded job
+  // seeds in resumable JSONL files depend on the two staying identical.
+  for (std::uint64_t base : {0ULL, 42ULL, 0x9e3779b97f4a7c15ULL})
+    for (std::uint64_t id = 0; id < 64; ++id)
+      EXPECT_EQ(JobGrid::derive_seed(base, id), util::derive_seed(base, id))
+          << base << "/" << id;
 }
 
 }  // namespace

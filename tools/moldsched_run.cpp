@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "moldsched/adv/archive.hpp"
 #include "moldsched/analysis/report.hpp"
 #include "moldsched/engine/engine.hpp"
 #include "moldsched/obs/obs.hpp"
@@ -31,8 +32,16 @@ int usage(std::ostream& os, int code) {
   os << "usage: moldsched_run --suite <name> [options]\n"
         "       moldsched_run --list\n"
         "       moldsched_run --suite <name> --dry-run [--filter S]\n"
+        "       moldsched_run --replay FILE.jsonl [--scheduler NAME]\n"
         "\n"
         "options:\n"
+        "  --replay FILE      re-run every archived repro instance in the\n"
+        "                     JSONL file (e.g. results/pisa_worst.jsonl),\n"
+        "                     validate the schedules, check the replayed\n"
+        "                     makespans are bit-identical to the archived\n"
+        "                     ones, and print the T/LB ratios\n"
+        "  --scheduler NAME   with --replay: run this registered scheduler\n"
+        "                     instead of each record's own target/reference\n"
         "  --suite NAME       suite to run (repeatable via comma list)\n"
         "  --list             list the available suites and exit\n"
         "  --dry-run          print the suite's job list instead of running\n"
@@ -86,7 +95,8 @@ int reject_unknown_flags(int argc, const char* const* argv) {
       "repeats",     "seed",        "filter",      "results-dir",
       "jsonl",       "job-timeout", "budget",      "resume",
       "no-outputs",  "no-bench-json", "quiet",     "trace",
-      "metrics",     "help",        "h"};
+      "metrics",     "replay",      "scheduler",   "help",
+      "h"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
@@ -99,6 +109,56 @@ int reject_unknown_flags(int argc, const char* const* argv) {
     }
   }
   return 0;
+}
+
+/// --replay: re-run every archived instance, validate, and check the
+/// replayed makespans against the archived ones bit for bit.
+int run_replay(const std::string& path, const std::string& scheduler) {
+  const auto records = adv::read_archive(path);
+  if (records.empty()) {
+    std::cout << "replay: no records in " << path << '\n';
+    return 0;
+  }
+  int failures = 0;
+  util::Table t({"record", "pair", "P", "tasks", "scheduler", "makespan",
+                 "T/LB", "valid", "bit-identical"});
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    std::vector<std::string> names;
+    if (!scheduler.empty())
+      names.push_back(scheduler);
+    else
+      names = {rec.target, rec.reference};
+    for (const auto& name : names) {
+      const auto out = adv::replay_record(rec, name);
+      const bool pass = out.valid && (!out.checked || out.bit_identical);
+      if (!pass) ++failures;
+      t.new_row()
+          .cell(static_cast<long>(i))
+          .cell(rec.target + " vs " + rec.reference)
+          .cell(static_cast<long>(rec.P))
+          .cell(static_cast<long>(rec.graph.num_tasks()))
+          .cell(out.scheduler)
+          .cell(out.makespan, 6)
+          .cell(out.ratio_to_lb, 3)
+          .cell(out.valid ? "yes" : "NO")
+          .cell(out.checked ? (out.bit_identical ? "yes" : "NO") : "-");
+      if (!out.valid)
+        std::cerr << "replay: record " << i << " (" << out.scheduler
+                  << "): invalid schedule\n"
+                  << out.violations << '\n';
+      if (out.checked && !out.bit_identical)
+        std::cerr << "replay: record " << i << " (" << out.scheduler
+                  << "): makespan " << out.makespan
+                  << " differs from archived " << out.recorded_makespan
+                  << '\n';
+    }
+  }
+  t.print(std::cout, "replay of " + path +
+                         " (T/LB = makespan / Lemma-2 lower bound)");
+  std::cout << (failures == 0 ? "replay: all records verified\n"
+                              : "replay: FAILURES\n");
+  return failures == 0 ? 0 : 1;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -126,6 +186,10 @@ int main(int argc, char** argv) {
         std::cout << info.name << ": " << info.description << '\n';
       return 0;
     }
+
+    const std::string replay_path = flags.get_string("replay", "");
+    if (!replay_path.empty())
+      return run_replay(replay_path, flags.get_string("scheduler", ""));
 
     const auto suite_names = split_csv(flags.get_string("suite", ""));
     if (suite_names.empty()) {
