@@ -16,9 +16,20 @@
 // concurrency so the admission path (overloaded replies) is the thing
 // being measured; the run must finish without hangs, and rejections are
 // expected rather than tolerated.
+//
+// The bench doubles as the telemetry plane's referee: for an in-process
+// non-overload run it cross-checks the server's log-bucketed
+// svc.request.latency_ms p99 against the client's exact nearest-rank
+// p99 and fails if they disagree beyond one bucket's relative
+// resolution (plus loopback slack — client time includes the socket
+// round trip the server never sees). --telemetry arms phase metrics and
+// the flight recorder so with/without-telemetry throughput is
+// comparable across two runs of the same command; the "telemetry" field
+// in the JSON says which mode produced a given BENCH_serve.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -143,6 +154,8 @@ int usage(std::ostream& os, int code) {
         "  --max-inflight N  in-process server queue bound (default 256)\n"
         "  --overload        provoke admission control: shrink the queue\n"
         "                    bound to 2 and quadruple the offered load\n"
+        "  --telemetry       arm the in-process server's telemetry plane\n"
+        "                    (phase metrics + 1024-deep flight recorder)\n"
         "  --out FILE        result JSON (default BENCH_serve.json)\n"
         "  --quiet           suppress the progress line\n";
   return code;
@@ -176,6 +189,7 @@ int main(int argc, char** argv) {
     const auto catalog = build_catalog(catalog_name, P, mu, seed);
 
     // In-process server unless --host names an external one.
+    const bool telemetry = flags.get_bool("telemetry", false);
     std::unique_ptr<svc::Server> server;
     const bool in_process = host.empty();
     if (in_process) {
@@ -185,7 +199,12 @@ int main(int argc, char** argv) {
                                  : static_cast<int>(
                                        flags.get_int("max-inflight", 256));
       limits.max_sessions = std::max(64, concurrency * 2);
-      server = std::make_unique<svc::Server>(limits);
+      svc::ServerTelemetry tele;
+      if (telemetry) {
+        tele.phases = true;
+        tele.flight_capacity = 1024;
+      }
+      server = std::make_unique<svc::Server>(limits, tele);
       host = "127.0.0.1";
       port = server->listen(host, 0);
     } else if (port == 0) {
@@ -299,6 +318,30 @@ int main(int argc, char** argv) {
         total_requests > 0 ? static_cast<double>(rejected) / total_requests
                            : 0.0;
 
+    // Cross-check the server's log-bucketed latency histogram against
+    // the exact client-side order statistic. Only meaningful for an
+    // in-process, non-overload run: rejections are answered from the io
+    // thread and never reach the histogram, so under overload the two
+    // populations diverge by design. The tolerance is one bucket's
+    // relative resolution (adjacent log_bounds differ by 10^(1/24))
+    // plus loopback slack for the client-only share of the round trip.
+    double server_p50 = 0.0, server_p99 = 0.0;
+    bool p99_checked = false, p99_ok = true;
+    const double bucket_step = std::pow(10.0, 1.0 / 24.0);
+    const double slack_ms = 1.0;
+    if (in_process) {
+      for (const auto& s : obs::default_registry().snapshot()) {
+        if (s.name != "svc.request.latency_ms" || s.count == 0) continue;
+        server_p50 = obs::sample_quantile(s, 0.50);
+        server_p99 = obs::sample_quantile(s, 0.99);
+        if (!overload && !latencies.empty()) {
+          p99_checked = true;
+          p99_ok = server_p99 <= p99 * bucket_step + slack_ms &&
+                   server_p99 >= p99 / bucket_step - slack_ms;
+        }
+      }
+    }
+
     std::ostringstream js;
     js << "{\n"
        << "  \"bench\": \"serve\",\n"
@@ -326,6 +369,17 @@ int main(int argc, char** argv) {
        << ", \"max\": "
        << svc::wire_number(latencies.empty() ? 0.0 : latencies.back())
        << "},\n"
+       << "  \"telemetry\": " << (telemetry ? "true" : "false") << ",\n"
+       << "  \"server_latency_ms\": {\"p50\": "
+       << svc::wire_number(server_p50)
+       << ", \"p99\": " << svc::wire_number(server_p99) << "},\n"
+       << "  \"p99_agreement\": {\"checked\": "
+       << (p99_checked ? "true" : "false")
+       << ", \"client_p99\": " << svc::wire_number(p99)
+       << ", \"server_p99\": " << svc::wire_number(server_p99)
+       << ", \"bucket_step\": " << svc::wire_number(bucket_step)
+       << ", \"slack_ms\": " << svc::wire_number(slack_ms)
+       << ", \"ok\": " << (p99_ok ? "true" : "false") << "},\n"
        << "  \"rejected\": " << rejected << ",\n"
        << "  \"reject_rate\": " << svc::wire_number(reject_rate) << ",\n"
        << "  \"rejections\": {";
@@ -360,6 +414,13 @@ int main(int argc, char** argv) {
     // zero rejections means the queue bound never engaged.
     if (overload && rejected == 0) {
       std::cerr << "bench_serve: --overload produced no rejections\n";
+      return 1;
+    }
+    if (p99_checked && !p99_ok) {
+      std::cerr << "bench_serve: server-side p99 " << server_p99
+                << " ms disagrees with client-side p99 " << p99
+                << " ms beyond one log bucket (step " << bucket_step
+                << ", slack " << slack_ms << " ms)\n";
       return 1;
     }
     return 0;

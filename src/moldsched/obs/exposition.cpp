@@ -1,0 +1,85 @@
+#include "moldsched/obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace moldsched::obs {
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Counters render as <name>_total per the naming convention; a name
+/// that already carries the suffix is left alone.
+std::string counter_name(const std::string& sanitized) {
+  constexpr const char* kSuffix = "_total";
+  if (sanitized.size() >= 6 &&
+      sanitized.compare(sanitized.size() - 6, 6, kSuffix) == 0)
+    return sanitized;
+  return sanitized + kSuffix;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  if (std::isdigit(static_cast<unsigned char>(out.front())) != 0)
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string to_prometheus_text(const std::vector<MetricSample>& samples) {
+  std::string out;
+  for (const auto& s : samples) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        const std::string full = counter_name(name);
+        out += "# TYPE " + full + " counter\n";
+        out += full + ' ' + format_value(s.value) + '\n';
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ' + format_value(s.value) + '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        // The wire format wants cumulative bucket counts; the registry
+        // stores per-bucket ones.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          cum += s.buckets[i];
+          const std::string le =
+              i < s.bounds.size() ? format_value(s.bounds[i]) : "+Inf";
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cum) + '\n';
+        }
+        out += name + "_sum " + format_value(s.sum) + '\n';
+        out += name + "_count " + std::to_string(s.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricRegistry& registry) {
+  return to_prometheus_text(registry.snapshot());
+}
+
+}  // namespace moldsched::obs

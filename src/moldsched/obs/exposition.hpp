@@ -1,0 +1,36 @@
+// Prometheus text exposition of a MetricRegistry snapshot.
+//
+// Rendering follows the text format scrapers expect (version 0.0.4):
+// one # TYPE line per metric, counters suffixed _total, histograms
+// expanded into cumulative _bucket{le="..."} series with a closing
+// le="+Inf" bucket plus _sum and _count, gauges as plain samples.
+// Metric names arrive dot-separated (svc.request.latency_ms) and are
+// sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* grammar by mapping every
+// other character to '_'.
+//
+// This is the payload behind the admin listener's GET /metrics; it also
+// lets CI assert on a live server's state without waiting for the
+// shutdown JSON dump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/obs/metrics.hpp"
+
+namespace moldsched::obs {
+
+/// Sanitizes one metric name to the Prometheus grammar ('.' and every
+/// other illegal character become '_'; a leading digit gains a '_'
+/// prefix). Exposed so tests and scrape assertions agree with the
+/// renderer.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Renders captured samples in name order (the order snapshot() yields).
+[[nodiscard]] std::string to_prometheus_text(
+    const std::vector<MetricSample>& samples);
+
+/// snapshot() + render.
+[[nodiscard]] std::string to_prometheus_text(const MetricRegistry& registry);
+
+}  // namespace moldsched::obs

@@ -1,6 +1,7 @@
 #include "moldsched/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -29,6 +30,31 @@ const std::vector<double>& Histogram::default_time_bounds() {
   static const std::vector<double> bounds = {
       0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
       250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+std::vector<double> Histogram::log_bounds(double lo, double hi,
+                                          int per_decade) {
+  if (!(lo > 0.0) || !(hi > lo))
+    throw std::invalid_argument("log_bounds: need 0 < lo < hi");
+  if (per_decade < 1)
+    throw std::invalid_argument("log_bounds: per_decade must be >= 1");
+  // Bounds are computed as lo * 10^(i / per_decade) rather than by
+  // repeated multiplication, so the ladder is deterministic regardless
+  // of length and strictly increasing by construction.
+  std::vector<double> bounds;
+  for (int i = 0;; ++i) {
+    const double b =
+        lo * std::pow(10.0, static_cast<double>(i) /
+                                static_cast<double>(per_decade));
+    bounds.push_back(b);
+    if (b >= hi) break;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  static const std::vector<double> bounds = log_bounds(1e-3, 6e4, 24);
   return bounds;
 }
 
@@ -79,6 +105,45 @@ double Histogram::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+namespace {
+
+/// Shared nearest-rank estimator over captured bucket counts; min/max
+/// clamp the bucket upper bound to the exactly-tracked value range.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets,
+                             std::uint64_t count, double min_v, double max_v,
+                             double q) {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      // The +inf bucket has no finite upper bound; the tracked max is
+      // the tightest honest estimate there.
+      const double upper = i < bounds.size() ? bounds[i] : max_v;
+      return std::min(std::max(upper, min_v), max_v);
+    }
+  }
+  return max_v;  // unreachable when buckets sum to count
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  return quantile_from_buckets(bounds_, bucket_counts(), count(), min(),
+                               max(), q);
+}
+
+double sample_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricSample::Kind::kHistogram) return 0.0;
+  return quantile_from_buckets(sample.bounds, sample.buckets, sample.count,
+                               sample.min, sample.max, q);
+}
+
 double Histogram::min() const noexcept {
   return min_.load(std::memory_order_relaxed);
 }
@@ -108,6 +173,34 @@ std::string format_number(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+/// Same escaping contract as io::json_escape (quotes, backslashes and
+/// control characters); duplicated locally because obs sits below io in
+/// the layering. Metric names are caller-chosen strings, and at least
+/// one caller (the svc server) derives names from configuration.
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -214,7 +307,7 @@ std::string MetricRegistry::to_json(int indent) const {
       if (s.kind != kind) continue;
       if (!first) out += ',';
       first = false;
-      out += "\n" + pad + "    \"" + s.name + "\": ";
+      out += "\n" + pad + "    \"" + escape_json(s.name) + "\": ";
       if (kind == MetricSample::Kind::kCounter) {
         out += std::to_string(static_cast<std::uint64_t>(s.value));
       } else if (kind == MetricSample::Kind::kGauge) {

@@ -110,6 +110,18 @@ class Histogram {
   /// Default bounds suited to millisecond timings: 0.1 .. 10000 ms.
   [[nodiscard]] static const std::vector<double>& default_time_bounds();
 
+  /// Geometric (HDR-style log-bucketed) ladder: `per_decade` bounds per
+  /// factor of ten, from `lo` up to the first bound >= `hi`. Adjacent
+  /// bounds differ by the constant factor 10^(1/per_decade), so any
+  /// quantile read off the buckets carries at most that relative error.
+  /// Throws std::invalid_argument unless 0 < lo < hi and per_decade >= 1.
+  [[nodiscard]] static std::vector<double> log_bounds(double lo, double hi,
+                                                      int per_decade = 24);
+
+  /// Log-bucketed default for request latencies: 1 us .. 60 s (in ms)
+  /// at 24 buckets per decade (~10% relative resolution per bucket).
+  [[nodiscard]] static const std::vector<double>& default_latency_bounds();
+
   void observe(double v) noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
@@ -124,6 +136,13 @@ class Histogram {
   /// +inf / -inf when empty.
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
+
+  /// Nearest-rank quantile estimate read off the bucket counts: the
+  /// upper bound of the bucket holding the rank-ceil(q n) sample,
+  /// clamped to the exact tracked [min, max]. With log_bounds the
+  /// estimate is within one bucket's relative resolution of the exact
+  /// order statistic. q is clamped to [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 
   void reset() noexcept;
 
@@ -156,6 +175,11 @@ struct MetricSample {
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
 };
+
+/// Histogram::quantile over an already-captured histogram sample —
+/// exposition paths and benches compute quantiles from snapshots
+/// without touching the live instrument. 0 for non-histogram samples.
+[[nodiscard]] double sample_quantile(const MetricSample& sample, double q);
 
 /// Named metric registry. Registration is idempotent: asking twice for
 /// the same name returns the same instrument (and throws

@@ -1,0 +1,104 @@
+#include "moldsched/obs/process_stats.hpp"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace moldsched::obs {
+
+namespace {
+
+double read_rss_bytes() {
+  // /proc/self/statm: size resident shared ... (in pages).
+  std::ifstream in("/proc/self/statm");
+  long long size_pages = 0, resident_pages = 0;
+  if (!(in >> size_pages >> resident_pages)) return 0.0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0.0;
+  return static_cast<double>(resident_pages) * static_cast<double>(page);
+}
+
+double read_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  long count = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    const char* n = entry->d_name;
+    if (n[0] == '.' && (n[1] == '\0' || (n[1] == '.' && n[2] == '\0')))
+      continue;
+    ++count;
+  }
+  ::closedir(dir);
+  // The directory stream itself holds one fd that vanishes on closedir.
+  return static_cast<double>(count > 0 ? count - 1 : 0);
+}
+
+double read_uptime_seconds() {
+  // starttime is field 22 of /proc/self/stat, in clock ticks since
+  // boot; the boot-relative clock comes from /proc/uptime. comm (field
+  // 2) may contain spaces, so parsing starts after its closing ')'.
+  std::ifstream stat("/proc/self/stat");
+  std::string line;
+  const bool have_stat = static_cast<bool>(std::getline(stat, line));
+  const std::size_t close = have_stat ? line.rfind(')') : std::string::npos;
+  double system_uptime = 0.0;
+  std::ifstream up("/proc/uptime");
+  const bool have_uptime = static_cast<bool>(up >> system_uptime);
+  if (have_stat && have_uptime && close != std::string::npos) {
+    std::istringstream rest(line.substr(close + 1));
+    std::string token;
+    // After ')' the next token is state (field 3); starttime is field
+    // 22, i.e. the 20th token from here.
+    double starttime_ticks = 0.0;
+    bool ok = true;
+    for (int i = 0; i < 20 && ok; ++i) ok = static_cast<bool>(rest >> token);
+    if (ok) {
+      try {
+        starttime_ticks = std::stod(token);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    const long hz = ::sysconf(_SC_CLK_TCK);
+    if (ok && hz > 0) {
+      const double uptime =
+          system_uptime - starttime_ticks / static_cast<double>(hz);
+      if (uptime >= 0.0) return uptime;
+    }
+  }
+  // No usable /proc: fall back to time since this function first ran,
+  // which in practice is process start (the sampler is constructed by
+  // the serving tool's main).
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+}  // namespace
+
+ProcessStats read_process_stats() {
+  ProcessStats stats;
+  stats.rss_bytes = read_rss_bytes();
+  stats.open_fds = read_open_fds();
+  stats.uptime_s = read_uptime_seconds();
+  return stats;
+}
+
+ProcessSampler::ProcessSampler(MetricRegistry& registry,
+                               const std::string& prefix)
+    : rss_bytes_(registry.gauge(prefix + ".rss_bytes")),
+      open_fds_(registry.gauge(prefix + ".open_fds")),
+      uptime_s_(registry.gauge(prefix + ".uptime_s")) {}
+
+ProcessStats ProcessSampler::sample() {
+  const ProcessStats stats = read_process_stats();
+  rss_bytes_.set(stats.rss_bytes);
+  open_fds_.set(stats.open_fds);
+  uptime_s_.set(stats.uptime_s);
+  return stats;
+}
+
+}  // namespace moldsched::obs

@@ -1,0 +1,47 @@
+// Process-level health signals (resident set, open file descriptors,
+// uptime) read from /proc, plus a sampler that mirrors them into a
+// MetricRegistry as proc.* gauges.
+//
+// These are exactly the signals a soak run asserts on — "no fd leak, no
+// memory growth" — so they live next to the registry the admin listener
+// exposes: every scrape refreshes the gauges first, making a running
+// server's curve observable from outside without instrumenting the
+// kernel. Reads are best-effort: on platforms without /proc the fields
+// stay at their zero defaults rather than erroring.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "moldsched/obs/metrics.hpp"
+
+namespace moldsched::obs {
+
+struct ProcessStats {
+  double rss_bytes = 0.0;  ///< resident set size (statm * page size)
+  double open_fds = 0.0;   ///< entries in /proc/self/fd
+  double uptime_s = 0.0;   ///< seconds since process start
+};
+
+/// One best-effort sample of the calling process.
+[[nodiscard]] ProcessStats read_process_stats();
+
+/// Registers <prefix>.rss_bytes / <prefix>.open_fds / <prefix>.uptime_s
+/// gauges in `registry` and refreshes them on every sample() call. The
+/// registry must outlive the sampler.
+class ProcessSampler {
+ public:
+  explicit ProcessSampler(MetricRegistry& registry,
+                          const std::string& prefix = "proc");
+
+  /// Reads /proc and stores the result into the three gauges; returns
+  /// the sample for callers that want the raw values too.
+  ProcessStats sample();
+
+ private:
+  Gauge& rss_bytes_;
+  Gauge& open_fds_;
+  Gauge& uptime_s_;
+};
+
+}  // namespace moldsched::obs

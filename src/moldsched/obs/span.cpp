@@ -1,0 +1,71 @@
+#include "moldsched/obs/span.hpp"
+
+#include <cstdio>
+
+namespace moldsched::obs {
+
+namespace {
+
+std::string format_us(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceSpanObserver::TraceSpanObserver(TraceWriter& writer,
+                                     const std::string& process_name)
+    : writer_(writer), pid_(writer.new_process(process_name)) {}
+
+int TraceSpanObserver::lane_for(const std::string& session) {
+  const std::string key = session.empty() ? "(no session)" : session;
+  const auto it = lanes_.find(key);
+  if (it != lanes_.end()) return it->second;
+  const int tid = next_tid_++;
+  lanes_.emplace(key, tid);
+  writer_.set_thread_name(pid_, tid, key);
+  return tid;
+}
+
+void TraceSpanObserver::on_request(const RequestSpan& span) {
+  int tid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tid = lane_for(span.session);
+  }
+  std::vector<std::pair<std::string, std::string>> args;
+  args.reserve(10);
+  args.emplace_back("request_id", std::to_string(span.request_id));
+  args.emplace_back("seq", std::to_string(span.seq));
+  if (!span.trace_id.empty()) args.emplace_back("trace_id", span.trace_id);
+  args.emplace_back("outcome", span.outcome);
+  args.emplace_back("queue_us", format_us(span.queue_us));
+  args.emplace_back("parse_us", format_us(span.parse_us));
+  args.emplace_back("schedule_us", format_us(span.schedule_us));
+  args.emplace_back("serialize_us", format_us(span.serialize_us));
+  args.emplace_back("write_us", format_us(span.write_us));
+  writer_.complete_span(pid_, tid, span.op, "svc.request", span.start_us,
+                        span.total_us, std::move(args));
+
+  // Phases as nested children, laid out in their true order: queue
+  // leads from the enqueue instant, then parse / schedule / serialize /
+  // write follow each other back-to-back (the measured segments are
+  // contiguous up to scheduling noise, so cursor stacking keeps every
+  // child inside the parent).
+  double cursor = span.start_us;
+  const std::pair<const char*, double> phases[] = {
+      {"queue", span.queue_us},
+      {"parse", span.parse_us},
+      {"schedule", span.schedule_us},
+      {"serialize", span.serialize_us},
+      {"write", span.write_us},
+  };
+  for (const auto& [name, dur] : phases) {
+    if (dur <= 0.0) continue;
+    writer_.complete_span(pid_, tid, name, "svc.phase", cursor, dur);
+    cursor += dur;
+  }
+}
+
+}  // namespace moldsched::obs

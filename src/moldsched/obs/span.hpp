@@ -1,0 +1,80 @@
+// Request-scoped spans: the unit of observability for the service layer.
+//
+// One RequestSpan describes one request's full server-side life —
+// enqueue to reply-written — decomposed into the five phases the server
+// measures (parse / queue / schedule / serialize / write), tagged with
+// the ids that tie it back to the wire protocol: the session id minted
+// by session.open, the client's seq, and the optional client-supplied
+// trace_id that rides every request. The svc server produces one span
+// per request when telemetry is armed and fans it out to whichever
+// SpanObserver is attached; the flight recorder and the svc.phase.*
+// histograms consume the same struct, so every sink agrees on what a
+// request cost.
+//
+// TraceSpanObserver renders spans into the existing Chrome-trace writer:
+// one process for the service, one lane (tid) per session, the request
+// as a complete span with the phases as nested child spans — open a
+// produced trace in Perfetto and a session reads as a staircase of
+// open/release/close requests with their phase breakdown inside.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "moldsched/obs/trace_writer.hpp"
+
+namespace moldsched::obs {
+
+struct RequestSpan {
+  std::uint64_t request_id = 0;  ///< server-wide monotone request number
+  std::int64_t seq = 0;          ///< client seq echoed in the reply
+  std::string session;           ///< empty for session.open / server ops
+  std::string op;                ///< "session.open", "task.release", ...
+  std::string trace_id;          ///< client-supplied id; empty when absent
+  std::string outcome;           ///< "ok" or the reply's error code
+  double start_us = 0.0;         ///< enqueue time, us since server start
+  double total_us = 0.0;         ///< enqueue -> reply written
+  // Phase decomposition; disjoint sub-intervals of [start, start+total],
+  // so their sum never exceeds total_us.
+  double queue_us = 0.0;      ///< enqueue -> picked up by a worker
+  double parse_us = 0.0;      ///< payload JSON -> Request
+  double schedule_us = 0.0;   ///< session state machine + scheduler run
+  double serialize_us = 0.0;  ///< reply struct -> JSON payload
+  double write_us = 0.0;      ///< frame write to the socket
+};
+
+/// Sink for completed request spans. on_request fires once per request
+/// on the worker thread that wrote the reply; implementations must be
+/// thread-safe and cheap. The default implementation drops the span.
+class SpanObserver {
+ public:
+  virtual ~SpanObserver() = default;
+  virtual void on_request(const RequestSpan& span) { (void)span; }
+};
+
+/// Renders request spans into a TraceWriter: one process named
+/// `process_name`, one lane per distinct session id (requests without a
+/// session — opens, rejected parses — share a "(no session)" lane). The
+/// request becomes a complete span carrying seq/trace_id/outcome/phase
+/// args; each non-zero phase additionally becomes a nested child span so
+/// the decomposition is visible without expanding args. Thread-safe.
+class TraceSpanObserver final : public SpanObserver {
+ public:
+  explicit TraceSpanObserver(TraceWriter& writer,
+                             const std::string& process_name = "svc requests");
+
+  void on_request(const RequestSpan& span) override;
+
+ private:
+  [[nodiscard]] int lane_for(const std::string& session);
+
+  TraceWriter& writer_;
+  int pid_;
+  std::mutex mutex_;
+  std::map<std::string, int> lanes_;  // session id -> tid, guarded by mutex_
+  int next_tid_ = 1;                  // guarded by mutex_
+};
+
+}  // namespace moldsched::obs

@@ -1,0 +1,185 @@
+#include "moldsched/svc/admin.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+
+#include "moldsched/obs/exposition.hpp"
+#include "moldsched/svc/server.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::svc {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 200;
+constexpr int kClientTimeoutMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// First whitespace-delimited tokens of the request line; empty method
+/// on anything that is not "METHOD PATH ...".
+void parse_request_line(const std::string& request, std::string& method,
+                        std::string& path) {
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  method = line.substr(0, sp1);
+  path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                  : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Scrapers may append query strings (?t=...); routing ignores them.
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+}
+
+[[nodiscard]] std::string http_response(int status, const char* reason,
+                                        const std::string& content_type,
+                                        const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Blocking-with-deadline write of the whole buffer to a non-blocking fd.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  int budget_ms = kClientTimeoutMs;
+  while (off < data.size() && budget_ms > 0) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 100);
+      budget_ms -= 100;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer went away; nothing to salvage
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(obs::MetricRegistry& registry, const Server* server)
+    : registry_(registry), server_(server), proc_sampler_(registry) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+int AdminServer::listen(const std::string& host, int port) {
+  if (listen_fd_ >= 0)
+    throw std::logic_error("AdminServer::listen called twice");
+  int bound_port = 0;
+  listen_fd_ = tcp_listen(host, port, bound_port);
+  port_ = bound_port;
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void AdminServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool AdminServer::route(const std::string& path, std::string& body,
+                        std::string& content_type) {
+  if (path == "/metrics") {
+    proc_sampler_.sample();
+    body = obs::to_prometheus_text(registry_);
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/metrics.json") {
+    proc_sampler_.sample();
+    body = registry_.to_json() + "\n";
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/flight") {
+    body = server_ != nullptr ? server_->flight_jsonl() : std::string();
+    content_type = "application/x-ndjson";
+    return true;
+  }
+  if (path == "/healthz") {
+    body = "ok\n";
+    content_type = "text/plain";
+    return true;
+  }
+  return false;
+}
+
+void AdminServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN / transient
+      set_nonblocking(fd);
+      handle_client(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void AdminServer::handle_client(int fd) {
+  // Read until the header terminator, EOF, or the deadline. Admin
+  // requests are tiny GETs; anything bigger is answered from what
+  // arrived (or dropped as malformed).
+  std::string request;
+  int budget_ms = kClientTimeoutMs;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes && budget_ms > 0) {
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLIN, 0};
+      ::poll(&pfd, 1, 100);
+      budget_ms -= 100;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return;
+  }
+
+  std::string method, path;
+  parse_request_line(request, method, path);
+  if (method != "GET") {
+    send_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+    return;
+  }
+  std::string body, content_type;
+  if (!route(path, body, content_type)) {
+    send_all(fd, http_response(404, "Not Found", "text/plain",
+                               "unknown path '" + path + "'\n"));
+    return;
+  }
+  send_all(fd, http_response(200, "OK", content_type, body));
+}
+
+}  // namespace moldsched::svc

@@ -1,0 +1,72 @@
+// Admin/metrics listener: a tiny HTTP endpoint next to the RPC server.
+//
+// The scheduling service speaks a length-prefixed JSON protocol that
+// curl and Prometheus cannot; the admin listener bridges that gap with
+// a deliberately minimal HTTP/1.0 responder (GET only, one request per
+// connection, Connection: close) on its own thread:
+//
+//   GET /metrics       registry in Prometheus text format 0.0.4
+//   GET /metrics.json  registry as MetricRegistry::to_json
+//   GET /flight        the server's flight recorder as JSONL
+//   GET /healthz       "ok" (liveness probe)
+//
+// Every /metrics* scrape refreshes the proc.* gauges first, so RSS / fd
+// / uptime curves are observable live. The listener shares the socket
+// plumbing of the RPC server (tcp_listen) and serves strictly read-only
+// views — it can be exposed more widely than the RPC port.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/process_stats.hpp"
+
+namespace moldsched::svc {
+
+class Server;
+
+class AdminServer {
+ public:
+  /// `registry` backs /metrics and /metrics.json; `server` (optional)
+  /// backs /flight. Both must outlive the admin server.
+  explicit AdminServer(obs::MetricRegistry& registry,
+                       const Server* server = nullptr);
+
+  /// Stops and joins the serving thread.
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds `host:port` (port 0 picks an ephemeral port), starts the
+  /// serving thread and returns the bound port. Callable once.
+  int listen(const std::string& host = "127.0.0.1", int port = 0);
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Stops accepting and joins the thread. Idempotent.
+  void stop();
+
+  /// Routes one request path to a response body + content type; exposed
+  /// for tests that want the payloads without a socket. Returns false
+  /// for unknown paths (the caller answers 404).
+  [[nodiscard]] bool route(const std::string& path, std::string& body,
+                           std::string& content_type);
+
+ private:
+  void serve_loop();
+  void handle_client(int fd);
+
+  obs::MetricRegistry& registry_;
+  const Server* server_;
+  obs::ProcessSampler proc_sampler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace moldsched::svc

@@ -87,18 +87,20 @@ std::string Client::roundtrip(const std::string& payload) {
 }
 
 OpenReply Client::open(const OpenParams& params) {
-  return parse_open_reply(roundtrip(open_request_json(params, ++next_seq_)));
+  return parse_open_reply(
+      roundtrip(open_request_json(params, ++next_seq_, trace_id_)));
 }
 
 ReleaseReply Client::release(const std::string& session,
                              const ReleaseParams& params) {
   return parse_release_reply(
-      roundtrip(release_request_json(session, params, ++next_seq_)));
+      roundtrip(release_request_json(session, params, ++next_seq_,
+                                     trace_id_)));
 }
 
 CloseReply Client::close_session(const std::string& session) {
   return parse_close_reply(
-      roundtrip(close_request_json(session, ++next_seq_)));
+      roundtrip(close_request_json(session, ++next_seq_, trace_id_)));
 }
 
 StopReply Client::stop_server() {

@@ -32,6 +32,15 @@ class Client {
   void disconnect();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
+  /// Correlation id attached to every subsequent open/release/close
+  /// request ("" = stop sending one). The server carries it into its
+  /// request spans and flight-recorder records, so client-side activity
+  /// can be matched against server-side telemetry.
+  void set_trace_id(std::string trace_id) { trace_id_ = std::move(trace_id); }
+  [[nodiscard]] const std::string& trace_id() const noexcept {
+    return trace_id_;
+  }
+
   /// session.open. On ok, reply.session is the id for release/close.
   [[nodiscard]] OpenReply open(const OpenParams& params);
 
@@ -53,6 +62,7 @@ class Client {
   void send_all(const std::string& bytes);
   [[nodiscard]] std::string read_frame();
   std::int64_t next_seq_ = 0;
+  std::string trace_id_;
 
   int fd_ = -1;
   FrameReader reader_;

@@ -1,0 +1,175 @@
+#include "moldsched/svc/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+#include "moldsched/io/json.hpp"
+#include "moldsched/svc/wire.hpp"
+
+namespace moldsched::svc {
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// Ops and outcomes come from closed sets, so records store small codes
+// instead of strings. Unknown values collapse to "other" — the recorder
+// is diagnostics, not a codec.
+constexpr const char* kOps[] = {"session.open", "task.release",
+                                "session.close", "server.stop", "other"};
+
+std::uint64_t encode_op(const std::string& op) {
+  for (std::uint64_t i = 0; i + 1 < std::size(kOps); ++i)
+    if (op == kOps[i]) return i;
+  return std::size(kOps) - 1;
+}
+
+constexpr const char* kOutcomes[] = {
+    "ok",           "parse_error",    "bad_request", "unknown_op",
+    "unknown_session", "overloaded",  "quota_exceeded", "shutting_down",
+    "forbidden",    "internal",       "other"};
+
+std::uint64_t encode_outcome(const std::string& outcome) {
+  for (std::uint64_t i = 0; i + 1 < std::size(kOutcomes); ++i)
+    if (outcome == kOutcomes[i]) return i;
+  return std::size(kOutcomes) - 1;
+}
+
+/// Server-minted session ids are "s<N>"; anything else (empty session
+/// on opens, client typos on release) stores as 0 = none.
+std::uint64_t encode_session(const std::string& session) {
+  if (session.size() < 2 || session[0] != 's') return 0;
+  std::uint64_t n = 0;
+  for (std::size_t i = 1; i < session.size(); ++i) {
+    if (session[i] < '0' || session[i] > '9') return 0;
+    n = n * 10 + static_cast<std::uint64_t>(session[i] - '0');
+    if (n > 0xffffffffull - 1) return 0;
+  }
+  return n + 1;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {}
+
+void FlightRecorder::record(const obs::RequestSpan& span) noexcept {
+  const std::uint64_t ticket =
+      tickets_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  std::uint64_t version = slot.version.load(std::memory_order_relaxed);
+  if ((version & 1) != 0 ||
+      !slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::size_t trace_len =
+      std::min(span.trace_id.size(), kMaxTraceIdBytes);
+  std::uint64_t words[kWords] = {};
+  words[0] = span.request_id;
+  words[1] = static_cast<std::uint64_t>(span.seq);
+  words[2] = double_bits(span.start_us);
+  words[3] = double_bits(span.total_us);
+  words[4] = double_bits(span.queue_us);
+  words[5] = double_bits(span.parse_us);
+  words[6] = double_bits(span.schedule_us);
+  words[7] = double_bits(span.serialize_us);
+  words[8] = double_bits(span.write_us);
+  words[9] = (encode_session(span.session) << 32) |
+             (encode_op(span.op) << 16) |
+             (encode_outcome(span.outcome) << 8) |
+             static_cast<std::uint64_t>(trace_len);
+  for (std::size_t i = 0; i < trace_len; ++i) {
+    const auto b = static_cast<std::uint64_t>(
+        static_cast<unsigned char>(span.trace_id[i]));
+    words[10 + i / 8] |= b << (8 * (i % 8));
+  }
+
+  for (std::size_t i = 0; i < kWords; ++i)
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  slot.version.store(version + 2, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<obs::RequestSpan> FlightRecorder::snapshot() const {
+  std::vector<obs::RequestSpan> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) continue;  // never written / mid-write
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i)
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) != v1)
+      continue;  // torn by a concurrent writer
+
+    obs::RequestSpan span;
+    span.request_id = words[0];
+    span.seq = static_cast<std::int64_t>(words[1]);
+    span.start_us = bits_double(words[2]);
+    span.total_us = bits_double(words[3]);
+    span.queue_us = bits_double(words[4]);
+    span.parse_us = bits_double(words[5]);
+    span.schedule_us = bits_double(words[6]);
+    span.serialize_us = bits_double(words[7]);
+    span.write_us = bits_double(words[8]);
+    const std::uint64_t session = words[9] >> 32;
+    if (session != 0) span.session = "s" + std::to_string(session - 1);
+    span.op = kOps[std::min<std::uint64_t>((words[9] >> 16) & 0xff,
+                                           std::size(kOps) - 1)];
+    span.outcome =
+        kOutcomes[std::min<std::uint64_t>((words[9] >> 8) & 0xff,
+                                          std::size(kOutcomes) - 1)];
+    const auto trace_len =
+        std::min<std::uint64_t>(words[9] & 0xff, kMaxTraceIdBytes);
+    for (std::uint64_t i = 0; i < trace_len; ++i)
+      span.trace_id +=
+          static_cast<char>((words[10 + i / 8] >> (8 * (i % 8))) & 0xff);
+    out.push_back(std::move(span));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const obs::RequestSpan& a, const obs::RequestSpan& b) {
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const obs::RequestSpan& s : snapshot()) {
+    out += "{\"id\":" + std::to_string(s.request_id) +
+           ",\"seq\":" + std::to_string(s.seq) + ",\"session\":\"" +
+           s.session + "\",\"op\":\"" + s.op + "\",\"trace_id\":\"" +
+           io::json_escape(s.trace_id) + "\",\"outcome\":\"" + s.outcome +
+           "\",\"start_us\":" + wire_number(s.start_us) +
+           ",\"total_us\":" + wire_number(s.total_us) +
+           ",\"phases_us\":{\"queue\":" + wire_number(s.queue_us) +
+           ",\"parse\":" + wire_number(s.parse_us) +
+           ",\"schedule\":" + wire_number(s.schedule_us) +
+           ",\"serialize\":" + wire_number(s.serialize_us) +
+           ",\"write\":" + wire_number(s.write_us) + "}}\n";
+  }
+  return out;
+}
+
+}  // namespace moldsched::svc

@@ -1,0 +1,85 @@
+// Slow-request flight recorder: a lock-free ring buffer retaining the
+// last N request spans (ids, phase timings, outcome) so a loaded server
+// can answer "what just happened" without logging every request.
+//
+// Writers are the server's worker threads, one record() per finished
+// request; readers are rare (a SIGUSR1 dump, an admin /flight scrape, a
+// slow-request auto-dump). Each slot is a word-granular seqlock: the
+// writer claims the slot by CAS-ing its version to odd, publishes the
+// record as relaxed stores into per-word atomics, and releases with an
+// even version; a reader that observes a version change mid-copy simply
+// discards the slot. A writer that finds its slot mid-write (another
+// writer lapped the ring) drops the record and counts it — recording
+// never blocks and never spins, which is what lets it sit on the reply
+// path unconditionally when armed.
+//
+// Records are fixed-size: the span's strings are compressed to small
+// codes (ops and outcomes come from closed sets, session ids are the
+// server-minted "s<N>") and the client trace_id keeps its first 24
+// bytes. snapshot() returns surviving records oldest-first by request
+// id; to_jsonl() renders one JSON object per line, the dump format the
+// serve tool writes on SIGUSR1.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moldsched/obs/span.hpp"
+
+namespace moldsched::svc {
+
+class FlightRecorder {
+ public:
+  /// Longest trace_id prefix a record preserves.
+  static constexpr std::size_t kMaxTraceIdBytes = 24;
+
+  /// `capacity` is rounded up to a power of two, minimum 8.
+  explicit FlightRecorder(std::size_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Publishes one finished request. Wait-free: a slot still being
+  /// written by a lapping writer drops the record instead of waiting.
+  void record(const obs::RequestSpan& span) noexcept;
+
+  /// Readable records, oldest first (by request id). Concurrent writes
+  /// may hide the slots they are touching.
+  [[nodiscard]] std::vector<obs::RequestSpan> snapshot() const;
+
+  /// snapshot() rendered as JSONL: one object per record with id, seq,
+  /// session, op, trace_id, outcome, start_us, total_us and a phases_us
+  /// sub-object (queue/parse/schedule/serialize/write).
+  [[nodiscard]] std::string to_jsonl() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+  /// Total records accepted / dropped to slot collisions.
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kWords = 13;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> version{0};  ///< odd = write in progress
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> tickets_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace moldsched::svc

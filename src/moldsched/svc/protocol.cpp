@@ -130,6 +130,12 @@ Request parse_request(const std::string& payload) {
   const auto* seq = doc.find("seq");
   if (seq != nullptr && seq->is_number())
     req.seq = static_cast<std::int64_t>(seq->number);
+  const auto* trace_id = doc.find("trace_id");
+  if (trace_id != nullptr) {
+    if (!trace_id->is_string())
+      throw std::invalid_argument("request: 'trace_id' must be a string");
+    req.trace_id = trace_id->string;
+  }
 
   const std::string op = string_field(doc, "op", "request");
   if (op == "session.open") {
@@ -200,18 +206,31 @@ Request parse_request(const std::string& payload) {
 // ---------------------------------------------------------------------------
 // Request building (client side)
 
-std::string open_request_json(const OpenParams& p, std::int64_t seq) {
+namespace {
+
+void append_trace_id(std::ostringstream& os, const std::string& trace_id) {
+  if (!trace_id.empty())
+    os << ",\"trace_id\":\"" << io::json_escape(trace_id) << '"';
+}
+
+}  // namespace
+
+std::string open_request_json(const OpenParams& p, std::int64_t seq,
+                              const std::string& trace_id) {
   std::ostringstream os;
   os << "{\"op\":\"session.open\",\"seq\":" << seq << ",\"scheduler\":\""
      << io::json_escape(p.scheduler) << "\",\"P\":" << p.P
      << ",\"mu\":" << wire_number(p.mu) << ",\"policy\":\""
      << core::to_string(p.policy) << "\",\"trace\":"
-     << (p.trace ? "true" : "false") << '}';
+     << (p.trace ? "true" : "false");
+  append_trace_id(os, trace_id);
+  os << '}';
   return os.str();
 }
 
 std::string release_request_json(const std::string& session,
-                                 const ReleaseParams& p, std::int64_t seq) {
+                                 const ReleaseParams& p, std::int64_t seq,
+                                 const std::string& trace_id) {
   if (!p.model)
     throw std::invalid_argument("release_request_json: model is required");
   std::ostringstream os;
@@ -225,14 +244,18 @@ std::string release_request_json(const std::string& session,
   }
   os << ']';
   if (p.expected_task) os << ",\"task\":" << *p.expected_task;
+  append_trace_id(os, trace_id);
   os << '}';
   return os.str();
 }
 
-std::string close_request_json(const std::string& session, std::int64_t seq) {
+std::string close_request_json(const std::string& session, std::int64_t seq,
+                               const std::string& trace_id) {
   std::ostringstream os;
   os << "{\"op\":\"session.close\",\"seq\":" << seq << ",\"session\":\""
-     << io::json_escape(session) << "\"}";
+     << io::json_escape(session) << '"';
+  append_trace_id(os, trace_id);
+  os << '}';
   return os.str();
 }
 

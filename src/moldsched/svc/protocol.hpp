@@ -85,6 +85,8 @@ struct Request {
   Op op = Op::kOpen;
   std::int64_t seq = 0;        ///< echoed verbatim; 0 when absent
   std::string session;         ///< open: empty; others: target session
+  std::string trace_id;        ///< optional client-chosen correlation id,
+                               ///< carried into spans and flight records
   OpenParams open;
   ReleaseParams release;
 };
@@ -93,14 +95,19 @@ struct Request {
 /// message suitable for a kBadRequest / kUnknownOp / kParseError reply.
 [[nodiscard]] Request parse_request(const std::string& payload);
 
-/// Request serializers (client side).
+/// Request serializers (client side). A non-empty `trace_id` rides the
+/// request as "trace_id" and shows up in the server's request spans and
+/// flight-recorder records, correlating client-side activity with
+/// server-side telemetry.
 [[nodiscard]] std::string open_request_json(const OpenParams& p,
-                                            std::int64_t seq);
-[[nodiscard]] std::string release_request_json(const std::string& session,
-                                               const ReleaseParams& p,
-                                               std::int64_t seq);
+                                            std::int64_t seq,
+                                            const std::string& trace_id = "");
+[[nodiscard]] std::string release_request_json(
+    const std::string& session, const ReleaseParams& p, std::int64_t seq,
+    const std::string& trace_id = "");
 [[nodiscard]] std::string close_request_json(const std::string& session,
-                                             std::int64_t seq);
+                                             std::int64_t seq,
+                                             const std::string& trace_id = "");
 [[nodiscard]] std::string stop_request_json(std::int64_t seq);
 
 // ---------------------------------------------------------------------------

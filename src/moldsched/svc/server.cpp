@@ -1,7 +1,5 @@
 #include "moldsched/svc/server.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -23,14 +23,18 @@ namespace {
 constexpr int kPollTimeoutMs = 200;
 constexpr double kReapSweepSeconds = 1.0;
 constexpr double kWriteTimeoutSeconds = 10.0;
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
+/// Minimum spacing between slow-request flight dumps: one storm of slow
+/// requests produces one dump, not one file write per request.
+constexpr double kSlowDumpCooldownSeconds = 1.0;
 
 [[nodiscard]] std::string errno_message(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
 /// Best-effort seq extraction for replies built before (or instead of)
@@ -54,7 +58,13 @@ Server::Conn::~Conn() {
 
 Server::Server(ServerLimits limits, engine::Executor& executor,
                obs::MetricRegistry& registry)
+    : Server(limits, ServerTelemetry{}, executor, registry) {}
+
+Server::Server(ServerLimits limits, ServerTelemetry telemetry,
+               engine::Executor& executor, obs::MetricRegistry& registry)
     : limits_(limits),
+      telemetry_(std::move(telemetry)),
+      telemetry_armed_(telemetry_.armed()),
       executor_(executor),
       m_accepted_(registry.counter("svc.connections.accepted")),
       m_requests_(registry.counter("svc.requests.received")),
@@ -65,10 +75,24 @@ Server::Server(ServerLimits limits, engine::Executor& executor,
       m_sessions_reaped_(registry.counter("svc.sessions.reaped")),
       m_sessions_active_(registry.gauge("svc.sessions.active")),
       m_queue_depth_(registry.gauge("svc.queue.depth")),
-      m_latency_ms_(registry.histogram("svc.request.latency_ms")) {
+      m_latency_ms_(registry.histogram(
+          "svc.request.latency_ms", obs::Histogram::default_latency_bounds())),
+      m_phase_queue_ms_(registry.histogram(
+          "svc.phase.queue_ms", obs::Histogram::default_latency_bounds())),
+      m_phase_parse_ms_(registry.histogram(
+          "svc.phase.parse_ms", obs::Histogram::default_latency_bounds())),
+      m_phase_schedule_ms_(registry.histogram(
+          "svc.phase.schedule_ms", obs::Histogram::default_latency_bounds())),
+      m_phase_serialize_ms_(registry.histogram(
+          "svc.phase.serialize_ms", obs::Histogram::default_latency_bounds())),
+      m_phase_write_ms_(registry.histogram(
+          "svc.phase.write_ms", obs::Histogram::default_latency_bounds())),
+      epoch_(Clock::now()) {
   if (limits_.max_sessions < 1 || limits_.max_in_flight < 1 ||
       limits_.max_tasks_per_session < 1)
     throw std::invalid_argument("Server: limits must be >= 1");
+  if (telemetry_.flight_capacity > 0)
+    flight_ = std::make_unique<FlightRecorder>(telemetry_.flight_capacity);
 }
 
 Server::~Server() {
@@ -78,38 +102,9 @@ Server::~Server() {
 
 int Server::listen(const std::string& host, int port) {
   if (listen_fd_ >= 0) throw std::logic_error("Server::listen called twice");
-  if (port < 0 || port > 65535)
-    throw std::invalid_argument("Server::listen: port out of range");
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-    throw std::invalid_argument("Server::listen: bad IPv4 host '" + host +
-                                "'");
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error(errno_message("socket"));
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string msg = errno_message("bind");
-    ::close(fd);
-    throw std::runtime_error(msg);
-  }
-  if (::listen(fd, 64) != 0) {
-    const std::string msg = errno_message("listen");
-    ::close(fd);
-    throw std::runtime_error(msg);
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    const std::string msg = errno_message("getsockname");
-    ::close(fd);
-    throw std::runtime_error(msg);
-  }
+  int bound_port = 0;
+  const int fd = tcp_listen(host, port, bound_port);
   if (::pipe(wake_fds_) != 0) {
     const std::string msg = errno_message("pipe");
     ::close(fd);
@@ -117,10 +112,9 @@ int Server::listen(const std::string& host, int port) {
   }
   set_nonblocking(wake_fds_[0]);
   set_nonblocking(wake_fds_[1]);
-  set_nonblocking(fd);
 
   listen_fd_ = fd;
-  port_ = static_cast<int>(ntohs(bound.sin_port));
+  port_ = bound_port;
   io_thread_ = std::thread([this] { io_loop(); });
   return port_;
 }
@@ -355,29 +349,121 @@ void Server::drain(const std::shared_ptr<Conn>& c) {
       item = std::move(c->queue.front());
       c->queue.pop_front();
     }
-    HandleResult result = handle(item.payload);
+
+    if (!telemetry_armed_) {
+      // Fast path: identical clock-read count to the pre-telemetry
+      // server — one steady_clock::now() per request, for the latency
+      // histogram.
+      HandleResult result = handle(item.payload, nullptr);
+      try {
+        write_frame(*c, result.reply);
+      } catch (const std::exception&) {
+        c->open.store(false, std::memory_order_release);
+      }
+      m_latency_ms_.observe(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    item.enqueued)
+              .count());
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      m_queue_depth_.set(in_flight_.load(std::memory_order_relaxed));
+      if (result.stop_server) stop();
+      continue;
+    }
+
+    obs::RequestSpan span;
+    span.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    span.start_us = us_between(epoch_, item.enqueued);
+    const auto dequeued = Clock::now();
+    span.queue_us = us_between(item.enqueued, dequeued);
+    HandleResult result = handle(item.payload, &span);
+    const auto handled = Clock::now();
     try {
       write_frame(*c, result.reply);
     } catch (const std::exception&) {
       c->open.store(false, std::memory_order_release);
     }
-    m_latency_ms_.observe(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - item.enqueued)
-            .count());
+    const auto done = Clock::now();
+    span.write_us = us_between(handled, done);
+    span.total_us = us_between(item.enqueued, done);
+    m_latency_ms_.observe(span.total_us / 1000.0);
+    emit_span(span);
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     m_queue_depth_.set(in_flight_.load(std::memory_order_relaxed));
     if (result.stop_server) stop();
   }
 }
 
+void Server::emit_span(const obs::RequestSpan& span) {
+  m_phase_queue_ms_.observe(span.queue_us / 1000.0);
+  m_phase_parse_ms_.observe(span.parse_us / 1000.0);
+  m_phase_schedule_ms_.observe(span.schedule_us / 1000.0);
+  m_phase_serialize_ms_.observe(span.serialize_us / 1000.0);
+  m_phase_write_ms_.observe(span.write_us / 1000.0);
+  if (flight_) flight_->record(span);
+  if (telemetry_.spans != nullptr) telemetry_.spans->on_request(span);
+  if (telemetry_.slow_ms > 0 && span.total_us / 1000.0 >= telemetry_.slow_ms)
+    maybe_dump_slow(span);
+}
+
+void Server::maybe_dump_slow(const obs::RequestSpan& span) {
+  (void)span;
+  if (!flight_ || telemetry_.slow_dump_path.empty()) return;
+  const auto now_us =
+      static_cast<std::int64_t>(us_between(epoch_, Clock::now()));
+  std::int64_t last = last_slow_dump_us_.load(std::memory_order_relaxed);
+  const auto cooldown_us =
+      static_cast<std::int64_t>(kSlowDumpCooldownSeconds * 1e6);
+  if (last >= 0 && now_us - last < cooldown_us) return;
+  if (!last_slow_dump_us_.compare_exchange_strong(last, now_us,
+                                                  std::memory_order_relaxed))
+    return;  // another worker is dumping
+  // Atomic-rename publish: readers never see a half-written dump.
+  const std::string tmp = telemetry_.slow_dump_path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+  if (!out) return;
+  out << flight_->to_jsonl();
+  out.close();
+  if (out) ::rename(tmp.c_str(), telemetry_.slow_dump_path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Request dispatch (worker threads)
 
-Server::HandleResult Server::handle(const std::string& payload) {
+namespace {
+
+/// Marks a span's outcome with an error code (no-op on a null span).
+void span_error(obs::RequestSpan* span, ErrorCode code) {
+  if (span != nullptr) span->outcome = to_string(code);
+}
+
+[[nodiscard]] const char* op_name(Request::Op op) {
+  switch (op) {
+    case Request::Op::kOpen: return "session.open";
+    case Request::Op::kRelease: return "task.release";
+    case Request::Op::kClose: return "session.close";
+    case Request::Op::kStop: return "server.stop";
+  }
+  return "other";
+}
+
+}  // namespace
+
+Server::HandleResult Server::handle(const std::string& payload,
+                                    obs::RequestSpan* span) {
   Request req;
   try {
-    req = parse_request(payload);
+    if (span == nullptr) {
+      req = parse_request(payload);
+    } else {
+      const auto t0 = Clock::now();
+      req = parse_request(payload);
+      span->parse_us = us_between(t0, Clock::now());
+      span->op = op_name(req.op);
+      span->seq = req.seq;
+      span->session = req.session;
+      span->trace_id = req.trace_id;
+      span->outcome = "ok";
+    }
   } catch (const std::exception& e) {
     const std::string what = e.what();
     ErrorCode code = ErrorCode::kBadRequest;
@@ -390,20 +476,22 @@ Server::HandleResult Server::handle(const std::string& payload) {
       message = what.substr(12);
     }
     m_errors_.add();
+    span_error(span, code);
     return {error_reply_json(extract_seq(payload), code, message), false};
   }
 
   try {
     switch (req.op) {
       case Request::Op::kOpen:
-        return {handle_open(req), false};
+        return {handle_open(req, span), false};
       case Request::Op::kRelease:
-        return {handle_release(req), false};
+        return {handle_release(req, span), false};
       case Request::Op::kClose:
-        return {handle_close(req), false};
+        return {handle_close(req, span), false};
       case Request::Op::kStop: {
         if (!limits_.allow_remote_stop) {
           m_errors_.add();
+          span_error(span, ErrorCode::kForbidden);
           return {error_reply_json(req.seq, ErrorCode::kForbidden,
                                    "server.stop is disabled"),
                   false};
@@ -415,24 +503,29 @@ Server::HandleResult Server::handle(const std::string& payload) {
       }
     }
     m_errors_.add();
+    span_error(span, ErrorCode::kInternal);
     return {error_reply_json(req.seq, ErrorCode::kInternal, "unreachable"),
             false};
   } catch (const SessionError& e) {
     m_errors_.add();
+    span_error(span, e.code());
     return {error_reply_json(req.seq, e.code(), e.what()), false};
   } catch (const std::exception& e) {
     m_errors_.add();
+    span_error(span, ErrorCode::kInternal);
     return {error_reply_json(req.seq, ErrorCode::kInternal, e.what()), false};
   }
 }
 
-std::string Server::handle_open(const Request& req) {
+std::string Server::handle_open(const Request& req, obs::RequestSpan* span) {
+  const auto t0 = span != nullptr ? Clock::now() : Clock::time_point{};
   std::string id;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     if (static_cast<int>(sessions_.size()) >= limits_.max_sessions) {
       m_rejected_overloaded_.add();
       m_errors_.add();
+      span_error(span, ErrorCode::kOverloaded);
       return error_reply_json(req.seq, ErrorCode::kOverloaded,
                               "session limit reached (" +
                                   std::to_string(limits_.max_sessions) + ")");
@@ -454,10 +547,17 @@ std::string Server::handle_open(const Request& req) {
   reply.session = id;
   reply.scheduler = req.open.scheduler;
   reply.P = req.open.P;
-  return open_reply_json(reply);
+  if (span == nullptr) return open_reply_json(reply);
+  const auto t1 = Clock::now();
+  span->schedule_us = us_between(t0, t1);
+  span->session = id;  // the minted id, so the span lands in its lane
+  std::string out = open_reply_json(reply);
+  span->serialize_us = us_between(t1, Clock::now());
+  return out;
 }
 
-std::string Server::handle_release(const Request& req) {
+std::string Server::handle_release(const Request& req,
+                                   obs::RequestSpan* span) {
   std::shared_ptr<SessionEntry> entry;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -466,6 +566,7 @@ std::string Server::handle_release(const Request& req) {
   }
   if (!entry) {
     m_errors_.add();
+    span_error(span, ErrorCode::kUnknownSession);
     return error_reply_json(req.seq, ErrorCode::kUnknownSession,
                             "no session '" + req.session + "'");
   }
@@ -475,12 +576,22 @@ std::string Server::handle_release(const Request& req) {
                        "session task quota of " +
                            std::to_string(limits_.max_tasks_per_session) +
                            " reached");
+  if (span == nullptr) {
+    ReleaseReply reply = entry->session.release(req.release);
+    reply.seq = req.seq;
+    return release_reply_json(reply);
+  }
+  const auto t0 = Clock::now();
   ReleaseReply reply = entry->session.release(req.release);
   reply.seq = req.seq;
-  return release_reply_json(reply);
+  const auto t1 = Clock::now();
+  span->schedule_us = us_between(t0, t1);
+  std::string out = release_reply_json(reply);
+  span->serialize_us = us_between(t1, Clock::now());
+  return out;
 }
 
-std::string Server::handle_close(const Request& req) {
+std::string Server::handle_close(const Request& req, obs::RequestSpan* span) {
   std::shared_ptr<SessionEntry> entry;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -493,14 +604,25 @@ std::string Server::handle_close(const Request& req) {
   }
   if (!entry) {
     m_errors_.add();
+    span_error(span, ErrorCode::kUnknownSession);
     return error_reply_json(req.seq, ErrorCode::kUnknownSession,
                             "no session '" + req.session + "'");
   }
   m_sessions_closed_.add();
   std::lock_guard<std::mutex> lock(entry->mu);
+  if (span == nullptr) {
+    CloseReply reply = entry->session.close();
+    reply.seq = req.seq;
+    return close_reply_json(reply);
+  }
+  const auto t0 = Clock::now();
   CloseReply reply = entry->session.close();
   reply.seq = req.seq;
-  return close_reply_json(reply);
+  const auto t1 = Clock::now();
+  span->schedule_us = us_between(t0, t1);
+  std::string out = close_reply_json(reply);
+  span->serialize_us = us_between(t1, Clock::now());
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -20,10 +20,18 @@
 //
 // Instrumentation goes to an obs::MetricRegistry under svc.* names
 // (request/rejection/session counters, svc.queue.depth gauge,
-// svc.request.latency_ms histogram measured enqueue -> reply written).
+// svc.request.latency_ms log-bucketed histogram measured enqueue ->
+// reply written). With a ServerTelemetry config the server additionally
+// produces one obs::RequestSpan per request — phase decomposition into
+// queue/parse/schedule/serialize/write — fanned out to the svc.phase.*
+// histograms, an optional SpanObserver, and a lock-free flight recorder
+// retaining the last N requests for post-hoc dumps. When telemetry is
+// not armed the request path takes exactly the same number of clock
+// reads as before: spans cost nothing unless asked for.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +43,8 @@
 
 #include "moldsched/engine/executor.hpp"
 #include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/span.hpp"
+#include "moldsched/svc/flight_recorder.hpp"
 #include "moldsched/svc/session.hpp"
 #include "moldsched/svc/wire.hpp"
 
@@ -49,6 +59,24 @@ struct ServerLimits {
   bool allow_remote_stop = false;   ///< honor the server.stop op
 };
 
+/// Opt-in request telemetry. The server is "armed" when any field asks
+/// for something; an armed server times every request's phases (a few
+/// extra steady_clock reads per request) and fans the resulting
+/// RequestSpan out to every configured sink.
+struct ServerTelemetry {
+  bool phases = false;                 ///< svc.phase.* histograms
+  obs::SpanObserver* spans = nullptr;  ///< optional sink; must outlive
+                                       ///< the server
+  std::size_t flight_capacity = 0;     ///< 0 = no flight recorder
+  double slow_ms = 0.0;                ///< >0: auto-dump the flight
+                                       ///< recorder on slower requests
+  std::string slow_dump_path;          ///< JSONL target for auto-dumps
+
+  [[nodiscard]] bool armed() const noexcept {
+    return phases || spans != nullptr || flight_capacity > 0 || slow_ms > 0;
+  }
+};
+
 class Server {
  public:
   /// The executor runs request compute; the registry receives svc.*
@@ -57,6 +85,11 @@ class Server {
   explicit Server(ServerLimits limits = {},
                   engine::Executor& executor = engine::Executor::global(),
                   obs::MetricRegistry& registry = obs::default_registry());
+
+  /// As above, with request telemetry armed per `telemetry`.
+  Server(ServerLimits limits, ServerTelemetry telemetry,
+         engine::Executor& executor = engine::Executor::global(),
+         obs::MetricRegistry& registry = obs::default_registry());
 
   /// Stops, drains in-flight work and closes every connection.
   ~Server();
@@ -89,6 +122,17 @@ class Server {
 
   /// Live session count (for tests and the serve tool's status line).
   [[nodiscard]] int num_sessions() const;
+
+  /// The flight recorder, or nullptr when telemetry.flight_capacity == 0.
+  [[nodiscard]] const FlightRecorder* flight() const noexcept {
+    return flight_.get();
+  }
+
+  /// JSONL dump of the flight recorder's retained records (empty string
+  /// when no recorder is configured). Safe to call while serving.
+  [[nodiscard]] std::string flight_jsonl() const {
+    return flight_ ? flight_->to_jsonl() : std::string();
+  }
 
  private:
   struct PendingRequest {
@@ -132,14 +176,27 @@ class Server {
   bool read_ready(const std::shared_ptr<Conn>& c);
   void admit(const std::shared_ptr<Conn>& c, std::string payload);
   void drain(const std::shared_ptr<Conn>& c);
-  [[nodiscard]] HandleResult handle(const std::string& payload);
-  [[nodiscard]] std::string handle_open(const Request& req);
-  [[nodiscard]] std::string handle_release(const Request& req);
-  [[nodiscard]] std::string handle_close(const Request& req);
+  /// `span` is null when telemetry is off; when set, handle() fills the
+  /// parse/schedule/serialize phase timings plus op/session/seq/
+  /// trace_id/outcome.
+  [[nodiscard]] HandleResult handle(const std::string& payload,
+                                    obs::RequestSpan* span);
+  [[nodiscard]] std::string handle_open(const Request& req,
+                                        obs::RequestSpan* span);
+  [[nodiscard]] std::string handle_release(const Request& req,
+                                           obs::RequestSpan* span);
+  [[nodiscard]] std::string handle_close(const Request& req,
+                                         obs::RequestSpan* span);
   void write_frame(Conn& c, const std::string& payload);
   void wake_io();
+  /// Fans a finished span out to the phase histograms, the flight
+  /// recorder, the SpanObserver, and the slow-request dump trigger.
+  void emit_span(const obs::RequestSpan& span);
+  void maybe_dump_slow(const obs::RequestSpan& span);
 
   ServerLimits limits_;
+  ServerTelemetry telemetry_;
+  bool telemetry_armed_ = false;
   engine::Executor& executor_;
 
   // Cached instrument references (stable for the registry's lifetime).
@@ -153,6 +210,18 @@ class Server {
   obs::Gauge& m_sessions_active_;
   obs::Gauge& m_queue_depth_;
   obs::Histogram& m_latency_ms_;
+  // Phase histograms (same log-bucketed bounds as the latency
+  // histogram); only observed when telemetry is armed.
+  obs::Histogram& m_phase_queue_ms_;
+  obs::Histogram& m_phase_parse_ms_;
+  obs::Histogram& m_phase_schedule_ms_;
+  obs::Histogram& m_phase_serialize_ms_;
+  obs::Histogram& m_phase_write_ms_;
+
+  std::unique_ptr<FlightRecorder> flight_;
+  std::chrono::steady_clock::time_point epoch_;  // set in the ctor
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::int64_t> last_slow_dump_us_{-1};  // rate limit, vs epoch_
 
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]

@@ -1,6 +1,14 @@
 #include "moldsched/svc/wire.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -47,6 +55,46 @@ namespace {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket plumbing
+
+void set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int tcp_listen(const std::string& host, int port, int& bound_port,
+               int backlog) {
+  if (port < 0 || port > 65535)
+    throw std::invalid_argument("tcp_listen: port out of range");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("tcp_listen: bad IPv4 host '" + host + "'");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const auto fail = [fd](const char* what) {
+    const std::string msg = std::string(what) + ": " + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(msg);
+  };
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("bind");
+  if (::listen(fd, backlog) != 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    fail("getsockname");
+  bound_port = static_cast<int>(ntohs(bound.sin_port));
+  set_nonblocking(fd);
+  return fd;
+}
 
 // ---------------------------------------------------------------------------
 // Framing

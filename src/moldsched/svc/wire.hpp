@@ -58,6 +58,21 @@ class FrameReader {
   std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
 };
 
+// ---------------------------------------------------------------------------
+// Socket plumbing shared by every listener in the service (the RPC
+// server and the admin/metrics listener): IPv4 bind + listen with
+// SO_REUSEADDR, returning a non-blocking fd.
+
+/// Binds and listens on `host:port` (port 0 picks an ephemeral port),
+/// stores the bound port into `bound_port` and returns the listening
+/// fd, already non-blocking. Throws std::invalid_argument on a bad
+/// host/port and std::runtime_error on socket errors.
+[[nodiscard]] int tcp_listen(const std::string& host, int port,
+                             int& bound_port, int backlog = 64);
+
+/// Sets O_NONBLOCK on an fd (best effort).
+void set_nonblocking(int fd) noexcept;
+
 /// Formats a double with enough digits (precision 17) that strtod
 /// recovers the exact bit pattern. The wire format's number printer.
 [[nodiscard]] std::string wire_number(double v);

@@ -1,0 +1,106 @@
+#include "moldsched/obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace moldsched::obs {
+namespace {
+
+TEST(PrometheusExpositionTest, SanitizesNames) {
+  EXPECT_EQ(prometheus_name("svc.request.latency_ms"),
+            "svc_request_latency_ms");
+  EXPECT_EQ(prometheus_name("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(prometheus_name("space and-dash"), "space_and_dash");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(PrometheusExpositionTest, CountersGetTotalSuffix) {
+  MetricRegistry reg;
+  reg.counter("svc.requests.received").add(5);
+  reg.counter("already.has_total").add(2);
+  const std::string text = to_prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE svc_requests_received_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("svc_requests_received_total 5\n"), std::string::npos);
+  // No double suffix.
+  EXPECT_NE(text.find("already_has_total 2\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("_total_total"), std::string::npos) << text;
+}
+
+TEST(PrometheusExpositionTest, GaugesRenderPlain) {
+  MetricRegistry reg;
+  reg.gauge("proc.rss_bytes").set(123456.0);
+  const std::string text = to_prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE proc_rss_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("proc_rss_bytes 123456\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusExpositionTest, HistogramsAreCumulativeWithInfBucket) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5.5);
+  h.observe(1000.0);
+  const std::string text = to_prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  // Bucket counts are cumulative: 1, 3, 3, 4.
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"100\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 1011\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_count 4\n"), std::string::npos);
+}
+
+/// Minimal structural check of the whole document: every non-comment
+/// line is "name[{labels}] value", every # line is a TYPE comment, and
+/// every histogram ends with a le="+Inf" bucket whose count equals
+/// _count. This is the same shape assertion CI runs in python against a
+/// live scrape.
+TEST(PrometheusExpositionTest, DocumentParsesLineByLine) {
+  MetricRegistry reg;
+  reg.counter("a.count").add(1);
+  reg.gauge("b.gauge").set(-2.5);
+  reg.histogram("c.hist", Histogram::log_bounds(0.001, 10.0, 6)).observe(0.5);
+  const std::string text = to_prometheus_text(reg);
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t inf_count = 0, hist_count = 1;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    // Names stay within the sanitized grammar up to the label block.
+    for (const char c : name.substr(0, name.find('{')))
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << line;
+    if (name.find("{le=\"+Inf\"}") != std::string::npos)
+      inf_count = std::stoull(value);
+    if (name == "c_hist_count") hist_count = std::stoull(value);
+  }
+  EXPECT_EQ(inf_count, hist_count);
+  EXPECT_EQ(hist_count, 1u);
+}
+
+TEST(PrometheusExpositionTest, SampleOrderFollowsSnapshot) {
+  MetricRegistry reg;
+  reg.counter("zz").add(1);
+  reg.counter("aa").add(1);
+  const std::string text = to_prometheus_text(reg);
+  EXPECT_LT(text.find("aa_total"), text.find("zz_total"));
+}
+
+}  // namespace
+}  // namespace moldsched::obs

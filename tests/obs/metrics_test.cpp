@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -95,6 +97,119 @@ TEST(HistogramTest, ConcurrentObservesAreLossless) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(HistogramTest, LogBoundsAreGeometric) {
+  const auto bounds = Histogram::log_bounds(1e-3, 1e3, 12);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+  EXPECT_GE(bounds.back(), 1e3);
+  // Adjacent bounds differ by the constant factor 10^(1/per_decade).
+  const double step = std::pow(10.0, 1.0 / 12.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], step, 1e-9) << "at " << i;
+  // Strictly increasing, as Histogram's constructor requires.
+  EXPECT_NO_THROW(Histogram h(bounds));
+}
+
+TEST(HistogramTest, LogBoundsRejectBadArguments) {
+  EXPECT_THROW(Histogram::log_bounds(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Histogram::log_bounds(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Histogram::log_bounds(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Histogram::log_bounds(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsCoverMicrosecondsToMinutes) {
+  const auto& bounds = Histogram::default_latency_bounds();
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);  // 1 us in ms
+  EXPECT_GE(bounds.back(), 6e4);           // 60 s in ms
+  EXPECT_EQ(&bounds, &Histogram::default_latency_bounds());  // cached
+}
+
+/// Exact nearest-rank quantile on a sorted sample: the smallest value
+/// with rank >= ceil(q * n).
+double exact_nearest_rank(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(q * n)));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+TEST(HistogramTest, QuantileTracksExactNearestRankWithinOneBucket) {
+  Histogram h(Histogram::log_bounds(1e-3, 1e4, 24));
+  std::vector<double> samples;
+  // A latency-shaped sample: dense bulk, sparse heavy tail.
+  for (int i = 1; i <= 900; ++i)
+    samples.push_back(0.05 + 0.001 * static_cast<double>(i));
+  for (int i = 1; i <= 99; ++i)
+    samples.push_back(2.0 + 0.1 * static_cast<double>(i));
+  samples.push_back(500.0);
+  for (const double v : samples) h.observe(v);
+
+  const double step = std::pow(10.0, 1.0 / 24.0);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double exact = exact_nearest_rank(samples, q);
+    const double est = h.quantile(q);
+    EXPECT_LE(est, exact * step + 1e-12) << "q=" << q;
+    EXPECT_GE(est, exact / step - 1e-12) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileClampsToTrackedMinMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(7.0);
+  // One sample: every quantile is that sample, not a bucket bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  // +inf bucket: the tracked max stands in for the missing bound.
+  h.observe(5000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5000.0);
+  // Out-of-range q clamps to [0, 1] instead of throwing.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramTest, SampleQuantileMatchesLiveQuantile) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat", Histogram::log_bounds(1e-3, 1e3, 24));
+  for (int i = 1; i <= 1000; ++i) h.observe(0.01 * static_cast<double>(i));
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  for (const double q : {0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(sample_quantile(samples[0], q), h.quantile(q));
+  // Non-histogram samples answer 0.
+  MetricSample counter_sample;
+  counter_sample.kind = MetricSample::Kind::kCounter;
+  EXPECT_DOUBLE_EQ(sample_quantile(counter_sample, 0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentMinMaxStress) {
+  // Pins the atomic<double> CAS loops for min_/max_: many threads racing
+  // observes across a wide value range must converge to the exact
+  // extremes, with count intact. Runs under TSan in CI.
+  Histogram h(Histogram::log_bounds(1e-3, 1e3, 24));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Per-thread interleaved ramps, so every thread contends on
+        // both extremes as they tighten.
+        const double v = 0.001 * static_cast<double>(1 + i) *
+                         static_cast<double>(1 + t);
+        h.observe(v);
+        h.observe(1000.0 - v);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(2 * kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0 - 0.001);
+}
+
 TEST(MetricRegistryTest, RegistrationIsIdempotent) {
   MetricRegistry reg;
   Counter& a = reg.counter("jobs");
@@ -161,6 +276,49 @@ TEST(MetricRegistryTest, ToJsonHasAllSectionsAndValues) {
   EXPECT_NE(json.find("\"buckets\": [1,0]"), std::string::npos);
   // Identical registries serialize identically (determinism).
   EXPECT_EQ(json, reg.to_json());
+}
+
+TEST(MetricRegistryTest, ToJsonEscapesMetricNames) {
+  MetricRegistry reg;
+  reg.counter("weird\"name\\with\nescapes").add(1);
+  reg.gauge(std::string("nul") + '\x01' + "byte").set(1.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nescapes\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"nul\\u0001byte\": 1"), std::string::npos) << json;
+  // No raw quote/backslash/control char survives inside a key.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ToJsonDuplicateRegistrationRendersOnce) {
+  MetricRegistry reg;
+  reg.counter("dup").add(1);
+  reg.counter("dup").add(2);  // same instrument, not a second entry
+  const std::string json = reg.to_json();
+  std::size_t occurrences = 0;
+  for (std::size_t pos = json.find("\"dup\""); pos != std::string::npos;
+       pos = json.find("\"dup\"", pos + 1))
+    ++occurrences;
+  EXPECT_EQ(occurrences, 1u);
+  EXPECT_NE(json.find("\"dup\": 3"), std::string::npos) << json;
+}
+
+TEST(MetricRegistryTest, ToJsonOmitsMinMaxForEmptyHistogram) {
+  MetricRegistry reg;
+  (void)reg.histogram("empty", {1.0, 2.0});
+  const std::string json = reg.to_json();
+  // An empty histogram's min/max are +inf/-inf — not representable in
+  // JSON — so the fields are omitted rather than emitted as garbage.
+  EXPECT_EQ(json.find("\"min\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"max\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  reg.histogram("empty").observe(1.5);
+  const std::string populated = reg.to_json();
+  EXPECT_NE(populated.find("\"min\": 1.5"), std::string::npos) << populated;
+  EXPECT_NE(populated.find("\"max\": 1.5"), std::string::npos) << populated;
 }
 
 TEST(MetricRegistryTest, ResetZeroesWithoutInvalidatingReferences) {

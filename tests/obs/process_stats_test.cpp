@@ -1,0 +1,53 @@
+#include "moldsched/obs/process_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace moldsched::obs {
+namespace {
+
+TEST(ProcessStatsTest, ReadsPlausibleValues) {
+  const ProcessStats stats = read_process_stats();
+  // A running test binary has resident pages, at least stdio + the
+  // /proc dir stream's fds, and a non-negative uptime.
+  EXPECT_GT(stats.rss_bytes, 0.0);
+  EXPECT_GT(stats.open_fds, 0.0);
+  EXPECT_GE(stats.uptime_s, 0.0);
+  EXPECT_LT(stats.uptime_s, 3600.0);  // the test did not run for an hour
+}
+
+TEST(ProcessStatsTest, OpenFdCountTracksNewDescriptors) {
+  const ProcessStats before = read_process_stats();
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  const ProcessStats during = read_process_stats();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  const ProcessStats after = read_process_stats();
+  EXPECT_GE(during.open_fds, before.open_fds + 2.0);
+  EXPECT_LE(after.open_fds, during.open_fds - 2.0);
+}
+
+TEST(ProcessStatsTest, SamplerRegistersAndRefreshesGauges) {
+  MetricRegistry reg;
+  ProcessSampler sampler(reg, "proc");
+  // Gauges exist immediately but hold zero until the first sample.
+  EXPECT_DOUBLE_EQ(reg.gauge("proc.rss_bytes").value(), 0.0);
+  const ProcessStats stats = sampler.sample();
+  EXPECT_DOUBLE_EQ(reg.gauge("proc.rss_bytes").value(), stats.rss_bytes);
+  EXPECT_DOUBLE_EQ(reg.gauge("proc.open_fds").value(), stats.open_fds);
+  EXPECT_DOUBLE_EQ(reg.gauge("proc.uptime_s").value(), stats.uptime_s);
+  EXPECT_GT(stats.rss_bytes, 0.0);
+}
+
+TEST(ProcessStatsTest, SamplerHonorsPrefix) {
+  MetricRegistry reg;
+  ProcessSampler sampler(reg, "myproc");
+  sampler.sample();
+  EXPECT_GT(reg.gauge("myproc.rss_bytes").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace moldsched::obs

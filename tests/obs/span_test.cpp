@@ -1,0 +1,144 @@
+#include "moldsched/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace moldsched::obs {
+namespace {
+
+RequestSpan make_span(std::uint64_t id, const std::string& session,
+                      const std::string& op) {
+  RequestSpan span;
+  span.request_id = id;
+  span.seq = static_cast<std::int64_t>(id);
+  span.session = session;
+  span.op = op;
+  span.outcome = "ok";
+  span.start_us = 100.0 * static_cast<double>(id);
+  span.queue_us = 5.0;
+  span.parse_us = 2.0;
+  span.schedule_us = 20.0;
+  span.serialize_us = 3.0;
+  span.write_us = 1.0;
+  span.total_us = 40.0;  // phases sum to 31 <= 40
+  return span;
+}
+
+TEST(TraceSpanObserverTest, ProducesValidChromeTrace) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer, "svc requests");
+  obs.on_request(make_span(1, "s1", "session.open"));
+  obs.on_request(make_span(2, "s1", "task.release"));
+  obs.on_request(make_span(3, "s2", "session.open"));
+
+  TraceStats stats;
+  const auto err = validate_chrome_trace(writer.to_json(), &stats);
+  EXPECT_FALSE(err.has_value()) << *err;
+  // Per request: 1 request span + 5 non-zero phase children.
+  EXPECT_EQ(stats.spans, 3u * 6u);
+  EXPECT_GE(stats.metadata, 3u);  // process name + two session lanes
+}
+
+TEST(TraceSpanObserverTest, SessionsGetStableDistinctLanes) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer);
+  obs.on_request(make_span(1, "s1", "session.open"));
+  obs.on_request(make_span(2, "s2", "session.open"));
+  obs.on_request(make_span(3, "s1", "task.release"));
+  obs.on_request(make_span(4, "", "bogus.op"));  // no-session lane
+
+  const std::string json = writer.to_json();
+  // Three lanes named after the session ids (plus the no-session lane);
+  // thread_name metadata is idempotent, so "s1" appears exactly once.
+  EXPECT_NE(json.find("\"s1\""), std::string::npos);
+  EXPECT_NE(json.find("\"s2\""), std::string::npos);
+  EXPECT_NE(json.find("\"(no session)\""), std::string::npos);
+  EXPECT_EQ(json.find("\"s1\""), json.rfind("\"s1\""));
+}
+
+TEST(TraceSpanObserverTest, RequestSpanCarriesIdsAndPhaseArgs) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer);
+  RequestSpan span = make_span(7, "s3", "task.release");
+  span.trace_id = "bench-w4";
+  span.outcome = "bad_request";
+  obs.on_request(span);
+
+  const std::string json = writer.to_json();
+  EXPECT_NE(json.find("\"trace_id\":\"bench-w4\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"outcome\":\"bad_request\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_us\":20.000"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"svc.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"svc.phase\""), std::string::npos);
+}
+
+TEST(TraceSpanObserverTest, ZeroPhasesEmitNoChildSpans) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer);
+  RequestSpan span;
+  span.request_id = 1;
+  span.op = "session.open";
+  span.outcome = "ok";
+  span.total_us = 10.0;
+  span.queue_us = 10.0;  // only one non-zero phase
+  obs.on_request(span);
+
+  TraceStats stats;
+  ASSERT_FALSE(validate_chrome_trace(writer.to_json(), &stats).has_value());
+  EXPECT_EQ(stats.spans, 2u);  // request + queue child only
+}
+
+TEST(TraceSpanObserverTest, PhaseChildrenNestInsideParent) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer);
+  const RequestSpan span = make_span(1, "s1", "session.open");
+  obs.on_request(span);
+
+  // Recompute the expected cursor layout and check each child's
+  // [ts, ts+dur] stays within the parent's interval.
+  const double parent_end = span.start_us + span.total_us;
+  double cursor = span.start_us;
+  for (const double dur : {span.queue_us, span.parse_us, span.schedule_us,
+                           span.serialize_us, span.write_us}) {
+    EXPECT_GE(cursor, span.start_us);
+    EXPECT_LE(cursor + dur, parent_end);
+    cursor += dur;
+  }
+}
+
+TEST(TraceSpanObserverTest, ConcurrentObserversStayValid) {
+  TraceWriter writer;
+  TraceSpanObserver obs(writer);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&obs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto id =
+            static_cast<std::uint64_t>(t * kPerThread + i + 1);
+        obs.on_request(
+            make_span(id, "s" + std::to_string(t % 2 + 1), "task.release"));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  TraceStats stats;
+  const auto err = validate_chrome_trace(writer.to_json(), &stats);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_EQ(stats.spans, static_cast<std::size_t>(kThreads * kPerThread * 6));
+}
+
+TEST(SpanObserverTest, DefaultObserverDropsSpans) {
+  SpanObserver null_obs;
+  null_obs.on_request(make_span(1, "s1", "session.open"));  // must not crash
+}
+
+}  // namespace
+}  // namespace moldsched::obs

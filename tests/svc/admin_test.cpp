@@ -1,0 +1,158 @@
+// AdminServer tests: route() payloads without a socket, then real
+// HTTP/1.0 exchanges over a loopback connection (status lines, headers,
+// query-string stripping, 404/405 answers, /flight backed by a live
+// Server's flight recorder).
+#include "moldsched/svc/admin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/obs/metrics.hpp"
+#include "moldsched/svc/server.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+/// One blocking HTTP exchange: connect, send `request` verbatim, read to
+/// EOF (the admin server is Connection: close).
+std::string http_exchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(AdminServerRoute, ServesPrometheusTextWithProcessGauges) {
+  obs::MetricRegistry reg;
+  reg.counter("svc.requests.received").add(7);
+  svc::AdminServer admin(reg);
+  std::string body, content_type;
+  ASSERT_TRUE(admin.route("/metrics", body, content_type));
+  EXPECT_EQ(content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(body.find("svc_requests_received_total 7\n"), std::string::npos)
+      << body;
+  // The scrape refreshed the proc.* gauges before rendering.
+  EXPECT_NE(body.find("proc_rss_bytes"), std::string::npos);
+  EXPECT_NE(body.find("proc_open_fds"), std::string::npos);
+  EXPECT_NE(body.find("proc_uptime_s"), std::string::npos);
+}
+
+TEST(AdminServerRoute, ServesJsonHealthzAndRejectsUnknownPaths) {
+  obs::MetricRegistry reg;
+  reg.gauge("svc.queue.depth").set(3.0);
+  svc::AdminServer admin(reg);
+  std::string body, content_type;
+
+  ASSERT_TRUE(admin.route("/metrics.json", body, content_type));
+  EXPECT_EQ(content_type, "application/json");
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '\n');
+  EXPECT_NE(body.find("svc.queue.depth"), std::string::npos) << body;
+
+  ASSERT_TRUE(admin.route("/healthz", body, content_type));
+  EXPECT_EQ(body, "ok\n");
+
+  // /flight without a backing server answers an empty document, not 404.
+  ASSERT_TRUE(admin.route("/flight", body, content_type));
+  EXPECT_EQ(body, "");
+  EXPECT_EQ(content_type, "application/x-ndjson");
+
+  EXPECT_FALSE(admin.route("/nope", body, content_type));
+  EXPECT_FALSE(admin.route("", body, content_type));
+}
+
+TEST(AdminServerHttp, AnswersGetOverARealSocket) {
+  obs::MetricRegistry reg;
+  reg.counter("svc.requests.received").add(1);
+  svc::AdminServer admin(reg);
+  const int port = admin.listen("127.0.0.1", 0);
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(admin.port(), port);
+
+  const std::string response = http_get(port, "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos);
+
+  // Scrapers may append query strings; routing ignores them.
+  const std::string metrics = http_get(port, "/metrics?ts=123");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(metrics.find("svc_requests_received_total 1\n"),
+            std::string::npos);
+
+  const std::string missing = http_get(port, "/bogus");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+  EXPECT_NE(missing.find("unknown path '/bogus'"), std::string::npos);
+
+  const std::string post =
+      http_exchange(port, "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.0 405 Method Not Allowed\r\n", 0), 0u) << post;
+
+  admin.stop();
+  admin.stop();  // idempotent
+}
+
+TEST(AdminServerHttp, FlightEndpointServesTheServersRecorder) {
+  engine::Executor executor(2);
+  obs::MetricRegistry registry;
+  svc::ServerTelemetry telemetry;
+  telemetry.flight_capacity = 32;
+  svc::Server server({}, telemetry, executor, registry);
+  ASSERT_GT(server.listen(), 0);
+
+  svc::AdminServer admin(registry, &server);
+  const int admin_port = admin.listen("127.0.0.1", 0);
+
+  // No traffic yet: the endpoint exists and answers an empty JSONL doc.
+  std::string response = http_get(admin_port, "/flight");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: application/x-ndjson\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 0\r\n"), std::string::npos)
+      << response;
+
+  admin.stop();
+  server.stop();
+  server.wait();
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include "moldsched/svc/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace moldsched::svc {
+namespace {
+
+obs::RequestSpan make_span(std::uint64_t id) {
+  obs::RequestSpan span;
+  span.request_id = id;
+  span.seq = static_cast<std::int64_t>(id) * 10;
+  span.session = "s" + std::to_string(id % 5);
+  span.op = "task.release";
+  span.trace_id = "t" + std::to_string(id);
+  span.outcome = "ok";
+  span.start_us = 1.5 * static_cast<double>(id);
+  span.total_us = 42.25;
+  span.queue_us = 1.0;
+  span.parse_us = 2.0;
+  span.schedule_us = 30.0;
+  span.serialize_us = 4.0;
+  span.write_us = 5.0;
+  return span;
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwoMinimumEight) {
+  EXPECT_EQ(FlightRecorder(0).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(1).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(9).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(1000).capacity(), 1024u);
+}
+
+TEST(FlightRecorderTest, RecordSnapshotRoundtripsAllFields) {
+  FlightRecorder rec(8);
+  rec.record(make_span(3));
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::RequestSpan& s = spans[0];
+  EXPECT_EQ(s.request_id, 3u);
+  EXPECT_EQ(s.seq, 30);
+  EXPECT_EQ(s.session, "s3");
+  EXPECT_EQ(s.op, "task.release");
+  EXPECT_EQ(s.trace_id, "t3");
+  EXPECT_EQ(s.outcome, "ok");
+  EXPECT_DOUBLE_EQ(s.start_us, 4.5);
+  EXPECT_DOUBLE_EQ(s.total_us, 42.25);
+  EXPECT_DOUBLE_EQ(s.queue_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.parse_us, 2.0);
+  EXPECT_DOUBLE_EQ(s.schedule_us, 30.0);
+  EXPECT_DOUBLE_EQ(s.serialize_us, 4.0);
+  EXPECT_DOUBLE_EQ(s.write_us, 5.0);
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsTheLastN) {
+  FlightRecorder rec(8);
+  for (std::uint64_t id = 1; id <= 20; ++id) rec.record(make_span(id));
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first, exactly ids 13..20.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].request_id, 13u + i);
+  EXPECT_EQ(rec.recorded(), 20u);
+}
+
+TEST(FlightRecorderTest, EmptySessionAndUnknownCodesSurvive) {
+  FlightRecorder rec(8);
+  obs::RequestSpan span = make_span(1);
+  span.session.clear();
+  span.op = "something.odd";
+  span.outcome = "weird_failure";
+  rec.record(span);
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].session, "");
+  // Off-catalog strings collapse to the "other" bucket by design.
+  EXPECT_EQ(spans[0].op, "other");
+  EXPECT_EQ(spans[0].outcome, "other");
+}
+
+TEST(FlightRecorderTest, KnownOutcomesRoundtripExactly) {
+  for (const char* outcome :
+       {"ok", "parse_error", "bad_request", "unknown_op", "unknown_session",
+        "overloaded", "quota_exceeded", "shutting_down", "forbidden",
+        "internal"}) {
+    FlightRecorder rec(8);
+    obs::RequestSpan span = make_span(1);
+    span.outcome = outcome;
+    rec.record(span);
+    const auto spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].outcome, outcome);
+  }
+}
+
+TEST(FlightRecorderTest, TraceIdTruncatesToTwentyFourBytes) {
+  FlightRecorder rec(8);
+  obs::RequestSpan span = make_span(1);
+  span.trace_id = std::string(40, 'x') + "tail";
+  rec.record(span);
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, std::string(FlightRecorder::kMaxTraceIdBytes,
+                                           'x'));
+}
+
+TEST(FlightRecorderTest, JsonlEscapesTraceIdAndHasOneObjectPerLine) {
+  FlightRecorder rec(8);
+  obs::RequestSpan span = make_span(1);
+  span.trace_id = "a\"b\\c";
+  rec.record(span);
+  rec.record(make_span(2));
+  const std::string jsonl = rec.to_jsonl();
+  EXPECT_NE(jsonl.find("\"trace_id\":\"a\\\"b\\\\c\""), std::string::npos)
+      << jsonl;
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"phases_us\":{"), std::string::npos);
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverBlockOrTear) {
+  FlightRecorder rec(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::atomic<std::uint64_t> next_id{1};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, &next_id] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            next_id.fetch_add(1, std::memory_order_relaxed);
+        rec.record(make_span(id));
+        if (i % 512 == 0) (void)rec.snapshot();  // concurrent readers
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rec.recorded() + rec.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto spans = rec.snapshot();
+  EXPECT_LE(spans.size(), rec.capacity());
+  EXPECT_FALSE(spans.empty());
+  // Every surviving record must be internally consistent — the seqlock
+  // guarantees no torn reads, so derived fields still match the id.
+  for (const obs::RequestSpan& s : spans) {
+    EXPECT_EQ(s.seq, static_cast<std::int64_t>(s.request_id) * 10);
+    EXPECT_EQ(s.session, "s" + std::to_string(s.request_id % 5));
+    EXPECT_EQ(s.trace_id, "t" + std::to_string(s.request_id));
+    EXPECT_DOUBLE_EQ(s.start_us, 1.5 * static_cast<double>(s.request_id));
+  }
+  // Oldest-first ordering holds under contention too.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LT(spans[i - 1].request_id, spans[i].request_id);
+}
+
+}  // namespace
+}  // namespace moldsched::svc

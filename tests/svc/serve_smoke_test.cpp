@@ -1,13 +1,33 @@
-// Black-box smoke test of the moldsched_serve binary: spawn it on an
+// Black-box smoke tests of the moldsched_serve binary: spawn it on an
 // ephemeral port, parse its "listening on" line, run real sessions over
 // TCP and shut it down remotely. The binary path comes from CMake via
 // MOLDSCHED_SERVE_BINARY.
+//
+// The telemetry tests fork/exec instead of popen because they need the
+// child's pid: SIGUSR1 must produce a flight-recorder JSONL dump whose
+// phase timings sum within each request's end-to-end latency, SIGUSR2
+// and --metrics-interval must produce metrics JSON snapshots, and the
+// admin listener must answer a live Prometheus scrape.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "moldsched/model/special_models.hpp"
 #include "moldsched/svc/client.hpp"
@@ -60,6 +80,291 @@ TEST(ServeSmoke, ServesSessionsAndStopsRemotely) {
   ASSERT_NE(status, -1);
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---------------------------------------------------------------------------
+// fork/exec harness for the signal- and scrape-driven tests.
+
+struct ServeProc {
+  pid_t pid = -1;
+  FILE* out = nullptr;  ///< child's stdout+stderr
+  int port = 0;
+  int admin_port = 0;
+
+  ~ServeProc() {
+    if (out != nullptr) std::fclose(out);
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);  // no-op when already reaped
+      int status = 0;
+      ::waitpid(pid, &status, WNOHANG);
+    }
+  }
+};
+
+/// Reads one "<label> on <host>:<port>" banner line; 0 on mismatch.
+int parse_banner_port(FILE* out, const std::string& label) {
+  char line[256] = {};
+  if (std::fgets(line, sizeof line, out) == nullptr) return 0;
+  const std::string banner(line);
+  if (banner.rfind(label + " on ", 0) != 0) {
+    ADD_FAILURE() << "unexpected banner: " << banner;
+    return 0;
+  }
+  const std::size_t colon = banner.rfind(':');
+  if (colon == std::string::npos) return 0;
+  return std::stoi(banner.substr(colon + 1));
+}
+
+/// Spawns moldsched_serve with base flags (--port 0 --allow-remote-stop
+/// --quiet) plus `extra`, and parses the banner(s). On any failure the
+/// returned proc has pid <= 0.
+ServeProc spawn_serve(const std::vector<std::string>& extra) {
+  ServeProc proc;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return proc;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return proc;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<std::string> args = {MOLDSCHED_SERVE_BINARY, "--port", "0",
+                                     "--allow-remote-stop", "--quiet"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);
+  }
+  ::close(fds[1]);
+  proc.out = ::fdopen(fds[0], "r");
+  if (proc.out == nullptr) {
+    ::close(fds[0]);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return proc;
+  }
+  proc.pid = pid;
+  proc.port = parse_banner_port(proc.out, "listening");
+  bool wants_admin = false;
+  for (const std::string& a : extra) wants_admin |= (a == "--admin-port");
+  if (wants_admin) proc.admin_port = parse_banner_port(proc.out, "admin");
+  return proc;
+}
+
+/// One open/release*/close session against a running server.
+void run_session(int port, int tasks, const std::string& trace_id = "") {
+  svc::Client client;
+  if (!trace_id.empty()) client.set_trace_id(trace_id);
+  client.connect("127.0.0.1", port);
+  svc::OpenParams open;
+  open.P = 4;
+  const svc::OpenReply opened = client.open(open);
+  ASSERT_TRUE(opened.ok) << opened.error.message;
+  for (int t = 0; t < tasks; ++t) {
+    svc::ReleaseParams params;
+    params.model = std::make_shared<model::AmdahlModel>(8.0, 0.5);
+    if (t > 0) params.preds = {static_cast<graph::TaskId>(t - 1)};
+    params.expected_task = static_cast<graph::TaskId>(t);
+    ASSERT_TRUE(client.release(opened.session, params).ok);
+  }
+  ASSERT_TRUE(client.close_session(opened.session).ok);
+}
+
+/// Remote-stops the server and asserts a clean exit.
+void stop_and_reap(ServeProc& proc) {
+  {
+    svc::Client client;
+    client.connect("127.0.0.1", proc.port);
+    EXPECT_TRUE(client.stop_server().ok);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(proc.pid, &status, 0), proc.pid);
+  proc.pid = -1;
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+bool wait_for_file(const std::string& path, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  struct stat st{};
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (::stat(path.c_str(), &st) == 0 && st.st_size > 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The number right after `"key":` in a JSON line; NaN-free tests only.
+double json_number_after(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string unique_tmp(const std::string& stem) {
+  return testing::TempDir() + stem + "." + std::to_string(::getpid());
+}
+
+/// Minimal HTTP/1.0 GET against the admin listener; returns the whole
+/// response (headers + body).
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServeSmoke, SigUsr1DumpsFlightRecorderWithConsistentPhases) {
+  const std::string dump = unique_tmp("flight.jsonl");
+  std::remove(dump.c_str());
+  ServeProc proc = spawn_serve(
+      {"--phase-metrics", "--flight", "64", "--flight-dump", dump});
+  ASSERT_GT(proc.pid, 0);
+  ASSERT_GT(proc.port, 0);
+
+  run_session(proc.port, 6, "smoke-usr1");
+
+  // 8 requests (open + 6 releases + close). The client can see its last
+  // reply a moment before the server records that request's span, so
+  // re-signal until the dump holds all of them.
+  std::string doc;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    ASSERT_EQ(::kill(proc.pid, SIGUSR1), 0);
+    ASSERT_TRUE(wait_for_file(dump, 5.0)) << "no flight dump at " << dump;
+    doc = read_file(dump);
+    if (std::count(doc.begin(), doc.end(), '\n') >= 8) break;
+    std::remove(dump.c_str());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (std::chrono::steady_clock::now() < deadline);
+
+  // One JSONL object per line, each with phase timings that sum within
+  // the end-to-end latency.
+  std::istringstream lines(doc);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"outcome\":\"ok\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"trace_id\":\"smoke-usr1\""), std::string::npos);
+    const double total = json_number_after(line, "total_us");
+    const double phase_sum = json_number_after(line, "queue") +
+                             json_number_after(line, "parse") +
+                             json_number_after(line, "schedule") +
+                             json_number_after(line, "serialize") +
+                             json_number_after(line, "write");
+    EXPECT_GT(total, 0.0);
+    EXPECT_LE(phase_sum, total * 1.0001) << line;
+  }
+  EXPECT_EQ(count, 8u);
+
+  stop_and_reap(proc);
+  std::remove(dump.c_str());
+}
+
+TEST(ServeSmoke, SigUsr2AndIntervalDumpMetricsSnapshots) {
+  const std::string metrics = unique_tmp("metrics.json");
+  std::remove(metrics.c_str());
+  ServeProc proc =
+      spawn_serve({"--metrics", metrics, "--metrics-interval", "0.2"});
+  ASSERT_GT(proc.pid, 0);
+  ASSERT_GT(proc.port, 0);
+
+  run_session(proc.port, 2);
+  // The periodic dump appears on its own within a few intervals.
+  ASSERT_TRUE(wait_for_file(metrics, 5.0)) << "no interval metrics dump";
+  std::string doc = read_file(metrics);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("svc.request.latency_ms"), std::string::npos);
+
+  // On-demand snapshot: remove the file, SIGUSR2 recreates it without
+  // waiting a full interval (though the interval would too — the point
+  // is the file comes back).
+  std::remove(metrics.c_str());
+  ASSERT_EQ(::kill(proc.pid, SIGUSR2), 0);
+  ASSERT_TRUE(wait_for_file(metrics, 5.0)) << "no SIGUSR2 metrics dump";
+  doc = read_file(metrics);
+  EXPECT_NE(doc.find("svc.requests.received"), std::string::npos) << doc;
+
+  stop_and_reap(proc);
+  std::remove(metrics.c_str());
+}
+
+TEST(ServeSmoke, AdminListenerAnswersLiveScrapes) {
+  ServeProc proc = spawn_serve(
+      {"--admin-port", "0", "--phase-metrics", "--flight", "32"});
+  ASSERT_GT(proc.pid, 0);
+  ASSERT_GT(proc.port, 0);
+  ASSERT_GT(proc.admin_port, 0);
+
+  run_session(proc.port, 4, "smoke-scrape");
+
+  const std::string health = http_get(proc.admin_port, "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << health;
+
+  // The client sees its last reply a moment before the server finishes
+  // observing that request's span, so poll the scrape briefly.
+  std::string scrape;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    scrape = http_get(proc.admin_port, "/metrics");
+    if (scrape.find("svc_phase_schedule_ms_count 6\n") != std::string::npos)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(scrape.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  // Phase histograms observed the 6 requests of the session.
+  EXPECT_NE(scrape.find("svc_phase_schedule_ms_count 6\n"), std::string::npos)
+      << scrape.substr(0, 512);
+  EXPECT_NE(scrape.find("svc_request_latency_ms_count 6\n"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("proc_rss_bytes"), std::string::npos);
+
+  const std::string flight = http_get(proc.admin_port, "/flight");
+  EXPECT_EQ(flight.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(flight.find("\"trace_id\":\"smoke-scrape\""), std::string::npos);
+
+  stop_and_reap(proc);
 }
 
 }  // namespace

@@ -7,21 +7,59 @@
 // line once bound (the smoke test and the load generator parse it), then
 // runs until SIGINT/SIGTERM — or until a client sends server.stop when
 // --allow-remote-stop is set.
+//
+// Telemetry plane (all opt-in):
+//   --admin-port        HTTP admin listener: /metrics (Prometheus),
+//                       /metrics.json, /flight, /healthz. Prints an
+//                       "admin on <host>:<port>" line once bound.
+//   --phase-metrics     per-request phase timing into svc.phase.*
+//   --trace FILE        Chrome trace of request spans, written on exit
+//   --flight N          flight recorder retaining the last N requests
+//   --slow-ms T         auto-dump the flight recorder when a request
+//                       exceeds T ms (needs --flight and --flight-dump)
+//   --flight-dump FILE  JSONL target for flight dumps
+//   --metrics-interval  periodic atomic-rename dumps of --metrics FILE,
+//                       so metrics survive a crash or SIGKILL
+// Signals: SIGUSR1 dumps the flight recorder to --flight-dump, SIGUSR2
+// dumps the metrics registry to --metrics, both on demand.
 #include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "moldsched/analysis/report.hpp"
 #include "moldsched/engine/executor.hpp"
 #include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/span.hpp"
+#include "moldsched/obs/trace_writer.hpp"
+#include "moldsched/svc/admin.hpp"
 #include "moldsched/svc/server.hpp"
 #include "moldsched/util/flags.hpp"
 
 namespace {
 
 volatile std::sig_atomic_t g_signal = 0;
+volatile std::sig_atomic_t g_dump_flight = 0;
+volatile std::sig_atomic_t g_dump_metrics = 0;
 
 void on_signal(int) { g_signal = 1; }
+void on_sigusr1(int) { g_dump_flight = 1; }
+void on_sigusr2(int) { g_dump_metrics = 1; }
+
+/// Write-then-rename so readers (and post-crash forensics) only ever
+/// see complete files.
+bool atomic_write(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return false;
+    out << content;
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
 
 int usage(std::ostream& os, int code) {
   os << "usage: moldsched_serve [options]\n"
@@ -41,8 +79,22 @@ int usage(std::ostream& os, int code) {
         "                       (default 300)\n"
         "  --allow-remote-stop  honor the server.stop op (off by default)\n"
         "  --metrics FILE       write the svc.* metrics registry as JSON\n"
-        "                       on shutdown\n"
-        "  --quiet              print only the 'listening on' line\n";
+        "                       on shutdown (and on SIGUSR2)\n"
+        "  --metrics-interval S rewrite --metrics FILE every S seconds\n"
+        "                       via atomic rename (default 0 = off)\n"
+        "  --admin-port N       HTTP admin listener on --admin-host\n"
+        "                       (/metrics, /metrics.json, /flight,\n"
+        "                       /healthz); 0 picks an ephemeral port\n"
+        "  --admin-host H       admin bind address (default: --host)\n"
+        "  --phase-metrics      per-request phase histograms svc.phase.*\n"
+        "  --trace FILE         Chrome trace of request spans on exit\n"
+        "  --flight N           keep the last N requests in the flight\n"
+        "                       recorder (default 0 = off)\n"
+        "  --flight-dump FILE   JSONL target for SIGUSR1 / slow dumps\n"
+        "                       (default flight.jsonl when --flight is on)\n"
+        "  --slow-ms T          auto-dump flight records when a request\n"
+        "                       takes longer than T ms (default 0 = off)\n"
+        "  --quiet              print only the listener lines\n";
   return code;
 }
 
@@ -67,15 +119,49 @@ int main(int argc, char** argv) {
     const auto threads =
         static_cast<unsigned>(flags.get_int("threads", 0));
     const std::string metrics_path = flags.get_string("metrics", "");
+    const double metrics_interval = flags.get_double("metrics-interval", 0.0);
+    const bool has_admin = flags.has("admin-port");
+    const int admin_port = static_cast<int>(flags.get_int("admin-port", 0));
+    const std::string admin_host = flags.get_string("admin-host", host);
+    const std::string trace_path = flags.get_string("trace", "");
+    const auto flight_capacity =
+        static_cast<std::size_t>(flags.get_int("flight", 0));
+    std::string flight_dump = flags.get_string("flight-dump", "");
+    if (flight_dump.empty() && flight_capacity > 0)
+      flight_dump = "flight.jsonl";
     const bool quiet = flags.get_bool("quiet", false);
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::signal(SIGUSR1, on_sigusr1);
+    std::signal(SIGUSR2, on_sigusr2);
+
+    svc::ServerTelemetry telemetry;
+    telemetry.phases = flags.get_bool("phase-metrics", false);
+    telemetry.flight_capacity = flight_capacity;
+    telemetry.slow_ms = flags.get_double("slow-ms", 0.0);
+    telemetry.slow_dump_path = flight_dump;
+    std::unique_ptr<obs::TraceWriter> trace_writer;
+    std::unique_ptr<obs::TraceSpanObserver> span_observer;
+    if (!trace_path.empty()) {
+      trace_writer = std::make_unique<obs::TraceWriter>();
+      span_observer = std::make_unique<obs::TraceSpanObserver>(*trace_writer);
+      telemetry.spans = span_observer.get();
+    }
 
     engine::Executor executor(threads);
-    svc::Server server(limits, executor);
+    svc::Server server(limits, telemetry, executor);
     const int bound = server.listen(host, port);
     std::cout << "listening on " << host << ":" << bound << std::endl;
+
+    std::unique_ptr<svc::AdminServer> admin;
+    if (has_admin) {
+      admin =
+          std::make_unique<svc::AdminServer>(obs::default_registry(), &server);
+      const int admin_bound = admin->listen(admin_host, admin_port);
+      std::cout << "admin on " << admin_host << ":" << admin_bound
+                << std::endl;
+    }
     if (!quiet)
       std::cout << "limits: sessions " << limits.max_sessions << ", tasks "
                 << limits.max_tasks_per_session << ", in-flight "
@@ -84,16 +170,44 @@ int main(int argc, char** argv) {
                 << (limits.allow_remote_stop ? "on" : "off") << '\n';
 
     // wait_for returns true once the server stopped (remote server.stop);
-    // a signal breaks the loop and stops it from here.
+    // a signal breaks the loop and stops it from here. Signal handlers
+    // only set flags; the dumps happen here, on the main thread.
+    double since_metrics_dump = 0.0;
     while (g_signal == 0 && !server.wait_for(0.2)) {
+      if (g_dump_flight != 0) {
+        g_dump_flight = 0;
+        if (!flight_dump.empty() &&
+            atomic_write(flight_dump, server.flight_jsonl()) && !quiet)
+          std::cout << "wrote flight dump " << flight_dump << std::endl;
+      }
+      if (g_dump_metrics != 0) {
+        g_dump_metrics = 0;
+        if (!metrics_path.empty() &&
+            atomic_write(metrics_path,
+                         obs::default_registry().to_json() + "\n") &&
+            !quiet)
+          std::cout << "wrote metrics " << metrics_path << std::endl;
+      }
+      if (metrics_interval > 0 && !metrics_path.empty()) {
+        since_metrics_dump += 0.2;
+        if (since_metrics_dump >= metrics_interval) {
+          since_metrics_dump = 0.0;
+          atomic_write(metrics_path,
+                       obs::default_registry().to_json() + "\n");
+        }
+      }
     }
     server.stop();
     server.wait();
+    if (admin) admin->stop();
 
     if (!metrics_path.empty()) {
-      analysis::write_file(metrics_path,
-                           obs::default_registry().to_json() + "\n");
+      atomic_write(metrics_path, obs::default_registry().to_json() + "\n");
       if (!quiet) std::cout << "wrote metrics " << metrics_path << '\n';
+    }
+    if (trace_writer) {
+      analysis::write_file(trace_path, trace_writer->to_json());
+      if (!quiet) std::cout << "wrote trace " << trace_path << '\n';
     }
     if (!quiet) std::cout << "stopped\n";
     return 0;
