@@ -61,6 +61,11 @@ std::string encode_record(const ReproRecord& r) {
      << ",\"reference_makespan\":" << svc::wire_number(r.reference_makespan)
      << ",\"fixed_ratio\":" << svc::wire_number(r.fixed_ratio)
      << ",\"note\":\"" << io::json_escape(r.note) << "\""
+     // Always written resolved (never empty), so fresh archives are
+     // explicit about their objective even for the default reference
+     // denominator; decode tolerates absence for legacy archives.
+     << ",\"denominator\":\"" << io::json_escape(r.denominator_scheduler())
+     << "\""
      << ",\"graph\":" << svc::encode_graph(r.graph) << "}";
   return os.str();
 }
@@ -88,6 +93,8 @@ ReproRecord decode_fields(const io::JsonValue& v) {
   r.reference_makespan = require_number(v, "reference_makespan");
   r.fixed_ratio = require_number(v, "fixed_ratio");
   r.note = require_string(v, "note");
+  if (v.find("denominator") != nullptr)
+    r.denominator = require_string(v, "denominator");
   r.graph = svc::decode_graph(v.at("graph"));
   if (r.P < 1) throw std::invalid_argument("ReproRecord: P must be >= 1");
   return r;
@@ -151,6 +158,28 @@ ReplayOutcome replay_record(const ReproRecord& r,
     out.recorded_makespan = r.reference_makespan;
   }
   if (out.checked) out.bit_identical = out.makespan == out.recorded_makespan;
+
+  // Ratio verification against the archived objective. Only meaningful
+  // when this replay reproduced the numerator; the denominator (which
+  // may be the exact oracle rather than the reference scheduler) is
+  // re-run here, and determinism of every registry entry makes the
+  // archived ratio bit-reproducible.
+  if (out.scheduler == r.target && r.ratio > 0.0) {
+    out.denominator = r.denominator_scheduler();
+    try {
+      const auto denom_spec = sched::spec_by_name(out.denominator, r.mu);
+      out.denominator_makespan = denom_spec.run(r.graph, r.P).makespan;
+      if (out.denominator_makespan > 0.0) {
+        out.replayed_ratio = out.makespan / out.denominator_makespan;
+        out.ratio_checked = true;
+        out.ratio_bit_identical = out.replayed_ratio == r.ratio;
+      }
+    } catch (const std::exception&) {
+      // The denominator refused the instance (e.g. exact-topt over its
+      // size caps on a machine where the archive was imported): the
+      // ratio simply stays unchecked.
+    }
+  }
   return out;
 }
 

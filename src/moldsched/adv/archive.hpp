@@ -33,7 +33,19 @@ struct ReproRecord {
   double fixed_ratio = 0.0;  ///< the fixed Figure 1-4 construction's ratio
                              ///< for this pair (search baseline)
   std::string note;          ///< free-form provenance, e.g. start label
+  /// Scheduler name whose makespan was the ratio's denominator when the
+  /// record was produced — normally the reference scheduler, but
+  /// "exact-topt" when the search scored against the exact optimum.
+  /// Empty on records from archives written before this field existed;
+  /// denominator_scheduler() resolves that to `reference`.
+  std::string denominator;
   graph::TaskGraph graph;
+
+  /// The effective denominator: `denominator`, or `reference` for
+  /// legacy records that predate the field.
+  [[nodiscard]] const std::string& denominator_scheduler() const {
+    return denominator.empty() ? reference : denominator;
+  }
 };
 
 /// One JSONL line (no trailing newline). Doubles use svc::wire_number.
@@ -63,6 +75,17 @@ struct ReplayOutcome {
   bool bit_identical = false;
   bool checked = false;
   double recorded_makespan = 0.0;  ///< archived value compared against
+  /// Ratio verification, performed only when replaying the record's
+  /// target: the denominator scheduler (denominator_scheduler(), which
+  /// may be "exact-topt") is re-run and the archived ratio must equal
+  /// makespan / denominator_makespan to the bit. ratio_checked stays
+  /// false when the denominator cannot be re-run (e.g. the exact oracle
+  /// refuses the instance) — that is a skipped check, not a failure.
+  std::string denominator;
+  double denominator_makespan = 0.0;
+  double replayed_ratio = 0.0;
+  bool ratio_checked = false;
+  bool ratio_bit_identical = false;
 };
 
 /// Replays `r` through `scheduler` (empty = the record's target),

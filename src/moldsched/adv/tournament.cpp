@@ -167,6 +167,10 @@ PairResult run_pair(const std::string& target, const std::string& reference,
   pr.record.target_makespan = target_makespan;
   pr.record.reference_makespan = reference_makespan;
   pr.record.fixed_ratio = pr.fixed_ratio;
+  // The tournament objective divides by the reference scheduler; record
+  // that explicitly so replays verify the ratio against the same
+  // denominator even if future producers score against exact-topt.
+  pr.record.denominator = reference;
   pr.record.note = "restart=" + std::to_string(search.best_restart) +
                    " evals=" + std::to_string(search.evals);
   pr.record.graph = std::move(best);

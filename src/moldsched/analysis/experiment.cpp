@@ -15,6 +15,11 @@ namespace moldsched::analysis {
 
 Measurement measure_scheduler(const graph::TaskGraph& g, int P,
                               const sched::SchedulerSpec& spec) {
+  return measure_scheduler(g, P, spec, 0.0);
+}
+
+Measurement measure_scheduler(const graph::TaskGraph& g, int P,
+                              const sched::SchedulerSpec& spec, double t_opt) {
   if (!spec.allocator && !spec.runner)
     throw std::invalid_argument(
         "measure_scheduler: spec has neither allocator nor runner");
@@ -27,6 +32,10 @@ Measurement measure_scheduler(const graph::TaskGraph& g, int P,
   m.lower_bound = optimal_makespan_lower_bound(g, P);
   m.ratio_vs_lb = m.makespan / m.lower_bound;
   m.avg_utilization = result.trace.average_utilization(P);
+  if (t_opt > 0.0) {
+    m.t_opt = t_opt;
+    m.ratio_vs_opt = m.makespan / t_opt;
+  }
   return m;
 }
 
@@ -70,33 +79,61 @@ std::vector<GraphCase> workflow_catalog(model::ModelKind kind, int scale) {
   return cases;
 }
 
-std::vector<AggregateRow> compare_suite(
+namespace {
+
+std::vector<AggregateRow> compare_suite_impl(
     const std::vector<GraphCase>& cases, int P,
-    const std::vector<sched::SchedulerSpec>& suite) {
+    const std::vector<sched::SchedulerSpec>& suite,
+    const std::vector<double>* t_opts) {
   if (cases.empty())
     throw std::invalid_argument("compare_suite: no graph cases");
+  if (t_opts != nullptr && t_opts->size() != cases.size())
+    throw std::invalid_argument(
+        "compare_suite_with_oracle: t_opts size does not match cases");
   std::vector<AggregateRow> rows;
   rows.reserve(suite.size());
   for (const auto& spec : suite) {
     // Simulations are independent and deterministic: fan them out.
     std::vector<Measurement> measurements(cases.size());
     util::parallel_for(cases.size(), [&](std::size_t i) {
-      measurements[i] = measure_scheduler(cases[i].graph, P, spec);
+      const double t_opt = t_opts != nullptr ? (*t_opts)[i] : 0.0;
+      measurements[i] = measure_scheduler(cases[i].graph, P, spec, t_opt);
     });
     std::vector<double> ratios;
+    std::vector<double> true_ratios;
     util::Accumulator util_acc;
     ratios.reserve(cases.size());
     for (const auto& m : measurements) {
       ratios.push_back(m.ratio_vs_lb);
+      if (m.t_opt > 0.0) true_ratios.push_back(m.ratio_vs_opt);
       util_acc.add(m.avg_utilization);
     }
     AggregateRow row;
     row.scheduler = spec.name;
     row.ratio = util::summarize(ratios);
     row.mean_utilization = util_acc.mean();
+    if (!true_ratios.empty()) {
+      row.true_ratio = util::summarize(true_ratios);
+      row.has_true_ratio = true;
+    }
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+}  // namespace
+
+std::vector<AggregateRow> compare_suite(
+    const std::vector<GraphCase>& cases, int P,
+    const std::vector<sched::SchedulerSpec>& suite) {
+  return compare_suite_impl(cases, P, suite, nullptr);
+}
+
+std::vector<AggregateRow> compare_suite_with_oracle(
+    const std::vector<GraphCase>& cases, int P,
+    const std::vector<sched::SchedulerSpec>& suite,
+    const std::vector<double>& t_opts) {
+  return compare_suite_impl(cases, P, suite, &t_opts);
 }
 
 }  // namespace moldsched::analysis

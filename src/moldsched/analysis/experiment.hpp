@@ -21,6 +21,12 @@ struct Measurement {
   double ratio_vs_lb = 0.0;      ///< makespan / lower_bound (>= observed
                                  ///< competitive ratio, since LB <= T_opt)
   double avg_utilization = 0.0;  ///< time-averaged busy fraction
+  /// Exact optimum and the *true* competitive ratio makespan / T_opt,
+  /// filled only when an oracle value was supplied (0 = unknown). The
+  /// true ratio always sits below ratio_vs_lb: the LB denominator
+  /// overstates every scheduler's ratio by exactly the LB's slack.
+  double t_opt = 0.0;
+  double ratio_vs_opt = 0.0;
 };
 
 /// Runs the spec's scheduler on g and measures it. Validates the produced
@@ -28,6 +34,13 @@ struct Measurement {
 /// would be a library bug, not an experiment outcome).
 [[nodiscard]] Measurement measure_scheduler(const graph::TaskGraph& g, int P,
                                             const sched::SchedulerSpec& spec);
+
+/// Same, additionally scoring against a known exact optimum `t_opt` (from
+/// opt::branch_and_bound_topt). Pass 0 for unknown — the T/T_opt fields
+/// then stay 0 as in the plain overload.
+[[nodiscard]] Measurement measure_scheduler(const graph::TaskGraph& g, int P,
+                                            const sched::SchedulerSpec& spec,
+                                            double t_opt);
 
 struct GraphCase {
   std::string name;
@@ -50,9 +63,22 @@ struct AggregateRow {
   std::string scheduler;
   util::Summary ratio;
   double mean_utilization = 0.0;
+  /// Summary of makespan / T_opt over the cases whose exact optimum is
+  /// known; empty (has_true_ratio == false) outside the exact tier.
+  util::Summary true_ratio;
+  bool has_true_ratio = false;
 };
 [[nodiscard]] std::vector<AggregateRow> compare_suite(
     const std::vector<GraphCase>& cases, int P,
     const std::vector<sched::SchedulerSpec>& suite);
+
+/// compare_suite with true-ratio columns: `t_opts[i]` is case i's exact
+/// optimum, or 0 when the oracle could not certify it (that case is then
+/// excluded from the true-ratio summary but still counts toward the LB
+/// ratio). Throws if the sizes differ.
+[[nodiscard]] std::vector<AggregateRow> compare_suite_with_oracle(
+    const std::vector<GraphCase>& cases, int P,
+    const std::vector<sched::SchedulerSpec>& suite,
+    const std::vector<double>& t_opts);
 
 }  // namespace moldsched::analysis

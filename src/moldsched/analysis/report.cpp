@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 namespace moldsched::analysis {
 
@@ -20,15 +21,30 @@ util::Table table1_table(const std::vector<OptimalRatio>& rows) {
 }
 
 util::Table suite_table(const std::vector<AggregateRow>& rows) {
-  util::Table t({"Scheduler", "ratio mean", "ratio p95", "ratio max",
-                 "utilization"});
+  bool any_true_ratio = false;
+  for (const auto& r : rows) any_true_ratio |= r.has_true_ratio;
+
+  std::vector<std::string> headers = {"Scheduler", "ratio mean", "ratio p95",
+                                      "ratio max", "utilization"};
+  if (any_true_ratio) {
+    // T/T_opt columns appear only when some case was certified by the
+    // exact oracle; the LB-ratio columns above stay as the apples-to-
+    // apples baseline across tiers.
+    headers.insert(headers.end(), {"T/T_opt mean", "T/T_opt max"});
+  }
+  util::Table t(std::move(headers));
   for (const auto& r : rows) {
-    t.new_row()
-        .cell(r.scheduler)
-        .cell(r.ratio.mean, 3)
-        .cell(r.ratio.p95, 3)
-        .cell(r.ratio.max, 3)
-        .cell(r.mean_utilization, 3);
+    auto& row = t.new_row()
+                    .cell(r.scheduler)
+                    .cell(r.ratio.mean, 3)
+                    .cell(r.ratio.p95, 3)
+                    .cell(r.ratio.max, 3)
+                    .cell(r.mean_utilization, 3);
+    if (!any_true_ratio) continue;
+    if (r.has_true_ratio)
+      row.cell(r.true_ratio.mean, 3).cell(r.true_ratio.max, 3);
+    else
+      row.cell("-").cell("-");
   }
   return t;
 }

@@ -1,0 +1,142 @@
+#include "moldsched/check/oracle_check.hpp"
+
+#include <ios>
+#include <sstream>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/opt/bnb.hpp"
+#include "moldsched/sim/trace.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched::check {
+
+namespace {
+
+std::string hex(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+std::string both(double a, double b) {
+  return hex(a) + " (" + std::to_string(a) + ") vs " + hex(b) + " (" +
+         std::to_string(b) + ")";
+}
+
+}  // namespace
+
+std::string OracleReport::to_string() const {
+  std::ostringstream os;
+  os << "oracle check: t_opt=" << t_opt << " lower_bound=" << lower_bound
+     << " certified=" << (certified ? "yes" : "no")
+     << " brute_checked=" << (brute_checked ? "yes" : "no");
+  if (ok()) {
+    os << " OK";
+  } else {
+    for (const auto& m : mismatches) os << "\n  MISMATCH: " << m;
+  }
+  return os.str();
+}
+
+OracleReport exact_oracle_check(const graph::TaskGraph& g, int P,
+                                const std::vector<sched::SchedulerSpec>& suite,
+                                int brute_force_max_tasks) {
+  OracleReport report;
+  report.lower_bound = analysis::optimal_makespan_lower_bound(g, P);
+
+  opt::BnbResult bnb;
+  const bool in_caps = [&] {
+    opt::BnbOptions options;
+    if (g.num_tasks() > options.max_tasks || P > options.max_procs)
+      return false;
+    bnb = opt::branch_and_bound_topt(g, P, options);
+    return true;
+  }();
+  report.certified = in_caps && bnb.status == opt::BnbStatus::kExact;
+  if (report.certified) report.t_opt = bnb.makespan;
+
+  // Relation 1a: the oracle never dips below the admissible Lemma 2
+  // bound. The bound is exact real arithmetic on both sides of the same
+  // doubles, so a tiny relative slack absorbs summation-order noise.
+  if (report.certified &&
+      bnb.makespan < report.lower_bound * (1.0 - 1e-9)) {
+    report.mismatches.push_back("T_opt below Lemma 2 lower bound: " +
+                                both(bnb.makespan, report.lower_bound));
+  }
+  if (in_caps && bnb.lower_bound > bnb.makespan * (1.0 + 1e-12)) {
+    report.mismatches.push_back(
+        "reported bracket inverted (lower_bound > makespan): " +
+        both(bnb.lower_bound, bnb.makespan));
+  }
+
+  // Relation 1b: no registry scheduler may beat the certified optimum —
+  // each of their makespans is a feasible schedule, hence >= T_opt. Also
+  // witnesses the Lemma 2 side for uncertified instances.
+  for (const auto& spec : suite) {
+    const auto result = spec.run(g, P);
+    if (result.makespan < report.lower_bound * (1.0 - 1e-9)) {
+      report.mismatches.push_back("scheduler '" + spec.name +
+                                  "' beat the Lemma 2 lower bound: " +
+                                  both(result.makespan, report.lower_bound));
+    }
+    if (report.certified &&
+        result.makespan < bnb.makespan * (1.0 - 1e-12)) {
+      report.mismatches.push_back("scheduler '" + spec.name +
+                                  "' beat the certified optimum: " +
+                                  both(result.makespan, bnb.makespan));
+    }
+  }
+
+  if (report.certified) {
+    // Relation 3: the certificate schedule must be feasible and must
+    // reproduce the reported value exactly.
+    sim::Trace trace;
+    double recomputed = 0.0;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      trace.record_start(v, bnb.start_time[idx], bnb.allocation[idx]);
+    }
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      const double finish =
+          bnb.start_time[idx] + g.model_of(v).time(bnb.allocation[idx]);
+      trace.record_end(v, finish);
+      if (finish > recomputed) recomputed = finish;
+    }
+    const auto validation = sim::validate_schedule(g, trace, P);
+    for (const auto& violation : validation.violations)
+      report.mismatches.push_back("certificate schedule invalid: " + violation);
+    if (recomputed != bnb.makespan) {
+      report.mismatches.push_back(
+          "certificate makespan differs from reported T_opt: " +
+          both(recomputed, bnb.makespan));
+    }
+
+    // Relation 2: exhaustive arbiter on tiny instances, bit-for-bit. The
+    // unpruned tree can still be astronomically large at high P, so the
+    // arbiter carries its own node budget; a truncated run is simply not
+    // an arbiter (brute_checked stays false).
+    if (g.num_tasks() <= brute_force_max_tasks) {
+      const auto brute =
+          opt::brute_force_topt(g, P, brute_force_max_tasks, 20'000'000);
+      if (brute.status == opt::BnbStatus::kExact) {
+        report.brute_checked = true;
+        if (brute.makespan != bnb.makespan) {
+          report.mismatches.push_back(
+              "branch-and-bound and brute force disagree: " +
+              both(bnb.makespan, brute.makespan));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+OracleReport exact_oracle_check(const graph::TaskGraph& g, int P, double mu,
+                                int brute_force_max_tasks) {
+  return exact_oracle_check(g, P, sched::full_suite(mu),
+                            brute_force_max_tasks);
+}
+
+}  // namespace moldsched::check

@@ -1,0 +1,57 @@
+// Differential self-check for the exact optimum oracle.
+//
+// opt::branch_and_bound_topt is only trustworthy as a test-tier
+// denominator if three independent relations hold on every instance it
+// certifies:
+//  * sandwich: Lemma 2 LB <= T_opt <= every registry scheduler's
+//    makespan (the oracle may never "beat" an impossible bound, nor
+//    claim an optimum above a schedule that demonstrably exists);
+//  * arbiter: on tiny instances, T_opt equals opt::brute_force_topt
+//    bit-for-bit (same canonical decision tree, pruning off);
+//  * certificate: the returned (allocation, start_time) pass
+//    sim::validate_schedule and their recomputed makespan is exactly the
+//    reported one.
+// This module makes the relations executable over one instance, mirroring
+// check::differential_check's report idiom so the fuzz tier and the
+// engine selfcheck suite can share it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sched/registry.hpp"
+
+namespace moldsched::check {
+
+struct OracleReport {
+  /// Human-readable description of every violated relation. Empty means
+  /// the oracle's value is consistent with every witness.
+  std::vector<std::string> mismatches;
+
+  double t_opt = 0.0;        ///< certified optimum (0 when not certified)
+  double lower_bound = 0.0;  ///< Lemma 2 bound max(A_min/P, C_min)
+  bool certified = false;    ///< oracle reached kExact within budget
+  bool brute_checked = false;  ///< brute-force arbiter ran (tiny instance)
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the oracle on (g, P) and checks the relations above against the
+/// given scheduler suite. Instances over the oracle's caps (or budget
+/// truncations) are not failures: the report comes back uncertified with
+/// only the Lemma 2 vs suite sandwich checked. `brute_force_max_tasks`
+/// bounds when the exhaustive arbiter runs (it is unpruned and explodes
+/// combinatorially).
+[[nodiscard]] OracleReport exact_oracle_check(
+    const graph::TaskGraph& g, int P,
+    const std::vector<sched::SchedulerSpec>& suite,
+    int brute_force_max_tasks = 8);
+
+/// Convenience overload: suite = sched::full_suite(mu).
+[[nodiscard]] OracleReport exact_oracle_check(const graph::TaskGraph& g, int P,
+                                              double mu = 0.3,
+                                              int brute_force_max_tasks = 8);
+
+}  // namespace moldsched::check

@@ -36,6 +36,8 @@
 #include "moldsched/graph/generators.hpp"
 #include "moldsched/model/sampler.hpp"
 #include "moldsched/obs/obs.hpp"
+#include "moldsched/opt/bnb.hpp"
+#include "moldsched/opt/oracle.hpp"
 #include "moldsched/resilience/resilient_scheduler.hpp"
 #include "moldsched/sched/baselines.hpp"
 #include "moldsched/sched/improved_lpa.hpp"
@@ -1442,6 +1444,200 @@ std::vector<std::string> pisa_finalize(const std::vector<JobRecord>& records,
 }
 
 // ---------------------------------------------------------------------------
+// exact — the true-ratio tier: every registry scheduler over the frozen
+// opt::small_corpus(), scored against the branch-and-bound exact optimum
+// instead of (only) the Lemma 2 proxy.
+
+const char* const kOracleScheduler = "oracle";
+
+std::shared_ptr<const std::vector<opt::SmallInstance>> exact_corpus() {
+  static std::mutex mutex;
+  static std::shared_ptr<const std::vector<opt::SmallInstance>> corpus;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!corpus) {
+    corpus = std::make_shared<const std::vector<opt::SmallInstance>>(
+        opt::small_corpus());
+  }
+  return corpus;
+}
+
+std::vector<JobSpec> exact_jobs(const SuiteOptions& options) {
+  std::vector<JobSpec> jobs;
+  auto schedulers = sched::full_suite_names();
+  schedulers.push_back(kOracleScheduler);
+  for (const auto& inst : *exact_corpus()) {
+    for (const auto& scheduler : schedulers) {
+      JobSpec s;
+      s.job_id = jobs.size();
+      s.suite = "exact";
+      s.instance = inst.name;
+      s.scheduler = scheduler;
+      s.model = model::ModelKind::kGeneral;  // corpus mixes kinds per task
+      s.P = inst.P;
+      s.seed = JobGrid::derive_seed(options.base_seed, s.job_id);
+      jobs.push_back(std::move(s));
+    }
+  }
+  if (options.filter.empty()) return jobs;
+  std::vector<JobSpec> kept;
+  for (auto& spec : jobs)
+    if (spec.key().find(options.filter) != std::string::npos)
+      kept.push_back(std::move(spec));
+  return kept;
+}
+
+JobRecord exact_run(const JobSpec& spec, const CancelToken& token) {
+  JobRecord rec;
+  rec.spec = spec;
+  if (token.cancelled()) return cancelled_record(spec);
+  const auto corpus = exact_corpus();
+  const opt::SmallInstance* inst = nullptr;
+  for (const auto& c : *corpus)
+    if (c.name == spec.instance) inst = &c;
+  if (!inst)
+    throw std::invalid_argument("exact: unknown instance '" + spec.instance +
+                                "'");
+  if (spec.scheduler == kOracleScheduler) {
+    auto opts = opt::oracle_defaults();
+    opts.token = token;
+    const auto r = opt::branch_and_bound_topt(inst->graph, inst->P, opts);
+    rec.set("certified", r.status == opt::BnbStatus::kExact ? 1.0 : 0.0);
+    rec.set("t_opt", r.makespan);
+    rec.set("t_opt_lb", r.lower_bound);
+    rec.set("lower_bound",
+            analysis::optimal_makespan_lower_bound(inst->graph, inst->P));
+    rec.set("nodes", static_cast<double>(r.nodes));
+    rec.set("tasks", static_cast<double>(inst->graph.num_tasks()));
+    return rec;
+  }
+  const auto m = analysis::measure_scheduler(
+      inst->graph, inst->P, sched::spec_by_name(spec.scheduler, inst->mu));
+  rec.set("makespan", m.makespan);
+  rec.set("lower_bound", m.lower_bound);
+  rec.set("ratio", m.ratio_vs_lb);
+  rec.set("utilization", m.avg_utilization);
+  rec.set("tasks", static_cast<double>(inst->graph.num_tasks()));
+  return rec;
+}
+
+std::vector<std::string> exact_finalize(const std::vector<JobRecord>& records,
+                                        const SuiteOptions& options) {
+  std::vector<std::string> outputs;
+  const auto ok = ok_records(records);
+
+  // Certified optima per instance (uncertified instances keep 0 and are
+  // excluded from every T/T_opt figure).
+  std::map<std::string, double> t_opt_of;
+  std::map<std::string, const JobRecord*> oracle_of;
+  for (const auto* rec : ok) {
+    if (rec->spec.scheduler != kOracleScheduler) continue;
+    oracle_of[rec->spec.instance] = rec;
+    if (rec->metric("certified").value_or(0.0) > 0.5)
+      t_opt_of[rec->spec.instance] = rec->metric("t_opt").value_or(0.0);
+  }
+
+  // Part 1 — the per-(instance, scheduler) true-ratio corpus CSV.
+  util::Table corpus_csv({"instance", "scheduler", "makespan", "lemma2_lb",
+                          "t_opt", "ratio_vs_lb", "ratio_vs_opt"});
+  for (const auto* rec : ok) {
+    if (rec->spec.scheduler == kOracleScheduler) continue;
+    const auto it = t_opt_of.find(rec->spec.instance);
+    const double t_opt = it != t_opt_of.end() ? it->second : 0.0;
+    const double makespan = rec->metric("makespan").value_or(0.0);
+    corpus_csv.new_row()
+        .cell(rec->spec.instance)
+        .cell(rec->spec.scheduler)
+        .cell(makespan, 9)
+        .cell(rec->metric("lower_bound").value_or(0.0), 9)
+        .cell(t_opt, 9)
+        .cell(rec->metric("ratio").value_or(0.0), 6)
+        .cell(t_opt > 0.0 ? makespan / t_opt : 0.0, 6);
+  }
+  if (corpus_csv.num_rows() > 0) {
+    const std::string path = options.results_dir + "/exact_true_ratios.csv";
+    analysis::write_file(path, corpus_csv.to_csv());
+    outputs.push_back(path);
+  }
+
+  // Part 2 — per-scheduler aggregate with both denominators, through the
+  // same AggregateRow/suite_table path the other tiers use.
+  std::vector<analysis::AggregateRow> rows;
+  for (const auto& name : sched::full_suite_names()) {
+    std::vector<double> ratios;
+    std::vector<double> true_ratios;
+    util::Accumulator utilization;
+    for (const auto* rec : ok) {
+      if (rec->spec.scheduler != name) continue;
+      ratios.push_back(rec->metric("ratio").value_or(0.0));
+      utilization.add(rec->metric("utilization").value_or(0.0));
+      const auto it = t_opt_of.find(rec->spec.instance);
+      if (it != t_opt_of.end())
+        true_ratios.push_back(rec->metric("makespan").value_or(0.0) /
+                              it->second);
+    }
+    if (ratios.empty()) continue;
+    analysis::AggregateRow row;
+    row.scheduler = name;
+    row.ratio = util::summarize(ratios);
+    row.mean_utilization = utilization.mean();
+    if (!true_ratios.empty()) {
+      row.true_ratio = util::summarize(true_ratios);
+      row.has_true_ratio = true;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Part 3 — markdown report contrasting T/LB with T/T_opt, plus the
+  // per-instance LB slack the proxy ratios silently carry.
+  if (!rows.empty()) {
+    std::ostringstream md;
+    md << "# Exact suite: true competitive ratios\n\n"
+       << "Every registry scheduler over the frozen small-instance corpus,\n"
+       << "scored twice: against the Lemma 2 lower bound (the only\n"
+       << "denominator available at scale) and against the exact optimum\n"
+       << "T_opt certified by opt::branch_and_bound_topt. The gap between\n"
+       << "the two columns is the LB's slack, not scheduler behavior.\n\n";
+    md << analysis::suite_table(rows).to_markdown() << '\n';
+    util::Table slack({"instance", "tasks", "Lemma 2 LB", "T_opt",
+                       "T_opt/LB (LB slack)", "bnb nodes"});
+    for (const auto& inst : *exact_corpus()) {
+      const auto it = oracle_of.find(inst.name);
+      if (it == oracle_of.end()) continue;
+      const auto* rec = it->second;
+      const double lb = rec->metric("lower_bound").value_or(0.0);
+      const double t_opt = rec->metric("t_opt").value_or(0.0);
+      const bool certified = rec->metric("certified").value_or(0.0) > 0.5;
+      slack.new_row()
+          .cell(inst.name)
+          .cell(static_cast<long>(rec->metric("tasks").value_or(0.0)))
+          .cell(lb, 6)
+          .cell(certified ? util::format_double(t_opt, 6) : "(uncertified)")
+          .cell(certified && lb > 0.0 ? util::format_double(t_opt / lb, 4)
+                                      : "-")
+          .cell(static_cast<long>(rec->metric("nodes").value_or(0.0)));
+    }
+    md << "\n## Lower-bound slack per instance\n\n"
+       << "A T/LB pin can stay green while a scheduler regresses by up to\n"
+       << "the slack factor below; the T/T_opt pins close that blind spot.\n\n"
+       << slack.to_markdown();
+    const std::string path = options.results_dir + "/exact_report.md";
+    analysis::write_file(path, md.str());
+    outputs.push_back(path);
+    if (options.human_out) {
+      analysis::suite_table(rows).print(
+          *options.human_out,
+          "exact suite: ratio columns use the Lemma 2 LB, T/T_opt columns "
+          "use the certified optimum (" +
+              std::to_string(t_opt_of.size()) + "/" +
+              std::to_string(exact_corpus()->size()) +
+              " instances certified)");
+      *options.human_out << '\n';
+    }
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
 // registry + run_suite
 
 const std::vector<SuiteDef>& suite_defs() {
@@ -1513,6 +1709,15 @@ const std::vector<SuiteDef>& suite_defs() {
                    pisa_jobs,
                    {},  // runner built per-options below
                    pisa_finalize});
+    out.push_back({{"exact",
+                    "true-ratio tier: every registry scheduler on the "
+                    "frozen small-instance corpus, scored against the "
+                    "branch-and-bound exact optimum T_opt as well as the "
+                    "Lemma 2 lower bound"},
+                   1,
+                   exact_jobs,
+                   exact_run,
+                   exact_finalize});
     return out;
   }();
   return defs;

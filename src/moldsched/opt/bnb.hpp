@@ -1,0 +1,108 @@
+// Exact optimal makespan T_opt via branch-and-bound.
+//
+// The search branches on event-based states, which are dominant for this
+// problem: an optimal schedule exists in which every task starts at time
+// 0 or at some task's completion time. At each event time the search
+// either starts a ready task with one of its useful allocations (those
+// strictly faster than every smaller allocation; anything else is
+// dominated) or deliberately advances to the next completion — waiting
+// is part of the search space, because greedy non-delay schedules are
+// *not* dominant for rigid multiprocessor tasks under precedence.
+//
+// Pruning is by the admissible Lemma 2-style lower bound (remaining
+// area / P plus critical-path tails through running tasks) and by
+// memoized dominance cuts: a state is keyed by its started-set and the
+// exact bit patterns of the running tasks' relative remaining profile,
+// and a revisit at the same or a later absolute time can be cut because
+// every completion reachable from it maps to an equal-or-earlier one
+// from the first visit.
+//
+// Exactness contract: branch_and_bound_topt and brute_force_topt explore
+// the same canonical decision tree with identical floating-point
+// arithmetic, so when the status is kExact their makespans agree *to the
+// bit* — the brute-force differential in check::exact_oracle_check and
+// the nightly property sweep assert exactly that. Budget-truncated runs
+// degrade cleanly: kBounded / kTimedOut results still carry a valid
+// schedule (upper bound) and a proven lower bound on T_opt.
+//
+// Determinism: for a completed (kExact) run the entire result — value,
+// allocation, start times — is a pure function of (graph, P), regardless
+// of `threads`. A parallel run only races the *value* search (the
+// optimum value is unique, so the race is benign); the certificate
+// schedule is then re-derived by a serial canonical-order pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "moldsched/engine/executor.hpp"
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::opt {
+
+enum class BnbStatus {
+  kExact,     ///< proven optimal; makespan == lower_bound == T_opt
+  kBounded,   ///< node budget exhausted; makespan/lower_bound bracket T_opt
+  kTimedOut,  ///< time budget or cancel token fired; same bracket contract
+};
+
+[[nodiscard]] std::string to_string(BnbStatus status);
+
+struct BnbOptions {
+  /// Instance caps; above either the call throws std::invalid_argument
+  /// (the oracle is for small instances by design).
+  int max_tasks = 20;
+  int max_procs = 64;
+  /// Total node budget across all phases; 0 = unlimited.
+  long node_budget = 50'000'000;
+  /// Wall-clock budget in seconds; 0 = none. Combined with `token`.
+  double time_budget_s = 0.0;
+  /// External cooperative cancellation (checked every few hundred nodes).
+  engine::CancelToken token;
+  /// Worker count for the value phase; <= 1 runs fully serial. Uses
+  /// engine::Executor::global().
+  unsigned threads = 1;
+  /// Memoized dominance cuts (soundness documented above). The table is
+  /// capped at `memo_limit` entries; past the cap lookups continue but
+  /// inserts stop.
+  bool use_memo = true;
+  std::size_t memo_limit = 1u << 22;
+  /// Seed the incumbent from the offline heuristics (OfflineTradeoff +
+  /// both Wu-Loiseau schedulers). Never changes the result, only the
+  /// node count; disabled by brute_force_topt.
+  bool warm_start = true;
+};
+
+struct BnbResult {
+  BnbStatus status = BnbStatus::kExact;
+  /// Best makespan found (== T_opt iff status == kExact). Always backed
+  /// by the valid schedule in allocation/start_time.
+  double makespan = 0.0;
+  /// Proven lower bound on T_opt (== makespan when kExact).
+  double lower_bound = 0.0;
+  std::vector<int> allocation;
+  std::vector<double> start_time;
+  long nodes = 0;       ///< search-tree nodes visited, all phases
+  long memo_hits = 0;   ///< dominance cuts taken
+  std::size_t memo_entries = 0;
+  unsigned threads_used = 1;
+};
+
+/// Exact T_opt for g on P processors, subject to the caps and budgets in
+/// `options`. Throws std::invalid_argument for P < 1 or an instance over
+/// the caps.
+[[nodiscard]] BnbResult branch_and_bound_topt(const graph::TaskGraph& g, int P,
+                                              const BnbOptions& options = {});
+
+/// Exhaustive enumeration of the same canonical decision tree with no
+/// pruning, no memo and no warm start — the independent arbiter the
+/// property tier compares branch_and_bound_topt against bit-for-bit.
+/// `node_budget` > 0 truncates runaway trees (the unpruned tree can be
+/// astronomically larger than the pruned one); a truncated run returns
+/// kBounded and must not be used as an arbiter.
+[[nodiscard]] BnbResult brute_force_topt(const graph::TaskGraph& g, int P,
+                                         int max_tasks = 10,
+                                         long node_budget = 0);
+
+}  // namespace moldsched::opt

@@ -1,0 +1,245 @@
+#include "moldsched/opt/oracle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/trace.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::opt {
+
+BnbOptions oracle_defaults() {
+  BnbOptions options;
+  options.max_tasks = 20;
+  options.max_procs = 64;
+  // Node budget only — a wall-clock budget would make "does this instance
+  // certify" depend on the machine, and the oracle feeds deterministic
+  // tests.
+  options.node_budget = 20'000'000;
+  options.time_budget_s = 0.0;
+  return options;
+}
+
+std::optional<double> exact_topt(const graph::TaskGraph& g, int P,
+                                 const BnbOptions& options) {
+  if (P < 1) throw std::invalid_argument("exact_topt: P < 1");
+  if (g.num_tasks() > options.max_tasks || P > options.max_procs)
+    return std::nullopt;
+  const BnbResult r = branch_and_bound_topt(g, P, options);
+  if (r.status != BnbStatus::kExact) return std::nullopt;
+  return r.makespan;
+}
+
+sched::SchedulerSpec exact_topt_spec(const BnbOptions& options) {
+  sched::SchedulerSpec spec;
+  spec.name = "exact-topt";
+  spec.runner = [options](const graph::TaskGraph& g, int P) {
+    const BnbResult r = branch_and_bound_topt(g, P, options);
+    if (r.status != BnbStatus::kExact)
+      throw std::runtime_error("exact-topt: budget exhausted before proof (" +
+                               to_string(r.status) + ")");
+    const int n = g.num_tasks();
+    // Finish times recomputed with the same expression the search used,
+    // so the trace makespan matches r.makespan to the bit.
+    std::vector<double> finish(static_cast<std::size_t>(n));
+    for (graph::TaskId v = 0; v < n; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      finish[idx] =
+          r.start_time[idx] + g.model_of(v).time(r.allocation[idx]);
+    }
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    core::ScheduleResult out;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto ia = static_cast<std::size_t>(a);
+      const auto ib = static_cast<std::size_t>(b);
+      if (r.start_time[ia] != r.start_time[ib])
+        return r.start_time[ia] < r.start_time[ib];
+      return a < b;
+    });
+    for (const int v : order) {
+      const auto idx = static_cast<std::size_t>(v);
+      out.trace.record_start(v, r.start_time[idx], r.allocation[idx]);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto ia = static_cast<std::size_t>(a);
+      const auto ib = static_cast<std::size_t>(b);
+      if (finish[ia] != finish[ib]) return finish[ia] < finish[ib];
+      return a < b;
+    });
+    for (const int v : order)
+      out.trace.record_end(v, finish[static_cast<std::size_t>(v)]);
+    out.makespan = r.makespan;
+    out.allocation = r.allocation;
+    out.ready_time.assign(static_cast<std::size_t>(n), 0.0);
+    return out;
+  };
+  return spec;
+}
+
+namespace {
+
+graph::TaskGraph chain_amdahl() {
+  graph::TaskGraph g;
+  const double works[] = {4.0, 7.0, 2.5, 5.0, 3.0};
+  graph::TaskId prev = -1;
+  for (const double w : works) {
+    const auto v = g.add_task(std::make_shared<model::AmdahlModel>(w, 0.4));
+    if (prev >= 0) g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+graph::TaskGraph fork_join_roofline() {
+  graph::TaskGraph g;
+  const auto src = g.add_task(std::make_shared<model::RooflineModel>(2.0, 2));
+  const auto sink = g.add_task(std::make_shared<model::RooflineModel>(3.0, 4));
+  const double works[] = {6.0, 4.0, 9.0, 5.0};
+  const int pbars[] = {3, 6, 2, 4};
+  for (int i = 0; i < 4; ++i) {
+    const auto v = g.add_task(
+        std::make_shared<model::RooflineModel>(works[i], pbars[i]));
+    g.add_edge(src, v);
+    g.add_edge(v, sink);
+  }
+  return g;
+}
+
+graph::TaskGraph diamond_communication() {
+  graph::TaskGraph g;
+  const auto a = g.add_task(std::make_shared<model::CommunicationModel>(5.0, 0.3));
+  const auto b = g.add_task(std::make_shared<model::CommunicationModel>(8.0, 0.1));
+  const auto c = g.add_task(std::make_shared<model::CommunicationModel>(6.0, 0.5));
+  const auto d = g.add_task(std::make_shared<model::CommunicationModel>(4.0, 0.2));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+graph::TaskGraph independent_mixed() {
+  graph::TaskGraph g;
+  g.add_task(std::make_shared<model::AmdahlModel>(6.0, 0.25));
+  g.add_task(std::make_shared<model::RooflineModel>(5.0, 2));
+  g.add_task(std::make_shared<model::CommunicationModel>(7.0, 0.15));
+  g.add_task(std::make_shared<model::GeneralModel>(
+      model::GeneralParams{9.0, 0.3, 0.05, 8}));
+  g.add_task(std::make_shared<model::TableModel>(
+      std::vector<double>{5.0, 3.0, 2.5, 2.4}, "table-a"));
+  g.add_task(std::make_shared<model::TableModel>(
+      std::vector<double>{4.0, 2.2, 1.8}, "table-b"));
+  return g;
+}
+
+graph::TaskGraph ladder_general() {
+  graph::TaskGraph g;
+  // Two parallel rails of four tasks with rung edges between them.
+  graph::TaskId rail[2][4];
+  const double works[] = {3.0, 5.0, 4.0, 6.0, 2.0, 7.0, 3.5, 4.5};
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      rail[r][i] = g.add_task(std::make_shared<model::GeneralModel>(
+          model::GeneralParams{works[r * 4 + i], 0.2, 0.05,
+                               model::GeneralParams::kUnboundedParallelism}));
+      if (i > 0) g.add_edge(rail[r][i - 1], rail[r][i]);
+    }
+  }
+  for (int i = 1; i < 4; ++i) {
+    g.add_edge(rail[0][i - 1], rail[1][i]);
+    g.add_edge(rail[1][i - 1], rail[0][i]);
+  }
+  return g;
+}
+
+graph::TaskGraph table_tree() {
+  graph::TaskGraph g;
+  // Seven-node in-tree of arbitrary (table) models: leaves feed pairs,
+  // pairs feed the root.
+  const std::vector<std::vector<double>> tables = {
+      {6.0, 3.2, 2.4, 2.1}, {4.0, 2.5, 2.0}, {5.5, 2.9, 2.2, 1.9},
+      {3.0, 1.8},           {7.0, 4.0, 3.1}, {2.5, 1.5, 1.2},
+      {4.5, 2.6, 2.0, 1.7}};
+  std::vector<graph::TaskId> v;
+  for (std::size_t i = 0; i < tables.size(); ++i)
+    v.push_back(g.add_task(std::make_shared<model::TableModel>(
+        tables[i], "tree-" + std::to_string(i))));
+  g.add_edge(v[0], v[4]);
+  g.add_edge(v[1], v[4]);
+  g.add_edge(v[2], v[5]);
+  g.add_edge(v[3], v[5]);
+  g.add_edge(v[4], v[6]);
+  g.add_edge(v[5], v[6]);
+  return g;
+}
+
+/// Deterministic corpus sample: redraws from the derived seed stream
+/// until the family/kind recipe lands in the oracle's size range.
+graph::TaskGraph sampled(int family, model::ModelKind kind, int P,
+                         std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(0x0b5e55edULL, seed));
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    auto g = check::corpus_graph(family, kind, rng, P);
+    if (g.num_tasks() >= 2 && g.num_tasks() <= 16) return g;
+  }
+  throw std::logic_error("small_corpus: sampled family never fit the cap");
+}
+
+int family_index(const std::string& name) {
+  const auto& families = check::corpus_families();
+  const auto it = std::find(families.begin(), families.end(), name);
+  if (it == families.end())
+    throw std::logic_error("small_corpus: unknown corpus family " + name);
+  return static_cast<int>(it - families.begin());
+}
+
+}  // namespace
+
+std::vector<SmallInstance> small_corpus() {
+  std::vector<SmallInstance> corpus;
+  auto add = [&corpus](std::string name, graph::TaskGraph g, int P, double mu) {
+    SmallInstance inst;
+    inst.name = std::move(name);
+    inst.graph = std::move(g);
+    inst.P = P;
+    inst.mu = mu;
+    corpus.push_back(std::move(inst));
+  };
+  add("chain-amdahl", chain_amdahl(), 4, 0.3);
+  add("forkjoin-roofline", fork_join_roofline(), 6, 0.3);
+  add("diamond-comm", diamond_communication(), 4, 0.25);
+  add("independent-mixed", independent_mixed(), 3, 0.3);
+  add("ladder-general", ladder_general(), 5, 0.3);
+  add("table-tree", table_tree(), 4, 0.3);
+  add("sampled-layered-roofline",
+      sampled(family_index("layered_random"), model::ModelKind::kRoofline, 5, 1),
+      5, 0.3);
+  add("sampled-forkjoin-amdahl",
+      sampled(family_index("fork_join"), model::ModelKind::kAmdahl, 4, 2), 4,
+      0.3);
+  add("sampled-sp-comm",
+      sampled(family_index("series_parallel"), model::ModelKind::kCommunication,
+              6, 3),
+      6, 0.25);
+  add("sampled-outtree-general",
+      sampled(family_index("random_out_tree"), model::ModelKind::kGeneral, 5, 4),
+      5, 0.3);
+  add("sampled-er-arbitrary",
+      sampled(family_index("erdos_renyi"), model::ModelKind::kArbitrary, 4, 7),
+      4, 0.3);
+  add("sampled-diamond-amdahl",
+      sampled(family_index("diamond"), model::ModelKind::kAmdahl, 8, 15), 8,
+      0.3);
+  return corpus;
+}
+
+}  // namespace moldsched::opt

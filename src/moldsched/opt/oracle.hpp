@@ -1,0 +1,55 @@
+// Convenience layer over the branch-and-bound oracle: T_opt as an
+// optional value, the "exact-topt" registry spec (so the exact optimum
+// can stand in anywhere a scheduler can — replay, annealing objective,
+// comparison tables), and the frozen small-instance corpus that the
+// true-ratio golden pins and `moldsched_run --suite exact` are measured
+// on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/opt/bnb.hpp"
+#include "moldsched/sched/registry.hpp"
+
+namespace moldsched::opt {
+
+/// Budgets tuned for test-tier use: generous enough that every frozen
+/// small-corpus instance solves to kExact, bounded enough that a runaway
+/// instance degrades instead of hanging a suite.
+[[nodiscard]] BnbOptions oracle_defaults();
+
+/// T_opt when the search proves optimality within the budgets, nullopt
+/// otherwise (instances over the caps also yield nullopt instead of
+/// throwing — callers probing arbitrary instances shouldn't need a size
+/// pre-check).
+[[nodiscard]] std::optional<double> exact_topt(
+    const graph::TaskGraph& g, int P,
+    const BnbOptions& options = oracle_defaults());
+
+/// Registry spec "exact-topt": runs the oracle and exposes the optimal
+/// schedule as a core::ScheduleResult. Throws std::invalid_argument on
+/// instances over the caps and std::runtime_error when the budget
+/// truncates the proof — adv::evaluate_ratio treats both as a refused
+/// candidate, which is exactly how an exact objective should degrade on
+/// instances it cannot certify.
+[[nodiscard]] sched::SchedulerSpec exact_topt_spec(
+    const BnbOptions& options = oracle_defaults());
+
+/// One frozen instance of the true-ratio corpus.
+struct SmallInstance {
+  std::string name;
+  graph::TaskGraph graph;
+  int P = 2;
+  double mu = 0.3;  ///< LPA parameter the ratio tables use on it
+};
+
+/// The frozen <= 20-task corpus behind the T/T_opt golden pins and the
+/// exact suite. Deterministic and append-only by convention: changing an
+/// existing instance invalidates recorded pins, which is exactly what
+/// the pins are for.
+[[nodiscard]] std::vector<SmallInstance> small_corpus();
+
+}  // namespace moldsched::opt

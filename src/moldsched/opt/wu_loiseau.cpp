@@ -1,0 +1,225 @@
+#include "moldsched/opt/wu_loiseau.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/graph/algorithms.hpp"
+#include "moldsched/sched/offline.hpp"
+
+namespace moldsched::opt {
+
+namespace {
+
+double allotment_area(const graph::TaskGraph& g, const std::vector<int>& alloc) {
+  double area = 0.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    area += g.model_of(v).area(alloc[static_cast<std::size_t>(v)]);
+  return area;
+}
+
+/// Evaluates the canonical allotment of deadline `d` with bottom-level
+/// priorities; the workhorse of both WL schedulers.
+sim::Trace evaluate_allotment(const graph::TaskGraph& g, int P,
+                              const std::vector<int>& alloc) {
+  const int n = g.num_tasks();
+  std::vector<double> times(static_cast<std::size_t>(n));
+  for (graph::TaskId v = 0; v < n; ++v)
+    times[static_cast<std::size_t>(v)] =
+        g.model_of(v).time(alloc[static_cast<std::size_t>(v)]);
+  const auto priorities = graph::bottom_levels(g, times);
+  return sched::list_schedule_with_allocations(g, P, alloc, priorities);
+}
+
+void keep_best(WlResult& best, const graph::TaskGraph& g, int P,
+               std::vector<int> alloc) {
+  auto trace = evaluate_allotment(g, P, alloc);
+  const double makespan = trace.makespan();
+  ++best.evaluations;
+  if (makespan < best.makespan) {
+    best.makespan = makespan;
+    best.trace = std::move(trace);
+    best.allocation = std::move(alloc);
+  }
+}
+
+/// [lower, upper] deadline anchors: the fastest any single task can run
+/// and the slowest sequential task.
+std::pair<double, double> deadline_anchors(const graph::TaskGraph& g, int P) {
+  double lower = std::numeric_limits<double>::infinity();
+  double upper = 0.0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto& m = g.model_of(v);
+    lower = std::min(lower, m.min_time(P));
+    upper = std::max(upper, m.time(1));
+  }
+  upper = std::max(upper, lower * (1.0 + 1e-9));
+  return {lower, upper};
+}
+
+}  // namespace
+
+double canonical_target(const graph::TaskGraph& g, int P) {
+  g.validate();
+  if (P < 1) throw std::invalid_argument("canonical_target: P < 1");
+  const auto [anchor_lo, anchor_hi] = deadline_anchors(g, P);
+  const double lemma2 = analysis::optimal_makespan_lower_bound(g, P);
+  // area(gamma(d)) is non-increasing in d (a larger deadline only ever
+  // relaxes the allotment) while P*d grows, so the excess
+  //   h(d) = area(gamma(d)) - P*d
+  // crosses zero exactly once and bisection applies.
+  auto excess = [&](double d) {
+    return allotment_area(g, sched::area_minimal_allotment(g, P, d)) -
+           static_cast<double>(P) * d;
+  };
+  double lo = std::min(anchor_lo, lemma2);
+  double hi = anchor_hi;
+  if (excess(lo) <= 0.0) return std::max(lo, lemma2);
+  if (excess(hi) > 0.0) {
+    // Even the all-minimal-area allotment overflows P * anchor_hi: the
+    // fixed point is the area bound of that terminal allotment.
+    const double d = allotment_area(g, sched::area_minimal_allotment(
+                                           g, P, anchor_hi)) /
+                     static_cast<double>(P);
+    return std::max(d, lemma2);
+  }
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (excess(mid) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return std::max(hi, lemma2);
+}
+
+WlResult wl_canonical_schedule(const graph::TaskGraph& g, int P,
+                               int ladder_points) {
+  g.validate();
+  if (P < 1) throw std::invalid_argument("wl_canonical_schedule: P < 1");
+  if (ladder_points < 2)
+    throw std::invalid_argument(
+        "wl_canonical_schedule: ladder_points must be >= 2");
+
+  WlResult best;
+  best.makespan = std::numeric_limits<double>::infinity();
+  best.canonical_target = canonical_target(g, P);
+
+  const auto [anchor_lo, anchor_hi] = deadline_anchors(g, P);
+  (void)anchor_lo;
+  const double lo = best.canonical_target;
+  const double hi = std::max(anchor_hi, lo) * (1.0 + 1e-9);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (int i = 0; i < ladder_points; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(ladder_points - 1);
+    const double d = std::exp(log_lo + frac * (log_hi - log_lo));
+    keep_best(best, g, P, sched::area_minimal_allotment(g, P, d));
+  }
+  return best;
+}
+
+WlResult wl_compress_schedule(const graph::TaskGraph& g, int P,
+                              int max_rounds) {
+  g.validate();
+  if (P < 1) throw std::invalid_argument("wl_compress_schedule: P < 1");
+  const int n = g.num_tasks();
+  if (max_rounds == 0) max_rounds = 8 * n + 64;
+  if (max_rounds < 1)
+    throw std::invalid_argument("wl_compress_schedule: max_rounds must be >= 1");
+
+  WlResult best;
+  best.makespan = std::numeric_limits<double>::infinity();
+
+  // Start from the cheapest allotment there is (deadline = infinity
+  // selects the minimal-area point of every task, extended over
+  // area-flat plateaus).
+  auto alloc = sched::area_minimal_allotment(
+      g, P, std::numeric_limits<double>::infinity());
+  keep_best(best, g, P, alloc);
+  best.canonical_target = best.makespan;
+
+  std::vector<double> times(static_cast<std::size_t>(n));
+  for (int round = 0; round < max_rounds; ++round) {
+    for (graph::TaskId v = 0; v < n; ++v)
+      times[static_cast<std::size_t>(v)] =
+          g.model_of(v).time(alloc[static_cast<std::size_t>(v)]);
+
+    // Widen the critical-path task whose next useful allocation buys the
+    // most time per unit of extra area.
+    const auto critical = graph::critical_path_tasks(g, times);
+    graph::TaskId pick = -1;
+    int pick_procs = 0;
+    double pick_gain = 0.0;
+    for (const graph::TaskId v : critical) {
+      const auto idx = static_cast<std::size_t>(v);
+      const auto& m = g.model_of(v);
+      const int p_max = m.max_useful_procs(P);
+      const double t_now = times[idx];
+      const double a_now = m.area(alloc[idx]);
+      for (int p = alloc[idx] + 1; p <= p_max; ++p) {
+        const double t_next = m.time(p);
+        if (t_next >= t_now) continue;  // not useful: no strict speedup
+        const double extra_area =
+            std::max(m.area(p) - a_now, 1e-12 * (1.0 + a_now));
+        const double gain = (t_now - t_next) / extra_area;
+        if (pick == -1 || gain > pick_gain) {
+          pick = v;
+          pick_procs = p;
+          pick_gain = gain;
+        }
+        break;  // only the *next* useful point; later rounds go further
+      }
+    }
+    if (pick == -1) break;  // critical path fully compressed
+    alloc[static_cast<std::size_t>(pick)] = pick_procs;
+    keep_best(best, g, P, alloc);
+  }
+  return best;
+}
+
+namespace {
+
+sched::SchedulerSpec wl_spec(std::string name,
+                             WlResult (*schedule)(const graph::TaskGraph&,
+                                                  int)) {
+  sched::SchedulerSpec spec;
+  spec.name = std::move(name);
+  spec.runner = [schedule](const graph::TaskGraph& g, int P) {
+    auto r = schedule(g, P);
+    core::ScheduleResult out;
+    out.trace = std::move(r.trace);
+    out.makespan = r.makespan;
+    out.allocation = std::move(r.allocation);
+    out.ready_time.assign(static_cast<std::size_t>(g.num_tasks()), 0.0);
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace
+
+sched::SchedulerSpec wl_canonical_spec() {
+  return wl_spec("wl-canonical", [](const graph::TaskGraph& g, int P) {
+    return wl_canonical_schedule(g, P);
+  });
+}
+
+sched::SchedulerSpec wl_compress_spec() {
+  return wl_spec("wl-compress", [](const graph::TaskGraph& g, int P) {
+    return wl_compress_schedule(g, P);
+  });
+}
+
+std::vector<sched::SchedulerSpec> offline_reference_suite() {
+  std::vector<sched::SchedulerSpec> suite;
+  suite.push_back(wl_canonical_spec());
+  suite.push_back(wl_compress_spec());
+  return suite;
+}
+
+}  // namespace moldsched::opt

@@ -1,0 +1,70 @@
+// Offline reference schedulers after Wu & Loiseau, "Efficient Algorithms
+// for Scheduling Moldable Tasks" (arXiv:1609.08588), adapted from
+// independent tasks to task graphs.
+//
+// Both algorithms revolve around the *canonical allotment* gamma(v, d):
+// the cheapest (area-minimal) allocation that finishes task v within a
+// deadline d. wl-canonical first solves for the canonical target d* —
+// the fixed point where the canonical allotment's total area just fits
+// into P * d — and then list-schedules the canonical allotments of a
+// geometric deadline ladder anchored at d*. wl-compress starts from the
+// all-minimal-area allotment and repeatedly widens the most
+// area-efficient task on the current critical path, in the spirit of the
+// Wu-Loiseau local-improvement phase.
+//
+// These are the honest offline columns of the ratio tables: unlike the
+// online registry schedulers they see the whole graph up front, so their
+// makespans sit between T_opt (opt::branch_and_bound_topt, exact but
+// capped at ~20 tasks) and the online algorithms' makespans at any size.
+#pragma once
+
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/sched/registry.hpp"
+#include "moldsched/sim/trace.hpp"
+
+namespace moldsched::opt {
+
+struct WlResult {
+  sim::Trace trace;
+  double makespan = 0.0;
+  std::vector<int> allocation;
+  /// wl-canonical: the canonical target d* (area fixed point);
+  /// wl-compress: the initial all-minimal-area makespan.
+  double canonical_target = 0.0;
+  /// List schedules evaluated before settling on the returned one.
+  int evaluations = 0;
+};
+
+/// The canonical target d*: the smallest deadline whose canonical
+/// allotment gamma(d) packs into the platform, i.e. the root of
+/// area(gamma(d)) <= P * d, clamped from below by the Lemma 2 bound.
+/// Deterministic (fixed 64-step bisection).
+[[nodiscard]] double canonical_target(const graph::TaskGraph& g, int P);
+
+/// Dual-approximation flavor: bisect for d*, then evaluate the canonical
+/// allotments of a geometric ladder of `ladder_points` >= 2 deadlines
+/// from d* up to the sequential anchor, list-scheduling each with
+/// bottom-level priorities; returns the best schedule seen.
+[[nodiscard]] WlResult wl_canonical_schedule(const graph::TaskGraph& g, int P,
+                                             int ladder_points = 24);
+
+/// Local-improvement flavor: start from the minimal-area allotment and
+/// repeatedly give the most area-efficient critical-path task its next
+/// useful allocation, re-list-scheduling after each move; returns the
+/// best schedule seen. `max_rounds` == 0 derives a bound from the
+/// instance size.
+[[nodiscard]] WlResult wl_compress_schedule(const graph::TaskGraph& g, int P,
+                                            int max_rounds = 0);
+
+/// Registry specs wrapping the two schedulers ("wl-canonical",
+/// "wl-compress") so they appear as offline reference columns in every
+/// comparison table.
+[[nodiscard]] sched::SchedulerSpec wl_canonical_spec();
+[[nodiscard]] sched::SchedulerSpec wl_compress_spec();
+
+/// Both offline reference specs, in table order.
+[[nodiscard]] std::vector<sched::SchedulerSpec> offline_reference_suite();
+
+}  // namespace moldsched::opt

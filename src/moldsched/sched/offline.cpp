@@ -83,6 +83,56 @@ sim::Trace list_schedule_with_allocations(
   return trace;
 }
 
+std::vector<int> area_minimal_allotment(const graph::TaskGraph& g, int P,
+                                        double target) {
+  if (P < 1) throw std::invalid_argument("area_minimal_allotment: P < 1");
+  const int n = g.num_tasks();
+  std::vector<int> alloc(static_cast<std::size_t>(n));
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const auto& m = g.model_of(v);
+    const int p_max = m.max_useful_procs(P);
+    int chosen = p_max;
+    if (m.time(p_max) <= target) {
+      if (m.kind() == model::ModelKind::kArbitrary) {
+        // No monotonicity: scan for the smallest-area feasible point;
+        // break area ties toward the faster allocation.
+        double best_area = m.area(p_max);
+        double best_time = m.time(p_max);
+        chosen = p_max;
+        for (int p = 1; p <= p_max; ++p) {
+          const double area = m.area(p);
+          const double time = m.time(p);
+          if (time > target) continue;
+          if (area < best_area * (1.0 - 1e-12) ||
+              (area <= best_area * (1.0 + 1e-12) && time < best_time)) {
+            best_area = area;
+            best_time = time;
+            chosen = p;
+          }
+        }
+      } else {
+        int lo = 1;
+        int hi = p_max;
+        while (lo < hi) {
+          const int mid = lo + (hi - lo) / 2;
+          if (m.time(mid) <= target)
+            hi = mid;
+          else
+            lo = mid + 1;
+        }
+        chosen = lo;
+        // Parallelism that costs no area is free speed: extend while
+        // the area stays flat (e.g. the roofline plateau).
+        while (chosen < p_max &&
+               m.area(chosen + 1) <= m.area(chosen) * (1.0 + 1e-12))
+          ++chosen;
+      }
+    }
+    alloc[static_cast<std::size_t>(v)] = chosen;
+  }
+  return alloc;
+}
+
 OfflineTradeoffScheduler::OfflineTradeoffScheduler(const graph::TaskGraph& g,
                                                    int P, int sweep_points)
     : graph_(g), P_(P), sweep_points_(sweep_points) {
@@ -123,51 +173,11 @@ OfflineResult OfflineTradeoffScheduler::run() const {
     const double target = std::exp(log_lo + frac * (log_hi - log_lo));
 
     // Area-minimal allocation meeting the per-task deadline `target`.
-    std::vector<int> alloc(static_cast<std::size_t>(n));
+    auto alloc = area_minimal_allotment(graph_, P_, target);
     std::vector<double> times(static_cast<std::size_t>(n));
-    for (graph::TaskId v = 0; v < n; ++v) {
-      const auto& m = graph_.model_of(v);
-      const int p_max = m.max_useful_procs(P_);
-      int chosen = p_max;
-      if (m.time(p_max) <= target) {
-        if (m.kind() == model::ModelKind::kArbitrary) {
-          // No monotonicity: scan for the smallest-area feasible point;
-          // break area ties toward the faster allocation.
-          double best_area = m.area(p_max);
-          double best_time = m.time(p_max);
-          chosen = p_max;
-          for (int p = 1; p <= p_max; ++p) {
-            const double area = m.area(p);
-            const double time = m.time(p);
-            if (time > target) continue;
-            if (area < best_area * (1.0 - 1e-12) ||
-                (area <= best_area * (1.0 + 1e-12) && time < best_time)) {
-              best_area = area;
-              best_time = time;
-              chosen = p;
-            }
-          }
-        } else {
-          int lo = 1;
-          int hi = p_max;
-          while (lo < hi) {
-            const int mid = lo + (hi - lo) / 2;
-            if (m.time(mid) <= target)
-              hi = mid;
-            else
-              lo = mid + 1;
-          }
-          chosen = lo;
-          // Parallelism that costs no area is free speed: extend while
-          // the area stays flat (e.g. the roofline plateau).
-          while (chosen < p_max &&
-                 m.area(chosen + 1) <= m.area(chosen) * (1.0 + 1e-12))
-            ++chosen;
-        }
-      }
-      alloc[static_cast<std::size_t>(v)] = chosen;
-      times[static_cast<std::size_t>(v)] = m.time(chosen);
-    }
+    for (graph::TaskId v = 0; v < n; ++v)
+      times[static_cast<std::size_t>(v)] =
+          graph_.model_of(v).time(alloc[static_cast<std::size_t>(v)]);
 
     const auto priorities = graph::bottom_levels(graph_, times);
     auto trace = list_schedule_with_allocations(graph_, P_, alloc, priorities);

@@ -19,6 +19,16 @@ namespace moldsched::sched {
     const graph::TaskGraph& g, int P, const std::vector<int>& allocations,
     const std::vector<double>& priorities);
 
+/// Area-minimal allocation per task subject to the per-task deadline
+/// `target`: the cheapest p in [1, max_useful_procs(P)] with
+/// t(p) <= target (extended across area-flat plateaus, where extra
+/// parallelism is free speed), or the min-time allocation when nothing
+/// meets the deadline. This is the canonical allotment gamma(v, d) of
+/// the Wu-Loiseau offline algorithms (opt::) and the inner step of
+/// OfflineTradeoffScheduler's sweep.
+[[nodiscard]] std::vector<int> area_minimal_allotment(
+    const graph::TaskGraph& g, int P, double target);
+
 struct OfflineResult {
   sim::Trace trace;
   double makespan = 0.0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "moldsched/opt/oracle.hpp"
+#include "moldsched/opt/wu_loiseau.hpp"
 #include "moldsched/sched/backfill_scheduler.hpp"
 #include "moldsched/sched/baselines.hpp"
 #include "moldsched/sched/contiguous_scheduler.hpp"
@@ -107,6 +109,11 @@ std::vector<SchedulerSpec> engine_variants(double mu) {
 std::vector<SchedulerSpec> full_suite(double mu) {
   auto suite = standard_suite(mu);
   for (auto& variant : engine_variants(mu)) suite.push_back(std::move(variant));
+  // Offline reference columns (whole graph known up front). The exact
+  // oracle is *not* appended here: full_suite runs on corpus instances
+  // far beyond its ~20-task cap; resolve it via spec_by_name instead.
+  for (auto& reference : opt::offline_reference_suite())
+    suite.push_back(std::move(reference));
   return suite;
 }
 
@@ -117,6 +124,7 @@ std::vector<std::string> full_suite_names() {
 }
 
 SchedulerSpec spec_by_name(const std::string& name, double mu) {
+  if (name == "exact-topt") return opt::exact_topt_spec();
   auto suite = full_suite(mu);
   for (auto& spec : suite)
     if (spec.name == name) return std::move(spec);
@@ -126,7 +134,7 @@ SchedulerSpec spec_by_name(const std::string& name, double mu) {
     known += spec.name;
   }
   throw std::invalid_argument("spec_by_name: unknown scheduler '" + name +
-                              "' (known: " + known + ")");
+                              "' (known: " + known + ", exact-topt)");
 }
 
 }  // namespace moldsched::sched

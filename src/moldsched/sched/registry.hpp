@@ -48,15 +48,19 @@ struct SchedulerSpec {
 /// first-fit placement. Append to standard_suite for engine ablations.
 [[nodiscard]] std::vector<SchedulerSpec> engine_variants(double mu);
 
-/// standard_suite(mu) followed by engine_variants(mu) — every named
-/// scheduler configuration the experiment engine can enumerate.
+/// standard_suite(mu) followed by engine_variants(mu) and the
+/// opt:: offline reference columns (wl-canonical, wl-compress) — every
+/// named scheduler configuration the experiment engine can enumerate.
 [[nodiscard]] std::vector<SchedulerSpec> full_suite(double mu);
 
 /// Names of full_suite's specs, in suite order.
 [[nodiscard]] std::vector<std::string> full_suite_names();
 
 /// The full_suite spec with the given name, rebuilt at parameter mu.
-/// Throws std::invalid_argument listing the known names otherwise.
+/// Also resolves "exact-topt" (the opt:: branch-and-bound oracle, which
+/// is deliberately *not* part of full_suite: it only certifies instances
+/// up to ~20 tasks and throws beyond). Throws std::invalid_argument
+/// listing the known names otherwise.
 [[nodiscard]] SchedulerSpec spec_by_name(const std::string& name, double mu);
 
 }  // namespace moldsched::sched

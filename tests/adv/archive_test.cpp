@@ -60,9 +60,30 @@ TEST(ReproRecordTest, EncodeDecodeRoundTripIsLossless) {
   EXPECT_EQ(back.reference_makespan, r.reference_makespan);
   EXPECT_EQ(back.fixed_ratio, r.fixed_ratio);
   EXPECT_EQ(back.note, r.note);
+  // An empty denominator encodes resolved to the reference scheduler.
+  EXPECT_EQ(back.denominator, r.reference);
   EXPECT_EQ(svc::encode_graph(back.graph), svc::encode_graph(r.graph));
   // Encoding is idempotent: re-encoding the decoded record is byte-equal.
   EXPECT_EQ(encode_record(back), line);
+}
+
+TEST(ReproRecordTest, DenominatorRoundTripsAndLegacyLinesDecode) {
+  auto r = sample_record();
+  r.denominator = "exact-topt";
+  const auto line = encode_record(r);
+  const auto back = decode_record(line);
+  EXPECT_EQ(back.denominator, "exact-topt");
+  EXPECT_EQ(back.denominator_scheduler(), "exact-topt");
+
+  // Archives written before the field existed lack it entirely; they
+  // must still decode, resolving the denominator to the reference.
+  auto legacy = encode_record(sample_record());
+  const auto pos = legacy.find(",\"denominator\":\"lpa\"");
+  ASSERT_NE(pos, std::string::npos) << legacy;
+  legacy.erase(pos, std::string(",\"denominator\":\"lpa\"").size());
+  const auto old = decode_record(legacy);
+  EXPECT_TRUE(old.denominator.empty());
+  EXPECT_EQ(old.denominator_scheduler(), "lpa");
 }
 
 TEST(ReproRecordTest, DecodeRejectsMalformedRecords) {
@@ -117,6 +138,7 @@ TEST(ReplayRecordTest, ReplayIsBitIdenticalForTargetAndReference) {
                           .run(r.graph, r.P).makespan;
   r.reference_makespan = sched::spec_by_name(r.reference, r.mu)
                              .run(r.graph, r.P).makespan;
+  r.ratio = r.target_makespan / r.reference_makespan;
   const auto rt = decode_record(encode_record(r));
 
   const auto target_out = replay_record(rt);  // empty = target
@@ -127,6 +149,13 @@ TEST(ReplayRecordTest, ReplayIsBitIdenticalForTargetAndReference) {
   EXPECT_EQ(target_out.makespan, r.target_makespan);
   EXPECT_GT(target_out.lower_bound, 0.0);
   EXPECT_GE(target_out.ratio_to_lb, 1.0 - 1e-12);
+  // The archived objective is re-derived from the recorded denominator
+  // scheduler and must reproduce the ratio to the bit.
+  EXPECT_TRUE(target_out.ratio_checked);
+  EXPECT_EQ(target_out.denominator, r.reference);
+  EXPECT_EQ(target_out.denominator_makespan, r.reference_makespan);
+  EXPECT_TRUE(target_out.ratio_bit_identical)
+      << target_out.replayed_ratio << " vs " << r.ratio;
 
   const auto ref_out = replay_record(rt, r.reference);
   EXPECT_TRUE(ref_out.checked);
@@ -142,6 +171,35 @@ TEST(ReplayRecordTest, ReplayIsBitIdenticalForTargetAndReference) {
 
   EXPECT_THROW((void)replay_record(rt, "no-such-scheduler"),
                std::invalid_argument);
+}
+
+TEST(ReplayRecordTest, ExactToptDenominatorIsReplayedAndVerified) {
+  auto r = sample_record();
+  r.denominator = "exact-topt";
+  r.target_makespan = sched::spec_by_name(r.target, r.mu)
+                          .run(r.graph, r.P).makespan;
+  const double t_opt =
+      sched::spec_by_name("exact-topt", r.mu).run(r.graph, r.P).makespan;
+  ASSERT_GT(t_opt, 0.0);
+  r.ratio = r.target_makespan / t_opt;
+  const auto rt = decode_record(encode_record(r));
+
+  const auto out = replay_record(rt);
+  EXPECT_TRUE(out.checked);
+  EXPECT_TRUE(out.bit_identical);
+  EXPECT_TRUE(out.ratio_checked);
+  EXPECT_EQ(out.denominator, "exact-topt");
+  // The oracle is deterministic, so the exact objective reproduces too.
+  EXPECT_EQ(out.denominator_makespan, t_opt);
+  EXPECT_TRUE(out.ratio_bit_identical)
+      << out.replayed_ratio << " vs " << r.ratio;
+
+  // A doctored ratio is caught rather than silently re-reported.
+  auto bad = rt;
+  bad.ratio = rt.ratio * (1.0 + 1e-9);
+  const auto caught = replay_record(bad);
+  EXPECT_TRUE(caught.ratio_checked);
+  EXPECT_FALSE(caught.ratio_bit_identical);
 }
 
 TEST(ArchiveBufferTest, DrainsSortedByJobIdAndEmpties) {

@@ -1,0 +1,140 @@
+// Golden pins of the *true* competitive ratios T / T_opt over the
+// frozen opt::small_corpus(), alongside the T_opt and Lemma 2 values
+// themselves. The corpus is append-only and every producer involved is
+// deterministic, so these values are stable to far better than the 1e-9
+// pin tolerance; a drift means scheduler or oracle behavior changed.
+//
+// Why pin both denominators: a T/LB pin stays green while a scheduler
+// regresses by up to the LB's slack (T_opt / LB below — up to ~1.27 on
+// this corpus, e.g. sampled-er-arbitrary at 3.0618 vs LB 2.4147). The
+// T/T_opt pins have no such blind spot.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/analysis/experiment.hpp"
+#include "moldsched/opt/oracle.hpp"
+#include "moldsched/sched/registry.hpp"
+
+namespace moldsched::analysis {
+namespace {
+
+struct GoldenPin {
+  const char* instance;
+  int P;
+  double t_opt;      ///< certified exact optimum
+  double lemma2_lb;  ///< max(A_min / P, C_min) — note the slack vs t_opt
+  // True ratios T / T_opt for a representative column set: the paper's
+  // online algorithm, the greedy baseline, and both offline references.
+  double lpa;
+  double min_time;
+  double wl_canonical;
+  double wl_compress;
+};
+
+// Regenerate (after an intentional corpus or scheduler change) by
+// printing "%.17g" from a loop over opt::small_corpus() with
+// opt::exact_topt and sched::spec_by_name at each instance's mu.
+constexpr GoldenPin kPins[] = {
+    {"chain-amdahl", 4, 7.375, 7.375,
+     1.728813559322034, 1.0, 2.7118644067796609, 1.0},
+    {"forkjoin-roofline", 6, 6.25, 6.25,
+     1.1200000000000001, 1.1066666666666667, 1.1066666666666667,
+     1.1066666666666667},
+    {"diamond-comm", 4, 7.8499999999999996, 6.75,
+     2.1656050955414012, 1.1528662420382165, 1.910828025477707,
+     1.1592356687898089},
+    {"independent-mixed", 3, 12.550000000000001, 12.183333333333332,
+     1.1394422310756973, 1.201859229747676, 1.0756972111553784,
+     1.0756972111553784},
+    {"ladder-general", 5, 8.5500000000000007, 7.3200000000000003,
+     1.2865497076023391, 1.1929824561403508, 2.4327485380116958,
+     1.0818713450292397},
+    {"table-tree", 4, 9.6999999999999993, 8.125,
+     1.2371134020618557, 1.4226804123711341, 1.8041237113402062,
+     1.1649484536082475},
+    {"sampled-layered-roofline", 5, 602.96364577095994, 583.04115328369187,
+     1.2921137861360585, 1.1248289048243885, 1.1248289048243885,
+     1.1248289048243885},
+    {"sampled-forkjoin-amdahl", 4, 335.47145162139907, 314.12487622724399,
+     1.4981053664682948, 1.0, 1.6087293245192418, 1.1236140750178438},
+    {"sampled-sp-comm", 6, 861.12446319399749, 861.1244631939976,
+     1.8649963840775041, 1.0834820218133889, 2.4410002385450942, 1.0},
+    {"sampled-outtree-general", 5, 1229.9570428114157, 1229.9570428114157,
+     1.1202809389271282, 1.3035366045020937, 1.3870351613784166, 1.0},
+    // The arbitrary-speedup instance is the corpus's cautionary tale:
+    // LPA's true ratio is 18x while both offline references hit the
+    // optimum — kArbitrary has no online guarantee (Theorem 9).
+    {"sampled-er-arbitrary", 4, 3.061752510583772, 2.414739743558969,
+     18.004834371998676, 1.0450409593000578, 1.0, 1.0},
+    {"sampled-diamond-amdahl", 8, 394.42497890498379, 386.55484007939742,
+     1.8973460565074527, 1.0314021192188201, 2.214556590598634,
+     1.0183149379649949},
+};
+
+const opt::SmallInstance* find_instance(
+    const std::vector<opt::SmallInstance>& corpus, const std::string& name) {
+  for (const auto& inst : corpus)
+    if (inst.name == name) return &inst;
+  return nullptr;
+}
+
+TEST(TrueRatioGoldenTest, EveryFrozenInstanceIsPinned) {
+  const auto corpus = opt::small_corpus();
+  // Append-only: every pin resolves, and any *new* corpus instance
+  // should gain a pin when added (checked loosely — the pin table must
+  // not fall behind by more than the instances added in one change).
+  EXPECT_GE(corpus.size(), std::size(kPins));
+  for (const auto& pin : kPins)
+    EXPECT_NE(find_instance(corpus, pin.instance), nullptr) << pin.instance;
+}
+
+TEST(TrueRatioGoldenTest, ToptAndLowerBoundPinsHold) {
+  const auto corpus = opt::small_corpus();
+  for (const auto& pin : kPins) {
+    const auto* inst = find_instance(corpus, pin.instance);
+    ASSERT_NE(inst, nullptr) << pin.instance;
+    ASSERT_EQ(inst->P, pin.P) << pin.instance;
+    const auto t_opt = opt::exact_topt(inst->graph, inst->P);
+    ASSERT_TRUE(t_opt.has_value()) << pin.instance;
+    EXPECT_NEAR(*t_opt, pin.t_opt, 1e-9 * pin.t_opt) << pin.instance;
+    const double lb = optimal_makespan_lower_bound(inst->graph, inst->P);
+    EXPECT_NEAR(lb, pin.lemma2_lb, 1e-9 * pin.lemma2_lb) << pin.instance;
+    // The documented slack: T_opt sits on or above the Lemma 2 proxy,
+    // never below.
+    EXPECT_GE(*t_opt, lb * (1.0 - 1e-9)) << pin.instance;
+  }
+}
+
+TEST(TrueRatioGoldenTest, TrueRatioPinsHoldAt1em9) {
+  const auto corpus = opt::small_corpus();
+  const struct {
+    const char* name;
+    double GoldenPin::*column;
+  } schedulers[] = {{"lpa", &GoldenPin::lpa},
+                    {"min-time", &GoldenPin::min_time},
+                    {"wl-canonical", &GoldenPin::wl_canonical},
+                    {"wl-compress", &GoldenPin::wl_compress}};
+  for (const auto& pin : kPins) {
+    const auto* inst = find_instance(corpus, pin.instance);
+    ASSERT_NE(inst, nullptr) << pin.instance;
+    for (const auto& [name, column] : schedulers) {
+      const auto m = measure_scheduler(
+          inst->graph, inst->P, sched::spec_by_name(name, inst->mu),
+          pin.t_opt);
+      EXPECT_NEAR(m.ratio_vs_opt, pin.*column, 1e-9 * pin.*column)
+          << pin.instance << " / " << name;
+      // Internal consistency of the measurement: the true ratio always
+      // sits at or below the LB-denominated one, and never below 1.
+      EXPECT_GE(m.ratio_vs_opt, 1.0 - 1e-12) << pin.instance;
+      EXPECT_LE(m.ratio_vs_opt, m.ratio_vs_lb * (1.0 + 1e-12))
+          << pin.instance;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::analysis

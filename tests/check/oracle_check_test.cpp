@@ -1,0 +1,90 @@
+// Unit tests of the exact-oracle differential: the sandwich holds on
+// honest suites, a scheduler that (impossibly) beats the optimum is
+// called out, and the report knows whether the brute-force arbiter and
+// the certificate actually ran.
+#include "moldsched/check/oracle_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/opt/oracle.hpp"
+
+namespace moldsched::check {
+namespace {
+
+graph::TaskGraph small_fork() {
+  graph::TaskGraph g;
+  const auto src =
+      g.add_task(std::make_shared<model::RooflineModel>(2.0, 2), "src");
+  const auto a =
+      g.add_task(std::make_shared<model::AmdahlModel>(6.0, 0.5), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::RooflineModel>(4.0, 3), "b");
+  g.add_edge(src, a);
+  g.add_edge(src, b);
+  return g;
+}
+
+TEST(OracleCheckTest, FullSuitePassesOnATinyInstance) {
+  const auto report = exact_oracle_check(small_fork(), 4, 0.3);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.certified);
+  // 3 tasks <= the default brute cap, so the arbiter must have run.
+  EXPECT_TRUE(report.brute_checked);
+  EXPECT_GT(report.t_opt, 0.0);
+  EXPECT_GE(report.t_opt, report.lower_bound * (1.0 - 1e-9));
+  EXPECT_NE(report.to_string().find("OK"), std::string::npos);
+}
+
+TEST(OracleCheckTest, SchedulerBeatingTheOptimumIsAMismatch) {
+  const auto g = small_fork();
+  // A fabricated "scheduler" that claims an impossibly small makespan;
+  // both the Lemma 2 and the certified-optimum relations must fire.
+  sched::SchedulerSpec cheat;
+  cheat.name = "cheat";
+  cheat.runner = [](const graph::TaskGraph& gr, int P) {
+    (void)P;
+    core::ScheduleResult r;
+    for (graph::TaskId v = 0; v < gr.num_tasks(); ++v) {
+      r.trace.record_start(v, 0.0, 1);
+      r.allocation.push_back(1);
+      r.ready_time.push_back(0.0);
+    }
+    for (graph::TaskId v = 0; v < gr.num_tasks(); ++v)
+      r.trace.record_end(v, 1e-3);
+    r.makespan = 1e-3;
+    return r;
+  };
+  const auto report = exact_oracle_check(g, 4, {cheat});
+  EXPECT_FALSE(report.ok());
+  bool named = false;
+  for (const auto& m : report.mismatches)
+    if (m.find("cheat") != std::string::npos) named = true;
+  EXPECT_TRUE(named) << report.to_string();
+  EXPECT_NE(report.to_string().find("MISMATCH"), std::string::npos);
+}
+
+TEST(OracleCheckTest, OverCapInstancesAreNotCertified) {
+  graph::TaskGraph big;
+  for (int i = 0; i < opt::oracle_defaults().max_tasks + 1; ++i)
+    (void)big.add_task(std::make_shared<model::RooflineModel>(1.0, 1));
+  const auto report = exact_oracle_check(big, 4, 0.3);
+  EXPECT_FALSE(report.certified);
+  EXPECT_FALSE(report.brute_checked);
+  // The Lemma 2 side of the sandwich still ran and still holds.
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.lower_bound, 0.0);
+}
+
+TEST(OracleCheckTest, BruteArbiterSkippedAboveItsCap) {
+  const auto report =
+      exact_oracle_check(small_fork(), 4, 0.3, /*brute_force_max_tasks=*/2);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.certified);
+  EXPECT_FALSE(report.brute_checked);
+}
+
+}  // namespace
+}  // namespace moldsched::check

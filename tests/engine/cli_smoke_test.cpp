@@ -125,7 +125,7 @@ TEST_F(CliSmokeTest, ListAndDryRunModes) {
   const auto listing = read_file(dir_ / "stdout.log");
   for (const char* name : {"table1", "ratio-curves", "random-dags",
                            "workflows", "resilience", "selfcheck", "release",
-                           "pisa"})
+                           "pisa", "exact"})
     EXPECT_NE(listing.find(name), std::string::npos) << name;
 
   ASSERT_EQ(run_cli("--suite release --dry-run --repeats 1"), 0);
@@ -347,6 +347,57 @@ TEST_F(CliSmokeTest, PisaSuiteIsDeterministicAndReplayVerifies) {
 
   // A missing archive is a hard error, not a silent success.
   EXPECT_NE(run_cli("--replay " + (dir_ / "no-such.jsonl").string()), 0);
+}
+
+TEST_F(CliSmokeTest, ExactSuiteEmitsTrueRatioCorpusReport) {
+  ASSERT_EQ(run_cli("--suite exact --repeats 1 --threads 2"), 0)
+      << read_file(dir_ / "stderr.log");
+
+  // One job per (frozen instance x (registry column + oracle)), all ok.
+  std::ifstream jsonl(dir_ / "results" / "exact.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  std::size_t oracle_records = 0;
+  std::size_t certified = 0;
+  while (std::getline(jsonl, line)) {
+    const auto problem = validate_record_line(line);
+    EXPECT_EQ(problem, std::nullopt) << line;
+    if (!problem) {
+      const auto rec = parse_record_line(line);
+      EXPECT_EQ(rec.status, "ok") << rec.error;
+      if (rec.spec.scheduler == "oracle") {
+        ++oracle_records;
+        for (const auto& [name, value] : rec.metrics)
+          if (name == "certified" && value == 1.0) ++certified;
+      }
+    }
+    ++records;
+  }
+  EXPECT_GT(oracle_records, 0u);
+  // Every frozen corpus instance must certify: the suite exists to
+  // provide true denominators, not brackets.
+  EXPECT_EQ(certified, oracle_records);
+  EXPECT_EQ(records % oracle_records, 0u);
+
+  const auto csv = read_file(dir_ / "results" / "exact_true_ratios.csv");
+  EXPECT_NE(csv.find("ratio_vs_opt"), std::string::npos);
+  EXPECT_NE(csv.find("chain-amdahl"), std::string::npos);
+  const auto report = read_file(dir_ / "results" / "exact_report.md");
+  EXPECT_NE(report.find("# Exact suite"), std::string::npos);
+  EXPECT_NE(report.find("T/T_opt"), std::string::npos);
+  EXPECT_NE(report.find("LB slack"), std::string::npos);
+
+  // A true ratio can never undercut 1: every makespan is feasible.
+  std::istringstream rows(csv);
+  std::string row;
+  std::getline(rows, row);  // header
+  while (std::getline(rows, row)) {
+    const auto cells = split_csv_line(row);
+    ASSERT_EQ(cells.size(), 7u) << row;
+    const double ratio_opt = std::strtod(cells[6].c_str(), nullptr);
+    EXPECT_GE(ratio_opt, 1.0 - 1e-12) << row;
+  }
 }
 
 TEST_F(CliSmokeTest, QuietStillPrintsSummaryFooterAndWrotePaths) {

@@ -1,0 +1,129 @@
+// Unit tests of the oracle convenience layer: exact_topt caps and
+// values, the "exact-topt" registry spec's refusal semantics, and the
+// shape invariants of the frozen small-instance corpus.
+#include "moldsched/opt/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/sim/validator.hpp"
+
+namespace moldsched::opt {
+namespace {
+
+graph::TaskGraph two_task_chain() {
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::RooflineModel>(8.0, 4), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::RooflineModel>(6.0, 2), "b");
+  g.add_edge(a, b);
+  return g;
+}
+
+graph::TaskGraph chain_of(int n) {
+  graph::TaskGraph g;
+  graph::TaskId prev = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto v =
+        g.add_task(std::make_shared<model::RooflineModel>(2.0, 2));
+    if (i > 0) g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+TEST(OracleTest, DefaultsAreNodeBudgetOnly) {
+  const auto d = oracle_defaults();
+  EXPECT_EQ(d.max_tasks, 20);
+  EXPECT_GT(d.node_budget, 0);
+  // Wall-clock budgets would make certification machine-dependent; the
+  // test tier must be deterministic, so only the node budget limits it.
+  EXPECT_EQ(d.time_budget_s, 0.0);
+}
+
+TEST(OracleTest, ExactToptMatchesTheRawSearch) {
+  const auto g = two_task_chain();
+  const auto value = exact_topt(g, 4);
+  ASSERT_TRUE(value.has_value());
+  const auto raw = branch_and_bound_topt(g, 4, oracle_defaults());
+  ASSERT_EQ(raw.status, BnbStatus::kExact);
+  EXPECT_EQ(*value, raw.makespan);
+  EXPECT_DOUBLE_EQ(*value, 8.0 / 4.0 + 6.0 / 2.0);
+}
+
+TEST(OracleTest, OverCapInstancesYieldNulloptNotThrow) {
+  const auto big = chain_of(oracle_defaults().max_tasks + 1);
+  EXPECT_EQ(exact_topt(big, 4), std::nullopt);
+  EXPECT_THROW((void)exact_topt(two_task_chain(), 0), std::invalid_argument);
+}
+
+TEST(OracleTest, SpecRunsInCapsAndRefusesOverCaps) {
+  const auto spec = exact_topt_spec();
+  EXPECT_EQ(spec.name, "exact-topt");
+  const auto g = two_task_chain();
+  const auto result = spec.run(g, 4);
+  EXPECT_DOUBLE_EQ(result.makespan, 8.0 / 4.0 + 6.0 / 2.0);
+  const auto report = sim::validate_schedule(g, result.trace, 4);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Refusal, not garbage: over-cap instances throw, which
+  // adv::evaluate_ratio maps to a refused candidate.
+  const auto big = chain_of(oracle_defaults().max_tasks + 1);
+  EXPECT_THROW((void)spec.run(big, 4), std::invalid_argument);
+
+  // A starved budget truncates the proof; the spec must refuse rather
+  // than present a non-optimal incumbent as T_opt.
+  BnbOptions starved = oracle_defaults();
+  starved.node_budget = 1;
+  EXPECT_THROW((void)exact_topt_spec(starved).run(g, 4), std::runtime_error);
+}
+
+TEST(OracleTest, SmallCorpusShapeIsFrozen) {
+  const auto corpus = small_corpus();
+  // Append-only by convention: this count only ever grows.
+  ASSERT_GE(corpus.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& inst : corpus) {
+    EXPECT_TRUE(names.insert(inst.name).second)
+        << "duplicate instance name " << inst.name;
+    EXPECT_GE(inst.graph.num_tasks(), 2);
+    EXPECT_LE(inst.graph.num_tasks(), oracle_defaults().max_tasks);
+    EXPECT_GE(inst.P, 2);
+    EXPECT_LE(inst.P, oracle_defaults().max_procs);
+    EXPECT_GT(inst.mu, 0.0);
+    EXPECT_LT(inst.mu, 0.5);
+    EXPECT_NO_THROW(inst.graph.validate()) << inst.name;
+  }
+  // The corpus is deterministic: a second materialization is identical
+  // instance for instance.
+  const auto again = small_corpus();
+  ASSERT_EQ(again.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(again[i].name, corpus[i].name);
+    EXPECT_EQ(again[i].P, corpus[i].P);
+    EXPECT_EQ(again[i].graph.num_tasks(), corpus[i].graph.num_tasks());
+  }
+}
+
+TEST(OracleTest, EveryCorpusInstanceCertifies) {
+  // The whole point of the frozen corpus: each instance solves to
+  // kExact within oracle_defaults, so golden T/T_opt pins exist for all
+  // of them. A budget blowout here means a corpus change broke that.
+  for (const auto& inst : small_corpus()) {
+    const auto value = exact_topt(inst.graph, inst.P);
+    ASSERT_TRUE(value.has_value()) << inst.name;
+    EXPECT_GE(*value, analysis::optimal_makespan_lower_bound(
+                          inst.graph, inst.P) *
+                          (1.0 - 1e-9))
+        << inst.name;
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::opt

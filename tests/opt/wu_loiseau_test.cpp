@@ -1,0 +1,106 @@
+// Unit tests of the Wu-Loiseau offline reference schedulers: the
+// canonical target sits at or above the Lemma 2 bound, both schedulers
+// produce valid schedules that the exact oracle sandwiches from below,
+// and the registry specs expose them as ordinary columns.
+#include "moldsched/opt/wu_loiseau.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "moldsched/analysis/bounds.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/opt/bnb.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::opt {
+namespace {
+
+graph::TaskGraph small_workload(std::uint64_t seed, int P) {
+  util::Rng rng(seed);
+  const model::ModelSampler sampler(model::ModelKind::kAmdahl);
+  const auto provider = graph::sampling_provider(sampler, rng, P);
+  return graph::layered_random(4, 1, 3, 0.4, rng, provider);
+}
+
+TEST(WuLoiseauTest, CanonicalTargetDominatesLemma2) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = small_workload(seed, 6);
+    const double d_star = canonical_target(g, 6);
+    const double lb = analysis::optimal_makespan_lower_bound(g, 6);
+    EXPECT_GE(d_star, lb * (1.0 - 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(WuLoiseauTest, SchedulesAreValidAndAboveTheLowerBound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = small_workload(seed, 6);
+    const double lb = analysis::optimal_makespan_lower_bound(g, 6);
+    for (const auto* name : {"wl-canonical", "wl-compress"}) {
+      const auto r = std::string(name) == "wl-canonical"
+                         ? wl_canonical_schedule(g, 6)
+                         : wl_compress_schedule(g, 6);
+      EXPECT_GE(r.makespan, lb * (1.0 - 1e-9)) << name << " seed " << seed;
+      EXPECT_GT(r.evaluations, 0) << name;
+      const auto report = sim::validate_schedule(g, r.trace, 6);
+      EXPECT_TRUE(report.ok()) << name << " seed " << seed << "\n"
+                               << report.to_string();
+      ASSERT_EQ(r.allocation.size(),
+                static_cast<std::size_t>(g.num_tasks()));
+      for (const int p : r.allocation) {
+        EXPECT_GE(p, 1) << name;
+        EXPECT_LE(p, 6) << name;
+      }
+    }
+  }
+}
+
+TEST(WuLoiseauTest, ExactOptimumSandwichesBothFromBelow) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = small_workload(seed, 4);
+    const auto bnb = branch_and_bound_topt(g, 4);
+    ASSERT_EQ(bnb.status, BnbStatus::kExact) << "seed " << seed;
+    EXPECT_GE(wl_canonical_schedule(g, 4).makespan,
+              bnb.makespan * (1.0 - 1e-12))
+        << "seed " << seed;
+    EXPECT_GE(wl_compress_schedule(g, 4).makespan,
+              bnb.makespan * (1.0 - 1e-12))
+        << "seed " << seed;
+  }
+}
+
+TEST(WuLoiseauTest, CompressNeverWorseThanItsStartingPoint) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = small_workload(seed, 8);
+    const auto r = wl_compress_schedule(g, 8);
+    // canonical_target carries the initial all-minimal-area makespan;
+    // each accepted widening strictly improved the list schedule.
+    EXPECT_LE(r.makespan, r.canonical_target * (1.0 + 1e-12))
+        << "seed " << seed;
+  }
+}
+
+TEST(WuLoiseauTest, RegistrySpecsRunAsOrdinaryColumns) {
+  const auto suite = offline_reference_suite();
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[0].name, "wl-canonical");
+  EXPECT_EQ(suite[1].name, "wl-compress");
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(4.0, 0.5), "b");
+  g.add_edge(a, b);
+  for (const auto& spec : suite) {
+    const auto result = spec.run(g, 4);
+    EXPECT_GT(result.makespan, 0.0) << spec.name;
+    EXPECT_EQ(result.trace.records().size(), 2u) << spec.name;
+    EXPECT_EQ(result.allocation.size(), 2u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::opt

@@ -67,15 +67,35 @@ TEST(RegistryTest, MisconfiguredSpecErrorNamesTheSpec) {
   }
 }
 
-TEST(RegistryTest, FullSuiteConcatenatesStandardAndVariants) {
+TEST(RegistryTest, FullSuiteConcatenatesStandardVariantsAndReferences) {
   const auto suite = full_suite(0.3);
   const auto standard = standard_suite(0.3);
   const auto variants = engine_variants(0.3);
-  ASSERT_EQ(suite.size(), standard.size() + variants.size());
+  // standard + engine variants + the opt:: offline reference columns
+  // (wl-canonical, wl-compress). The exact oracle is deliberately not a
+  // column: full_suite must stay runnable on corpus-sized instances.
+  ASSERT_EQ(suite.size(), standard.size() + variants.size() + 2u);
+  EXPECT_EQ(suite[suite.size() - 2].name, "wl-canonical");
+  EXPECT_EQ(suite[suite.size() - 1].name, "wl-compress");
   const auto names = full_suite_names();
   ASSERT_EQ(names.size(), suite.size());
   for (std::size_t i = 0; i < suite.size(); ++i)
     EXPECT_EQ(names[i], suite[i].name);
+}
+
+TEST(RegistryTest, SpecByNameResolvesExactOracleOutsideFullSuite) {
+  for (const auto& name : full_suite_names()) EXPECT_NE(name, "exact-topt");
+  const auto spec = spec_by_name("exact-topt", 0.3);
+  EXPECT_EQ(spec.name, "exact-topt");
+  graph::TaskGraph g;
+  const auto a =
+      g.add_task(std::make_shared<model::AmdahlModel>(8.0, 1.0), "a");
+  const auto b =
+      g.add_task(std::make_shared<model::AmdahlModel>(4.0, 0.5), "b");
+  g.add_edge(a, b);
+  const auto result = spec.run(g, 4);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.trace.records().size(), 2u);
 }
 
 TEST(RegistryTest, SpecByNameFindsEverySuiteMember) {

@@ -121,7 +121,7 @@ int run_replay(const std::string& path, const std::string& scheduler) {
   }
   int failures = 0;
   util::Table t({"record", "pair", "P", "tasks", "scheduler", "makespan",
-                 "T/LB", "valid", "bit-identical"});
+                 "T/LB", "valid", "bit-identical", "ratio vs"});
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& rec = records[i];
     std::vector<std::string> names;
@@ -131,7 +131,8 @@ int run_replay(const std::string& path, const std::string& scheduler) {
       names = {rec.target, rec.reference};
     for (const auto& name : names) {
       const auto out = adv::replay_record(rec, name);
-      const bool pass = out.valid && (!out.checked || out.bit_identical);
+      const bool pass = out.valid && (!out.checked || out.bit_identical) &&
+                        (!out.ratio_checked || out.ratio_bit_identical);
       if (!pass) ++failures;
       t.new_row()
           .cell(static_cast<long>(i))
@@ -142,7 +143,11 @@ int run_replay(const std::string& path, const std::string& scheduler) {
           .cell(out.makespan, 6)
           .cell(out.ratio_to_lb, 3)
           .cell(out.valid ? "yes" : "NO")
-          .cell(out.checked ? (out.bit_identical ? "yes" : "NO") : "-");
+          .cell(out.checked ? (out.bit_identical ? "yes" : "NO") : "-")
+          .cell(out.ratio_checked
+                    ? out.denominator +
+                          (out.ratio_bit_identical ? " ok" : " MISMATCH")
+                    : "-");
       if (!out.valid)
         std::cerr << "replay: record " << i << " (" << out.scheduler
                   << "): invalid schedule\n"
@@ -152,6 +157,11 @@ int run_replay(const std::string& path, const std::string& scheduler) {
                   << "): makespan " << out.makespan
                   << " differs from archived " << out.recorded_makespan
                   << '\n';
+      if (out.ratio_checked && !out.ratio_bit_identical)
+        std::cerr << "replay: record " << i << " (" << out.scheduler << " / "
+                  << out.denominator << "): replayed ratio "
+                  << out.replayed_ratio << " differs from archived "
+                  << rec.ratio << '\n';
     }
   }
   t.print(std::cout, "replay of " + path +
