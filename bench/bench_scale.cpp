@@ -1,0 +1,266 @@
+// Scale-tier benchmark for the million-task graph engine, emitting a
+// machine-readable BENCH_scale.json.
+//
+// Like bench_hot_paths this is a plain executable that owns its output
+// format so CI can assert the recorded guards. Per tier it builds a
+// layered_uniform DAG (exact-reserved CSR build), runs the full online
+// scheduler + simulator end to end, validates the schedule, and checks
+// the critical-path lower bound. The JSON records, per tier:
+//   * build_tasks_per_s     — graph construction + CSR adjacency build
+//   * schedule_tasks_per_s  — core::schedule_online end to end
+//   * graph_bytes           — TaskGraph::memory_bytes() after the build
+//   * peak_rss_bytes        — VmHWM high-water mark after the tier
+// and two guard verdicts on the largest tier run:
+//   * schedule_tasks_per_s >= --floor  (tasks/second floor)
+//   * peak_rss_bytes       <= --rss-ceiling
+// The process exits nonzero when a guard fails, so CI needs no parser
+// to enforce them (it still uploads the JSON for trend tracking).
+//
+// Usage: bench_scale [--max-tasks N] [--out PATH] [--rounds R]
+//                    [--floor TASKS_PER_S] [--rss-ceiling BYTES] [--procs P]
+// Default --max-tasks is 10^5 (smoke); the nightly scale job passes
+// 10^7. Tiers run at 10^5, 10^6, 10^7 up to --max-tasks.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/passes.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/obs/process_stats.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/flags.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace {
+
+namespace graph = moldsched::graph;
+namespace model = moldsched::model;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TierShape {
+  long tasks;
+  int layers;
+  int width;
+  int degree;
+};
+
+/// Layer shapes chosen so every tier has both parallelism (width >> P)
+/// and depth (hundreds of scheduling waves).
+constexpr TierShape kTiers[] = {
+    {100'000, 100, 1'000, 2},
+    {1'000'000, 500, 2'000, 2},
+    {10'000'000, 2'000, 5'000, 2},
+};
+
+struct TierResult {
+  TierShape shape{};
+  std::size_t edges = 0;
+  double build_s = 0.0;
+  double schedule_s = 0.0;
+  double makespan = 0.0;
+  double lower_bound = 0.0;
+  std::size_t graph_bytes = 0;
+  double peak_rss_bytes = 0.0;
+
+  [[nodiscard]] double build_tasks_per_s() const {
+    return build_s > 0.0 ? static_cast<double>(shape.tasks) / build_s : 0.0;
+  }
+  [[nodiscard]] double schedule_tasks_per_s() const {
+    return schedule_s > 0.0 ? static_cast<double>(shape.tasks) / schedule_s
+                            : 0.0;
+  }
+};
+
+/// A pool of distinct Eq. (1) models cycled across tasks: enough variety
+/// that the decision cache works like it does on real mixed workloads
+/// (one entry per distinct model) instead of degenerating to a single
+/// all-hits entry.
+graph::ModelProvider pooled_provider(int pool_size, std::uint64_t seed) {
+  moldsched::util::Rng rng(seed);
+  auto pool = std::make_shared<std::vector<model::ModelPtr>>();
+  pool->reserve(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    model::GeneralParams params;
+    params.w = rng.log_uniform(1.0, 100.0);
+    params.d = rng.log_uniform(0.01, 1.0);
+    params.c = rng.log_uniform(1e-4, 1e-2);
+    params.pbar = static_cast<int>(rng.uniform_int(4, 256));
+    pool->push_back(std::make_shared<model::GeneralModel>(params));
+  }
+  auto next = std::make_shared<std::size_t>(0);
+  return [pool, next] {
+    const auto& m = (*pool)[*next % pool->size()];
+    ++*next;
+    return m;
+  };
+}
+
+TierResult run_tier(const TierShape& shape, int P, int rounds,
+                    bool check_bits) {
+  TierResult r;
+  r.shape = shape;
+
+  double best_build = std::numeric_limits<double>::infinity();
+  double best_sched = std::numeric_limits<double>::infinity();
+  double first_makespan = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const double t0 = now_s();
+    const auto g = graph::layered_uniform(shape.layers, shape.width,
+                                          shape.degree, /*seed=*/7,
+                                          pooled_provider(64, 11));
+    g.build_adjacency();
+    const double t1 = now_s();
+
+    const moldsched::core::LpaAllocator lpa(0.25);
+    const auto cache = std::make_shared<moldsched::core::DecisionCache>();
+    const moldsched::core::CachingAllocator cached(lpa, cache);
+    const double t2 = now_s();
+    const auto result = moldsched::core::schedule_online(g, P, cached);
+    const double t3 = now_s();
+
+    if (round == 0) {
+      r.edges = g.num_edges();
+      r.graph_bytes = g.memory_bytes();
+      first_makespan = result.makespan;
+      moldsched::sim::expect_valid_schedule(g, result.trace, P);
+      const auto weights = graph::passes::min_time_weights(g, P);
+      r.lower_bound = graph::passes::critical_path(g, weights).length;
+      if (result.makespan < r.lower_bound) {
+        throw std::logic_error("bench_scale: makespan " +
+                               std::to_string(result.makespan) +
+                               " below critical-path bound " +
+                               std::to_string(r.lower_bound));
+      }
+    } else if (check_bits && result.makespan != first_makespan) {
+      throw std::logic_error("bench_scale: makespan not bit-identical across "
+                             "rounds");
+    }
+    r.makespan = result.makespan;
+    best_build = std::min(best_build, t1 - t0);
+    best_sched = std::min(best_sched, t3 - t2);
+  }
+  r.build_s = best_build;
+  r.schedule_s = best_sched;
+  r.peak_rss_bytes = moldsched::obs::read_peak_rss_bytes();
+  return r;
+}
+
+std::string to_json(const std::vector<TierResult>& tiers, int P, int rounds,
+                    double floor_tps, double rss_ceiling, bool floor_ok,
+                    bool rss_ok) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n  \"bench\": \"scale\",\n  \"procs\": " << P
+     << ",\n  \"rounds\": " << rounds << ",\n  \"tiers\": [\n";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TierResult& r = tiers[i];
+    os << "    {\n"
+       << "      \"tasks\": " << r.shape.tasks << ",\n"
+       << "      \"layers\": " << r.shape.layers << ",\n"
+       << "      \"width\": " << r.shape.width << ",\n"
+       << "      \"degree\": " << r.shape.degree << ",\n"
+       << "      \"edges\": " << r.edges << ",\n"
+       << "      \"build_s\": " << r.build_s << ",\n"
+       << "      \"build_tasks_per_s\": " << r.build_tasks_per_s() << ",\n"
+       << "      \"schedule_s\": " << r.schedule_s << ",\n"
+       << "      \"schedule_tasks_per_s\": " << r.schedule_tasks_per_s()
+       << ",\n"
+       << "      \"makespan\": " << r.makespan << ",\n"
+       << "      \"critical_path_lb\": " << r.lower_bound << ",\n"
+       << "      \"graph_bytes\": " << r.graph_bytes << ",\n"
+       << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n"
+       << "    }" << (i + 1 < tiers.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n"
+     << "  \"guards\": {\n"
+     << "    \"floor_tasks_per_s\": " << floor_tps << ",\n"
+     << "    \"floor_ok\": " << (floor_ok ? "true" : "false") << ",\n"
+     << "    \"rss_ceiling_bytes\": " << rss_ceiling << ",\n"
+     << "    \"rss_ok\": " << (rss_ok ? "true" : "false") << "\n"
+     << "  }\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const moldsched::util::Flags flags(argc, argv);
+  const std::string out = flags.get_string("out", "BENCH_scale.json");
+  const long max_tasks = flags.get_int("max-tasks", 100'000);
+  const int rounds = static_cast<int>(flags.get_int("rounds", 2));
+  const int P = static_cast<int>(flags.get_int("procs", 256));
+  // Floors sit far (>= 4x) below the numbers measured on a single-core
+  // dev container (see EXPERIMENTS.md for the measured table), so they
+  // catch order-of-magnitude regressions — an accidental O(E) rebuild
+  // per release, a per-task allocation — without flaking on slow CI.
+  const double floor_tps = flags.get_double("floor", 100'000.0);
+  const double rss_ceiling = flags.get_double("rss-ceiling", 8.0e9);
+  if (rounds < 1 || P < 1 || max_tasks < 1) {
+    std::cerr << "bench_scale: --rounds, --procs, --max-tasks must be >= 1\n";
+    return 2;
+  }
+
+  std::vector<TierResult> tiers;
+  try {
+    for (const TierShape& shape : kTiers) {
+      if (shape.tasks > max_tasks) break;
+      std::cerr << "bench_scale: tier " << shape.tasks << " tasks...\n";
+      tiers.push_back(run_tier(shape, P, rounds, /*check_bits=*/true));
+      const TierResult& r = tiers.back();
+      std::cerr << "  build " << r.build_tasks_per_s() / 1e6
+                << " Mtasks/s, schedule " << r.schedule_tasks_per_s() / 1e6
+                << " Mtasks/s, peak rss " << r.peak_rss_bytes / 1e9
+                << " GB\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_scale: " << e.what() << '\n';
+    return 2;
+  }
+  if (tiers.empty()) {
+    std::cerr << "bench_scale: no tier fits under --max-tasks\n";
+    return 2;
+  }
+
+  const TierResult& top = tiers.back();
+  const bool floor_ok = top.schedule_tasks_per_s() >= floor_tps;
+  const bool rss_ok =
+      top.peak_rss_bytes > 0.0 && top.peak_rss_bytes <= rss_ceiling;
+
+  const std::string json =
+      to_json(tiers, P, rounds, floor_tps, rss_ceiling, floor_ok, rss_ok);
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "bench_scale: cannot open '" << out << "'\n";
+    return 2;
+  }
+  file << json;
+  std::cout << json;
+
+  if (!floor_ok) {
+    std::cerr << "bench_scale: GUARD FAILED: " << top.schedule_tasks_per_s()
+              << " tasks/s below floor " << floor_tps << '\n';
+    return 1;
+  }
+  if (!rss_ok) {
+    std::cerr << "bench_scale: GUARD FAILED: peak rss " << top.peak_rss_bytes
+              << " over ceiling " << rss_ceiling << '\n';
+    return 1;
+  }
+  return 0;
+}

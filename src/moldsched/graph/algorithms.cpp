@@ -41,12 +41,24 @@ std::vector<TaskId> topological_order(const TaskGraph& g) {
 }
 
 bool is_acyclic(const TaskGraph& g) {
-  try {
-    (void)topological_order(g);
-    return true;
-  } catch (const std::logic_error&) {
-    return false;
+  // Plain FIFO Kahn: unlike topological_order there is no ordering
+  // contract to honor, so skip the priority queue — this runs inside
+  // TaskGraph::validate() on every scheduler construction and must stay
+  // O(V+E) at 10^7 tasks.
+  const int n = g.num_tasks();
+  std::vector<int> in_deg(static_cast<std::size_t>(n));
+  std::vector<TaskId> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  for (TaskId v = 0; v < n; ++v) {
+    in_deg[static_cast<std::size_t>(v)] = g.in_degree(v);
+    if (in_deg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
   }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const TaskId s : g.successors(queue[head])) {
+      if (--in_deg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  return queue.size() == static_cast<std::size_t>(n);
 }
 
 std::vector<double> top_levels(const TaskGraph& g,

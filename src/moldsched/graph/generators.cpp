@@ -1,6 +1,7 @@
 #include "moldsched/graph/generators.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -95,6 +96,61 @@ TaskGraph layered_random(int layers, int min_width, int max_width,
       cur_layer.push_back(v);
     }
     prev_layer = std::move(cur_layer);
+  }
+  return g;
+}
+
+std::size_t layered_uniform_edges(int layers, int width,
+                                 int degree) noexcept {
+  if (layers < 1 || width < 1 || degree < 1) return 0;
+  return static_cast<std::size_t>(layers - 1) *
+         static_cast<std::size_t>(width) *
+         static_cast<std::size_t>(std::min(degree, width));
+}
+
+TaskGraph layered_uniform(int layers, int width, int degree,
+                          std::uint64_t seed,
+                          const ModelProvider& provider) {
+  require(layers >= 1, "layered_uniform: layers must be >= 1");
+  require(width >= 1, "layered_uniform: width must be >= 1");
+  require(degree >= 1, "layered_uniform: degree must be >= 1");
+  const int deg = std::min(degree, width);
+  util::Rng rng(seed);
+  TaskGraph g;
+  const auto num_tasks =
+      static_cast<std::size_t>(layers) * static_cast<std::size_t>(width);
+  require(num_tasks <= static_cast<std::size_t>(
+                           std::numeric_limits<TaskId>::max()),
+          "layered_uniform: layers * width exceeds the task id space");
+  g.reserve(static_cast<int>(num_tasks),
+            layered_uniform_edges(layers, width, degree));
+  // Distinct predecessors per task by rejection over the previous layer:
+  // deg is small relative to width in every scale configuration, so the
+  // expected number of retries is O(deg^2 / width) — effectively zero.
+  std::vector<TaskId> picked(static_cast<std::size_t>(deg));
+  for (int layer = 0; layer < layers; ++layer) {
+    const TaskId base = layer * width;
+    for (int i = 0; i < width; ++i) {
+      const TaskId v = g.add_task(provider());
+      if (layer == 0) continue;
+      for (int k = 0; k < deg; ++k) {
+        TaskId u;
+        bool fresh;
+        do {
+          u = base - width +
+              static_cast<TaskId>(rng.uniform_int(0, width - 1));
+          fresh = true;
+          for (int j = 0; j < k; ++j) {
+            if (picked[static_cast<std::size_t>(j)] == u) {
+              fresh = false;
+              break;
+            }
+          }
+        } while (!fresh);
+        picked[static_cast<std::size_t>(k)] = u;
+        g.add_edge(u, v);
+      }
+    }
   }
   return g;
 }

@@ -62,6 +62,21 @@ using ModelProvider = std::function<model::ModelPtr()>;
                                        util::Rng& rng,
                                        const ModelProvider& provider);
 
+/// Scale-tier layered DAG: `layers` layers of exactly `width` unnamed
+/// tasks; each task in layer l > 0 draws min(degree, width) distinct
+/// predecessors uniformly from layer l-1. Deterministic in `seed`, and
+/// sized up front — the builder reserves the exact task/edge counts, so
+/// construction performs zero reallocation even at 10^7 tasks. Tasks
+/// carry no explicit names (the sparse name table stays empty).
+[[nodiscard]] TaskGraph layered_uniform(int layers, int width, int degree,
+                                        std::uint64_t seed,
+                                        const ModelProvider& provider);
+
+/// Edge count of layered_uniform(layers, width, degree, ...): useful for
+/// pre-sizing consumers (benches, schedulers) without building twice.
+[[nodiscard]] std::size_t layered_uniform_edges(int layers, int width,
+                                                int degree) noexcept;
+
 /// Diamond: one source, `width` parallel middle tasks, one sink.
 [[nodiscard]] TaskGraph diamond(int width, const ModelProvider& provider);
 

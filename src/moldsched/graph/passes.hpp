@@ -1,0 +1,81 @@
+// Preprocessing passes over task graphs, in the style of a compiler
+// pass pipeline on DAGs: each pass takes a built graph, produces a
+// derived structure (or a rewritten graph) and bumps per-pass obs
+// counters (`graph.pass.<name>.runs`, plus pass-specific counters) so
+// pipeline cost is visible in metrics dumps.
+//
+// The passes are scheduling-oriented:
+//  * transitive_reduction removes every edge implied by a longer path —
+//    precedence semantics are unchanged, but the simulator and the
+//    online reveal rule then touch the minimum number of edges.
+//  * critical_path extracts the longest weighted path, the classic
+//    makespan lower bound (with per-task times t_min(P) it is exactly
+//    the paper's C_max >= max-path bound).
+//  * topological_layers computes ASAP levels, the layer decomposition
+//    that level-by-level schedulers and the scale generators speak.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+
+namespace moldsched::graph::passes {
+
+/// Result of transitive_reduction: the reduced graph (same tasks, same
+/// ids, same names/models, minimal edge set) plus what was removed.
+struct ReductionResult {
+  TaskGraph graph;
+  std::size_t edges_removed = 0;
+};
+
+/// Removes every edge (u, v) for which another u -> ... -> v path of
+/// length >= 2 exists. For a DAG the transitive reduction is unique, so
+/// the result does not depend on traversal order. O(V * (V + E)) worst
+/// case with a topo-position prune that makes sparse layered graphs
+/// closer to O(E). Throws std::logic_error on cyclic graphs.
+[[nodiscard]] ReductionResult transitive_reduction(const TaskGraph& g);
+
+/// Longest weighted path through the DAG.
+struct CriticalPath {
+  double length = 0.0;          ///< sum of times along the path
+  std::vector<TaskId> tasks;    ///< source -> sink, never empty
+};
+
+/// Critical path under per-task execution times (`times[v]` is task v's
+/// weight). Ties follow the deterministic successor rule of
+/// graph::critical_path_tasks. Throws std::invalid_argument unless
+/// times.size() == num_tasks(), std::logic_error on empty graphs.
+[[nodiscard]] CriticalPath critical_path(const TaskGraph& g,
+                                         const std::vector<double>& times);
+
+/// Convenience weight vector for the paper's lower bound: times[v] =
+/// t_min(P) = model_of(v).min_time(P). critical_path over it
+/// lower-bounds every valid P-processor schedule's makespan.
+[[nodiscard]] std::vector<double> min_time_weights(const TaskGraph& g, int P);
+
+/// ASAP layer decomposition in CSR-like form.
+struct Layering {
+  /// layer_of[v]: 0 for sources, else 1 + max over predecessors.
+  std::vector<int> layer_of;
+  /// offsets.size() == num_layers() + 1; tasks of layer l are
+  /// order[offsets[l] .. offsets[l+1]), in ascending id order.
+  std::vector<std::size_t> offsets;
+  std::vector<TaskId> order;
+
+  [[nodiscard]] int num_layers() const noexcept {
+    return offsets.empty() ? 0 : static_cast<int>(offsets.size() - 1);
+  }
+  /// Tasks of layer l, ascending id.
+  [[nodiscard]] std::span<const TaskId> layer(int l) const {
+    return {order.data() + offsets[static_cast<std::size_t>(l)],
+            offsets[static_cast<std::size_t>(l) + 1] -
+                offsets[static_cast<std::size_t>(l)]};
+  }
+};
+
+/// ASAP levels in O(V + E). Throws std::logic_error on cyclic graphs;
+/// returns an empty Layering for the empty graph.
+[[nodiscard]] Layering topological_layers(const TaskGraph& g);
+
+}  // namespace moldsched::graph::passes

@@ -1,20 +1,130 @@
 #include "moldsched/graph/task_graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <type_traits>
 
 #include "moldsched/graph/algorithms.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/obs/metrics.hpp"
 
 namespace moldsched::graph {
 
+TaskGraph::TaskGraph(const TaskGraph& other) { copy_from(other); }
+
+TaskGraph::TaskGraph(TaskGraph&& other) noexcept {
+  move_from(std::move(other));
+}
+
+TaskGraph& TaskGraph::operator=(const TaskGraph& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
+  if (this != &other) move_from(std::move(other));
+  return *this;
+}
+
+void TaskGraph::copy_from(const TaskGraph& other) {
+  models_ = other.models_;
+  kinds_ = other.kinds_;
+  has_eq1_ = other.has_eq1_;
+  w_ = other.w_;
+  d_ = other.d_;
+  c_ = other.c_;
+  pbar_ = other.pbar_;
+  in_deg_ = other.in_deg_;
+  out_deg_ = other.out_deg_;
+  head_out_ = other.head_out_;
+  names_ = other.names_;
+  edge_from_ = other.edge_from_;
+  edge_to_ = other.edge_to_;
+  edge_prev_ = other.edge_prev_;
+  // The CSR view is not copied: copies are usually made to mutate (the
+  // adversarial perturbations clone-then-edit), and skipping it keeps
+  // the copy race-free against a concurrent lazy build of `other`.
+  pred_off_.clear();
+  succ_off_.clear();
+  pred_adj_.clear();
+  succ_adj_.clear();
+  csr_valid_.store(false, std::memory_order_relaxed);
+}
+
+void TaskGraph::move_from(TaskGraph&& other) noexcept {
+  models_ = std::move(other.models_);
+  kinds_ = std::move(other.kinds_);
+  has_eq1_ = std::move(other.has_eq1_);
+  w_ = std::move(other.w_);
+  d_ = std::move(other.d_);
+  c_ = std::move(other.c_);
+  pbar_ = std::move(other.pbar_);
+  in_deg_ = std::move(other.in_deg_);
+  out_deg_ = std::move(other.out_deg_);
+  head_out_ = std::move(other.head_out_);
+  names_ = std::move(other.names_);
+  edge_from_ = std::move(other.edge_from_);
+  edge_to_ = std::move(other.edge_to_);
+  edge_prev_ = std::move(other.edge_prev_);
+  pred_off_ = std::move(other.pred_off_);
+  succ_off_ = std::move(other.succ_off_);
+  pred_adj_ = std::move(other.pred_adj_);
+  succ_adj_ = std::move(other.succ_adj_);
+  csr_valid_.store(other.csr_valid_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  other.csr_valid_.store(false, std::memory_order_relaxed);
+}
+
+void TaskGraph::reserve(int tasks, std::size_t edges) {
+  if (tasks < 0) throw std::invalid_argument("TaskGraph::reserve: tasks < 0");
+  const auto n = static_cast<std::size_t>(tasks);
+  models_.reserve(n);
+  kinds_.reserve(n);
+  has_eq1_.reserve(n);
+  w_.reserve(n);
+  d_.reserve(n);
+  c_.reserve(n);
+  pbar_.reserve(n);
+  in_deg_.reserve(n);
+  out_deg_.reserve(n);
+  head_out_.reserve(n);
+  edge_from_.reserve(edges);
+  edge_to_.reserve(edges);
+  edge_prev_.reserve(edges);
+  pred_off_.reserve(n + 1);
+  succ_off_.reserve(n + 1);
+  pred_adj_.reserve(edges);
+  succ_adj_.reserve(edges);
+}
+
 TaskId TaskGraph::add_task(model::ModelPtr model, std::string name) {
   if (!model) throw std::invalid_argument("TaskGraph::add_task: null model");
+  if (models_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<TaskId>::max()))
+    throw std::length_error("TaskGraph::add_task: task id space exhausted");
   const TaskId id = num_tasks();
-  if (name.empty()) name = "task" + std::to_string(id);
-  names_.push_back(std::move(name));
+  kinds_.push_back(model->kind());
+  if (const auto* eq1 =
+          dynamic_cast<const model::GeneralModel*>(model.get())) {
+    has_eq1_.push_back(1);
+    w_.push_back(eq1->w());
+    d_.push_back(eq1->d());
+    c_.push_back(eq1->c());
+    pbar_.push_back(eq1->pbar());
+  } else {
+    has_eq1_.push_back(0);
+    w_.push_back(0.0);
+    d_.push_back(0.0);
+    c_.push_back(0.0);
+    pbar_.push_back(1);
+  }
   models_.push_back(std::move(model));
-  preds_.emplace_back();
-  succs_.emplace_back();
+  in_deg_.push_back(0);
+  out_deg_.push_back(0);
+  head_out_.push_back(kNoEdge);
+  if (!name.empty()) names_.emplace_back(id, std::move(name));
+  csr_valid_.store(false, std::memory_order_release);
   return id;
 }
 
@@ -24,33 +134,73 @@ void TaskGraph::add_edge(TaskId from, TaskId to) {
   if (from == to)
     throw std::invalid_argument("TaskGraph::add_edge: self-loop on task " +
                                 std::to_string(from));
-  auto& out = succs_[f];
-  if (std::find(out.begin(), out.end(), to) != out.end())
-    throw std::invalid_argument("TaskGraph::add_edge: duplicate edge " +
-                                std::to_string(from) + " -> " +
-                                std::to_string(to));
-  out.push_back(to);
-  preds_[static_cast<std::size_t>(to)].push_back(from);
-  ++num_edges_;
+  for (std::int32_t e = head_out_[f]; e != kNoEdge;
+       e = edge_prev_[static_cast<std::size_t>(e)]) {
+    if (edge_to_[static_cast<std::size_t>(e)] == to)
+      throw std::invalid_argument("TaskGraph::add_edge: duplicate edge " +
+                                  std::to_string(from) + " -> " +
+                                  std::to_string(to));
+  }
+  if (edge_to_.size() >= static_cast<std::size_t>(
+                             std::numeric_limits<std::int32_t>::max()))
+    throw std::length_error("TaskGraph::add_edge: edge index space exhausted");
+  const auto idx = static_cast<std::int32_t>(edge_to_.size());
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
+  edge_prev_.push_back(head_out_[f]);
+  head_out_[f] = idx;
+  ++out_deg_[f];
+  ++in_deg_[static_cast<std::size_t>(to)];
+  csr_valid_.store(false, std::memory_order_release);
+}
+
+std::string TaskGraph::name(TaskId id) const {
+  const auto i = checked(id);
+  (void)i;
+  const auto it = std::lower_bound(
+      names_.begin(), names_.end(), id,
+      [](const std::pair<TaskId, std::string>& entry, TaskId key) {
+        return entry.first < key;
+      });
+  if (it != names_.end() && it->first == id) return it->second;
+  return "task" + std::to_string(id);
+}
+
+AdjacencyView TaskGraph::predecessors(TaskId id) const {
+  const auto i = checked(id);
+  build_adjacency();
+  return {pred_adj_.data() + pred_off_[i],
+          static_cast<std::size_t>(in_deg_[i])};
+}
+
+AdjacencyView TaskGraph::successors(TaskId id) const {
+  const auto i = checked(id);
+  build_adjacency();
+  return {succ_adj_.data() + succ_off_[i],
+          static_cast<std::size_t>(out_deg_[i])};
 }
 
 bool TaskGraph::has_edge(TaskId from, TaskId to) const {
-  const auto& out = succs_[checked(from)];
+  const auto f = checked(from);
   (void)checked(to);
-  return std::find(out.begin(), out.end(), to) != out.end();
+  for (std::int32_t e = head_out_[f]; e != kNoEdge;
+       e = edge_prev_[static_cast<std::size_t>(e)]) {
+    if (edge_to_[static_cast<std::size_t>(e)] == to) return true;
+  }
+  return false;
 }
 
 std::vector<TaskId> TaskGraph::sources() const {
   std::vector<TaskId> out;
   for (TaskId id = 0; id < num_tasks(); ++id)
-    if (preds_[static_cast<std::size_t>(id)].empty()) out.push_back(id);
+    if (in_deg_[static_cast<std::size_t>(id)] == 0) out.push_back(id);
   return out;
 }
 
 std::vector<TaskId> TaskGraph::sinks() const {
   std::vector<TaskId> out;
   for (TaskId id = 0; id < num_tasks(); ++id)
-    if (succs_[static_cast<std::size_t>(id)].empty()) out.push_back(id);
+    if (out_deg_[static_cast<std::size_t>(id)] == 0) out.push_back(id);
   return out;
 }
 
@@ -59,6 +209,72 @@ void TaskGraph::validate() const {
     throw std::logic_error("TaskGraph::validate: empty graph");
   if (!is_acyclic(*this))
     throw std::logic_error("TaskGraph::validate: graph contains a cycle");
+}
+
+void TaskGraph::build_adjacency() const {
+  if (csr_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (csr_valid_.load(std::memory_order_relaxed)) return;
+  build_csr_locked();
+  csr_valid_.store(true, std::memory_order_release);
+}
+
+void TaskGraph::build_csr_locked() const {
+  const auto n = models_.size();
+  const auto m = edge_to_.size();
+  succ_off_.assign(n + 1, 0);
+  pred_off_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    succ_off_[v + 1] =
+        succ_off_[v] + static_cast<std::uint64_t>(out_deg_[v]);
+    pred_off_[v + 1] =
+        pred_off_[v] + static_cast<std::uint64_t>(in_deg_[v]);
+  }
+  succ_adj_.resize(m);
+  pred_adj_.resize(m);
+  // Counting-sort fill in edge-insertion order, using the start offsets
+  // as write cursors: after the loop, off[v] has advanced to the start
+  // of v+1's bucket, so one backward shift restores the start offsets.
+  // No scratch allocation — a reserved graph builds with zero allocs.
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto from = static_cast<std::size_t>(edge_from_[e]);
+    const auto to = static_cast<std::size_t>(edge_to_[e]);
+    succ_adj_[static_cast<std::size_t>(succ_off_[from]++)] = edge_to_[e];
+    pred_adj_[static_cast<std::size_t>(pred_off_[to]++)] = edge_from_[e];
+  }
+  for (std::size_t v = n; v > 0; --v) {
+    succ_off_[v] = succ_off_[v - 1];
+    pred_off_[v] = pred_off_[v - 1];
+  }
+  succ_off_[0] = 0;
+  pred_off_[0] = 0;
+  // Handles cached once: registry entries are never erased (reset() only
+  // zeroes them), so the references stay valid and repeat builds touch no
+  // allocator — part of the zero-alloc contract pinned by the alloc tests.
+  static obs::Counter& build_count =
+      obs::default_registry().counter("graph.build.count");
+  static obs::Gauge& build_bytes =
+      obs::default_registry().gauge("graph.build.bytes");
+  build_count.add(1);
+  build_bytes.set(static_cast<double>(memory_bytes()));
+}
+
+std::size_t TaskGraph::memory_bytes() const noexcept {
+  auto bytes = [](const auto& vec) {
+    return vec.capacity() * sizeof(typename std::remove_reference_t<
+                                   decltype(vec)>::value_type);
+  };
+  std::size_t total = bytes(models_) + bytes(kinds_) + bytes(has_eq1_) +
+                      bytes(w_) + bytes(d_) + bytes(c_) + bytes(pbar_) +
+                      bytes(in_deg_) + bytes(out_deg_) + bytes(head_out_) +
+                      bytes(names_) + bytes(edge_from_) + bytes(edge_to_) +
+                      bytes(edge_prev_) + bytes(pred_off_) +
+                      bytes(succ_off_) + bytes(pred_adj_) + bytes(succ_adj_);
+  for (const auto& [id, name] : names_) {
+    (void)id;
+    total += name.capacity();
+  }
+  return total;
 }
 
 std::size_t TaskGraph::checked(TaskId id) const {

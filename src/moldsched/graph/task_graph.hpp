@@ -4,10 +4,39 @@
 // In the online problem the scheduler discovers a task (and its model)
 // only once all its predecessors have completed — the graph object itself
 // is "the adversary's script", and the simulator enforces the reveal rule.
+//
+// Storage is a structure-of-arrays core sized for 10^6-10^7 tasks:
+//
+//  * Task scalars live in parallel flat vectors (model handle, ModelKind,
+//    and — for the Eq. (1) family — w/d/c/pbar mirrored out of the model
+//    so hot loops can read them without a virtual call or pointer chase).
+//  * Edges append to flat insertion-order arrays (edge_from_/edge_to_)
+//    with a per-source forward-star chain (head_out_/edge_prev_) that
+//    makes duplicate detection O(out_degree) at add_edge time.
+//  * Adjacency queries are served from a CSR view (one offsets array +
+//    one edges array, each for predecessors and successors) built lazily
+//    in a single counting pass over the edge arrays. The build preserves
+//    per-vertex insertion order, so iteration order — and therefore every
+//    canonical wire encoding and schedule — is identical to the old
+//    vector-of-vectors representation (pinned by CsrMigrationTest).
+//  * Names are sparse: only explicitly named tasks occupy an entry; the
+//    default "task<id>" is synthesized on demand. A 10^7-task generator
+//    graph carries zero bytes of name data.
+//
+// The CSR view is rebuilt at most once per batch of mutations: add_task /
+// add_edge flip a relaxed invalid flag, and the next adjacency query
+// rebuilds under a mutex with double-checked locking, so concurrent
+// readers of a const TaskGraph (the adversarial search evaluates shared
+// start graphs across engine workers) are race-free.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "moldsched/model/speedup_model.hpp"
@@ -19,8 +48,25 @@ namespace moldsched::graph {
 /// among simultaneously available tasks (see OnlineScheduler).
 using TaskId = int;
 
+/// Adjacency view into the graph's CSR arrays. Valid until the next
+/// mutation (add_task / add_edge) of the same graph; copy into a vector
+/// before mutating if the ids must outlive the edit.
+using AdjacencyView = std::span<const TaskId>;
+
 class TaskGraph {
  public:
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph& other);
+  TaskGraph(TaskGraph&& other) noexcept;
+  TaskGraph& operator=(const TaskGraph& other);
+  TaskGraph& operator=(TaskGraph&& other) noexcept;
+
+  /// Pre-sizes every per-task and per-edge array (including the CSR
+  /// arrays the first build_adjacency() will fill), so a build that
+  /// stays within the hint performs no reallocation — the 10^7-task
+  /// scale path reserves from the generator's exact counts.
+  void reserve(int tasks, std::size_t edges);
+
   /// Adds a task and returns its id. The model must be non-null.
   TaskId add_task(model::ModelPtr model, std::string name = "");
 
@@ -30,9 +76,11 @@ class TaskGraph {
   void add_edge(TaskId from, TaskId to);
 
   [[nodiscard]] int num_tasks() const noexcept {
-    return static_cast<int>(names_.size());
+    return static_cast<int>(models_.size());
   }
-  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_to_.size();
+  }
 
   [[nodiscard]] const model::SpeedupModel& model_of(TaskId id) const {
     return *models_[checked(id)];
@@ -40,22 +88,38 @@ class TaskGraph {
   [[nodiscard]] const model::ModelPtr& model_ptr(TaskId id) const {
     return models_[checked(id)];
   }
-  [[nodiscard]] const std::string& name(TaskId id) const {
-    return names_[checked(id)];
+
+  /// Task name; unnamed tasks synthesize the default "task<id>".
+  [[nodiscard]] std::string name(TaskId id) const;
+
+  /// ModelKind without the virtual call (mirrored at add_task).
+  [[nodiscard]] model::ModelKind kind_of(TaskId id) const {
+    return kinds_[checked(id)];
   }
-  [[nodiscard]] const std::vector<TaskId>& predecessors(TaskId id) const {
-    return preds_[checked(id)];
+  /// True when the task's model is from the Eq. (1) family, i.e. the
+  /// flat w/d/c/pbar mirrors below are meaningful.
+  [[nodiscard]] bool has_eq1_params(TaskId id) const {
+    return has_eq1_[checked(id)] != 0;
   }
-  [[nodiscard]] const std::vector<TaskId>& successors(TaskId id) const {
-    return succs_[checked(id)];
-  }
-  [[nodiscard]] int in_degree(TaskId id) const {
-    return static_cast<int>(predecessors(id).size());
-  }
+  [[nodiscard]] double w_of(TaskId id) const { return w_[checked(id)]; }
+  [[nodiscard]] double d_of(TaskId id) const { return d_[checked(id)]; }
+  [[nodiscard]] double c_of(TaskId id) const { return c_[checked(id)]; }
+  [[nodiscard]] int pbar_of(TaskId id) const { return pbar_[checked(id)]; }
+
+  /// Predecessors in edge-insertion order (identical to the historical
+  /// vector-of-vectors order). Triggers a CSR build if edges changed
+  /// since the last one; the view dangles after the next mutation.
+  [[nodiscard]] AdjacencyView predecessors(TaskId id) const;
+  [[nodiscard]] AdjacencyView successors(TaskId id) const;
+
+  /// Degrees come from incrementally maintained counters — they never
+  /// force a CSR build and are safe during construction loops.
+  [[nodiscard]] int in_degree(TaskId id) const { return in_deg_[checked(id)]; }
   [[nodiscard]] int out_degree(TaskId id) const {
-    return static_cast<int>(successors(id).size());
+    return out_deg_[checked(id)];
   }
 
+  /// O(out_degree(from)) via the forward-star chain; no CSR build.
   [[nodiscard]] bool has_edge(TaskId from, TaskId to) const;
 
   /// Tasks with no predecessors / no successors, in id order.
@@ -65,14 +129,56 @@ class TaskGraph {
   /// Throws std::logic_error if the graph is empty or contains a cycle.
   void validate() const;
 
- private:
-  [[nodiscard]] std::size_t checked(TaskId id) const;
+  /// Forces the CSR adjacency build now (it otherwise happens lazily on
+  /// the first predecessors()/successors() call after a mutation).
+  /// Thread-safe: concurrent callers race to one build under a mutex.
+  void build_adjacency() const;
 
-  std::vector<std::string> names_;
+  /// True when the CSR view is current (no mutation since last build).
+  [[nodiscard]] bool adjacency_built() const noexcept {
+    return csr_valid_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes held by this graph's arrays (capacities, excluding the models
+  /// themselves and sparse name payloads' heap allocations). Exposed as
+  /// the `graph.build.bytes` gauge after each CSR build.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  static constexpr std::int32_t kNoEdge = -1;
+
+  [[nodiscard]] std::size_t checked(TaskId id) const;
+  void build_csr_locked() const;
+  void copy_from(const TaskGraph& other);
+  void move_from(TaskGraph&& other) noexcept;
+
+  // --- per-task parallel arrays (structure-of-arrays) -----------------
   std::vector<model::ModelPtr> models_;
-  std::vector<std::vector<TaskId>> preds_;
-  std::vector<std::vector<TaskId>> succs_;
-  std::size_t num_edges_ = 0;
+  std::vector<model::ModelKind> kinds_;
+  std::vector<std::uint8_t> has_eq1_;
+  std::vector<double> w_;
+  std::vector<double> d_;
+  std::vector<double> c_;
+  std::vector<int> pbar_;
+  std::vector<int> in_deg_;
+  std::vector<int> out_deg_;
+  std::vector<std::int32_t> head_out_;  ///< latest out-edge per task
+  /// Sparse (id, name) pairs in ascending id order — only explicitly
+  /// named tasks appear.
+  std::vector<std::pair<TaskId, std::string>> names_;
+
+  // --- per-edge arrays, insertion order -------------------------------
+  std::vector<TaskId> edge_from_;
+  std::vector<TaskId> edge_to_;
+  std::vector<std::int32_t> edge_prev_;  ///< previous out-edge of from
+
+  // --- lazily built CSR view (logically const; guarded) ---------------
+  mutable std::vector<std::uint64_t> pred_off_;  ///< size num_tasks()+1
+  mutable std::vector<std::uint64_t> succ_off_;
+  mutable std::vector<TaskId> pred_adj_;
+  mutable std::vector<TaskId> succ_adj_;
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::mutex build_mu_;
 };
 
 }  // namespace moldsched::graph

@@ -20,6 +20,21 @@ double read_rss_bytes() {
   return static_cast<double>(resident_pages) * static_cast<double>(page);
 }
 
+double read_peak_rss_kb() {
+  // /proc/self/status: "VmHWM:   123456 kB" — the high-water mark of
+  // the resident set over the process lifetime.
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    long long kb = 0;
+    if (fields >> kb && kb >= 0) return static_cast<double>(kb);
+    return 0.0;
+  }
+  return 0.0;
+}
+
 double read_open_fds() {
   DIR* dir = ::opendir("/proc/self/fd");
   if (dir == nullptr) return 0.0;
@@ -82,20 +97,25 @@ double read_uptime_seconds() {
 ProcessStats read_process_stats() {
   ProcessStats stats;
   stats.rss_bytes = read_rss_bytes();
+  stats.peak_rss_bytes = read_peak_rss_bytes();
   stats.open_fds = read_open_fds();
   stats.uptime_s = read_uptime_seconds();
   return stats;
 }
 
+double read_peak_rss_bytes() { return read_peak_rss_kb() * 1024.0; }
+
 ProcessSampler::ProcessSampler(MetricRegistry& registry,
                                const std::string& prefix)
     : rss_bytes_(registry.gauge(prefix + ".rss_bytes")),
+      peak_rss_bytes_(registry.gauge(prefix + ".peak_rss_bytes")),
       open_fds_(registry.gauge(prefix + ".open_fds")),
       uptime_s_(registry.gauge(prefix + ".uptime_s")) {}
 
 ProcessStats ProcessSampler::sample() {
   const ProcessStats stats = read_process_stats();
   rss_bytes_.set(stats.rss_bytes);
+  peak_rss_bytes_.set(stats.peak_rss_bytes);
   open_fds_.set(stats.open_fds);
   uptime_s_.set(stats.uptime_s);
   return stats;

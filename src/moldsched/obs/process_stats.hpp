@@ -18,13 +18,20 @@
 namespace moldsched::obs {
 
 struct ProcessStats {
-  double rss_bytes = 0.0;  ///< resident set size (statm * page size)
-  double open_fds = 0.0;   ///< entries in /proc/self/fd
-  double uptime_s = 0.0;   ///< seconds since process start
+  double rss_bytes = 0.0;       ///< resident set size (statm * page size)
+  double peak_rss_bytes = 0.0;  ///< lifetime peak RSS (VmHWM)
+  double open_fds = 0.0;        ///< entries in /proc/self/fd
+  double uptime_s = 0.0;        ///< seconds since process start
 };
 
 /// One best-effort sample of the calling process.
 [[nodiscard]] ProcessStats read_process_stats();
+
+/// Lifetime peak resident set (VmHWM from /proc/self/status), in bytes;
+/// 0.0 when unavailable. This is what a memory-ceiling guard wants: the
+/// high-water mark survives frees, so a bench that builds, runs and
+/// tears down a 10^7-task instance still reports its true footprint.
+[[nodiscard]] double read_peak_rss_bytes();
 
 /// Registers <prefix>.rss_bytes / <prefix>.open_fds / <prefix>.uptime_s
 /// gauges in `registry` and refreshes them on every sample() call. The
@@ -40,6 +47,7 @@ class ProcessSampler {
 
  private:
   Gauge& rss_bytes_;
+  Gauge& peak_rss_bytes_;
   Gauge& open_fds_;
   Gauge& uptime_s_;
 };

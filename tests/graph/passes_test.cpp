@@ -1,0 +1,255 @@
+#include "moldsched/graph/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/obs/metrics.hpp"
+
+namespace moldsched::graph::passes {
+namespace {
+
+model::ModelPtr unit_model() {
+  return std::make_shared<model::RooflineModel>(1.0, 1);
+}
+
+ModelProvider unit_provider() { return constant_provider(unit_model()); }
+
+TEST(TransitiveReductionTest, RemovesShortcutEdge) {
+  TaskGraph g;
+  const TaskId a = g.add_task(unit_model(), "a");
+  const TaskId b = g.add_task(unit_model(), "b");
+  const TaskId c = g.add_task(unit_model(), "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(a, c);  // implied by a -> b -> c
+
+  const auto result = transitive_reduction(g);
+  EXPECT_EQ(result.edges_removed, 1u);
+  EXPECT_EQ(result.graph.num_edges(), 2u);
+  EXPECT_TRUE(result.graph.has_edge(a, b));
+  EXPECT_TRUE(result.graph.has_edge(b, c));
+  EXPECT_FALSE(result.graph.has_edge(a, c));
+  // Tasks, ids, names and models carry over untouched.
+  ASSERT_EQ(result.graph.num_tasks(), 3);
+  EXPECT_EQ(result.graph.name(a), "a");
+  EXPECT_EQ(result.graph.name(c), "c");
+  EXPECT_EQ(result.graph.model_ptr(b), g.model_ptr(b));
+}
+
+TEST(TransitiveReductionTest, KeepsAlreadyMinimalGraphs) {
+  const auto chain_graph = chain(6, unit_provider());
+  const auto reduced = transitive_reduction(chain_graph);
+  EXPECT_EQ(reduced.edges_removed, 0u);
+  EXPECT_EQ(reduced.graph.num_edges(), chain_graph.num_edges());
+
+  const auto diamond_graph = diamond(4, unit_provider());
+  EXPECT_EQ(transitive_reduction(diamond_graph).edges_removed, 0u);
+}
+
+TEST(TransitiveReductionTest, RemovesLongRangeShortcuts) {
+  // Chain 0..5 plus every forward shortcut: reduction recovers the chain.
+  TaskGraph g;
+  constexpr int kN = 6;
+  for (int i = 0; i < kN; ++i) g.add_task(unit_model());
+  for (TaskId i = 0; i < kN; ++i)
+    for (TaskId j = i + 1; j < kN; ++j) g.add_edge(i, j);
+
+  const auto result = transitive_reduction(g);
+  EXPECT_EQ(result.graph.num_edges(), static_cast<std::size_t>(kN - 1));
+  for (TaskId i = 0; i + 1 < kN; ++i)
+    EXPECT_TRUE(result.graph.has_edge(i, i + 1));
+}
+
+TEST(TransitiveReductionTest, ThrowsOnCycle) {
+  TaskGraph g;
+  const TaskId a = g.add_task(unit_model());
+  const TaskId b = g.add_task(unit_model());
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW((void)transitive_reduction(g), std::logic_error);
+}
+
+TEST(TransitiveReductionTest, PreservesSparseNameDefaults) {
+  // Unnamed tasks (synthesized "task<id>") must stay unnamed in the
+  // reduced graph rather than being re-added as explicit names.
+  TaskGraph g;
+  g.add_task(unit_model());
+  g.add_task(unit_model());
+  g.add_edge(0, 1);
+  const auto result = transitive_reduction(g);
+  EXPECT_EQ(result.graph.name(0), "task0");
+  EXPECT_EQ(result.graph.name(1), "task1");
+}
+
+TEST(TransitiveReductionTest, BumpsObsCounters) {
+  auto& runs = obs::default_registry().counter(
+      "graph.pass.transitive_reduction.runs");
+  auto& removed = obs::default_registry().counter(
+      "graph.pass.transitive_reduction.edges_removed");
+  const auto runs_before = runs.value();
+  const auto removed_before = removed.value();
+
+  TaskGraph g;
+  g.add_task(unit_model());
+  g.add_task(unit_model());
+  g.add_task(unit_model());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  (void)transitive_reduction(g);
+
+  EXPECT_EQ(runs.value(), runs_before + 1);
+  EXPECT_EQ(removed.value(), removed_before + 1);
+}
+
+TEST(CriticalPathTest, ChainSumsAllTimes) {
+  const auto g = chain(5, unit_provider());
+  const std::vector<double> times{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto cp = critical_path(g, times);
+  EXPECT_DOUBLE_EQ(cp.length, 15.0);
+  ASSERT_EQ(cp.tasks.size(), 5u);
+  for (TaskId v = 0; v < 5; ++v) EXPECT_EQ(cp.tasks[static_cast<std::size_t>(v)], v);
+}
+
+TEST(CriticalPathTest, PicksHeavierBranch) {
+  // Diamond with one heavy middle task.
+  TaskGraph g;
+  const TaskId src = g.add_task(unit_model());
+  const TaskId light = g.add_task(unit_model());
+  const TaskId heavy = g.add_task(unit_model());
+  const TaskId sink = g.add_task(unit_model());
+  g.add_edge(src, light);
+  g.add_edge(src, heavy);
+  g.add_edge(light, sink);
+  g.add_edge(heavy, sink);
+
+  const std::vector<double> times{1.0, 0.5, 7.0, 1.0};
+  const auto cp = critical_path(g, times);
+  EXPECT_DOUBLE_EQ(cp.length, 9.0);
+  const std::vector<TaskId> expected{src, heavy, sink};
+  EXPECT_EQ(cp.tasks, expected);
+}
+
+TEST(CriticalPathTest, RejectsBadInputs) {
+  const auto g = chain(3, unit_provider());
+  EXPECT_THROW((void)critical_path(g, {1.0}), std::invalid_argument);
+  TaskGraph empty;
+  EXPECT_THROW((void)critical_path(empty, {}), std::logic_error);
+}
+
+TEST(CriticalPathTest, MinTimeWeightsMatchModels) {
+  const auto g = diamond(3, unit_provider());
+  constexpr int kP = 8;
+  const auto weights = min_time_weights(g, kP);
+  ASSERT_EQ(weights.size(), static_cast<std::size_t>(g.num_tasks()));
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    EXPECT_DOUBLE_EQ(weights[static_cast<std::size_t>(v)],
+                     g.model_of(v).min_time(kP));
+  EXPECT_THROW((void)min_time_weights(g, 0), std::invalid_argument);
+}
+
+TEST(TopologicalLayersTest, ChainHasOneTaskPerLayer) {
+  const auto g = chain(4, unit_provider());
+  const auto layering = topological_layers(g);
+  EXPECT_EQ(layering.num_layers(), 4);
+  for (TaskId v = 0; v < 4; ++v) {
+    EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(v)], v);
+    const auto layer = layering.layer(v);
+    ASSERT_EQ(layer.size(), 1u);
+    EXPECT_EQ(layer[0], v);
+  }
+}
+
+TEST(TopologicalLayersTest, IndependentTasksShareLayerZero) {
+  const auto g = independent(5, unit_provider());
+  const auto layering = topological_layers(g);
+  EXPECT_EQ(layering.num_layers(), 1);
+  const auto layer0 = layering.layer(0);
+  ASSERT_EQ(layer0.size(), 5u);
+  // Ascending id within the layer.
+  EXPECT_TRUE(std::is_sorted(layer0.begin(), layer0.end()));
+}
+
+TEST(TopologicalLayersTest, AsapPlacementOnDiamondWithTail) {
+  TaskGraph g;
+  const TaskId src = g.add_task(unit_model());
+  const TaskId mid = g.add_task(unit_model());
+  const TaskId sink = g.add_task(unit_model());
+  const TaskId lone = g.add_task(unit_model());  // source, layer 0
+  g.add_edge(src, mid);
+  g.add_edge(mid, sink);
+  g.add_edge(src, sink);  // shortcut does not demote sink below ASAP
+
+  const auto layering = topological_layers(g);
+  EXPECT_EQ(layering.num_layers(), 3);
+  EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(src)], 0);
+  EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(lone)], 0);
+  EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(mid)], 1);
+  EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(sink)], 2);
+  // Offsets partition the id space exactly once.
+  EXPECT_EQ(layering.order.size(), 4u);
+  EXPECT_EQ(layering.offsets.front(), 0u);
+  EXPECT_EQ(layering.offsets.back(), 4u);
+}
+
+TEST(TopologicalLayersTest, EmptyGraphYieldsEmptyLayering) {
+  TaskGraph g;
+  const auto layering = topological_layers(g);
+  EXPECT_EQ(layering.num_layers(), 0);
+  EXPECT_TRUE(layering.order.empty());
+}
+
+TEST(TopologicalLayersTest, ThrowsOnCycle) {
+  TaskGraph g;
+  g.add_task(unit_model());
+  g.add_task(unit_model());
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)topological_layers(g), std::logic_error);
+}
+
+TEST(LayeredUniformTest, ShapeSeedAndReservesAreExact) {
+  const auto g = layered_uniform(10, 50, 3, 99, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 500);
+  EXPECT_EQ(g.num_edges(), layered_uniform_edges(10, 50, 3));
+
+  // Every non-source task has exactly `degree` distinct predecessors in
+  // the previous layer.
+  const auto layering = topological_layers(g);
+  EXPECT_EQ(layering.num_layers(), 10);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(v)], v / 50);
+    if (v >= 50) {
+      ASSERT_EQ(g.in_degree(v), 3);
+    }
+  }
+
+  // Deterministic in the seed.
+  const auto h = layered_uniform(10, 50, 3, 99, unit_provider());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto sg = g.successors(v);
+    const auto sh = h.successors(v);
+    ASSERT_TRUE(std::equal(sg.begin(), sg.end(), sh.begin(), sh.end()));
+  }
+
+  // No names stored: every task reports the synthesized default.
+  EXPECT_EQ(g.name(0), "task0");
+  EXPECT_EQ(g.name(499), "task499");
+}
+
+TEST(LayeredUniformTest, DegreeClampsToWidth) {
+  const auto g = layered_uniform(3, 2, 8, 1, unit_provider());
+  EXPECT_EQ(g.num_tasks(), 6);
+  EXPECT_EQ(g.num_edges(), 8u);  // (3-1) * 2 * min(8, 2)
+  for (TaskId v = 2; v < 6; ++v) EXPECT_EQ(g.in_degree(v), 2);
+}
+
+}  // namespace
+}  // namespace moldsched::graph::passes

@@ -1,0 +1,107 @@
+// Concurrent use of a shared const TaskGraph: the adversarial search
+// evaluates one start graph from many engine workers at once, so the
+// lazy CSR adjacency build must be race-free (double-checked flag +
+// build mutex). These tests run under the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::graph {
+namespace {
+
+TaskGraph fresh_graph() {
+  // Freshly built, so no CSR view exists yet — every reader thread
+  // races into the first lazy build.
+  return layered_uniform(20, 50, 3, 1234,
+                         constant_provider(std::make_shared<model::RooflineModel>(
+                             1.0, 4)));
+}
+
+std::uint64_t adjacency_checksum(const TaskGraph& g) {
+  std::uint64_t sum = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const TaskId s : g.successors(v))
+      sum += static_cast<std::uint64_t>(v) * 31u +
+             static_cast<std::uint64_t>(s);
+    for (const TaskId u : g.predecessors(v))
+      sum += static_cast<std::uint64_t>(u) * 17u +
+             static_cast<std::uint64_t>(v);
+  }
+  return sum;
+}
+
+TEST(TaskGraphConcurrencyTest, ConcurrentReadersRaceIntoOneLazyBuild) {
+  const TaskGraph g = fresh_graph();
+  ASSERT_FALSE(g.adjacency_built());
+
+  constexpr int kThreads = 8;
+  const std::uint64_t expected = [] {
+    const TaskGraph reference = fresh_graph();
+    return adjacency_checksum(reference);
+  }();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, &mismatches, expected] {
+      if (adjacency_checksum(g) != expected) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(g.adjacency_built());
+}
+
+TEST(TaskGraphConcurrencyTest, ConcurrentCopyAndMutateStayIndependent) {
+  const TaskGraph g = fresh_graph();
+
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, &failures, t] {
+      // Clone-then-edit, the perturbation pattern: each thread mutates
+      // only its private copy while others still read the original.
+      TaskGraph mine = g;
+      const TaskId v = mine.add_task(
+          std::make_shared<model::RooflineModel>(2.0, 2), "extra");
+      mine.add_edge(t, v);
+      if (mine.num_tasks() != g.num_tasks() + 1) failures.fetch_add(1);
+      if (mine.successors(t).size() !=
+          g.successors(t).size() + 1)
+        failures.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TaskGraphConcurrencyTest, DegreeQueriesNeverForceABuild) {
+  const TaskGraph g = fresh_graph();
+  std::vector<std::thread> threads;
+  std::atomic<long> total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g, &total] {
+      long sum = 0;
+      for (TaskId v = 0; v < g.num_tasks(); ++v)
+        sum += g.in_degree(v) + g.out_degree(v);
+      total.fetch_add(sum);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(g.adjacency_built());
+  EXPECT_EQ(total.load(), 4 * 2 * static_cast<long>(g.num_edges()));
+}
+
+}  // namespace
+}  // namespace moldsched::graph

@@ -1,0 +1,156 @@
+// Randomized properties of the graph::passes pipeline, seeded per cell
+// like the other property binaries (raise MOLDSCHED_PROPERTY_SEEDS for
+// the nightly sweep):
+//  * transitive reduction preserves reachability exactly (checked
+//    against a brute-force transitive closure on <= 200-task instances)
+//    and is idempotent;
+//  * the critical path over t_min(P) weights lower-bounds every
+//    simulated makespan;
+//  * topological_layers agrees with the generator layering on the
+//    layered families.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/passes.hpp"
+#include "moldsched/model/sampler.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskId;
+
+int seeds_per_cell() {
+  if (const char* env = std::getenv("MOLDSCHED_PROPERTY_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+/// Random instance families for the reduction property; all stay well
+/// under the 200-task brute-force budget.
+TaskGraph random_instance(int family, util::Rng& rng) {
+  const model::ModelSampler sampler(model::ModelKind::kGeneral);
+  const auto provider = graph::sampling_provider(sampler, rng, 32);
+  switch (family % 4) {
+    case 0:
+      return graph::erdos_renyi_dag(
+          static_cast<int>(rng.uniform_int(2, 60)), 0.25, rng, provider);
+    case 1:
+      return graph::layered_random(5, 2, 8, 0.4, rng, provider);
+    case 2:
+      return graph::series_parallel(
+          static_cast<int>(rng.uniform_int(4, 50)), rng, provider);
+    default:
+      return graph::random_out_tree(
+          static_cast<int>(rng.uniform_int(2, 60)), 3, rng, provider);
+  }
+}
+
+/// Brute-force transitive closure: closure[u][v] == true iff a path
+/// u -> ... -> v exists. O(V * E) per source, fine at <= 200 tasks.
+std::vector<std::vector<bool>> transitive_closure(const TaskGraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  for (TaskId src = 0; src < g.num_tasks(); ++src) {
+    std::vector<TaskId> stack{src};
+    while (!stack.empty()) {
+      const TaskId v = stack.back();
+      stack.pop_back();
+      for (const TaskId s : g.successors(v)) {
+        if (closure[static_cast<std::size_t>(src)]
+                   [static_cast<std::size_t>(s)])
+          continue;
+        closure[static_cast<std::size_t>(src)][static_cast<std::size_t>(s)] =
+            true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return closure;
+}
+
+TEST(PassesPropertyTest, TransitiveReductionPreservesReachability) {
+  for (int seed = 1; seed <= seeds_per_cell(); ++seed) {
+    for (int family = 0; family < 4; ++family) {
+      util::Rng rng(util::derive_seed(7000, seed * 4 + family));
+      const auto g = random_instance(family, rng);
+      ASSERT_LE(g.num_tasks(), 200);
+
+      const auto reduced = graph::passes::transitive_reduction(g);
+      ASSERT_EQ(reduced.graph.num_tasks(), g.num_tasks());
+      EXPECT_EQ(reduced.graph.num_edges() + reduced.edges_removed,
+                g.num_edges());
+
+      const auto before = transitive_closure(g);
+      const auto after = transitive_closure(reduced.graph);
+      EXPECT_EQ(before, after)
+          << "reachability changed, family " << family << " seed " << seed;
+
+      // Every surviving edge is essential: it cannot be re-derived from
+      // the other reduced edges, i.e. reduction is idempotent.
+      const auto again = graph::passes::transitive_reduction(reduced.graph);
+      EXPECT_EQ(again.edges_removed, 0u)
+          << "reduction not minimal, family " << family << " seed " << seed;
+    }
+  }
+}
+
+TEST(PassesPropertyTest, CriticalPathLowerBoundsSimulatedMakespan) {
+  for (int seed = 1; seed <= seeds_per_cell(); ++seed) {
+    for (const int P : {4, 32}) {
+      util::Rng rng(util::derive_seed(7100, seed));
+      const auto g = random_instance(seed % 4, rng);
+      const auto weights = graph::passes::min_time_weights(g, P);
+      const auto cp = graph::passes::critical_path(g, weights);
+      ASSERT_FALSE(cp.tasks.empty());
+
+      const core::LpaAllocator lpa(0.3);
+      const auto result = core::schedule_online(g, P, lpa);
+      EXPECT_LE(cp.length, result.makespan * (1.0 + 1e-12))
+          << "critical path exceeded makespan at P=" << P << " seed "
+          << seed;
+    }
+  }
+}
+
+TEST(PassesPropertyTest, LayersAgreeWithGeneratorLayering) {
+  for (int seed = 1; seed <= seeds_per_cell(); ++seed) {
+    // layered_random names tasks "L<layer>.<i>"; every non-first-layer
+    // task has at least one forced predecessor in the previous layer,
+    // so the ASAP level must equal the generator layer.
+    util::Rng rng(util::derive_seed(7200, seed));
+    const model::ModelSampler sampler(model::ModelKind::kRoofline);
+    const auto provider = graph::sampling_provider(sampler, rng, 16);
+    const auto g = graph::layered_random(6, 2, 7, 0.35, rng, provider);
+    const auto layering = graph::passes::topological_layers(g);
+    EXPECT_EQ(layering.num_layers(), 6);
+    for (TaskId v = 0; v < g.num_tasks(); ++v) {
+      const std::string name = g.name(v);
+      ASSERT_EQ(name.front(), 'L');
+      const int generator_layer =
+          std::stoi(name.substr(1, name.find('.') - 1));
+      EXPECT_EQ(layering.layer_of[static_cast<std::size_t>(v)],
+                generator_layer)
+          << "task " << name << " seed " << seed;
+    }
+
+    // And the uniform scale family, where the layer is id / width.
+    const auto u = graph::layered_uniform(8, 25, 2, seed, provider);
+    const auto ulayering = graph::passes::topological_layers(u);
+    EXPECT_EQ(ulayering.num_layers(), 8);
+    for (TaskId v = 0; v < u.num_tasks(); ++v)
+      ASSERT_EQ(ulayering.layer_of[static_cast<std::size_t>(v)], v / 25);
+  }
+}
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,108 @@
+// Scale-tier suite (ctest label `scale`): the 10^5-task smoke runs in
+// tier 1; the 10^6 and 10^7 tiers gate behind MOLDSCHED_SCALE_TESTS=1
+// and run in the nightly scale CI job. Every tier asserts the schedule
+// validates, the makespan is bit-identical across two independent runs
+// (the whole pipeline — generator, CSR build, allocator, simulator — is
+// deterministic), and the critical-path pass lower-bounds the makespan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moldsched/core/allocator.hpp"
+#include "moldsched/core/online_scheduler.hpp"
+#include "moldsched/graph/generators.hpp"
+#include "moldsched/graph/passes.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/sim/validator.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+bool scale_tiers_enabled() {
+  const char* env = std::getenv("MOLDSCHED_SCALE_TESTS");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Small pool of distinct Eq. (1) models, cycled — mirrors bench_scale.
+graph::ModelProvider pooled_provider(int pool_size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto pool = std::make_shared<std::vector<model::ModelPtr>>();
+  pool->reserve(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    model::GeneralParams params;
+    params.w = rng.log_uniform(1.0, 100.0);
+    params.d = rng.log_uniform(0.01, 1.0);
+    params.c = rng.log_uniform(1e-4, 1e-2);
+    params.pbar = static_cast<int>(rng.uniform_int(4, 256));
+    pool->push_back(std::make_shared<model::GeneralModel>(params));
+  }
+  auto next = std::make_shared<std::size_t>(0);
+  return [pool, next] {
+    const auto& m = (*pool)[*next % pool->size()];
+    ++*next;
+    return m;
+  };
+}
+
+struct TierOutcome {
+  double makespan = 0.0;
+  double lower_bound = 0.0;
+};
+
+TierOutcome run_tier(int layers, int width, int degree, bool validate) {
+  constexpr int kP = 256;
+  const auto g =
+      graph::layered_uniform(layers, width, degree, /*seed=*/7,
+                             pooled_provider(64, 11));
+  EXPECT_EQ(g.num_edges(),
+            graph::layered_uniform_edges(layers, width, degree));
+
+  const core::LpaAllocator lpa(0.25);
+  const auto cache = std::make_shared<core::DecisionCache>();
+  const core::CachingAllocator cached(lpa, cache);
+  const auto result = core::schedule_online(g, kP, cached);
+
+  TierOutcome outcome;
+  outcome.makespan = result.makespan;
+  if (validate) {
+    sim::expect_valid_schedule(g, result.trace, kP);
+    const auto weights = graph::passes::min_time_weights(g, kP);
+    outcome.lower_bound = graph::passes::critical_path(g, weights).length;
+    EXPECT_GE(outcome.makespan, outcome.lower_bound);
+  }
+  return outcome;
+}
+
+/// One tier end to end: validate + lower-bound the first run, then
+/// assert the second run's makespan is bit-identical.
+void check_tier(int layers, int width, int degree) {
+  const TierOutcome first = run_tier(layers, width, degree, true);
+  const TierOutcome second = run_tier(layers, width, degree, false);
+  EXPECT_EQ(first.makespan, second.makespan)
+      << "scale tier not deterministic at " << layers << "x" << width;
+  EXPECT_GT(first.makespan, 0.0);
+}
+
+TEST(ScaleTest, HundredThousandTaskSmoke) {
+  check_tier(/*layers=*/100, /*width=*/1000, /*degree=*/2);
+}
+
+TEST(ScaleTest, MillionTaskTier) {
+  if (!scale_tiers_enabled())
+    GTEST_SKIP() << "set MOLDSCHED_SCALE_TESTS=1 to run the 10^6 tier";
+  check_tier(/*layers=*/500, /*width=*/2000, /*degree=*/2);
+}
+
+TEST(ScaleTest, TenMillionTaskTier) {
+  if (!scale_tiers_enabled())
+    GTEST_SKIP() << "set MOLDSCHED_SCALE_TESTS=1 to run the 10^7 tier";
+  check_tier(/*layers=*/2000, /*width=*/5000, /*degree=*/2);
+}
+
+}  // namespace
+}  // namespace moldsched
