@@ -26,11 +26,24 @@
 // the flight recorder so with/without-telemetry throughput is
 // comparable across two runs of the same command; the "telemetry" field
 // in the JSON says which mode produced a given BENCH_serve.json.
+// --soak switches to day-in-the-life mode: sessions arrive as a
+// non-homogeneous Poisson process whose rate follows a diurnal curve
+// (one "day" spans the whole run), drawn from the ingested workload
+// catalog, with a small fraction of clients abandoning their session
+// mid-stream to exercise the idle reaper. The run hard-asserts the
+// soak invariants — zero fd growth, server RSS delta under a ceiling,
+// every abandoned session reaped — and records the server-side
+// log-bucketed p99 plus windowed client p99s in a "soak" section of
+// BENCH_serve.json. Against an external moldsched_serve, the server's
+// fd/RSS/reap/latency curves are scraped from its admin listener
+// (--admin-port), so the same invariants hold out of process.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,12 +53,19 @@
 #include <thread>
 #include <vector>
 
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "moldsched/check/wire_check.hpp"
 #include "moldsched/graph/adversary.hpp"
 #include "moldsched/graph/generators.hpp"
 #include "moldsched/graph/workflows.hpp"
+#include "moldsched/ingest/catalog.hpp"
+#include "moldsched/io/json.hpp"
 #include "moldsched/model/sampler.hpp"
 #include "moldsched/obs/metrics.hpp"
+#include "moldsched/obs/process_stats.hpp"
 #include "moldsched/svc/client.hpp"
 #include "moldsched/svc/server.hpp"
 #include "moldsched/svc/wire.hpp"
@@ -111,10 +131,14 @@ std::vector<CatalogEntry> build_catalog(const std::string& which, int P,
     add("adversary/amdahl", graph::amdahl_adversary(5, mu).graph);
     add("adversary/general", graph::general_adversary(5, mu).graph);
   }
+  if (which == "ingest") {
+    for (const auto& w : ingest::load_bundled_workloads())
+      add("ingest/" + w.name, w.graph);
+  }
   if (out.empty())
     throw std::invalid_argument(
         "unknown catalog '" + which +
-        "' (known: random, workflow, adversary, mixed)");
+        "' (known: random, workflow, adversary, mixed, ingest)");
   return out;
 }
 
@@ -133,6 +157,520 @@ double percentile(const std::vector<double>& sorted, double q) {
   const auto rank = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// --soak: day-in-the-life replay with resource-leak assertions.
+
+/// Minimal blocking HTTP/1.0 GET; returns the response body. Throws on
+/// connect/read failure — a soak against a dead admin listener should
+/// fail loudly, not report vacuous resource curves.
+std::string http_get(const std::string& host, int port,
+                     const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr)
+    throw std::runtime_error("http_get: cannot resolve " + host);
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    throw std::runtime_error("http_get: socket failed");
+  }
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    ::close(fd);
+    throw std::runtime_error("http_get: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("http_get: send failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = response.find("\r\n\r\n");
+  if (split == std::string::npos)
+    throw std::runtime_error("http_get: malformed response from " + host);
+  return response.substr(split + 4);
+}
+
+/// One observation of the server's resource / reaper / latency state —
+/// from this process for the in-process server, from the admin
+/// listener's /metrics.json for an external one.
+struct ServerSample {
+  double open_fds = 0.0;
+  double rss_bytes = 0.0;
+  double reaped = 0.0;
+  obs::MetricSample latency;  ///< svc.request.latency_ms
+};
+
+ServerSample sample_in_process() {
+  ServerSample s;
+  const obs::ProcessStats proc = obs::read_process_stats();
+  s.open_fds = proc.open_fds;
+  s.rss_bytes = proc.rss_bytes;
+  for (const auto& m : obs::default_registry().snapshot()) {
+    if (m.name == "svc.sessions.reaped") s.reaped = m.value;
+    if (m.name == "svc.request.latency_ms") s.latency = m;
+  }
+  return s;
+}
+
+ServerSample sample_admin(const std::string& host, int admin_port) {
+  ServerSample s;
+  const io::JsonValue doc =
+      io::parse_json(http_get(host, admin_port, "/metrics.json"));
+  if (const auto* gauges = doc.find("gauges")) {
+    if (const auto* v = gauges->find("proc.open_fds")) s.open_fds = v->number;
+    if (const auto* v = gauges->find("proc.rss_bytes")) s.rss_bytes = v->number;
+  }
+  if (const auto* counters = doc.find("counters"))
+    if (const auto* v = counters->find("svc.sessions.reaped"))
+      s.reaped = v->number;
+  if (const auto* hists = doc.find("histograms")) {
+    if (const auto* h = hists->find("svc.request.latency_ms")) {
+      // The exposition omits the bucket bounds (they are the fixed
+      // default latency ladder); reconstruct a MetricSample so
+      // obs::sample_quantile works on the scraped histogram too.
+      s.latency.name = "svc.request.latency_ms";
+      s.latency.kind = obs::MetricSample::Kind::kHistogram;
+      s.latency.bounds = obs::Histogram::default_latency_bounds();
+      if (const auto* v = h->find("count"))
+        s.latency.count = static_cast<std::uint64_t>(v->number);
+      if (const auto* v = h->find("sum")) s.latency.sum = v->number;
+      if (const auto* v = h->find("min")) s.latency.min = v->number;
+      if (const auto* v = h->find("max")) s.latency.max = v->number;
+      if (const auto* v = h->find("buckets"))
+        for (const auto& b : v->array)
+          s.latency.buckets.push_back(static_cast<std::uint64_t>(b.number));
+    }
+  }
+  return s;
+}
+
+struct SoakArrival {
+  int id = 0;
+  std::size_t entry = 0;  ///< catalog index
+  bool abandon = false;
+  double t_s = 0.0;  ///< offset from soak start
+};
+
+int run_soak(const util::Flags& flags) {
+  const double duration_s = flags.get_double("duration", 60.0);
+  const double rate = flags.get_double("rate", 12.0);
+  const double period_s = flags.get_double("diurnal-period", duration_s);
+  const double abandon_pct = flags.get_double("abandon-pct", 3.0);
+  const int concurrency = static_cast<int>(flags.get_int("concurrency", 8));
+  const std::string scheduler = flags.get_string("scheduler", "lpa");
+  const double mu = flags.get_double("mu", 0.25);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+  const double rss_ceiling_mb = flags.get_double("rss-ceiling-mb", 512.0);
+  const double window_s = flags.get_double("p99-window", 10.0);
+  const double p99_factor = flags.get_double("p99-window-factor", 0.0);
+  const double idle_timeout_s = flags.get_double("idle-timeout", 2.0);
+  const std::string out_path = flags.get_string("out", "BENCH_serve.json");
+  const bool quiet = flags.get_bool("quiet", false);
+  std::string host = flags.get_string("host", "");
+  int port = static_cast<int>(flags.get_int("port", 0));
+  const int admin_port = static_cast<int>(flags.get_int("admin-port", 0));
+  const std::string catalog_name = flags.get_string("catalog", "ingest");
+
+  const auto catalog = build_catalog(
+      catalog_name, static_cast<int>(flags.get_int("P", 48)), mu, seed);
+  // Per-entry platform size: the ingest catalog carries each file's own
+  // P hint; other catalogs use the uniform --P.
+  std::vector<int> entry_P(catalog.size(),
+                           static_cast<int>(flags.get_int("P", 48)));
+  if (catalog_name == "ingest") {
+    const auto workloads = ingest::load_bundled_workloads();
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      for (const auto& w : workloads)
+        if (catalog[i].name == "ingest/" + w.name) entry_P[i] = w.P;
+  }
+
+  std::unique_ptr<svc::Server> server;
+  const bool in_process = host.empty();
+  if (in_process) {
+    svc::ServerLimits limits;
+    limits.max_in_flight =
+        static_cast<int>(flags.get_int("max-inflight", 256));
+    limits.max_sessions = std::max(64, concurrency * 4);
+    limits.idle_timeout_s = idle_timeout_s;  // reap within the run
+    server = std::make_unique<svc::Server>(limits);
+    host = "127.0.0.1";
+    port = server->listen(host, 0);
+  } else if (port == 0) {
+    std::cerr << "bench_serve: --host requires --port\n";
+    return 2;
+  } else if (admin_port == 0) {
+    std::cerr << "bench_serve: --soak against an external server needs "
+                 "--admin-port to scrape fd/RSS/reaper state\n";
+    return 2;
+  }
+  const auto sample_server = [&]() {
+    return in_process ? sample_in_process() : sample_admin(host, admin_port);
+  };
+
+  const ServerSample baseline = sample_server();
+
+  // Shared arrival queue: the main thread plays the day, workers drain.
+  std::mutex mu_q;
+  std::condition_variable cv;
+  std::deque<SoakArrival> queue;
+  bool producer_done = false;
+
+  struct SoakWorker {
+    std::vector<std::pair<double, double>> lat;  ///< (elapsed_s, ms)
+    std::uint64_t sessions_ok = 0;
+    std::uint64_t sessions_failed = 0;
+    std::uint64_t abandoned = 0;  ///< successfully opened, then dropped
+    std::uint64_t tasks_released = 0;
+    std::map<std::string, std::uint64_t> rejections;
+  };
+  std::vector<SoakWorker> wstats(static_cast<std::size_t>(concurrency));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&t0]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      SoakWorker& st = wstats[static_cast<std::size_t>(w)];
+      util::Rng wrng(util::derive_seed(seed, 1000 + static_cast<std::uint64_t>(w)));
+      for (;;) {
+        SoakArrival a;
+        {
+          std::unique_lock<std::mutex> lock(mu_q);
+          cv.wait(lock, [&] { return producer_done || !queue.empty(); });
+          if (queue.empty()) return;
+          a = queue.front();
+          queue.pop_front();
+        }
+        try {
+          svc::Client client;
+          client.connect(host, port);
+          const auto timed = [&](const std::string& payload) {
+            const auto s = std::chrono::steady_clock::now();
+            std::string reply = client.roundtrip(payload);
+            st.lat.emplace_back(
+                elapsed_s(),
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - s)
+                    .count());
+            return reply;
+          };
+          const CatalogEntry& entry = catalog[a.entry];
+          svc::OpenParams open;
+          open.scheduler = scheduler;
+          open.P = entry_P[a.entry];
+          open.mu = mu;
+          const svc::OpenReply opened = svc::parse_open_reply(
+              timed(svc::open_request_json(open, 1)));
+          if (!opened.ok) {
+            ++st.rejections[svc::to_string(opened.error.code)];
+            ++st.sessions_failed;
+            continue;
+          }
+          const graph::TaskGraph& g = entry.graph;
+          const graph::TaskId stop =
+              a.abandon ? std::max<graph::TaskId>(1, g.num_tasks() / 3)
+                        : g.num_tasks();
+          bool failed = false;
+          for (graph::TaskId v = 0; v < stop && !failed; ++v) {
+            svc::ReleaseParams release;
+            release.name = g.name(v);
+            release.model = g.model_ptr(v);
+            for (const graph::TaskId u : g.predecessors(v))
+              release.preds.push_back(u);
+            release.expected_task = v;
+            const svc::ReleaseReply rr = svc::parse_release_reply(
+                timed(svc::release_request_json(opened.session, release,
+                                                v + 2)));
+            if (!rr.ok) {
+              ++st.rejections[svc::to_string(rr.error.code)];
+              failed = true;
+            } else {
+              ++st.tasks_released;
+            }
+          }
+          if (a.abandon && !failed) {
+            // Day-in-the-life misbehavior: walk away mid-session. The
+            // connection drops here; only the idle reaper can free the
+            // session state, which the post-run assertion checks.
+            client.disconnect();
+            ++st.abandoned;
+            continue;
+          }
+          const svc::CloseReply closed = svc::parse_close_reply(
+              timed(svc::close_request_json(opened.session, 0)));
+          if (!closed.ok) {
+            ++st.rejections[svc::to_string(closed.error.code)];
+            failed = true;
+          }
+          if (failed)
+            ++st.sessions_failed;
+          else
+            ++st.sessions_ok;
+        } catch (const std::exception&) {
+          ++st.sessions_failed;
+        }
+      }
+    });
+  }
+
+  // Non-homogeneous Poisson arrivals by thinning: candidate arrivals at
+  // the peak rate, each kept with probability shape(t) in [0.3, 1] —
+  // a raised-cosine "day" that troughs at both ends of the run and
+  // peaks in the middle.
+  util::Rng rng(seed);
+  int next_id = 0;
+  double t = 0.0;
+  const double peak_rate = std::max(rate, 1e-9);
+  while (t < duration_s) {
+    t += rng.exponential(peak_rate);
+    if (t >= duration_s) break;
+    const double shape =
+        0.3 + 0.7 * 0.5 * (1.0 - std::cos(2.0 * M_PI * t / period_s));
+    if (!rng.bernoulli(shape)) continue;
+    SoakArrival a;
+    a.id = next_id++;
+    a.entry = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(catalog.size()) - 1));
+    a.abandon = rng.bernoulli(abandon_pct / 100.0);
+    a.t_s = t;
+    const double wait = t - elapsed_s();
+    if (wait > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    {
+      const std::lock_guard<std::mutex> lock(mu_q);
+      queue.push_back(a);
+    }
+    cv.notify_one();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_q);
+    producer_done = true;
+  }
+  cv.notify_all();
+  for (auto& th : workers) th.join();
+  const double wall_s = elapsed_s();
+
+  // Merge.
+  std::vector<std::pair<double, double>> lat;
+  std::uint64_t sess_ok = 0, sess_failed = 0, abandoned = 0, tasks = 0;
+  std::map<std::string, std::uint64_t> rejections;
+  for (const auto& st : wstats) {
+    lat.insert(lat.end(), st.lat.begin(), st.lat.end());
+    sess_ok += st.sessions_ok;
+    sess_failed += st.sessions_failed;
+    abandoned += st.abandoned;
+    tasks += st.tasks_released;
+    for (const auto& [code, n] : st.rejections) rejections[code] += n;
+  }
+  const auto arrivals = static_cast<std::uint64_t>(next_id);
+
+  // Wait for the reaper to claim every abandoned session AND for the fd
+  // count to settle back to the baseline before the final resource
+  // sample: reaped sessions are exactly the leak the fd and RSS
+  // assertions would otherwise misattribute, and the server's io thread
+  // needs a poll cycle after the last client destructor to observe EOF
+  // and close its side of each connection. A genuine leak never
+  // converges, so the deadline still turns it into a failure.
+  double reaped_delta = 0.0;
+  const double reap_deadline = wall_s + std::max(3.0 * idle_timeout_s, 10.0);
+  ServerSample fin = sample_server();
+  for (;;) {
+    reaped_delta = fin.reaped - baseline.reaped;
+    if (reaped_delta >= static_cast<double>(abandoned) &&
+        fin.open_fds <= baseline.open_fds)
+      break;
+    if (elapsed_s() > reap_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    fin = sample_server();
+  }
+
+  // Windowed client p99s: the "stable p99" signal. Windows with too few
+  // samples (the diurnal troughs) are reported but never asserted on.
+  struct Window {
+    double t0 = 0.0, t1 = 0.0;
+    std::uint64_t n = 0;
+    double p99 = 0.0;
+  };
+  std::vector<Window> windows;
+  const int n_windows =
+      std::max(1, static_cast<int>(std::ceil(duration_s / window_s)));
+  for (int i = 0; i < n_windows; ++i) {
+    Window win;
+    win.t0 = i * window_s;
+    win.t1 = std::min(duration_s, (i + 1) * window_s);
+    std::vector<double> sample;
+    for (const auto& [at, ms] : lat)
+      if (at >= win.t0 && at < win.t1) sample.push_back(ms);
+    std::sort(sample.begin(), sample.end());
+    win.n = sample.size();
+    win.p99 = percentile(sample, 0.99);
+    windows.push_back(win);
+  }
+  double win_p99_min = 0.0, win_p99_max = 0.0;
+  for (const auto& win : windows) {
+    if (win.n < 50) continue;  // troughs: too few samples to trust
+    if (win_p99_max == 0.0) win_p99_min = win_p99_max = win.p99;
+    win_p99_min = std::min(win_p99_min, win.p99);
+    win_p99_max = std::max(win_p99_max, win.p99);
+  }
+
+  std::vector<double> all_ms;
+  all_ms.reserve(lat.size());
+  for (const auto& [at, ms] : lat) all_ms.push_back(ms);
+  std::sort(all_ms.begin(), all_ms.end());
+  const double client_p50 = percentile(all_ms, 0.50);
+  const double client_p99 = percentile(all_ms, 0.99);
+  const double server_p50 = obs::sample_quantile(fin.latency, 0.50);
+  const double server_p99 = obs::sample_quantile(fin.latency, 0.99);
+
+  const double fd_growth = fin.open_fds - baseline.open_fds;
+  const double rss_delta_mb =
+      (fin.rss_bytes - baseline.rss_bytes) / (1024.0 * 1024.0);
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"bench\": \"serve\",\n"
+     << "  \"mode\": \"soak\",\n"
+     << "  \"catalog\": \"" << catalog_name << "\",\n"
+     << "  \"in_process_server\": " << (in_process ? "true" : "false")
+     << ",\n"
+     << "  \"duration_s\": " << svc::wire_number(duration_s) << ",\n"
+     << "  \"wall_s\": " << svc::wire_number(wall_s) << ",\n"
+     << "  \"rate_per_s\": " << svc::wire_number(rate) << ",\n"
+     << "  \"diurnal_period_s\": " << svc::wire_number(period_s) << ",\n"
+     << "  \"concurrency\": " << concurrency << ",\n"
+     << "  \"scheduler\": \"" << scheduler << "\",\n"
+     << "  \"arrivals\": " << arrivals << ",\n"
+     << "  \"sessions_ok\": " << sess_ok << ",\n"
+     << "  \"sessions_failed\": " << sess_failed << ",\n"
+     << "  \"sessions_abandoned\": " << abandoned << ",\n"
+     << "  \"tasks_released\": " << tasks << ",\n"
+     << "  \"requests\": " << all_ms.size() << ",\n"
+     << "  \"latency_ms\": {\"p50\": " << svc::wire_number(client_p50)
+     << ", \"p99\": " << svc::wire_number(client_p99) << "},\n"
+     << "  \"soak\": {\n"
+     << "    \"fd_baseline\": " << svc::wire_number(baseline.open_fds)
+     << ",\n"
+     << "    \"fd_final\": " << svc::wire_number(fin.open_fds) << ",\n"
+     << "    \"fd_growth\": " << svc::wire_number(fd_growth) << ",\n"
+     << "    \"rss_baseline_mb\": "
+     << svc::wire_number(baseline.rss_bytes / (1024.0 * 1024.0)) << ",\n"
+     << "    \"rss_final_mb\": "
+     << svc::wire_number(fin.rss_bytes / (1024.0 * 1024.0)) << ",\n"
+     << "    \"rss_delta_mb\": " << svc::wire_number(rss_delta_mb) << ",\n"
+     << "    \"rss_ceiling_mb\": " << svc::wire_number(rss_ceiling_mb)
+     << ",\n"
+     << "    \"sessions_reaped\": " << svc::wire_number(reaped_delta)
+     << ",\n"
+     << "    \"server_latency_ms\": {\"p50\": " << svc::wire_number(server_p50)
+     << ", \"p99\": " << svc::wire_number(server_p99) << "},\n"
+     << "    \"window_s\": " << svc::wire_number(window_s) << ",\n"
+     << "    \"window_p99_min\": " << svc::wire_number(win_p99_min) << ",\n"
+     << "    \"window_p99_max\": " << svc::wire_number(win_p99_max) << ",\n"
+     << "    \"windows\": [";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) js << ", ";
+    js << "{\"t0\": " << svc::wire_number(windows[i].t0)
+       << ", \"t1\": " << svc::wire_number(windows[i].t1)
+       << ", \"n\": " << windows[i].n
+       << ", \"p99_ms\": " << svc::wire_number(windows[i].p99) << "}";
+  }
+  js << "]\n  },\n"
+     << "  \"rejections\": {";
+  bool first = true;
+  for (const auto& [code, n] : rejections) {
+    if (!first) js << ", ";
+    first = false;
+    js << '"' << code << "\": " << n;
+  }
+  js << "},\n"
+     << "  \"metrics\": "
+     << (in_process ? obs::default_registry().to_json(2) : "null") << "\n"
+     << "}\n";
+
+  if (server) {
+    server->stop();
+    server->wait();
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_serve: cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << js.str();
+  out.close();
+
+  if (!quiet)
+    std::cout << "bench_serve --soak: " << arrivals << " arrivals over "
+              << wall_s << " s (" << sess_ok << " ok, " << sess_failed
+              << " failed, " << abandoned << " abandoned, "
+              << reaped_delta << " reaped), client p99 " << client_p99
+              << " ms, server p99 " << server_p99 << " ms, fd growth "
+              << fd_growth << ", rss delta " << rss_delta_mb
+              << " MB\nwrote " << out_path << '\n';
+
+  // Hard soak invariants.
+  int rc = 0;
+  if (fd_growth > 0) {
+    std::cerr << "bench_serve: fd growth " << fd_growth << " (baseline "
+              << baseline.open_fds << ", final " << fin.open_fds << ")\n";
+    rc = 1;
+  }
+  if (rss_delta_mb > rss_ceiling_mb) {
+    std::cerr << "bench_serve: RSS delta " << rss_delta_mb
+              << " MB exceeds ceiling " << rss_ceiling_mb << " MB\n";
+    rc = 1;
+  }
+  if (reaped_delta < static_cast<double>(abandoned)) {
+    std::cerr << "bench_serve: only " << reaped_delta << " of " << abandoned
+              << " abandoned sessions were reaped within "
+              << reap_deadline - wall_s << " s\n";
+    rc = 1;
+  }
+  if (sess_ok + sess_failed + abandoned != arrivals) {
+    std::cerr << "bench_serve: session accounting leak: " << sess_ok
+              << " ok + " << sess_failed << " failed + " << abandoned
+              << " abandoned != " << arrivals << " arrivals\n";
+    rc = 1;
+  }
+  if (p99_factor > 0 && win_p99_min > 0 &&
+      win_p99_max > p99_factor * win_p99_min) {
+    std::cerr << "bench_serve: windowed p99 unstable: max " << win_p99_max
+              << " ms > " << p99_factor << " x min " << win_p99_min
+              << " ms\n";
+    rc = 1;
+  }
+  return rc;
 }
 
 int usage(std::ostream& os, int code) {
@@ -157,7 +695,24 @@ int usage(std::ostream& os, int code) {
         "  --telemetry       arm the in-process server's telemetry plane\n"
         "                    (phase metrics + 1024-deep flight recorder)\n"
         "  --out FILE        result JSON (default BENCH_serve.json)\n"
-        "  --quiet           suppress the progress line\n";
+        "  --quiet           suppress the progress line\n"
+        "\n"
+        "soak mode (day-in-the-life replay with leak assertions):\n"
+        "  --soak            Poisson arrivals under a diurnal load curve\n"
+        "                    from the ingested catalog; asserts zero fd\n"
+        "                    growth, bounded RSS delta, and that every\n"
+        "                    abandoned session is reaped\n"
+        "  --duration S      soak length in seconds (default 60)\n"
+        "  --rate R          peak session arrivals per second (default 12)\n"
+        "  --diurnal-period S  one day-cycle length (default: duration)\n"
+        "  --abandon-pct X   %% of sessions dropped mid-stream (default 3)\n"
+        "  --idle-timeout S  in-process reaper timeout (default 2)\n"
+        "  --rss-ceiling-mb M  max allowed server RSS delta (default 512)\n"
+        "  --p99-window S    client p99 window length (default 10)\n"
+        "  --p99-window-factor F  if > 0, fail when max windowed p99\n"
+        "                    exceeds F x min windowed p99 (default off)\n"
+        "  --admin-port N    external server's admin listener, required\n"
+        "                    with --host to scrape fd/RSS/reaper state\n";
   return code;
 }
 
@@ -167,6 +722,7 @@ int main(int argc, char** argv) {
   try {
     const util::Flags flags(argc, argv);
     if (flags.has("help") || flags.has("h")) return usage(std::cout, 0);
+    if (flags.get_bool("soak", false)) return run_soak(flags);
 
     const std::string catalog_name = flags.get_string("catalog", "mixed");
     const bool overload = flags.get_bool("overload", false);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "moldsched/graph/generators.hpp"
+#include "moldsched/ingest/catalog.hpp"
 #include "moldsched/model/arbitrary_model.hpp"
 #include "moldsched/model/sampler.hpp"
 
@@ -25,13 +26,25 @@ graph::ModelProvider table_provider(util::Rng& rng, int P) {
   };
 }
 
+/// The bundled workload catalog's DAG shapes, loaded once. Only the
+/// structure (edges + names) is reused: corpus draws resample every
+/// task's model from the requested kind, so the real workflow shapes
+/// get fuzzed under all five model families instead of just the models
+/// their files happen to declare.
+const std::vector<ingest::Workload>& ingested_shapes() {
+  static const std::vector<ingest::Workload> shapes =
+      ingest::load_bundled_workloads();
+  return shapes;
+}
+
 }  // namespace
 
 const std::vector<std::string>& corpus_families() {
   static const std::vector<std::string> families = {
       "layered_random", "erdos_renyi",     "fork_join",
       "random_out_tree", "random_in_tree", "series_parallel",
-      "chain",           "independent",    "diamond"};
+      "chain",           "independent",    "diamond",
+      "ingested"};
   return families;
 }
 
@@ -93,6 +106,20 @@ graph::TaskGraph corpus_graph(int family, model::ModelKind kind,
     case 8:
       return graph::diamond(static_cast<int>(rng.uniform_int(1, 20)),
                             provider);
+    case 9: {
+      const auto& shapes = ingested_shapes();
+      const auto& src =
+          shapes[static_cast<std::size_t>(rng.uniform_int(
+                     0, static_cast<std::int64_t>(shapes.size()) - 1))]
+              .graph;
+      graph::TaskGraph g;
+      g.reserve(src.num_tasks(), src.num_edges());
+      for (graph::TaskId v = 0; v < src.num_tasks(); ++v)
+        g.add_task(provider(), src.name(v));
+      for (graph::TaskId v = 0; v < src.num_tasks(); ++v)
+        for (const graph::TaskId s : src.successors(v)) g.add_edge(v, s);
+      return g;
+    }
     default:
       throw std::invalid_argument("corpus_graph: unknown family " +
                                   std::to_string(family));

@@ -27,7 +27,9 @@ namespace moldsched::check {
 
 /// Builds one random graph of the given family (index into
 /// corpus_families()) whose tasks all carry models of `kind`. kArbitrary
-/// yields random positive tables of length <= min(P, 64). Throws
+/// yields random positive tables of length <= min(P, 64). The "ingested"
+/// family reuses the bundled workload catalog's DAG shapes (structure
+/// and names) with models resampled from `kind`. Throws
 /// std::invalid_argument for an unknown family index.
 [[nodiscard]] graph::TaskGraph corpus_graph(int family, model::ModelKind kind,
                                             util::Rng& rng, int P);

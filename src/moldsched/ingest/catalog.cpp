@@ -1,0 +1,123 @@
+#include "moldsched/ingest/catalog.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "moldsched/ingest/dot.hpp"
+#include "moldsched/ingest/json_import.hpp"
+
+#ifndef MOLDSCHED_DATA_DIR
+#define MOLDSCHED_DATA_DIR "data"
+#endif
+
+namespace moldsched::ingest {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_workloads: cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string csv_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) out += (c == ',' || c == '\n') ? ';' : c;
+  return out;
+}
+
+}  // namespace
+
+std::string default_workloads_dir() {
+  if (const char* env = std::getenv("MOLDSCHED_WORKLOADS_DIR");
+      env != nullptr && *env != '\0')
+    return env;
+  return std::string(MOLDSCHED_DATA_DIR) + "/workloads";
+}
+
+std::vector<Workload> load_workloads(const std::string& dir,
+                                     const FitOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".dot" || ext == ".json") files.push_back(entry.path());
+  }
+  if (ec)
+    throw std::runtime_error("load_workloads: cannot read directory '" + dir +
+                             "': " + ec.message());
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  if (files.empty())
+    throw std::runtime_error("load_workloads: no *.dot or *.json workloads in '" +
+                             dir + "'");
+
+  std::vector<Workload> out;
+  out.reserve(files.size());
+  for (const auto& path : files) {
+    Workload w;
+    w.name = path.stem().string();
+    w.path = path.string();
+    w.format = path.extension() == ".dot" ? "dot" : "json";
+    const std::string text = read_file(w.path);
+    try {
+      w.imported = w.format == "dot" ? parse_dot(text)
+                                     : import_taskgraph_json(text);
+      Realized r = realize(w.imported, options);
+      w.graph = std::move(r.graph);
+      w.fit = std::move(r.fit);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(w.path + ": " + e.what());
+    }
+    w.P = w.imported.default_P > 0 ? w.imported.default_P : 32;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<Workload> load_bundled_workloads(const FitOptions& options) {
+  return load_workloads(default_workloads_dir(), options);
+}
+
+std::string fit_quality_csv(const std::vector<Workload>& workloads) {
+  std::string csv =
+      "instance,task,name,source,kind,w,d,c,pbar,rmse,max_rel_err,samples\n";
+  for (const auto& w : workloads) {
+    for (std::size_t i = 0; i < w.fit.tasks.size(); ++i) {
+      const TaskFit& t = w.fit.tasks[i];
+      const bool parametric = t.kind != model::ModelKind::kArbitrary;
+      csv += csv_escape(w.name);
+      csv += ',' + std::to_string(i);
+      csv += ',' + csv_escape(t.name);
+      csv += ',' + t.source;
+      csv += ',' + model::to_string(t.kind);
+      csv += ',' + (parametric ? format_number(t.params.w) : std::string());
+      csv += ',' + (parametric ? format_number(t.params.d) : std::string());
+      csv += ',' + (parametric ? format_number(t.params.c) : std::string());
+      csv += ',';
+      if (parametric)
+        csv += t.params.pbar == model::GeneralParams::kUnboundedParallelism
+                   ? "inf"
+                   : std::to_string(t.params.pbar);
+      csv += ',' + format_number(t.rmse);
+      csv += ',' + format_number(t.max_relative_error);
+      csv += ',' + std::to_string(t.samples);
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+}  // namespace moldsched::ingest

@@ -1,0 +1,52 @@
+// The bundled workload catalog: every *.dot / *.json file under a
+// directory (by default data/workloads/ in the source tree), imported,
+// model-fitted and realized into schedulable graphs. This is the shared
+// instance source for `moldsched_run --suite ingest`, the "ingested"
+// corpus family of the check:: differential harness, and the
+// `bench_serve --soak` day-in-the-life replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moldsched/ingest/import.hpp"
+
+namespace moldsched::ingest {
+
+struct Workload {
+  std::string name;        ///< file stem, unique within the catalog
+  std::string path;
+  std::string format;      ///< "dot" or "json"
+  ImportedGraph imported;
+  graph::TaskGraph graph;  ///< realized, ids in declaration order
+  FitReport fit;
+  int P = 0;               ///< file's platform hint, or 32 when absent
+};
+
+/// $MOLDSCHED_WORKLOADS_DIR when set, else <source>/data/workloads
+/// (baked in at build time). The env override is what lets installed
+/// binaries and CI soak jobs point at a relocated catalog.
+[[nodiscard]] std::string default_workloads_dir();
+
+/// Loads every *.dot / *.json file in `dir`, sorted by filename so the
+/// catalog order — and everything derived from it (fit CSVs, corpus
+/// draws, soak traffic) — is deterministic. Throws std::runtime_error
+/// when the directory is missing or holds no workload files;
+/// std::invalid_argument (with file path prepended) when any file fails
+/// to import.
+[[nodiscard]] std::vector<Workload> load_workloads(
+    const std::string& dir, const FitOptions& options = {});
+
+/// load_workloads(default_workloads_dir()).
+[[nodiscard]] std::vector<Workload> load_bundled_workloads(
+    const FitOptions& options = {});
+
+/// Deterministic fit-quality CSV over the catalog: one row per task with
+/// the chosen model kind, parameters at 17 significant digits, RMSE and
+/// max relative error — bit-identical across runs by construction.
+/// Header: instance,task,name,source,kind,w,d,c,pbar,rmse,max_rel_err,
+/// samples.
+[[nodiscard]] std::string fit_quality_csv(
+    const std::vector<Workload>& workloads);
+
+}  // namespace moldsched::ingest

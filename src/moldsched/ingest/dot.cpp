@@ -1,0 +1,473 @@
+#include "moldsched/ingest/dot.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace moldsched::ingest {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kLBrace, kRBrace, kLBracket, kRBracket, kEquals, kSemicolon, kComma,
+    kArrow, kId, kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  bool quoted = false;
+  SourcePos pos;
+};
+
+[[noreturn]] void fail(const std::string& what, const SourcePos& pos) {
+  throw std::invalid_argument("parse_dot: " + what + at_position(pos));
+}
+
+/// Hand-rolled lexer tracking byte/line/column per token. Quoted IDs are
+/// unescaped here (\" \\ \n; any other backslash pair passes through
+/// verbatim, matching Graphviz's tolerance for label escapes like \l).
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_trivia();
+    Token tok;
+    tok.pos = pos();
+    if (offset_ >= text_.size()) return tok;  // kEnd
+    const char c = text_[offset_];
+    switch (c) {
+      case '{': advance(); tok.kind = Token::Kind::kLBrace; return tok;
+      case '}': advance(); tok.kind = Token::Kind::kRBrace; return tok;
+      case '[': advance(); tok.kind = Token::Kind::kLBracket; return tok;
+      case ']': advance(); tok.kind = Token::Kind::kRBracket; return tok;
+      case '=': advance(); tok.kind = Token::Kind::kEquals; return tok;
+      case ';': advance(); tok.kind = Token::Kind::kSemicolon; return tok;
+      case ',': advance(); tok.kind = Token::Kind::kComma; return tok;
+      case '"': return lex_quoted(tok);
+      default: break;
+    }
+    if (c == '-' && offset_ + 1 < text_.size() &&
+        text_[offset_ + 1] == '>') {
+      advance();
+      advance();
+      tok.kind = Token::Kind::kArrow;
+      return tok;
+    }
+    if (is_id_char(c)) {
+      tok.kind = Token::Kind::kId;
+      while (offset_ < text_.size() && is_id_char(text_[offset_])) {
+        tok.text += text_[offset_];
+        advance();
+      }
+      return tok;
+    }
+    fail(std::string("unexpected character '") + c + "'", tok.pos);
+  }
+
+ private:
+  static bool is_id_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '.' || c == '+' || c == '-';
+  }
+
+  [[nodiscard]] SourcePos pos() const {
+    return {offset_, line_, column_};
+  }
+
+  void advance() {
+    if (text_[offset_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++offset_;
+  }
+
+  Token lex_quoted(Token tok) {
+    tok.kind = Token::Kind::kId;
+    tok.quoted = true;
+    advance();  // opening quote
+    while (true) {
+      if (offset_ >= text_.size()) fail("unterminated string", tok.pos);
+      const char c = text_[offset_];
+      advance();
+      if (c == '"') return tok;
+      if (c != '\\') {
+        tok.text += c;
+        continue;
+      }
+      if (offset_ >= text_.size()) fail("unterminated escape", tok.pos);
+      const char esc = text_[offset_];
+      advance();
+      switch (esc) {
+        case '"': tok.text += '"'; break;
+        case '\\': tok.text += '\\'; break;
+        case 'n': tok.text += '\n'; break;
+        default:
+          tok.text += '\\';
+          tok.text += esc;
+      }
+    }
+  }
+
+  void skip_trivia() {
+    while (offset_ < text_.size()) {
+      const char c = text_[offset_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == '#') {
+        while (offset_ < text_.size() && text_[offset_] != '\n') advance();
+        continue;
+      }
+      if (c == '/' && offset_ + 1 < text_.size()) {
+        if (text_[offset_ + 1] == '/') {
+          while (offset_ < text_.size() && text_[offset_] != '\n') advance();
+          continue;
+        }
+        if (text_[offset_ + 1] == '*') {
+          const SourcePos start = pos();
+          advance();
+          advance();
+          while (true) {
+            if (offset_ >= text_.size())
+              fail("unterminated /* comment", start);
+            if (text_[offset_] == '*' && offset_ + 1 < text_.size() &&
+                text_[offset_ + 1] == '/') {
+              advance();
+              advance();
+              break;
+            }
+            advance();
+          }
+          continue;
+        }
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t offset_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+double parse_double_attr(const Token& value, const std::string& key) {
+  const char* begin = value.text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + value.text.size() || value.text.empty() ||
+      !std::isfinite(v))
+    fail("attribute '" + key + "' is not a finite number", value.pos);
+  return v;
+}
+
+int parse_int_attr(const Token& value, const std::string& key) {
+  const double v = parse_double_attr(value, key);
+  if (v != std::floor(v) || v < -2147483648.0 || v > 2147483647.0)
+    fail("attribute '" + key + "' is not a 32-bit integer", value.pos);
+  return static_cast<int>(v);
+}
+
+std::vector<double> parse_times_attr(const Token& value) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  const std::string& s = value.text;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    const char* begin = item.c_str();
+    char* end = nullptr;
+    const double t = std::strtod(begin, &end);
+    if (item.empty() || end != begin + item.size() || !std::isfinite(t) ||
+        !(t > 0.0))
+      fail("times entries must be positive finite numbers", value.pos);
+    out.push_back(t);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) fail("times attribute is empty", value.pos);
+  return out;
+}
+
+std::vector<std::pair<int, double>> parse_profile_attr(const Token& value) {
+  std::vector<std::pair<int, double>> out;
+  std::size_t start = 0;
+  const std::string& s = value.text;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      fail("profile entries must be 'procs:time' pairs", value.pos);
+    const std::string p_str = item.substr(0, colon);
+    const std::string t_str = item.substr(colon + 1);
+    char* end = nullptr;
+    const long p = std::strtol(p_str.c_str(), &end, 10);
+    if (p_str.empty() || end != p_str.c_str() + p_str.size() || p < 1)
+      fail("profile allocation must be an integer >= 1", value.pos);
+    const double t = std::strtod(t_str.c_str(), &end);
+    if (t_str.empty() || end != t_str.c_str() + t_str.size() ||
+        !std::isfinite(t) || !(t > 0.0))
+      fail("profile times must be positive finite numbers", value.pos);
+    if (!out.empty() && static_cast<int>(p) <= out.back().first)
+      fail("profile allocations must be strictly increasing", value.pos);
+    out.emplace_back(static_cast<int>(p), t);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) fail("profile attribute is empty", value.pos);
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { consume(); }
+
+  ImportedGraph parse() {
+    expect_keyword("digraph");
+    if (current_.kind == Token::Kind::kId) {
+      graph_.name = current_.text;
+      consume();
+    }
+    expect(Token::Kind::kLBrace, "'{'");
+    while (current_.kind != Token::Kind::kRBrace) {
+      if (current_.kind == Token::Kind::kEnd)
+        fail("unexpected end of input (unterminated digraph)", current_.pos);
+      statement();
+    }
+    consume();  // '}'
+    if (current_.kind != Token::Kind::kEnd)
+      fail("trailing characters after digraph", current_.pos);
+    validate(graph_, "parse_dot");
+    return std::move(graph_);
+  }
+
+ private:
+  void consume() { current_ = lexer_.next(); }
+
+  void expect(Token::Kind kind, const char* what) {
+    if (current_.kind != kind)
+      fail(std::string("expected ") + what, current_.pos);
+    consume();
+  }
+
+  void expect_keyword(const char* word) {
+    if (current_.kind != Token::Kind::kId || current_.quoted ||
+        current_.text != word)
+      fail(std::string("expected '") + word + "'", current_.pos);
+    consume();
+  }
+
+  int declare_node(const Token& id) {
+    const auto it = node_ids_.find(id.text);
+    if (it != node_ids_.end()) return it->second;
+    const int idx = static_cast<int>(graph_.tasks.size());
+    node_ids_.emplace(id.text, idx);
+    ImportedTask task;
+    task.name = id.text;
+    task.pos = id.pos;
+    graph_.tasks.push_back(std::move(task));
+    return idx;
+  }
+
+  /// Parses one [key=value, ...] list; returns the pairs in order.
+  std::vector<std::pair<Token, Token>> attr_list() {
+    expect(Token::Kind::kLBracket, "'['");
+    std::vector<std::pair<Token, Token>> attrs;
+    while (current_.kind != Token::Kind::kRBracket) {
+      if (current_.kind != Token::Kind::kId)
+        fail("expected attribute name or ']'", current_.pos);
+      Token key = current_;
+      consume();
+      expect(Token::Kind::kEquals, "'='");
+      if (current_.kind != Token::Kind::kId)
+        fail("expected attribute value", current_.pos);
+      Token value = current_;
+      consume();
+      attrs.emplace_back(std::move(key), std::move(value));
+      if (current_.kind == Token::Kind::kComma ||
+          current_.kind == Token::Kind::kSemicolon)
+        consume();
+    }
+    consume();  // ']'
+    return attrs;
+  }
+
+  void apply_node_attrs(int node,
+                        const std::vector<std::pair<Token, Token>>& attrs,
+                        const SourcePos& stmt_pos) {
+    ImportedTask& task = graph_.tasks[static_cast<std::size_t>(node)];
+    if (node_has_attrs_.count(node) != 0)
+      fail("duplicate node statement for '" + task.name + "'", stmt_pos);
+    node_has_attrs_.insert(node);
+
+    std::optional<Token> model_kind, work;
+    model::GeneralParams params;
+    bool has_w = false, has_d = false, has_c = false;
+    for (const auto& [key, value] : attrs) {
+      const std::string& k = key.text;
+      if (k == "name") {
+        task.name = value.text;
+      } else if (k == "model") {
+        model_kind = value;
+      } else if (k == "w") {
+        params.w = parse_double_attr(value, k);
+        has_w = true;
+      } else if (k == "d") {
+        params.d = parse_double_attr(value, k);
+        has_d = true;
+      } else if (k == "c") {
+        params.c = parse_double_attr(value, k);
+        has_c = true;
+      } else if (k == "pbar") {
+        params.pbar = parse_int_attr(value, k);
+      } else if (k == "work") {
+        work = value;
+      } else if (k == "times") {
+        task.times = parse_times_attr(value);
+      } else if (k == "profile") {
+        task.profile = parse_profile_attr(value);
+      }
+      // Anything else (label, shape, color, ...) is presentation-only.
+    }
+
+    if (!task.times.empty() || !task.profile.empty()) {
+      if (model_kind.has_value() || work.has_value() || has_w || has_d ||
+          has_c)
+        fail("node '" + task.name +
+                 "' mixes a times/profile table with Eq. (1) parameters",
+             stmt_pos);
+      return;
+    }
+    if (model_kind.has_value()) {
+      const std::string& kind = model_kind->text;
+      ExplicitParams ep;
+      ep.params = params;
+      if (!has_w)
+        fail("model '" + kind + "' needs a 'w' attribute", model_kind->pos);
+      if (kind == "roofline") {
+        ep.kind = model::ModelKind::kRoofline;
+      } else if (kind == "amdahl") {
+        if (!has_d)
+          fail("model 'amdahl' needs a 'd' attribute", model_kind->pos);
+        ep.kind = model::ModelKind::kAmdahl;
+      } else if (kind == "communication") {
+        if (!has_c)
+          fail("model 'communication' needs a 'c' attribute",
+               model_kind->pos);
+        ep.kind = model::ModelKind::kCommunication;
+      } else if (kind == "general") {
+        ep.kind = model::ModelKind::kGeneral;
+      } else {
+        fail("unknown model kind '" + kind + "'", model_kind->pos);
+      }
+      task.params = ep;
+      return;
+    }
+    if (work.has_value()) {
+      ExplicitParams ep;
+      ep.kind = model::ModelKind::kRoofline;
+      ep.params.w = parse_double_attr(*work, "work");
+      ep.params.pbar = params.pbar;
+      task.params = ep;
+      return;
+    }
+    // No model attributes: validate() reports the task if nothing else
+    // (another statement cannot — duplicates are rejected) supplies one.
+  }
+
+  void statement() {
+    if (current_.kind != Token::Kind::kId)
+      fail("expected statement", current_.pos);
+    // Default-attribute statements are skipped wholesale: our exporter
+    // writes `node [shape=box]`, and foreign files use all three.
+    if (!current_.quoted &&
+        (current_.text == "graph" || current_.text == "node" ||
+         current_.text == "edge")) {
+      consume();
+      (void)attr_list();
+      if (current_.kind == Token::Kind::kSemicolon) consume();
+      return;
+    }
+    if (!current_.quoted && current_.text == "subgraph")
+      fail("subgraphs are not supported", current_.pos);
+
+    Token id = current_;
+    consume();
+    if (current_.kind == Token::Kind::kEquals) {
+      // Graph-level assignment: `rankdir=TB;`. `P` is the platform hint.
+      consume();
+      if (current_.kind != Token::Kind::kId)
+        fail("expected attribute value", current_.pos);
+      if (id.text == "P" || id.text == "procs")
+        graph_.default_P = parse_int_attr(current_, id.text);
+      consume();
+      if (current_.kind == Token::Kind::kSemicolon) consume();
+      return;
+    }
+    if (current_.kind == Token::Kind::kArrow) {
+      int from = declare_node(id);
+      while (current_.kind == Token::Kind::kArrow) {
+        consume();
+        if (current_.kind != Token::Kind::kId)
+          fail("expected node id after '->'", current_.pos);
+        const Token to_tok = current_;
+        consume();
+        const int to = declare_node(to_tok);
+        graph_.edges.push_back({from, to, to_tok.pos});
+        from = to;
+      }
+      if (current_.kind == Token::Kind::kLBracket)
+        (void)attr_list();  // edge attributes are presentation-only
+      if (current_.kind == Token::Kind::kSemicolon) consume();
+      return;
+    }
+    // Node statement.
+    const int node = declare_node(id);
+    if (current_.kind == Token::Kind::kLBracket)
+      apply_node_attrs(node, attr_list(), id.pos);
+    if (current_.kind == Token::Kind::kSemicolon) consume();
+  }
+
+  Lexer lexer_;
+  Token current_;
+  ImportedGraph graph_;
+  std::map<std::string, int> node_ids_;
+  std::set<int> node_has_attrs_;
+};
+
+}  // namespace
+
+ImportedGraph parse_dot(const std::string& text, std::size_t max_bytes) {
+  if (text.size() > max_bytes) {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < max_bytes; ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    fail("input of " + std::to_string(text.size()) +
+             " bytes exceeds the " + std::to_string(max_bytes) +
+             "-byte limit",
+         SourcePos{max_bytes, line, column});
+  }
+  return Parser(text).parse();
+}
+
+}  // namespace moldsched::ingest

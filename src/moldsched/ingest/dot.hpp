@@ -1,0 +1,46 @@
+// Strict Graphviz DOT importer for task graphs (the inverse of
+// io::to_dot, which until this subsystem existed was export-only).
+//
+// Accepted grammar — a deliberate, strictly-diagnosed subset of DOT:
+//
+//   graph     := 'digraph' [ID] '{' stmt* '}'
+//   stmt      := attr_stmt | assign | edge_stmt | node_stmt
+//   attr_stmt := ('graph' | 'node' | 'edge') attr_list [';']
+//   assign    := ID '=' ID [';']               (graph-level attribute)
+//   node_stmt := ID [attr_list] [';']
+//   edge_stmt := ID ('->' ID)+ [attr_list] [';']
+//   attr_list := '[' (ID '=' ID [',' | ';'])* ']'
+//
+// IDs are bare identifiers/numerals or double-quoted strings with the
+// escapes \", backslash-backslash and \n; both comment styles and #
+// line comments are skipped.
+// Node attributes recognized for scheduling (anything else — label,
+// shape, color... — is ignored, so real Graphviz files load):
+//
+//   name="..."            display name (defaults to the node id)
+//   model="roofline|communication|amdahl|general"
+//   w=, d=, c=, pbar=     Eq. (1) parameters for `model`
+//   work=W                shorthand for model="roofline" w=W
+//   times="t1,t2,..."     explicit t(p) table (TableModel)
+//   profile="p:t,p:t,..." measured samples, strictly increasing p,
+//                         handed to the model-selection fitter
+//
+// Every diagnostic is "parse_dot: <what> at byte N (line L, column C)"
+// in the io::parse_json style.
+#pragma once
+
+#include <string>
+
+#include "moldsched/ingest/import.hpp"
+
+namespace moldsched::ingest {
+
+/// Parses one DOT digraph. Throws std::invalid_argument with a precise
+/// source position on syntax errors, duplicate node statements,
+/// duplicate/self-loop edges, cycles, non-monotonic profiles, or inputs
+/// larger than `max_bytes`.
+[[nodiscard]] ImportedGraph parse_dot(
+    const std::string& text,
+    std::size_t max_bytes = kDefaultMaxImportBytes);
+
+}  // namespace moldsched::ingest

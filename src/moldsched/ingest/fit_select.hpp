@@ -1,0 +1,90 @@
+// Per-task speedup-model selection for imported workloads.
+//
+// An external workload describes each task either by explicit Eq. (1)
+// parameters, by a raw t(p) table, or by a measured {procs -> time}
+// profile. For profiles this layer extends model::fit_model_family into
+// model *selection*: fit every Eq. (1) candidate family, pick by RMSE
+// with a tolerance that prefers simpler kinds (fewer parameters), and
+// fall back to an interpolating TableModel (model::table_from_samples)
+// when even the best parametric fit misses the data. Everything here is
+// deterministic, and the resulting report renders parameters at 17
+// significant digits so two runs over the same catalog are bit-exact.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moldsched/model/fit.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/speedup_model.hpp"
+
+namespace moldsched::ingest {
+
+struct FitOptions {
+  /// A simpler family (fewer free parameters) beats a richer one whose
+  /// RMSE is lower when the simpler RMSE is within this relative slack
+  /// of the best candidate: roofline < amdahl = communication < general.
+  double prefer_simpler_tolerance = 0.05;
+  /// Fall back to the TableModel when the chosen parametric fit's
+  /// maximum relative error over the samples exceeds this.
+  double max_relative_error = 0.15;
+  /// Table length for the TableModel fallback (interpolated 1..table_P).
+  int table_P = 64;
+};
+
+/// How one task's model was produced. `source` is one of:
+///   "params"   — explicit Eq. (1) parameters from the file
+///   "times"    — explicit t(p) table from the file
+///   "fitted"   — parametric fit selected from a measured profile
+///   "fallback" — TableModel because no Eq. (1) family fit the profile
+struct TaskFit {
+  std::string name;
+  std::string source;
+  model::ModelKind kind = model::ModelKind::kGeneral;
+  model::GeneralParams params;  ///< meaningful unless kind == kArbitrary
+  double rmse = 0.0;
+  double max_relative_error = 0.0;
+  int samples = 0;              ///< profile points consumed (0 otherwise)
+};
+
+struct FitReport {
+  std::vector<TaskFit> tasks;
+  [[nodiscard]] int fitted() const;     ///< tasks with source == "fitted"
+  [[nodiscard]] int fallbacks() const;  ///< tasks with source == "fallback"
+};
+
+struct ModelChoice {
+  model::ModelPtr model;
+  TaskFit fit;
+};
+
+/// Selects a model for one measured profile. Requires a non-empty
+/// profile with p >= 1 and positive finite times (the importers enforce
+/// strictly increasing p before calling this). Fewer than 3 distinct
+/// allocations go straight to the TableModel fallback — the parametric
+/// fit is under-determined there.
+[[nodiscard]] ModelChoice select_model(
+    const std::vector<std::pair<int, double>>& profile,
+    const FitOptions& options = {});
+
+/// Concrete model instance for explicit Eq. (1) parameters, using the
+/// named special-case classes (Roofline/Communication/Amdahl) when the
+/// kind asks for them, so the wire codec preserves the declared kind.
+/// Throws std::invalid_argument when the parameters violate the kind's
+/// constraints (e.g. amdahl with d = 0) or kind is kArbitrary.
+[[nodiscard]] model::ModelPtr materialize(model::ModelKind kind,
+                                          const model::GeneralParams& params);
+
+/// The named Eq. (1) kind a fitted parameter vector actually landed in:
+/// zero fitted d and c mean roofline, exactly one nonzero means amdahl /
+/// communication, both nonzero (or w = 0) mean general.
+[[nodiscard]] model::ModelKind classify_params(
+    const model::GeneralParams& params);
+
+/// 17-significant-digit rendering shared by the fit-quality CSV and the
+/// DOT exporter — the same convention as svc::wire_number, so reports
+/// and wire bytes agree on every parameter.
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace moldsched::ingest

@@ -1,0 +1,128 @@
+#include "moldsched/ingest/import.hpp"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "moldsched/model/arbitrary_model.hpp"
+
+namespace moldsched::ingest {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& who, const std::string& what,
+                       const SourcePos& pos) {
+  throw std::invalid_argument(who + ": " + what + at_position(pos));
+}
+
+int spec_count(const ImportedTask& t) {
+  return (t.params.has_value() ? 1 : 0) + (t.times.empty() ? 0 : 1) +
+         (t.profile.empty() ? 0 : 1);
+}
+
+}  // namespace
+
+std::string at_position(const SourcePos& pos) {
+  if (pos.line == 0) return "";
+  return " at byte " + std::to_string(pos.offset) + " (line " +
+         std::to_string(pos.line) + ", column " + std::to_string(pos.column) +
+         ")";
+}
+
+void validate(const ImportedGraph& g, const std::string& who) {
+  const int n = static_cast<int>(g.tasks.size());
+  for (const auto& t : g.tasks) {
+    const int specs = spec_count(t);
+    if (specs == 0)
+      fail(who,
+           "task '" + t.name +
+               "' carries no model information (need model/work parameters, "
+               "a times table, or a profile)",
+           t.pos);
+    if (specs > 1)
+      fail(who, "task '" + t.name + "' has more than one model specification",
+           t.pos);
+  }
+
+  std::set<std::pair<int, int>> seen;
+  std::vector<int> indegree(g.tasks.size(), 0);
+  std::vector<std::vector<int>> successors(g.tasks.size());
+  for (const auto& e : g.edges) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n)
+      fail(who, "edge endpoint out of range", e.pos);
+    if (e.from == e.to)
+      fail(who, "self-loop on task '" + g.tasks[e.from].name + "'", e.pos);
+    if (!seen.insert({e.from, e.to}).second)
+      fail(who,
+           "duplicate edge '" + g.tasks[e.from].name + "' -> '" +
+               g.tasks[e.to].name + "'",
+           e.pos);
+    successors[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indegree[static_cast<std::size_t>(e.to)];
+  }
+
+  // Kahn's algorithm; any task left with positive in-degree sits on (or
+  // downstream of) a cycle. Reporting the lowest-id survivor is
+  // deterministic and its source position leads straight to the knot.
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v)
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const int s : successors[static_cast<std::size_t>(v)])
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+  }
+  if (processed != g.tasks.size()) {
+    for (int v = 0; v < n; ++v) {
+      if (indegree[static_cast<std::size_t>(v)] > 0)
+        fail(who, "cycle detected through task '" + g.tasks[v].name + "'",
+             g.tasks[v].pos);
+    }
+  }
+}
+
+Realized realize(const ImportedGraph& g, const FitOptions& options) {
+  validate(g, "realize");
+  Realized out;
+  out.graph.reserve(static_cast<graph::TaskId>(g.tasks.size()),
+                    static_cast<std::size_t>(g.edges.size()));
+  out.fit.tasks.reserve(g.tasks.size());
+  for (const auto& t : g.tasks) {
+    TaskFit fit;
+    fit.name = t.name;
+    model::ModelPtr m;
+    if (t.params.has_value()) {
+      fit.source = "params";
+      fit.kind = t.params->kind;
+      fit.params = t.params->params;
+      try {
+        m = materialize(t.params->kind, t.params->params);
+      } catch (const std::invalid_argument& e) {
+        fail("realize",
+             "task '" + t.name + "': " + e.what(), t.pos);
+      }
+    } else if (!t.times.empty()) {
+      fit.source = "times";
+      fit.kind = model::ModelKind::kArbitrary;
+      fit.samples = static_cast<int>(t.times.size());
+      m = std::make_shared<model::TableModel>(t.times);
+    } else {
+      ModelChoice choice = select_model(t.profile, options);
+      fit = choice.fit;
+      fit.name = t.name;
+      m = std::move(choice.model);
+    }
+    out.fit.tasks.push_back(std::move(fit));
+    out.graph.add_task(std::move(m), t.name);
+  }
+  for (const auto& e : g.edges)
+    out.graph.add_edge(static_cast<graph::TaskId>(e.from),
+                       static_cast<graph::TaskId>(e.to));
+  return out;
+}
+
+}  // namespace moldsched::ingest

@@ -1,0 +1,86 @@
+// Workload ingestion: the importer-facing graph representation shared
+// by the DOT and JSON front ends, semantic validation, and realization
+// into a schedulable graph::TaskGraph via the model-selection layer.
+//
+// Both parsers produce an ImportedGraph whose tasks carry exactly one
+// of three model specifications — explicit Eq. (1) parameters, a raw
+// t(p) table, or a measured {procs -> time} profile — together with the
+// source position of every task and edge, so semantic errors discovered
+// after parsing (cycles, missing models) still point at a precise line
+// and column in the input file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/ingest/fit_select.hpp"
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::ingest {
+
+/// 1-based source position; line 0 means "unknown" (hand-built graphs).
+struct SourcePos {
+  std::size_t offset = 0;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// " at byte N (line L, column C)" in the io::parse_json style, or ""
+/// for unknown positions.
+[[nodiscard]] std::string at_position(const SourcePos& pos);
+
+/// Explicit Eq. (1) parameters as declared in the input file.
+struct ExplicitParams {
+  model::ModelKind kind = model::ModelKind::kGeneral;
+  model::GeneralParams params;
+};
+
+struct ImportedTask {
+  std::string name;
+  std::optional<ExplicitParams> params;          ///< "params" source
+  std::vector<double> times;                     ///< "times" source
+  std::vector<std::pair<int, double>> profile;   ///< "fitted"/"fallback"
+  SourcePos pos;
+};
+
+struct ImportedEdge {
+  int from = 0;
+  int to = 0;
+  SourcePos pos;
+};
+
+struct ImportedGraph {
+  std::string name;
+  std::vector<ImportedTask> tasks;
+  std::vector<ImportedEdge> edges;
+  int default_P = 0;  ///< platform-size hint from the file; 0 = none
+};
+
+/// Importers refuse inputs beyond this many bytes before tokenizing —
+/// the ingest surface also reads operator-supplied files, and a runaway
+/// input should fail crisply instead of ballooning the process.
+inline constexpr std::size_t kDefaultMaxImportBytes = 8u << 20;
+
+/// Semantic validation shared by both front ends: every task carries
+/// exactly one model specification, edge endpoints are in range with no
+/// self-loops or duplicates, and the edge relation is acyclic. Throws
+/// std::invalid_argument prefixed with `who` and suffixed with the
+/// offending task's / edge's source position.
+void validate(const ImportedGraph& g, const std::string& who);
+
+struct Realized {
+  graph::TaskGraph graph;
+  FitReport fit;
+};
+
+/// Builds the schedulable TaskGraph: explicit parameters materialize as
+/// their declared Eq. (1) class, times tables as TableModel, profiles
+/// through select_model(). Task ids follow declaration order. Validates
+/// first, so malformed ImportedGraphs throw rather than crash.
+[[nodiscard]] Realized realize(const ImportedGraph& g,
+                               const FitOptions& options = {});
+
+}  // namespace moldsched::ingest

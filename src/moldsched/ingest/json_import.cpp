@@ -1,0 +1,207 @@
+#include "moldsched/ingest/json_import.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "moldsched/io/json.hpp"
+
+namespace moldsched::ingest {
+
+namespace {
+
+/// Semantic-error context: turns a JsonValue's byte offset back into a
+/// line/column against the source text, so schema violations are as
+/// precisely located as parse_json's own syntax errors.
+class Doc {
+ public:
+  explicit Doc(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] SourcePos pos_of(const io::JsonValue& v) const {
+    const io::LineColumn lc = io::line_column(text_, v.offset);
+    return {v.offset, lc.line, lc.column};
+  }
+
+  [[noreturn]] void fail(const std::string& what,
+                         const io::JsonValue& v) const {
+    throw std::invalid_argument("import_taskgraph: " + what +
+                                at_position(pos_of(v)));
+  }
+
+  int require_int(const io::JsonValue& v, const std::string& what) const {
+    if (!v.is_number() || v.number != std::floor(v.number) ||
+        v.number < -2147483648.0 || v.number > 2147483647.0)
+      fail(what + " must be a 32-bit integer", v);
+    return static_cast<int>(v.number);
+  }
+
+  double require_positive(const io::JsonValue& v,
+                          const std::string& what) const {
+    if (!v.is_number() || !(v.number > 0.0) || !std::isfinite(v.number))
+      fail(what + " must be a positive finite number", v);
+    return v.number;
+  }
+
+  double number_or(const io::JsonValue& task, const char* key,
+                   double fallback) const {
+    const auto* f = task.find(key);
+    if (f == nullptr) return fallback;
+    if (!f->is_number() || !std::isfinite(f->number) || f->number < 0.0)
+      fail(std::string("'") + key + "' must be a non-negative number", *f);
+    return f->number;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+ExplicitParams parse_model_object(const Doc& doc, const io::JsonValue& m) {
+  if (!m.is_object()) doc.fail("'model' must be an object", m);
+  const auto* kind = m.find("kind");
+  if (kind == nullptr || !kind->is_string())
+    doc.fail("'model' needs a string 'kind'", m);
+  ExplicitParams ep;
+  if (kind->string == "roofline") {
+    ep.kind = model::ModelKind::kRoofline;
+  } else if (kind->string == "amdahl") {
+    ep.kind = model::ModelKind::kAmdahl;
+  } else if (kind->string == "communication") {
+    ep.kind = model::ModelKind::kCommunication;
+  } else if (kind->string == "general") {
+    ep.kind = model::ModelKind::kGeneral;
+  } else {
+    doc.fail("unknown model kind '" + kind->string + "'", *kind);
+  }
+  const auto* w = m.find("w");
+  if (w == nullptr) doc.fail("'model' needs a numeric 'w'", m);
+  ep.params.w = doc.require_positive(*w, "'w'");
+  ep.params.d = doc.number_or(m, "d", 0.0);
+  ep.params.c = doc.number_or(m, "c", 0.0);
+  if (const auto* pbar = m.find("pbar")) {
+    ep.params.pbar = doc.require_int(*pbar, "'pbar'");
+    if (ep.params.pbar < 1) doc.fail("'pbar' must be >= 1", *pbar);
+  }
+  if (ep.kind == model::ModelKind::kAmdahl && !(ep.params.d > 0.0))
+    doc.fail("amdahl model needs d > 0", m);
+  if (ep.kind == model::ModelKind::kCommunication && !(ep.params.c > 0.0))
+    doc.fail("communication model needs c > 0", m);
+  return ep;
+}
+
+}  // namespace
+
+ImportedGraph import_taskgraph_json(const std::string& text,
+                                    std::size_t max_bytes) {
+  if (text.size() > max_bytes) {
+    const io::LineColumn lc = io::line_column(text, max_bytes);
+    throw std::invalid_argument(
+        "import_taskgraph: input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(max_bytes) + "-byte limit" +
+        at_position({max_bytes, lc.line, lc.column}));
+  }
+  const io::JsonValue root = io::parse_json(text);
+  const Doc doc(text);
+  if (!root.is_object()) doc.fail("document must be an object", root);
+  const auto* format = root.find("format");
+  if (format == nullptr || !format->is_string())
+    doc.fail("missing string 'format'", root);
+  if (format->string != kTaskGraphFormat)
+    doc.fail("unsupported format '" + format->string + "' (expected '" +
+                 kTaskGraphFormat + "')",
+             *format);
+
+  ImportedGraph g;
+  if (const auto* name = root.find("name")) {
+    if (!name->is_string()) doc.fail("'name' must be a string", *name);
+    g.name = name->string;
+  }
+  if (const auto* P = root.find("P")) {
+    g.default_P = doc.require_int(*P, "'P'");
+    if (g.default_P < 1) doc.fail("'P' must be >= 1", *P);
+  }
+
+  const auto* tasks = root.find("tasks");
+  if (tasks == nullptr || !tasks->is_array())
+    doc.fail("missing 'tasks' array", root);
+  int expected_id = 0;
+  for (const auto& t : tasks->array) {
+    if (!t.is_object()) doc.fail("task entries must be objects", t);
+    const auto* id = t.find("id");
+    if (id == nullptr) doc.fail("task without 'id'", t);
+    if (doc.require_int(*id, "'id'") != expected_id)
+      doc.fail("task ids must be dense and ascending (expected " +
+                   std::to_string(expected_id) + ")",
+               *id);
+    ++expected_id;
+
+    ImportedTask task;
+    task.pos = doc.pos_of(t);
+    if (const auto* name = t.find("name")) {
+      if (!name->is_string()) doc.fail("task 'name' must be a string", *name);
+      task.name = name->string;
+    } else {
+      task.name = "task" + std::to_string(expected_id - 1);
+    }
+
+    const auto* model_v = t.find("model");
+    const auto* times_v = t.find("times");
+    const auto* profile_v = t.find("profile");
+    const int specs = (model_v != nullptr ? 1 : 0) +
+                      (times_v != nullptr ? 1 : 0) +
+                      (profile_v != nullptr ? 1 : 0);
+    if (specs == 0)
+      doc.fail("task '" + task.name +
+                   "' needs one of 'model', 'times' or 'profile'",
+               t);
+    if (specs > 1)
+      doc.fail("task '" + task.name +
+                   "' has more than one model specification",
+               t);
+
+    if (model_v != nullptr) {
+      task.params = parse_model_object(doc, *model_v);
+    } else if (times_v != nullptr) {
+      if (!times_v->is_array() || times_v->array.empty())
+        doc.fail("'times' must be a non-empty array", *times_v);
+      for (const auto& e : times_v->array)
+        task.times.push_back(doc.require_positive(e, "'times' entry"));
+    } else {
+      if (!profile_v->is_array() || profile_v->array.empty())
+        doc.fail("'profile' must be a non-empty array", *profile_v);
+      for (const auto& e : profile_v->array) {
+        if (!e.is_array() || e.array.size() != 2)
+          doc.fail("profile entries must be [procs, time] pairs", e);
+        const int p = doc.require_int(e.array[0], "profile procs");
+        if (p < 1) doc.fail("profile procs must be >= 1", e.array[0]);
+        const double time = doc.require_positive(e.array[1], "profile time");
+        if (!task.profile.empty() && p <= task.profile.back().first)
+          doc.fail("profile allocations must be strictly increasing",
+                   e.array[0]);
+        task.profile.emplace_back(p, time);
+      }
+    }
+    g.tasks.push_back(std::move(task));
+  }
+
+  if (const auto* edges = root.find("edges")) {
+    if (!edges->is_array()) doc.fail("'edges' must be an array", *edges);
+    for (const auto& e : edges->array) {
+      if (!e.is_array() || e.array.size() != 2)
+        doc.fail("edges must be [from, to] pairs", e);
+      ImportedEdge edge;
+      edge.from = doc.require_int(e.array[0], "edge endpoint");
+      edge.to = doc.require_int(e.array[1], "edge endpoint");
+      edge.pos = doc.pos_of(e);
+      if (edge.from < 0 || edge.from >= expected_id || edge.to < 0 ||
+          edge.to >= expected_id)
+        doc.fail("edge endpoint out of range", e);
+      g.edges.push_back(edge);
+    }
+  }
+
+  validate(g, "import_taskgraph");
+  return g;
+}
+
+}  // namespace moldsched::ingest

@@ -1,0 +1,41 @@
+// JSON task-graph importer: the moldsched-taskgraph-v1 schema.
+//
+//   {
+//     "format": "moldsched-taskgraph-v1",
+//     "name": "montage-m101",          // optional
+//     "P": 64,                          // optional platform hint
+//     "tasks": [
+//       {"id": 0, "name": "mProject",   // name optional
+//        "model": {"kind": "amdahl", "w": 100, "d": 2}},
+//       {"id": 1, "profile": [[1, 40.0], [2, 21.0], [4, 11.5]]},
+//       {"id": 2, "times": [8.0, 4.5, 3.2]}
+//     ],
+//     "edges": [[0, 1], [1, 2]]
+//   }
+//
+// Task ids must be dense and ascending (the svc::decode_graph
+// convention). Each task carries exactly one of "model" (explicit
+// Eq. (1) parameters: kind + w, optional d/c/pbar), "times" (raw t(p)
+// table -> TableModel), or "profile" ([procs, time] pairs with strictly
+// increasing procs -> the model-selection fitter). Syntax errors come
+// from io::parse_json with byte/line/column; semantic errors reuse the
+// offending JsonValue's source offset for the same precision.
+#pragma once
+
+#include <string>
+
+#include "moldsched/ingest/import.hpp"
+
+namespace moldsched::ingest {
+
+inline constexpr const char* kTaskGraphFormat = "moldsched-taskgraph-v1";
+
+/// Parses one moldsched-taskgraph-v1 document. Throws
+/// std::invalid_argument with a precise source position on malformed
+/// JSON, schema violations, duplicate/non-dense ids, non-monotonic
+/// profiles, bad edges, cycles, or inputs larger than `max_bytes`.
+[[nodiscard]] ImportedGraph import_taskgraph_json(
+    const std::string& text,
+    std::size_t max_bytes = kDefaultMaxImportBytes);
+
+}  // namespace moldsched::ingest

@@ -4,19 +4,66 @@
 #include <stdexcept>
 #include <vector>
 
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+
 namespace moldsched::io {
 
 namespace {
 
-/// Escapes a string for use inside a double-quoted DOT label.
+/// Escapes a string for use inside a double-quoted DOT value. Newlines
+/// become the two-character \n escape (a raw newline inside a quoted ID
+/// is invalid DOT and used to silently corrupt exported graphs whose
+/// task names contained one); ingest::parse_dot reverses exactly this
+/// mapping, which is what makes the DOT round trip byte-exact.
 std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
   }
   return out;
+}
+
+/// 17-significant-digit rendering, matching svc::wire_number so fitted
+/// parameters survive DOT -> parse -> wire encode bit-identically.
+std::string dot_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Machine-readable model attributes for the wire-serializable model
+/// families (Eq. (1) subclasses and TableModel). Other arbitrary models
+/// have no parameter encoding; their nodes carry only the human label
+/// and are not round-trippable (encode_model rejects them too).
+std::string model_attributes(const model::SpeedupModel& m) {
+  std::ostringstream os;
+  if (const auto* gm = dynamic_cast<const model::GeneralModel*>(&m)) {
+    os << " model=\"" << model::to_string(gm->kind()) << "\" w=\""
+       << dot_number(gm->w()) << '"';
+    if (gm->d() != 0.0) os << " d=\"" << dot_number(gm->d()) << '"';
+    if (gm->c() != 0.0) os << " c=\"" << dot_number(gm->c()) << '"';
+    if (gm->pbar() != model::GeneralParams::kUnboundedParallelism)
+      os << " pbar=\"" << gm->pbar() << '"';
+    return os.str();
+  }
+  if (const auto* tm = dynamic_cast<const model::TableModel*>(&m)) {
+    os << " times=\"";
+    for (int p = 1; p <= tm->table_size(); ++p) {
+      if (p > 1) os << ',';
+      os << dot_number(tm->time(p));
+    }
+    os << '"';
+    return os.str();
+  }
+  return "";
 }
 
 }  // namespace
@@ -26,7 +73,9 @@ std::string to_dot(const graph::TaskGraph& g) {
   os << "digraph moldsched {\n  rankdir=TB;\n  node [shape=box];\n";
   for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
     os << "  n" << v << " [label=\"" << escape(g.name(v)) << "\\n"
-       << escape(g.model_of(v).describe()) << "\"];\n";
+       << escape(g.model_of(v).describe()) << "\" name=\""
+       << escape(g.name(v)) << '"' << model_attributes(g.model_of(v))
+       << "];\n";
   }
   for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
     for (const graph::TaskId s : g.successors(v))

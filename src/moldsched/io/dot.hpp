@@ -10,7 +10,10 @@
 namespace moldsched::io {
 
 /// DOT digraph with one node per task, labelled with the task name and
-/// its speedup model description.
+/// its speedup model description. Nodes additionally carry lossless
+/// machine attributes (name, model/w/d/c/pbar for the Eq. (1) family,
+/// times for TableModel, all doubles at 17 significant digits) so
+/// ingest::parse_dot reconstructs the graph with identical wire bytes.
 [[nodiscard]] std::string to_dot(const graph::TaskGraph& g);
 
 /// DOT digraph whose node labels additionally carry the scheduled

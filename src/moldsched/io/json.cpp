@@ -1,5 +1,6 @@
 #include "moldsched/io/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -35,19 +36,11 @@ class JsonParser {
   /// Errors carry byte offset plus line/column so a malformed frame in a
   /// multi-line document (or a server log) pinpoints the defect.
   [[noreturn]] void fail(const std::string& what) const {
-    std::size_t line = 1, col = 1;
-    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-      if (text_[i] == '\n') {
-        ++line;
-        col = 1;
-      } else {
-        ++col;
-      }
-    }
+    const LineColumn lc = line_column(text_, pos_);
     throw std::invalid_argument("parse_json: " + what + " at byte " +
                                 std::to_string(pos_) + " (line " +
-                                std::to_string(line) + ", column " +
-                                std::to_string(col) + ")");
+                                std::to_string(lc.line) + ", column " +
+                                std::to_string(lc.column) + ")");
   }
 
   void skip_ws() {
@@ -214,7 +207,9 @@ class JsonParser {
     if (depth > max_depth_) fail("nesting too deep");
     skip_ws();
     const char c = peek();
+    const std::size_t value_start = pos_;
     JsonValue v;
+    v.offset = value_start;
     switch (c) {
       case '{': {
         ++pos_;
@@ -263,8 +258,11 @@ class JsonParser {
       case 'n':
         if (!consume_literal("null")) fail("bad literal");
         return v;
-      default:
-        return parse_number();
+      default: {
+        JsonValue num = parse_number();
+        num.offset = value_start;
+        return num;
+      }
     }
   }
 
@@ -315,6 +313,20 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   if (v == nullptr)
     throw std::out_of_range("JsonValue::at: no member '" + key + "'");
   return *v;
+}
+
+LineColumn line_column(const std::string& text, std::size_t offset) {
+  LineColumn lc;
+  const std::size_t end = std::min(offset, text.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.column = 1;
+    } else {
+      ++lc.column;
+    }
+  }
+  return lc;
 }
 
 JsonValue parse_json(const std::string& text, int max_depth) {

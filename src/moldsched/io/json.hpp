@@ -26,6 +26,12 @@ struct JsonValue {
   std::string string;
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;
+  /// Byte offset of the value's first character in the parsed document
+  /// (0 for values not produced by parse_json). Consumers that keep the
+  /// source text can turn this into a line/column via line_column() —
+  /// that is how semantic errors in imported documents (ingest) point at
+  /// the offending value, not just syntactic ones.
+  std::size_t offset = 0;
 
   [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
   [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
@@ -59,6 +65,17 @@ struct JsonValue {
 inline constexpr int kDefaultMaxJsonDepth = 256;
 [[nodiscard]] JsonValue parse_json(const std::string& text,
                                    int max_depth = kDefaultMaxJsonDepth);
+
+/// 1-based line/column of the given byte offset in `text` (offsets past
+/// the end clamp to one column past the last character). Shared by
+/// parse_json's own diagnostics and by importers that report semantic
+/// errors against a JsonValue::offset.
+struct LineColumn {
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+[[nodiscard]] LineColumn line_column(const std::string& text,
+                                     std::size_t offset);
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,
 /// backslashes and every control character below 0x20 (the common ones

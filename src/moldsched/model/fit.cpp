@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 namespace moldsched::model {
 
@@ -38,24 +39,25 @@ bool solve_linear(std::array<std::array<double, N>, N> M,
   return true;
 }
 
-}  // namespace
-
-FitResult fit_general_model(
-    const std::vector<std::pair<int, double>>& samples) {
+/// Core exhaustive-active-set NNLS over the parameters whose bit is set
+/// in `allowed` (bit 0 = w, bit 1 = d, bit 2 = c). `who` prefixes error
+/// messages so the public entry points report their own names.
+FitResult fit_masked(const std::vector<std::pair<int, double>>& samples,
+                     unsigned allowed, const char* who) {
   if (samples.size() < 3)
-    throw std::invalid_argument("fit_general_model: need >= 3 samples");
+    throw std::invalid_argument(std::string(who) + ": need >= 3 samples");
   std::set<int> distinct;
   for (const auto& [p, t] : samples) {
     if (p < 1)
-      throw std::invalid_argument("fit_general_model: sample with p < 1");
+      throw std::invalid_argument(std::string(who) + ": sample with p < 1");
     if (!(t > 0.0) || !std::isfinite(t))
       throw std::invalid_argument(
-          "fit_general_model: times must be positive and finite");
+          std::string(who) + ": times must be positive and finite");
     distinct.insert(p);
   }
   if (distinct.size() < 3)
     throw std::invalid_argument(
-        "fit_general_model: need samples at >= 3 distinct allocations");
+        std::string(who) + ": need samples at >= 3 distinct allocations");
 
   // Basis values per sample: (1/p, 1, p-1) -> coefficients (w, d, c).
   auto basis = [](int p, std::size_t k) -> double {
@@ -67,13 +69,16 @@ FitResult fit_general_model(
   };
 
   // Exhaustive NNLS over active sets: try every non-empty subset of the
-  // three parameters, solve unconstrained LS on it, keep the feasible
-  // (all-non-negative) solution with the smallest residual.
+  // allowed parameters, solve unconstrained LS on it, keep the feasible
+  // (all-non-negative) solution with the smallest residual. Masks are
+  // enumerated in a fixed order and ties keep the earlier (smaller)
+  // subset, so near-singular inputs resolve deterministically.
   double best_sse = std::numeric_limits<double>::infinity();
   std::array<double, 3> best{0.0, 0.0, 0.0};
   bool found = false;
 
   for (unsigned mask = 1; mask < 8; ++mask) {
+    if ((mask & ~allowed) != 0) continue;
     std::array<std::size_t, 3> idx{};
     std::size_t n = 0;
     for (std::size_t k = 0; k < 3; ++k)
@@ -92,6 +97,15 @@ FitResult fit_general_model(
     std::array<double, 3> sol{};
     if (!solve_linear(M, rhs, sol, n)) continue;
 
+    // A numerically degenerate normal system can survive the pivot
+    // threshold yet overflow during elimination; such a subset is as
+    // useless as a singular one, so it is skipped the same way instead
+    // of letting NaN params escape into the result.
+    bool finite = true;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!std::isfinite(sol[i])) finite = false;
+    if (!finite) continue;
+
     std::array<double, 3> full{0.0, 0.0, 0.0};
     bool feasible = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -106,6 +120,7 @@ FitResult fit_general_model(
       for (std::size_t k = 0; k < 3; ++k) predicted += full[k] * basis(p, k);
       sse += (predicted - t) * (predicted - t);
     }
+    if (!std::isfinite(sse)) continue;
     if (sse < best_sse - 1e-15) {
       best_sse = sse;
       best = full;
@@ -114,7 +129,8 @@ FitResult fit_general_model(
   }
   if (!found)
     throw std::invalid_argument(
-        "fit_general_model: no non-negative fit exists for these samples");
+        std::string(who) +
+        ": no non-negative fit exists for these samples");
 
   FitResult result;
   result.params.w = best[0];
@@ -130,6 +146,28 @@ FitResult fit_general_model(
         result.max_relative_error, std::abs(predicted - t) / t);
   }
   return result;
+}
+
+}  // namespace
+
+FitResult fit_general_model(
+    const std::vector<std::pair<int, double>>& samples) {
+  return fit_masked(samples, 0b111u, "fit_general_model");
+}
+
+FitResult fit_model_family(const std::vector<std::pair<int, double>>& samples,
+                           ModelKind family) {
+  unsigned allowed = 0;
+  switch (family) {
+    case ModelKind::kRoofline: allowed = 0b001u; break;
+    case ModelKind::kAmdahl: allowed = 0b011u; break;
+    case ModelKind::kCommunication: allowed = 0b101u; break;
+    case ModelKind::kGeneral: allowed = 0b111u; break;
+    case ModelKind::kArbitrary:
+      throw std::invalid_argument(
+          "fit_model_family: kArbitrary is not an Eq. (1) family");
+  }
+  return fit_masked(samples, allowed, "fit_model_family");
 }
 
 }  // namespace moldsched::model

@@ -24,8 +24,23 @@ struct FitResult {
 /// Fits w, d, c >= 0 to the samples (pbar is taken as unbounded: the
 /// samples are assumed to come from the scalable regime). Requires at
 /// least 3 samples at >= 3 distinct allocations, every p >= 1 and every
-/// time > 0; throws std::invalid_argument otherwise. Deterministic.
+/// time > 0; throws std::invalid_argument otherwise. Deterministic:
+/// near-singular sample sets either resolve to a clamped active set or
+/// throw — the result never carries NaN/inf parameters.
 [[nodiscard]] FitResult fit_general_model(
     const std::vector<std::pair<int, double>>& samples);
+
+/// Same least-squares machinery restricted to the parameter set of one
+/// named Eq. (1) family:
+///   kRoofline      -> {w}         t(p) = w/p
+///   kAmdahl        -> {w, d}      t(p) = w/p + d
+///   kCommunication -> {w, c}      t(p) = w/p + c(p-1)
+///   kGeneral       -> {w, d, c}   (identical to fit_general_model)
+/// Parameters outside the family are pinned to zero, so candidates are
+/// directly comparable by RMSE for model selection. Throws
+/// std::invalid_argument for kArbitrary, and under the same sample
+/// preconditions as fit_general_model.
+[[nodiscard]] FitResult fit_model_family(
+    const std::vector<std::pair<int, double>>& samples, ModelKind family);
 
 }  // namespace moldsched::model

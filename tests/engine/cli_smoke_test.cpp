@@ -125,7 +125,7 @@ TEST_F(CliSmokeTest, ListAndDryRunModes) {
   const auto listing = read_file(dir_ / "stdout.log");
   for (const char* name : {"table1", "ratio-curves", "random-dags",
                            "workflows", "resilience", "selfcheck", "release",
-                           "pisa", "exact"})
+                           "pisa", "exact", "ingest"})
     EXPECT_NE(listing.find(name), std::string::npos) << name;
 
   ASSERT_EQ(run_cli("--suite release --dry-run --repeats 1"), 0);
@@ -137,7 +137,7 @@ TEST_F(CliSmokeTest, SelfcheckSuiteEndToEnd) {
   ASSERT_EQ(run_cli("--suite selfcheck --repeats 1 --threads 2"), 0)
       << read_file(dir_ / "stderr.log");
 
-  // 9 corpus families x 5 model kinds x 1 repeat, all differentially
+  // 10 corpus families x 5 model kinds x 1 repeat, all differentially
   // verified with zero mismatches.
   std::ifstream jsonl(dir_ / "results" / "selfcheck.jsonl");
   ASSERT_TRUE(jsonl.is_open());
@@ -161,7 +161,7 @@ TEST_F(CliSmokeTest, SelfcheckSuiteEndToEnd) {
     }
     ++records;
   }
-  EXPECT_EQ(records, 45u);
+  EXPECT_EQ(records, 50u);
 
   // The per-kind summary table was generated.
   const auto csv = read_file(dir_ / "results" / "selfcheck.csv");
@@ -398,6 +398,42 @@ TEST_F(CliSmokeTest, ExactSuiteEmitsTrueRatioCorpusReport) {
     const double ratio_opt = std::strtod(cells[6].c_str(), nullptr);
     EXPECT_GE(ratio_opt, 1.0 - 1e-12) << row;
   }
+}
+
+TEST_F(CliSmokeTest, IngestSuiteIsBitIdenticalAcrossRuns) {
+  ASSERT_EQ(run_cli("--suite ingest --threads 2"), 0)
+      << read_file(dir_ / "stderr.log");
+
+  // 8 bundled workloads x the 13-scheduler registry, all ok.
+  std::ifstream jsonl(dir_ / "results" / "ingest.jsonl");
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(jsonl, line)) {
+    const auto problem = validate_record_line(line);
+    EXPECT_EQ(problem, std::nullopt) << line;
+    if (!problem) {
+      const auto rec = parse_record_line(line);
+      EXPECT_EQ(rec.status, "ok") << rec.error;
+      EXPECT_EQ(rec.spec.suite, "ingest");
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, 104u);
+
+  const auto fit_csv = read_file(dir_ / "results" / "ingest_fit_quality.csv");
+  EXPECT_NE(fit_csv.find("instance,task,name,source,kind"),
+            std::string::npos);
+  EXPECT_NE(fit_csv.find("fallback"), std::string::npos);
+  const auto ratios = read_file(dir_ / "results" / "ingest_ratios.csv");
+  EXPECT_NE(ratios.find("Scheduler,ratio mean"), std::string::npos);
+
+  // Determinism contract: a second run (different thread count) emits
+  // byte-identical fit-quality and ratio CSVs.
+  ASSERT_EQ(run_cli("--suite ingest --threads 1"), 0)
+      << read_file(dir_ / "stderr.log");
+  EXPECT_EQ(read_file(dir_ / "results" / "ingest_fit_quality.csv"), fit_csv);
+  EXPECT_EQ(read_file(dir_ / "results" / "ingest_ratios.csv"), ratios);
 }
 
 TEST_F(CliSmokeTest, QuietStillPrintsSummaryFooterAndWrotePaths) {

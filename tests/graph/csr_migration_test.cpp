@@ -154,6 +154,7 @@ constexpr GoldenRow kGolden[] = {
     {"corpus:erdos_renyi", "0x114098a383fbcb7e", "0x076ba28920d4dbe0"},
     {"corpus:fork_join", "0xd1ab567ea6e10e4c", "0x0e6fc895af99a8a6"},
     {"corpus:independent", "0xc6b96d7b2cd01786", "0xb077d62b66cd2c90"},
+    {"corpus:ingested", "0x19176bf22064f2be", "0x1713b3ce17cd44d3"},
     {"corpus:layered_random", "0xcc1ab8165bb95d82", "0x0750bfd682fc2bbc"},
     {"corpus:random_in_tree", "0x114098a383fbcb7e", "0x076ba28920d4dbe0"},
     {"corpus:random_out_tree", "0x114098a383fbcb7e", "0x076ba28920d4dbe0"},

@@ -1,0 +1,98 @@
+// The bundled workload catalog: deterministic load order, the bit-exact
+// fit-quality CSV, coverage of all four model sources, and the error
+// paths for missing/broken catalog directories.
+#include "moldsched/ingest/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace moldsched::ingest {
+namespace {
+
+TEST(CatalogTest, BundledCatalogLoadsDeterministically) {
+  const auto workloads = load_bundled_workloads();
+  EXPECT_GE(workloads.size(), 6u);
+  std::set<std::string> names;
+  std::string prev;
+  for (const auto& w : workloads) {
+    EXPECT_TRUE(names.insert(w.name).second) << w.name;
+    EXPECT_LE(prev, w.name) << "catalog must be sorted by filename";
+    prev = w.name;
+    EXPECT_GT(w.graph.num_tasks(), 0) << w.name;
+    EXPECT_GE(w.P, 1) << w.name;
+    EXPECT_TRUE(w.format == "dot" || w.format == "json") << w.format;
+    EXPECT_EQ(w.fit.tasks.size(),
+              static_cast<std::size_t>(w.graph.num_tasks()));
+  }
+  // Both front ends contribute.
+  std::set<std::string> formats;
+  for (const auto& w : workloads) formats.insert(w.format);
+  EXPECT_EQ(formats.size(), 2u);
+}
+
+TEST(CatalogTest, FitQualityCsvIsBitIdenticalAcrossLoads) {
+  const std::string a = fit_quality_csv(load_bundled_workloads());
+  const std::string b = fit_quality_csv(load_bundled_workloads());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.substr(0, a.find('\n')),
+            "instance,task,name,source,kind,w,d,c,pbar,rmse,max_rel_err,"
+            "samples");
+}
+
+TEST(CatalogTest, CatalogExercisesEveryModelSource) {
+  const auto workloads = load_bundled_workloads();
+  std::set<std::string> sources;
+  std::set<model::ModelKind> fitted_kinds;
+  for (const auto& w : workloads) {
+    for (const auto& t : w.fit.tasks) {
+      sources.insert(t.source);
+      if (t.source == "fitted") fitted_kinds.insert(t.kind);
+    }
+  }
+  EXPECT_TRUE(sources.count("params")) << "explicit Eq. (1) parameters";
+  EXPECT_TRUE(sources.count("times")) << "raw t(p) tables";
+  EXPECT_TRUE(sources.count("fitted")) << "profile-fitted models";
+  EXPECT_TRUE(sources.count("fallback")) << "TableModel fallback";
+  // The NPU lowering file carries exact roofline/amdahl profiles, so
+  // selection lands in the simpler families, not just kGeneral.
+  EXPECT_TRUE(fitted_kinds.count(model::ModelKind::kRoofline));
+  EXPECT_TRUE(fitted_kinds.count(model::ModelKind::kAmdahl));
+  EXPECT_TRUE(fitted_kinds.count(model::ModelKind::kGeneral));
+}
+
+TEST(CatalogTest, MissingDirectoryIsARuntimeError) {
+  EXPECT_THROW((void)load_workloads("/nonexistent/workloads"),
+               std::runtime_error);
+  const std::string empty =
+      testing::TempDir() + "moldsched_empty_catalog";
+  std::filesystem::create_directories(empty);
+  EXPECT_THROW((void)load_workloads(empty), std::runtime_error);
+}
+
+TEST(CatalogTest, BrokenFileReportsItsPathAndPosition) {
+  const std::string dir = testing::TempDir() + "moldsched_broken_catalog";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/bad.dot");
+    out << "digraph g {\n  a [work=1]\n";
+  }
+  try {
+    (void)load_workloads(dir);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.dot"), std::string::npos) << what;
+    EXPECT_NE(what.find("unexpected end of input (unterminated digraph)"
+                        " at byte 25 (line 3, column 1)"),
+              std::string::npos)
+        << what;
+  }
+}
+
+}  // namespace
+}  // namespace moldsched::ingest

@@ -1,0 +1,252 @@
+// DOT importer coverage: the accepted grammar surface plus the
+// malformed-input batteries. Every battery asserts the complete
+// diagnostic string including the "at byte N (line L, column C)"
+// suffix — the positions are part of the importer's contract.
+#include "moldsched/ingest/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::ingest {
+namespace {
+
+std::string error_of(const std::string& text,
+                     std::size_t max_bytes = kDefaultMaxImportBytes) {
+  try {
+    (void)parse_dot(text, max_bytes);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "(no error)";
+}
+
+TEST(DotParserTest, ParsesTheFullAttributeSurface) {
+  const std::string text =
+      "# header line comment\n"
+      "digraph \"wf\" {\n"
+      "  graph [rankdir=LR];\n"
+      "  node [shape=box, style=rounded];\n"
+      "  edge [color=gray];\n"
+      "  P=24; rankdir=TB;\n"
+      "  /* block\n     comment */\n"
+      "  s [model=roofline, w=12, pbar=4];\n"
+      "  a [model=amdahl, w=30, d=2.5];\n"
+      "  c0 [model=communication, w=18, c=0.25];\n"
+      "  g0 [model=general, w=9, d=1, c=0.5];\n"
+      "  t [times=\"4,2.5,2.6\"]; // non-monotonic times are legal\n"
+      "  p0 [profile=\"1:8,2:4.2,4:2.4\"];\n"
+      "  \"odd id\" [work=3, name=\"spaced \\\"name\\\"\"];\n"
+      "  s -> a -> c0;\n"
+      "  s -> g0 [style=dashed];\n"
+      "  g0 -> t; c0 -> t; t -> p0; p0 -> \"odd id\";\n"
+      "}\n";
+  const ImportedGraph g = parse_dot(text);
+  EXPECT_EQ(g.name, "wf");
+  EXPECT_EQ(g.default_P, 24);
+  ASSERT_EQ(g.tasks.size(), 7u);
+  ASSERT_TRUE(g.tasks[0].params.has_value());
+  EXPECT_EQ(g.tasks[0].params->kind, model::ModelKind::kRoofline);
+  EXPECT_EQ(g.tasks[0].params->params.w, 12.0);
+  EXPECT_EQ(g.tasks[0].params->params.pbar, 4);
+  ASSERT_TRUE(g.tasks[1].params.has_value());
+  EXPECT_EQ(g.tasks[1].params->kind, model::ModelKind::kAmdahl);
+  EXPECT_EQ(g.tasks[1].params->params.d, 2.5);
+  ASSERT_TRUE(g.tasks[2].params.has_value());
+  EXPECT_EQ(g.tasks[2].params->kind, model::ModelKind::kCommunication);
+  EXPECT_EQ(g.tasks[2].params->params.c, 0.25);
+  ASSERT_TRUE(g.tasks[3].params.has_value());
+  EXPECT_EQ(g.tasks[3].params->kind, model::ModelKind::kGeneral);
+  ASSERT_EQ(g.tasks[4].times.size(), 3u);
+  EXPECT_EQ(g.tasks[4].times[2], 2.6);  // tables keep non-monotonic tails
+  ASSERT_EQ(g.tasks[5].profile.size(), 3u);
+  EXPECT_EQ(g.tasks[5].profile[1].first, 2);
+  EXPECT_EQ(g.tasks[5].profile[1].second, 4.2);
+  // The work= shorthand is roofline, and name= plus quote escapes apply.
+  ASSERT_TRUE(g.tasks[6].params.has_value());
+  EXPECT_EQ(g.tasks[6].params->kind, model::ModelKind::kRoofline);
+  EXPECT_EQ(g.tasks[6].params->params.w, 3.0);
+  EXPECT_EQ(g.tasks[6].name, "spaced \"name\"");
+  ASSERT_EQ(g.edges.size(), 7u);
+  EXPECT_EQ(g.edges[0].from, 0);  // s -> a
+  EXPECT_EQ(g.edges[0].to, 1);
+  EXPECT_EQ(g.edges[1].from, 1);  // chained a -> c0
+  EXPECT_EQ(g.edges[1].to, 2);
+  EXPECT_EQ(g.edges[6].to, 6);    // p0 -> "odd id"
+}
+
+// --- the five malformed-input batteries ---
+
+TEST(DotParserTest, TruncatedInputPointsPastTheLastToken) {
+  const std::string text = "digraph g {\n  a [work=1]\n";
+  EXPECT_EQ(error_of(text),
+            "parse_dot: unexpected end of input (unterminated digraph)"
+            " at byte 25 (line 3, column 1)");
+}
+
+TEST(DotParserTest, CycleIsReportedAtTheLowestSurvivingNode) {
+  const std::string text =
+      "digraph g {\n"
+      "  a [work=1];\n"
+      "  b [work=1];\n"
+      "  a -> b;\n"
+      "  b -> a;\n"
+      "}\n";
+  EXPECT_EQ(error_of(text),
+            "parse_dot: cycle detected through task 'a' at byte " +
+                std::to_string(text.find("a [work=1]")) +
+                " (line 2, column 3)");
+}
+
+TEST(DotParserTest, DuplicateNodeStatementIsRejectedAtTheSecondOne) {
+  const std::string text =
+      "digraph g {\n"
+      "  a [work=1];\n"
+      "  a [work=2];\n"
+      "}\n";
+  EXPECT_EQ(error_of(text),
+            "parse_dot: duplicate node statement for 'a' at byte " +
+                std::to_string(text.find("a [work=2]")) +
+                " (line 3, column 3)");
+}
+
+TEST(DotParserTest, NonMonotonicProfileIsRejectedAtTheAttributeValue) {
+  const std::string text =
+      "digraph g {\n"
+      "  a [profile=\"1:4,4:2,2:3\"];\n"
+      "}\n";
+  EXPECT_EQ(error_of(text),
+            "parse_dot: profile allocations must be strictly increasing"
+            " at byte " + std::to_string(text.find("\"1:4")) +
+                " (line 2, column 14)");
+}
+
+TEST(DotParserTest, OversizedInputIsRejectedBeforeTokenizing) {
+  std::string text(100, 'x');
+  text[9] = '\n';  // inside the scanned prefix, so the line count moves
+  EXPECT_EQ(error_of(text, 64),
+            "parse_dot: input of 100 bytes exceeds the 64-byte limit"
+            " at byte 64 (line 2, column 55)");
+}
+
+// --- the rest of the diagnostic surface ---
+
+TEST(DotParserTest, LexerDiagnostics) {
+  EXPECT_EQ(error_of("digraph g { @ }"),
+            "parse_dot: unexpected character '@'"
+            " at byte 12 (line 1, column 13)");
+  EXPECT_EQ(error_of("digraph g { \"abc"),
+            "parse_dot: unterminated string at byte 12 (line 1, column 13)");
+  EXPECT_EQ(error_of("digraph g { \"abc\\"),
+            "parse_dot: unterminated escape at byte 12 (line 1, column 13)");
+  EXPECT_EQ(error_of("digraph g { /* nope"),
+            "parse_dot: unterminated /* comment"
+            " at byte 12 (line 1, column 13)");
+}
+
+TEST(DotParserTest, StructuralDiagnostics) {
+  EXPECT_EQ(error_of("graph g {}"),
+            "parse_dot: expected 'digraph' at byte 0 (line 1, column 1)");
+  EXPECT_EQ(error_of("digraph g x"),
+            "parse_dot: expected '{' at byte 10 (line 1, column 11)");
+  EXPECT_EQ(error_of("digraph g {} x"),
+            "parse_dot: trailing characters after digraph"
+            " at byte 13 (line 1, column 14)");
+  EXPECT_EQ(error_of("digraph g { subgraph s { a } }"),
+            "parse_dot: subgraphs are not supported"
+            " at byte 12 (line 1, column 13)");
+  EXPECT_EQ(error_of("digraph g { a -> ; }"),
+            "parse_dot: expected node id after '->'"
+            " at byte 17 (line 1, column 18)");
+  EXPECT_EQ(error_of("digraph g { a [=3]; }"),
+            "parse_dot: expected attribute name or ']'"
+            " at byte 15 (line 1, column 16)");
+  EXPECT_EQ(error_of("digraph g { a [w=]; }"),
+            "parse_dot: expected attribute value"
+            " at byte 17 (line 1, column 18)");
+}
+
+TEST(DotParserTest, EdgeDiagnostics) {
+  const std::string self_loop = "digraph g { a [work=1]; a -> a; }";
+  EXPECT_EQ(error_of(self_loop),
+            "parse_dot: self-loop on task 'a' at byte " +
+                std::to_string(self_loop.rfind('a')) + " (line 1, column " +
+                std::to_string(self_loop.rfind('a') + 1) + ")");
+  const std::string dup =
+      "digraph g { a [work=1]; b [work=1]; a -> b; a -> b; }";
+  EXPECT_EQ(error_of(dup),
+            "parse_dot: duplicate edge 'a' -> 'b' at byte " +
+                std::to_string(dup.rfind('b')) + " (line 1, column " +
+                std::to_string(dup.rfind('b') + 1) + ")");
+}
+
+TEST(DotParserTest, ModelAttributeDiagnostics) {
+  const std::string mixed = "digraph g { a [times=\"3,2\", w=5]; }";
+  EXPECT_EQ(error_of(mixed),
+            "parse_dot: node 'a' mixes a times/profile table with Eq. (1)"
+            " parameters at byte " + std::to_string(mixed.find("a [")) +
+                " (line 1, column " + std::to_string(mixed.find("a [") + 1) +
+                ")");
+  const std::string no_w = "digraph g { a [model=roofline]; }";
+  EXPECT_EQ(error_of(no_w),
+            "parse_dot: model 'roofline' needs a 'w' attribute at byte " +
+                std::to_string(no_w.find("roofline")) + " (line 1, column " +
+                std::to_string(no_w.find("roofline") + 1) + ")");
+  const std::string no_d = "digraph g { a [model=amdahl, w=3]; }";
+  EXPECT_EQ(error_of(no_d),
+            "parse_dot: model 'amdahl' needs a 'd' attribute at byte " +
+                std::to_string(no_d.find("amdahl")) + " (line 1, column " +
+                std::to_string(no_d.find("amdahl") + 1) + ")");
+  const std::string no_c = "digraph g { a [model=communication, w=3]; }";
+  EXPECT_EQ(error_of(no_c),
+            "parse_dot: model 'communication' needs a 'c' attribute"
+            " at byte " + std::to_string(no_c.find("communication")) +
+                " (line 1, column " +
+                std::to_string(no_c.find("communication") + 1) + ")");
+  const std::string unknown = "digraph g { a [model=quantum, w=3]; }";
+  EXPECT_EQ(error_of(unknown),
+            "parse_dot: unknown model kind 'quantum' at byte " +
+                std::to_string(unknown.find("quantum")) +
+                " (line 1, column " +
+                std::to_string(unknown.find("quantum") + 1) + ")");
+}
+
+TEST(DotParserTest, NumericAttributeDiagnostics) {
+  const std::string bad_num = "digraph g { a [work=fast]; }";
+  EXPECT_EQ(error_of(bad_num),
+            "parse_dot: attribute 'work' is not a finite number at byte " +
+                std::to_string(bad_num.find("fast")) + " (line 1, column " +
+                std::to_string(bad_num.find("fast") + 1) + ")");
+  const std::string bad_pbar = "digraph g { a [work=2, pbar=2.5]; }";
+  EXPECT_EQ(error_of(bad_pbar),
+            "parse_dot: attribute 'pbar' is not a 32-bit integer at byte " +
+                std::to_string(bad_pbar.find("2.5")) + " (line 1, column " +
+                std::to_string(bad_pbar.find("2.5") + 1) + ")");
+  const std::string bad_times = "digraph g { a [times=\"3,-1\"]; }";
+  EXPECT_EQ(error_of(bad_times),
+            "parse_dot: times entries must be positive finite numbers"
+            " at byte " + std::to_string(bad_times.find("\"3")) +
+                " (line 1, column " +
+                std::to_string(bad_times.find("\"3") + 1) + ")");
+  const std::string bad_pair = "digraph g { a [profile=\"1:2,oops\"]; }";
+  EXPECT_EQ(error_of(bad_pair),
+            "parse_dot: profile entries must be 'procs:time' pairs"
+            " at byte " + std::to_string(bad_pair.find("\"1:2")) +
+                " (line 1, column " +
+                std::to_string(bad_pair.find("\"1:2") + 1) + ")");
+}
+
+TEST(DotParserTest, TaskWithoutAnyModelIsRejectedByValidation) {
+  const std::string text = "digraph g {\n  orphan;\n}\n";
+  EXPECT_EQ(error_of(text),
+            "parse_dot: task 'orphan' carries no model information (need"
+            " model/work parameters, a times table, or a profile)"
+            " at byte " + std::to_string(text.find("orphan")) +
+                " (line 2, column 3)");
+}
+
+}  // namespace
+}  // namespace moldsched::ingest

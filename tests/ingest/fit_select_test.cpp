@@ -1,0 +1,181 @@
+// Per-task model selection: candidate preference order, the
+// prefer-simpler tolerance, the TableModel fallback, and the bit-exact
+// determinism the fit-quality CSV depends on.
+#include "moldsched/ingest/fit_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+
+namespace moldsched::ingest {
+namespace {
+
+std::vector<std::pair<int, double>> sample_model(
+    const model::SpeedupModel& m, std::initializer_list<int> ps) {
+  std::vector<std::pair<int, double>> out;
+  for (const int p : ps) out.emplace_back(p, m.time(p));
+  return out;
+}
+
+model::GeneralModel general(double w, double d, double c) {
+  model::GeneralParams p;
+  p.w = w;
+  p.d = d;
+  p.c = c;
+  return model::GeneralModel(p);
+}
+
+constexpr int kNoPbar = model::GeneralParams::kUnboundedParallelism;
+
+TEST(FitSelectTest, ExactDataLandsInItsOwnFamily) {
+  const auto roof = select_model(
+      sample_model(model::RooflineModel(24.0, kNoPbar), {1, 2, 4, 8, 16}));
+  EXPECT_EQ(roof.fit.source, "fitted");
+  EXPECT_EQ(roof.fit.kind, model::ModelKind::kRoofline);
+  EXPECT_EQ(roof.model->kind(), model::ModelKind::kRoofline);
+  EXPECT_NEAR(roof.fit.params.w, 24.0, 1e-9);
+
+  const auto amd = select_model(
+      sample_model(model::AmdahlModel(64.0, 4.0), {1, 2, 4, 8, 16}));
+  EXPECT_EQ(amd.fit.kind, model::ModelKind::kAmdahl);
+  EXPECT_NEAR(amd.fit.params.d, 4.0, 1e-9);
+
+  const auto comm = select_model(
+      sample_model(model::CommunicationModel(120.0, 0.5), {1, 2, 4, 8, 16}));
+  EXPECT_EQ(comm.fit.kind, model::ModelKind::kCommunication);
+  EXPECT_NEAR(comm.fit.params.c, 0.5, 1e-9);
+
+  const auto gen = select_model(
+      sample_model(general(90.0, 3.0, 0.4), {1, 2, 4, 8, 16, 32}));
+  EXPECT_EQ(gen.fit.kind, model::ModelKind::kGeneral);
+  EXPECT_NEAR(gen.fit.params.w, 90.0, 1e-6);
+  EXPECT_NEAR(gen.fit.params.d, 3.0, 1e-6);
+  EXPECT_NEAR(gen.fit.params.c, 0.4, 1e-8);
+}
+
+TEST(FitSelectTest, SimplerFamilyWinsTiesAgainstTheNestingGeneral) {
+  // Exact amdahl data is also an exact general fit (general nests every
+  // family); the preference order must still pick amdahl.
+  const auto samples =
+      sample_model(model::AmdahlModel(40.0, 2.0), {1, 2, 4, 8, 16, 32});
+  const auto choice = select_model(samples);
+  EXPECT_EQ(choice.fit.kind, model::ModelKind::kAmdahl);
+  EXPECT_NEAR(choice.fit.rmse, 0.0, 1e-9);
+}
+
+TEST(FitSelectTest, PreferSimplerToleranceWidensTheCut) {
+  // Hand-perturbed general-model measurements (truth 90/p + 3 +
+  // 0.4(p-1)): the best RMSE is nonzero, so the relative tolerance has
+  // something to scale.
+  const std::vector<std::pair<int, double>> samples{
+      {1, 93.9}, {2, 47.9}, {4, 26.9}, {8, 16.9}, {16, 14.8}, {32, 18.1}};
+  // Zero tolerance: only the true minimum survives the cutoff.
+  FitOptions strict;
+  strict.prefer_simpler_tolerance = 0.0;
+  strict.max_relative_error = 1e9;
+  EXPECT_EQ(select_model(samples, strict).fit.kind,
+            model::ModelKind::kGeneral);
+  // An absurdly wide tolerance admits every candidate, so the first
+  // (simplest) one wins — provided the quality gate is disabled too.
+  FitOptions loose;
+  loose.prefer_simpler_tolerance = 1e9;
+  loose.max_relative_error = 1e9;
+  const auto roof = select_model(samples, loose);
+  EXPECT_EQ(roof.fit.source, "fitted");
+  EXPECT_EQ(roof.fit.kind, model::ModelKind::kRoofline);
+}
+
+TEST(FitSelectTest, UnfittableProfileFallsBackToTheTable) {
+  // A sawtooth profile no monotone Eq. (1) family can follow.
+  const std::vector<std::pair<int, double>> profile{
+      {1, 10.0}, {2, 1.0}, {3, 10.0}, {4, 1.0}, {5, 10.0}};
+  const auto choice = select_model(profile);
+  EXPECT_EQ(choice.fit.source, "fallback");
+  EXPECT_EQ(choice.fit.kind, model::ModelKind::kArbitrary);
+  EXPECT_EQ(choice.fit.samples, 5);
+  EXPECT_EQ(choice.model->kind(), model::ModelKind::kArbitrary);
+  // The interpolating table reproduces the samples themselves.
+  EXPECT_LE(choice.fit.max_relative_error, 1e-9);
+  for (const auto& [p, t] : profile) EXPECT_NEAR(choice.model->time(p), t, 1e-9);
+}
+
+TEST(FitSelectTest, UnderDeterminedProfileFallsBackToTheTable) {
+  const std::vector<std::pair<int, double>> two{{1, 9.7}, {8, 2.9}};
+  const auto choice = select_model(two);
+  EXPECT_EQ(choice.fit.source, "fallback");
+  EXPECT_EQ(choice.fit.kind, model::ModelKind::kArbitrary);
+  // Duplicate allocations do not add information.
+  const std::vector<std::pair<int, double>> padded{
+      {1, 9.7}, {1, 9.7}, {8, 2.9}, {8, 2.9}};
+  EXPECT_EQ(select_model(padded).fit.source, "fallback");
+}
+
+TEST(FitSelectTest, RejectsDegenerateProfiles) {
+  EXPECT_THROW((void)select_model({}), std::invalid_argument);
+  EXPECT_THROW((void)select_model({{0, 1.0}, {2, 0.5}, {4, 0.3}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)select_model({{1, -1.0}, {2, 0.5}, {4, 0.3}}),
+               std::invalid_argument);
+}
+
+TEST(FitSelectTest, SelectionIsBitExact) {
+  // Hand-fixed "noisy" measurements — no RNG, so the expectation is
+  // plain bitwise equality between two independent selections.
+  const std::vector<std::pair<int, double>> profile{
+      {1, 101.3}, {2, 52.7}, {4, 28.9}, {8, 17.2}, {16, 11.8}, {32, 9.4}};
+  const auto a = select_model(profile);
+  const auto b = select_model(profile);
+  EXPECT_EQ(a.fit.kind, b.fit.kind);
+  EXPECT_EQ(a.fit.params.w, b.fit.params.w);
+  EXPECT_EQ(a.fit.params.d, b.fit.params.d);
+  EXPECT_EQ(a.fit.params.c, b.fit.params.c);
+  EXPECT_EQ(a.fit.rmse, b.fit.rmse);
+  EXPECT_EQ(format_number(a.fit.params.w), format_number(b.fit.params.w));
+  EXPECT_EQ(format_number(a.fit.rmse), format_number(b.fit.rmse));
+}
+
+TEST(FitSelectTest, FormatNumberRoundTripsAtFullPrecision) {
+  for (const double v : {0.1, 1.0 / 3.0, 123456.789012345, 1e-12, 9.4}) {
+    const std::string s = format_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(FitSelectTest, ClassifyParamsMapsZerosToNamedKinds) {
+  model::GeneralParams p;
+  p.w = 10.0;
+  EXPECT_EQ(classify_params(p), model::ModelKind::kRoofline);
+  p.d = 1.0;
+  EXPECT_EQ(classify_params(p), model::ModelKind::kAmdahl);
+  p.c = 0.5;
+  EXPECT_EQ(classify_params(p), model::ModelKind::kGeneral);
+  p.d = 0.0;
+  EXPECT_EQ(classify_params(p), model::ModelKind::kCommunication);
+  p.w = 0.0;
+  EXPECT_EQ(classify_params(p), model::ModelKind::kGeneral);
+}
+
+TEST(FitSelectTest, MaterializeUsesTheNamedClasses) {
+  model::GeneralParams p;
+  p.w = 10.0;
+  EXPECT_EQ(materialize(model::ModelKind::kRoofline, p)->kind(),
+            model::ModelKind::kRoofline);
+  p.d = 2.0;
+  EXPECT_EQ(materialize(model::ModelKind::kAmdahl, p)->kind(),
+            model::ModelKind::kAmdahl);
+  EXPECT_THROW((void)materialize(model::ModelKind::kArbitrary, p),
+               std::invalid_argument);
+  model::GeneralParams bad;
+  bad.w = 5.0;  // d stays 0 — invalid for amdahl
+  EXPECT_THROW((void)materialize(model::ModelKind::kAmdahl, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moldsched::ingest

@@ -1,0 +1,211 @@
+// JSON task-graph importer: the moldsched-taskgraph-v1 schema surface
+// plus the malformed-input batteries. Error docs are kept on a single
+// line so every expected column is just offset + 1 — the assertions
+// stay exact without hand-counted positions.
+#include "moldsched/ingest/json_import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "moldsched/model/general_model.hpp"
+
+namespace moldsched::ingest {
+namespace {
+
+std::string error_of(const std::string& text,
+                     std::size_t max_bytes = kDefaultMaxImportBytes) {
+  try {
+    (void)import_taskgraph_json(text, max_bytes);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "(no error)";
+}
+
+/// " at byte N (line 1, column N+1)" for single-line documents.
+std::string at(const std::string& text, const std::string& needle) {
+  const std::size_t off = text.find(needle);
+  EXPECT_NE(off, std::string::npos) << needle;
+  return " at byte " + std::to_string(off) + " (line 1, column " +
+         std::to_string(off + 1) + ")";
+}
+
+const char* kHeader = R"({"format": "moldsched-taskgraph-v1", )";
+
+TEST(JsonImportTest, ParsesAllThreeModelSpecifications) {
+  const std::string text = R"({
+  "format": "moldsched-taskgraph-v1",
+  "name": "mini",
+  "P": 16,
+  "tasks": [
+    {"id": 0, "name": "stage", "model":
+      {"kind": "amdahl", "w": 40, "d": 2, "pbar": 8}},
+    {"id": 1, "times": [8.0, 4.5, 4.6]},
+    {"id": 2, "profile": [[1, 9.0], [2, 4.8], [4, 2.7]]}
+  ],
+  "edges": [[0, 1], [1, 2]]
+})";
+  const ImportedGraph g = import_taskgraph_json(text);
+  EXPECT_EQ(g.name, "mini");
+  EXPECT_EQ(g.default_P, 16);
+  ASSERT_EQ(g.tasks.size(), 3u);
+  EXPECT_EQ(g.tasks[0].name, "stage");
+  ASSERT_TRUE(g.tasks[0].params.has_value());
+  EXPECT_EQ(g.tasks[0].params->kind, model::ModelKind::kAmdahl);
+  EXPECT_EQ(g.tasks[0].params->params.w, 40.0);
+  EXPECT_EQ(g.tasks[0].params->params.d, 2.0);
+  EXPECT_EQ(g.tasks[0].params->params.pbar, 8);
+  EXPECT_EQ(g.tasks[1].name, "task1");  // default name from the id
+  ASSERT_EQ(g.tasks[1].times.size(), 3u);
+  EXPECT_EQ(g.tasks[1].times[2], 4.6);  // non-monotonic tables are legal
+  ASSERT_EQ(g.tasks[2].profile.size(), 3u);
+  EXPECT_EQ(g.tasks[2].profile[2].first, 4);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[1].from, 1);
+  EXPECT_EQ(g.edges[1].to, 2);
+}
+
+TEST(JsonImportTest, SyntaxErrorsComeFromParseJsonWithPositions) {
+  const std::string text = "{\"format\": }";
+  const std::string err = error_of(text);
+  EXPECT_NE(err.find("parse_json: "), std::string::npos) << err;
+  EXPECT_NE(err.find(" at byte "), std::string::npos) << err;
+}
+
+TEST(JsonImportTest, FormatEnvelopeIsEnforced) {
+  EXPECT_EQ(error_of("[1, 2]"),
+            "import_taskgraph: document must be an object"
+            " at byte 0 (line 1, column 1)");
+  EXPECT_EQ(error_of("{\"tasks\": []}"),
+            "import_taskgraph: missing string 'format'"
+            " at byte 0 (line 1, column 1)");
+  const std::string bad = R"({"format": "dax", "tasks": []})";
+  EXPECT_EQ(error_of(bad),
+            "import_taskgraph: unsupported format 'dax' (expected"
+            " 'moldsched-taskgraph-v1')" + at(bad, "\"dax\""));
+  EXPECT_EQ(error_of(std::string(kHeader) + R"("name": "x"})"),
+            "import_taskgraph: missing 'tasks' array"
+            " at byte 0 (line 1, column 1)");
+}
+
+TEST(JsonImportTest, NonDenseIdsAreRejectedAtTheOffendingId) {
+  const std::string skipped =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1]}, {"id": 7, "times": [1]}]})";
+  EXPECT_EQ(error_of(skipped),
+            "import_taskgraph: task ids must be dense and ascending"
+            " (expected 1)" + at(skipped, "7"));
+  const std::string dup =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1]}, {"id": 0, "times": [3]}]})";
+  const std::size_t second = dup.rfind("0, \"times\"");
+  EXPECT_EQ(error_of(dup),
+            "import_taskgraph: task ids must be dense and ascending"
+            " (expected 1) at byte " + std::to_string(second) +
+                " (line 1, column " + std::to_string(second + 1) + ")");
+}
+
+TEST(JsonImportTest, CyclicImportIsRejectedAtTheOffendingTask) {
+  const std::string text =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1]}, {"id": 1, "times": [1]}], )" +
+      R"("edges": [[0, 1], [1, 0]]})";
+  EXPECT_EQ(error_of(text),
+            "import_taskgraph: cycle detected through task 'task0'" +
+                at(text, "{\"id\": 0"));
+}
+
+TEST(JsonImportTest, ExactlyOneModelSpecificationPerTask) {
+  const std::string none =
+      std::string(kHeader) + R"("tasks": [{"id": 0, "name": "n"}]})";
+  EXPECT_EQ(error_of(none),
+            "import_taskgraph: task 'n' needs one of 'model', 'times' or"
+            " 'profile'" + at(none, "{\"id\""));
+  const std::string both =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1], "profile": [[1, 2]]}]})";
+  EXPECT_EQ(error_of(both),
+            "import_taskgraph: task 'task0' has more than one model"
+            " specification" + at(both, "{\"id\""));
+}
+
+TEST(JsonImportTest, ModelObjectConstraints) {
+  const std::string unknown =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "model": {"kind": "magic", "w": 5}}]})";
+  EXPECT_EQ(error_of(unknown),
+            "import_taskgraph: unknown model kind 'magic'" +
+                at(unknown, "\"magic\""));
+  const std::string no_w =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "model": {"kind": "roofline"}}]})";
+  EXPECT_EQ(error_of(no_w),
+            "import_taskgraph: 'model' needs a numeric 'w'" +
+                at(no_w, "{\"kind\""));
+  const std::string zero_d =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "model": {"kind": "amdahl", "w": 5}}]})";
+  EXPECT_EQ(error_of(zero_d),
+            "import_taskgraph: amdahl model needs d > 0" +
+                at(zero_d, "{\"kind\""));
+  const std::string zero_c =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "model": {"kind": "communication", "w": 5}}]})";
+  EXPECT_EQ(error_of(zero_c),
+            "import_taskgraph: communication model needs c > 0" +
+                at(zero_c, "{\"kind\""));
+  const std::string bad_pbar =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "model":)" +
+      R"( {"kind": "roofline", "w": 5, "pbar": 0}}]})";
+  EXPECT_EQ(error_of(bad_pbar),
+            "import_taskgraph: 'pbar' must be >= 1" + at(bad_pbar, "0}}"));
+}
+
+TEST(JsonImportTest, ProfileConstraints) {
+  const std::string non_mono =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "profile": [[4, 2.0], [2, 3.0]]}]})";
+  EXPECT_EQ(error_of(non_mono),
+            "import_taskgraph: profile allocations must be strictly"
+            " increasing" + at(non_mono, "2, 3.0"));
+  const std::string zero_p =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "profile": [[0, 2.0]]}]})";
+  EXPECT_EQ(error_of(zero_p),
+            "import_taskgraph: profile procs must be >= 1" +
+                at(zero_p, "0, 2.0"));
+  const std::string bad_pair =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "profile": [[1, 2.0, 3.0]]}]})";
+  EXPECT_EQ(error_of(bad_pair),
+            "import_taskgraph: profile entries must be [procs, time] pairs" +
+                at(bad_pair, "[1, 2.0, 3.0]"));
+}
+
+TEST(JsonImportTest, EdgeConstraints) {
+  const std::string range =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1]}], "edges": [[0, 7]]})";
+  EXPECT_EQ(error_of(range),
+            "import_taskgraph: edge endpoint out of range" +
+                at(range, "[0, 7]"));
+  const std::string shape =
+      std::string(kHeader) +
+      R"("tasks": [{"id": 0, "times": [1]}], "edges": [[0]]})";
+  EXPECT_EQ(error_of(shape),
+            "import_taskgraph: edges must be [from, to] pairs" +
+                at(shape, "[0]]"));
+}
+
+TEST(JsonImportTest, OversizedInputIsRejectedBeforeParsing) {
+  const std::string text(100, 'x');
+  EXPECT_EQ(error_of(text, 64),
+            "import_taskgraph: input of 100 bytes exceeds the 64-byte"
+            " limit at byte 64 (line 1, column 65)");
+}
+
+}  // namespace
+}  // namespace moldsched::ingest

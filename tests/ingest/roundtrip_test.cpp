@@ -1,0 +1,83 @@
+// The DOT round trip: ingest::parse_dot(io::to_dot(g)) must rebuild the
+// graph with byte-identical svc::encode_graph wire bytes — names (with
+// every escape), model kinds, 17-significant-digit parameters, and edge
+// order all survive. Instances come from the shared check:: corpus so
+// every generator family and model kind is covered.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moldsched/check/corpus.hpp"
+#include "moldsched/graph/task_graph.hpp"
+#include "moldsched/ingest/dot.hpp"
+#include "moldsched/io/dot.hpp"
+#include "moldsched/model/arbitrary_model.hpp"
+#include "moldsched/model/general_model.hpp"
+#include "moldsched/model/special_models.hpp"
+#include "moldsched/svc/wire.hpp"
+#include "moldsched/util/rng.hpp"
+
+namespace moldsched::ingest {
+namespace {
+
+void expect_roundtrip(const graph::TaskGraph& g, const std::string& what) {
+  const std::string wire = svc::encode_graph(g);
+  const std::string dot = io::to_dot(g);
+  const Realized re = realize(parse_dot(dot));
+  ASSERT_EQ(re.graph.num_tasks(), g.num_tasks()) << what;
+  ASSERT_EQ(re.graph.num_edges(), g.num_edges()) << what;
+  EXPECT_EQ(svc::encode_graph(re.graph), wire) << what << "\n" << dot;
+}
+
+TEST(DotRoundTripTest, EveryCorpusFamilyAndModelKindSurvives) {
+  util::Rng rng(20260808);
+  const int families = check::num_corpus_families();
+  for (int family = 0; family < families; ++family) {
+    for (const auto kind : check::corpus_model_kinds()) {
+      const graph::TaskGraph g = check::corpus_graph(family, kind, rng, 32);
+      expect_roundtrip(g, check::corpus_families()[
+                              static_cast<std::size_t>(family)] + "/" +
+                              model::to_string(kind));
+    }
+  }
+}
+
+TEST(DotRoundTripTest, HostileTaskNamesSurviveEscaping) {
+  graph::TaskGraph g;
+  model::GeneralParams p;
+  p.w = 12.5;
+  p.d = 0.125;
+  g.add_task(std::make_shared<model::GeneralModel>(p), "quote \" inside");
+  g.add_task(std::make_shared<model::AmdahlModel>(3.0, 1.0),
+             "back\\slash and\nnewline");
+  g.add_task(std::make_shared<model::TableModel>(
+                 std::vector<double>{4.0, 2.5, 2.6}),
+             "commas, [brackets] {braces} -> arrows");
+  g.add_task(std::make_shared<model::RooflineModel>(7.0, 4), "");
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  expect_roundtrip(g, "hostile names");
+}
+
+TEST(DotRoundTripTest, SeventeenDigitParametersAreBitExact) {
+  // Parameters chosen to have no short decimal representation: the
+  // 17-significant-digit rendering in to_dot is what keeps them intact.
+  graph::TaskGraph g;
+  model::GeneralParams p;
+  p.w = 1.0 / 3.0;
+  p.d = 2.0 / 7.0;
+  p.c = 1.0 / 9973.0;
+  p.pbar = 12;
+  g.add_task(std::make_shared<model::GeneralModel>(p), "thirds");
+  g.add_task(std::make_shared<model::TableModel>(std::vector<double>{
+                 1.0 / 11.0, 1.0 / 13.0, 1.0 / 17.0, 1.0 / 19.0}),
+             "primes");
+  g.add_edge(0, 1);
+  expect_roundtrip(g, "irrational-ish parameters");
+}
+
+}  // namespace
+}  // namespace moldsched::ingest

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
+#include "moldsched/model/general_model.hpp"
 #include "moldsched/model/special_models.hpp"
 #include "moldsched/util/rng.hpp"
 
@@ -101,6 +103,88 @@ TEST(FitTest, RejectsBadInput) {
   EXPECT_THROW(
       (void)fit_general_model({{1, -1.0}, {2, 0.5}, {3, 0.4}}),
       std::invalid_argument);
+}
+
+// --- near-singular hardening: the edge sets that used to be able to
+// push NaN through the normal equations must either throw or clamp to a
+// deterministic feasible answer.
+
+TEST(FitTest, AllTimesEqualClampsToPureSequentialTerm) {
+  // A constant profile is exactly d = const, w = c = 0; the 1/p and
+  // p - 1 basis columns are correlated with the constant column, which
+  // is where an unpivoted solve would go singular.
+  const std::vector<std::pair<int, double>> samples{
+      {1, 5.0}, {2, 5.0}, {4, 5.0}, {8, 5.0}};
+  const auto fit = fit_general_model(samples);
+  EXPECT_TRUE(std::isfinite(fit.params.w));
+  EXPECT_TRUE(std::isfinite(fit.params.d));
+  EXPECT_TRUE(std::isfinite(fit.params.c));
+  EXPECT_TRUE(std::isfinite(fit.rmse));
+  EXPECT_NEAR(fit.params.d, 5.0, 1e-9);
+  EXPECT_NEAR(fit.params.w, 0.0, 1e-9);
+  EXPECT_NEAR(fit.params.c, 0.0, 1e-9);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+  // Bit-for-bit repeatable: the mask enumeration is deterministic.
+  const auto again = fit_general_model(samples);
+  EXPECT_EQ(fit.params.w, again.params.w);
+  EXPECT_EQ(fit.params.d, again.params.d);
+  EXPECT_EQ(fit.params.c, again.params.c);
+}
+
+TEST(FitTest, TwoDistinctAllocationsPaddedWithDuplicatesThrows) {
+  // Four samples but only two distinct p: the three-column system is
+  // rank-deficient no matter how many duplicates pad it out. This must
+  // be a crisp error, not a garbage solve.
+  const std::vector<std::pair<int, double>> samples{
+      {1, 10.0}, {1, 10.2}, {2, 6.0}, {2, 5.9}};
+  EXPECT_THROW((void)fit_general_model(samples), std::invalid_argument);
+  // Same with the duplicates interleaved at a different scale.
+  EXPECT_THROW((void)fit_general_model(
+                   {{4, 1.0}, {32, 0.5}, {4, 1.0}, {32, 0.5}, {4, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(FitTest, ExtremeScalesStayFinite) {
+  // Huge and tiny magnitudes: every candidate mask must either produce
+  // a finite solve or be skipped; the winner is always finite.
+  const std::vector<std::pair<int, double>> tiny{
+      {1, 1e-12}, {2, 5e-13}, {4, 2.5e-13}};
+  const auto f1 = fit_general_model(tiny);
+  EXPECT_TRUE(std::isfinite(f1.rmse));
+  EXPECT_TRUE(std::isfinite(f1.max_relative_error));
+  const std::vector<std::pair<int, double>> huge{
+      {1, 1e12}, {1000, 1e9}, {100000, 1e7}};
+  const auto f2 = fit_general_model(huge);
+  EXPECT_TRUE(std::isfinite(f2.rmse));
+  EXPECT_GE(f2.params.w, 0.0);
+}
+
+TEST(FitTest, FitModelFamilyRestrictsTheBasis) {
+  GeneralParams tp;
+  tp.w = 120.0;
+  tp.d = 4.0;
+  tp.c = 0.3;
+  tp.pbar = 24;
+  const GeneralModel truth(tp);
+  const auto samples = sample_model(truth, {1, 2, 4, 8, 16, 32, 64});
+  // Roofline: only w may be nonzero.
+  const auto roof = fit_model_family(samples, ModelKind::kRoofline);
+  EXPECT_EQ(roof.params.d, 0.0);
+  EXPECT_EQ(roof.params.c, 0.0);
+  EXPECT_GT(roof.params.w, 0.0);
+  // Amdahl: w and d only.
+  const auto amd = fit_model_family(samples, ModelKind::kAmdahl);
+  EXPECT_EQ(amd.params.c, 0.0);
+  // Communication: w and c only.
+  const auto comm = fit_model_family(samples, ModelKind::kCommunication);
+  EXPECT_EQ(comm.params.d, 0.0);
+  // General nests every family: its residual can never be worse.
+  const auto gen = fit_model_family(samples, ModelKind::kGeneral);
+  EXPECT_LE(gen.rmse, roof.rmse + 1e-12);
+  EXPECT_LE(gen.rmse, amd.rmse + 1e-12);
+  EXPECT_LE(gen.rmse, comm.rmse + 1e-12);
+  EXPECT_THROW((void)fit_model_family(samples, ModelKind::kArbitrary),
+               std::invalid_argument);
 }
 
 }  // namespace
